@@ -1,0 +1,17 @@
+//! Fig. 2 — sustained-frequency sweep over cores and ISA extensions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_freq");
+    for m in uarch::all_machines() {
+        g.bench_function(m.arch.chip(), |b| {
+            b.iter(|| node::fig2_sweep(std::hint::black_box(&m)))
+        });
+    }
+    g.finish();
+    eprintln!("{}", bench::tables::render_fig2());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

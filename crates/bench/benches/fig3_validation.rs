@@ -1,0 +1,42 @@
+//! Fig. 3 — the full 416-block validation run, timed end-to-end, printing
+//! the RPE histograms and summary statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_validation");
+    g.sample_size(10);
+    // Time one machine's sub-corpus per benchmark id.
+    for arch in [uarch::Arch::NeoverseV2, uarch::Arch::GoldenCove, uarch::Arch::Zen4] {
+        let chip = match arch {
+            uarch::Arch::NeoverseV2 => "GCS",
+            uarch::Arch::GoldenCove => "SPR",
+            uarch::Arch::Zen4 => "Genoa",
+        };
+        g.bench_function(chip, |b| b.iter(|| bench::rpe_corpus(&[arch]).len()));
+    }
+    g.finish();
+
+    let records = bench::rpe_corpus(&[
+        uarch::Arch::NeoverseV2,
+        uarch::Arch::GoldenCove,
+        uarch::Arch::Zen4,
+    ]);
+    let osaca: Vec<f64> = records.iter().map(|r| r.rpe_osaca).collect();
+    let mca: Vec<f64> = records.iter().map(|r| r.rpe_mca).collect();
+    eprintln!("{}", bench::fig3::render_histogram("OSACA-style in-core model", &osaca));
+    eprintln!("{}", bench::fig3::render_histogram("LLVM-MCA-style model", &mca));
+    let so = bench::fig3::summarize(&osaca);
+    let sm = bench::fig3::summarize(&mca);
+    eprintln!(
+        "[fig3] n={} | OSACA optimistic {:.0}% (paper 96%), off-by-2x {} (paper 1) | MCA optimistic {:.0}% (paper 25%), off-by-2x {} (paper 14)",
+        records.len(),
+        so.optimistic_fraction * 100.0,
+        so.off_by_2x,
+        sm.optimistic_fraction * 100.0,
+        sm.off_by_2x
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Fig. 4 — write-allocate evasion: store-only benchmark traffic ratios.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memhier::{store_traffic_ratio, StoreKind};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_wa");
+    g.sample_size(10);
+    for m in uarch::all_machines() {
+        g.bench_function(format!("{}_standard_full", m.arch.chip()), |b| {
+            b.iter(|| store_traffic_ratio(&m, m.cores, StoreKind::Standard).ratio)
+        });
+        if m.isa == isa::Isa::X86 {
+            g.bench_function(format!("{}_nt_full", m.arch.chip()), |b| {
+                b.iter(|| store_traffic_ratio(&m, m.cores, StoreKind::NonTemporal).ratio)
+            });
+        }
+    }
+    g.finish();
+    eprintln!("{}", bench::tables::render_fig4());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

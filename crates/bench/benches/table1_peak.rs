@@ -1,0 +1,59 @@
+//! Table I — peak-FLOP benchmark: time the FMA-saturating kernel on the
+//! core simulator for each machine and print the Table I rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fma_peak_kernel(m: &uarch::Machine) -> isa::Kernel {
+    let mut asm = String::from(".L0:\n");
+    match m.isa {
+        isa::Isa::X86 => {
+            let r = if m.simd_width_bits == 512 { "zmm" } else { "ymm" };
+            for i in 0..10 {
+                asm.push_str(&format!("    vfmadd231pd %{r}14, %{r}15, %{r}{i}\n"));
+            }
+            asm.push_str("    subq $1, %rax\n    jne .L0\n");
+        }
+        isa::Isa::AArch64 => {
+            for i in 0..10 {
+                asm.push_str(&format!("    fmla v{i}.2d, v14.2d, v15.2d\n"));
+            }
+            asm.push_str("    subs x5, x5, #1\n    b.ne .L0\n");
+        }
+    }
+    isa::parse_kernel(&asm, m.isa).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_peak");
+    for m in uarch::all_machines() {
+        let k = fma_peak_kernel(&m);
+        g.bench_function(m.arch.chip(), |b| {
+            b.iter(|| exec::cycles_per_iteration(&m, std::hint::black_box(&k)))
+        });
+        // Report the achieved flops the simulated chip reaches.
+        let cy = exec::cycles_per_iteration(&m, &k);
+        let lanes = (m.simd_width_bits / 64) as f64;
+        let flops_per_iter = 10.0 * lanes * 2.0;
+        let row = node::table1_row(&m);
+        let f = node::freq::sustained_freq_ghz(
+            &m,
+            match m.arch {
+                uarch::Arch::NeoverseV2 => isa::IsaExt::Neon,
+                _ => isa::IsaExt::Avx512,
+            },
+            m.cores,
+        );
+        let tflops = flops_per_iter / cy * f * m.cores as f64 / 1000.0;
+        eprintln!(
+            "[table1] {}: simulated peak {:.2} Tflop/s (model: theor {:.2}, achiev {:.2})",
+            m.arch.chip(),
+            tflops,
+            row.theor_peak_tflops,
+            row.achieved_peak_tflops
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Table III — instruction throughput/latency microbenchmarks on the core
+//! simulator, printing the regenerated table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_instr");
+    g.sample_size(10);
+    for m in uarch::all_machines() {
+        g.bench_function(format!("{}_vec_fma_tp", m.arch.chip()), |b| {
+            b.iter(|| bench::instruction_throughput(&m, bench::ibench::Instr::VecFma))
+        });
+        g.bench_function(format!("{}_vec_fma_lat", m.arch.chip()), |b| {
+            b.iter(|| bench::instruction_latency(&m, bench::ibench::Instr::VecFma))
+        });
+    }
+    g.finish();
+    eprintln!("{}", bench::tables::render_table3());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro table1|table2|table3|fig1|fig2|fig3|fig4|ecm|all [--json FILE]
+//! ```
+
+use std::env;
+use std::fs;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let mut json = serde_json::Map::new();
+
+    match what {
+        "table1" => print!("{}", bench::tables::render_table1()),
+        "table2" => print!("{}", bench::tables::render_table2()),
+        "table3" => {
+            print!("{}", bench::tables::render_table3());
+            json.insert("table3".into(), serde_json::to_value(bench::ibench::table3()).unwrap());
+        }
+        "fig1" => {
+            for m in uarch::all_machines() {
+                print!("{}", bench::tables::render_fig1(&m));
+            }
+        }
+        "fig2" => print!("{}", bench::tables::render_fig2()),
+        "fig3" => run_fig3(&mut json),
+        "fig4" => print!("{}", bench::tables::render_fig4()),
+        "ecm" => run_ecm(),
+        "all" => {
+            print!("{}", bench::tables::render_table1());
+            println!();
+            print!("{}", bench::tables::render_table2());
+            println!();
+            print!("{}", bench::tables::render_table3());
+            println!();
+            print!("{}", bench::tables::render_fig1(&uarch::Machine::neoverse_v2()));
+            println!();
+            print!("{}", bench::tables::render_fig2());
+            println!();
+            run_fig3(&mut json);
+            println!();
+            print!("{}", bench::tables::render_fig4());
+            println!();
+            run_ecm();
+        }
+        other => {
+            eprintln!("unknown target `{other}`; use table1|table2|table3|fig1|fig2|fig3|fig4|ecm|all");
+            std::process::exit(2);
+        }
+    }
+
+    if let Some(path) = json_path {
+        fs::write(&path, serde_json::Value::Object(json).to_string()).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn run_fig3(json: &mut serde_json::Map<String, serde_json::Value>) {
+    use uarch::Arch::*;
+    let records = bench::rpe_corpus(&[NeoverseV2, GoldenCove, Zen4]);
+    let osaca: Vec<f64> = records.iter().map(|r| r.rpe_osaca).collect();
+    let mca: Vec<f64> = records.iter().map(|r| r.rpe_mca).collect();
+
+    println!("Fig. 3 — relative prediction error over {} test blocks", records.len());
+    println!("(positive = prediction faster than measurement; lower-bound models should sit right of 0)");
+    println!();
+    print!("{}", bench::fig3::render_histogram("OSACA-style in-core model", &osaca));
+    println!();
+    print!("{}", bench::fig3::render_histogram("LLVM-MCA-style model", &mca));
+
+    let so = bench::fig3::summarize(&osaca);
+    let sm = bench::fig3::summarize(&mca);
+    println!();
+    println!("summary                         OSACA      LLVM-MCA");
+    println!("optimistic (right of 0)     {:>8.0}%  {:>10.0}%", so.optimistic_fraction * 100.0, sm.optimistic_fraction * 100.0);
+    println!("within +0..10%              {:>8.0}%  {:>10.0}%", so.within_10 * 100.0, sm.within_10 * 100.0);
+    println!("within +0..20%              {:>8.0}%  {:>10.0}%", so.within_20 * 100.0, sm.within_20 * 100.0);
+    println!("within ±20%                 {:>8.0}%  {:>10.0}%", so.abs_within_20 * 100.0, sm.abs_within_20 * 100.0);
+    println!("off by > 2x                 {:>9}  {:>11}", so.off_by_2x, sm.off_by_2x);
+    println!("mean RPE (optimistic side)  {:>8.0}%  {:>10.0}%", so.mean_positive * 100.0, sm.mean_positive * 100.0);
+    println!("mean |RPE|                  {:>8.0}%  {:>10.0}%", so.mean_abs * 100.0, sm.mean_abs * 100.0);
+
+    // Per-µarch means quoted in the paper's text.
+    println!();
+    for chip in ["GCS", "SPR", "Genoa"] {
+        let o: Vec<f64> = records.iter().filter(|r| r.chip == chip).map(|r| r.rpe_osaca).collect();
+        let m: Vec<f64> = records.iter().filter(|r| r.chip == chip).map(|r| r.rpe_mca).collect();
+        let so = bench::fig3::summarize(&o);
+        let sm = bench::fig3::summarize(&m);
+        println!(
+            "{chip:<6} mean positive RPE: OSACA {:>3.0}% vs MCA {:>3.0}%   mean |RPE|: {:>3.0}% vs {:>3.0}%",
+            so.mean_positive * 100.0,
+            sm.mean_positive * 100.0,
+            so.mean_abs * 100.0,
+            sm.mean_abs * 100.0
+        );
+    }
+
+    println!();
+    println!("per-kernel mean |RPE|            OSACA   LLVM-MCA");
+    for (name, o, m) in bench::fig3::by_kernel(&records) {
+        println!("{name:<28} {:>8.0}% {:>9.0}%", o * 100.0, m * 100.0);
+    }
+
+    json.insert("fig3".into(), serde_json::to_value(&records).unwrap());
+}
+
+fn run_ecm() {
+    println!("ECM model (extension) — STREAM triad, cycles per cache line of work");
+    println!("{:<8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6}", "chip", "T_core", "T_L1L2", "T_L2L3", "T_L3Mem", "T_mem", "n_sat");
+    for m in uarch::all_machines() {
+        let compiler = kernels::Compiler::for_arch(m.arch)[0];
+        let v = kernels::Variant {
+            kernel: kernels::StreamKernel::StreamTriad,
+            compiler,
+            opt: kernels::OptLevel::O3,
+            arch: m.arch,
+        };
+        let wa = if m.arch == uarch::Arch::NeoverseV2 { 1.0 } else { 2.0 };
+        let e = node::ecm_for_kernel(&m, &v, wa);
+        println!(
+            "{:<8} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>6}",
+            m.arch.chip(),
+            e.t_core,
+            e.t_l1_l2,
+            e.t_l2_l3,
+            e.t_l3_mem,
+            e.t_mem,
+            e.saturation_cores()
+        );
+    }
+}

@@ -1,0 +1,335 @@
+//! Instruction micro-benchmarks (Table III) in the style of ibench /
+//! OoO-bench: throughput loops of independent instructions and latency
+//! loops of serial chains, executed on the cycle-level core simulator.
+
+use serde::Serialize;
+use uarch::{Arch, Machine};
+
+/// The instruction classes of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    Gather,
+    VecAdd,
+    VecMul,
+    VecFma,
+    VecDiv,
+    ScalarAdd,
+    ScalarMul,
+    ScalarFma,
+    ScalarDiv,
+}
+
+impl Instr {
+    pub const ALL: [Instr; 9] = [
+        Instr::Gather,
+        Instr::VecAdd,
+        Instr::VecMul,
+        Instr::VecFma,
+        Instr::VecDiv,
+        Instr::ScalarAdd,
+        Instr::ScalarMul,
+        Instr::ScalarFma,
+        Instr::ScalarDiv,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Instr::Gather => "gather [CL/cy]",
+            Instr::VecAdd => "VEC ADD",
+            Instr::VecMul => "VEC MUL",
+            Instr::VecFma => "VEC FMA",
+            Instr::VecDiv => "VEC FP Div",
+            Instr::ScalarAdd => "Scalar ADD",
+            Instr::ScalarMul => "Scalar MUL",
+            Instr::ScalarFma => "Scalar FMA",
+            Instr::ScalarDiv => "Scalar Div",
+        }
+    }
+}
+
+/// Vector register name at the Table III width for a machine (the paper
+/// picks the best-performing width: zmm on SPR, ymm on Genoa, NEON on GCS).
+fn vec_name(m: &Machine, i: usize) -> String {
+    match m.arch {
+        Arch::GoldenCove => format!("%zmm{i}"),
+        Arch::Zen4 => format!("%ymm{i}"),
+        Arch::NeoverseV2 => format!("v{i}.2d"),
+    }
+}
+
+/// DP lanes at the benchmarked width.
+fn lanes(m: &Machine) -> f64 {
+    match m.arch {
+        Arch::GoldenCove => 8.0,
+        Arch::Zen4 => 4.0,
+        Arch::NeoverseV2 => 2.0,
+    }
+}
+
+/// Cache lines touched by one gather at the benchmarked width (worst-case
+/// stride: one line per element).
+fn gather_lines(m: &Machine) -> f64 {
+    lanes(m)
+}
+
+/// One x86/AArch64 arithmetic instruction with explicit dest/sources.
+fn arith(m: &Machine, instr: Instr, dst: &str, a: &str, b: &str) -> String {
+    let x86 = m.isa == isa::Isa::X86;
+    match instr {
+        Instr::VecAdd => {
+            if x86 {
+                format!("vaddpd {a}, {b}, {dst}")
+            } else {
+                format!("fadd {dst}, {a}, {b}")
+            }
+        }
+        Instr::VecMul => {
+            if x86 {
+                format!("vmulpd {a}, {b}, {dst}")
+            } else {
+                format!("fmul {dst}, {a}, {b}")
+            }
+        }
+        Instr::VecFma => {
+            if x86 {
+                format!("vfmadd231pd {a}, {b}, {dst}")
+            } else {
+                format!("fmla {dst}, {a}, {b}")
+            }
+        }
+        Instr::VecDiv => {
+            if x86 {
+                format!("vdivpd {a}, {b}, {dst}")
+            } else {
+                format!("fdiv {dst}, {a}, {b}")
+            }
+        }
+        Instr::ScalarAdd => {
+            if x86 {
+                format!("vaddsd {a}, {b}, {dst}")
+            } else {
+                format!("fadd {dst}, {a}, {b}")
+            }
+        }
+        Instr::ScalarMul => {
+            if x86 {
+                format!("vmulsd {a}, {b}, {dst}")
+            } else {
+                format!("fmul {dst}, {a}, {b}")
+            }
+        }
+        Instr::ScalarFma => {
+            if x86 {
+                format!("vfmadd231sd {a}, {b}, {dst}")
+            } else {
+                format!("fmadd {dst}, {a}, {b}, {dst}")
+            }
+        }
+        Instr::ScalarDiv => {
+            if x86 {
+                format!("vdivsd {a}, {b}, {dst}")
+            } else {
+                format!("fdiv {dst}, {a}, {b}")
+            }
+        }
+        Instr::Gather => unreachable!("gather handled separately"),
+    }
+}
+
+fn reg(m: &Machine, instr: Instr, i: usize) -> String {
+    let scalar = matches!(
+        instr,
+        Instr::ScalarAdd | Instr::ScalarMul | Instr::ScalarFma | Instr::ScalarDiv
+    );
+    match (m.isa, scalar) {
+        (isa::Isa::X86, true) => format!("%xmm{i}"),
+        (isa::Isa::X86, false) => vec_name(m, i),
+        (isa::Isa::AArch64, true) => format!("d{i}"),
+        (isa::Isa::AArch64, false) => vec_name(m, i),
+    }
+}
+
+fn loop_tail(m: &Machine) -> &'static str {
+    match m.isa {
+        isa::Isa::X86 => "    subq $1, %rax\n    jne .L0\n",
+        isa::Isa::AArch64 => "    subs x5, x5, #1\n    b.ne .L0\n",
+    }
+}
+
+fn gather_inst(m: &Machine, dst: usize) -> String {
+    match m.arch {
+        Arch::GoldenCove => {
+            format!("    vgatherdpd (%rsi,%ymm12,8), %zmm{dst}{{%k1}}\n")
+        }
+        Arch::Zen4 => format!("    vgatherdpd (%rsi,%xmm12,8), %ymm{dst}{{%k1}}\n"),
+        Arch::NeoverseV2 => format!("    ld1d {{z{dst}.d}}, p0/z, [x1, z12.d, lsl #3]\n"),
+    }
+}
+
+/// Throughput microbenchmark: `streams` independent instructions per loop
+/// iteration. Returns instructions per cycle.
+pub fn instruction_throughput(m: &Machine, instr: Instr) -> f64 {
+    let streams = 10usize;
+    let mut asm = String::from(".L0:\n");
+    if instr == Instr::Gather {
+        for i in 0..4 {
+            asm.push_str(&gather_inst(m, i));
+        }
+        asm.push_str(loop_tail(m));
+        let k = isa::parse_kernel(&asm, m.isa).expect("gather bench parses");
+        let cy = exec::cycles_per_iteration(m, &k);
+        return 4.0 / cy;
+    }
+    for i in 0..streams {
+        let dst = reg(m, instr, i);
+        let a = reg(m, instr, 14);
+        let b = reg(m, instr, 15);
+        asm.push_str(&format!("    {}\n", arith(m, instr, &dst, &a, &b)));
+    }
+    asm.push_str(loop_tail(m));
+    let k = isa::parse_kernel(&asm, m.isa).expect("tp bench parses");
+    let cy = exec::cycles_per_iteration(m, &k);
+    streams as f64 / cy
+}
+
+/// Latency microbenchmark: a serial chain through the destination. Returns
+/// cycles per instruction (the dependency-limited latency).
+pub fn instruction_latency(m: &Machine, instr: Instr) -> f64 {
+    if instr == Instr::Gather {
+        // The gather's load-to-use latency is not observable through a
+        // register chain in this harness; report the model value, as the
+        // paper's tables do for documented latencies.
+        let k = isa::parse_kernel(&gather_inst(m, 0), m.isa).expect("gather parses");
+        return m.describe(&k.instructions[0]).latency as f64;
+    }
+    let chain_len = 4usize;
+    let mut asm = String::from(".L0:\n");
+    for k in 0..chain_len {
+        // Chain through a *source* operand (alternating two registers), not
+        // the accumulator: accumulator chains measure special forwarding
+        // paths (e.g. Neoverse V2's fast FMA accumulation), while the
+        // paper's Table III reports the full input-to-output latency.
+        let dst = reg(m, instr, k % 2);
+        let a = reg(m, instr, (k + 1) % 2);
+        let b = reg(m, instr, 15);
+        asm.push_str(&format!("    {}\n", arith(m, instr, &dst, &a, &b)));
+    }
+    asm.push_str(loop_tail(m));
+    let k = isa::parse_kernel(&asm, m.isa).expect("lat bench parses");
+    let cy = exec::cycles_per_iteration(m, &k);
+    cy / chain_len as f64
+}
+
+/// One Table III row for one machine.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3Cell {
+    pub instr: &'static str,
+    pub chip: &'static str,
+    /// DP elements per cycle (cache lines per cycle for the gather row).
+    pub throughput: f64,
+    pub latency_cy: f64,
+}
+
+/// Regenerate the full Table III.
+pub fn table3() -> Vec<Table3Cell> {
+    let mut out = Vec::new();
+    for m in uarch::all_machines() {
+        for instr in Instr::ALL {
+            let tp_inst = instruction_throughput(&m, instr);
+            let throughput = match instr {
+                Instr::Gather => tp_inst * gather_lines(&m),
+                Instr::VecAdd | Instr::VecMul | Instr::VecFma | Instr::VecDiv => {
+                    tp_inst * lanes(&m)
+                }
+                _ => tp_inst,
+            };
+            out.push(Table3Cell {
+                instr: instr.name(),
+                chip: m.arch.chip(),
+                throughput,
+                latency_cy: instruction_latency(&m, instr),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch::Machine;
+
+    fn tp(m: &Machine, i: Instr) -> f64 {
+        instruction_throughput(m, i)
+    }
+    fn lat(m: &Machine, i: Instr) -> f64 {
+        instruction_latency(m, i)
+    }
+
+    #[test]
+    fn glc_vec_fma_table3() {
+        let m = Machine::golden_cove();
+        // 2 FMA/cy at 8 lanes = 16 DP/cy; latency 4.
+        let t = tp(&m, Instr::VecFma) * 8.0;
+        assert!((t - 16.0).abs() < 1.5, "tp = {t}");
+        let l = lat(&m, Instr::VecFma);
+        assert!((l - 4.0).abs() < 0.3, "lat = {l}");
+    }
+
+    #[test]
+    fn v2_scalar_add_table3() {
+        let m = Machine::neoverse_v2();
+        // 4 scalar FP adds/cy, latency 2.
+        let t = tp(&m, Instr::ScalarAdd);
+        assert!((t - 4.0).abs() < 0.5, "tp = {t}");
+        let l = lat(&m, Instr::ScalarAdd);
+        assert!((l - 2.0).abs() < 0.3, "lat = {l}");
+    }
+
+    #[test]
+    fn zen4_vec_add_table3() {
+        let m = Machine::zen4();
+        // 2 ymm adds/cy = 8 DP/cy; latency 3.
+        let t = tp(&m, Instr::VecAdd) * 4.0;
+        assert!((t - 8.0).abs() < 1.0, "tp = {t}");
+        let l = lat(&m, Instr::VecAdd);
+        assert!((l - 3.0).abs() < 0.3, "lat = {l}");
+    }
+
+    #[test]
+    fn divide_throughputs_are_fractional() {
+        // Table III: 0.4 / 0.5 / 0.8 DP elements per cycle.
+        let gcs = tp(&Machine::neoverse_v2(), Instr::VecDiv) * 2.0;
+        let spr = tp(&Machine::golden_cove(), Instr::VecDiv) * 8.0;
+        let genoa = tp(&Machine::zen4(), Instr::VecDiv) * 4.0;
+        assert!((gcs - 0.4).abs() < 0.1, "gcs={gcs}");
+        assert!((spr - 0.5).abs() < 0.1, "spr={spr}");
+        // Zen 4 measures slightly better than the model (the paper's π
+        // observation): ≈ 1.0 with the silicon quirk enabled.
+        assert!(genoa >= 0.7 && genoa <= 1.1, "genoa={genoa}");
+    }
+
+    #[test]
+    fn gathers_parse_and_run() {
+        for m in uarch::all_machines() {
+            let t = tp(&m, Instr::Gather);
+            assert!(t > 0.0 && t < 1.0, "{}: {t}", m.arch.label());
+        }
+    }
+
+    #[test]
+    fn latency_superiority_of_v2() {
+        // Paper: V2 shows lower-or-equal latency for every instruction.
+        let v2 = Machine::neoverse_v2();
+        let glc = Machine::golden_cove();
+        for i in [Instr::VecAdd, Instr::VecMul, Instr::VecFma, Instr::ScalarFma] {
+            assert!(
+                lat(&v2, i) <= lat(&glc, i) + 0.2,
+                "{}: v2={} glc={}",
+                i.name(),
+                lat(&v2, i),
+                lat(&glc, i)
+            );
+        }
+    }
+}

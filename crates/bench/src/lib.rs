@@ -1,0 +1,11 @@
+//! Reproduction harness: one module per paper table/figure, each producing
+//! the same rows/series the paper reports. The `repro` binary pretty-prints
+//! them; the Criterion benches under `benches/` time the underlying
+//! machinery and emit the same data.
+
+pub mod fig3;
+pub mod ibench;
+pub mod tables;
+
+pub use fig3::{rpe_corpus, RpeRecord};
+pub use ibench::{instruction_latency, instruction_throughput, table3};

@@ -1,0 +1,312 @@
+//! `incore-cli` — command-line front end in the spirit of OSACA:
+//! analyze an assembly kernel on any of the three machine models, compare
+//! against the LLVM-MCA-style baseline and the cycle-level simulator, and
+//! inspect the machines themselves.
+//!
+//! ```text
+//! incore-cli analyze <file.s> --arch <gcs|spr|genoa> [--balanced] [--mca] [--sim] [--timeline] [--trace]
+//! incore-cli machines
+//! incore-cli ports --arch <gcs|spr|genoa>
+//! incore-cli storebench --arch <gcs|spr|genoa> [--nt]
+//! ```
+
+use std::fmt;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    Analyze {
+        path: String,
+        arch: uarch::Arch,
+        /// Optional JSON machine file overriding the built-in model.
+        machine_file: Option<String>,
+        balanced: bool,
+        mca: bool,
+        sim: bool,
+        timeline: bool,
+        trace: bool,
+    },
+    Machines,
+    /// Export a built-in machine model as a JSON machine file.
+    Export { arch: uarch::Arch },
+    Ports { arch: uarch::Arch },
+    StoreBench { arch: uarch::Arch, nt: bool },
+    Help,
+}
+
+/// Command-line parsing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// Resolve a machine name (`gcs`/`grace`, `spr`/`sapphirerapids`,
+/// `genoa`/`zen4`, plus the µarch names) to its model.
+pub fn parse_arch(name: &str) -> Result<uarch::Arch, UsageError> {
+    match name.to_ascii_lowercase().as_str() {
+        "gcs" | "grace" | "neoverse-v2" | "neoversev2" | "v2" => Ok(uarch::Arch::NeoverseV2),
+        "spr" | "sapphire-rapids" | "sapphirerapids" | "golden-cove" | "goldencove" => {
+            Ok(uarch::Arch::GoldenCove)
+        }
+        "genoa" | "zen4" | "zen-4" => Ok(uarch::Arch::Zen4),
+        other => Err(UsageError(format!(
+            "unknown machine `{other}`; use gcs, spr, or genoa"
+        ))),
+    }
+}
+
+/// Parse an argument vector (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "machines" => Ok(Command::Machines),
+        "export" => {
+            let arch = required_arch(&mut it)?;
+            Ok(Command::Export { arch })
+        }
+        "ports" => {
+            let arch = required_arch(&mut it)?;
+            Ok(Command::Ports { arch })
+        }
+        "storebench" => {
+            let mut arch = None;
+            let mut nt = false;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--arch" => arch = Some(next_arch(&mut it)?),
+                    "--nt" => nt = true,
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+            }
+            let arch = arch.ok_or_else(|| UsageError("--arch is required".into()))?;
+            Ok(Command::StoreBench { arch, nt })
+        }
+        "analyze" => {
+            let mut path = None;
+            let mut arch = None;
+            let mut machine_file = None;
+            let (mut balanced, mut mca, mut sim, mut timeline, mut trace) =
+                (false, false, false, false, false);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--arch" => arch = Some(next_arch(&mut it)?),
+                    "--machine-file" => {
+                        machine_file = Some(
+                            it.next()
+                                .ok_or_else(|| UsageError("--machine-file needs a path".into()))?
+                                .to_string(),
+                        )
+                    }
+                    "--balanced" => balanced = true,
+                    "--mca" => mca = true,
+                    "--sim" => sim = true,
+                    "--timeline" => timeline = true,
+                    "--trace" => trace = true,
+                    flag if flag.starts_with("--") => {
+                        return Err(UsageError(format!("unknown flag `{flag}`")))
+                    }
+                    p if path.is_none() => path = Some(p.to_string()),
+                    extra => return Err(UsageError(format!("unexpected argument `{extra}`"))),
+                }
+            }
+            let path = path.ok_or_else(|| UsageError("missing input file".into()))?;
+            let arch = arch.ok_or_else(|| UsageError("--arch is required".into()))?;
+            Ok(Command::Analyze { path, arch, machine_file, balanced, mca, sim, timeline, trace })
+        }
+        other => Err(UsageError(format!("unknown command `{other}`; try `help`"))),
+    }
+}
+
+fn next_arch<'a>(it: &mut impl Iterator<Item = &'a String>) -> Result<uarch::Arch, UsageError> {
+    let v = it.next().ok_or_else(|| UsageError("--arch needs a value".into()))?;
+    parse_arch(v)
+}
+
+fn required_arch<'a>(it: &mut impl Iterator<Item = &'a String>) -> Result<uarch::Arch, UsageError> {
+    let mut arch = None;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--arch" => arch = Some(next_arch(it)?),
+            other => return Err(UsageError(format!("unknown flag `{other}`"))),
+        }
+    }
+    arch.ok_or_else(|| UsageError("--arch is required".into()))
+}
+
+/// The help text.
+pub const USAGE: &str = "\
+incore-cli — in-core performance modeling of Grace, Sapphire Rapids, and Genoa
+
+USAGE:
+  incore-cli analyze <file.s> --arch <gcs|spr|genoa> [flags]
+      --balanced   use OSACA's equal-split port heuristic instead of the optimum
+      --mca        also run the LLVM-MCA-style baseline
+      --sim        also run the cycle-level core simulator
+      --timeline   print the MCA timeline view
+      --trace      print the simulator's pipeline trace
+      --machine-file <file.json>  load an edited machine model instead of the built-in
+  incore-cli machines                 list the three machine models (Table II)
+  incore-cli export --arch <machine>  dump a machine model as an editable JSON file
+  incore-cli ports --arch <machine>   render the port model (Fig. 1)
+  incore-cli storebench --arch <machine> [--nt]
+                                      store-only traffic-ratio sweep (Fig. 4)
+";
+
+/// Machine model for an arch tag.
+pub fn machine_for(arch: uarch::Arch) -> uarch::Machine {
+    match arch {
+        uarch::Arch::NeoverseV2 => uarch::Machine::neoverse_v2(),
+        uarch::Arch::GoldenCove => uarch::Machine::golden_cove(),
+        uarch::Arch::Zen4 => uarch::Machine::zen4(),
+    }
+}
+
+/// Execute a parsed command against assembly text already read from disk
+/// (separated from `main` for testability). Returns the rendered output.
+pub fn run_analyze(
+    machine: &uarch::Machine,
+    asm: &str,
+    balanced: bool,
+    with_mca: bool,
+    with_sim: bool,
+    timeline: bool,
+    trace: bool,
+) -> Result<String, isa::ParseError> {
+    use std::fmt::Write;
+    let kernel = isa::parse_kernel(asm, machine.isa)?;
+    let opts = incore::Options {
+        assignment: if balanced {
+            incore::PortAssignment::Balanced
+        } else {
+            incore::PortAssignment::Optimal
+        },
+        frontend: true,
+    };
+    let analysis = incore::analyze_with(machine, &kernel, opts);
+    let mut out = incore::Report::new(machine, &analysis).render();
+    if with_sim {
+        let sim = exec::cycles_per_iteration(machine, &kernel);
+        let _ = writeln!(
+            out,
+            "simulator:                        {sim:>7.2} cy/iter (RPE {:+.1}%)",
+            (sim - analysis.prediction) / sim.max(1e-12) * 100.0
+        );
+    }
+    if with_mca {
+        let m = mca::predict(machine, &kernel).cycles_per_iter;
+        let _ = writeln!(out, "LLVM-MCA-style baseline:          {m:>7.2} cy/iter");
+    }
+    if timeline {
+        let _ = writeln!(out, "\n{}", mca::timeline::render(machine, &kernel, 2));
+    }
+    if trace {
+        let _ = writeln!(out, "\n{}", exec::trace::render(machine, &kernel, 2));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_analyze_full() {
+        let c = parse_args(&sv(&["analyze", "k.s", "--arch", "spr", "--mca", "--sim"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Analyze {
+                path: "k.s".into(),
+                arch: uarch::Arch::GoldenCove,
+                machine_file: None,
+                balanced: false,
+                mca: true,
+                sim: true,
+                timeline: false,
+                trace: false,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_arch_aliases() {
+        assert_eq!(parse_arch("grace").unwrap(), uarch::Arch::NeoverseV2);
+        assert_eq!(parse_arch("GCS").unwrap(), uarch::Arch::NeoverseV2);
+        assert_eq!(parse_arch("zen4").unwrap(), uarch::Arch::Zen4);
+        assert_eq!(parse_arch("golden-cove").unwrap(), uarch::Arch::GoldenCove);
+        assert!(parse_arch("m1").is_err());
+    }
+
+    #[test]
+    fn missing_arch_is_an_error() {
+        assert!(parse_args(&sv(&["analyze", "k.s"])).is_err());
+        assert!(parse_args(&sv(&["ports"])).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        let e = parse_args(&sv(&["analyze", "k.s", "--arch", "spr", "--wat"])).unwrap_err();
+        assert!(e.0.contains("--wat"));
+    }
+
+    #[test]
+    fn other_commands() {
+        assert_eq!(parse_args(&sv(&["machines"])).unwrap(), Command::Machines);
+        assert_eq!(parse_args(&sv(&[])).unwrap(), Command::Help);
+        assert_eq!(
+            parse_args(&sv(&["storebench", "--arch", "genoa", "--nt"])).unwrap(),
+            Command::StoreBench { arch: uarch::Arch::Zen4, nt: true }
+        );
+        assert_eq!(
+            parse_args(&sv(&["ports", "--arch", "gcs"])).unwrap(),
+            Command::Ports { arch: uarch::Arch::NeoverseV2 }
+        );
+    }
+
+    #[test]
+    fn run_analyze_produces_report_with_extras() {
+        let m = machine_for(uarch::Arch::GoldenCove);
+        let asm = ".L1:\n vaddpd %zmm0, %zmm1, %zmm2\n subq $1, %rax\n jne .L1\n";
+        let out = run_analyze(&m, asm, false, true, true, true, true).unwrap();
+        assert!(out.contains("Block prediction"));
+        assert!(out.contains("simulator:"));
+        assert!(out.contains("LLVM-MCA-style baseline:"));
+        assert!(out.contains("MCA timeline"));
+        assert!(out.contains("pipeline trace"));
+    }
+
+    #[test]
+    fn parse_export_and_machine_file() {
+        assert_eq!(
+            parse_args(&sv(&["export", "--arch", "spr"])).unwrap(),
+            Command::Export { arch: uarch::Arch::GoldenCove }
+        );
+        let c = parse_args(&sv(&["analyze", "k.s", "--arch", "spr", "--machine-file", "m.json"]))
+            .unwrap();
+        match c {
+            Command::Analyze { machine_file, .. } => {
+                assert_eq!(machine_file.as_deref(), Some("m.json"))
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_analyze_rejects_bad_asm() {
+        let m = machine_for(uarch::Arch::GoldenCove);
+        assert!(run_analyze(&m, "movq %bogus, %rax", false, false, false, false, false).is_err());
+    }
+}

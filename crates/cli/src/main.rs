@@ -1,0 +1,90 @@
+//! `incore-cli` entry point. All logic lives in the library for
+//! testability; this file only does I/O.
+
+use cli::{machine_for, parse_args, run_analyze, Command, USAGE};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    match cmd {
+        Command::Help => print!("{USAGE}"),
+        Command::Machines => {
+            for m in uarch::all_machines() {
+                let r = m.table2_row();
+                println!(
+                    "{:<6} {:<12} {:<30} {:>2} ports, SIMD {:>2} B, {} int / {} FP units, {}x{}B loads, {}x{}B stores",
+                    m.arch.chip(),
+                    m.arch.label(),
+                    m.part,
+                    r.num_ports,
+                    r.simd_width_bytes,
+                    r.int_units,
+                    r.fp_vec_units,
+                    r.loads_per_cycle,
+                    r.load_width_bits / 8,
+                    r.stores_per_cycle,
+                    r.store_width_bits / 8,
+                );
+            }
+        }
+        Command::Export { arch } => {
+            print!("{}", machine_for(arch).to_json());
+        }
+        Command::Ports { arch } => {
+            let m = machine_for(arch);
+            print!("{}", m.port_model.render(&format!("{} port model ({})", m.arch.label(), m.part)));
+        }
+        Command::StoreBench { arch, nt } => {
+            let m = machine_for(arch);
+            let kind = if nt { memhier::StoreKind::NonTemporal } else { memhier::StoreKind::Standard };
+            println!("cores  traffic/stored");
+            for n in 1..=m.cores {
+                if n == 1 || n % 4 == 0 || n == m.cores {
+                    let p = memhier::store_traffic_ratio(&m, n, kind);
+                    println!("{n:>5}  {:.3}", p.ratio);
+                }
+            }
+        }
+        Command::Analyze { path, arch, machine_file, balanced, mca, sim, timeline, trace } => {
+            let asm = match std::fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot read `{path}`: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let m = match machine_file {
+                Some(f) => {
+                    let json = match std::fs::read_to_string(&f) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            eprintln!("error: cannot read `{f}`: {e}");
+                            std::process::exit(1);
+                        }
+                    };
+                    match uarch::Machine::from_json(&json) {
+                        Ok(m) => m,
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                None => machine_for(arch),
+            };
+            match run_analyze(&m, &asm, balanced, mca, sim, timeline, trace) {
+                Ok(out) => print!("{out}"),
+                Err(e) => {
+                    eprintln!("parse error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}

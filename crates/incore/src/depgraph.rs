@@ -1,0 +1,194 @@
+//! Register dependency graph over one loop iteration, with wrap-around
+//! (inter-iteration) edges for loop-carried dependency analysis.
+//!
+//! Nodes are the kernel's instructions; a directed edge `i → j` with weight
+//! `w` means instruction `j` reads a register that `i` writes, and the value
+//! becomes available `w` cycles after `i` starts. Wrap edges connect the
+//! last writer of a register in iteration *k* to readers in iteration
+//! *k + 1* that see no earlier intra-iteration writer.
+
+use isa::dataflow::dataflow;
+use isa::reg::{RegClass, Register};
+use isa::Kernel;
+use uarch::{InstrDesc, Machine};
+
+/// One dependency edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    pub from: usize,
+    pub to: usize,
+    /// Producer latency in cycles.
+    pub weight: f64,
+    /// Whether this edge crosses the iteration boundary.
+    pub wrap: bool,
+    /// Canonical identity of the register the dependency flows through.
+    pub via: (RegClass, u8),
+}
+
+/// Dependency graph of one loop body.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    pub n: usize,
+    pub edges: Vec<Edge>,
+}
+
+impl DepGraph {
+    /// Build the graph for a kernel on a machine (latencies come from the
+    /// machine's instruction descriptions).
+    pub fn build(machine: &Machine, kernel: &Kernel, descs: &[InstrDesc]) -> DepGraph {
+        let n = kernel.instructions.len();
+        let flows: Vec<_> = kernel.instructions.iter().map(dataflow).collect();
+        let mut edges = Vec::new();
+
+        // Latency of the value `inst[i]` produces in register `r`.
+        let write_latency = |i: usize, r: Register| -> f64 {
+            let inst = &kernel.instructions[i];
+            // Address-writeback updates resolve in 1 cycle regardless of
+            // the access latency.
+            if let Some(base) = inst.writeback_base() {
+                if base.aliases(&r) {
+                    return 1.0;
+                }
+            }
+            // Eliminated instructions forward with zero latency.
+            if descs[i].uop_count() == 0 && descs[i].latency == 0 {
+                return 0.0;
+            }
+            // Flag results of simple integer ops are ready after 1 cycle.
+            if r.class == RegClass::Flags {
+                return (descs[i].latency.min(1)) as f64;
+            }
+            descs[i].latency as f64
+        };
+
+        // For each register read by instruction j, find the most recent
+        // writer: first scanning backwards within the iteration, then (for
+        // the wrap edge) the last writer anywhere in the body.
+        for (j, flow_j) in flows.iter().enumerate() {
+            for &r in &flow_j.reads {
+                // Intra-iteration: nearest earlier writer.
+                let intra = (0..j)
+                    .rev()
+                    .find(|&i| flows[i].writes.iter().any(|w| w.aliases(&r)));
+                match intra {
+                    Some(i) => {
+                        edges.push(Edge {
+                            from: i,
+                            to: j,
+                            weight: write_latency(i, r),
+                            wrap: false,
+                            via: r.id(),
+                        });
+                    }
+                    None => {
+                        // Wrap: last writer in the body (index ≥ j allowed).
+                        if let Some(i) = (0..n)
+                            .rev()
+                            .find(|&i| flows[i].writes.iter().any(|w| w.aliases(&r)))
+                        {
+                            edges.push(Edge {
+                                from: i,
+                                to: j,
+                                weight: write_latency(i, r),
+                                wrap: true,
+                                via: r.id(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        let _ = machine;
+        DepGraph { n, edges }
+    }
+
+    /// Outgoing intra-iteration edges of node `i`.
+    pub fn intra_out(&self, i: usize) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(move |e| e.from == i && !e.wrap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isa::{parse_kernel, Isa};
+    use uarch::Machine;
+
+    fn graph(asm: &str, isa: Isa, m: &Machine) -> DepGraph {
+        let k = parse_kernel(asm, isa).unwrap();
+        let d = m.describe_kernel(&k);
+        DepGraph::build(m, &k, &d)
+    }
+
+    #[test]
+    fn simple_chain() {
+        let m = Machine::golden_cove();
+        let g = graph(
+            ".L1:\n vmulpd %zmm0, %zmm1, %zmm2\n vaddpd %zmm2, %zmm3, %zmm4\n subq $1, %rax\n jne .L1\n",
+            Isa::X86,
+            &m,
+        );
+        // mul(0) → add(1) via zmm2, weight = mul latency 4.
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.from == 0 && e.to == 1 && !e.wrap && (e.weight - 4.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn wrap_edge_for_accumulator() {
+        let m = Machine::golden_cove();
+        let g = graph(
+            ".L1:\n vfmadd231pd %zmm1, %zmm2, %zmm3\n subq $1, %rax\n jne .L1\n",
+            Isa::X86,
+            &m,
+        );
+        // FMA reads zmm3 which it wrote last iteration → wrap self-edge.
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.from == 0 && e.to == 0 && e.wrap && (e.weight - 4.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn flags_edge_cmp_to_branch() {
+        let m = Machine::golden_cove();
+        let g = graph(
+            ".L1:\n addq $8, %rax\n cmpq %rcx, %rax\n jne .L1\n",
+            Isa::X86,
+            &m,
+        );
+        // cmp(1) → jne(2) via flags, weight 1.
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.from == 1 && e.to == 2 && !e.wrap && (e.weight - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn writeback_base_has_unit_latency() {
+        let m = Machine::neoverse_v2();
+        let g = graph(
+            ".L1:\n ldr q0, [x0], #16\n cmp x0, x4\n b.ne .L1\n",
+            Isa::AArch64,
+            &m,
+        );
+        // ldr(0) wrap-edge to itself through x0 with weight 1 (not the load
+        // latency 6).
+        let self_edge = g.edges.iter().find(|e| e.from == 0 && e.to == 0 && e.wrap).unwrap();
+        assert!((self_edge.weight - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eliminated_moves_forward_zero_latency() {
+        let m = Machine::golden_cove();
+        let g = graph(
+            ".L1:\n vmovaps %zmm1, %zmm2\n vaddpd %zmm2, %zmm3, %zmm4\n subq $1, %rax\n jne .L1\n",
+            Isa::X86,
+            &m,
+        );
+        let e = g.edges.iter().find(|e| e.from == 0 && e.to == 1).unwrap();
+        assert_eq!(e.weight, 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! OSACA-style text report for an analysis.
+
+use crate::Analysis;
+use uarch::Machine;
+
+/// Renderable report combining a machine and an analysis result.
+pub struct Report<'a> {
+    pub machine: &'a Machine,
+    pub analysis: &'a Analysis,
+}
+
+impl<'a> Report<'a> {
+    pub fn new(machine: &'a Machine, analysis: &'a Analysis) -> Self {
+        Report { machine, analysis }
+    }
+
+    /// Render the port-pressure table and summary, in the spirit of
+    /// OSACA's output.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let pm = &self.machine.port_model;
+        let np = pm.num_ports();
+
+        let _ = writeln!(out, "In-core analysis — {} ({})", self.machine.arch.label(), self.machine.part);
+        let _ = writeln!(out, "{}", "-".repeat(70));
+
+        // Header row with port names.
+        let _ = write!(out, "{:>3} {:>5} ", "CP", "lat");
+        for p in &pm.ports {
+            let _ = write!(out, "{:>6}", p.name);
+        }
+        let _ = writeln!(out, "  instruction");
+        for (i, row) in self.analysis.per_inst.iter().enumerate() {
+            let cp = if self.analysis.cp_nodes.contains(&i) { "X" } else { "" };
+            let _ = write!(out, "{cp:>3} {:>5} ", row.latency);
+            for p in 0..np {
+                if row.loads[p] > 1e-9 {
+                    let _ = write!(out, "{:>6.2}", row.loads[p]);
+                } else {
+                    let _ = write!(out, "{:>6}", "");
+                }
+            }
+            let mark = if row.eliminated {
+                " *"
+            } else if row.fallback {
+                " ?"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  {}{}", row.text, mark);
+        }
+        let _ = write!(out, "{:>3} {:>5} ", "", "sum");
+        for p in 0..np {
+            let _ = write!(out, "{:>6.2}", self.analysis.port_loads[p]);
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(out, "{}", "-".repeat(70));
+        let a = self.analysis;
+        let _ = writeln!(out, "Throughput bound (port pressure): {:>7.2} cy/iter", a.tp_bound);
+        let _ = writeln!(out, "Front-end bound:                  {:>7.2} cy/iter", a.frontend_bound);
+        let _ = writeln!(out, "Loop-carried dependency:          {:>7.2} cy/iter", a.lcd);
+        let _ = writeln!(out, "Critical path (one iteration):    {:>7.2} cy", a.cp_latency);
+        let _ = writeln!(out, "Block prediction:                 {:>7.2} cy/iter", a.prediction);
+        let bottleneck = match a.bottleneck() {
+            crate::Bottleneck::PortPressure => {
+                let ports: Vec<&str> = a
+                    .busiest_ports()
+                    .into_iter()
+                    .map(|p| pm.ports[p].name)
+                    .collect();
+                format!("port pressure on [{}]", ports.join(", "))
+            }
+            crate::Bottleneck::Dependency => "loop-carried dependency".to_string(),
+            crate::Bottleneck::FrontEnd => "front-end (dispatch width)".to_string(),
+        };
+        let _ = writeln!(out, "Bottleneck:                       {bottleneck}");
+        if a.fallbacks > 0 {
+            let _ = writeln!(out, "warning: {} instruction(s) resolved via heuristic defaults (marked '?')", a.fallbacks);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analyze;
+    use isa::{parse_kernel, Isa};
+    use uarch::Machine;
+
+    #[test]
+    fn report_renders_all_sections() {
+        let asm = r#"
+.L2:
+    vmovupd (%rsi,%rax), %zmm0
+    vaddpd (%rdx,%rax), %zmm0, %zmm1
+    vmovupd %zmm1, (%rdi,%rax)
+    addq $64, %rax
+    cmpq %rcx, %rax
+    jne .L2
+"#;
+        let k = parse_kernel(asm, Isa::X86).unwrap();
+        let m = Machine::golden_cove();
+        let a = analyze(&m, &k);
+        let text = super::Report::new(&m, &a).render();
+        assert!(text.contains("Golden Cove"));
+        assert!(text.contains("Block prediction"));
+        assert!(text.contains("vaddpd"));
+        assert!(text.contains("Loop-carried dependency"));
+    }
+
+    #[test]
+    fn eliminated_marker_shown() {
+        let asm = ".L1:\n xorl %eax, %eax\n addq $1, %rbx\n jne .L1\n";
+        let k = parse_kernel(asm, Isa::X86).unwrap();
+        let m = Machine::golden_cove();
+        let a = analyze(&m, &k);
+        let text = super::Report::new(&m, &a).render();
+        assert!(text.contains("xorl %eax, %eax *"));
+    }
+}

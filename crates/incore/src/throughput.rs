@@ -1,0 +1,343 @@
+//! Port-pressure (throughput) analysis.
+//!
+//! Each µ-op's occupancy must be placed on one of its eligible ports; the
+//! throughput bound of the block is the *minimal achievable maximum port
+//! load*. Two strategies are provided:
+//!
+//! * [`PortAssignment::Balanced`] — OSACA's heuristic: every µ-op splits its
+//!   occupancy equally across all eligible ports. Fast, and exact whenever
+//!   eligible sets are nested or disjoint, but it can overestimate pressure
+//!   when sets partially overlap.
+//! * [`PortAssignment::Optimal`] — the exact fractional optimum. For
+//!   splittable work on restricted identical ports, the optimum equals
+//!   `max over port subsets S of demand(S) / |S|`, where `demand(S)` sums
+//!   the occupancy of µ-ops whose eligible ports all lie in `S` (a Hall-type
+//!   condition); only unions of occurring eligible sets need to be checked.
+//!   A max-flow pass then recovers a concrete per-port assignment at that
+//!   optimum for reporting.
+
+use crate::InstPressure;
+use isa::Kernel;
+use uarch::{InstrDesc, Machine, PortSet};
+
+/// Strategy for distributing µ-op occupancy over eligible ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PortAssignment {
+    /// Equal split across eligible ports (OSACA's heuristic).
+    Balanced,
+    /// Exact fractional optimum (subset bound + max-flow assignment).
+    #[default]
+    Optimal,
+}
+
+/// Compute per-port loads and per-instruction pressure rows.
+pub fn port_pressure(
+    machine: &Machine,
+    kernel: &Kernel,
+    descs: &[InstrDesc],
+    strategy: PortAssignment,
+) -> (Vec<f64>, Vec<InstPressure>) {
+    let np = machine.port_model.num_ports();
+    // Flatten µ-ops, remembering their owning instruction.
+    let mut uops: Vec<(usize, PortSet, f64)> = Vec::new();
+    for (i, d) in descs.iter().enumerate() {
+        for u in &d.uops {
+            if !u.ports.is_empty() && u.occupancy > 0.0 {
+                uops.push((i, u.ports, u.occupancy));
+            }
+        }
+    }
+
+    let assignment: Vec<Vec<(usize, f64)>> = match strategy {
+        PortAssignment::Balanced => uops
+            .iter()
+            .map(|(_, ports, occ)| {
+                let k = ports.count() as f64;
+                ports.iter().map(|p| (p, occ / k)).collect()
+            })
+            .collect(),
+        PortAssignment::Optimal => optimal_assignment(&uops, np),
+    };
+
+    let mut port_loads = vec![0.0f64; np];
+    let mut rows: Vec<InstPressure> = kernel
+        .instructions
+        .iter()
+        .zip(descs)
+        .map(|(inst, d)| InstPressure {
+            text: inst.raw.clone(),
+            loads: vec![0.0; np],
+            latency: d.latency,
+            eliminated: d.uop_count() == 0,
+            fallback: d.from_fallback,
+        })
+        .collect();
+
+    for ((owner, _, _), parts) in uops.iter().zip(&assignment) {
+        for &(p, amt) in parts {
+            port_loads[p] += amt;
+            rows[*owner].loads[p] += amt;
+        }
+    }
+    (port_loads, rows)
+}
+
+/// Exact optimum: subset bound, then max-flow to recover an assignment.
+fn optimal_assignment(uops: &[(usize, PortSet, f64)], np: usize) -> Vec<Vec<(usize, f64)>> {
+    if uops.is_empty() {
+        return Vec::new();
+    }
+    // Distinct eligible sets.
+    let mut sets: Vec<PortSet> = Vec::new();
+    for (_, p, _) in uops {
+        if !sets.contains(p) {
+            sets.push(*p);
+        }
+    }
+    // The optimum is attained at a union of eligible sets. Enumerate unions
+    // of the distinct sets (2^k for k distinct sets; kernels use a handful).
+    let k = sets.len().min(20);
+    let mut t_opt = 0.0f64;
+    for mask in 1u32..(1 << k) {
+        let mut union = PortSet::EMPTY;
+        for (idx, s) in sets.iter().take(k).enumerate() {
+            if mask & (1 << idx) != 0 {
+                union = union.union(*s);
+            }
+        }
+        let demand: f64 = uops
+            .iter()
+            .filter(|(_, p, _)| p.intersect(union) == *p)
+            .map(|(_, _, o)| o)
+            .sum();
+        let bound = demand / union.count() as f64;
+        if bound > t_opt {
+            t_opt = bound;
+        }
+    }
+
+    // Recover a concrete assignment via max-flow at capacity T = t_opt.
+    flow_assignment(uops, np, t_opt * (1.0 + 1e-12) + 1e-12)
+}
+
+/// Max-flow (Edmonds-Karp on f64 capacities) computing a feasible
+/// distribution with per-port capacity `t`.
+fn flow_assignment(uops: &[(usize, PortSet, f64)], np: usize, t: f64) -> Vec<Vec<(usize, f64)>> {
+    let nu = uops.len();
+    // Node ids: 0 = source, 1..=nu = µ-ops, nu+1..=nu+np = ports, last = sink.
+    let n_nodes = nu + np + 2;
+    let sink = n_nodes - 1;
+    #[derive(Clone, Copy)]
+    struct E {
+        to: usize,
+        cap: f64,
+        rev: usize,
+    }
+    let mut adj: Vec<Vec<E>> = vec![Vec::new(); n_nodes];
+    let add_edge = |adj: &mut Vec<Vec<E>>, a: usize, b: usize, cap: f64| {
+        let ra = adj[b].len();
+        let rb = adj[a].len();
+        adj[a].push(E { to: b, cap, rev: ra });
+        adj[b].push(E { to: a, cap: 0.0, rev: rb });
+    };
+    for (i, (_, ports, occ)) in uops.iter().enumerate() {
+        add_edge(&mut adj, 0, 1 + i, *occ);
+        for p in ports.iter() {
+            add_edge(&mut adj, 1 + i, 1 + nu + p, f64::INFINITY);
+        }
+    }
+    for p in 0..np {
+        add_edge(&mut adj, 1 + nu + p, sink, t);
+    }
+
+    // Edmonds-Karp.
+    const EPS: f64 = 1e-12;
+    loop {
+        // BFS for an augmenting path.
+        let mut prev: Vec<Option<(usize, usize)>> = vec![None; n_nodes];
+        let mut q = std::collections::VecDeque::new();
+        q.push_back(0usize);
+        prev[0] = Some((0, usize::MAX));
+        while let Some(v) = q.pop_front() {
+            for (ei, e) in adj[v].iter().enumerate() {
+                if e.cap > EPS && prev[e.to].is_none() {
+                    prev[e.to] = Some((v, ei));
+                    q.push_back(e.to);
+                }
+            }
+        }
+        if prev[sink].is_none() {
+            break;
+        }
+        // Find bottleneck.
+        let mut bottleneck = f64::INFINITY;
+        let mut v = sink;
+        while v != 0 {
+            let (u, ei) = prev[v].unwrap();
+            bottleneck = bottleneck.min(adj[u][ei].cap);
+            v = u;
+        }
+        // Apply.
+        let mut v = sink;
+        while v != 0 {
+            let (u, ei) = prev[v].unwrap();
+            adj[u][ei].cap -= bottleneck;
+            let rev = adj[u][ei].rev;
+            adj[v][rev].cap += bottleneck;
+            v = u;
+        }
+    }
+
+    // Read flows on µ-op → port edges from the reverse capacities.
+    let mut out = vec![Vec::new(); nu];
+    for (i, (_, ports, _)) in uops.iter().enumerate() {
+        let node = 1 + i;
+        for e in &adj[node] {
+            if e.to > nu && e.to < sink {
+                let p = e.to - 1 - nu;
+                // Flow on forward edge = reverse edge capacity at the port.
+                let flow = adj[e.to][e.rev].cap;
+                if flow > EPS && ports.contains(p) {
+                    out[i].push((p, flow));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch::PortSet;
+
+    fn tp(uops: &[(usize, PortSet, f64)], np: usize, strategy: PortAssignment) -> f64 {
+        let assignment = match strategy {
+            PortAssignment::Balanced => uops
+                .iter()
+                .map(|(_, ports, occ)| {
+                    let k = ports.count() as f64;
+                    ports.iter().map(|p| (p, occ / k)).collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>(),
+            PortAssignment::Optimal => optimal_assignment(uops, np),
+        };
+        let mut loads = vec![0.0; np];
+        for parts in &assignment {
+            for &(p, amt) in parts {
+                loads[p] += amt;
+            }
+        }
+        loads.into_iter().fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn disjoint_sets_trivially_optimal() {
+        let uops = vec![
+            (0, PortSet::of(&[0, 1]), 2.0),
+            (1, PortSet::of(&[2, 3]), 2.0),
+        ];
+        assert!((tp(&uops, 4, PortAssignment::Optimal) - 1.0).abs() < 1e-9);
+        assert!((tp(&uops, 4, PortAssignment::Balanced) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_beats_balanced_on_overlap() {
+        // µ-op A can go anywhere {0,1,2}; µ-op B only to {0}. Balanced puts
+        // 1/3 of A (= 1.0 cy) on port 0 on top of B → max load 2.0. The
+        // optimum spreads the 4.0 total cycles evenly: 4/3 per port.
+        let uops = vec![
+            (0, PortSet::of(&[0, 1, 2]), 3.0),
+            (1, PortSet::of(&[0]), 1.0),
+        ];
+        let bal = tp(&uops, 3, PortAssignment::Balanced);
+        let opt = tp(&uops, 3, PortAssignment::Optimal);
+        assert!((bal - 2.0).abs() < 1e-9, "bal={bal}");
+        assert!((opt - 4.0 / 3.0).abs() < 1e-6, "opt={opt}");
+    }
+
+    #[test]
+    fn single_port_saturation() {
+        let uops = vec![(0, PortSet::of(&[2]), 5.0)];
+        assert!((tp(&uops, 4, PortAssignment::Optimal) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hall_bound_with_nested_sets() {
+        // Three µ-ops: {0}, {0,1}, {0,1}. demand({0,1}) = 3 → bound 1.5.
+        let uops = vec![
+            (0, PortSet::of(&[0]), 1.0),
+            (1, PortSet::of(&[0, 1]), 1.0),
+            (2, PortSet::of(&[0, 1]), 1.0),
+        ];
+        let opt = tp(&uops, 2, PortAssignment::Optimal);
+        assert!((opt - 1.5).abs() < 1e-6, "{opt}");
+    }
+
+    #[test]
+    fn empty_uops() {
+        assert_eq!(optimal_assignment(&[], 4).len(), 0);
+    }
+
+    #[test]
+    fn flow_assignment_conserves_occupancy() {
+        let uops = vec![
+            (0, PortSet::of(&[0, 1, 2]), 3.0),
+            (1, PortSet::of(&[0]), 1.0),
+            (2, PortSet::of(&[1, 2]), 2.0),
+        ];
+        let a = optimal_assignment(&uops, 3);
+        for ((_, _, occ), parts) in uops.iter().zip(&a) {
+            let sum: f64 = parts.iter().map(|(_, f)| f).sum();
+            assert!((sum - occ).abs() < 1e-6, "sum={sum} occ={occ}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use uarch::PortSet;
+
+    proptest! {
+        /// The optimal max-load never exceeds the balanced heuristic's, and
+        /// both respect the trivial lower bound total/num_ports.
+        #[test]
+        fn optimal_le_balanced(raw in proptest::collection::vec((1u32..15, 1u32..40), 1..12)) {
+            let np = 4usize;
+            let uops: Vec<(usize, PortSet, f64)> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, (mask, occ))| {
+                    let m = (mask % 15) + 1; // non-empty subset of 4 ports
+                    (i, PortSet(m), *occ as f64 / 4.0)
+                })
+                .collect();
+            let total: f64 = uops.iter().map(|(_, _, o)| o).sum();
+
+            let bal = {
+                let mut loads = vec![0.0; np];
+                for (_, ports, occ) in &uops {
+                    let k = ports.count() as f64;
+                    for p in ports.iter() { loads[p] += occ / k; }
+                }
+                loads.into_iter().fold(0.0f64, f64::max)
+            };
+            let opt = {
+                let a = optimal_assignment(&uops, np);
+                let mut loads = vec![0.0; np];
+                for parts in &a {
+                    for &(p, amt) in parts { loads[p] += amt; }
+                }
+                loads.into_iter().fold(0.0f64, f64::max)
+            };
+            prop_assert!(opt <= bal + 1e-6, "opt={opt} bal={bal}");
+            prop_assert!(opt + 1e-6 >= total / np as f64);
+            // Flow conserves all occupancy.
+            let a = optimal_assignment(&uops, np);
+            let assigned: f64 = a.iter().flat_map(|v| v.iter().map(|(_, f)| f)).sum();
+            prop_assert!((assigned - total).abs() < 1e-5, "assigned={assigned} total={total}");
+        }
+    }
+}

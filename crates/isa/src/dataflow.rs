@@ -1,0 +1,543 @@
+//! Per-instruction dataflow extraction: which registers an instruction
+//! reads and writes. This feeds the critical-path and loop-carried
+//! dependency analyses in `incore` and the register renamer in `exec`.
+
+use crate::inst::{Instruction, Isa, PredMode};
+use crate::operand::Operand;
+use crate::reg::{RegClass, Register};
+
+/// Register and memory effects of one instruction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Dataflow {
+    pub reads: Vec<Register>,
+    pub writes: Vec<Register>,
+    pub mem_read: bool,
+    pub mem_write: bool,
+}
+
+impl Dataflow {
+    fn read(&mut self, r: Register) {
+        if !r.is_zero_reg() && !self.reads.iter().any(|x| x.aliases(&r)) {
+            self.reads.push(r);
+        }
+    }
+    fn write(&mut self, r: Register) {
+        if !r.is_zero_reg() && !self.writes.iter().any(|x| x.aliases(&r)) {
+            self.writes.push(r);
+        }
+    }
+}
+
+/// Compute the dataflow of an instruction.
+pub fn dataflow(inst: &Instruction) -> Dataflow {
+    match inst.isa {
+        Isa::X86 => dataflow_x86(inst),
+        Isa::AArch64 => dataflow_aarch64(inst),
+    }
+}
+
+fn dataflow_x86(inst: &Instruction) -> Dataflow {
+    let mut df = Dataflow { mem_read: inst.is_load(), mem_write: inst.is_store(), ..Default::default() };
+    let m = inst.mnemonic.as_str();
+    let base = strip_suffix_x86(m);
+
+    if inst.is_nop() {
+        return df;
+    }
+
+    // Address registers of every memory operand are read regardless of
+    // load/store direction.
+    for op in &inst.operands {
+        if let Operand::Mem(mem) = op {
+            for r in mem.address_regs() {
+                df.read(r);
+            }
+        }
+    }
+
+    // Mask predicate is read; with merge-masking the destination is, too.
+    if let Some((k, mode)) = inst.predicate {
+        df.read(k);
+        if mode == PredMode::Merge {
+            if let Some(Operand::Reg(d)) = inst.operands.last() {
+                df.read(*d);
+            }
+        }
+    }
+
+    if inst.is_zero_idiom() {
+        // Dependency-breaking: writes the destination, reads nothing.
+        if let Some(Operand::Reg(d)) = inst.operands.last() {
+            df.write(*d);
+        }
+        if sets_flags_x86(base) {
+            df.write(Register::flags());
+        }
+        df.reads.clear();
+        return df;
+    }
+
+    if inst.is_branch() {
+        if inst.is_cond_branch() {
+            df.read(Register::flags());
+        }
+        for op in &inst.operands {
+            if let Operand::Reg(r) = op {
+                df.read(*r);
+            }
+        }
+        return df;
+    }
+
+    match base {
+        "cmp" | "test" | "ucomisd" | "ucomiss" | "comisd" | "comiss" | "vucomisd" | "vucomiss" => {
+            for op in &inst.operands {
+                if let Operand::Reg(r) = op {
+                    df.read(*r);
+                }
+            }
+            df.write(Register::flags());
+            return df;
+        }
+        "push" => {
+            if let Some(Operand::Reg(r)) = inst.operands.first() {
+                df.read(*r);
+            }
+            let rsp = Register::gpr(4, 64);
+            df.read(rsp);
+            df.write(rsp);
+            df.mem_write = true;
+            return df;
+        }
+        "pop" => {
+            if let Some(Operand::Reg(r)) = inst.operands.first() {
+                df.write(*r);
+            }
+            let rsp = Register::gpr(4, 64);
+            df.read(rsp);
+            df.write(rsp);
+            df.mem_read = true;
+            return df;
+        }
+        "div" | "idiv" => {
+            // One-operand divide: implicit rdx:rax / operand → rax, rdx.
+            let rax = Register::gpr(0, 64);
+            let rdx = Register::gpr(2, 64);
+            df.read(rax);
+            df.read(rdx);
+            df.write(rax);
+            df.write(rdx);
+            for op in &inst.operands {
+                if let Operand::Reg(r) = op {
+                    df.read(*r);
+                }
+            }
+            df.write(Register::flags());
+            return df;
+        }
+        _ => {}
+    }
+
+    // General rule: last operand is the destination, everything else a
+    // source. Memory destination means no register write.
+    if let Some((last, rest)) = inst.operands.split_last() {
+        for op in rest {
+            if let Operand::Reg(r) = op {
+                df.read(*r);
+            }
+        }
+        match last {
+            Operand::Reg(d) => {
+                df.write(*d);
+                if dest_is_source_x86(inst, base) {
+                    df.read(*d);
+                }
+            }
+            Operand::Mem(_) => {
+                // RMW memory destination already accounted via is_load.
+            }
+            _ => {}
+        }
+    }
+
+    // Single-operand RMW forms (`incq %rax`).
+    if inst.operands.len() == 1 && matches!(base, "inc" | "dec" | "neg" | "not") {
+        if let Some(Operand::Reg(r)) = inst.operands.first() {
+            df.read(*r);
+        }
+    }
+
+    if sets_flags_x86(base) {
+        df.write(Register::flags());
+    }
+    if reads_flags_x86(base) {
+        df.read(Register::flags());
+    }
+    df
+}
+
+/// AT&T width-suffix stripping shared with `Instruction::norm_mnemonic`.
+fn strip_suffix_x86(m: &str) -> &str {
+    crate::inst::strip_att_suffix(m)
+}
+
+fn sets_flags_x86(base: &str) -> bool {
+    matches!(
+        base,
+        "add" | "sub" | "and" | "or" | "xor" | "inc" | "dec" | "neg" | "cmp" | "test" | "imul"
+            | "mul" | "shl" | "shr" | "sar" | "adc" | "sbb"
+    )
+}
+
+fn reads_flags_x86(base: &str) -> bool {
+    base.starts_with("cmov") || base.starts_with("set") || matches!(base, "adc" | "sbb")
+}
+
+/// Whether an x86 destination register is also an input.
+fn dest_is_source_x86(inst: &Instruction, base: &str) -> bool {
+    // Two-operand RMW integer & legacy-SSE arithmetic.
+    if matches!(
+        base,
+        "add" | "sub" | "and" | "or" | "xor" | "imul" | "shl" | "shr" | "sar" | "adc" | "sbb"
+    ) {
+        return true;
+    }
+    let m = inst.mnemonic.as_str();
+    // FMA reads its accumulator destination.
+    if m.starts_with("vfmadd") || m.starts_with("vfmsub") || m.starts_with("vfnmadd") || m.starts_with("vfnmsub") {
+        return true;
+    }
+    // Legacy (non-VEX) SSE two-operand arithmetic is RMW by encoding.
+    if !m.starts_with('v') && inst.operands.len() == 2 {
+        const SSE_RMW: [&str; 16] = [
+            "addpd", "addps", "addsd", "addss", "subpd", "subps", "subsd", "subss", "mulpd",
+            "mulps", "mulsd", "mulss", "divpd", "divps", "divsd", "divss",
+        ];
+        if SSE_RMW.contains(&m) || m.starts_with("p") && !m.starts_with("pop") && !m.starts_with("push") {
+            return true;
+        }
+        if matches!(m, "maxpd" | "maxsd" | "minpd" | "minsd" | "andpd" | "andps" | "orpd" | "orps" | "xorpd" | "xorps" | "unpcklpd" | "unpckhpd" | "shufpd" | "sqrtsd" | "sqrtpd") {
+            return !matches!(m, "sqrtsd" | "sqrtpd");
+        }
+    }
+    false
+}
+
+fn dataflow_aarch64(inst: &Instruction) -> Dataflow {
+    let mut df = Dataflow { mem_read: inst.is_load(), mem_write: inst.is_store(), ..Default::default() };
+    let base = inst.base_mnemonic().to_string();
+    let base = base.as_str();
+
+    if inst.is_nop() {
+        return df;
+    }
+
+    for op in &inst.operands {
+        if let Operand::Mem(mem) = op {
+            for r in mem.address_regs() {
+                df.read(r);
+            }
+            if mem.writeback {
+                if let Some(b) = mem.base {
+                    df.write(b);
+                }
+            }
+        }
+    }
+    // Post-index: a memory operand followed by a bare immediate updates the
+    // base register.
+    if inst.operands.iter().any(|o| o.is_mem()) {
+        let mem_pos = inst.mem_position().unwrap();
+        if matches!(inst.operands.get(mem_pos + 1), Some(Operand::Imm(_))) && (inst.is_load() || inst.is_store()) {
+            if let Some(b) = inst.operands[mem_pos].as_mem().and_then(|m| m.base) {
+                df.write(b);
+            }
+        }
+    }
+
+    if let Some((p, mode)) = inst.predicate {
+        df.read(p);
+        if mode == PredMode::Merge {
+            if let Some(Operand::Reg(d)) = inst.operands.first() {
+                df.read(*d);
+            }
+        }
+    }
+
+    if inst.is_zero_idiom() {
+        if let Some(Operand::Reg(d)) = inst.operands.first() {
+            df.write(*d);
+        }
+        df.reads.clear();
+        return df;
+    }
+
+    if inst.is_branch() {
+        if inst.is_cond_branch() && matches!(base, "b") {
+            df.read(Register::flags());
+        }
+        for op in &inst.operands {
+            if let Operand::Reg(r) = op {
+                df.read(*r);
+            }
+        }
+        return df;
+    }
+
+    match base {
+        // Stores: every register operand is a source.
+        _ if base.starts_with("st") => {
+            for op in &inst.operands {
+                if let Operand::Reg(r) = op {
+                    df.read(*r);
+                }
+            }
+            return df;
+        }
+        // Loads: leading register operands (before the memory operand) are
+        // destinations.
+        _ if base.starts_with("ld") => {
+            let mem_pos = inst.mem_position().unwrap_or(inst.operands.len());
+            for (i, op) in inst.operands.iter().enumerate() {
+                if let Operand::Reg(r) = op {
+                    if i < mem_pos && r.class != RegClass::Pred {
+                        df.write(*r);
+                    } else if r.class == RegClass::Pred {
+                        df.read(*r);
+                    }
+                }
+            }
+            return df;
+        }
+        "cmp" | "cmn" | "tst" | "fcmp" | "fcmpe" | "ccmp" => {
+            for op in &inst.operands {
+                if let Operand::Reg(r) = op {
+                    df.read(*r);
+                }
+            }
+            df.write(Register::flags());
+            if base == "ccmp" {
+                df.read(Register::flags());
+            }
+            return df;
+        }
+        "whilelo" | "whilelt" | "whilele" | "whilels" => {
+            // Writes predicate + flags, reads the two GPR bounds.
+            if let Some(Operand::Reg(p)) = inst.operands.first() {
+                df.write(*p);
+            }
+            for op in &inst.operands[1..] {
+                if let Operand::Reg(r) = op {
+                    df.read(*r);
+                }
+            }
+            df.write(Register::flags());
+            return df;
+        }
+        "ptrue" | "pfalse" => {
+            if let Some(Operand::Reg(p)) = inst.operands.first() {
+                df.write(*p);
+            }
+            return df;
+        }
+        "prfm" | "prfd" | "prfw" => return df,
+        _ => {}
+    }
+
+    // General rule: first operand is the destination, rest are sources.
+    if let Some((first, rest)) = inst.operands.split_first() {
+        if let Operand::Reg(d) = first {
+            df.write(*d);
+            if dest_is_source_aarch64(base) {
+                df.read(*d);
+            }
+        }
+        for op in rest {
+            if let Operand::Reg(r) = op {
+                df.read(*r);
+            }
+        }
+    }
+
+    if sets_flags_aarch64(base) {
+        df.write(Register::flags());
+    }
+    if reads_flags_aarch64(base, &inst.mnemonic) {
+        df.read(Register::flags());
+    }
+    df
+}
+
+fn dest_is_source_aarch64(base: &str) -> bool {
+    // Multiply-accumulate families read their accumulator destination.
+    matches!(base, "fmla" | "fmls" | "mla" | "mls" | "bfmlalb" | "bfmlalt" | "sdot" | "udot" | "fcadd" | "fcmla" | "ins")
+}
+
+fn sets_flags_aarch64(base: &str) -> bool {
+    base.ends_with('s') && matches!(base, "adds" | "subs" | "ands" | "bics" | "negs")
+}
+
+fn reads_flags_aarch64(base: &str, _full: &str) -> bool {
+    matches!(base, "csel" | "csinc" | "csinv" | "csneg" | "cset" | "csetm" | "fcsel" | "cinc" | "adc" | "sbc")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_line_aarch64, parse_line_x86};
+
+    fn x86(s: &str) -> Dataflow {
+        dataflow(&parse_line_x86(s, 1).unwrap().unwrap())
+    }
+    fn a64(s: &str) -> Dataflow {
+        dataflow(&parse_line_aarch64(s, 1).unwrap().unwrap())
+    }
+    fn has(v: &[Register], r: Register) -> bool {
+        v.iter().any(|x| x.aliases(&r))
+    }
+
+    #[test]
+    fn x86_mov_is_not_rmw() {
+        let df = x86("movq %rax, %rbx");
+        assert!(has(&df.reads, Register::gpr(0, 64)));
+        assert!(has(&df.writes, Register::gpr(3, 64)));
+        assert!(!has(&df.reads, Register::gpr(3, 64)));
+    }
+
+    #[test]
+    fn x86_add_is_rmw_and_sets_flags() {
+        let df = x86("addq %rax, %rbx");
+        assert!(has(&df.reads, Register::gpr(3, 64)));
+        assert!(has(&df.writes, Register::gpr(3, 64)));
+        assert!(has(&df.writes, Register::flags()));
+    }
+
+    #[test]
+    fn x86_vex_three_op_not_rmw() {
+        let df = x86("vaddpd %zmm0, %zmm1, %zmm2");
+        assert!(!has(&df.reads, Register::vec(2, 512)));
+        assert!(has(&df.writes, Register::vec(2, 512)));
+    }
+
+    #[test]
+    fn x86_fma_reads_accumulator() {
+        let df = x86("vfmadd231pd %zmm0, %zmm1, %zmm2");
+        assert!(has(&df.reads, Register::vec(2, 512)));
+        assert!(has(&df.writes, Register::vec(2, 512)));
+    }
+
+    #[test]
+    fn x86_legacy_sse_rmw() {
+        let df = x86("addpd %xmm0, %xmm1");
+        assert!(has(&df.reads, Register::vec(1, 128)));
+        assert!(has(&df.writes, Register::vec(1, 128)));
+    }
+
+    #[test]
+    fn x86_zero_idiom_breaks_dependency() {
+        let df = x86("xorl %eax, %eax");
+        assert!(df.reads.is_empty());
+        assert!(has(&df.writes, Register::gpr(0, 64)));
+    }
+
+    #[test]
+    fn x86_load_address_regs_read() {
+        let df = x86("vmovupd 8(%rsi,%rax,8), %zmm3");
+        assert!(has(&df.reads, Register::gpr(6, 64)));
+        assert!(has(&df.reads, Register::gpr(0, 64)));
+        assert!(df.mem_read && !df.mem_write);
+    }
+
+    #[test]
+    fn x86_store_reads_data() {
+        let df = x86("vmovupd %zmm3, (%rdi)");
+        assert!(has(&df.reads, Register::vec(3, 512)));
+        assert!(df.mem_write && !df.mem_read);
+        assert!(df.writes.is_empty());
+    }
+
+    #[test]
+    fn x86_cmp_and_jcc_flags_chain() {
+        let c = x86("cmpq %rcx, %rax");
+        assert!(has(&c.writes, Register::flags()));
+        let j = x86("jne .L2");
+        assert!(has(&j.reads, Register::flags()));
+    }
+
+    #[test]
+    fn x86_div_implicit_regs() {
+        let df = x86("idivq %rcx");
+        assert!(has(&df.reads, Register::gpr(0, 64)));
+        assert!(has(&df.reads, Register::gpr(2, 64)));
+        assert!(has(&df.writes, Register::gpr(0, 64)));
+    }
+
+    #[test]
+    fn a64_three_op() {
+        let df = a64("fadd v0.2d, v1.2d, v2.2d");
+        assert!(has(&df.writes, Register::vec(0, 128)));
+        assert!(has(&df.reads, Register::vec(1, 128)));
+        assert!(!has(&df.reads, Register::vec(0, 128)));
+    }
+
+    #[test]
+    fn a64_fmla_reads_accumulator() {
+        let df = a64("fmla v0.2d, v1.2d, v2.2d");
+        assert!(has(&df.reads, Register::vec(0, 128)));
+        assert!(has(&df.writes, Register::vec(0, 128)));
+    }
+
+    #[test]
+    fn a64_load_writes_dest_reads_base() {
+        let df = a64("ldr q0, [x0, #16]");
+        assert!(has(&df.writes, Register::vec(0, 128)));
+        assert!(has(&df.reads, Register::gpr(0, 64)));
+        assert!(df.mem_read);
+    }
+
+    #[test]
+    fn a64_post_index_writes_base() {
+        let df = a64("ldr q0, [x0], #16");
+        assert!(has(&df.writes, Register::gpr(0, 64)));
+        assert!(has(&df.writes, Register::vec(0, 128)));
+    }
+
+    #[test]
+    fn a64_store_reads_everything() {
+        let df = a64("stp q0, q1, [x2]");
+        assert!(has(&df.reads, Register::vec(0, 128)));
+        assert!(has(&df.reads, Register::vec(1, 128)));
+        assert!(has(&df.reads, Register::gpr(2, 64)));
+        assert!(df.writes.is_empty());
+    }
+
+    #[test]
+    fn a64_sve_predicated_merge_reads_dest() {
+        let df = a64("fadd z0.d, p0/m, z0.d, z1.d");
+        assert!(has(&df.reads, Register::pred(0)));
+        assert!(has(&df.reads, Register::vec(0, 128)));
+    }
+
+    #[test]
+    fn a64_whilelo_flags() {
+        let df = a64("whilelo p0.d, x3, x4");
+        assert!(has(&df.writes, Register::pred(0)));
+        assert!(has(&df.writes, Register::flags()));
+        assert!(has(&df.reads, Register::gpr(3, 64)));
+    }
+
+    #[test]
+    fn a64_subs_cbnz_chain() {
+        let s = a64("subs x3, x3, #1");
+        assert!(has(&s.writes, Register::flags()));
+        let b = a64("cbnz x3, .L2");
+        assert!(has(&b.reads, Register::gpr(3, 64)));
+    }
+
+    #[test]
+    fn a64_zero_register_no_dependency() {
+        let df = a64("add x0, xzr, x1");
+        assert!(!df.reads.iter().any(|r| r.is_zero_reg()));
+        assert_eq!(df.reads.len(), 1);
+    }
+}

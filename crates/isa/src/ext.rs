@@ -1,0 +1,175 @@
+//! ISA-extension classification of instructions.
+//!
+//! The sustained-frequency study (Fig. 2 of the paper) needs to know which
+//! vector extension a kernel exercises, because Golden Cove derates its
+//! clock for AVX-512-heavy (and, less so, AVX-heavy) code while Neoverse V2
+//! and Zen 4 hold their frequency.
+
+use crate::inst::{Instruction, Isa};
+use crate::reg::RegClass;
+
+/// Vector/scalar instruction-set extension class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IsaExt {
+    /// Scalar integer or scalar FP.
+    Scalar,
+    /// 128-bit legacy SSE.
+    Sse,
+    /// 128/256-bit VEX-encoded AVX/AVX2.
+    Avx,
+    /// 512-bit (or EVEX-encoded) AVX-512.
+    Avx512,
+    /// 128-bit AArch64 Advanced SIMD.
+    Neon,
+    /// Arm Scalable Vector Extension.
+    Sve,
+}
+
+impl IsaExt {
+    /// Human-readable label used in reports and figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IsaExt::Scalar => "scalar",
+            IsaExt::Sse => "SSE",
+            IsaExt::Avx => "AVX",
+            IsaExt::Avx512 => "AVX-512",
+            IsaExt::Neon => "NEON",
+            IsaExt::Sve => "SVE",
+        }
+    }
+
+    /// Register width in bits this extension operates on (SVE reported at
+    /// the Neoverse V2 implementation width).
+    pub fn simd_width_bits(&self) -> u16 {
+        match self {
+            IsaExt::Scalar => 64,
+            IsaExt::Sse | IsaExt::Neon | IsaExt::Sve => 128,
+            IsaExt::Avx => 256,
+            IsaExt::Avx512 => 512,
+        }
+    }
+}
+
+/// Classify a single instruction.
+pub fn classify(inst: &Instruction) -> IsaExt {
+    match inst.isa {
+        Isa::X86 => classify_x86(inst),
+        Isa::AArch64 => classify_aarch64(inst),
+    }
+}
+
+fn classify_x86(inst: &Instruction) -> IsaExt {
+    let uses_vec = inst.operands.iter().any(|o| {
+        o.as_reg().is_some_and(|r| r.class == RegClass::Vec)
+    });
+    let uses_mask = inst.predicate.is_some()
+        || inst.operands.iter().any(|o| o.as_reg().is_some_and(|r| r.class == RegClass::Mask));
+    if !uses_vec && !uses_mask {
+        return IsaExt::Scalar;
+    }
+    let w = inst.max_vec_width();
+    if w >= 512 || uses_mask {
+        return IsaExt::Avx512;
+    }
+    if inst.mnemonic.starts_with('v') {
+        return IsaExt::Avx;
+    }
+    IsaExt::Sse
+}
+
+fn classify_aarch64(inst: &Instruction) -> IsaExt {
+    let has_pred = inst.predicate.is_some()
+        || inst.operands.iter().any(|o| o.as_reg().is_some_and(|r| r.class == RegClass::Pred));
+    if has_pred || is_sve_mnemonic(inst.base_mnemonic()) {
+        return IsaExt::Sve;
+    }
+    // NEON if any full vector register with arrangement appears (we record
+    // them as 128-bit Vec) *and* the raw text uses `v`/`q` views — scalar FP
+    // (`d`/`s` views) counts as scalar for frequency purposes.
+    let max_vec = inst.max_vec_width();
+    if max_vec == 128 {
+        IsaExt::Neon
+    } else {
+        IsaExt::Scalar
+    }
+}
+
+fn is_sve_mnemonic(m: &str) -> bool {
+    matches!(m, "whilelo" | "whilelt" | "ptrue" | "ptest" | "cntd" | "cntw" | "cnth" | "cntb" | "incd" | "incw")
+        || m.starts_with("ld1")
+        || m.starts_with("st1")
+        || m.starts_with("ldff1")
+        || m.starts_with("ldnt1")
+        || m.starts_with("stnt1")
+}
+
+/// The dominant extension of a block: the widest/most specialized extension
+/// used by any arithmetic instruction (loads/stores inherit it).
+pub fn dominant_ext(insts: &[Instruction]) -> IsaExt {
+    insts.iter().map(classify).max_by_key(|e| match e {
+        IsaExt::Scalar => 0,
+        IsaExt::Sse | IsaExt::Neon => 1,
+        IsaExt::Avx | IsaExt::Sve => 2,
+        IsaExt::Avx512 => 3,
+    }).unwrap_or(IsaExt::Scalar)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_line_aarch64, parse_line_x86};
+
+    fn x86(s: &str) -> Instruction {
+        parse_line_x86(s, 1).unwrap().unwrap()
+    }
+    fn a64(s: &str) -> Instruction {
+        parse_line_aarch64(s, 1).unwrap().unwrap()
+    }
+
+    #[test]
+    fn x86_classes() {
+        assert_eq!(classify(&x86("addq $1, %rax")), IsaExt::Scalar);
+        assert_eq!(classify(&x86("addpd %xmm0, %xmm1")), IsaExt::Sse);
+        assert_eq!(classify(&x86("vaddpd %ymm0, %ymm1, %ymm2")), IsaExt::Avx);
+        assert_eq!(classify(&x86("vaddpd %zmm0, %zmm1, %zmm2")), IsaExt::Avx512);
+        assert_eq!(classify(&x86("vaddpd %xmm0, %xmm1, %xmm2")), IsaExt::Avx);
+        // EVEX masking forces AVX-512 even at narrow width.
+        assert_eq!(classify(&x86("vaddpd %xmm1, %xmm2, %xmm3{%k1}{z}")), IsaExt::Avx512);
+    }
+
+    #[test]
+    fn scalar_sd_is_sse() {
+        // Scalar double math on xmm is encoded as SSE but is *scalar* work;
+        // the paper's frequency study treats it via the SSE licence class on
+        // SPR, so we keep it SSE here.
+        assert_eq!(classify(&x86("addsd %xmm0, %xmm1")), IsaExt::Sse);
+    }
+
+    #[test]
+    fn aarch64_classes() {
+        assert_eq!(classify(&a64("add x0, x1, x2")), IsaExt::Scalar);
+        assert_eq!(classify(&a64("fadd d0, d1, d2")), IsaExt::Scalar);
+        assert_eq!(classify(&a64("fadd v0.2d, v1.2d, v2.2d")), IsaExt::Neon);
+        assert_eq!(classify(&a64("fmla z0.d, p0/m, z1.d, z2.d")), IsaExt::Sve);
+        assert_eq!(classify(&a64("whilelo p0.d, x3, x4")), IsaExt::Sve);
+        assert_eq!(classify(&a64("ld1d {z0.d}, p0/z, [x0]")), IsaExt::Sve);
+    }
+
+    #[test]
+    fn dominant_is_widest() {
+        let block = vec![
+            x86("movq (%rax), %rbx"),
+            x86("vaddpd %zmm0, %zmm1, %zmm2"),
+            x86("addq $8, %rax"),
+        ];
+        assert_eq!(dominant_ext(&block), IsaExt::Avx512);
+        assert_eq!(dominant_ext(&[]), IsaExt::Scalar);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(IsaExt::Avx512.label(), "AVX-512");
+        assert_eq!(IsaExt::Avx512.simd_width_bits(), 512);
+        assert_eq!(IsaExt::Sve.simd_width_bits(), 128);
+    }
+}

@@ -1,0 +1,184 @@
+//! Operand representation shared by both ISAs.
+
+use crate::reg::Register;
+use std::fmt;
+
+/// Addressing mode of a memory operand. x86 only uses [`AddrMode::Offset`];
+/// AArch64 additionally has pre-/post-indexed forms that write the base
+/// register back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AddrMode {
+    /// `disp(base, index, scale)` / `[base, #imm]` — no base writeback.
+    #[default]
+    Offset,
+    /// `[base, #imm]!` — base is updated *before* the access.
+    PreIndex,
+    /// `[base], #imm` — base is updated *after* the access.
+    PostIndex,
+}
+
+/// A memory reference: `disp(base, index, scale)` in AT&T syntax or
+/// `[base, index, lsl #s]` / `[base, #disp]` on AArch64.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MemOperand {
+    pub base: Option<Register>,
+    pub index: Option<Register>,
+    /// Scale applied to the index register (1, 2, 4, or 8).
+    pub scale: u8,
+    pub disp: i64,
+    pub mode: AddrMode,
+    /// Post/pre-index increment on AArch64 (equals `disp` for immediate
+    /// forms; kept separately for clarity of intent).
+    pub writeback: bool,
+}
+
+impl MemOperand {
+    /// A simple base-register dereference.
+    pub fn base(base: Register) -> Self {
+        MemOperand { base: Some(base), scale: 1, ..Default::default() }
+    }
+
+    /// Base + displacement.
+    pub fn base_disp(base: Register, disp: i64) -> Self {
+        MemOperand { base: Some(base), disp, scale: 1, ..Default::default() }
+    }
+
+    /// Base + scaled index (+ displacement).
+    pub fn base_index(base: Register, index: Register, scale: u8, disp: i64) -> Self {
+        MemOperand { base: Some(base), index: Some(index), scale, disp, ..Default::default() }
+    }
+
+    /// Registers read to form the address.
+    pub fn address_regs(&self) -> impl Iterator<Item = Register> + '_ {
+        self.base.into_iter().chain(self.index)
+    }
+}
+
+/// A single instruction operand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    Reg(Register),
+    /// Integer immediate.
+    Imm(i64),
+    /// Floating-point immediate (AArch64 `fmov d0, #1.0`).
+    FpImm(f64),
+    Mem(MemOperand),
+    /// Branch target or symbolic reference.
+    Label(String),
+}
+
+impl Operand {
+    pub fn as_reg(&self) -> Option<Register> {
+        match self {
+            Operand::Reg(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    pub fn as_mem(&self) -> Option<&MemOperand> {
+        match self {
+            Operand::Mem(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Operand::Mem(_))
+    }
+
+    /// Coarse signature of this operand for instruction-form matching in the
+    /// microarchitecture database.
+    pub fn sig(&self) -> OpSig {
+        match self {
+            Operand::Reg(r) => match r.class {
+                crate::reg::RegClass::Vec => OpSig::Vec(r.width),
+                crate::reg::RegClass::Mask => OpSig::Mask,
+                crate::reg::RegClass::Pred => OpSig::Pred,
+                _ => OpSig::Gpr(r.width),
+            },
+            Operand::Imm(_) | Operand::FpImm(_) => OpSig::Imm,
+            Operand::Mem(_) => OpSig::Mem,
+            Operand::Label(_) => OpSig::Label,
+        }
+    }
+}
+
+/// Coarse operand kind used to key instruction-form lookups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpSig {
+    Gpr(u16),
+    Vec(u16),
+    Mask,
+    Pred,
+    Imm,
+    Mem,
+    Label,
+}
+
+impl fmt::Display for OpSig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpSig::Gpr(w) => write!(f, "r{w}"),
+            OpSig::Vec(w) => write!(f, "v{w}"),
+            OpSig::Mask => write!(f, "k"),
+            OpSig::Pred => write!(f, "p"),
+            OpSig::Imm => write!(f, "i"),
+            OpSig::Mem => write!(f, "m"),
+            OpSig::Label => write!(f, "l"),
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(i) => write!(f, "${i}"),
+            Operand::FpImm(x) => write!(f, "#{x}"),
+            Operand::Label(l) => write!(f, "{l}"),
+            Operand::Mem(m) => {
+                write!(f, "{}(", m.disp)?;
+                if let Some(b) = m.base {
+                    write!(f, "{b}")?;
+                }
+                if let Some(i) = m.index {
+                    write!(f, ",{i},{}", m.scale)?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Register;
+
+    #[test]
+    fn mem_address_regs() {
+        let m = MemOperand::base_index(Register::gpr(0, 64), Register::gpr(1, 64), 8, 16);
+        let regs: Vec<_> = m.address_regs().collect();
+        assert_eq!(regs.len(), 2);
+        let m2 = MemOperand::base(Register::gpr(3, 64));
+        assert_eq!(m2.address_regs().count(), 1);
+    }
+
+    #[test]
+    fn operand_signatures() {
+        assert_eq!(Operand::Reg(Register::gpr(0, 64)).sig(), OpSig::Gpr(64));
+        assert_eq!(Operand::Reg(Register::vec(1, 512)).sig(), OpSig::Vec(512));
+        assert_eq!(Operand::Imm(3).sig(), OpSig::Imm);
+        assert_eq!(Operand::Mem(MemOperand::default()).sig(), OpSig::Mem);
+        assert_eq!(Operand::Reg(Register::mask(1)).sig(), OpSig::Mask);
+    }
+
+    #[test]
+    fn accessors() {
+        let r = Operand::Reg(Register::gpr(2, 64));
+        assert!(r.as_reg().is_some());
+        assert!(r.as_mem().is_none());
+        let m = Operand::Mem(MemOperand::default());
+        assert!(m.is_mem() && m.as_mem().is_some() && m.as_reg().is_none());
+    }
+}

@@ -1,0 +1,308 @@
+//! Architectural register model with aliasing-aware canonical identities.
+//!
+//! Dependency analysis needs to know that `eax` and `rax` are the same
+//! storage, that `xmm3`/`ymm3`/`zmm3` overlap, and that `w5` is the low half
+//! of `x5`. A [`Register`] therefore carries a *canonical* `(class, index)`
+//! identity plus an access width in bits; two registers conflict iff their
+//! canonical identities are equal.
+
+use std::fmt;
+
+/// Register file a register belongs to. Identity for dependency purposes is
+/// `(class, index)`; width is an access property, not an identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegClass {
+    /// General-purpose integer registers (x86 `rax..r15`, AArch64 `x0..x30`).
+    Gpr,
+    /// SIMD/FP registers (x86 `xmm/ymm/zmm`, AArch64 `b/h/s/d/q/v/z`).
+    Vec,
+    /// AVX-512 opmask registers `k0..k7`.
+    Mask,
+    /// SVE predicate registers `p0..p15`.
+    Pred,
+    /// Condition flags (x86 `rflags`, AArch64 `nzcv`). Index is always 0.
+    Flags,
+    /// Stack pointer (AArch64 `sp`; x86 `rsp` is a plain GPR but AArch64
+    /// separates `sp` from `x31`/`xzr`).
+    Sp,
+    /// Instruction pointer (x86 `rip`-relative addressing).
+    Ip,
+    /// The AArch64 zero register `xzr`/`wzr` — reads as zero, writes are
+    /// discarded, never creates a dependency.
+    Zero,
+}
+
+/// A concrete architectural register reference as written in assembly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Register {
+    /// Register file.
+    pub class: RegClass,
+    /// Canonical index within the file (aliasing views share an index).
+    pub index: u8,
+    /// Access width in bits (8–512 for real accesses).
+    pub width: u16,
+}
+
+impl Register {
+    /// Construct a register; prefer the named constructors where possible.
+    pub const fn new(class: RegClass, index: u8, width: u16) -> Self {
+        Register { class, index, width }
+    }
+
+    /// General-purpose register of a given width.
+    pub const fn gpr(index: u8, width: u16) -> Self {
+        Register::new(RegClass::Gpr, index, width)
+    }
+
+    /// Vector register of a given width.
+    pub const fn vec(index: u8, width: u16) -> Self {
+        Register::new(RegClass::Vec, index, width)
+    }
+
+    /// AVX-512 mask register.
+    pub const fn mask(index: u8) -> Self {
+        Register::new(RegClass::Mask, index, 64)
+    }
+
+    /// SVE predicate register.
+    pub const fn pred(index: u8) -> Self {
+        Register::new(RegClass::Pred, index, 16)
+    }
+
+    /// The flags register of either ISA.
+    pub const fn flags() -> Self {
+        Register::new(RegClass::Flags, 0, 64)
+    }
+
+    /// Whether a write to `self` is observable by a read of `other`
+    /// (same storage, width-independent).
+    pub fn aliases(&self, other: &Register) -> bool {
+        self.class == other.class && self.index == other.index
+    }
+
+    /// Whether this register never carries a dependency (the zero register).
+    pub fn is_zero_reg(&self) -> bool {
+        self.class == RegClass::Zero
+    }
+
+    /// Canonical identity used as a map key in dependency analysis.
+    pub fn id(&self) -> (RegClass, u8) {
+        (self.class, self.index)
+    }
+}
+
+/// x86-64 GPR canonical indices in encoding order.
+pub const X86_GPR_NAMES: [&str; 16] = [
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi", "r8", "r9", "r10", "r11", "r12",
+    "r13", "r14", "r15",
+];
+
+/// Look up an x86 register name (without the `%` sigil). Handles all
+/// aliasing sub-register views.
+pub fn x86_register(name: &str) -> Option<Register> {
+    let n = name.to_ascii_lowercase();
+    // 64-bit canonical names and legacy sub-registers.
+    if let Some(i) = X86_GPR_NAMES.iter().position(|&g| g == n) {
+        return Some(Register::gpr(i as u8, 64));
+    }
+    const R32: [&str; 8] = ["eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"];
+    if let Some(i) = R32.iter().position(|&g| g == n) {
+        return Some(Register::gpr(i as u8, 32));
+    }
+    const R16: [&str; 8] = ["ax", "cx", "dx", "bx", "sp", "bp", "si", "di"];
+    if let Some(i) = R16.iter().position(|&g| g == n) {
+        return Some(Register::gpr(i as u8, 16));
+    }
+    const R8: [&str; 8] = ["al", "cl", "dl", "bl", "spl", "bpl", "sil", "dil"];
+    if let Some(i) = R8.iter().position(|&g| g == n) {
+        return Some(Register::gpr(i as u8, 8));
+    }
+    const R8H: [&str; 4] = ["ah", "ch", "dh", "bh"];
+    if let Some(i) = R8H.iter().position(|&g| g == n) {
+        return Some(Register::gpr(i as u8, 8));
+    }
+    // r8..r15 with d/w/b suffixes.
+    if let Some(rest) = n.strip_prefix('r') {
+        let (digits, width) = match rest {
+            _ if rest.ends_with('d') => (&rest[..rest.len() - 1], 32),
+            _ if rest.ends_with('w') => (&rest[..rest.len() - 1], 16),
+            _ if rest.ends_with('b') => (&rest[..rest.len() - 1], 8),
+            _ => (rest, 64),
+        };
+        if let Ok(i) = digits.parse::<u8>() {
+            if (8..=15).contains(&i) {
+                return Some(Register::gpr(i, width));
+            }
+        }
+    }
+    // Vector registers.
+    for (prefix, width) in [("xmm", 128u16), ("ymm", 256), ("zmm", 512)] {
+        if let Some(d) = n.strip_prefix(prefix) {
+            if let Ok(i) = d.parse::<u8>() {
+                if i < 32 {
+                    return Some(Register::vec(i, width));
+                }
+            }
+        }
+    }
+    // Mask registers.
+    if let Some(d) = n.strip_prefix('k') {
+        if let Ok(i) = d.parse::<u8>() {
+            if i < 8 {
+                return Some(Register::mask(i));
+            }
+        }
+    }
+    if n == "rip" {
+        return Some(Register::new(RegClass::Ip, 0, 64));
+    }
+    if n == "rflags" || n == "eflags" {
+        return Some(Register::flags());
+    }
+    None
+}
+
+/// Look up an AArch64 register name. Returns the register together with the
+/// element width implied by the name (`x`/`w`, `d`/`s`, `v`/`z` views).
+pub fn aarch64_register(name: &str) -> Option<Register> {
+    let n = name.to_ascii_lowercase();
+    // Strip SVE/NEON arrangement suffixes like `v0.2d`, `z3.s`, `p1/m`.
+    let base = n.split(['.', '/']).next().unwrap_or(&n);
+    match base {
+        "sp" => return Some(Register::new(RegClass::Sp, 31, 64)),
+        "wsp" => return Some(Register::new(RegClass::Sp, 31, 32)),
+        "xzr" => return Some(Register::new(RegClass::Zero, 31, 64)),
+        "wzr" => return Some(Register::new(RegClass::Zero, 31, 32)),
+        "lr" => return Some(Register::gpr(30, 64)),
+        "nzcv" => return Some(Register::flags()),
+        _ => {}
+    }
+    if base.len() < 2 || !base.is_ascii() {
+        return None;
+    }
+    let (head, digits) = base.split_at(1);
+    let idx: u8 = digits.parse().ok()?;
+    match head {
+        "x" if idx <= 30 => Some(Register::gpr(idx, 64)),
+        "w" if idx <= 30 => Some(Register::gpr(idx, 32)),
+        "b" if idx < 32 => Some(Register::vec(idx, 8)),
+        "h" if idx < 32 => Some(Register::vec(idx, 16)),
+        "s" if idx < 32 => Some(Register::vec(idx, 32)),
+        "d" if idx < 32 => Some(Register::vec(idx, 64)),
+        "q" if idx < 32 => Some(Register::vec(idx, 128)),
+        // NEON arrangement views (`v0.2d` etc.) are 128-bit accesses; SVE `z`
+        // registers are vector-length-agnostic — callers that know the VL can
+        // re-widen, we default to the 128-bit VL of Neoverse V2.
+        "v" if idx < 32 => Some(Register::vec(idx, 128)),
+        "z" if idx < 32 => Some(Register::vec(idx, 128)),
+        "p" if idx < 16 => Some(Register::pred(idx)),
+        _ => None,
+    }
+}
+
+impl fmt::Display for Register {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Gpr => {
+                if (self.index as usize) < X86_GPR_NAMES.len() {
+                    write!(f, "{}:{}", X86_GPR_NAMES[self.index as usize], self.width)
+                } else {
+                    write!(f, "gpr{}:{}", self.index, self.width)
+                }
+            }
+            RegClass::Vec => write!(f, "v{}:{}", self.index, self.width),
+            RegClass::Mask => write!(f, "k{}", self.index),
+            RegClass::Pred => write!(f, "p{}", self.index),
+            RegClass::Flags => write!(f, "flags"),
+            RegClass::Sp => write!(f, "sp"),
+            RegClass::Ip => write!(f, "ip"),
+            RegClass::Zero => write!(f, "zr"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x86_gpr_aliasing() {
+        let rax = x86_register("rax").unwrap();
+        let eax = x86_register("eax").unwrap();
+        let al = x86_register("al").unwrap();
+        let ah = x86_register("ah").unwrap();
+        assert!(rax.aliases(&eax));
+        assert!(rax.aliases(&al));
+        assert!(eax.aliases(&ah));
+        assert_eq!(rax.width, 64);
+        assert_eq!(eax.width, 32);
+    }
+
+    #[test]
+    fn x86_extended_gprs() {
+        assert_eq!(x86_register("r10").unwrap(), Register::gpr(10, 64));
+        assert_eq!(x86_register("r10d").unwrap(), Register::gpr(10, 32));
+        assert_eq!(x86_register("r10w").unwrap(), Register::gpr(10, 16));
+        assert_eq!(x86_register("r10b").unwrap(), Register::gpr(10, 8));
+        assert!(x86_register("r16").is_none());
+    }
+
+    #[test]
+    fn x86_vector_aliasing() {
+        let x = x86_register("xmm7").unwrap();
+        let y = x86_register("ymm7").unwrap();
+        let z = x86_register("zmm7").unwrap();
+        assert!(x.aliases(&y) && y.aliases(&z));
+        assert_eq!((x.width, y.width, z.width), (128, 256, 512));
+        assert!(!x.aliases(&x86_register("xmm8").unwrap()));
+    }
+
+    #[test]
+    fn x86_masks_and_special() {
+        assert_eq!(x86_register("k3").unwrap().class, RegClass::Mask);
+        assert_eq!(x86_register("rip").unwrap().class, RegClass::Ip);
+        assert!(x86_register("k9").is_none());
+        assert!(x86_register("bogus").is_none());
+    }
+
+    #[test]
+    fn aarch64_gpr_aliasing() {
+        let x5 = aarch64_register("x5").unwrap();
+        let w5 = aarch64_register("w5").unwrap();
+        assert!(x5.aliases(&w5));
+        assert_eq!(w5.width, 32);
+        assert!(aarch64_register("x31").is_none());
+    }
+
+    #[test]
+    fn aarch64_zero_and_sp() {
+        let xzr = aarch64_register("xzr").unwrap();
+        assert!(xzr.is_zero_reg());
+        let sp = aarch64_register("sp").unwrap();
+        assert_eq!(sp.class, RegClass::Sp);
+        assert!(!xzr.aliases(&sp));
+    }
+
+    #[test]
+    fn aarch64_fp_views_alias() {
+        let d3 = aarch64_register("d3").unwrap();
+        let v3 = aarch64_register("v3.2d").unwrap();
+        let z3 = aarch64_register("z3.d").unwrap();
+        let s3 = aarch64_register("s3").unwrap();
+        assert!(d3.aliases(&v3) && v3.aliases(&z3) && z3.aliases(&s3));
+        assert_eq!(v3.width, 128);
+    }
+
+    #[test]
+    fn aarch64_predicates() {
+        let p = aarch64_register("p0/z").unwrap();
+        assert_eq!(p.class, RegClass::Pred);
+        assert!(aarch64_register("p16").is_none());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(x86_register("rax").unwrap().to_string(), "rax:64");
+        assert_eq!(x86_register("zmm1").unwrap().to_string(), "v1:512");
+    }
+}

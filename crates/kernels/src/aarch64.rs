@@ -1,0 +1,526 @@
+//! AArch64 code generation for the 13 kernels (scalar, NEON, and SVE).
+//!
+//! Register conventions: `x0` = target array `a`, `x1` = `b` / swept row,
+//! `x2` = `c` / north, `x3` = `d` / south, `x6`/`x7` = west/east pointers,
+//! `x9`–`x14` = additional stencil streams, `x4` = index, `x5` = limit /
+//! remaining count, `x15`–`x17` = address scratch. Constants: `v28` = s,
+//! `v29` = 1.0, `v30` = 4.0, `v31` = dx (same numbering as `z`/`d` views).
+
+use crate::{GenCfg, StreamKernel};
+use std::fmt::Write;
+
+/// Emit the loop for a kernel under the given configuration.
+pub fn emit(kernel: StreamKernel, cfg: &GenCfg) -> String {
+    let mut g = Gen::new(cfg);
+    g.kernel(kernel);
+    g.out
+}
+
+struct Gen<'a> {
+    cfg: &'a GenCfg,
+    out: String,
+}
+
+impl<'a> Gen<'a> {
+    fn new(cfg: &'a GenCfg) -> Self {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "// generated AArch64 kernel (width={}, sve={}, unroll={})",
+            cfg.width, cfg.sve, cfg.unroll
+        );
+        Gen { cfg, out }
+    }
+
+    fn scalar(&self) -> bool {
+        self.cfg.width == 0
+    }
+
+    fn sve(&self) -> bool {
+        self.cfg.sve && !self.scalar()
+    }
+
+    /// Post-index pointer walks (armclang style); never used for SVE.
+    fn post_walk(&self) -> bool {
+        self.cfg.post_index && !self.sve()
+    }
+
+    fn line(&mut self, s: &str) {
+        let _ = writeln!(self.out, "    {s}");
+    }
+
+    fn label(&mut self) {
+        let _ = writeln!(self.out, ".L0:");
+    }
+
+    /// Data register name: `d3`, `v3.2d`, or `z3.d`.
+    fn r(&self, i: usize) -> String {
+        if self.scalar() {
+            format!("d{i}")
+        } else if self.sve() {
+            format!("z{i}.d")
+        } else {
+            format!("v{i}.2d")
+        }
+    }
+
+    /// Load element/vector `reg_idx` from `[base + x4-index]`.
+    fn load_idx(&mut self, base: &str, reg: usize) {
+        if self.scalar() {
+            self.line(&format!("ldr d{reg}, [{base}, x4, lsl #3]"));
+        } else if self.sve() {
+            self.line(&format!("ld1d {{z{reg}.d}}, p0/z, [{base}, x4, lsl #3]"));
+        } else {
+            self.line(&format!("ldr q{reg}, [{base}, x4]"));
+        }
+    }
+
+    fn store_idx(&mut self, base: &str, reg: usize) {
+        if self.scalar() {
+            self.line(&format!("str d{reg}, [{base}, x4, lsl #3]"));
+        } else if self.sve() {
+            self.line(&format!("st1d {{z{reg}.d}}, p0, [{base}, x4, lsl #3]"));
+        } else if self.cfg.nt_stores {
+            // NEON has no single-register NT store; compilers use stnp.
+            self.line(&format!("stnp q{reg}, q{reg}, [x17]"));
+        } else {
+            self.line(&format!("str q{reg}, [{base}, x4]"));
+        }
+    }
+
+    fn fadd(&mut self, dst: usize, a: usize, b: usize) {
+        let (d, x, y) = (self.r(dst), self.r(a), self.r(b));
+        self.line(&format!("fadd {d}, {x}, {y}"));
+    }
+
+    fn fmul(&mut self, dst: usize, a: usize, b: usize) {
+        let (d, x, y) = (self.r(dst), self.r(a), self.r(b));
+        self.line(&format!("fmul {d}, {x}, {y}"));
+    }
+
+    fn fdiv(&mut self, dst: usize, a: usize, b: usize) {
+        if self.sve() {
+            // SVE divide is predicated and destructive.
+            let (d, x, y) = (self.r(dst), self.r(a), self.r(b));
+            self.line(&format!("movprfx z{dst}, z{a}"));
+            let _ = (d, x);
+            self.line(&format!("fdiv {}, p0/m, {}, {y}", self.r(dst), self.r(dst)));
+        } else {
+            let (d, x, y) = (self.r(dst), self.r(a), self.r(b));
+            self.line(&format!("fdiv {d}, {x}, {y}"));
+        }
+    }
+
+    /// acc += a*b.
+    fn fma(&mut self, acc: usize, a: usize, b: usize) {
+        if self.scalar() {
+            if self.cfg.fma {
+                self.line(&format!("fmadd d{acc}, d{a}, d{b}, d{acc}"));
+            } else {
+                self.line(&format!("fmul d20, d{a}, d{b}"));
+                self.line(&format!("fadd d{acc}, d{acc}, d20"));
+            }
+        } else if self.sve() {
+            if self.cfg.fma {
+                self.line(&format!("fmla z{acc}.d, p0/m, z{a}.d, z{b}.d"));
+            } else {
+                self.line(&format!("fmul z20.d, z{a}.d, z{b}.d"));
+                self.line(&format!("fadd z{acc}.d, z{acc}.d, z20.d"));
+            }
+        } else if self.cfg.fma {
+            self.line(&format!("fmla v{acc}.2d, v{a}.2d, v{b}.2d"));
+        } else {
+            self.line(&format!("fmul v20.2d, v{a}.2d, v{b}.2d"));
+            self.line(&format!("fadd v{acc}.2d, v{acc}.2d, v20.2d"));
+        }
+    }
+
+    /// Index-advance + compare + branch, for index-based loops.
+    fn tail(&mut self, ops: usize) {
+        if self.sve() {
+            // incd advances by the number of 64-bit elements per vector.
+            for _ in 0..ops {
+                self.line("incd x4");
+            }
+            self.line("whilelo p0.d, x4, x5");
+            self.line("b.mi .L0");
+        } else if self.scalar() {
+            self.line(&format!("add x4, x4, #{ops}"));
+            self.line("cmp x4, x5");
+            self.line("b.ne .L0");
+        } else {
+            self.line(&format!("add x4, x4, #{}", ops * 16));
+            self.line("cmp x4, x5");
+            self.line("b.ne .L0");
+        }
+    }
+
+    fn tail_count(&mut self) {
+        self.line("subs x5, x5, #1");
+        self.line("b.ne .L0");
+    }
+
+    /// Tail for linear-stream kernels: post-index walks count down, index
+    /// walks compare the index register.
+    fn linear_tail(&mut self, ops: usize) {
+        if self.post_walk() {
+            self.tail_count();
+        } else {
+            self.tail(ops);
+        }
+    }
+
+    fn kernel(&mut self, kernel: StreamKernel) {
+        use StreamKernel::*;
+        // SVE bodies are generated at unroll 1 (real SVE loops advance by
+        // whole vectors through the predicate, and armclang does not unroll
+        // the predicated remainder-free form).
+        let u_count = if self.sve() { 1 } else { self.cfg.unroll };
+        match kernel {
+            Init => {
+                self.label();
+                if self.sve() {
+                    self.line("st1d {z28.d}, p0, [x0, x4, lsl #3]");
+                    self.tail(1);
+                } else if self.scalar() {
+                    for _ in 0..u_count {
+                        self.line("str d28, [x0], #8");
+                    }
+                    self.tail_count();
+                } else if self.cfg.nt_stores {
+                    for _ in 0..u_count {
+                        self.line("stnp q28, q28, [x0]");
+                        self.line("add x0, x0, #32");
+                    }
+                    self.tail_count();
+                } else {
+                    for u in 0..u_count {
+                        self.line(&format!("str q28, [x0, #{}]", u * 16));
+                    }
+                    self.line(&format!("add x0, x0, #{}", u_count * 16));
+                    self.tail_count();
+                }
+            }
+            Copy => {
+                self.label();
+                for u in 0..u_count {
+                    self.load_idx_u("x1", 1 + u, u);
+                    self.store_idx_u("x0", 1 + u, u);
+                }
+                self.linear_tail(u_count);
+            }
+            Update => {
+                self.label();
+                for u in 0..u_count {
+                    if self.post_walk() {
+                        // In-place update: plain load, post-indexed store
+                        // advances the single pointer.
+                        if self.scalar() {
+                            self.line(&format!("ldr d{}, [x0]", 1 + u));
+                        } else {
+                            self.line(&format!("ldr q{}, [x0]", 1 + u));
+                        }
+                        self.fmul(1 + u, 1 + u, 28);
+                        self.store_idx_u("x0", 1 + u, u);
+                    } else {
+                        self.load_idx_u("x0", 1 + u, u);
+                        self.fmul(1 + u, 1 + u, 28);
+                        self.store_idx_u("x0", 1 + u, u);
+                    }
+                }
+                self.linear_tail(u_count);
+            }
+            Add => {
+                self.label();
+                for u in 0..u_count {
+                    self.load_idx_u("x1", 1 + u, u);
+                    self.load_idx_u("x2", 5 + u, u);
+                    self.fadd(1 + u, 1 + u, 5 + u);
+                    self.store_idx_u("x0", 1 + u, u);
+                }
+                self.linear_tail(u_count);
+            }
+            StreamTriad => {
+                // a = b + s*c.
+                self.label();
+                for u in 0..u_count {
+                    self.load_idx_u("x2", 1 + u, u); // c
+                    self.load_idx_u("x1", 5 + u, u); // acc = b
+                    self.fma(5 + u, 1 + u, 28);
+                    self.store_idx_u("x0", 5 + u, u);
+                }
+                self.linear_tail(u_count);
+            }
+            SchoenauerTriad => {
+                // a = b + c*d.
+                self.label();
+                for u in 0..u_count {
+                    self.load_idx_u("x2", 1 + u, u); // c
+                    self.load_idx_u("x3", 5 + u, u); // d
+                    self.load_idx_u("x1", 9 + u, u); // acc = b
+                    self.fma(9 + u, 1 + u, 5 + u);
+                    self.store_idx_u("x0", 9 + u, u);
+                }
+                self.linear_tail(u_count);
+            }
+            Sum => {
+                let accs = self.cfg.accumulators.max(1);
+                let reps = u_count.max(accs);
+                self.label();
+                for u in 0..reps {
+                    self.load_idx_u("x1", 8 + u, u);
+                    self.fadd(u % accs, u % accs, 8 + u);
+                }
+                self.linear_tail(reps);
+            }
+            Pi => {
+                let accs = self.cfg.accumulators.max(1);
+                self.label();
+                for u in 0..u_count {
+                    // t = x*x ; t += 1 ; q = 4/t ; acc += q ; x += dx
+                    self.fmul(8, 1, 1);
+                    self.fadd(8, 8, 29);
+                    self.fdiv(9, 30, 8);
+                    self.fadd(u % accs, u % accs, 9);
+                    self.fadd(1, 1, 31);
+                }
+                self.tail_count();
+            }
+            GaussSeidel2D => {
+                // d0 carries phi[j-1]; pointer walks with post-index.
+                self.label();
+                self.line("ldr d1, [x2], #8"); // north
+                self.line("ldr d2, [x3], #8"); // south
+                self.line("ldr d3, [x7], #8"); // east
+                self.line("fadd d1, d1, d2");
+                self.line("fadd d1, d1, d3");
+                self.line("fadd d1, d1, d0");
+                self.line("fmul d0, d1, d28");
+                self.line("str d0, [x0], #8");
+                self.tail_count();
+            }
+            Jacobi2D5 => self.jacobi(&[("x6", 0), ("x7", 0), ("x2", 0), ("x3", 0)]),
+            Jacobi3D7 => self.jacobi(&[
+                ("x1", -8),
+                ("x1", 0),
+                ("x1", 8),
+                ("x2", 0),
+                ("x3", 0),
+                ("x9", 0),
+                ("x10", 0),
+            ]),
+            Jacobi3D11 => self.jacobi(&[
+                ("x1", -16),
+                ("x1", -8),
+                ("x1", 0),
+                ("x1", 8),
+                ("x1", 16),
+                ("x2", 0),
+                ("x3", 0),
+                ("x9", 0),
+                ("x10", 0),
+                ("x11", 0),
+                ("x12", 0),
+            ]),
+            Jacobi3D27 => {
+                let mut pts = Vec::new();
+                for base in ["x1", "x2", "x3", "x9", "x10", "x11", "x12", "x13", "x14"] {
+                    for off in [-8i64, 0, 8] {
+                        pts.push((base, off));
+                    }
+                }
+                self.jacobi(&pts);
+            }
+        }
+    }
+
+    /// Indexed load honoring NEON unroll offsets.
+    fn load_idx_u(&mut self, base: &str, reg: usize, u: usize) {
+        if self.post_walk() {
+            if self.scalar() {
+                self.line(&format!("ldr d{reg}, [{base}], #8"));
+            } else {
+                self.line(&format!("ldr q{reg}, [{base}], #16"));
+            }
+            return;
+        }
+        if self.scalar() || self.sve() || u == 0 {
+            if u == 0 || self.sve() {
+                self.load_idx(base, reg);
+            } else {
+                // Scalar unroll: shift the index register once per group is
+                // modeled by computing the address explicitly.
+                self.line(&format!("add x15, {base}, x4, lsl #3"));
+                self.line(&format!("ldr d{reg}, [x15, #{}]", u * 8));
+            }
+        } else {
+            self.line(&format!("add x16, {base}, x4"));
+            self.line(&format!("ldr q{reg}, [x16, #{}]", u * 16));
+        }
+    }
+
+    fn store_idx_u(&mut self, base: &str, reg: usize, u: usize) {
+        if self.post_walk() {
+            if self.scalar() {
+                self.line(&format!("str d{reg}, [{base}], #8"));
+            } else {
+                self.line(&format!("str q{reg}, [{base}], #16"));
+            }
+            return;
+        }
+        if self.scalar() || self.sve() || u == 0 {
+            if u == 0 || self.sve() {
+                self.store_idx(base, reg);
+            } else {
+                self.line(&format!("add x15, {base}, x4, lsl #3"));
+                self.line(&format!("str d{reg}, [x15, #{}]", u * 8));
+            }
+        } else {
+            self.line(&format!("add x17, {base}, x4"));
+            self.line(&format!("str q{reg}, [x17, #{}]", u * 16));
+        }
+    }
+
+    /// Generic Jacobi-style stencil.
+    fn jacobi(&mut self, points: &[(&str, i64)]) {
+        let u_count = if self.sve() { 1 } else { self.cfg.unroll };
+        self.label();
+        for u in 0..u_count {
+            let acc = 1 + u;
+            let tmp = 8 + (u % 2);
+            let mut first = true;
+            for &(base, off) in points {
+                if off == 0 && u == 0 {
+                    if first {
+                        self.load_idx(base, acc);
+                        first = false;
+                    } else {
+                        self.load_idx(base, tmp);
+                        self.fadd(acc, acc, tmp);
+                    }
+                } else {
+                    // Offset access: materialize the address.
+                    let reg = if first { acc } else { tmp };
+                    if self.sve() {
+                        self.line(&format!("add x15, {base}, x4, lsl #3"));
+                        if off >= 0 {
+                            self.line(&format!("add x16, x15, #{off}"));
+                        } else {
+                            self.line(&format!("sub x16, x15, #{}", -off));
+                        }
+                        self.line(&format!("ld1d {{z{reg}.d}}, p0/z, [x16]"));
+                    } else if self.scalar() {
+                        self.line(&format!("add x15, {base}, x4, lsl #3"));
+                        self.line(&format!("ldr d{reg}, [x15, #{}]", off + (u as i64) * 8));
+                    } else {
+                        self.line(&format!("add x16, {base}, x4"));
+                        self.line(&format!("ldr q{reg}, [x16, #{}]", off + (u as i64) * 16));
+                    }
+                    if first {
+                        first = false;
+                    } else {
+                        self.fadd(acc, acc, tmp);
+                    }
+                }
+            }
+            self.fmul(acc, acc, 28);
+            if u == 0 {
+                self.store_idx("x0", acc);
+            } else {
+                self.store_idx_u("x0", acc, u);
+            }
+        }
+        self.tail(u_count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GenCfg;
+    use isa::{parse_kernel, Isa};
+
+    fn cfg(width: u16, unroll: usize, sve: bool) -> GenCfg {
+        GenCfg {
+            width,
+            unroll,
+            accumulators: 1,
+            fma: true,
+            legacy_sse: false,
+            sve,
+            nt_stores: false,
+            post_index: false,
+        }
+    }
+
+    fn parse(kernel: StreamKernel, c: &GenCfg) -> isa::Kernel {
+        let asm = emit(kernel, c);
+        parse_kernel(&asm, Isa::AArch64).unwrap_or_else(|e| panic!("{e}\n{asm}"))
+    }
+
+    #[test]
+    fn add_neon_structure() {
+        let k = parse(StreamKernel::Add, &cfg(128, 1, false));
+        assert_eq!(k.load_count(), 2);
+        assert_eq!(k.store_count(), 1);
+        assert_eq!(k.dominant_ext(), isa::IsaExt::Neon);
+    }
+
+    #[test]
+    fn add_sve_structure() {
+        let k = parse(StreamKernel::Add, &cfg(128, 1, true));
+        assert_eq!(k.dominant_ext(), isa::IsaExt::Sve);
+        assert!(k.instructions.iter().any(|i| i.mnemonic == "whilelo"));
+        assert!(k.instructions.iter().any(|i| i.mnemonic == "incd"));
+    }
+
+    #[test]
+    fn scalar_kernels_are_scalar() {
+        for kern in [StreamKernel::Sum, StreamKernel::Pi, StreamKernel::GaussSeidel2D] {
+            let k = parse(kern, &cfg(0, 1, false));
+            assert_eq!(k.dominant_ext(), isa::IsaExt::Scalar, "{}", kern.name());
+        }
+    }
+
+    #[test]
+    fn pi_has_divide_chain() {
+        let k = parse(StreamKernel::Pi, &cfg(0, 1, false));
+        assert!(k.instructions.iter().any(|i| i.base_mnemonic() == "fdiv"));
+        let sve = parse(StreamKernel::Pi, &cfg(128, 1, true));
+        assert!(sve.instructions.iter().any(|i| i.base_mnemonic() == "fdiv"));
+    }
+
+    #[test]
+    fn gs_carries_d0() {
+        let k = parse(StreamKernel::GaussSeidel2D, &cfg(0, 1, false));
+        let writes0 = k.instructions.iter().any(|i| {
+            isa::dataflow::dataflow(i).writes.iter().any(|r| r.index == 0 && r.class == isa::RegClass::Vec)
+        });
+        assert!(writes0);
+        assert!(k.instructions.iter().all(|i| !i.mnemonic.starts_with("ld1")));
+    }
+
+    #[test]
+    fn jacobi_loads() {
+        assert_eq!(parse(StreamKernel::Jacobi2D5, &cfg(128, 1, false)).load_count(), 4);
+        assert_eq!(parse(StreamKernel::Jacobi3D7, &cfg(128, 1, false)).load_count(), 7);
+        assert_eq!(parse(StreamKernel::Jacobi3D27, &cfg(128, 1, false)).load_count(), 27);
+        assert_eq!(parse(StreamKernel::Jacobi3D7, &cfg(128, 1, true)).load_count(), 7);
+    }
+
+    #[test]
+    fn triad_uses_fmla() {
+        let k = parse(StreamKernel::StreamTriad, &cfg(128, 1, false));
+        assert!(k.instructions.iter().any(|i| i.mnemonic == "fmla"));
+        let s = parse(StreamKernel::SchoenauerTriad, &cfg(128, 1, true));
+        assert!(s.instructions.iter().any(|i| i.base_mnemonic() == "fmla"));
+    }
+
+    #[test]
+    fn unrolled_neon_parses() {
+        for kern in StreamKernel::ALL {
+            let k = parse(kern, &cfg(128, 2, false));
+            assert!(!k.instructions.is_empty(), "{}", kern.name());
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! C reference source for each kernel — the semantic ground truth the
+//! assembly generators implement, as the paper presents its benchmarks.
+
+use crate::StreamKernel;
+
+/// The C inner loop of a kernel (double precision throughout).
+pub fn c_source(kernel: StreamKernel) -> &'static str {
+    use StreamKernel::*;
+    match kernel {
+        Init => "for (long i = 0; i < N; i++)\n    a[i] = s;",
+        Copy => "for (long i = 0; i < N; i++)\n    a[i] = b[i];",
+        Update => "for (long i = 0; i < N; i++)\n    a[i] = a[i] * s;",
+        Add => "for (long i = 0; i < N; i++)\n    a[i] = b[i] + c[i];",
+        StreamTriad => "for (long i = 0; i < N; i++)\n    a[i] = b[i] + s * c[i];",
+        SchoenauerTriad => "for (long i = 0; i < N; i++)\n    a[i] = b[i] + c[i] * d[i];",
+        Sum => "for (long i = 0; i < N; i++)\n    sum += a[i];",
+        Pi => {
+            "for (long i = 0; i < N; i++) {\n    double x = (i + 0.5) * dx;\n    sum += 4.0 / (1.0 + x * x);\n}"
+        }
+        GaussSeidel2D => {
+            "for (long k = 1; k < NK-1; k++)\n  for (long j = 1; j < NJ-1; j++)\n    phi[k][j] = 0.25 * (phi[k-1][j] + phi[k+1][j]\n                      + phi[k][j-1] + phi[k][j+1]);"
+        }
+        Jacobi2D5 => {
+            "for (long k = 1; k < NK-1; k++)\n  for (long j = 1; j < NJ-1; j++)\n    b[k][j] = 0.25 * (a[k-1][j] + a[k+1][j]\n                    + a[k][j-1] + a[k][j+1]);"
+        }
+        Jacobi3D7 => {
+            "for (long k = 1; k < NK-1; k++)\n for (long j = 1; j < NJ-1; j++)\n  for (long i = 1; i < NI-1; i++)\n    b[k][j][i] = c0 * (a[k][j][i]\n      + a[k][j][i-1] + a[k][j][i+1]\n      + a[k][j-1][i] + a[k][j+1][i]\n      + a[k-1][j][i] + a[k+1][j][i]);"
+        }
+        Jacobi3D11 => {
+            "for (long k = 1; k < NK-1; k++)\n for (long j = 2; j < NJ-2; j++)\n  for (long i = 2; i < NI-2; i++)\n    b[k][j][i] = c0 * (a[k][j][i]\n      + a[k][j][i-2] + a[k][j][i-1] + a[k][j][i+1] + a[k][j][i+2]\n      + a[k][j-1][i] + a[k][j+1][i]\n      + a[k-1][j][i] + a[k+1][j][i]\n      + a[k][j-2][i] + a[k][j+2][i]);"
+        }
+        Jacobi3D27 => {
+            "for (long k = 1; k < NK-1; k++)\n for (long j = 1; j < NJ-1; j++)\n  for (long i = 1; i < NI-1; i++) {\n    double t = 0.0;\n    for (int dk = -1; dk <= 1; dk++)\n     for (int dj = -1; dj <= 1; dj++)\n      for (int di = -1; di <= 1; di++)\n        t += a[k+dk][j+dj][i+di];\n    b[k][j][i] = c0 * t;\n  }"
+        }
+    }
+}
+
+/// A full compilable C translation unit for one kernel, suitable for
+/// feeding to a real compiler to compare against the generated assembly.
+pub fn c_translation_unit(kernel: StreamKernel) -> String {
+    let body = c_source(kernel);
+    let vol = crate::volume::volume(kernel);
+    format!(
+        "/* {} — {} B loaded, {} B stored, {} flops per iteration */\n\
+         #define N  (1L << 26)\n\
+         #define NI 512\n#define NJ 512\n#define NK 256\n\
+         void kernel(double *restrict a, const double *restrict b,\n\
+         \x20           const double *restrict c, const double *restrict d,\n\
+         \x20           double s, double dx, double c0, double *restrict sum_out)\n\
+         {{\n    double sum = 0.0;\n{}\n    *sum_out = sum;\n}}\n",
+        kernel.name(),
+        vol.load_bytes,
+        vol.store_bytes,
+        vol.flops,
+        indent(body, 4)
+    )
+}
+
+fn indent(s: &str, by: usize) -> String {
+    let pad = " ".repeat(by);
+    s.lines().map(|l| format!("{pad}{l}")).collect::<Vec<_>>().join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kernel_has_source() {
+        for k in StreamKernel::ALL {
+            let src = c_source(k);
+            assert!(src.contains("for"), "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn loop_structure_matches_kernel_dimension() {
+        // 3D stencils have triple loops, 2D double, streams single.
+        assert_eq!(c_source(StreamKernel::Jacobi3D7).matches("for").count(), 3);
+        assert_eq!(c_source(StreamKernel::Jacobi2D5).matches("for").count(), 2);
+        assert_eq!(c_source(StreamKernel::Add).matches("for").count(), 1);
+        assert!(c_source(StreamKernel::Jacobi3D27).matches("for").count() >= 3);
+    }
+
+    #[test]
+    fn source_mentions_the_right_arrays() {
+        assert!(c_source(StreamKernel::SchoenauerTriad).contains("d[i]"));
+        assert!(!c_source(StreamKernel::StreamTriad).contains("d[i]"));
+        assert!(c_source(StreamKernel::GaussSeidel2D).contains("phi[k][j-1]"));
+        assert!(c_source(StreamKernel::Pi).contains("4.0 / (1.0 + x * x)"));
+    }
+
+    #[test]
+    fn translation_units_are_complete() {
+        for k in StreamKernel::ALL {
+            let tu = c_translation_unit(k);
+            assert!(tu.contains("void kernel"), "{}", k.name());
+            assert!(tu.contains("restrict"), "{}", k.name());
+            // Balanced braces.
+            assert_eq!(tu.matches('{').count(), tu.matches('}').count(), "{}", k.name());
+        }
+    }
+}

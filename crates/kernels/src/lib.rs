@@ -1,0 +1,420 @@
+//! The paper's 13 streaming validation kernels, realized as assembly the
+//! way four compiler personalities would emit them at four optimization
+//! levels — the validation corpus behind Fig. 3 (416 test blocks).
+//!
+//! Real compilers differ along a few well-understood axes: whether they
+//! vectorize at a given `-O` level and at what width, whether they contract
+//! mul+add to FMA, whether they reassociate reductions (fast-math), how
+//! aggressively they unroll, and x86 VEX vs. legacy-SSE encoding at `-O1`.
+//! The generators model exactly those axes:
+//!
+//! | personality | vector width (x86) | reductions vectorized | unroll (O3+) |
+//! |---|---|---|---|
+//! | GCC      | native width at O2+ | only at `-Ofast` | 2 |
+//! | Clang    | 256-bit at O2+      | only at `-Ofast` | 4 |
+//! | ICX      | 512-bit at O2+      | at O2+ (default fast-math) | 2 |
+//! | ArmClang | NEON at O2, SVE at O3+ | only at `-Ofast` | 2 |
+//!
+//! `-O1` is always scalar (GCC emits legacy SSE, the LLVM-based compilers
+//! VEX). Gauss-Seidel is never vectorized (true loop-carried dependence).
+//!
+//! The corpus: x86 machines get {GCC, Clang, ICX} and Grace gets
+//! {GCC, ArmClang} — 13 kernels × 4 levels × (3+3+2) = **416 variants**.
+
+pub mod aarch64;
+pub mod csource;
+pub mod volume;
+pub mod x86;
+
+use uarch::{Arch, Machine};
+
+/// The 13 validation kernels (paper §II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StreamKernel {
+    /// `a[i] = s` — store-only array initialization (also the Fig. 4
+    /// benchmark).
+    Init,
+    /// `a[i] = b[i]`.
+    Copy,
+    /// `a[i] = a[i] * s`.
+    Update,
+    /// `a[i] = b[i] + c[i]`.
+    Add,
+    /// STREAM triad `a[i] = b[i] + s * c[i]`.
+    StreamTriad,
+    /// Schönauer triad `a[i] = b[i] + c[i] * d[i]`.
+    SchoenauerTriad,
+    /// Sum reduction `s += a[i]`.
+    Sum,
+    /// π by integration: `sum += 4 / (1 + x²)`, `x += dx`.
+    Pi,
+    /// Gauss-Seidel 2D 5-point sweep (true loop-carried dependence).
+    GaussSeidel2D,
+    /// Jacobi 2D 5-point stencil.
+    Jacobi2D5,
+    /// Jacobi 3D 7-point stencil.
+    Jacobi3D7,
+    /// Jacobi 3D 11-point stencil (adds next-nearest neighbours in x/y).
+    Jacobi3D11,
+    /// Jacobi 3D 27-point stencil (full 3×3×3 neighbourhood).
+    Jacobi3D27,
+}
+
+impl StreamKernel {
+    pub const ALL: [StreamKernel; 13] = [
+        StreamKernel::Init,
+        StreamKernel::Copy,
+        StreamKernel::Update,
+        StreamKernel::Add,
+        StreamKernel::StreamTriad,
+        StreamKernel::SchoenauerTriad,
+        StreamKernel::Sum,
+        StreamKernel::Pi,
+        StreamKernel::GaussSeidel2D,
+        StreamKernel::Jacobi2D5,
+        StreamKernel::Jacobi3D7,
+        StreamKernel::Jacobi3D11,
+        StreamKernel::Jacobi3D27,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            StreamKernel::Init => "INIT",
+            StreamKernel::Copy => "COPY",
+            StreamKernel::Update => "UPDATE",
+            StreamKernel::Add => "ADD",
+            StreamKernel::StreamTriad => "STREAM triad",
+            StreamKernel::SchoenauerTriad => "Schoenauer triad",
+            StreamKernel::Sum => "Sum reduction",
+            StreamKernel::Pi => "pi by integration",
+            StreamKernel::GaussSeidel2D => "Gauss-Seidel 2D 5pt",
+            StreamKernel::Jacobi2D5 => "Jacobi 2D 5pt",
+            StreamKernel::Jacobi3D7 => "Jacobi 3D 7pt",
+            StreamKernel::Jacobi3D11 => "Jacobi 3D 11pt",
+            StreamKernel::Jacobi3D27 => "Jacobi 3D 27pt",
+        }
+    }
+
+    /// Whether the kernel is a floating-point reduction (vectorization
+    /// requires reassociation).
+    pub fn is_reduction(&self) -> bool {
+        matches!(self, StreamKernel::Sum | StreamKernel::Pi)
+    }
+
+    /// Whether the kernel carries a true inter-iteration dependence that no
+    /// compiler may vectorize.
+    pub fn is_serial(&self) -> bool {
+        matches!(self, StreamKernel::GaussSeidel2D)
+    }
+}
+
+/// Compiler personalities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Compiler {
+    Gcc,
+    Clang,
+    Icx,
+    ArmClang,
+}
+
+impl Compiler {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Compiler::Gcc => "gcc",
+            Compiler::Clang => "clang",
+            Compiler::Icx => "icx",
+            Compiler::ArmClang => "armclang",
+        }
+    }
+
+    /// Compilers used on a given machine (paper §I.C: GCC/oneAPI/Clang on
+    /// x86, GCC/Arm C Compiler on Grace).
+    pub fn for_arch(arch: Arch) -> &'static [Compiler] {
+        match arch {
+            Arch::GoldenCove | Arch::Zen4 => &[Compiler::Gcc, Compiler::Clang, Compiler::Icx],
+            Arch::NeoverseV2 => &[Compiler::Gcc, Compiler::ArmClang],
+        }
+    }
+}
+
+/// Optimization levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OptLevel {
+    O1,
+    O2,
+    O3,
+    Ofast,
+}
+
+impl OptLevel {
+    pub const ALL: [OptLevel; 4] = [OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Ofast];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            OptLevel::O1 => "-O1",
+            OptLevel::O2 => "-O2",
+            OptLevel::O3 => "-O3",
+            OptLevel::Ofast => "-Ofast",
+        }
+    }
+
+    /// Fast-math semantics (reassociation allowed).
+    pub fn fast_math(&self) -> bool {
+        *self == OptLevel::Ofast
+    }
+}
+
+/// One test block of the validation corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Variant {
+    pub kernel: StreamKernel,
+    pub compiler: Compiler,
+    pub opt: OptLevel,
+    pub arch: Arch,
+}
+
+impl Variant {
+    pub fn label(&self) -> String {
+        format!(
+            "{} / {} {} / {}",
+            self.kernel.name(),
+            self.compiler.name(),
+            self.opt.name(),
+            self.arch.chip()
+        )
+    }
+}
+
+/// All variants for one machine.
+pub fn variants_for(arch: Arch) -> Vec<Variant> {
+    let mut v = Vec::new();
+    for &kernel in &StreamKernel::ALL {
+        for &compiler in Compiler::for_arch(arch) {
+            for &opt in &OptLevel::ALL {
+                v.push(Variant { kernel, compiler, opt, arch });
+            }
+        }
+    }
+    v
+}
+
+/// The full 416-block corpus across all three machines.
+pub fn all_variants() -> Vec<Variant> {
+    let mut v = Vec::new();
+    for arch in [Arch::NeoverseV2, Arch::GoldenCove, Arch::Zen4] {
+        v.extend(variants_for(arch));
+    }
+    v
+}
+
+/// Concrete code-generation parameters derived from a variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenCfg {
+    /// Vector width in bits; 0 = scalar.
+    pub width: u16,
+    /// Loop unroll factor (in vector/scalar iterations).
+    pub unroll: usize,
+    /// Number of parallel accumulators for reductions.
+    pub accumulators: usize,
+    /// Contract mul+add into FMA.
+    pub fma: bool,
+    /// x86: legacy-SSE (non-VEX) encodings (GCC at -O1).
+    pub legacy_sse: bool,
+    /// AArch64: emit SVE (predicated whilelo loop) instead of NEON.
+    pub sve: bool,
+    /// Use non-temporal stores (not part of the 416-corpus; used by the
+    /// Fig. 4 benchmark variants).
+    pub nt_stores: bool,
+    /// AArch64: walk the streams with post-index addressing (`[x1], #16`)
+    /// instead of a shared index register — armclang's preferred pattern
+    /// for linear streams.
+    pub post_index: bool,
+}
+
+/// Derive the generation parameters for a variant on a machine.
+pub fn gen_cfg(v: &Variant, machine: &Machine) -> GenCfg {
+    use Compiler::*;
+    use OptLevel::*;
+    let scalar = v.opt == O1 || v.kernel.is_serial();
+    // Reductions vectorize only under fast-math — except ICX, whose default
+    // FP model behaves like fast-math (true of the real oneAPI compiler).
+    let reduction_blocked = v.kernel.is_reduction() && !v.opt.fast_math() && v.compiler != Icx;
+
+    let width = if scalar || reduction_blocked {
+        0
+    } else {
+        match (v.compiler, machine.isa) {
+            (Gcc, isa::Isa::X86) => {
+                if v.opt == O2 {
+                    128 // cheap cost model at -O2
+                } else {
+                    machine.simd_width_bits
+                }
+            }
+            (Clang, isa::Isa::X86) => 256, // prefer-vector-width=256
+            (Icx, isa::Isa::X86) => 512,
+            (Gcc, isa::Isa::AArch64) => 128,
+            (ArmClang, isa::Isa::AArch64) => 128,
+            _ => 128,
+        }
+    };
+    let sve = v.compiler == ArmClang && v.opt >= O3 && width > 0;
+    let unroll = if width == 0 {
+        1
+    } else {
+        match (v.compiler, v.opt) {
+            (_, O1) | (_, O2) => 1,
+            (Gcc, _) => 2,
+            (Clang, _) => 4,
+            (Icx, _) => 2,
+            (ArmClang, _) => 2,
+        }
+    };
+    // Long stencil bodies are not unrolled further by real compilers.
+    let unroll = if v.kernel == StreamKernel::Jacobi3D27 { 1 } else { unroll };
+    let accumulators = if v.kernel.is_reduction() {
+        if v.opt.fast_math() || v.compiler == Icx {
+            match v.compiler {
+                Gcc => 2,
+                Clang => 4,
+                Icx => 4,
+                ArmClang => 2,
+            }
+        } else {
+            1
+        }
+    } else {
+        1
+    };
+    GenCfg {
+        width,
+        unroll,
+        accumulators,
+        fma: v.opt >= O2,
+        legacy_sse: v.compiler == Gcc && v.opt == O1,
+        sve,
+        nt_stores: false,
+        post_index: v.compiler == ArmClang && !sve,
+    }
+}
+
+/// Generate the assembly text of a variant for a machine.
+pub fn generate(v: &Variant, machine: &Machine) -> String {
+    assert_eq!(v.arch, machine.arch, "variant and machine must match");
+    let cfg = gen_cfg(v, machine);
+    match machine.isa {
+        isa::Isa::X86 => x86::emit(v.kernel, &cfg),
+        isa::Isa::AArch64 => aarch64::emit(v.kernel, &cfg),
+    }
+}
+
+/// Parse a generated variant into an analysis kernel.
+pub fn generate_kernel(v: &Variant, machine: &Machine) -> isa::Kernel {
+    let asm = generate(v, machine);
+    isa::parse_kernel(&asm, machine.isa).expect("generated assembly must parse")
+}
+
+/// The store-only benchmark of Fig. 4 in standard or NT flavour, at the
+/// machine's native width.
+pub fn init_store_kernel(machine: &Machine, nt: bool) -> isa::Kernel {
+    let cfg = GenCfg {
+        width: machine.simd_width_bits,
+        unroll: 4,
+        accumulators: 1,
+        fma: true,
+        legacy_sse: false,
+        sve: machine.arch == Arch::NeoverseV2,
+        nt_stores: nt,
+        post_index: false,
+    };
+    let asm = match machine.isa {
+        isa::Isa::X86 => x86::emit(StreamKernel::Init, &cfg),
+        isa::Isa::AArch64 => aarch64::emit(StreamKernel::Init, &cfg),
+    };
+    isa::parse_kernel(&asm, machine.isa).expect("store kernel must parse")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_size_matches_paper() {
+        assert_eq!(all_variants().len(), 416);
+        assert_eq!(variants_for(Arch::GoldenCove).len(), 156);
+        assert_eq!(variants_for(Arch::Zen4).len(), 156);
+        assert_eq!(variants_for(Arch::NeoverseV2).len(), 104);
+    }
+
+    #[test]
+    fn o1_is_always_scalar() {
+        let m = uarch::Machine::golden_cove();
+        for &k in &StreamKernel::ALL {
+            let v = Variant { kernel: k, compiler: Compiler::Icx, opt: OptLevel::O1, arch: Arch::GoldenCove };
+            assert_eq!(gen_cfg(&v, &m).width, 0, "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn gauss_seidel_never_vectorizes() {
+        let m = uarch::Machine::golden_cove();
+        for &opt in &OptLevel::ALL {
+            let v = Variant { kernel: StreamKernel::GaussSeidel2D, compiler: Compiler::Icx, opt, arch: Arch::GoldenCove };
+            assert_eq!(gen_cfg(&v, &m).width, 0);
+        }
+    }
+
+    #[test]
+    fn reductions_gate_on_fast_math_except_icx() {
+        let m = uarch::Machine::golden_cove();
+        let mk = |c, o| Variant { kernel: StreamKernel::Sum, compiler: c, opt: o, arch: Arch::GoldenCove };
+        assert_eq!(gen_cfg(&mk(Compiler::Gcc, OptLevel::O3), &m).width, 0);
+        assert!(gen_cfg(&mk(Compiler::Gcc, OptLevel::Ofast), &m).width > 0);
+        assert!(gen_cfg(&mk(Compiler::Icx, OptLevel::O2), &m).width > 0);
+    }
+
+    #[test]
+    fn widths_differ_by_compiler() {
+        let m = uarch::Machine::golden_cove();
+        let mk = |c| Variant { kernel: StreamKernel::Add, compiler: c, opt: OptLevel::O3, arch: Arch::GoldenCove };
+        assert_eq!(gen_cfg(&mk(Compiler::Gcc), &m).width, 512);
+        assert_eq!(gen_cfg(&mk(Compiler::Clang), &m).width, 256);
+        assert_eq!(gen_cfg(&mk(Compiler::Icx), &m).width, 512);
+        let z = uarch::Machine::zen4();
+        let vz = Variant { kernel: StreamKernel::Add, compiler: Compiler::Gcc, opt: OptLevel::O3, arch: Arch::Zen4 };
+        assert_eq!(gen_cfg(&vz, &z).width, 256);
+    }
+
+    #[test]
+    fn armclang_uses_sve_at_o3() {
+        let m = uarch::Machine::neoverse_v2();
+        let v = Variant { kernel: StreamKernel::Add, compiler: Compiler::ArmClang, opt: OptLevel::O3, arch: Arch::NeoverseV2 };
+        assert!(gen_cfg(&v, &m).sve);
+        let v2 = Variant { opt: OptLevel::O2, ..v };
+        assert!(!gen_cfg(&v2, &m).sve);
+    }
+
+    #[test]
+    fn every_variant_parses() {
+        for m in uarch::all_machines() {
+            for v in variants_for(m.arch) {
+                let k = generate_kernel(&v, &m);
+                assert!(!k.instructions.is_empty(), "{}", v.label());
+                assert!(k.loop_label.is_some(), "{} has no loop", v.label());
+            }
+        }
+    }
+
+    #[test]
+    fn store_kernels_store_and_nt_flag_works() {
+        for m in uarch::all_machines() {
+            let std = init_store_kernel(&m, false);
+            assert!(std.store_count() > 0, "{}", m.arch.label());
+            assert!(!std.instructions.iter().any(|i| i.is_nt_store()));
+            if m.isa == isa::Isa::X86 {
+                let nt = init_store_kernel(&m, true);
+                assert!(nt.instructions.iter().any(|i| i.is_nt_store()));
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Per-kernel data volumes and flop counts (per scalar loop iteration),
+//! used by the ECM/Roofline models and the bandwidth benchmarks.
+
+use crate::StreamKernel;
+
+/// Data traffic and work of one scalar iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Volume {
+    /// Bytes loaded from the arrays (without cache reuse).
+    pub load_bytes: u32,
+    /// Bytes stored.
+    pub store_bytes: u32,
+    /// Whether the stored lines are fully overwritten (write-allocate
+    /// applies unless evaded).
+    pub full_line_store: bool,
+    /// Floating-point operations (FMA = 2).
+    pub flops: u32,
+}
+
+impl Volume {
+    /// Memory traffic per iteration assuming write-allocate with factor
+    /// `wa` (1.0 = evaded, 2.0 = full WA on the store stream).
+    pub fn traffic_bytes(&self, wa: f64) -> f64 {
+        self.load_bytes as f64 + self.store_bytes as f64 * wa
+    }
+
+    /// Arithmetic intensity in flop/byte at a given WA factor.
+    pub fn intensity(&self, wa: f64) -> f64 {
+        if self.traffic_bytes(wa) == 0.0 {
+            f64::INFINITY
+        } else {
+            self.flops as f64 / self.traffic_bytes(wa)
+        }
+    }
+}
+
+/// The volume table for the 13 kernels.
+pub fn volume(kernel: StreamKernel) -> Volume {
+    use StreamKernel::*;
+    match kernel {
+        Init => Volume { load_bytes: 0, store_bytes: 8, full_line_store: true, flops: 0 },
+        Copy => Volume { load_bytes: 8, store_bytes: 8, full_line_store: true, flops: 0 },
+        Update => Volume { load_bytes: 8, store_bytes: 8, full_line_store: true, flops: 1 },
+        Add => Volume { load_bytes: 16, store_bytes: 8, full_line_store: true, flops: 1 },
+        StreamTriad => Volume { load_bytes: 16, store_bytes: 8, full_line_store: true, flops: 2 },
+        SchoenauerTriad => Volume { load_bytes: 24, store_bytes: 8, full_line_store: true, flops: 2 },
+        Sum => Volume { load_bytes: 8, store_bytes: 0, full_line_store: false, flops: 1 },
+        Pi => Volume { load_bytes: 0, store_bytes: 0, full_line_store: false, flops: 5 },
+        // One sweep touches 3 distinct rows; with layer reuse the effective
+        // traffic per update is one load + one store stream.
+        GaussSeidel2D => Volume { load_bytes: 24, store_bytes: 8, full_line_store: true, flops: 4 },
+        Jacobi2D5 => Volume { load_bytes: 32, store_bytes: 8, full_line_store: true, flops: 4 },
+        Jacobi3D7 => Volume { load_bytes: 56, store_bytes: 8, full_line_store: true, flops: 7 },
+        Jacobi3D11 => Volume { load_bytes: 88, store_bytes: 8, full_line_store: true, flops: 11 },
+        Jacobi3D27 => Volume { load_bytes: 216, store_bytes: 8, full_line_store: true, flops: 27 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StreamKernel;
+
+    #[test]
+    fn stream_triad_matches_mccalpin() {
+        let v = volume(StreamKernel::StreamTriad);
+        assert_eq!(v.load_bytes, 16);
+        assert_eq!(v.store_bytes, 8);
+        assert_eq!(v.flops, 2);
+        // With full WA the triad moves 32 B per iteration.
+        assert_eq!(v.traffic_bytes(2.0), 32.0);
+        assert_eq!(v.traffic_bytes(1.0), 24.0);
+    }
+
+    #[test]
+    fn intensity_ordering() {
+        // π is compute-only; INIT is pure bandwidth.
+        assert!(volume(StreamKernel::Pi).intensity(2.0).is_infinite());
+        assert_eq!(volume(StreamKernel::Init).intensity(1.0), 0.0);
+        let add = volume(StreamKernel::Add).intensity(1.0);
+        let j27 = volume(StreamKernel::Jacobi3D27).intensity(1.0);
+        assert!(j27 > add, "stencils have higher intensity than ADD");
+    }
+
+    #[test]
+    fn all_kernels_have_volumes() {
+        for k in StreamKernel::ALL {
+            let v = volume(k);
+            assert!(v.load_bytes + v.store_bytes + v.flops > 0, "{}", k.name());
+        }
+    }
+}

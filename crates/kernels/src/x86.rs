@@ -1,0 +1,465 @@
+//! x86-64 (AT&T) code generation for the 13 kernels.
+//!
+//! Register conventions: `rdi` = target array `a`, `rsi` = `b` (or the
+//! row being swept), `rdx` = `c` / north row, `rcx` = `d` / south row,
+//! `r9`–`r14` = additional stencil streams, `rax` = loop index, `r8` =
+//! limit. Constants live in high vector registers: `15` = scale `s`,
+//! `14` = 1.0, `13` = 4.0, `12` = dx.
+
+use crate::{GenCfg, StreamKernel};
+use std::fmt::Write;
+
+/// Emit the loop for a kernel under the given configuration.
+pub fn emit(kernel: StreamKernel, cfg: &GenCfg) -> String {
+    let mut g = Gen::new(cfg);
+    g.kernel(kernel);
+    g.out
+}
+
+struct Gen<'a> {
+    cfg: &'a GenCfg,
+    out: String,
+}
+
+impl<'a> Gen<'a> {
+    fn new(cfg: &'a GenCfg) -> Self {
+        let mut out = String::new();
+        let _ = writeln!(out, "# generated x86-64 kernel (width={}, unroll={})", cfg.width, cfg.unroll);
+        Gen { cfg, out }
+    }
+
+    fn scalar(&self) -> bool {
+        self.cfg.width == 0
+    }
+
+    /// Bytes advanced per (vector or scalar) operation.
+    fn step(&self) -> usize {
+        if self.scalar() {
+            8
+        } else {
+            self.cfg.width as usize / 8
+        }
+    }
+
+    /// Vector register name for logical index `i`.
+    fn vr(&self, i: usize) -> String {
+        match self.cfg.width {
+            0 | 128 => format!("%xmm{i}"),
+            256 => format!("%ymm{i}"),
+            _ => format!("%zmm{i}"),
+        }
+    }
+
+    fn line(&mut self, s: &str) {
+        let _ = writeln!(self.out, "    {s}");
+    }
+
+    fn label(&mut self) {
+        let _ = writeln!(self.out, ".L0:");
+    }
+
+    /// Memory operand: vector loops index in bytes, scalar loops in
+    /// elements with scale 8.
+    fn mem(&self, base: &str, off_bytes: i64) -> String {
+        if self.scalar() {
+            if off_bytes == 0 {
+                format!("(%{base},%rax,8)")
+            } else {
+                format!("{off_bytes}(%{base},%rax,8)")
+            }
+        } else if off_bytes == 0 {
+            format!("(%{base},%rax)")
+        } else {
+            format!("{off_bytes}(%{base},%rax)")
+        }
+    }
+
+    /// Packed/scalar mnemonic selection.
+    fn op(&self, packed: &str, scal: &str) -> String {
+        if self.scalar() {
+            if self.cfg.legacy_sse {
+                scal.to_string()
+            } else {
+                format!("v{scal}")
+            }
+        } else {
+            format!("v{packed}")
+        }
+    }
+
+    /// Load `src_mem` into register `dst`.
+    fn load(&mut self, mem: String, dst: &str) {
+        let m = self.op("movupd", "movsd");
+        self.line(&format!("{m} {mem}, {dst}"));
+    }
+
+    /// Store register `src` to memory.
+    fn store(&mut self, src: &str, mem: String) {
+        let m = if self.cfg.nt_stores && !self.scalar() {
+            "vmovntpd".to_string()
+        } else {
+            self.op("movupd", "movsd")
+        };
+        self.line(&format!("{m} {src}, {mem}"));
+    }
+
+    /// dst = dst OP src (src may be memory). Handles legacy two-operand
+    /// SSE vs. VEX three-operand forms.
+    fn arith(&mut self, packed: &str, scal: &str, src: &str, dst: &str) {
+        if self.scalar() && self.cfg.legacy_sse {
+            self.line(&format!("{scal} {src}, {dst}"));
+        } else {
+            let m = if self.scalar() { format!("v{scal}") } else { format!("v{packed}") };
+            self.line(&format!("{m} {src}, {dst}, {dst}"));
+        }
+    }
+
+    /// dst += m1 * r2 as an FMA (requires `cfg.fma`; falls back to
+    /// mul+add through a scratch register otherwise).
+    fn fma_acc(&mut self, mul_src: &str, mul_by: &str, acc: &str, scratch: &str) {
+        if self.cfg.fma && !self.cfg.legacy_sse {
+            let m = if self.scalar() { "vfmadd231sd" } else { "vfmadd231pd" };
+            self.line(&format!("{m} {mul_src}, {mul_by}, {acc}"));
+        } else {
+            // scratch = mul_src; scratch *= mul_by; acc += scratch
+            self.load(mul_src.to_string(), scratch);
+            self.arith("mulpd", "mulsd", mul_by, scratch);
+            self.arith("addpd", "addsd", scratch, acc);
+        }
+    }
+
+    /// Standard loop tail: advance index, compare, branch.
+    fn tail(&mut self, per_iter_ops: usize) {
+        let inc = if self.scalar() { per_iter_ops as i64 } else { (per_iter_ops * self.step()) as i64 };
+        self.line(&format!("addq ${inc}, %rax"));
+        self.line("cmpq %r8, %rax");
+        self.line("jne .L0");
+    }
+
+    /// Counter-based tail (`subq $1` loops used by reductions and π).
+    fn tail_count(&mut self) {
+        self.line("subq $1, %rax");
+        self.line("jne .L0");
+    }
+
+    fn kernel(&mut self, kernel: StreamKernel) {
+        use StreamKernel::*;
+        let u_count = self.cfg.unroll;
+        match kernel {
+            Init => {
+                self.label();
+                for u in 0..u_count {
+                    let m = self.mem("rdi", (u * self.step()) as i64);
+                    let v = self.vr(15);
+                    self.store(&v, m);
+                }
+                self.tail(u_count);
+            }
+            Copy => {
+                self.label();
+                for u in 0..u_count {
+                    let off = (u * self.step()) as i64;
+                    let v = self.vr(1 + u);
+                    self.load(self.mem("rsi", off), &v);
+                    self.store(&v, self.mem("rdi", off));
+                }
+                self.tail(u_count);
+            }
+            Update => {
+                self.label();
+                for u in 0..u_count {
+                    let off = (u * self.step()) as i64;
+                    let v = self.vr(1 + u);
+                    let s = self.vr(15);
+                    self.load(self.mem("rdi", off), &v);
+                    self.arith("mulpd", "mulsd", &s, &v);
+                    self.store(&v, self.mem("rdi", off));
+                }
+                self.tail(u_count);
+            }
+            Add => {
+                self.label();
+                for u in 0..u_count {
+                    let off = (u * self.step()) as i64;
+                    let v = self.vr(1 + u);
+                    self.load(self.mem("rsi", off), &v);
+                    let c = self.mem("rdx", off);
+                    self.arith("addpd", "addsd", &c, &v);
+                    self.store(&v, self.mem("rdi", off));
+                }
+                self.tail(u_count);
+            }
+            StreamTriad => {
+                // a = b + s*c : load c, acc = b, fma acc += s*c.
+                self.label();
+                for u in 0..u_count {
+                    let off = (u * self.step()) as i64;
+                    let v = self.vr(1 + u); // c
+                    let w = self.vr(5 + u); // acc = b
+                    let s = self.vr(15);
+                    let scratch = self.vr(9 + (u % 2));
+                    self.load(self.mem("rdx", off), &v);
+                    self.load(self.mem("rsi", off), &w);
+                    self.fma_acc(&v.clone(), &s, &w, &scratch);
+                    self.store(&w, self.mem("rdi", off));
+                }
+                self.tail(u_count);
+            }
+            SchoenauerTriad => {
+                // a = b + c*d : acc = b, fma acc += c * d(mem).
+                self.label();
+                for u in 0..u_count {
+                    let off = (u * self.step()) as i64;
+                    let v = self.vr(1 + u); // c
+                    let w = self.vr(5 + u); // acc = b
+                    let scratch = self.vr(9 + (u % 2));
+                    self.load(self.mem("rdx", off), &v);
+                    self.load(self.mem("rsi", off), &w);
+                    let d = self.mem("rcx", off);
+                    self.fma_acc(&d, &v, &w, &scratch);
+                    self.store(&w, self.mem("rdi", off));
+                }
+                self.tail(u_count);
+            }
+            Sum => {
+                let accs = self.cfg.accumulators.max(1);
+                self.label();
+                for u in 0..u_count.max(accs) {
+                    let off = (u * self.step()) as i64;
+                    let acc = self.vr(u % accs);
+                    let m = self.mem("rsi", off);
+                    self.arith("addpd", "addsd", &m, &acc);
+                }
+                self.tail(u_count.max(accs));
+            }
+            Pi => {
+                let accs = self.cfg.accumulators.max(1);
+                self.label();
+                for u in 0..u_count {
+                    let x = self.vr(1); // running x
+                    let t = self.vr(5 + (u % 2));
+                    let q = self.vr(7 + (u % 2));
+                    let ones = self.vr(14);
+                    let fours = self.vr(13);
+                    let dx = self.vr(12);
+                    let acc = self.vr(u % accs);
+                    // t = x*x ; t = 1 + t ; q = 4 / t ; acc += q ; x += dx
+                    if self.scalar() && self.cfg.legacy_sse {
+                        self.line(&format!("movapd {x}, {t}"));
+                        self.line(&format!("mulsd {x}, {t}"));
+                        self.line(&format!("addsd {ones}, {t}"));
+                        self.line(&format!("movapd {fours}, {q}"));
+                        self.line(&format!("divsd {t}, {q}"));
+                        self.line(&format!("addsd {q}, {acc}"));
+                        self.line(&format!("addsd {dx}, {x}"));
+                    } else if self.scalar() {
+                        self.line(&format!("vmulsd {x}, {x}, {t}"));
+                        self.line(&format!("vaddsd {ones}, {t}, {t}"));
+                        self.line(&format!("vdivsd {t}, {fours}, {q}"));
+                        self.line(&format!("vaddsd {q}, {acc}, {acc}"));
+                        self.line(&format!("vaddsd {dx}, {x}, {x}"));
+                    } else {
+                        self.line(&format!("vmulpd {x}, {x}, {t}"));
+                        self.line(&format!("vaddpd {ones}, {t}, {t}"));
+                        self.line(&format!("vdivpd {t}, {fours}, {q}"));
+                        self.line(&format!("vaddpd {q}, {acc}, {acc}"));
+                        self.line(&format!("vaddpd {dx}, {x}, {x}"));
+                    }
+                }
+                self.tail_count();
+            }
+            GaussSeidel2D => {
+                // phi[j] = 0.25*(phi_N[j] + phi_S[j] + phi[j+1] + phi[j-1])
+                // with phi[j-1] carried in xmm0 — the true dependency chain.
+                let legacy = self.cfg.legacy_sse;
+                self.label();
+                if legacy {
+                    self.line("movsd 8(%rsi,%rax,8), %xmm1");
+                    self.line("addsd (%rdx,%rax,8), %xmm1");
+                    self.line("addsd (%rcx,%rax,8), %xmm1");
+                    self.line("addsd %xmm0, %xmm1");
+                    self.line("movapd %xmm1, %xmm0");
+                    self.line("mulsd %xmm7, %xmm0");
+                    self.line("movsd %xmm0, (%rsi,%rax,8)");
+                } else {
+                    self.line("vmovsd 8(%rsi,%rax,8), %xmm1");
+                    self.line("vaddsd (%rdx,%rax,8), %xmm1, %xmm1");
+                    self.line("vaddsd (%rcx,%rax,8), %xmm1, %xmm1");
+                    self.line("vaddsd %xmm0, %xmm1, %xmm1");
+                    self.line("vmulsd %xmm7, %xmm1, %xmm0");
+                    self.line("vmovsd %xmm0, (%rsi,%rax,8)");
+                }
+                self.line("addq $1, %rax");
+                self.line("cmpq %r8, %rax");
+                self.line("jne .L0");
+            }
+            Jacobi2D5 => self.jacobi(&[("rsi", -8), ("rsi", 8), ("rdx", 0), ("rcx", 0)]),
+            Jacobi3D7 => self.jacobi(&[
+                ("rsi", -8),
+                ("rsi", 0),
+                ("rsi", 8),
+                ("rdx", 0),
+                ("rcx", 0),
+                ("r9", 0),
+                ("r10", 0),
+            ]),
+            Jacobi3D11 => self.jacobi(&[
+                ("rsi", -16),
+                ("rsi", -8),
+                ("rsi", 0),
+                ("rsi", 8),
+                ("rsi", 16),
+                ("rdx", 0),
+                ("rcx", 0),
+                ("r9", 0),
+                ("r10", 0),
+                ("r11", 0),
+                ("r12", 0),
+            ]),
+            Jacobi3D27 => {
+                let mut pts = Vec::new();
+                for base in ["rsi", "rdx", "rcx", "r9", "r10", "r11", "r12", "r13", "r14"] {
+                    for off in [-8i64, 0, 8] {
+                        pts.push((base, off));
+                    }
+                }
+                self.jacobi(&pts);
+            }
+        }
+    }
+
+    /// Generic Jacobi-style stencil: sum the points, scale, store.
+    fn jacobi(&mut self, points: &[(&str, i64)]) {
+        let u_count = self.cfg.unroll;
+        self.label();
+        for u in 0..u_count {
+            let base_off = (u * self.step()) as i64;
+            let elem = if self.scalar() { 1 } else { self.step() as i64 / 8 };
+            let v = self.vr(1 + u);
+            let scale = self.vr(15);
+            let (first_base, first_off) = points[0];
+            let scaled_first = if self.scalar() { base_off / 8 * 8 } else { base_off };
+            let _ = elem;
+            self.load(self.mem(first_base, first_off + scaled_first), &v);
+            for &(base, off) in &points[1..] {
+                let m = self.mem(base, off + scaled_first);
+                self.arith("addpd", "addsd", &m, &v);
+            }
+            self.arith("mulpd", "mulsd", &scale, &v);
+            self.store(&v, self.mem("rdi", scaled_first));
+        }
+        self.tail(u_count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GenCfg;
+    use isa::{parse_kernel, Isa};
+
+    fn cfg(width: u16, unroll: usize, legacy: bool) -> GenCfg {
+        GenCfg {
+            width,
+            unroll,
+            accumulators: 1,
+            fma: true,
+            legacy_sse: legacy,
+            sve: false,
+            nt_stores: false,
+            post_index: false,
+        }
+    }
+
+    fn parse(kernel: StreamKernel, c: &GenCfg) -> isa::Kernel {
+        let asm = emit(kernel, c);
+        parse_kernel(&asm, Isa::X86).unwrap_or_else(|e| panic!("{e}\n{asm}"))
+    }
+
+    #[test]
+    fn add_vector_structure() {
+        let k = parse(StreamKernel::Add, &cfg(512, 1, false));
+        assert_eq!(k.load_count(), 2);
+        assert_eq!(k.store_count(), 1);
+        assert_eq!(k.dominant_ext(), isa::IsaExt::Avx512);
+    }
+
+    #[test]
+    fn add_scalar_legacy_sse() {
+        let k = parse(StreamKernel::Add, &cfg(0, 1, true));
+        assert_eq!(k.dominant_ext(), isa::IsaExt::Sse);
+        assert!(k.instructions.iter().any(|i| i.mnemonic == "addsd"));
+    }
+
+    #[test]
+    fn unrolling_multiplies_body() {
+        let k1 = parse(StreamKernel::Copy, &cfg(256, 1, false));
+        let k4 = parse(StreamKernel::Copy, &cfg(256, 4, false));
+        assert_eq!(k4.load_count(), 4 * k1.load_count());
+        assert_eq!(k4.store_count(), 4 * k1.store_count());
+    }
+
+    #[test]
+    fn triads_use_fma_when_enabled() {
+        let k = parse(StreamKernel::StreamTriad, &cfg(512, 1, false));
+        assert!(k.instructions.iter().any(|i| i.mnemonic.starts_with("vfmadd")));
+        let nofma = GenCfg { fma: false, ..cfg(512, 1, false) };
+        let k2 = parse(StreamKernel::StreamTriad, &nofma);
+        assert!(!k2.instructions.iter().any(|i| i.mnemonic.starts_with("vfmadd")));
+        assert!(k2.instructions.iter().any(|i| i.mnemonic == "vmulpd"));
+    }
+
+    #[test]
+    fn pi_contains_divide() {
+        for c in [cfg(0, 1, true), cfg(0, 1, false), cfg(512, 1, false)] {
+            let k = parse(StreamKernel::Pi, &c);
+            assert!(
+                k.instructions.iter().any(|i| i.mnemonic.contains("div")),
+                "missing div at width {}",
+                c.width
+            );
+        }
+    }
+
+    #[test]
+    fn gauss_seidel_has_register_chain() {
+        let k = parse(StreamKernel::GaussSeidel2D, &cfg(0, 1, false));
+        // xmm0 must be read and written in the body (the carried value).
+        let reads0 = k.instructions.iter().any(|i| {
+            isa::dataflow::dataflow(i).reads.iter().any(|r| r.index == 0 && r.class == isa::RegClass::Vec)
+        });
+        let writes0 = k.instructions.iter().any(|i| {
+            isa::dataflow::dataflow(i).writes.iter().any(|r| r.index == 0 && r.class == isa::RegClass::Vec)
+        });
+        assert!(reads0 && writes0);
+    }
+
+    #[test]
+    fn jacobi_load_counts() {
+        assert_eq!(parse(StreamKernel::Jacobi2D5, &cfg(512, 1, false)).load_count(), 4);
+        assert_eq!(parse(StreamKernel::Jacobi3D7, &cfg(512, 1, false)).load_count(), 7);
+        assert_eq!(parse(StreamKernel::Jacobi3D11, &cfg(512, 1, false)).load_count(), 11);
+        assert_eq!(parse(StreamKernel::Jacobi3D27, &cfg(512, 1, false)).load_count(), 27);
+    }
+
+    #[test]
+    fn nt_store_flag() {
+        let c = GenCfg { nt_stores: true, ..cfg(512, 2, false) };
+        let k = parse(StreamKernel::Init, &c);
+        assert!(k.instructions.iter().filter(|i| i.is_store()).all(|i| i.is_nt_store()));
+    }
+
+    #[test]
+    fn sum_uses_accumulators() {
+        let c = GenCfg { accumulators: 4, ..cfg(256, 4, false) };
+        let k = parse(StreamKernel::Sum, &c);
+        // Four distinct accumulator registers ymm0..ymm3.
+        let accs: std::collections::HashSet<u8> = k
+            .instructions
+            .iter()
+            .filter(|i| i.mnemonic == "vaddpd")
+            .filter_map(|i| i.operands.last().and_then(|o| o.as_reg()).map(|r| r.index))
+            .collect();
+        assert_eq!(accs.len(), 4);
+    }
+}

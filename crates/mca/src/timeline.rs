@@ -1,0 +1,115 @@
+//! llvm-mca-style timeline view.
+//!
+//! Renders a per-instance timeline in (a simplification of) MCA's
+//! notation: `D` = dispatched, `=` = waiting in a reservation queue,
+//! `E` = issued to its port, `.` = (not tracked further). One row per
+//! instruction instance, labelled `[iteration,index]`.
+
+
+use isa::Kernel;
+use uarch::Machine;
+
+/// Render a timeline of the first `iters` iterations.
+pub fn render(machine: &Machine, kernel: &Kernel, iters: usize) -> String {
+    use std::fmt::Write;
+    let (result, events) = crate::predict_with_events(machine, kernel, iters);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "MCA timeline — {} ({:.2} cy/iter predicted)",
+        machine.arch.label(),
+        result.cycles_per_iter
+    );
+    if events.is_empty() {
+        return out;
+    }
+    let t_end = events
+        .iter()
+        .map(|e| if e.issued == u64::MAX { e.dispatched } else { e.issued } + 1)
+        .max()
+        .unwrap_or(1)
+        .min(events.iter().map(|e| e.dispatched).min().unwrap_or(0) + 120);
+    let t0 = events.iter().map(|e| e.dispatched).min().unwrap_or(0);
+
+    // Cycle ruler (tens digits).
+    let _ = write!(out, "{:<10}", "");
+    for t in t0..t_end {
+        let _ = write!(out, "{}", (t / 10) % 10);
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "{:<10}", "");
+    for t in t0..t_end {
+        let _ = write!(out, "{}", t % 10);
+    }
+    let _ = writeln!(out);
+
+    for e in &events {
+        let label = format!("[{},{}]", e.iter, e.idx);
+        let _ = write!(out, "{label:<10}");
+        for t in t0..t_end {
+            let c = if t < e.dispatched {
+                ' '
+            } else if t == e.dispatched && (e.issued == u64::MAX || e.issued != e.dispatched) {
+                'D'
+            } else if e.issued != u64::MAX && t == e.issued {
+                'E'
+            } else if e.issued != u64::MAX && t < e.issued {
+                '='
+            } else {
+                '.'
+            };
+            let _ = write!(out, "{c}");
+        }
+        let text = kernel
+            .instructions
+            .get(e.idx)
+            .map(|i| i.raw.as_str())
+            .unwrap_or("");
+        let _ = writeln!(out, " {text}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isa::{parse_kernel, Isa};
+
+    #[test]
+    fn timeline_renders_rows_per_instance() {
+        let m = Machine::golden_cove();
+        let k = parse_kernel(
+            ".L1:\n vmulpd %zmm0, %zmm1, %zmm2\n subq $1, %rax\n jne .L1\n",
+            Isa::X86,
+        )
+        .unwrap();
+        let t = render(&m, &k, 2);
+        // 2 iterations × 3 instructions = 6 rows.
+        assert_eq!(t.matches("[0,").count() + t.matches("[1,").count(), 6);
+        assert!(t.contains('E'), "every instance should issue");
+        assert!(t.contains("vmulpd"));
+    }
+
+    #[test]
+    fn dependent_chain_issues_later() {
+        let m = Machine::golden_cove();
+        let k = parse_kernel(
+            ".L1:\n vdivpd %zmm1, %zmm2, %zmm3\n vaddpd %zmm3, %zmm4, %zmm5\n subq $1, %rax\n jne .L1\n",
+            Isa::X86,
+        )
+        .unwrap();
+        let (_, events) = crate::predict_with_events(&m, &k, 1);
+        let div = events.iter().find(|e| e.idx == 0).unwrap();
+        let add = events.iter().find(|e| e.idx == 1).unwrap();
+        // The add waits for the divide's 14-cycle latency.
+        assert!(add.issued >= div.issued + 14, "div@{} add@{}", div.issued, add.issued);
+    }
+
+    #[test]
+    fn empty_kernel_timeline() {
+        let m = Machine::zen4();
+        let k = Kernel { instructions: vec![], isa: Isa::X86, loop_label: None };
+        let t = render(&m, &k, 2);
+        assert!(t.contains("0.00 cy/iter"));
+    }
+}

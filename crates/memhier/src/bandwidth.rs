@@ -1,0 +1,96 @@
+//! Multi-core bandwidth-saturation model.
+//!
+//! A single core can only keep a limited number of outstanding cache-line
+//! transfers in flight, so per-core bandwidth is far below the socket
+//! limit; aggregate bandwidth grows roughly linearly with cores until the
+//! memory interface saturates. This latency–concurrency model backs the
+//! "measured bandwidth" rows of Table I and the utilization estimates of
+//! the store benchmark.
+
+use uarch::Machine;
+
+/// Sustained load-only bandwidth (GB/s) at `cores` active cores, using a
+/// smooth saturation curve `B(n) = B_sat · (1 − exp(−n·b₁/B_sat))` which
+/// matches the linear small-`n` regime (slope = per-core bandwidth b₁) and
+/// the measured socket plateau.
+pub fn sustained_bandwidth_gbs(machine: &Machine, cores: u32) -> f64 {
+    let cfg = crate::policy::WaConfig::for_arch(machine.arch);
+    let b_sat = machine.memory.measured_bw_gbs();
+    let b1 = cfg.per_core_load_bw_gbs;
+    let n = cores.clamp(1, machine.cores) as f64;
+    b_sat * (1.0 - (-n * b1 / b_sat).exp())
+}
+
+/// Bandwidth efficiency at full socket: measured / theoretical (Table I:
+/// 87 % GCS, 90 % SPR, 78 % Genoa — the paper's §II comparison).
+pub fn full_socket_efficiency(machine: &Machine) -> f64 {
+    sustained_bandwidth_gbs(machine, machine.cores) / machine.memory.theor_bw_gbs
+}
+
+/// Number of cores needed to reach a given fraction of the sustained
+/// socket bandwidth.
+pub fn cores_to_reach(machine: &Machine, fraction: f64) -> u32 {
+    let target = machine.memory.measured_bw_gbs() * fraction.clamp(0.0, 0.999);
+    (1..=machine.cores)
+        .find(|&n| sustained_bandwidth_gbs(machine, n) >= target)
+        .unwrap_or(machine.cores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch::Machine;
+
+    #[test]
+    fn saturates_to_measured_socket_bandwidth() {
+        for m in uarch::all_machines() {
+            let full = sustained_bandwidth_gbs(&m, m.cores);
+            let expected = m.memory.measured_bw_gbs();
+            assert!(
+                (full - expected).abs() / expected < 0.05,
+                "{}: {full} vs {expected}",
+                m.arch.label()
+            );
+        }
+    }
+
+    #[test]
+    fn monotone_in_cores() {
+        let m = Machine::golden_cove();
+        let mut prev = 0.0;
+        for n in 1..=m.cores {
+            let b = sustained_bandwidth_gbs(&m, n);
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn single_core_is_far_from_saturation() {
+        for m in uarch::all_machines() {
+            let one = sustained_bandwidth_gbs(&m, 1);
+            assert!(one < 0.2 * m.memory.measured_bw_gbs(), "{}", m.arch.label());
+        }
+    }
+
+    #[test]
+    fn efficiency_ordering_matches_paper() {
+        // Paper §II: SPR 90 % > GCS 87 % > Genoa 78 %.
+        let spr = full_socket_efficiency(&Machine::golden_cove());
+        let gcs = full_socket_efficiency(&Machine::neoverse_v2());
+        let genoa = full_socket_efficiency(&Machine::zen4());
+        assert!(spr > gcs && gcs > genoa, "spr={spr} gcs={gcs} genoa={genoa}");
+        assert!((spr - 0.90).abs() < 0.05);
+        assert!((gcs - 0.87).abs() < 0.05);
+        assert!((genoa - 0.78).abs() < 0.05);
+    }
+
+    #[test]
+    fn cores_to_reach_is_sensible() {
+        let m = Machine::golden_cove();
+        let half = cores_to_reach(&m, 0.5);
+        let ninety = cores_to_reach(&m, 0.9);
+        assert!(half < ninety);
+        assert!(ninety <= m.cores);
+    }
+}

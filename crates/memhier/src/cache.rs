@@ -1,0 +1,389 @@
+//! Set-associative write-back cache with LRU replacement.
+
+/// Kind of access presented to a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Data read.
+    Load,
+    /// Store that overwrites the full cache line (streaming stores always
+    /// do; the automatic line-claim detector keys on this).
+    StoreFullLine,
+    /// Store that modifies part of a line (must read-for-ownership).
+    StorePartial,
+}
+
+/// What a cache level asked of the next level as a result of an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Downstream {
+    /// Line fill requested (read miss or RFO).
+    pub fill: bool,
+    /// Dirty line written back during eviction.
+    pub writeback: bool,
+    /// Line address of the written-back victim (valid when `writeback`).
+    pub writeback_addr: u64,
+}
+
+/// Event counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub loads: u64,
+    pub stores: u64,
+    pub load_misses: u64,
+    pub store_misses: u64,
+    /// Store misses satisfied by claiming the line without a fill.
+    pub claims: u64,
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    pub fn misses(&self) -> u64 {
+        self.load_misses + self.store_misses
+    }
+    pub fn accesses(&self) -> u64 {
+        self.loads + self.stores
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU stamp; larger = more recent.
+    lru: u64,
+}
+
+/// One set-associative cache level.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: Vec<Vec<Line>>,
+    line_bytes: u64,
+    set_shift: u32,
+    set_mask: u64,
+    clock: u64,
+    /// Whether full-line store misses claim the line without a fill
+    /// (write-allocate evasion by cache-line claim).
+    pub line_claim: bool,
+    pub stats: CacheStats,
+}
+
+impl Cache {
+    /// Create a cache of `size_bytes` with `assoc` ways and `line_bytes`
+    /// lines. `size_bytes` is rounded down to a whole number of sets.
+    pub fn new(size_bytes: u64, assoc: usize, line_bytes: u64) -> Cache {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        let num_lines = (size_bytes / line_bytes).max(assoc as u64);
+        let raw_sets = (num_lines / assoc as u64).max(1);
+        // Round *down* to a power of two so the set-index mask works.
+        let num_sets = if raw_sets.is_power_of_two() {
+            raw_sets
+        } else {
+            raw_sets.next_power_of_two() / 2
+        };
+        Cache {
+            sets: vec![
+                vec![Line { tag: 0, valid: false, dirty: false, lru: 0 }; assoc];
+                num_sets as usize
+            ],
+            line_bytes,
+            set_shift: line_bytes.trailing_zeros(),
+            set_mask: num_sets - 1,
+            clock: 0,
+            line_claim: false,
+            stats: CacheStats::default(),
+        }
+    }
+
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    fn set_of(&self, addr: u64) -> (usize, u64) {
+        let line_addr = addr >> self.set_shift;
+        ((line_addr & self.set_mask) as usize, line_addr >> self.sets.len().trailing_zeros())
+    }
+
+    /// Reconstruct the byte address of a line from its set and tag.
+    fn addr_of(&self, set_idx: usize, tag: u64) -> u64 {
+        let set_bits = self.sets.len().trailing_zeros();
+        ((tag << set_bits) | set_idx as u64) << self.set_shift
+    }
+
+    /// Perform an access; returns what was requested downstream.
+    pub fn access(&mut self, addr: u64, kind: Access) -> Downstream {
+        self.clock += 1;
+        let clock = self.clock;
+        let (set_idx, tag) = self.set_of(addr);
+        let set = &mut self.sets[set_idx];
+        let is_store = kind != Access::Load;
+        if is_store {
+            self.stats.stores += 1;
+        } else {
+            self.stats.loads += 1;
+        }
+
+        // Hit?
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = clock;
+            if is_store {
+                line.dirty = true;
+            }
+            return Downstream::default();
+        }
+
+        // Miss: account, then find a victim.
+        if is_store {
+            self.stats.store_misses += 1;
+        } else {
+            self.stats.load_misses += 1;
+        }
+        let victim_idx = (0..set.len())
+            .min_by_key(|&w| if set[w].valid { set[w].lru } else { 0 })
+            .expect("cache has at least one way");
+        let victim = &mut set[victim_idx];
+        let mut down = Downstream::default();
+        if victim.valid && victim.dirty {
+            down.writeback = true;
+            down.writeback_addr = {
+                let tag = victim.tag;
+                // Borrow ends before we call addr_of via a scoped copy.
+                tag
+            };
+            self.stats.writebacks += 1;
+        }
+        // Fill or claim.
+        let claim = self.line_claim && kind == Access::StoreFullLine;
+        if claim {
+            self.stats.claims += 1;
+        } else {
+            down.fill = true;
+        }
+        *victim = Line { tag, valid: true, dirty: is_store, lru: clock };
+        if down.writeback {
+            down.writeback_addr = self.addr_of(set_idx, down.writeback_addr);
+        }
+        down
+    }
+
+    /// Insert a clean line (prefetch fill) without touching the demand
+    /// counters. Returns `(was_already_present, displaced_dirty_victim)`.
+    pub fn prefetch_insert(&mut self, addr: u64) -> (bool, Option<u64>) {
+        self.clock += 1;
+        let clock = self.clock;
+        let (set_idx, tag) = self.set_of(addr);
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = clock;
+            return (true, None);
+        }
+        let victim_idx = (0..set.len())
+            .min_by_key(|&w| if set[w].valid { set[w].lru } else { 0 })
+            .expect("cache has at least one way");
+        let victim = set[victim_idx];
+        set[victim_idx] = Line { tag, valid: true, dirty: false, lru: clock };
+        let displaced = (victim.valid && victim.dirty).then(|| {
+            self.stats.writebacks += 1;
+            self.addr_of(set_idx, victim.tag)
+        });
+        (false, displaced)
+    }
+
+    /// Insert a written-back line from an upper level: allocate it dirty
+    /// *without* fetching from below (a writeback carries the full line).
+    /// Returns the address of a dirty victim this insertion displaced, if
+    /// any.
+    pub fn writeback_insert(&mut self, addr: u64) -> Option<u64> {
+        self.clock += 1;
+        let clock = self.clock;
+        let (set_idx, tag) = self.set_of(addr);
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.dirty = true;
+            line.lru = clock;
+            return None;
+        }
+        let victim_idx = (0..set.len())
+            .min_by_key(|&w| if set[w].valid { set[w].lru } else { 0 })
+            .expect("cache has at least one way");
+        let victim = set[victim_idx];
+        set[victim_idx] = Line { tag, valid: true, dirty: true, lru: clock };
+        if victim.valid && victim.dirty {
+            self.stats.writebacks += 1;
+            Some(self.addr_of(set_idx, victim.tag))
+        } else {
+            None
+        }
+    }
+
+    /// Flush all dirty lines, counting writebacks. Returns how many lines
+    /// were written back.
+    pub fn flush(&mut self) -> u64 {
+        let mut wb = 0;
+        for set in &mut self.sets {
+            for line in set.iter_mut() {
+                if line.valid && line.dirty {
+                    wb += 1;
+                }
+                line.valid = false;
+                line.dirty = false;
+            }
+        }
+        self.stats.writebacks += wb;
+        wb
+    }
+
+    /// Number of ways.
+    pub fn assoc(&self) -> usize {
+        self.sets[0].len()
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 8 sets × 2 ways × 64 B = 1 KiB.
+        Cache::new(1024, 2, 64)
+    }
+
+    #[test]
+    fn geometry() {
+        let c = small();
+        assert_eq!(c.assoc(), 2);
+        assert_eq!(c.num_sets(), 8);
+        assert_eq!(c.line_bytes(), 64);
+    }
+
+    #[test]
+    fn load_hit_after_fill() {
+        let mut c = small();
+        let d = c.access(0x1000, Access::Load);
+        assert!(d.fill && !d.writeback);
+        let d = c.access(0x1000, Access::Load);
+        assert!(!d.fill);
+        assert_eq!(c.stats.load_misses, 1);
+        assert_eq!(c.stats.loads, 2);
+    }
+
+    #[test]
+    fn store_miss_allocates_and_writes_back() {
+        let mut c = small();
+        // Store to a line → RFO fill; evicting it later → writeback.
+        let d = c.access(0x0, Access::StoreFullLine);
+        assert!(d.fill);
+        // Two more lines in the same set (stride = sets × line = 512 B).
+        let d = c.access(512, Access::StoreFullLine);
+        assert!(d.fill && !d.writeback);
+        let d = c.access(1024, Access::StoreFullLine);
+        assert!(d.fill && d.writeback, "LRU dirty line must be written back");
+        assert_eq!(c.stats.writebacks, 1);
+    }
+
+    #[test]
+    fn line_claim_avoids_fill() {
+        let mut c = small();
+        c.line_claim = true;
+        let d = c.access(0x0, Access::StoreFullLine);
+        assert!(!d.fill, "claimed line must not be fetched");
+        assert_eq!(c.stats.claims, 1);
+        // Partial stores still fetch.
+        let d = c.access(0x40, Access::StorePartial);
+        assert!(d.fill);
+    }
+
+    #[test]
+    fn lru_keeps_recently_used() {
+        let mut c = small();
+        c.access(0x0, Access::Load); // way A
+        c.access(512, Access::Load); // way B
+        c.access(0x0, Access::Load); // refresh A
+        c.access(1024, Access::Load); // evicts B
+        assert!(!c.access(0x0, Access::Load).fill, "A must still be resident");
+        assert!(c.access(512, Access::Load).fill, "B must have been evicted");
+    }
+
+    #[test]
+    fn flush_counts_dirty_lines() {
+        let mut c = small();
+        c.access(0x0, Access::StoreFullLine);
+        c.access(0x40, Access::StoreFullLine);
+        c.access(0x80, Access::Load);
+        assert_eq!(c.flush(), 2);
+        // After flush everything misses again.
+        assert!(c.access(0x0, Access::Load).fill);
+    }
+
+    #[test]
+    fn streaming_store_ratio_is_two_with_wa() {
+        // Write a region 4× the cache size: every line → 1 fill + 1
+        // writeback → traffic ratio 2.
+        let mut c = small();
+        let lines = 4 * 1024 / 64;
+        let mut fills = 0;
+        let mut wbs = 0;
+        for i in 0..lines {
+            let d = c.access(i * 64, Access::StoreFullLine);
+            fills += d.fill as u64;
+            wbs += d.writeback as u64;
+        }
+        wbs += c.flush();
+        assert_eq!(fills, lines);
+        assert_eq!(wbs, lines);
+    }
+
+    #[test]
+    fn streaming_store_ratio_is_one_with_claim() {
+        let mut c = small();
+        c.line_claim = true;
+        let lines = 4 * 1024 / 64;
+        let mut fills = 0;
+        let mut wbs = 0;
+        for i in 0..lines {
+            let d = c.access(i * 64, Access::StoreFullLine);
+            fills += d.fill as u64;
+            wbs += d.writeback as u64;
+        }
+        wbs += c.flush();
+        assert_eq!(fills, 0);
+        assert_eq!(wbs, lines);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Invariants: misses ≤ accesses, writebacks ≤ store misses + claims
+        /// + flush count; a second pass over a cache-resident working set
+        /// never misses.
+        #[test]
+        fn stats_invariants(addrs in proptest::collection::vec(0u64..1 << 20, 1..500)) {
+            let mut c = Cache::new(16 * 1024, 4, 64);
+            for &a in &addrs {
+                let kind = if a % 3 == 0 { Access::Load } else { Access::StoreFullLine };
+                c.access(a, kind);
+            }
+            prop_assert!(c.stats.misses() <= c.stats.accesses());
+            prop_assert!(c.stats.claims == 0);
+        }
+
+        #[test]
+        fn resident_set_fully_hits_second_pass(start in 0u64..1024) {
+            let mut c = Cache::new(16 * 1024, 4, 64);
+            // 64 lines = 4 KiB ≪ 16 KiB cache.
+            let base = start * 64;
+            for i in 0..64u64 { c.access(base + i * 64, Access::Load); }
+            let misses_before = c.stats.load_misses;
+            for i in 0..64u64 { c.access(base + i * 64, Access::Load); }
+            prop_assert_eq!(c.stats.load_misses, misses_before);
+        }
+    }
+}

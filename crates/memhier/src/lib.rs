@@ -1,0 +1,30 @@
+//! Cache and memory-hierarchy simulator with write-allocate–evasion
+//! mechanisms — the substrate behind the paper's §III case study (Fig. 4)
+//! and the bandwidth rows of Table I.
+//!
+//! The crate provides:
+//!
+//! * [`cache`] — a set-associative, write-back/write-allocate cache with
+//!   LRU replacement and full event counting;
+//! * [`hierarchy`] — a private L1/L2 + shared-slice L3 stack per core with
+//!   a memory-traffic ledger;
+//! * [`policy`] — the three write-allocate–evasion mechanisms: automatic
+//!   *cache-line claim* (Neoverse V2 / many Arm cores), Intel's
+//!   bandwidth-gated *SpecI2M* RFO→I2M promotion, and *non-temporal
+//!   stores* through write-combining buffers (x86 and Arm);
+//! * [`storebench`] — the store-only benchmark of Fig. 4: memory traffic /
+//!   stored volume vs. active cores, standard and NT variants;
+//! * [`bandwidth`] — the multi-core bandwidth-saturation model used for
+//!   the measured-bandwidth rows of Table I.
+
+pub mod bandwidth;
+pub mod cache;
+pub mod hierarchy;
+pub mod policy;
+pub mod prefetch;
+pub mod storebench;
+
+pub use cache::{Access, Cache, CacheStats};
+pub use hierarchy::{Hierarchy, Traffic};
+pub use policy::{StoreKind, WaConfig, WaMode};
+pub use storebench::{store_traffic_ratio, StorePoint};

@@ -1,0 +1,173 @@
+//! Write-allocate–evasion policies and machine-specific memory parameters.
+
+use uarch::Arch;
+
+/// How a machine's cache hierarchy treats full-line store misses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WaMode {
+    /// Plain write-allocate: every store miss fetches the line (RFO).
+    WriteAllocate,
+    /// Automatic cache-line claim: the core detects a full-line overwrite
+    /// and claims the line without reading it (Arm CPUs incl. Neoverse V2).
+    AutoClaim,
+    /// Intel's SpecI2M: the fabric promotes RFO to I2M (claim) only when
+    /// the memory interface is close to saturation.
+    SpecI2M {
+        /// Utilization (0..1 of sustained bandwidth) at which promotion
+        /// begins.
+        onset: f64,
+        /// Maximum fraction of write-allocate fills that get promoted
+        /// (paper: SpecI2M removes at most ~25 % of the WA traffic).
+        max_fraction: f64,
+    },
+}
+
+/// Whether the store stream uses standard or non-temporal stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreKind {
+    Standard,
+    NonTemporal,
+}
+
+/// Per-machine memory-path parameters for the store benchmark and the
+/// bandwidth model.
+#[derive(Debug, Clone, Copy)]
+pub struct WaConfig {
+    pub arch: Arch,
+    pub mode: WaMode,
+    /// Cores per ccNUMA domain (SNC-4 on SPR → 13).
+    pub cores_per_domain: u32,
+    /// Sustained bandwidth of one ccNUMA domain in GB/s.
+    pub domain_bw_gbs: f64,
+    /// Memory traffic one core can keep in flight on a store-only stream
+    /// (GB/s of *traffic*, i.e. including write-allocate reads).
+    pub per_core_traffic_gbs: f64,
+    /// Memory traffic one core can generate on a load-only stream (GB/s),
+    /// used by the bandwidth-scaling model.
+    pub per_core_load_bw_gbs: f64,
+    /// Residual fraction of write-allocate traffic that NT stores fail to
+    /// eliminate once many streams compete for write-combining buffers
+    /// (paper: ~10 % on SPR, 0 on Genoa).
+    pub nt_residual: f64,
+    /// Number of concurrent streams at which the NT residual is fully
+    /// developed (below: proportional ramp).
+    pub nt_residual_onset_cores: u32,
+}
+
+impl WaConfig {
+    /// The configuration for each of the paper's machines.
+    pub fn for_arch(arch: Arch) -> WaConfig {
+        match arch {
+            // GCS: next-to-optimal automatic WA evasion; one NUMA domain.
+            Arch::NeoverseV2 => WaConfig {
+                arch,
+                mode: WaMode::AutoClaim,
+                cores_per_domain: 72,
+                domain_bw_gbs: 467.0,
+                per_core_traffic_gbs: 30.0,
+                per_core_load_bw_gbs: 32.0,
+                nt_residual: 0.0,
+                nt_residual_onset_cores: 1,
+            },
+            // SPR in SNC-4: 13 cores per domain; SpecI2M gated on
+            // bandwidth saturation; NT stores leave ~10 % residual.
+            Arch::GoldenCove => WaConfig {
+                arch,
+                mode: WaMode::SpecI2M { onset: 0.85, max_fraction: 0.25 },
+                cores_per_domain: 13,
+                domain_bw_gbs: 273.0 / 4.0,
+                per_core_traffic_gbs: 9.0,
+                per_core_load_bw_gbs: 20.0,
+                nt_residual: 0.10,
+                nt_residual_onset_cores: 3,
+            },
+            // Genoa: no automatic mechanism — NT stores are the only way,
+            // but they work perfectly.
+            Arch::Zen4 => WaConfig {
+                arch,
+                mode: WaMode::WriteAllocate,
+                cores_per_domain: 96,
+                domain_bw_gbs: 360.0,
+                per_core_traffic_gbs: 28.0,
+                per_core_load_bw_gbs: 24.0,
+                nt_residual: 0.0,
+                nt_residual_onset_cores: 1,
+            },
+        }
+    }
+
+    /// SpecI2M promotion fraction at a given utilization of the sustained
+    /// domain bandwidth. Zero for the other modes.
+    pub fn speci2m_fraction(&self, utilization: f64) -> f64 {
+        match self.mode {
+            WaMode::SpecI2M { onset, max_fraction } => {
+                if utilization <= onset {
+                    0.0
+                } else {
+                    let x = ((utilization - onset) / (1.0 - onset)).clamp(0.0, 1.0);
+                    max_fraction * x
+                }
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Residual WA fraction of an NT-store stream at `cores` active cores
+    /// in a domain.
+    pub fn nt_residual_at(&self, cores: u32) -> f64 {
+        if self.nt_residual == 0.0 {
+            return 0.0;
+        }
+        if cores >= self.nt_residual_onset_cores {
+            self.nt_residual
+        } else {
+            // Very small core counts keep their WC buffers: tiny residual.
+            self.nt_residual * (cores.saturating_sub(1)) as f64
+                / self.nt_residual_onset_cores.max(1) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_match_paper_structure() {
+        let gcs = WaConfig::for_arch(Arch::NeoverseV2);
+        assert_eq!(gcs.mode, WaMode::AutoClaim);
+        assert_eq!(gcs.cores_per_domain, 72);
+
+        let spr = WaConfig::for_arch(Arch::GoldenCove);
+        assert!(matches!(spr.mode, WaMode::SpecI2M { .. }));
+        assert_eq!(spr.cores_per_domain, 13);
+        assert!(spr.nt_residual > 0.0);
+
+        let genoa = WaConfig::for_arch(Arch::Zen4);
+        assert_eq!(genoa.mode, WaMode::WriteAllocate);
+        assert_eq!(genoa.nt_residual, 0.0);
+    }
+
+    #[test]
+    fn speci2m_gating() {
+        let spr = WaConfig::for_arch(Arch::GoldenCove);
+        assert_eq!(spr.speci2m_fraction(0.2), 0.0);
+        assert_eq!(spr.speci2m_fraction(0.85), 0.0);
+        assert!((spr.speci2m_fraction(1.0) - 0.25).abs() < 1e-12);
+        let mid = spr.speci2m_fraction(0.95);
+        assert!(mid > 0.0 && mid < 0.25);
+        // Non-SpecI2M machines never promote.
+        assert_eq!(WaConfig::for_arch(Arch::Zen4).speci2m_fraction(1.0), 0.0);
+        assert_eq!(WaConfig::for_arch(Arch::NeoverseV2).speci2m_fraction(1.0), 0.0);
+    }
+
+    #[test]
+    fn nt_residual_ramp() {
+        let spr = WaConfig::for_arch(Arch::GoldenCove);
+        assert_eq!(spr.nt_residual_at(1), 0.0);
+        assert!(spr.nt_residual_at(2) < 0.10);
+        assert!((spr.nt_residual_at(3) - 0.10).abs() < 1e-12);
+        assert!((spr.nt_residual_at(13) - 0.10).abs() < 1e-12);
+        assert_eq!(WaConfig::for_arch(Arch::Zen4).nt_residual_at(50), 0.0);
+    }
+}

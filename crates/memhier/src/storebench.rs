@@ -1,0 +1,218 @@
+//! The store-only benchmark of Fig. 4: ratio of actual memory traffic to
+//! stored data volume vs. number of active cores.
+//!
+//! Per sweep point the benchmark
+//!
+//! 1. simulates one core's store stream through the cache hierarchy
+//!    ([`crate::Hierarchy`]) with the machine's write-allocate mode, giving
+//!    the *base* reads/writes per stored line (cores run disjoint streams,
+//!    so one simulated core is exact for all of them);
+//! 2. computes the memory-interface utilization of each ccNUMA domain from
+//!    the number of active cores and the per-core achievable traffic;
+//! 3. applies bandwidth-gated SpecI2M promotion (Golden Cove) as a
+//!    fixed-point iteration — promoted RFOs reduce traffic, which reduces
+//!    utilization, which reduces promotion;
+//! 4. aggregates over domains (cores are pinned compactly, filling one
+//!    domain before the next, as the paper's benchmarks do).
+
+use crate::cache::Access;
+use crate::hierarchy::Hierarchy;
+use crate::policy::{StoreKind, WaConfig, WaMode};
+use uarch::Machine;
+
+/// One point of the Fig. 4 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorePoint {
+    pub cores: u32,
+    /// Memory traffic / stored volume (1.0 = perfect WA evasion, 2.0 =
+    /// full write-allocate).
+    pub ratio: f64,
+    /// Aggregate store bandwidth utilization across used domains (0..1).
+    pub utilization: f64,
+}
+
+/// Base per-line traffic of a single-core store stream (in lines).
+#[derive(Debug, Clone, Copy)]
+struct BasePerLine {
+    reads: f64,
+    writes: f64,
+}
+
+/// Simulate one core's store-only stream (working set ≫ caches) and return
+/// reads/writes per stored line.
+fn single_core_base(machine: &Machine, cfg: &WaConfig, kind: StoreKind, cores: u32) -> BasePerLine {
+    let mut h = Hierarchy::from_machine(machine, machine.cores);
+    if cfg.mode == WaMode::AutoClaim {
+        h.enable_line_claim();
+    }
+    let line = h.line_bytes();
+    // Stream 4× the per-core L3 slice (or at least 8 MiB) to be safely
+    // memory-resident, mirroring the paper's 40 GB working set.
+    let slice_bytes: u64 = machine
+        .caches
+        .iter()
+        .map(|c| if c.shared { c.size_kib * 1024 / machine.cores as u64 } else { c.size_kib * 1024 })
+        .sum();
+    let total = (4 * slice_bytes).max(8 << 20);
+    let lines = total / line;
+    match kind {
+        StoreKind::Standard => {
+            for i in 0..lines {
+                h.access(i * line, Access::StoreFullLine);
+            }
+            h.flush();
+        }
+        StoreKind::NonTemporal => {
+            let residual = cfg.nt_residual_at(cores);
+            for i in 0..lines {
+                h.nt_store_line(i, residual);
+            }
+        }
+    }
+    BasePerLine {
+        reads: h.mem.read_bytes as f64 / (lines * line) as f64,
+        writes: h.mem.write_bytes as f64 / (lines * line) as f64,
+    }
+}
+
+/// Traffic ratio for `cores` active cores using standard or NT stores.
+pub fn store_traffic_ratio(machine: &Machine, cores: u32, kind: StoreKind) -> StorePoint {
+    let cfg = WaConfig::for_arch(machine.arch);
+    let cores = cores.clamp(1, machine.cores);
+    let base = single_core_base(machine, &cfg, kind, cores);
+
+    // Distribute cores compactly over ccNUMA domains.
+    let mut remaining = cores;
+    let mut total_traffic = 0.0;
+    let mut total_stored = 0.0;
+    let mut util_acc = 0.0;
+    let mut domains_used = 0u32;
+    while remaining > 0 {
+        let in_domain = remaining.min(cfg.cores_per_domain);
+        remaining -= in_domain;
+        domains_used += 1;
+
+        // Fixed point: promotion fraction ←→ utilization.
+        let mut fraction = 0.0f64;
+        let mut utilization = 0.0f64;
+        for _ in 0..32 {
+            let reads = base.reads * (1.0 - fraction);
+            let per_line_traffic = reads + base.writes; // in lines
+            // Offered traffic if cores ran unthrottled.
+            let offered = in_domain as f64 * cfg.per_core_traffic_gbs;
+            utilization = (offered / cfg.domain_bw_gbs).min(1.0);
+            // Promotion only applies to standard write-allocate streams.
+            let new_fraction = if kind == StoreKind::Standard && base.reads > 0.0 {
+                cfg.speci2m_fraction(utilization)
+            } else {
+                0.0
+            };
+            if (new_fraction - fraction).abs() < 1e-9 {
+                fraction = new_fraction;
+                let _ = per_line_traffic;
+                break;
+            }
+            fraction = new_fraction;
+        }
+        let reads = base.reads * (1.0 - fraction);
+        total_traffic += in_domain as f64 * (reads + base.writes);
+        total_stored += in_domain as f64;
+        util_acc += utilization;
+    }
+
+    StorePoint {
+        cores,
+        ratio: total_traffic / total_stored,
+        utilization: util_acc / domains_used as f64,
+    }
+}
+
+/// Full Fig. 4 sweep for one machine: standard and (for x86) NT variants at
+/// each core count.
+pub fn fig4_sweep(machine: &Machine, counts: &[u32]) -> Vec<(u32, f64, Option<f64>)> {
+    counts
+        .iter()
+        .map(|&n| {
+            let std = store_traffic_ratio(machine, n, StoreKind::Standard);
+            let nt = match machine.arch {
+                // The paper shows NT variants for the two x86 machines.
+                uarch::Arch::GoldenCove | uarch::Arch::Zen4 => {
+                    Some(store_traffic_ratio(machine, n, StoreKind::NonTemporal).ratio)
+                }
+                uarch::Arch::NeoverseV2 => None,
+            };
+            (n, std.ratio, nt)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch::Machine;
+
+    #[test]
+    fn gcs_evades_wa_automatically() {
+        let m = Machine::neoverse_v2();
+        for n in [1, 8, 36, 72] {
+            let p = store_traffic_ratio(&m, n, StoreKind::Standard);
+            assert!((p.ratio - 1.0).abs() < 0.05, "n={n} ratio={}", p.ratio);
+        }
+    }
+
+    #[test]
+    fn genoa_standard_stores_pay_full_wa() {
+        let m = Machine::zen4();
+        for n in [1, 24, 96] {
+            let p = store_traffic_ratio(&m, n, StoreKind::Standard);
+            assert!((p.ratio - 2.0).abs() < 0.05, "n={n} ratio={}", p.ratio);
+        }
+    }
+
+    #[test]
+    fn genoa_nt_stores_are_perfect() {
+        let m = Machine::zen4();
+        for n in [1, 48, 96] {
+            let p = store_traffic_ratio(&m, n, StoreKind::NonTemporal);
+            assert!((p.ratio - 1.0).abs() < 0.01, "n={n} ratio={}", p.ratio);
+        }
+    }
+
+    #[test]
+    fn spr_speci2m_kicks_in_at_high_core_counts() {
+        let m = Machine::golden_cove();
+        let low = store_traffic_ratio(&m, 1, StoreKind::Standard);
+        let high = store_traffic_ratio(&m, 13, StoreKind::Standard);
+        // Starts at full WA...
+        assert!((low.ratio - 2.0).abs() < 0.05, "low={}", low.ratio);
+        // ...and is reduced by at most 25 % when the domain saturates.
+        assert!(high.ratio < 1.85, "high={}", high.ratio);
+        assert!(high.ratio >= 1.70, "high={}", high.ratio);
+    }
+
+    #[test]
+    fn spr_nt_stores_leave_residual() {
+        let m = Machine::golden_cove();
+        let one = store_traffic_ratio(&m, 1, StoreKind::NonTemporal);
+        assert!(one.ratio < 1.03, "one={}", one.ratio);
+        let many = store_traffic_ratio(&m, 13, StoreKind::NonTemporal);
+        assert!((many.ratio - 1.1).abs() < 0.03, "many={}", many.ratio);
+    }
+
+    #[test]
+    fn sweep_produces_monotone_core_counts() {
+        let m = Machine::golden_cove();
+        let pts = fig4_sweep(&m, &[1, 2, 4, 8, 13, 26, 52]);
+        assert_eq!(pts.len(), 7);
+        assert!(pts.iter().all(|(_, s, nt)| *s >= 0.9 && nt.unwrap() >= 0.9));
+    }
+
+    #[test]
+    fn full_domain_aggregation_spr() {
+        // 52 cores = 4 full domains; each saturated → same ratio as 13.
+        let m = Machine::golden_cove();
+        let d1 = store_traffic_ratio(&m, 13, StoreKind::Standard);
+        let d4 = store_traffic_ratio(&m, 52, StoreKind::Standard);
+        assert!((d1.ratio - d4.ratio).abs() < 0.02);
+    }
+}

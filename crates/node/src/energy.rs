@@ -1,0 +1,85 @@
+//! Power-efficiency comparison derived from Table I: TDP against achieved
+//! performance and bandwidth. The paper's introduction frames the Grace
+//! Superchip as an efficiency play (250 W for 72 cores vs. 350/400 W for
+//! the x86 parts); this module quantifies that.
+
+use serde::Serialize;
+use uarch::Machine;
+
+/// Efficiency metrics of one chip at full load.
+#[derive(Debug, Clone, Serialize)]
+pub struct Efficiency {
+    pub chip: &'static str,
+    pub tdp_w: f64,
+    /// Achieved DP Gflop/s per watt (FMA-saturating code at sustained
+    /// frequency).
+    pub gflops_per_w: f64,
+    /// Sustained memory bandwidth per watt, GB/s per W.
+    pub gbs_per_w: f64,
+    /// Watts per core at TDP.
+    pub w_per_core: f64,
+}
+
+/// Compute the efficiency row for one machine.
+pub fn efficiency(machine: &Machine) -> Efficiency {
+    let peak_gflops = crate::peak::achieved_peak_dp_tflops(machine) * 1000.0;
+    let bw = memhier::bandwidth::sustained_bandwidth_gbs(machine, machine.cores);
+    Efficiency {
+        chip: machine.arch.chip(),
+        tdp_w: machine.tdp_w,
+        gflops_per_w: peak_gflops / machine.tdp_w,
+        gbs_per_w: bw / machine.tdp_w,
+        w_per_core: machine.tdp_w / machine.cores as f64,
+    }
+}
+
+/// Energy per double-precision flop in picojoule at full sustained load
+/// (TDP / achieved flops).
+pub fn pj_per_flop(machine: &Machine) -> f64 {
+    let flops_per_s = crate::peak::achieved_peak_dp_tflops(machine) * 1e12;
+    machine.tdp_w / flops_per_s * 1e12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch::Machine;
+
+    #[test]
+    fn grace_leads_bandwidth_per_watt() {
+        // 467 GB/s at 250 W dwarfs the DDR5 x86 parts per watt.
+        let gcs = efficiency(&Machine::neoverse_v2());
+        let spr = efficiency(&Machine::golden_cove());
+        let genoa = efficiency(&Machine::zen4());
+        assert!(gcs.gbs_per_w > 2.0 * spr.gbs_per_w, "gcs {} spr {}", gcs.gbs_per_w, spr.gbs_per_w);
+        assert!(gcs.gbs_per_w > genoa.gbs_per_w);
+    }
+
+    #[test]
+    fn grace_and_genoa_lead_flops_per_watt() {
+        let gcs = efficiency(&Machine::neoverse_v2());
+        let spr = efficiency(&Machine::golden_cove());
+        assert!(gcs.gflops_per_w > spr.gflops_per_w);
+        // SPR's AVX-512 frequency drop costs it the efficiency crown too.
+        assert!(spr.gflops_per_w < 12.0, "{}", spr.gflops_per_w);
+    }
+
+    #[test]
+    fn per_core_power_ordering() {
+        // GCS: 250/72 ≈ 3.5 W; SPR: 350/52 ≈ 6.7 W; Genoa: 400/96 ≈ 4.2 W.
+        let gcs = efficiency(&Machine::neoverse_v2());
+        let spr = efficiency(&Machine::golden_cove());
+        let genoa = efficiency(&Machine::zen4());
+        assert!(gcs.w_per_core < genoa.w_per_core);
+        assert!(genoa.w_per_core < spr.w_per_core);
+        assert!((gcs.w_per_core - 3.47).abs() < 0.05);
+    }
+
+    #[test]
+    fn energy_per_flop_is_tens_of_picojoules() {
+        for m in uarch::all_machines() {
+            let pj = pj_per_flop(&m);
+            assert!(pj > 20.0 && pj < 120.0, "{}: {pj} pJ/flop", m.arch.label());
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Sustained-clock-frequency model (Fig. 2).
+//!
+//! The observed behaviour is driven by two policies:
+//!
+//! * **licence limits** — the single-core maximum depends on the ISA
+//!   extension (Golden Cove clocks AVX-512-heavy code lower from the first
+//!   core on);
+//! * **package-power throttling** — past a per-ISA core count `n₀` the
+//!   package redistributes a fixed power budget, and since dynamic power
+//!   scales ≈ `f³` at constant workload, frequency follows
+//!   `f(n) = f₁ · (n₀/n)^⅓` until it hits the sustained floor.
+//!
+//! Grace runs at a fixed 3.4 GHz regardless of core count or ISA — the
+//! paper could not even override it — so its curve is flat.
+
+use isa::IsaExt;
+use uarch::{Arch, Machine};
+
+/// Frequency-policy parameters for one (machine, ISA-class) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FreqPolicy {
+    /// Single-core (turbo/licence) frequency in GHz.
+    pub f1_ghz: f64,
+    /// Sustained all-core floor in GHz.
+    pub floor_ghz: f64,
+    /// Core count at which power throttling starts.
+    pub onset_cores: u32,
+}
+
+/// The policy for a machine and the ISA extension its hot code uses.
+pub fn policy(machine: &Machine, ext: IsaExt) -> FreqPolicy {
+    match machine.arch {
+        // Fixed frequency: no licence classes, no observable throttling.
+        Arch::NeoverseV2 => FreqPolicy { f1_ghz: 3.4, floor_ghz: 3.4, onset_cores: u32::MAX },
+        Arch::GoldenCove => match ext {
+            // AVX-512 behaves differently "right from the start" and falls
+            // to 2.0 GHz (53 % of turbo) across the chip.
+            IsaExt::Avx512 => FreqPolicy { f1_ghz: 3.3, floor_ghz: 2.0, onset_cores: 2 },
+            // SSE/AVX-heavy code sustains 3.0 GHz (78 % of turbo).
+            _ => FreqPolicy { f1_ghz: 3.8, floor_ghz: 3.0, onset_cores: 4 },
+        },
+        // Genoa throttles identically for every ISA extension, to 3.1 GHz
+        // (84 % of its 3.7 GHz turbo).
+        Arch::Zen4 => FreqPolicy { f1_ghz: 3.7, floor_ghz: 3.1, onset_cores: 8 },
+    }
+}
+
+/// Sustained frequency for arithmetic-heavy code at `active_cores`.
+pub fn sustained_freq_ghz(machine: &Machine, ext: IsaExt, active_cores: u32) -> f64 {
+    let p = policy(machine, ext);
+    let n = active_cores.clamp(1, machine.cores) as f64;
+    if p.onset_cores == u32::MAX || n <= p.onset_cores as f64 {
+        return p.f1_ghz;
+    }
+    let f = p.f1_ghz * (p.onset_cores as f64 / n).cbrt();
+    f.max(p.floor_ghz)
+}
+
+/// ISA classes shown in Fig. 2 for a machine.
+pub fn fig2_exts(machine: &Machine) -> Vec<IsaExt> {
+    match machine.arch {
+        Arch::NeoverseV2 => vec![IsaExt::Neon],
+        _ => vec![IsaExt::Sse, IsaExt::Avx, IsaExt::Avx512],
+    }
+}
+
+/// One Fig. 2 series: `(ext, [(cores, GHz)])` for each ISA class.
+pub fn fig2_sweep(machine: &Machine) -> Vec<(IsaExt, Vec<(u32, f64)>)> {
+    fig2_exts(machine)
+        .into_iter()
+        .map(|ext| {
+            let series = (1..=machine.cores)
+                .map(|n| (n, sustained_freq_ghz(machine, ext, n)))
+                .collect();
+            (ext, series)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch::Machine;
+
+    #[test]
+    fn grace_is_flat_at_base() {
+        let m = Machine::neoverse_v2();
+        for n in [1, 18, 36, 72] {
+            assert_eq!(sustained_freq_ghz(&m, IsaExt::Neon, n), 3.4);
+            assert_eq!(sustained_freq_ghz(&m, IsaExt::Sve, n), 3.4);
+            assert_eq!(sustained_freq_ghz(&m, IsaExt::Scalar, n), 3.4);
+        }
+    }
+
+    #[test]
+    fn spr_avx512_throttles_to_2ghz() {
+        let m = Machine::golden_cove();
+        // Different from the start: below the SSE turbo even at one core.
+        assert!(sustained_freq_ghz(&m, IsaExt::Avx512, 1) < sustained_freq_ghz(&m, IsaExt::Sse, 1));
+        // Falls to the 2.0 GHz floor across the chip (53 % of turbo).
+        let full = sustained_freq_ghz(&m, IsaExt::Avx512, m.cores);
+        assert_eq!(full, 2.0);
+        assert!((full / 3.8 - 0.53).abs() < 0.02);
+    }
+
+    #[test]
+    fn spr_sse_avx_sustain_3ghz() {
+        let m = Machine::golden_cove();
+        for ext in [IsaExt::Sse, IsaExt::Avx] {
+            let full = sustained_freq_ghz(&m, ext, m.cores);
+            assert_eq!(full, 3.0);
+            assert!((full / 3.8 - 0.78).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn genoa_throttles_to_3_1_for_all_isa() {
+        let m = Machine::zen4();
+        for ext in [IsaExt::Sse, IsaExt::Avx, IsaExt::Avx512, IsaExt::Scalar] {
+            assert_eq!(sustained_freq_ghz(&m, ext, 1), 3.7);
+            let full = sustained_freq_ghz(&m, ext, m.cores);
+            assert_eq!(full, 3.1);
+            assert!((full / 3.7 - 0.84).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn frequency_monotonically_nonincreasing() {
+        for m in uarch::all_machines() {
+            for ext in fig2_exts(&m) {
+                let mut prev = f64::INFINITY;
+                for n in 1..=m.cores {
+                    let f = sustained_freq_ghz(&m, ext, n);
+                    assert!(f <= prev + 1e-12);
+                    prev = f;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spr_is_1_7x_slower_than_gcs_for_avx512_at_scale() {
+        // Paper: "1.7× higher sustained clock frequency" for GCS vs. SPR
+        // with AVX-512-heavy highly parallel code.
+        let gcs = Machine::neoverse_v2();
+        let spr = Machine::golden_cove();
+        let ratio = sustained_freq_ghz(&gcs, IsaExt::Neon, gcs.cores)
+            / sustained_freq_ghz(&spr, IsaExt::Avx512, spr.cores);
+        assert!((ratio - 1.7).abs() < 0.01, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn sweep_shape() {
+        let m = Machine::golden_cove();
+        let sweep = fig2_sweep(&m);
+        assert_eq!(sweep.len(), 3);
+        for (_, series) in &sweep {
+            assert_eq!(series.len(), m.cores as usize);
+        }
+    }
+}

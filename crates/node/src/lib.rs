@@ -1,0 +1,21 @@
+//! Node-level performance models layered on top of the in-core model:
+//!
+//! * [`freq`] — the sustained-clock-frequency governor model behind Fig. 2
+//!   (AVX-512 licence throttling on Sapphire Rapids, package-power
+//!   throttling on Genoa, Grace's fixed 3.4 GHz);
+//! * [`peak`] — theoretical and achievable DP peak (Table I);
+//! * [`ecm`] — the Execution-Cache-Memory model composition the paper
+//!   names as future work: in-core time + per-level data-transfer times;
+//! * [`roofline`] — classic Roofline ceilings using the in-core model as
+//!   the horizontal ceiling.
+
+pub mod ecm;
+pub mod energy;
+pub mod freq;
+pub mod peak;
+pub mod roofline;
+
+pub use ecm::{ecm_for_kernel, Ecm};
+pub use freq::{fig2_sweep, sustained_freq_ghz};
+pub use peak::{achieved_peak_dp_tflops, table1_row, Table1Row};
+pub use roofline::{roofline_gflops, Roofline};

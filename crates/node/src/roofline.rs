@@ -1,0 +1,104 @@
+//! Roofline model with the in-core model as the horizontal ceiling.
+
+use uarch::Machine;
+
+/// A Roofline evaluation for one kernel on one machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Roofline {
+    /// Arithmetic intensity, flop/byte.
+    pub intensity: f64,
+    /// Compute ceiling in Gflop/s (chip-level, at sustained frequency).
+    pub p_peak_gflops: f64,
+    /// Memory ceiling in Gflop/s at this intensity.
+    pub p_mem_gflops: f64,
+    /// The Roofline prediction `min(P_peak, I·b_s)`.
+    pub p_gflops: f64,
+    /// Whether the kernel is memory-bound at this intensity.
+    pub memory_bound: bool,
+}
+
+/// Classic chip-level Roofline: `P = min(P_peak, I · b_s)` with the
+/// achievable (frequency-throttled) peak as the horizontal ceiling and the
+/// measured sustainable bandwidth as the diagonal.
+pub fn roofline_gflops(machine: &Machine, intensity_flop_per_byte: f64) -> Roofline {
+    let p_peak = crate::peak::achieved_peak_dp_tflops(machine) * 1000.0;
+    let bw = memhier::bandwidth::sustained_bandwidth_gbs(machine, machine.cores);
+    let p_mem = intensity_flop_per_byte * bw;
+    let p = p_peak.min(p_mem);
+    Roofline {
+        intensity: intensity_flop_per_byte,
+        p_peak_gflops: p_peak,
+        p_mem_gflops: p_mem,
+        p_gflops: p,
+        memory_bound: p_mem < p_peak,
+    }
+}
+
+/// In-core Roofline ceiling for a specific kernel: the analyzer's cycles
+/// per iteration converted to Gflop/s at the sustained frequency — a "more
+/// realistic horizontal ceiling" as the paper puts it.
+pub fn incore_ceiling_gflops(
+    machine: &Machine,
+    analysis: &incore::Analysis,
+    flops_per_loop_iter: f64,
+    ext: isa::IsaExt,
+    cores: u32,
+) -> f64 {
+    let f = crate::freq::sustained_freq_ghz(machine, ext, cores);
+    let per_core = flops_per_loop_iter / analysis.prediction.max(1e-12) * f;
+    per_core * cores as f64
+}
+
+/// Machine balance in flop/byte: the knee of the roofline.
+pub fn machine_balance(machine: &Machine) -> f64 {
+    let p_peak = crate::peak::achieved_peak_dp_tflops(machine) * 1000.0;
+    let bw = memhier::bandwidth::sustained_bandwidth_gbs(machine, machine.cores);
+    p_peak / bw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch::Machine;
+
+    #[test]
+    fn low_intensity_is_memory_bound() {
+        let m = Machine::golden_cove();
+        // STREAM triad at full WA: 2 flops / 32 B = 0.0625 flop/B.
+        let r = roofline_gflops(&m, 0.0625);
+        assert!(r.memory_bound);
+        assert!(r.p_gflops < 40.0, "p = {}", r.p_gflops);
+    }
+
+    #[test]
+    fn high_intensity_is_compute_bound() {
+        for m in uarch::all_machines() {
+            let r = roofline_gflops(&m, 100.0);
+            assert!(!r.memory_bound, "{}", m.arch.label());
+            assert!((r.p_gflops - r.p_peak_gflops).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn balance_ordering() {
+        // Genoa has the highest peak and middling bandwidth → highest
+        // machine balance; Grace has huge bandwidth → lowest.
+        let gcs = machine_balance(&Machine::neoverse_v2());
+        let genoa = machine_balance(&Machine::zen4());
+        assert!(genoa > gcs, "genoa={genoa} gcs={gcs}");
+    }
+
+    #[test]
+    fn incore_ceiling_scales_with_cores() {
+        let m = Machine::neoverse_v2();
+        let k = isa::parse_kernel(
+            ".L1:\n fmla v0.2d, v1.2d, v2.2d\n fmla v3.2d, v1.2d, v2.2d\n subs x5, x5, #1\n b.ne .L1\n",
+            isa::Isa::AArch64,
+        )
+        .unwrap();
+        let a = incore::analyze(&m, &k);
+        let one = incore_ceiling_gflops(&m, &a, 8.0, isa::IsaExt::Neon, 1);
+        let all = incore_ceiling_gflops(&m, &a, 8.0, isa::IsaExt::Neon, 72);
+        assert!((all / one - 72.0).abs() < 1e-6);
+    }
+}

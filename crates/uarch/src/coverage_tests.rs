@@ -1,0 +1,246 @@
+//! Database-coverage tests: a broad sample of real compiler output must
+//! resolve without the heuristic fallback on every machine of its ISA.
+
+#![cfg(test)]
+
+use crate::Machine;
+
+const X86_SAMPLE: &[&str] = &[
+    // integer
+    "addq %rax, %rbx",
+    "subl $4, %ecx",
+    "andq $-32, %rsp",
+    "imulq %rdx, %rax",
+    "idivq %rcx",
+    "leaq 16(%rax,%rbx,8), %rcx",
+    "shlq $3, %rax",
+    "sarq $1, %rdx",
+    "cmpq %r8, %r9",
+    "testl %eax, %eax",
+    "cmovgq %rax, %rbx",
+    "sete %al",
+    "popcntq %rax, %rbx",
+    "lzcntq %rax, %rbx",
+    "tzcntl %eax, %ebx",
+    "bswapq %rax",
+    "btq $3, %rax",
+    "shldq $4, %rax, %rbx",
+    "cqo",
+    "andnq %rax, %rbx, %rcx",
+    "movzbl %al, %eax",
+    "pushq %rbp",
+    "popq %rbp",
+    // scalar FP
+    "addsd %xmm1, %xmm0",
+    "vaddsd %xmm1, %xmm2, %xmm3",
+    "vmulsd %xmm1, %xmm2, %xmm3",
+    "vdivsd %xmm1, %xmm2, %xmm3",
+    "vsqrtsd %xmm1, %xmm1, %xmm2",
+    "vfmadd231sd %xmm1, %xmm2, %xmm3",
+    "ucomisd %xmm0, %xmm1",
+    "vcvtsi2sdq %rax, %xmm0, %xmm1",
+    "cvttsd2si %xmm0, %rax",
+    "vroundsd $9, %xmm1, %xmm2, %xmm3",
+    "vmaxsd %xmm1, %xmm2, %xmm3",
+    // packed FP, all widths
+    "vaddpd %xmm1, %xmm2, %xmm3",
+    "vaddpd %ymm1, %ymm2, %ymm3",
+    "vaddpd %zmm1, %zmm2, %zmm3",
+    "vmulpd %ymm1, %ymm2, %ymm3",
+    "vdivpd %ymm1, %ymm2, %ymm3",
+    "vsqrtpd %ymm1, %ymm2",
+    "vfmadd132pd %zmm1, %zmm2, %zmm3",
+    "vfnmadd231pd %ymm1, %ymm2, %ymm3",
+    "vandpd %ymm1, %ymm2, %ymm3",
+    "vandnpd %ymm1, %ymm2, %ymm3",
+    "vxorps %ymm1, %ymm2, %ymm3",
+    "vblendvpd %ymm0, %ymm1, %ymm2, %ymm3",
+    "vcmppd $1, %ymm1, %ymm2, %ymm3",
+    "vroundpd $0, %ymm1, %ymm2",
+    "vhaddpd %ymm1, %ymm2, %ymm3",
+    // shuffles / moves
+    "vunpcklpd %ymm1, %ymm2, %ymm3",
+    "vshufpd $1, %ymm1, %ymm2, %ymm3",
+    "vpermilpd $5, %ymm1, %ymm2",
+    "vinsertf128 $1, %xmm1, %ymm2, %ymm3",
+    "vextractf128 $1, %ymm1, %xmm2",
+    "vbroadcastsd %xmm1, %ymm2",
+    "vmovddup %xmm1, %xmm2",
+    "movsd %xmm1, %xmm2",
+    "vmovq %rax, %xmm0",
+    "vmovmskpd %ymm1, %eax",
+    // packed int
+    "vpaddq %ymm1, %ymm2, %ymm3",
+    "vpsubd %ymm1, %ymm2, %ymm3",
+    "vpmulld %ymm1, %ymm2, %ymm3",
+    "vpsllq $3, %ymm1, %ymm2",
+    "vpcmpeqq %ymm1, %ymm2, %ymm3",
+    "vpmovzxdq %xmm1, %ymm2",
+    "vpbroadcastq %xmm1, %ymm2",
+    "vpabsd %ymm1, %ymm2",
+    // memory forms
+    "movq (%rax), %rbx",
+    "movq %rbx, 8(%rax)",
+    "vmovupd (%rax), %ymm1",
+    "vmovupd %ymm1, (%rax)",
+    "vmovntpd %ymm1, (%rax)",
+    "vaddpd (%rax), %ymm1, %ymm2",
+    "addq $1, (%rax)",
+    "vbroadcastsd (%rax), %ymm1",
+    // masks
+    "kmovw %eax, %k1",
+    "kandw %k1, %k2, %k3",
+    "kshiftrw $4, %k1, %k2",
+    // branches
+    "jne .L1",
+    "jmp .L2",
+    "call foo",
+    "ret",
+];
+
+const A64_SAMPLE: &[&str] = &[
+    // integer
+    "add x0, x1, x2",
+    "add x0, x1, x2, lsl #3",
+    "subs x0, x1, #16",
+    "madd x0, x1, x2, x3",
+    "umulh x0, x1, x2",
+    "sdiv x0, x1, x2",
+    "lsl x0, x1, #3",
+    "ubfx x0, x1, #8, #8",
+    "cmp x0, x1",
+    "csel x0, x1, x2, ne",
+    "cset x0, gt",
+    "rbit x0, x1",
+    "clz x0, x1",
+    "rev x0, x1",
+    "adc x0, x1, x2",
+    "smaddl x0, w1, w2, x3",
+    "crc32x w0, w1, x2",
+    "mov x0, #42",
+    "movk x0, #1, lsl #16",
+    "adrp x0, sym",
+    // scalar FP
+    "fadd d0, d1, d2",
+    "fmul d0, d1, d2",
+    "fdiv d0, d1, d2",
+    "fsqrt d0, d1",
+    "fmadd d0, d1, d2, d3",
+    "fneg d0, d1",
+    "fabs d0, d1",
+    "fcvtzs x0, d1",
+    "scvtf d0, x1",
+    "fcmp d0, d1",
+    "fcsel d0, d1, d2, gt",
+    "fmov d0, #1.0",
+    // NEON
+    "fadd v0.2d, v1.2d, v2.2d",
+    "fmla v0.2d, v1.2d, v2.2d",
+    "fdiv v0.2d, v1.2d, v2.2d",
+    "fmax v0.2d, v1.2d, v2.2d",
+    "faddp v0.2d, v1.2d, v2.2d",
+    "fabs v0.2d, v1.2d",
+    "add v0.2d, v1.2d, v2.2d",
+    "and v0.16b, v1.16b, v2.16b",
+    "bsl v0.16b, v1.16b, v2.16b",
+    "dup v0.2d, v1.2d",
+    "movi v0.2d, #0",
+    "zip1 v0.2d, v1.2d, v2.2d",
+    "ext v0.16b, v1.16b, v2.16b, #8",
+    "xtn v0.2s, v1.2d",
+    "shl v0.2d, v1.2d, #2",
+    "faddv s0, p0, z1.s",
+    "fmaxv d0, v1.2d",
+    "addv b0, v1.8b",
+    "umov x0, v1.2d",
+    "frecpe v0.2d, v1.2d",
+    // SVE
+    "whilelo p0.d, x3, x4",
+    "ptrue p0.d",
+    "cntd x0",
+    "incd x4",
+    "fadd z0.d, z1.d, z2.d",
+    "fmla z0.d, p0/m, z1.d, z2.d",
+    "index z0.d, #0, #1",
+    "cmpgt p1.d, p0/z, z1.d, z2.d",
+    "sel z0.d, p0, z1.d, z2.d",
+    "uzp1 z0.d, z1.d, z2.d",
+    "lasta d0, p0, z1.d",
+    "movprfx z0, z1",
+    // memory
+    "ldr x0, [x1]",
+    "ldr q0, [x1, x2]",
+    "ldr d0, [x1, #8]",
+    "ldp q0, q1, [x2]",
+    "str q0, [x1], #16",
+    "stp x0, x1, [sp, #-16]!",
+    "stnp q0, q1, [x1]",
+    "ld1d {z0.d}, p0/z, [x0, x1, lsl #3]",
+    "st1d {z0.d}, p0, [x0, x1, lsl #3]",
+    "ld1d {z0.d}, p0/z, [x0, z1.d]",
+    "prfm pldl1keep, [x0]",
+    // branches
+    "b .L1",
+    "b.ne .L1",
+    "cbnz x0, .L1",
+    "tbz x0, #3, .L1",
+    "ret",
+];
+
+fn assert_covered(machine: &Machine, samples: &[&str]) {
+    let mut missing = Vec::new();
+    for s in samples {
+        let parsed = match machine.isa {
+            isa::Isa::X86 => isa::parse::parse_line_x86(s, 1),
+            isa::Isa::AArch64 => isa::parse::parse_line_aarch64(s, 1),
+        };
+        let inst = parsed
+            .unwrap_or_else(|e| panic!("sample `{s}` failed to parse: {e}"))
+            .unwrap_or_else(|| panic!("sample `{s}` produced no instruction"));
+        let d = machine.describe(&inst);
+        if d.from_fallback {
+            missing.push(*s);
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "{}: {} instructions not covered:\n  {}",
+        machine.arch.label(),
+        missing.len(),
+        missing.join("\n  ")
+    );
+}
+
+#[test]
+fn golden_cove_covers_x86_sample() {
+    assert_covered(&Machine::golden_cove(), X86_SAMPLE);
+}
+
+#[test]
+fn zen4_covers_x86_sample() {
+    assert_covered(&Machine::zen4(), X86_SAMPLE);
+}
+
+#[test]
+fn neoverse_v2_covers_aarch64_sample() {
+    assert_covered(&Machine::neoverse_v2(), A64_SAMPLE);
+}
+
+#[test]
+fn latencies_are_plausible_everywhere() {
+    for m in crate::all_machines() {
+        let samples = if m.isa == isa::Isa::X86 { X86_SAMPLE } else { A64_SAMPLE };
+        for s in samples {
+            let inst = match m.isa {
+                isa::Isa::X86 => isa::parse::parse_line_x86(s, 1).unwrap().unwrap(),
+                isa::Isa::AArch64 => isa::parse::parse_line_aarch64(s, 1).unwrap().unwrap(),
+            };
+            let d = m.describe(&inst);
+            assert!(d.latency <= 30, "{s} on {}: latency {}", m.arch.label(), d.latency);
+            for uop in &d.uops {
+                assert!(!uop.ports.is_empty(), "{s}: µ-op without ports");
+                assert!(uop.occupancy >= 1.0 || d.uops.is_empty(), "{s}: occupancy < 1");
+            }
+        }
+    }
+}

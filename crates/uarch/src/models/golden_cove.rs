@@ -1,0 +1,338 @@
+//! Intel Golden Cove (Xeon Platinum 8470, "Sapphire Rapids").
+//!
+//! Port layout (12 ports, Table II): five integer ALU ports (0, 1, 5, 6,
+//! 10), three FP/SIMD ports (0, 1, 5) of which 0 and 5 carry the two
+//! 512-bit FMA units, three load AGUs (2, 3, 11) sustaining two 512-bit
+//! loads per cycle, two store AGUs (7, 8) and two 256-bit store-data ports
+//! (4, 9).
+
+use super::{e, mem_entry, u, ub};
+use crate::instr::{InstrClass::*, WidthClass::*};
+use crate::machine::{Arch, CacheLevel, Machine, MemorySpec};
+use crate::ports::{Port, PortCap, PortModel, PortSet};
+
+// Port indices.
+const P0: usize = 0;
+const P1: usize = 1;
+const P2: usize = 2;
+const P3: usize = 3;
+const P4: usize = 4;
+const P5: usize = 5;
+const P6: usize = 6;
+const P7: usize = 7;
+const P8: usize = 8;
+const P9: usize = 9;
+const P10: usize = 10;
+const P11: usize = 11;
+
+const ALU: PortSet = PortSet::of(&[P0, P1, P5, P6, P10]);
+const FP3: PortSet = PortSet::of(&[P0, P1, P5]); // ≤256-bit FP/SIMD
+const FMA512: PortSet = PortSet::of(&[P0, P5]); // 512-bit FP/SIMD
+const SHUF: PortSet = PortSet::of(&[P1, P5]);
+const SHUF512: PortSet = PortSet::of(&[P5]);
+const DIV: PortSet = PortSet::of(&[P0]);
+const BR: PortSet = PortSet::of(&[P0, P6]);
+const LD: PortSet = PortSet::of(&[P2, P3, P11]);
+const LD512: PortSet = PortSet::of(&[P2, P3]);
+const STA: PortSet = PortSet::of(&[P7, P8]);
+const STD: PortSet = PortSet::of(&[P4, P9]);
+const LEA: PortSet = PortSet::of(&[P1, P5]);
+const IMUL: PortSet = PortSet::of(&[P1]);
+
+impl Machine {
+    /// The Golden Cove model (Sapphire Rapids, Xeon Platinum 8470).
+    pub fn golden_cove() -> Machine {
+        Machine {
+            arch: Arch::GoldenCove,
+            part: "Intel Xeon Platinum 8470",
+            isa: isa::Isa::X86,
+            port_model: port_model(),
+            table: table(),
+            dispatch_width: 6,
+            retire_width: 8,
+            rob_size: 512,
+            sched_size: 205,
+            move_elimination: true,
+            load_ports: LD,
+            load_ports_wide: LD512,
+            store_agu_ports: STA,
+            store_data_ports: STD,
+            l1_load_latency: 7,
+            load_width_bits: 512,
+            store_width_bits: 256,
+            cores: 52,
+            base_freq_ghz: 2.0,
+            max_freq_ghz: 3.8,
+            simd_width_bits: 512,
+            int_units: 5,
+            fp_vec_units: 3,
+            caches: vec![
+                CacheLevel { name: "L1d", size_kib: 48, line_bytes: 64, assoc: 12, shared: false, latency_cy: 5 },
+                CacheLevel { name: "L2", size_kib: 2048, line_bytes: 64, assoc: 16, shared: false, latency_cy: 15 },
+                CacheLevel { name: "L3", size_kib: 105 * 1024, line_bytes: 64, assoc: 15, shared: true, latency_cy: 55 },
+            ],
+            memory: MemorySpec {
+                size_gb: 512,
+                mem_type: "DDR5",
+                theor_bw_gbs: 307.0,
+                efficiency: 0.889, // measured 273 GB/s
+                latency_ns: 110.0,
+            },
+            tdp_w: 350.0,
+            numa_domains: 4, // SNC mode
+            fma_dp_flops_per_cycle: 32, // 2 × 512-bit FMA = 2 × 8 lanes × 2 flops
+            extra_add_dp_flops_per_cycle: 0,
+        }
+    }
+}
+
+fn port_model() -> PortModel {
+    use PortCap::*;
+    PortModel {
+        ports: vec![
+            Port { name: "0", caps: vec![IntAlu, VecAlu, VecFma, VecDiv, Branch] },
+            Port { name: "1", caps: vec![IntAlu, IntMul, VecAlu, VecFma] },
+            Port { name: "2", caps: vec![Load] },
+            Port { name: "3", caps: vec![Load] },
+            Port { name: "4", caps: vec![StoreData] },
+            Port { name: "5", caps: vec![IntAlu, VecAlu, VecFma, PredOp] },
+            Port { name: "6", caps: vec![IntAlu, Branch] },
+            Port { name: "7", caps: vec![StoreAgu] },
+            Port { name: "8", caps: vec![StoreAgu] },
+            Port { name: "9", caps: vec![StoreData] },
+            Port { name: "10", caps: vec![IntAlu] },
+            Port { name: "11", caps: vec![Load] },
+        ],
+    }
+}
+
+/// The instruction table. Latencies for the headline DP instructions follow
+/// the paper's Table III (VEC ADD 2, MUL 4, FMA 4, DIV 14; scalar ADD 2,
+/// MUL 4, FMA 5, DIV 14); throughputs follow from the port assignment
+/// (2 × 512-bit pipes → 16 DP/cy for packed, 2/cy for scalar).
+fn table() -> Vec<crate::instr::Entry> {
+    let mut t = Vec::new();
+
+    // --- Pure loads / stores (recipe synthesized by `describe`). ---
+    t.push(mem_entry(
+        &["mov", "movsd", "movss", "movq", "movd", "movzx", "movsx", "movapd", "movaps",
+          "movupd", "movups", "movdqa", "movdqu", "vmovapd", "vmovaps", "vmovupd", "vmovups",
+          "vmovdqa", "vmovdqu", "vmovdqa64", "vmovdqu64", "vmovsd", "vmovss", "vmovntpd",
+          "vmovntps", "movntpd", "movntps", "movnti", "vmovntdq", "movlpd", "movhpd"],
+        Load,
+    ));
+
+    // --- Gather: Table III — 1/3 cache line per cycle, latency 20. ---
+    // A zmm gather touches up to 8 lines → 24 cycles on the (single)
+    // gather sequencer, modeled as port 2.
+    let gpt = PortSet::of(&[P2]);
+    t.push(e(&["vgatherdpd", "vgatherqpd"], V512, Some(true), ub(gpt, 24.0), 20, 24.0, Load));
+    t.push(e(&["vgatherdpd", "vgatherqpd"], V256, Some(true), ub(gpt, 12.0), 20, 12.0, Load));
+    t.push(e(&["vgatherdpd", "vgatherqpd"], V128, Some(true), ub(gpt, 6.0), 20, 6.0, Load));
+
+    // --- Packed DP arithmetic. ---
+    let addish: &'static [&'static str] = &["vaddpd", "vsubpd", "vaddps", "vsubps", "vmaxpd", "vminpd", "vmaxps", "vminps", "addpd", "subpd", "maxpd", "minpd"];
+    t.push(e(addish, V512, None, u(FMA512), 2, 0.5, VecAlu));
+    t.push(e(addish, V256, None, u(FP3), 2, 1.0 / 3.0, VecAlu));
+    t.push(e(addish, V128, None, u(FP3), 2, 1.0 / 3.0, VecAlu));
+
+    let mulish: &'static [&'static str] = &["vmulpd", "vmulps", "mulpd", "mulps"];
+    t.push(e(mulish, V512, None, u(FMA512), 4, 0.5, VecMul));
+    t.push(e(mulish, V256, None, u(FP3), 4, 1.0 / 3.0, VecMul));
+    t.push(e(mulish, V128, None, u(FP3), 4, 1.0 / 3.0, VecMul));
+
+    let fma: &'static [&'static str] = &[
+        "vfmadd132pd", "vfmadd213pd", "vfmadd231pd", "vfmsub132pd", "vfmsub213pd", "vfmsub231pd",
+        "vfnmadd132pd", "vfnmadd213pd", "vfnmadd231pd", "vfnmsub132pd", "vfnmsub213pd", "vfnmsub231pd",
+        "vfmadd132ps", "vfmadd213ps", "vfmadd231ps",
+    ];
+    t.push(e(fma, V512, None, u(FMA512), 4, 0.5, VecFma));
+    t.push(e(fma, V256, None, u(FP3), 4, 1.0 / 3.0, VecFma));
+    t.push(e(fma, V128, None, u(FP3), 4, 1.0 / 3.0, VecFma));
+
+    // Divide: 0.5 DP elements/cy at any width → 16 cy per zmm instruction.
+    t.push(e(&["vdivpd", "divpd"], V512, None, ub(DIV, 16.0), 14, 16.0, VecDiv));
+    t.push(e(&["vdivpd", "divpd"], V256, None, ub(DIV, 8.0), 14, 8.0, VecDiv));
+    t.push(e(&["vdivpd", "divpd"], V128, None, ub(DIV, 4.0), 14, 4.0, VecDiv));
+    t.push(e(&["vdivps", "divps"], Any, None, ub(DIV, 8.0), 12, 8.0, VecDiv));
+    t.push(e(&["vsqrtpd", "sqrtpd"], V512, None, ub(DIV, 18.0), 19, 18.0, VecDiv));
+    t.push(e(&["vsqrtpd", "sqrtpd"], Any, None, ub(DIV, 9.0), 18, 9.0, VecDiv));
+
+    // --- Scalar DP arithmetic (Table III: 2/cy on the two FMA pipes). ---
+    t.push(e(&["addsd", "subsd", "vaddsd", "vsubsd", "addss", "subss", "vaddss", "vsubss", "maxsd", "minsd", "vmaxsd", "vminsd"], ScalarFp, None, u(FMA512), 2, 0.5, VecAlu));
+    t.push(e(&["mulsd", "vmulsd", "mulss", "vmulss"], ScalarFp, None, u(FMA512), 4, 0.5, VecMul));
+    t.push(e(
+        &["vfmadd132sd", "vfmadd213sd", "vfmadd231sd", "vfnmadd132sd", "vfnmadd213sd", "vfnmadd231sd", "vfmsub132sd", "vfmsub213sd", "vfmsub231sd"],
+        ScalarFp, None, u(FMA512), 5, 0.5, VecFma,
+    ));
+    // Scalar divide: 0.25/cy → 4-cycle divider occupancy, latency 14.
+    t.push(e(&["divsd", "vdivsd", "divss", "vdivss"], ScalarFp, None, ub(DIV, 4.0), 14, 4.0, VecDiv));
+    t.push(e(&["sqrtsd", "vsqrtsd"], ScalarFp, None, ub(DIV, 4.5), 18, 4.5, VecDiv));
+
+    // --- Vector logicals, blends, shuffles, conversions. ---
+    t.push(e(&["vxorpd", "vxorps", "vandpd", "vandps", "vorpd", "vorps", "xorpd", "xorps", "andpd", "andps", "orpd", "orps", "vpand", "vpor", "vpxor", "vpxord", "vpxorq", "vpandd", "vpandq"], V512, None, u(FMA512), 1, 0.5, VecAlu));
+    t.push(e(&["vxorpd", "vxorps", "vandpd", "vandps", "vorpd", "vorps", "xorpd", "xorps", "andpd", "andps", "orpd", "orps", "vpand", "vpor", "vpxor"], Any, None, u(FP3), 1, 1.0 / 3.0, VecAlu));
+    t.push(e(&["vblendvpd", "vblendpd", "blendvpd"], Any, None, u(FP3), 2, 1.0 / 3.0, VecAlu));
+    t.push(e(&["vunpcklpd", "vunpckhpd", "unpcklpd", "unpckhpd", "vshufpd", "shufpd", "vpermilpd", "vmovddup", "movddup", "vinsertf128", "vextractf128", "vinsertf64x4", "vextractf64x4", "vpermpd", "vperm2f128", "vvalignq", "vshuff64x2"], V512, None, u(SHUF512), 3, 1.0, VecAlu));
+    t.push(e(&["vunpcklpd", "vunpckhpd", "unpcklpd", "unpckhpd", "vshufpd", "shufpd", "vpermilpd", "vmovddup", "movddup", "vinsertf128", "vextractf128", "vpermpd", "vperm2f128"], Any, None, u(SHUF), 3, 0.5, VecAlu));
+    // Register-register movsd/movss merge the low lane (not eliminated).
+    t.push(e(&["movsd", "movss", "vmovsd", "vmovss"], Any, Some(false), u(SHUF), 1, 0.5, VecAlu));
+    t.push(e(&["vbroadcastsd", "vbroadcastss"], Any, Some(false), u(SHUF), 3, 0.5, VecAlu));
+    // Broadcast from memory is a load with embedded broadcast (free).
+    t.push(mem_entry(&["vbroadcastsd", "vbroadcastss"], Load));
+    t.push(e(&["vcvtsi2sd", "cvtsi2sd", "vcvtsi2sdq", "cvtsi2sdq", "vcvttsd2si", "cvttsd2si", "vcvtsd2si"], Any, None, u(PortSet::of(&[P0, P1])), 7, 0.5, VecAlu));
+    t.push(e(&["vcvtpd2ps", "vcvtps2pd", "cvtpd2ps", "cvtps2pd", "vcvtdq2pd", "vcvttpd2dq"], Any, None, u(FMA512), 4, 0.5, VecAlu));
+    // Packed integer SIMD (used by some compiler variants for index math).
+    t.push(e(&["vpaddq", "vpaddd", "vpsubq", "vpsubd", "paddq", "paddd", "psubq", "psubd"], V512, None, u(FMA512), 1, 0.5, VecAlu));
+    t.push(e(&["vpaddq", "vpaddd", "vpsubq", "vpsubd", "paddq", "paddd", "psubq", "psubd"], Any, None, u(FP3), 1, 1.0 / 3.0, VecAlu));
+    t.push(e(&["vpmullq", "vpmulld", "vpmuludq"], Any, None, u(FMA512), 5, 0.5, VecMul));
+    t.push(e(&["vpbroadcastq", "vpbroadcastd"], Any, None, u(SHUF), 3, 0.5, VecAlu));
+
+    // --- Mask (AVX-512 k-register) operations. ---
+    t.push(e(&["kmovb", "kmovw", "kmovd", "kmovq", "kandw", "korw", "kxorw", "knotw", "kortestw", "kortestb", "ktestw"], Any, None, u(PortSet::of(&[P0])), 1, 1.0, Other));
+
+    // --- Scalar integer. ---
+    t.push(e(&["add", "sub", "and", "or", "xor", "inc", "dec", "neg", "not", "mov", "cmov", "cmova", "cmovb", "cmove", "cmovne", "cmovg", "cmovl", "cmovge", "cmovle", "cmovae", "cmovbe", "movz", "movs", "sete", "setne", "setl", "setg"], Scalar, Some(false), u(ALU), 1, 0.2, IntAlu));
+    t.push(e(&["cmp", "test"], Scalar, None, u(ALU), 1, 0.2, IntAlu));
+    // RMW memory forms of integer ops (compute µ-op; loads/stores synthesized).
+    t.push(e(&["add", "sub", "and", "or", "xor", "inc", "dec", "neg", "not"], Scalar, Some(true), u(ALU), 1, 0.2, IntAlu));
+    t.push(e(&["lea"], Scalar, None, u(LEA), 1, 0.5, IntAlu));
+    t.push(e(&["imul"], Scalar, None, u(IMUL), 3, 1.0, IntMul));
+    t.push(e(&["mul"], Scalar, None, u(IMUL), 4, 1.0, IntMul));
+    t.push(e(&["idiv", "div"], Scalar, None, ub(DIV, 6.0), 18, 6.0, IntDiv));
+    t.push(e(&["shl", "shr", "sar", "rol", "ror", "shlx", "shrx", "sarx"], Scalar, None, u(PortSet::of(&[P0, P6])), 1, 0.5, IntAlu));
+    t.push(e(&["push"], Scalar, None, u(ALU), 1, 1.0, Store));
+    t.push(e(&["pop"], Scalar, None, u(ALU), 1, 1.0, Load));
+
+    // --- FP compare / control. ---
+    t.push(e(&["ucomisd", "comisd", "vucomisd", "vcomisd", "ucomiss", "vucomiss"], Any, None, u(PortSet::of(&[P0])), 3, 1.0, VecAlu));
+    t.push(e(&["vcmppd", "cmppd", "vcmpsd", "cmpsd"], Any, None, u(FP3), 3, 1.0 / 3.0, VecAlu));
+
+    // --- Branches. ---
+    t.push(e(
+        &["jmp", "ja", "jae", "jb", "jbe", "je", "jne", "jg", "jge", "jl", "jle", "js", "jns", "jo", "jno", "jp", "jnp", "jc", "jnc", "jz", "jnz"],
+        Any, None, u(BR), 1, 0.5, Branch,
+    ));
+    t.push(e(&["call", "ret"], Any, None, u(PortSet::of(&[P6])), 2, 1.0, Branch));
+
+    // --- Extended integer coverage. ---
+    t.push(e(&["popcnt", "lzcnt", "tzcnt"], Scalar, None, u(IMUL), 3, 1.0, IntAlu));
+    t.push(e(&["bswap", "movbe"], Scalar, None, u(PortSet::of(&[P1, P5])), 1, 0.5, IntAlu));
+    t.push(e(&["bt", "bts", "btr", "btc"], Scalar, None, u(PortSet::of(&[P0, P6])), 1, 0.5, IntAlu));
+    t.push(e(&["shld", "shrd"], Scalar, None, u(PortSet::of(&[P1])), 3, 1.0, IntAlu));
+    t.push(e(&["cdq", "cqo", "cbw", "cwde", "cdqe"], Scalar, None, u(ALU), 1, 0.2, IntAlu));
+    t.push(e(&["xchg"], Scalar, Some(false), u(ALU), 1, 0.5, IntAlu));
+    t.push(e(&["andn", "blsi", "blsr", "blsmsk", "bzhi"], Scalar, None, u(PortSet::of(&[P0, P6])), 1, 0.5, IntAlu));
+    t.push(e(&["mulx", "adcx", "adox"], Scalar, None, u(IMUL), 4, 1.0, IntMul));
+
+    // --- Extended FP/SIMD coverage. ---
+    t.push(e(&["vroundpd", "roundpd", "vroundsd", "roundsd", "vrndscalepd", "vrndscalesd"], Any, None, u(FP3), 8, 0.5, VecAlu));
+    t.push(e(&["vrcp14pd", "vrsqrt14pd", "rcpps", "rsqrtps", "vrcpps", "vrsqrtps"], Any, None, u(DIV), 5, 1.0, VecAlu));
+    t.push(e(&["vandnpd", "vandnps", "andnpd", "andnps"], V512, None, u(FMA512), 1, 0.5, VecAlu));
+    t.push(e(&["vandnpd", "vandnps", "andnpd", "andnps"], Any, None, u(FP3), 1, 1.0 / 3.0, VecAlu));
+    t.push(e(&["vhaddpd", "haddpd", "vhsubpd"], Any, None, u(SHUF), 6, 2.0, VecAlu));
+    t.push(e(&["vpabsd", "vpabsq", "vpsignd"], Any, None, u(FP3), 1, 1.0 / 3.0, VecAlu));
+    t.push(e(&["vpsllq", "vpsrlq", "vpsraq", "vpslld", "vpsrld", "psllq", "psrlq", "pslld", "psrld"], Any, None, u(PortSet::of(&[P0, P1])), 1, 0.5, VecAlu));
+    t.push(e(&["vpcmpeqq", "vpcmpeqd", "vpcmpgtq", "vpcmpgtd", "pcmpeqd", "pcmpgtd"], Any, None, u(FP3), 1, 1.0 / 3.0, VecAlu));
+    t.push(e(&["vpmovzxdq", "vpmovsxdq", "vpmovzxwd", "vpmovsxwd", "pmovzxdq"], Any, None, u(SHUF), 3, 0.5, VecAlu));
+    t.push(e(&["vpextrq", "vpextrd", "pextrq", "vmovmskpd", "movmskpd", "vpmovmskb"], Any, None, u(PortSet::of(&[P0])), 3, 1.0, Other));
+    t.push(e(&["vpinsrq", "vpinsrd", "pinsrq"], Any, None, u(SHUF), 4, 1.0, VecAlu));
+    // GPR ↔ XMM moves.
+    t.push(e(&["vmovq", "vmovd"], Any, Some(false), u(PortSet::of(&[P0, P5])), 3, 0.5, Other));
+    t.push(e(&["vmaskmovpd", "vblendmpd", "vpblendmq", "vpternlogq", "vpternlogd"], Any, None, u(FMA512), 1, 0.5, VecAlu));
+    t.push(e(&["kshiftrw", "kshiftlw", "kunpckbw", "kaddw", "kandnw"], Any, None, u(PortSet::of(&[P0])), 1, 1.0, Other));
+    t.push(e(&["vgetexppd", "vgetmantpd", "vscalefpd", "vfixupimmpd", "vreducepd"], Any, None, u(FMA512), 4, 0.5, VecAlu));
+    t.push(e(&["vcompresspd", "vexpandpd", "vpcompressq"], Any, Some(false), u(SHUF512), 3, 2.0, VecAlu));
+
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::machine::Machine;
+    use isa::parse::parse_line_x86;
+
+    fn desc(m: &Machine, s: &str) -> crate::instr::InstrDesc {
+        m.describe(&parse_line_x86(s, 1).unwrap().unwrap())
+    }
+
+    #[test]
+    fn table3_latencies() {
+        let m = Machine::golden_cove();
+        assert_eq!(desc(&m, "vaddpd %zmm0, %zmm1, %zmm2").latency, 2);
+        assert_eq!(desc(&m, "vmulpd %zmm0, %zmm1, %zmm2").latency, 4);
+        assert_eq!(desc(&m, "vfmadd231pd %zmm0, %zmm1, %zmm2").latency, 4);
+        assert_eq!(desc(&m, "vdivpd %zmm0, %zmm1, %zmm2").latency, 14);
+        assert_eq!(desc(&m, "addsd %xmm0, %xmm1").latency, 2);
+        assert_eq!(desc(&m, "mulsd %xmm0, %xmm1").latency, 4);
+        assert_eq!(desc(&m, "vfmadd231sd %xmm0, %xmm1, %xmm2").latency, 5);
+        assert_eq!(desc(&m, "divsd %xmm0, %xmm1").latency, 14);
+    }
+
+    #[test]
+    fn table3_throughputs() {
+        let m = Machine::golden_cove();
+        // 16 DP/cy for zmm ops = rthroughput 0.5 at 8 lanes.
+        assert_eq!(desc(&m, "vaddpd %zmm0, %zmm1, %zmm2").rthroughput, 0.5);
+        assert_eq!(desc(&m, "vfmadd231pd %zmm0, %zmm1, %zmm2").rthroughput, 0.5);
+        // Scalar 2/cy.
+        assert_eq!(desc(&m, "addsd %xmm0, %xmm1").rthroughput, 0.5);
+        // Divide 0.5 elem/cy → 16 cy for 8 lanes.
+        assert_eq!(desc(&m, "vdivpd %zmm0, %zmm1, %zmm2").rthroughput, 16.0);
+        assert_eq!(desc(&m, "divsd %xmm0, %xmm1").rthroughput, 4.0);
+    }
+
+    #[test]
+    fn load_store_recipes() {
+        let m = Machine::golden_cove();
+        let ld = desc(&m, "vmovupd (%rax), %zmm0");
+        assert_eq!(ld.uop_count(), 1);
+        assert_eq!(ld.latency, 7);
+        assert_eq!(ld.class, crate::instr::InstrClass::Load);
+        // 512-bit store = 2 × 256-bit halves → 2 AGU + 2 data µ-ops.
+        let st = desc(&m, "vmovupd %zmm0, (%rax)");
+        assert_eq!(st.uop_count(), 4);
+        assert_eq!(st.class, crate::instr::InstrClass::Store);
+        let st256 = desc(&m, "vmovupd %ymm0, (%rax)");
+        assert_eq!(st256.uop_count(), 2);
+    }
+
+    #[test]
+    fn load_op_fusion_adds_latency() {
+        let m = Machine::golden_cove();
+        let d = desc(&m, "vaddpd (%rax), %zmm1, %zmm2");
+        assert_eq!(d.uop_count(), 2);
+        assert_eq!(d.latency, 2 + 7);
+    }
+
+    #[test]
+    fn moves_eliminated() {
+        let m = Machine::golden_cove();
+        assert_eq!(desc(&m, "vmovaps %zmm0, %zmm1").class, crate::instr::InstrClass::Eliminated);
+        assert_eq!(desc(&m, "xorl %eax, %eax").class, crate::instr::InstrClass::Eliminated);
+    }
+
+    #[test]
+    fn no_fallback_for_common_kernel_ops() {
+        let m = Machine::golden_cove();
+        for s in [
+            "addq $64, %rax",
+            "cmpq %rcx, %rax",
+            "jne .L2",
+            "vmovupd (%rsi,%rax), %zmm0",
+            "vfmadd231pd %zmm1, %zmm2, %zmm3",
+            "leaq 8(%rax), %rbx",
+            "imulq %rcx, %rdx",
+        ] {
+            assert!(!desc(&m, s).from_fallback, "fallback used for {s}");
+        }
+    }
+
+    #[test]
+    fn unknown_instruction_uses_fallback() {
+        let m = Machine::golden_cove();
+        let d = desc(&m, "vexp2pd %zmm0, %zmm1");
+        assert!(d.from_fallback);
+        assert!(!d.uops.is_empty());
+    }
+}

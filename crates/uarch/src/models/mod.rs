@@ -1,0 +1,54 @@
+//! The three machine models. Timing data is compiled from the paper's
+//! Tables I–III, the vendor software-optimization guides, and uops.info;
+//! where sources disagree, the paper's measured values win.
+
+mod golden_cove;
+mod neoverse_v2;
+mod zen4;
+
+use crate::instr::{Entry, InstrClass, Uop, WidthClass};
+use crate::ports::PortSet;
+
+/// Terse entry constructor used by the model tables.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn e(
+    mnemonics: &'static [&'static str],
+    width: WidthClass,
+    mem: Option<bool>,
+    uops: Vec<Uop>,
+    latency: u32,
+    rthroughput: f64,
+    class: InstrClass,
+) -> Entry {
+    Entry { mnemonics, width, mem, vector_index: None, uops, latency, rthroughput, class }
+}
+
+/// One pipelined µ-op on the given ports.
+pub(crate) fn u(ports: PortSet) -> Vec<Uop> {
+    vec![Uop::new(ports)]
+}
+
+/// Two pipelined µ-ops on the same ports (Zen 4's double-pumped AVX-512).
+pub(crate) fn u2(ports: PortSet) -> Vec<Uop> {
+    vec![Uop::new(ports), Uop::new(ports)]
+}
+
+/// A blocking µ-op occupying its port for `occ` cycles (dividers, gathers).
+pub(crate) fn ub(ports: PortSet, occ: f64) -> Vec<Uop> {
+    vec![Uop::blocking(ports, occ)]
+}
+
+/// Pure load/store marker entry: the machine's standard memory recipe is
+/// synthesized by [`crate::Machine::describe`].
+pub(crate) fn mem_entry(mnemonics: &'static [&'static str], class: InstrClass) -> Entry {
+    Entry {
+        mnemonics,
+        width: WidthClass::Any,
+        mem: Some(true),
+        vector_index: None,
+        uops: Vec::new(),
+        latency: 0,
+        rthroughput: 0.0,
+        class,
+    }
+}

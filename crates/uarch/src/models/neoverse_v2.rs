@@ -1,0 +1,315 @@
+//! Arm Neoverse V2 (Nvidia Grace CPU Superchip).
+//!
+//! Port layout (17 ports, Fig. 1 / Table II): two branch ports (B0/B1),
+//! four single-cycle integer ports (S0–S3), two multi-cycle integer ports
+//! (M0/M1, which also execute simple ALU ops), four 128-bit FP/SIMD ports
+//! (V0–V3, all FMA-capable), three load pipes (L0–L2, of which L0/L1 double
+//! as store AGUs) and two store-data ports (SD0/SD1). SVE runs at a vector
+//! length of 128 bits.
+
+use super::{e, mem_entry, u, ub};
+use crate::instr::{InstrClass::*, WidthClass::*};
+use crate::machine::{Arch, CacheLevel, Machine, MemorySpec};
+use crate::ports::{Port, PortCap, PortModel, PortSet};
+
+const B0: usize = 0;
+const B1: usize = 1;
+const S0: usize = 2;
+const S1: usize = 3;
+const S2: usize = 4;
+const S3: usize = 5;
+const M0: usize = 6;
+const M1: usize = 7;
+const V0: usize = 8;
+const V1: usize = 9;
+const V2P: usize = 10;
+const V3: usize = 11;
+const L0: usize = 12;
+const L1: usize = 13;
+const L2: usize = 14;
+const SD0: usize = 15;
+const SD1: usize = 16;
+
+const BR: PortSet = PortSet::of(&[B0, B1]);
+const INT: PortSet = PortSet::of(&[S0, S1, S2, S3, M0, M1]);
+const MC: PortSet = PortSet::of(&[M0, M1]);
+const VEC: PortSet = PortSet::of(&[V0, V1, V2P, V3]);
+const V01: PortSet = PortSet::of(&[V0, V1]);
+const FDIV: PortSet = PortSet::of(&[V0]);
+const LD: PortSet = PortSet::of(&[L0, L1, L2]);
+const STA: PortSet = PortSet::of(&[L0, L1]);
+const STD: PortSet = PortSet::of(&[SD0, SD1]);
+
+impl Machine {
+    /// The Neoverse V2 model (Nvidia Grace CPU Superchip).
+    pub fn neoverse_v2() -> Machine {
+        Machine {
+            arch: Arch::NeoverseV2,
+            part: "Nvidia Grace CPU Superchip",
+            isa: isa::Isa::AArch64,
+            port_model: port_model(),
+            table: table(),
+            dispatch_width: 8,
+            retire_width: 8,
+            rob_size: 320,
+            sched_size: 160,
+            move_elimination: true,
+            load_ports: LD,
+            load_ports_wide: LD,
+            store_agu_ports: STA,
+            store_data_ports: STD,
+            l1_load_latency: 6,
+            load_width_bits: 128,
+            store_width_bits: 128,
+            cores: 72,
+            base_freq_ghz: 3.4,
+            max_freq_ghz: 3.4,
+            simd_width_bits: 128,
+            int_units: 6, // 2 multi-cycle + 4 single-cycle
+            fp_vec_units: 4,
+            caches: vec![
+                CacheLevel { name: "L1d", size_kib: 64, line_bytes: 64, assoc: 4, shared: false, latency_cy: 4 },
+                CacheLevel { name: "L2", size_kib: 1024, line_bytes: 64, assoc: 8, shared: false, latency_cy: 12 },
+                CacheLevel { name: "L3", size_kib: 114 * 1024, line_bytes: 64, assoc: 12, shared: true, latency_cy: 45 },
+            ],
+            memory: MemorySpec {
+                size_gb: 240,
+                mem_type: "LPDDR5X",
+                theor_bw_gbs: 546.0,
+                efficiency: 0.855, // measured 467 GB/s
+                latency_ns: 130.0,
+            },
+            tdp_w: 250.0,
+            numa_domains: 1,
+            fma_dp_flops_per_cycle: 16, // 4 × 128-bit FMA = 4 × 2 lanes × 2 flops
+            extra_add_dp_flops_per_cycle: 0,
+        }
+    }
+}
+
+fn port_model() -> PortModel {
+    use PortCap::*;
+    PortModel {
+        ports: vec![
+            Port { name: "B0", caps: vec![Branch] },
+            Port { name: "B1", caps: vec![Branch] },
+            Port { name: "S0", caps: vec![IntAlu] },
+            Port { name: "S1", caps: vec![IntAlu] },
+            Port { name: "S2", caps: vec![IntAlu] },
+            Port { name: "S3", caps: vec![IntAlu] },
+            Port { name: "M0", caps: vec![IntAlu, IntMul, PredOp] },
+            Port { name: "M1", caps: vec![IntAlu, IntMul] },
+            Port { name: "V0", caps: vec![VecAlu, VecFma, VecDiv, PredOp] },
+            Port { name: "V1", caps: vec![VecAlu, VecFma, PredOp] },
+            Port { name: "V2", caps: vec![VecAlu, VecFma] },
+            Port { name: "V3", caps: vec![VecAlu, VecFma] },
+            Port { name: "L0", caps: vec![Load, StoreAgu] },
+            Port { name: "L1", caps: vec![Load, StoreAgu] },
+            Port { name: "L2", caps: vec![Load] },
+            Port { name: "SD0", caps: vec![StoreData] },
+            Port { name: "SD1", caps: vec![StoreData] },
+        ],
+    }
+}
+
+/// Latencies per the paper's Table III (VEC/scalar ADD 2, MUL 3, FMA 4;
+/// VEC DIV latency 5, scalar DIV 12). All four V-ports execute FP math at
+/// 128 bits, giving 8 DP/cy packed and 4/cy scalar throughput.
+fn table() -> Vec<crate::instr::Entry> {
+    let mut t = Vec::new();
+
+    // --- Pure loads / stores. ---
+    t.push(mem_entry(
+        &["ldr", "ldp", "ldur", "ldnp", "ld1", "ld2", "ld1d", "ld1w", "ld1rd", "ld1rw",
+          "ldff1d", "ldnt1d", "str", "stp", "stur", "stnp", "st1", "st2", "st1d", "st1w",
+          "stnt1d", "prfm", "prfd"],
+        Load,
+    ));
+
+    // SVE gather (vector-indexed ld1d): Table III — 1/4 cache line per
+    // cycle, latency 9. At VL=128 a gather touches up to 2 lines → 8 cycles
+    // of gather-pipe time. Must precede the plain-load entry; matching keys
+    // on the vector index register.
+    t.insert(0, {
+        let mut g = e(
+            &["ld1d", "ld1w", "ldff1d"],
+            Any,
+            Some(true),
+            ub(PortSet::of(&[L2]), 8.0),
+            9,
+            8.0,
+            Load,
+        );
+        g.vector_index = Some(true);
+        g
+    });
+
+    // --- Packed FP (NEON and SVE at VL=128). ---
+    let addish: &'static [&'static str] = &["fadd", "fsub", "fmax", "fmin", "fmaxnm", "fminnm", "fabd", "faddp"];
+    t.push(e(addish, V128, None, u(VEC), 2, 0.25, VecAlu));
+    t.push(e(&["fmul", "fmulx"], V128, None, u(VEC), 3, 0.25, VecMul));
+    t.push(e(&["fmla", "fmls", "fmad", "fmsb", "fnmla", "fnmls"], V128, None, u(VEC), 4, 0.25, VecFma));
+    // Divide: 0.4 DP elements/cy → 5 cy per 2-lane instruction, latency 5
+    // (Table III lists the best case; fdiv is unpipelined on V0).
+    t.push(e(&["fdiv", "fdivr"], V128, None, ub(FDIV, 5.0), 5, 5.0, VecDiv));
+    t.push(e(&["fsqrt"], V128, None, ub(FDIV, 7.0), 13, 7.0, VecDiv));
+    t.push(e(&["fneg", "fabs", "frintm", "frintp", "frintz", "frinta"], V128, None, u(VEC), 2, 0.25, VecAlu));
+    // movprfx is usually fused with the destructive op that follows; a
+    // non-fused execution still costs one V-port slot.
+    t.push(e(&["movprfx"], Any, None, u(VEC), 2, 0.25, Move));
+    t.push(e(&["fcmgt", "fcmge", "fcmeq", "fcmlt", "fcmle", "facgt", "facge"], V128, None, u(V01), 2, 0.5, VecAlu));
+
+    // --- Scalar FP (d/s registers; Table III: 4/cy on all four V ports). ---
+    t.push(e(addish, ScalarFp, None, u(VEC), 2, 0.25, VecAlu));
+    t.push(e(&["fmul", "fnmul"], ScalarFp, None, u(VEC), 3, 0.25, VecMul));
+    t.push(e(&["fmadd", "fmsub", "fnmadd", "fnmsub", "fmla", "fmls"], ScalarFp, None, u(VEC), 4, 0.25, VecFma));
+    // Scalar divide: 0.4/cy → 2.5 cy occupancy, latency 12.
+    t.push(e(&["fdiv"], ScalarFp, None, ub(FDIV, 2.5), 12, 2.5, VecDiv));
+    t.push(e(&["fsqrt"], ScalarFp, None, ub(FDIV, 4.0), 12, 4.0, VecDiv));
+    t.push(e(&["fneg", "fabs", "fcvt", "fcvtzs", "fcvtzu", "scvtf", "ucvtf", "frintm", "frintz"], ScalarFp, None, u(VEC), 3, 0.25, VecAlu));
+    t.push(e(&["fcmp", "fcmpe", "fccmp"], Any, None, u(V01), 2, 0.5, VecAlu));
+    t.push(e(&["fcsel"], Any, None, u(V01), 2, 0.5, VecAlu));
+
+    // --- Vector integer / logical / permute (NEON & SVE). ---
+    t.push(e(&["add", "sub", "and", "orr", "eor", "bic", "cmeq", "cmgt", "cmge", "addp", "uaddlv", "smax", "smin", "umax", "umin", "mul", "mla", "mls", "sdot", "udot"], V128, None, u(VEC), 2, 0.25, VecAlu));
+    t.push(e(&["dup", "movi", "mvni", "ins", "zip1", "zip2", "uzp1", "uzp2", "trn1", "trn2", "ext", "rev64", "tbl", "splice", "sel"], V128, None, u(V01), 2, 0.5, VecAlu));
+    t.push(e(&["fmov", "mov"], V128, None, u(VEC), 2, 0.25, Move));
+    t.push(e(&["fmov"], ScalarFp, None, u(VEC), 2, 0.25, Move));
+    t.push(e(&["scvtf", "ucvtf", "fcvtzs", "fcvtzu", "fcvtn", "fcvtl", "fcvt"], V128, None, u(V01), 3, 0.5, VecAlu));
+
+    // --- SVE predicate machinery. ---
+    t.push(e(&["whilelo", "whilelt", "whilele", "whilels"], Any, None, u(PortSet::of(&[M0])), 2, 1.0, Other));
+    t.push(e(&["ptrue", "pfalse", "ptest", "pnext", "punpklo", "punpkhi"], Any, None, u(PortSet::of(&[M0])), 2, 1.0, Other));
+    t.push(e(&["cntd", "cntw", "cnth", "cntb", "incd", "incw", "inch", "incb", "decd", "decw", "rdvl"], Any, None, u(MC), 2, 0.5, IntAlu));
+    t.push(e(&["index"], Any, None, u(V01), 4, 0.5, VecAlu));
+
+    // --- Scalar integer. ---
+    // Simple single-cycle ALU: 6 ports (S0–S3 plus the M ports).
+    t.push(e(&["add", "sub", "and", "orr", "eor", "bic", "orn", "eon", "neg", "mvn", "mov", "movz", "movk", "movn", "sxtw", "uxtw", "sxth", "uxth", "adr", "adrp"], Scalar, None, u(INT), 1, 1.0 / 6.0, IntAlu));
+    t.push(e(&["adds", "subs", "ands", "bics", "cmp", "cmn", "tst"], Scalar, None, u(INT), 1, 1.0 / 6.0, IntAlu));
+    // Shifts and shifted-operand forms go to the multi-cycle ports.
+    t.push(e(&["lsl", "lsr", "asr", "ror", "lslv", "lsrv", "asrv", "ubfm", "sbfm", "ubfx", "sbfx", "ubfiz", "sbfiz", "bfi", "extr"], Scalar, None, u(MC), 2, 0.5, IntAlu));
+    t.push(e(&["madd", "msub", "mul", "mneg", "smull", "umull", "smulh", "umulh"], Scalar, None, u(MC), 3, 0.5, IntMul));
+    t.push(e(&["sdiv", "udiv"], Scalar, None, ub(PortSet::of(&[M0]), 7.0), 12, 7.0, IntDiv));
+    t.push(e(&["csel", "csinc", "csinv", "csneg", "cset", "csetm", "cinc"], Scalar, None, u(INT), 1, 1.0 / 6.0, IntAlu));
+    t.push(e(&["ccmp", "ccmn"], Scalar, None, u(INT), 1, 1.0 / 6.0, IntAlu));
+
+    // --- Branches. ---
+    t.push(e(&["b", "br", "cbz", "cbnz", "tbz", "tbnz"], Any, None, u(BR), 1, 0.5, Branch));
+    t.push(e(&["bl", "blr", "ret"], Any, None, u(PortSet::of(&[B0])), 1, 1.0, Branch));
+
+    // --- Extended integer coverage. ---
+    t.push(e(&["rbit", "clz", "cls", "rev", "rev16", "rev32"], Scalar, None, u(INT), 1, 1.0 / 6.0, IntAlu));
+    t.push(e(&["smaddl", "umaddl", "smsubl", "umsubl"], Scalar, None, u(MC), 3, 0.5, IntMul));
+    t.push(e(&["crc32b", "crc32h", "crc32w", "crc32x"], Scalar, None, u(PortSet::of(&[M0])), 2, 1.0, IntAlu));
+    t.push(e(&["adc", "sbc", "adcs", "sbcs", "ngc"], Scalar, None, u(INT), 1, 1.0 / 6.0, IntAlu));
+    t.push(e(&["tst", "mvn", "bfc", "bfxil"], Scalar, None, u(INT), 1, 1.0 / 6.0, IntAlu));
+
+    // --- Extended NEON/SVE coverage. ---
+    t.push(e(&["faddv", "fmaxv", "fminv", "fmaxnmv", "fminnmv", "addv", "smaxv", "uminv"], V128, None, u(V01), 4, 0.5, VecAlu));
+    t.push(e(&["fadda"], V128, None, ub(PortSet::of(&[V0]), 4.0), 8, 4.0, VecAlu));
+    t.push(e(&["shl", "sshr", "ushr", "sshl", "ushl", "shrn", "shll", "sli", "sri"], V128, None, u(V01), 2, 0.5, VecAlu));
+    t.push(e(&["lsl", "lsr", "asr"], V128, None, u(V01), 2, 0.5, VecAlu));
+    t.push(e(&["frecpe", "frsqrte", "frecps", "frsqrts"], Any, None, u(PortSet::of(&[V0])), 4, 1.0, VecAlu));
+    t.push(e(&["abs", "neg", "sqabs", "sqneg"], V128, None, u(VEC), 2, 0.25, VecAlu));
+    t.push(e(&["bsl", "bit", "bif", "bic", "orn"], V128, None, u(VEC), 2, 0.25, VecAlu));
+    t.push(e(&["xtn", "xtn2", "sxtl", "uxtl", "sxtl2", "uxtl2"], V128, None, u(V01), 2, 0.5, VecAlu));
+    t.push(e(&["saddlp", "uaddlp", "sadalp", "uadalp", "saddlv", "uaddlv"], V128, None, u(V01), 3, 0.5, VecAlu));
+    t.push(e(&["umov", "smov"], Any, None, u(PortSet::of(&[V1])), 2, 1.0, Other));
+    // SVE predicate / compare / select extras.
+    t.push(e(&["cmpgt", "cmpge", "cmpeq", "cmpne", "cmplt", "cmple", "cmphi", "cmplo"], V128, None, u(V01), 4, 0.5, VecAlu));
+    t.push(e(&["nand", "nor", "bics"], Any, None, u(PortSet::of(&[M0])), 1, 1.0, Other));
+    t.push(e(&["brka", "brkb", "brkn", "pfirst", "plast"], Any, None, u(PortSet::of(&[M0])), 2, 1.0, Other));
+    t.push(e(&["compact", "lasta", "lastb", "clasta", "clastb"], V128, None, u(V01), 3, 0.5, VecAlu));
+    t.push(e(&["uzp1", "uzp2", "zip1", "zip2", "trn1", "trn2", "revb", "revh", "revw"], Any, None, u(V01), 2, 0.5, VecAlu));
+    t.push(e(&["mad", "msb", "mla", "mls", "mul"], V128, None, u(VEC), 4, 0.25, VecMul));
+    t.push(e(&["sminv", "umaxv", "andv", "orv", "eorv"], V128, None, u(V01), 4, 0.5, VecAlu));
+
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::machine::Machine;
+    use isa::parse::parse_line_aarch64;
+
+    fn desc(m: &Machine, s: &str) -> crate::instr::InstrDesc {
+        m.describe(&parse_line_aarch64(s, 1).unwrap().unwrap())
+    }
+
+    #[test]
+    fn table3_latencies() {
+        let m = Machine::neoverse_v2();
+        assert_eq!(desc(&m, "fadd v0.2d, v1.2d, v2.2d").latency, 2);
+        assert_eq!(desc(&m, "fmul v0.2d, v1.2d, v2.2d").latency, 3);
+        assert_eq!(desc(&m, "fmla v0.2d, v1.2d, v2.2d").latency, 4);
+        assert_eq!(desc(&m, "fdiv v0.2d, v1.2d, v2.2d").latency, 5);
+        assert_eq!(desc(&m, "fadd d0, d1, d2").latency, 2);
+        assert_eq!(desc(&m, "fmul d0, d1, d2").latency, 3);
+        assert_eq!(desc(&m, "fmadd d0, d1, d2, d3").latency, 4);
+        assert_eq!(desc(&m, "fdiv d0, d1, d2").latency, 12);
+    }
+
+    #[test]
+    fn table3_throughputs() {
+        let m = Machine::neoverse_v2();
+        // 8 DP/cy packed = 4 instructions/cy at 2 lanes.
+        assert_eq!(desc(&m, "fadd v0.2d, v1.2d, v2.2d").rthroughput, 0.25);
+        // 4 scalar FP/cy.
+        assert_eq!(desc(&m, "fadd d0, d1, d2").rthroughput, 0.25);
+        // Divide: 0.4 elem/cy → 5 cy per packed, 2.5 per scalar instruction.
+        assert_eq!(desc(&m, "fdiv v0.2d, v1.2d, v2.2d").rthroughput, 5.0);
+        assert_eq!(desc(&m, "fdiv d0, d1, d2").rthroughput, 2.5);
+        // Scalar int add: 6 ports.
+        assert!((desc(&m, "add x0, x1, x2").rthroughput - 1.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sve_predicated_math() {
+        let m = Machine::neoverse_v2();
+        let d = desc(&m, "fmla z0.d, p0/m, z1.d, z2.d");
+        assert_eq!(d.latency, 4);
+        assert_eq!(d.rthroughput, 0.25);
+        assert!(!d.from_fallback);
+    }
+
+    #[test]
+    fn load_store_recipes() {
+        let m = Machine::neoverse_v2();
+        let ld = desc(&m, "ldr q0, [x0, #16]");
+        assert_eq!(ld.uop_count(), 1);
+        assert_eq!(ld.latency, 6);
+        // ldp q,q moves 32 B = two 128-bit pipes.
+        assert_eq!(desc(&m, "ldp q0, q1, [x0]").uop_count(), 2);
+        // Stores: AGU (on L0/L1) + data.
+        let st = desc(&m, "str q0, [x0]");
+        assert_eq!(st.uop_count(), 2);
+        assert_eq!(desc(&m, "stp q0, q1, [x0]").uop_count(), 4);
+        // SVE loads at VL=128 are single-pipe.
+        assert_eq!(desc(&m, "ld1d {z0.d}, p0/z, [x0, x1, lsl #3]").uop_count(), 1);
+    }
+
+    #[test]
+    fn whilelo_and_branch() {
+        let m = Machine::neoverse_v2();
+        assert!(!desc(&m, "whilelo p0.d, x3, x4").from_fallback);
+        assert!(!desc(&m, "b.ne .L2").from_fallback);
+        assert!(!desc(&m, "cbnz x3, .L2").from_fallback);
+    }
+
+    #[test]
+    fn no_fallback_for_streaming_kernel_ops() {
+        let m = Machine::neoverse_v2();
+        for s in [
+            "add x3, x3, #16",
+            "cmp x3, x4",
+            "subs x5, x5, #1",
+            "madd x0, x1, x2, x3",
+            "fadd v0.2d, v0.2d, v1.2d",
+            "ldr q0, [x1, x3]",
+            "str q0, [x0, x3]",
+        ] {
+            assert!(!desc(&m, s).from_fallback, "fallback used for {s}");
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Execution-port model: named issue ports with capability tags, and
+//! bitmask port sets used by µ-ops.
+
+use std::fmt;
+
+/// A set of execution ports, represented as a bitmask over the machine's
+/// port list (bit *i* = port *i* in [`PortModel::ports`]). All machines in
+/// this crate have ≤ 17 ports, so a `u32` suffices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PortSet(pub u32);
+
+impl PortSet {
+    pub const EMPTY: PortSet = PortSet(0);
+
+    /// Set containing the single port `i`.
+    pub const fn single(i: usize) -> Self {
+        PortSet(1 << i)
+    }
+
+    /// Build from a list of port indices.
+    pub const fn of(indices: &[usize]) -> Self {
+        let mut m = 0u32;
+        let mut i = 0;
+        while i < indices.len() {
+            m |= 1 << indices[i];
+            i += 1;
+        }
+        PortSet(m)
+    }
+
+    pub fn contains(&self, port: usize) -> bool {
+        self.0 & (1 << port) != 0
+    }
+
+    pub fn count(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    pub fn union(&self, other: PortSet) -> PortSet {
+        PortSet(self.0 | other.0)
+    }
+
+    pub fn intersect(&self, other: PortSet) -> PortSet {
+        PortSet(self.0 & other.0)
+    }
+
+    /// Iterate over contained port indices.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..32).filter(move |i| self.contains(*i))
+    }
+}
+
+impl fmt::Display for PortSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (n, i) in self.iter().enumerate() {
+            if n > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Functional capability of a port, used for rendering (Fig. 1) and for
+/// sanity-checking the instruction database against Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortCap {
+    /// Single-cycle integer ALU.
+    IntAlu,
+    /// Multi-cycle integer (mul/div).
+    IntMul,
+    /// Branch resolution.
+    Branch,
+    /// FP/SIMD vector ALU.
+    VecAlu,
+    /// FP FMA-capable.
+    VecFma,
+    /// FP divide/sqrt.
+    VecDiv,
+    /// Load address generation / load pipe.
+    Load,
+    /// Store address generation.
+    StoreAgu,
+    /// Store data.
+    StoreData,
+    /// SVE/AVX-512 predicate/mask operations.
+    PredOp,
+}
+
+/// One named execution port.
+#[derive(Debug, Clone)]
+pub struct Port {
+    /// Short display name, e.g. `"V0"` or `"5"`.
+    pub name: &'static str,
+    pub caps: Vec<PortCap>,
+}
+
+/// A machine's complete port model.
+#[derive(Debug, Clone)]
+pub struct PortModel {
+    pub ports: Vec<Port>,
+}
+
+impl PortModel {
+    pub fn num_ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// All ports with a given capability.
+    pub fn with_cap(&self, cap: PortCap) -> PortSet {
+        let mut s = PortSet::EMPTY;
+        for (i, p) in self.ports.iter().enumerate() {
+            if p.caps.contains(&cap) {
+                s = s.union(PortSet::single(i));
+            }
+        }
+        s
+    }
+
+    /// Port index by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.ports.iter().position(|p| p.name == name)
+    }
+
+    /// Render an ASCII block diagram of the port model (used to regenerate
+    /// Fig. 1 of the paper for any of the three machines).
+    pub fn render(&self, title: &str) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "{title}");
+        let _ = writeln!(out, "{}", "=".repeat(title.len()));
+        let _ = writeln!(out, "{} issue ports", self.num_ports());
+        let _ = writeln!(out, "{}", "-".repeat(60));
+        for p in &self.ports {
+            let caps: Vec<String> = p.caps.iter().map(|c| format!("{c:?}")).collect();
+            let _ = writeln!(out, "  port {:<4} | {}", p.name, caps.join(" + "));
+        }
+        let _ = writeln!(out, "{}", "-".repeat(60));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portset_basics() {
+        let s = PortSet::of(&[0, 2, 5]);
+        assert!(s.contains(0) && s.contains(2) && s.contains(5));
+        assert!(!s.contains(1));
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 2, 5]);
+        assert_eq!(s.to_string(), "[0,2,5]");
+    }
+
+    #[test]
+    fn portset_algebra() {
+        let a = PortSet::of(&[0, 1]);
+        let b = PortSet::of(&[1, 2]);
+        assert_eq!(a.union(b), PortSet::of(&[0, 1, 2]));
+        assert_eq!(a.intersect(b), PortSet::of(&[1]));
+        assert!(PortSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn capability_query() {
+        let pm = PortModel {
+            ports: vec![
+                Port { name: "0", caps: vec![PortCap::IntAlu, PortCap::VecFma] },
+                Port { name: "1", caps: vec![PortCap::IntAlu] },
+                Port { name: "2", caps: vec![PortCap::Load] },
+            ],
+        };
+        assert_eq!(pm.with_cap(PortCap::IntAlu), PortSet::of(&[0, 1]));
+        assert_eq!(pm.with_cap(PortCap::Load), PortSet::of(&[2]));
+        assert_eq!(pm.index_of("2"), Some(2));
+        assert!(pm.render("Test").contains("3 issue ports"));
+    }
+}

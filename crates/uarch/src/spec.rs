@@ -1,0 +1,543 @@
+//! Machine files: JSON import/export of complete machine models.
+//!
+//! The paper chose OSACA because it "provides the user with the possibility
+//! of adding new microarchitectures into the existing framework relatively
+//! easily" — OSACA machine models are editable YAML files. This module is
+//! the equivalent mechanism here: every [`Machine`] can be exported to a
+//! self-contained JSON document ([`Machine::to_json`]) and a (possibly
+//! hand-edited) document can be loaded back ([`Machine::from_json`]),
+//! making it possible to model a new core — or tweak an existing one —
+//! without touching Rust code.
+//!
+//! Custom machines declare which of the three base microarchitecture
+//! families they belong to (`"neoverse-v2"`, `"golden-cove"`, `"zen4"`);
+//! the family selects ISA conventions and the node-level policy defaults.
+
+use crate::instr::{Entry, InstrClass, Uop, WidthClass};
+use crate::machine::{Arch, CacheLevel, Machine, MemorySpec};
+use crate::ports::{Port, PortCap, PortModel, PortSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error loading a machine spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "machine spec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MachineSpec {
+    pub arch: String,
+    pub part: String,
+    pub ports: Vec<PortSpec>,
+    pub dispatch_width: u32,
+    pub retire_width: u32,
+    pub rob_size: u32,
+    pub sched_size: u32,
+    pub move_elimination: bool,
+    pub load_ports: Vec<String>,
+    pub load_ports_wide: Vec<String>,
+    pub store_agu_ports: Vec<String>,
+    pub store_data_ports: Vec<String>,
+    pub l1_load_latency: u32,
+    pub load_width_bits: u16,
+    pub store_width_bits: u16,
+    pub cores: u32,
+    pub base_freq_ghz: f64,
+    pub max_freq_ghz: f64,
+    pub simd_width_bits: u16,
+    pub int_units: u32,
+    pub fp_vec_units: u32,
+    pub caches: Vec<CacheSpec>,
+    pub memory: MemorySpecSpec,
+    pub tdp_w: f64,
+    pub numa_domains: u32,
+    pub fma_dp_flops_per_cycle: u32,
+    pub extra_add_dp_flops_per_cycle: u32,
+    pub instructions: Vec<EntrySpec>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PortSpec {
+    pub name: String,
+    pub caps: Vec<String>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheSpec {
+    pub name: String,
+    pub size_kib: u64,
+    pub line_bytes: u32,
+    pub assoc: u32,
+    pub shared: bool,
+    pub latency_cy: u32,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemorySpecSpec {
+    pub size_gb: u32,
+    pub mem_type: String,
+    pub theor_bw_gbs: f64,
+    pub efficiency: f64,
+    pub latency_ns: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EntrySpec {
+    pub mnemonics: Vec<String>,
+    pub width: String,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub mem: Option<bool>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub vector_index: Option<bool>,
+    pub uops: Vec<UopSpec>,
+    pub latency: u32,
+    pub rthroughput: f64,
+    pub class: String,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UopSpec {
+    pub ports: Vec<String>,
+    pub occupancy: f64,
+}
+
+fn cap_name(c: PortCap) -> &'static str {
+    match c {
+        PortCap::IntAlu => "int-alu",
+        PortCap::IntMul => "int-mul",
+        PortCap::Branch => "branch",
+        PortCap::VecAlu => "vec-alu",
+        PortCap::VecFma => "vec-fma",
+        PortCap::VecDiv => "vec-div",
+        PortCap::Load => "load",
+        PortCap::StoreAgu => "store-agu",
+        PortCap::StoreData => "store-data",
+        PortCap::PredOp => "pred-op",
+    }
+}
+
+fn cap_from(s: &str) -> Result<PortCap, SpecError> {
+    Ok(match s {
+        "int-alu" => PortCap::IntAlu,
+        "int-mul" => PortCap::IntMul,
+        "branch" => PortCap::Branch,
+        "vec-alu" => PortCap::VecAlu,
+        "vec-fma" => PortCap::VecFma,
+        "vec-div" => PortCap::VecDiv,
+        "load" => PortCap::Load,
+        "store-agu" => PortCap::StoreAgu,
+        "store-data" => PortCap::StoreData,
+        "pred-op" => PortCap::PredOp,
+        other => return Err(SpecError(format!("unknown port capability `{other}`"))),
+    })
+}
+
+fn width_name(w: WidthClass) -> &'static str {
+    match w {
+        WidthClass::Any => "any",
+        WidthClass::Scalar => "scalar",
+        WidthClass::V128 => "v128",
+        WidthClass::V256 => "v256",
+        WidthClass::V512 => "v512",
+        WidthClass::ScalarFp => "scalar-fp",
+    }
+}
+
+fn width_from(s: &str) -> Result<WidthClass, SpecError> {
+    Ok(match s {
+        "any" => WidthClass::Any,
+        "scalar" => WidthClass::Scalar,
+        "v128" => WidthClass::V128,
+        "v256" => WidthClass::V256,
+        "v512" => WidthClass::V512,
+        "scalar-fp" => WidthClass::ScalarFp,
+        other => return Err(SpecError(format!("unknown width class `{other}`"))),
+    })
+}
+
+fn class_name(c: InstrClass) -> &'static str {
+    match c {
+        InstrClass::IntAlu => "int-alu",
+        InstrClass::IntMul => "int-mul",
+        InstrClass::IntDiv => "int-div",
+        InstrClass::VecAlu => "vec-alu",
+        InstrClass::VecMul => "vec-mul",
+        InstrClass::VecFma => "vec-fma",
+        InstrClass::VecDiv => "vec-div",
+        InstrClass::Load => "load",
+        InstrClass::Store => "store",
+        InstrClass::Branch => "branch",
+        InstrClass::Move => "move",
+        InstrClass::Eliminated => "eliminated",
+        InstrClass::Other => "other",
+    }
+}
+
+fn class_from(s: &str) -> Result<InstrClass, SpecError> {
+    Ok(match s {
+        "int-alu" => InstrClass::IntAlu,
+        "int-mul" => InstrClass::IntMul,
+        "int-div" => InstrClass::IntDiv,
+        "vec-alu" => InstrClass::VecAlu,
+        "vec-mul" => InstrClass::VecMul,
+        "vec-fma" => InstrClass::VecFma,
+        "vec-div" => InstrClass::VecDiv,
+        "load" => InstrClass::Load,
+        "store" => InstrClass::Store,
+        "branch" => InstrClass::Branch,
+        "move" => InstrClass::Move,
+        "eliminated" => InstrClass::Eliminated,
+        "other" => InstrClass::Other,
+        other => return Err(SpecError(format!("unknown instruction class `{other}`"))),
+    })
+}
+
+fn arch_name(a: Arch) -> &'static str {
+    match a {
+        Arch::NeoverseV2 => "neoverse-v2",
+        Arch::GoldenCove => "golden-cove",
+        Arch::Zen4 => "zen4",
+    }
+}
+
+fn arch_from(s: &str) -> Result<Arch, SpecError> {
+    Ok(match s {
+        "neoverse-v2" => Arch::NeoverseV2,
+        "golden-cove" => Arch::GoldenCove,
+        "zen4" => Arch::Zen4,
+        other => {
+            return Err(SpecError(format!(
+                "unknown microarchitecture family `{other}` (use neoverse-v2, golden-cove, or zen4)"
+            )))
+        }
+    })
+}
+
+impl MachineSpec {
+    /// Build a spec from a live machine model.
+    pub fn from_machine(m: &Machine) -> MachineSpec {
+        let port_names = |set: PortSet| -> Vec<String> {
+            set.iter().map(|i| m.port_model.ports[i].name.to_string()).collect()
+        };
+        MachineSpec {
+            arch: arch_name(m.arch).to_string(),
+            part: m.part.to_string(),
+            ports: m
+                .port_model
+                .ports
+                .iter()
+                .map(|p| PortSpec {
+                    name: p.name.to_string(),
+                    caps: p.caps.iter().map(|c| cap_name(*c).to_string()).collect(),
+                })
+                .collect(),
+            dispatch_width: m.dispatch_width,
+            retire_width: m.retire_width,
+            rob_size: m.rob_size,
+            sched_size: m.sched_size,
+            move_elimination: m.move_elimination,
+            load_ports: port_names(m.load_ports),
+            load_ports_wide: port_names(m.load_ports_wide),
+            store_agu_ports: port_names(m.store_agu_ports),
+            store_data_ports: port_names(m.store_data_ports),
+            l1_load_latency: m.l1_load_latency,
+            load_width_bits: m.load_width_bits,
+            store_width_bits: m.store_width_bits,
+            cores: m.cores,
+            base_freq_ghz: m.base_freq_ghz,
+            max_freq_ghz: m.max_freq_ghz,
+            simd_width_bits: m.simd_width_bits,
+            int_units: m.int_units,
+            fp_vec_units: m.fp_vec_units,
+            caches: m
+                .caches
+                .iter()
+                .map(|c| CacheSpec {
+                    name: c.name.to_string(),
+                    size_kib: c.size_kib,
+                    line_bytes: c.line_bytes,
+                    assoc: c.assoc,
+                    shared: c.shared,
+                    latency_cy: c.latency_cy,
+                })
+                .collect(),
+            memory: MemorySpecSpec {
+                size_gb: m.memory.size_gb,
+                mem_type: m.memory.mem_type.to_string(),
+                theor_bw_gbs: m.memory.theor_bw_gbs,
+                efficiency: m.memory.efficiency,
+                latency_ns: m.memory.latency_ns,
+            },
+            tdp_w: m.tdp_w,
+            numa_domains: m.numa_domains,
+            fma_dp_flops_per_cycle: m.fma_dp_flops_per_cycle,
+            extra_add_dp_flops_per_cycle: m.extra_add_dp_flops_per_cycle,
+            instructions: m
+                .table
+                .iter()
+                .map(|e| EntrySpec {
+                    mnemonics: e.mnemonics.iter().map(|s| s.to_string()).collect(),
+                    width: width_name(e.width).to_string(),
+                    mem: e.mem,
+                    vector_index: e.vector_index,
+                    uops: e
+                        .uops
+                        .iter()
+                        .map(|u| UopSpec { ports: port_names(u.ports), occupancy: u.occupancy })
+                        .collect(),
+                    latency: e.latency,
+                    rthroughput: e.rthroughput,
+                    class: class_name(e.class).to_string(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Materialize the spec as a machine model. String data (mnemonics,
+    /// part names) is interned with `Box::leak` — machine models are loaded
+    /// once and live for the program's lifetime, as in OSACA.
+    pub fn to_machine(&self) -> Result<Machine, SpecError> {
+        let arch = arch_from(&self.arch)?;
+        let ports: Vec<Port> = self
+            .ports
+            .iter()
+            .map(|p| {
+                Ok(Port {
+                    name: leak(&p.name),
+                    caps: p.caps.iter().map(|c| cap_from(c)).collect::<Result<_, _>>()?,
+                })
+            })
+            .collect::<Result<_, SpecError>>()?;
+        let port_model = PortModel { ports };
+        let resolve_set = |names: &[String]| -> Result<PortSet, SpecError> {
+            let mut s = PortSet::EMPTY;
+            for n in names {
+                let i = port_model
+                    .index_of(n)
+                    .ok_or_else(|| SpecError(format!("unknown port `{n}`")))?;
+                s = s.union(PortSet::single(i));
+            }
+            Ok(s)
+        };
+
+        let mut table = Vec::with_capacity(self.instructions.len());
+        for e in &self.instructions {
+            let mnemonics: &'static [&'static str] = Box::leak(
+                e.mnemonics
+                    .iter()
+                    .map(|m| leak(m))
+                    .collect::<Vec<&'static str>>()
+                    .into_boxed_slice(),
+            );
+            let mut uops = Vec::with_capacity(e.uops.len());
+            for u in &e.uops {
+                let ports = resolve_set(&u.ports)?;
+                if ports.is_empty() {
+                    return Err(SpecError(format!(
+                        "entry for {:?} has a µ-op with no ports",
+                        e.mnemonics
+                    )));
+                }
+                uops.push(Uop { ports, occupancy: u.occupancy });
+            }
+            table.push(Entry {
+                mnemonics,
+                width: width_from(&e.width)?,
+                mem: e.mem,
+                vector_index: e.vector_index,
+                uops,
+                latency: e.latency,
+                rthroughput: e.rthroughput,
+                class: class_from(&e.class)?,
+            });
+        }
+
+        if self.caches.is_empty() {
+            return Err(SpecError("at least one cache level is required".into()));
+        }
+        if self.dispatch_width == 0 {
+            return Err(SpecError("dispatch_width must be positive".into()));
+        }
+
+        Ok(Machine {
+            arch,
+            part: leak(&self.part),
+            isa: match arch {
+                Arch::NeoverseV2 => isa::Isa::AArch64,
+                _ => isa::Isa::X86,
+            },
+            load_ports: resolve_set(&self.load_ports)?,
+            load_ports_wide: resolve_set(&self.load_ports_wide)?,
+            store_agu_ports: resolve_set(&self.store_agu_ports)?,
+            store_data_ports: resolve_set(&self.store_data_ports)?,
+            port_model,
+            table,
+            dispatch_width: self.dispatch_width,
+            retire_width: self.retire_width,
+            rob_size: self.rob_size,
+            sched_size: self.sched_size,
+            move_elimination: self.move_elimination,
+            l1_load_latency: self.l1_load_latency,
+            load_width_bits: self.load_width_bits,
+            store_width_bits: self.store_width_bits,
+            cores: self.cores,
+            base_freq_ghz: self.base_freq_ghz,
+            max_freq_ghz: self.max_freq_ghz,
+            simd_width_bits: self.simd_width_bits,
+            int_units: self.int_units,
+            fp_vec_units: self.fp_vec_units,
+            caches: self
+                .caches
+                .iter()
+                .map(|c| CacheLevel {
+                    name: leak(&c.name),
+                    size_kib: c.size_kib,
+                    line_bytes: c.line_bytes,
+                    assoc: c.assoc,
+                    shared: c.shared,
+                    latency_cy: c.latency_cy,
+                })
+                .collect(),
+            memory: MemorySpec {
+                size_gb: self.memory.size_gb,
+                mem_type: leak(&self.memory.mem_type),
+                theor_bw_gbs: self.memory.theor_bw_gbs,
+                efficiency: self.memory.efficiency,
+                latency_ns: self.memory.latency_ns,
+            },
+            tdp_w: self.tdp_w,
+            numa_domains: self.numa_domains,
+            fma_dp_flops_per_cycle: self.fma_dp_flops_per_cycle,
+            extra_add_dp_flops_per_cycle: self.extra_add_dp_flops_per_cycle,
+        })
+    }
+}
+
+fn leak(s: &str) -> &'static str {
+    Box::leak(s.to_string().into_boxed_str())
+}
+
+impl Machine {
+    /// Export this machine model as a pretty-printed JSON machine file.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&MachineSpec::from_machine(self))
+            .expect("machine spec serializes")
+    }
+
+    /// Load a machine model from a JSON machine file.
+    pub fn from_json(json: &str) -> Result<Machine, SpecError> {
+        let spec: MachineSpec =
+            serde_json::from_str(json).map_err(|e| SpecError(format!("invalid JSON: {e}")))?;
+        spec.to_machine()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A loaded machine must behave identically to the built-in one.
+    #[test]
+    fn roundtrip_preserves_behaviour() {
+        for original in crate::all_machines() {
+            let json = original.to_json();
+            let loaded = Machine::from_json(&json).expect("roundtrip load");
+            assert_eq!(loaded.arch, original.arch);
+            assert_eq!(loaded.port_model.num_ports(), original.port_model.num_ports());
+            assert_eq!(loaded.table.len(), original.table.len());
+            assert_eq!(loaded.table2_row(), original.table2_row());
+
+            // Describe a sample instruction identically.
+            let line = match original.isa {
+                isa::Isa::X86 => "vfmadd231pd %zmm1, %zmm2, %zmm3",
+                isa::Isa::AArch64 => "fmla v0.2d, v1.2d, v2.2d",
+            };
+            let inst = match original.isa {
+                isa::Isa::X86 => isa::parse::parse_line_x86(line, 1).unwrap().unwrap(),
+                isa::Isa::AArch64 => isa::parse::parse_line_aarch64(line, 1).unwrap().unwrap(),
+            };
+            assert_eq!(original.describe(&inst), loaded.describe(&inst));
+        }
+    }
+
+    #[test]
+    fn edited_machine_file_changes_the_model() {
+        // Double Golden Cove's FMA latency in the JSON and observe the
+        // analyzer honoring it — the OSACA machine-file workflow.
+        let m = Machine::golden_cove();
+        let mut spec = MachineSpec::from_machine(&m);
+        for e in &mut spec.instructions {
+            if e.mnemonics.iter().any(|n| n == "vfmadd231pd") && e.width == "v512" {
+                e.latency = 8;
+            }
+        }
+        let edited = spec.to_machine().unwrap();
+        let inst = isa::parse::parse_line_x86("vfmadd231pd %zmm1, %zmm2, %zmm3", 1)
+            .unwrap()
+            .unwrap();
+        assert_eq!(edited.describe(&inst).latency, 8);
+        assert_eq!(m.describe(&inst).latency, 4);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        let m = Machine::zen4();
+        let mut spec = MachineSpec::from_machine(&m);
+        spec.arch = "m99".into();
+        assert!(spec.to_machine().is_err());
+
+        let mut spec2 = MachineSpec::from_machine(&m);
+        spec2.load_ports = vec!["NOPE".into()];
+        assert!(spec2.to_machine().is_err());
+
+        let mut spec3 = MachineSpec::from_machine(&m);
+        spec3.caches.clear();
+        assert!(spec3.to_machine().is_err());
+
+        assert!(Machine::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn json_is_human_oriented() {
+        let json = Machine::neoverse_v2().to_json();
+        // Named ports and kebab-case tags, not numeric indices.
+        assert!(json.contains("\"V0\""));
+        assert!(json.contains("vec-fma"));
+        assert!(json.contains("neoverse-v2"));
+        assert!(json.contains("\"fmla\""));
+    }
+
+    #[test]
+    fn custom_variant_machine() {
+        // A hypothetical Golden Cove with 3 FMA ports: the analyzer's
+        // throughput bound drops accordingly.
+        let m = Machine::golden_cove();
+        let mut spec = MachineSpec::from_machine(&m);
+        for e in &mut spec.instructions {
+            if e.width == "v512" && e.class == "vec-fma" {
+                for u in &mut e.uops {
+                    u.ports = vec!["0".into(), "1".into(), "5".into()];
+                }
+                e.rthroughput = 1.0 / 3.0;
+            }
+        }
+        let custom = spec.to_machine().unwrap();
+        let mut asm = String::from(".L1:\n");
+        for i in 3..12 {
+            asm.push_str(&format!("    vfmadd231pd %zmm1, %zmm2, %zmm{i}\n"));
+        }
+        asm.push_str("    subq $1, %rax\n    jne .L1\n");
+        let k = isa::parse_kernel(&asm, isa::Isa::X86).unwrap();
+        let d_orig = m.describe(&k.instructions[0]);
+        let d_cust = custom.describe(&k.instructions[0]);
+        assert_eq!(d_orig.uops[0].ports.count(), 2);
+        assert_eq!(d_cust.uops[0].ports.count(), 3);
+    }
+}

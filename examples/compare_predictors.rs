@@ -1,0 +1,57 @@
+//! Head-to-head of the two predictors against the simulated hardware over
+//! a slice of the validation corpus — a miniature Fig. 3.
+//!
+//! ```sh
+//! cargo run --release --example compare_predictors [GCS|SPR|Genoa]
+//! ```
+
+fn main() {
+    let want = std::env::args().nth(1);
+    let machines: Vec<uarch::Machine> = uarch::all_machines()
+        .into_iter()
+        .filter(|m| want.as_deref().is_none_or(|w| m.arch.chip().eq_ignore_ascii_case(w)))
+        .collect();
+    if machines.is_empty() {
+        eprintln!("unknown machine; use GCS, SPR, or Genoa");
+        std::process::exit(2);
+    }
+
+    for machine in machines {
+        println!("=== {} ===", machine.arch.label());
+        println!(
+            "{:<44} {:>8} {:>8} {:>8} {:>9} {:>9}",
+            "variant", "sim", "OSACA", "MCA", "RPE(OSA)", "RPE(MCA)"
+        );
+        let mut osaca_rpes = Vec::new();
+        let mut mca_rpes = Vec::new();
+        for v in kernels::variants_for(machine.arch) {
+            // Keep the demo readable: -O3 only.
+            if v.opt != kernels::OptLevel::O3 {
+                continue;
+            }
+            let k = kernels::generate_kernel(&v, &machine);
+            let sim = exec::cycles_per_iteration(&machine, &k);
+            let osaca = incore::analyze(&machine, &k).prediction;
+            let mca = mca::predict(&machine, &k).cycles_per_iter;
+            let ro = (sim - osaca) / sim;
+            let rm = (sim - mca) / sim;
+            osaca_rpes.push(ro);
+            mca_rpes.push(rm);
+            println!(
+                "{:<44} {:>8.2} {:>8.2} {:>8.2} {:>+8.1}% {:>+8.1}%",
+                format!("{} / {}", v.kernel.name(), v.compiler.name()),
+                sim,
+                osaca,
+                mca,
+                ro * 100.0,
+                rm * 100.0
+            );
+        }
+        let optimistic = |rs: &[f64]| rs.iter().filter(|r| **r >= 0.0).count() * 100 / rs.len();
+        println!(
+            "→ optimistic predictions: OSACA {}% (a lower bound should be ~100%), MCA {}%\n",
+            optimistic(&osaca_rpes),
+            optimistic(&mca_rpes)
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: analyze an assembly loop kernel on all three machine models.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [path/to/kernel.s]
+//! ```
+//!
+//! Without an argument, a built-in AVX-512 STREAM-triad loop (x86) and its
+//! NEON counterpart are analyzed. With a path, the file is parsed and
+//! analyzed on every machine whose ISA matches.
+
+use incore::Report;
+
+const X86_TRIAD: &str = r#"
+# a[i] = b[i] + s * c[i]   (AVX-512)
+.L2:
+    vmovupd   (%rdx,%rax), %zmm1
+    vmovupd   (%rsi,%rax), %zmm2
+    vfmadd231pd %zmm15, %zmm1, %zmm2
+    vmovupd   %zmm2, (%rdi,%rax)
+    addq      $64, %rax
+    cmpq      %rcx, %rax
+    jne       .L2
+"#;
+
+const A64_TRIAD: &str = r#"
+// a[i] = b[i] + s * c[i]   (NEON)
+.L2:
+    ldr   q1, [x2, x4]
+    ldr   q2, [x1, x4]
+    fmla  v2.2d, v1.2d, v28.2d
+    str   q2, [x0, x4]
+    add   x4, x4, #16
+    cmp   x4, x5
+    b.ne  .L2
+"#;
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let user = arg.map(|p| std::fs::read_to_string(&p).expect("read input file"));
+
+    for machine in uarch::all_machines() {
+        let src = match (&user, machine.isa) {
+            (Some(s), _) => s.clone(),
+            (None, isa::Isa::X86) => X86_TRIAD.to_string(),
+            (None, isa::Isa::AArch64) => A64_TRIAD.to_string(),
+        };
+        let kernel = match isa::parse_kernel(&src, machine.isa) {
+            Ok(k) if !k.instructions.is_empty() => k,
+            _ => continue, // wrong ISA for this machine
+        };
+        let analysis = incore::analyze(&machine, &kernel);
+        println!("{}", Report::new(&machine, &analysis).render());
+
+        // Cross-check the optimistic bound against the cycle-level
+        // simulator ("the hardware").
+        let measured = exec::cycles_per_iteration(&machine, &kernel);
+        println!(
+            "simulated measurement: {measured:.2} cy/iter  (model lower bound {:.2}, RPE {:+.1}%)\n",
+            analysis.prediction,
+            (measured - analysis.prediction) / measured * 100.0
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Full-pipeline stencil study: generate the Jacobi 3D 7-point kernel the
+//! way each compiler would, run the in-core model and the simulator, then
+//! compose the ECM model and Roofline ceilings — the workflow the paper
+//! motivates for stencil codes.
+//!
+//! ```sh
+//! cargo run --release --example stencil_analysis
+//! ```
+
+use kernels::{gen_cfg, generate_kernel, Compiler, OptLevel, StreamKernel, Variant};
+
+fn main() {
+    let kernel = StreamKernel::Jacobi3D7;
+    let vol = kernels::volume::volume(kernel);
+    println!("kernel: {} — {} B loaded, {} B stored, {} flops per update\n", kernel.name(), vol.load_bytes, vol.store_bytes, vol.flops);
+
+    for machine in uarch::all_machines() {
+        println!("=== {} ({}) ===", machine.arch.label(), machine.part);
+        println!(
+            "{:<22} {:>9} {:>9} {:>9} {:>9}",
+            "variant", "model", "sim", "RPE", "Gflop/s*"
+        );
+        for compiler in kernels::Compiler::for_arch(machine.arch) {
+            for opt in [OptLevel::O1, OptLevel::O3] {
+                let v = Variant { kernel, compiler: *compiler, opt, arch: machine.arch };
+                let k = generate_kernel(&v, &machine);
+                let a = incore::analyze(&machine, &k);
+                let sim = exec::cycles_per_iteration(&machine, &k);
+                // Scalar updates per assembly-loop iteration.
+                let cfg = gen_cfg(&v, &machine);
+                let elems = if cfg.width == 0 { 1.0 } else { cfg.width as f64 / 64.0 };
+                let updates = elems * cfg.unroll.max(1) as f64;
+                let ext = k.dominant_ext();
+                let f = node::freq::sustained_freq_ghz(&machine, ext, 1);
+                let gflops = updates * vol.flops as f64 / sim * f;
+                println!(
+                    "{:<22} {:>9.2} {:>9.2} {:>8.1}% {:>9.2}",
+                    format!("{} {}", compiler.name(), opt.name()),
+                    a.prediction,
+                    sim,
+                    (sim - a.prediction) / sim * 100.0,
+                    gflops
+                );
+            }
+        }
+
+        // ECM composition for the best variant (first compiler at -O3),
+        // with the machine's write-allocate behaviour folded in: GCS
+        // evades WA automatically, the x86 machines pay it.
+        let wa = match machine.arch {
+            uarch::Arch::NeoverseV2 => 1.0,
+            _ => 2.0,
+        };
+        let v = Variant {
+            kernel,
+            compiler: Compiler::for_arch(machine.arch)[0],
+            opt: OptLevel::O3,
+            arch: machine.arch,
+        };
+        let ecm = node::ecm_for_kernel(&machine, &v, wa);
+        println!(
+            "ECM [cy/CL]: T_core {:.1} | L1-L2 {:.1} | L2-L3 {:.1} | L3-Mem {:.1} → in-memory {:.1}, saturates at {} cores",
+            ecm.t_core, ecm.t_l1_l2, ecm.t_l2_l3, ecm.t_l3_mem, ecm.t_mem, ecm.saturation_cores()
+        );
+
+        // Chip-level Roofline at this kernel's intensity.
+        let roof = node::roofline_gflops(&machine, vol.intensity(wa));
+        println!(
+            "Roofline: I = {:.3} flop/B → {:.0} Gflop/s ({}), peak {:.0}, balance {:.2} flop/B\n",
+            roof.intensity,
+            roof.p_gflops,
+            if roof.memory_bound { "memory-bound" } else { "compute-bound" },
+            roof.p_peak_gflops,
+            node::roofline::machine_balance(&machine)
+        );
+    }
+    println!("* single-core Gflop/s at the sustained single-core frequency, L1-resident data");
+}

@@ -1,0 +1,55 @@
+//! Write-allocate evasion case study (paper §III, Fig. 4): run the
+//! store-only benchmark through the cache/memory simulator across core
+//! counts and plot the memory-traffic ratio as an ASCII chart.
+//!
+//! ```sh
+//! cargo run --release --example wa_evasion
+//! ```
+
+use memhier::{store_traffic_ratio, StoreKind};
+
+fn spark(ratio: f64) -> String {
+    // 1.0 → empty bar, 2.0 → full bar of 40 chars.
+    let frac = ((ratio - 1.0).clamp(0.0, 1.0) * 40.0).round() as usize;
+    format!("[{}{}]", "█".repeat(frac), " ".repeat(40 - frac))
+}
+
+fn main() {
+    println!("Ratio of memory traffic to stored data volume (1.0 = perfect WA evasion, 2.0 = full write-allocate)\n");
+    for machine in uarch::all_machines() {
+        println!("--- {} ({} cores/socket) ---", machine.arch.chip(), machine.cores);
+        let counts: Vec<u32> = (0..)
+            .map(|i| 1 << i)
+            .take_while(|&n| n < machine.cores)
+            .chain([machine.cores / 4, machine.cores / 2, machine.cores])
+            .filter(|&n| n >= 1)
+            .collect::<std::collections::BTreeSet<u32>>()
+            .into_iter()
+            .collect();
+
+        for kind in [StoreKind::Standard, StoreKind::NonTemporal] {
+            if kind == StoreKind::NonTemporal && machine.isa != isa::Isa::X86 {
+                continue; // the paper shows NT variants for the x86 machines
+            }
+            let label = match kind {
+                StoreKind::Standard => "standard stores",
+                StoreKind::NonTemporal => "NT stores     ",
+            };
+            println!("  {label}");
+            for &n in &counts {
+                let p = store_traffic_ratio(&machine, n, kind);
+                println!("    {:>3} cores  {}  {:.3}", n, spark(p.ratio), p.ratio);
+            }
+        }
+        // One-line verdict per machine, matching the paper's findings.
+        let full = store_traffic_ratio(&machine, machine.cores, StoreKind::Standard).ratio;
+        let verdict = match machine.arch {
+            uarch::Arch::NeoverseV2 => "automatic cache-line claim: next-to-optimal WA evasion".to_string(),
+            uarch::Arch::GoldenCove => format!(
+                "SpecI2M removes ≤25% of WA traffic, and only near bandwidth saturation (full-socket ratio {full:.2})"
+            ),
+            uarch::Arch::Zen4 => "no automatic mechanism — NT stores are the only (but perfect) WA evasion".to_string(),
+        };
+        println!("  → {verdict}\n");
+    }
+}

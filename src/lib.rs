@@ -1,0 +1,22 @@
+//! Umbrella crate re-exporting the full in-core modeling toolchain.
+//!
+//! See the individual crates for details:
+//! - [`isa`] — registers, operands, assembly parsers (x86-64 AT&T, AArch64)
+//! - [`uarch`] — port models and instruction databases for Neoverse V2
+//!   (Grace), Golden Cove (Sapphire Rapids), and Zen 4 (Genoa)
+//! - [`incore`] — the OSACA-style analytical in-core model (the paper's
+//!   contribution)
+//! - [`mca`] — an LLVM-MCA-style simulation-based baseline predictor
+//! - [`exec`] — cycle-level out-of-order core simulator (hardware stand-in)
+//! - [`memhier`] — cache/memory hierarchy with write-allocate evasion
+//! - [`kernels`] — the 13 streaming benchmark kernels × compiler variants
+//! - [`node`] — node-level models: frequency, peak, bandwidth, ECM, Roofline
+
+pub use exec;
+pub use incore;
+pub use isa;
+pub use kernels;
+pub use mca;
+pub use memhier;
+pub use node;
+pub use uarch;

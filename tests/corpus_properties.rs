@@ -1,0 +1,118 @@
+//! Property-based integration tests over the generated corpus and random
+//! kernels: structural invariants that must hold for *every* input.
+
+use proptest::prelude::*;
+
+/// Every corpus variant round-trips: generate → parse → analyze →
+/// simulate, with finite positive results and consistent bounds.
+#[test]
+fn corpus_structural_invariants() {
+    for m in uarch::all_machines() {
+        for v in kernels::variants_for(m.arch) {
+            let k = kernels::generate_kernel(&v, &m);
+            assert!(k.loop_label.is_some(), "{}", v.label());
+            assert!(k.instructions.last().unwrap().is_branch(), "{}", v.label());
+
+            let a = incore::analyze(&m, &k);
+            assert!(a.prediction.is_finite() && a.prediction > 0.0, "{}", v.label());
+            assert!(a.prediction + 1e-9 >= a.tp_bound, "{}", v.label());
+            assert!(a.prediction + 1e-9 >= a.lcd, "{}", v.label());
+            assert!(a.cp_latency + 1e-9 >= a.lcd || a.lcd <= a.cp_latency + 64.0, "{}", v.label());
+
+            // Port loads are non-negative and the max equals the bound.
+            let max_load = a.port_loads.iter().copied().fold(0.0f64, f64::max);
+            assert!((max_load - a.tp_bound).abs() < 1e-6, "{}", v.label());
+        }
+    }
+}
+
+/// The per-instruction pressure rows decompose the totals exactly.
+#[test]
+fn pressure_rows_sum_to_port_loads() {
+    let m = uarch::Machine::golden_cove();
+    for v in kernels::variants_for(m.arch).iter().take(60) {
+        let k = kernels::generate_kernel(v, &m);
+        let a = incore::analyze(&m, &k);
+        for p in 0..a.port_loads.len() {
+            let sum: f64 = a.per_inst.iter().map(|r| r.loads[p]).sum();
+            assert!((sum - a.port_loads[p]).abs() < 1e-6, "{} port {p}", v.label());
+        }
+    }
+}
+
+/// Store-only sweeps are bounded in [1, 2] everywhere and monotone in the
+/// NT flag (NT never increases traffic).
+#[test]
+fn store_sweep_bounds() {
+    for m in uarch::all_machines() {
+        for n in [1, 2, 7, m.cores / 2, m.cores] {
+            let std = memhier::store_traffic_ratio(&m, n, memhier::StoreKind::Standard).ratio;
+            assert!((1.0..=2.05).contains(&std), "{} n={n}: {std}", m.arch.label());
+            if m.isa == isa::Isa::X86 {
+                let nt = memhier::store_traffic_ratio(&m, n, memhier::StoreKind::NonTemporal).ratio;
+                assert!(nt <= std + 1e-9, "{} n={n}", m.arch.label());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random unrolled ADD-style kernels: prediction scales (weakly
+    /// sub-additively) with unroll, and the simulator stays above the model.
+    #[test]
+    fn random_unroll_scaling(unroll in 1usize..6, width_sel in 0usize..3) {
+        let m = uarch::Machine::golden_cove();
+        let width = [128u16, 256, 512][width_sel];
+        let cfg = kernels::GenCfg {
+            width,
+            unroll,
+            accumulators: 1,
+            fma: true,
+            legacy_sse: false,
+            sve: false,
+            nt_stores: false,
+            post_index: false,
+        };
+        let asm = kernels::x86::emit(kernels::StreamKernel::Add, &cfg);
+        let k = isa::parse_kernel(&asm, isa::Isa::X86).unwrap();
+        let a = incore::analyze(&m, &k);
+        let sim = exec::cycles_per_iteration(&m, &k);
+        prop_assert!(a.prediction > 0.0);
+        prop_assert!(sim + 1e-6 >= a.prediction, "sim={sim} model={}", a.prediction);
+
+        // The throughput bound grows at most linearly with unroll.
+        let base_cfg = kernels::GenCfg { unroll: 1, ..cfg };
+        let base_asm = kernels::x86::emit(kernels::StreamKernel::Add, &base_cfg);
+        let base_k = isa::parse_kernel(&base_asm, isa::Isa::X86).unwrap();
+        let base = incore::analyze(&m, &base_k);
+        prop_assert!(a.tp_bound <= unroll as f64 * base.tp_bound + 1e-6);
+    }
+
+    /// Arbitrary text never panics the parsers — they fail gracefully.
+    #[test]
+    fn parser_never_panics(text in "[ -~\n]{0,160}") {
+        let _ = isa::parse_kernel(&text, isa::Isa::X86);
+        let _ = isa::parse_kernel(&text, isa::Isa::AArch64);
+    }
+
+    /// Random valid x86 arithmetic lines parse and get a sane description
+    /// from every machine table.
+    #[test]
+    fn random_x86_arith_describes(
+        op in prop::sample::select(vec!["vaddpd", "vmulpd", "vfmadd231pd", "vdivpd"]),
+        r1 in 0u8..16, r2 in 0u8..16, r3 in 0u8..16,
+        w in prop::sample::select(vec!["xmm", "ymm", "zmm"]),
+    ) {
+        let line = format!("{op} %{w}{r1}, %{w}{r2}, %{w}{r3}");
+        let k = isa::parse_kernel(&line, isa::Isa::X86).unwrap();
+        prop_assert_eq!(k.instructions.len(), 1);
+        for m in [uarch::Machine::golden_cove(), uarch::Machine::zen4()] {
+            let d = m.describe(&k.instructions[0]);
+            prop_assert!(d.latency >= 1 && d.latency <= 30);
+            prop_assert!(!d.uops.is_empty());
+            prop_assert!(!d.from_fallback, "{} fell back on {}", m.arch.label(), line);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! End-to-end integration: compiler personalities → assembly text → parser
+//! → machine models → analyzer/simulator/baseline, asserting the
+//! relationships the whole reproduction rests on.
+
+use kernels::{variants_for, OptLevel};
+
+/// The analytical model is a *lower bound*: on the overwhelming majority of
+/// corpus blocks the simulated measurement is at least as slow (Fig. 3:
+/// 96 % in the paper; the known exceptions are the Neoverse V2 FMA
+/// accumulator forwarding cases).
+#[test]
+fn model_is_a_lower_bound_on_nearly_all_blocks() {
+    for m in uarch::all_machines() {
+        let variants = variants_for(m.arch);
+        let mut optimistic = 0usize;
+        let mut total = 0usize;
+        for v in variants.iter().filter(|v| v.opt == OptLevel::O2) {
+            let k = kernels::generate_kernel(v, &m);
+            let sim = exec::cycles_per_iteration(&m, &k);
+            let model = incore::analyze(&m, &k).prediction;
+            total += 1;
+            if model <= sim + 1e-6 {
+                optimistic += 1;
+            }
+        }
+        assert!(
+            optimistic as f64 / total as f64 >= 0.9,
+            "{}: only {optimistic}/{total} blocks are lower-bounded",
+            m.arch.label()
+        );
+    }
+}
+
+/// The MCA baseline is mostly pessimistic — strictly more often above the
+/// measurement than the in-core model is.
+#[test]
+fn mca_is_more_pessimistic_than_osaca() {
+    for m in uarch::all_machines() {
+        let mut osaca_above = 0usize;
+        let mut mca_above = 0usize;
+        for v in variants_for(m.arch).iter().filter(|v| v.opt == OptLevel::O3) {
+            let k = kernels::generate_kernel(v, &m);
+            let sim = exec::cycles_per_iteration(&m, &k);
+            if incore::analyze(&m, &k).prediction > sim + 1e-6 {
+                osaca_above += 1;
+            }
+            if mca::predict(&m, &k).cycles_per_iter > sim + 1e-6 {
+                mca_above += 1;
+            }
+        }
+        assert!(
+            mca_above > osaca_above,
+            "{}: mca_above={mca_above} osaca_above={osaca_above}",
+            m.arch.label()
+        );
+    }
+}
+
+/// No instruction of the generated corpus needs the heuristic database
+/// fallback — the machine models cover every emitted form.
+#[test]
+fn corpus_fully_covered_by_instruction_databases() {
+    for m in uarch::all_machines() {
+        for v in variants_for(m.arch) {
+            let k = kernels::generate_kernel(&v, &m);
+            let a = incore::analyze(&m, &k);
+            assert_eq!(a.fallbacks, 0, "{} uses fallback entries", v.label());
+        }
+    }
+}
+
+/// Wider SIMD must never make the per-element in-core prediction worse on
+/// the machine that natively supports it: ICX@512 beats -O1 scalar per
+/// element on Golden Cove for every vectorizable kernel.
+#[test]
+fn vectorization_pays_off_on_golden_cove() {
+    let m = uarch::Machine::golden_cove();
+    for kernel in kernels::StreamKernel::ALL {
+        if kernel.is_serial() {
+            continue;
+        }
+        let mk = |opt| kernels::Variant { kernel, compiler: kernels::Compiler::Icx, opt, arch: m.arch };
+        let scalar_v = mk(OptLevel::O1);
+        let vector_v = mk(OptLevel::O3);
+        let sc = incore::analyze(&m, &kernels::generate_kernel(&scalar_v, &m)).prediction;
+        let cfg = kernels::gen_cfg(&vector_v, &m);
+        let elems = (cfg.width.max(64) as f64 / 64.0) * cfg.unroll as f64;
+        let vc = incore::analyze(&m, &kernels::generate_kernel(&vector_v, &m)).prediction / elems;
+        assert!(
+            vc <= sc + 1e-9,
+            "{}: vector {:.3} cy/elem vs scalar {:.3}",
+            kernel.name(),
+            vc,
+            sc
+        );
+    }
+}
+
+/// The three machines rank on the paper's headline single-core axes:
+/// Golden Cove wins vectorized throughput per cycle, Neoverse V2 wins
+/// scalar throughput and latency.
+#[test]
+fn microarchitectural_rankings_hold() {
+    let gcs = uarch::Machine::neoverse_v2();
+    let spr = uarch::Machine::golden_cove();
+
+    // Peak vector FMA DP elements/cy: SPR 16 vs GCS 8.
+    assert!(spr.fma_dp_flops_per_cycle > gcs.fma_dp_flops_per_cycle);
+
+    // Scalar FP throughput: GCS 4/cy vs SPR 2/cy, via the analyzers.
+    let scalar_tp = |m: &uarch::Machine, asm: &str, isa_| {
+        let k = isa::parse_kernel(asm, isa_).unwrap();
+        incore::analyze(m, &k).tp_bound
+    };
+    let mut a64 = String::from(".L0:\n");
+    let mut x86 = String::from(".L0:\n");
+    for i in 0..8 {
+        a64.push_str(&format!("    fadd d{i}, d14, d15\n"));
+        x86.push_str(&format!("    vaddsd %xmm14, %xmm15, %xmm{i}\n"));
+    }
+    a64.push_str("    subs x5, x5, #1\n    b.ne .L0\n");
+    x86.push_str("    subq $1, %rax\n    jne .L0\n");
+    let gcs_cy = scalar_tp(&gcs, &a64, isa::Isa::AArch64);
+    let spr_cy = scalar_tp(&spr, &x86, isa::Isa::X86);
+    assert!(gcs_cy < spr_cy, "gcs {gcs_cy} should beat spr {spr_cy} on scalar FP");
+}
+
+/// The store benchmark and the ECM/WA factors are consistent: the WA ratio
+/// measured by the memory simulator matches the factor the ECM model needs.
+#[test]
+fn wa_ratio_feeds_ecm_consistently() {
+    for m in uarch::all_machines() {
+        let measured = memhier::store_traffic_ratio(&m, 1, memhier::StoreKind::Standard).ratio;
+        let expected = match m.arch {
+            uarch::Arch::NeoverseV2 => 1.0,
+            _ => 2.0,
+        };
+        assert!((measured - expected).abs() < 0.05, "{}: {measured}", m.arch.label());
+    }
+}
+
+/// Intel-syntax input produces identical analyses to AT&T (the normalizer
+/// maps both to the same internal representation).
+#[test]
+fn intel_syntax_matches_att() {
+    let att = "\
+.L2:
+    vmovupd (%rsi,%rax), %zmm0
+    vfmadd231pd %zmm1, %zmm2, %zmm0
+    vmovupd %zmm0, (%rdi,%rax)
+    addq $64, %rax
+    cmpq %rcx, %rax
+    jne .L2
+";
+    let intel = "\
+.L2:
+    vmovupd zmm0, zmmword ptr [rsi + rax]
+    vfmadd231pd zmm0, zmm2, zmm1
+    vmovupd zmmword ptr [rdi + rax], zmm0
+    add rax, 64
+    cmp rax, rcx
+    jne .L2
+";
+    let ka = isa::parse_kernel(att, isa::Isa::X86).unwrap();
+    let ki = isa::parse_kernel(intel, isa::Isa::X86).unwrap();
+    assert_eq!(ka.instructions.len(), ki.instructions.len());
+    for m in [uarch::Machine::golden_cove(), uarch::Machine::zen4()] {
+        let aa = incore::analyze(&m, &ka);
+        let ai = incore::analyze(&m, &ki);
+        assert!((aa.prediction - ai.prediction).abs() < 1e-9, "{}", m.arch.label());
+        assert!((aa.lcd - ai.lcd).abs() < 1e-9);
+        let sa = exec::cycles_per_iteration(&m, &ka);
+        let si = exec::cycles_per_iteration(&m, &ki);
+        assert!((sa - si).abs() < 0.05, "{}: att {sa} intel {si}", m.arch.label());
+    }
+}
+
+/// A machine model exported to JSON and reloaded validates the whole
+/// corpus identically.
+#[test]
+fn machine_file_roundtrip_preserves_corpus_predictions() {
+    let m = uarch::Machine::zen4();
+    let loaded = uarch::Machine::from_json(&m.to_json()).unwrap();
+    for v in kernels::variants_for(m.arch).iter().take(40) {
+        let k = kernels::generate_kernel(v, &m);
+        let a = incore::analyze(&m, &k).prediction;
+        let b = incore::analyze(&loaded, &k).prediction;
+        assert!((a - b).abs() < 1e-12, "{}", v.label());
+    }
+}

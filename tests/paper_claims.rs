@@ -1,0 +1,200 @@
+//! The paper's quantitative claims, asserted against the reproduction.
+//! Each test cites the table/figure/§ it checks.
+
+use isa::IsaExt;
+
+/// Table I: theoretical DP peaks — 3.92 / 6.32 / 8.52 Tflop/s.
+#[test]
+fn table1_theoretical_peaks() {
+    let peaks: Vec<f64> = uarch::all_machines().iter().map(|m| m.theor_peak_dp_tflops()).collect();
+    assert!((peaks[0] - 3.92).abs() < 0.02);
+    assert!((peaks[1] - 6.32).abs() < 0.02);
+    assert!((peaks[2] - 8.52).abs() < 0.03);
+}
+
+/// Table I: achieved-peak ordering Genoa > GCS > SPR, with SPR losing
+/// nearly half its theoretical peak to AVX-512 throttling.
+#[test]
+fn table1_achieved_peaks() {
+    let a: Vec<f64> =
+        uarch::all_machines().iter().map(node::achieved_peak_dp_tflops).collect();
+    assert!(a[2] > a[0] && a[0] > a[1], "{a:?}");
+    let spr = &uarch::all_machines()[1];
+    assert!(a[1] / spr.theor_peak_dp_tflops() < 0.6);
+}
+
+/// §II: memory-bandwidth efficiency 87 % (GCS), 90 % (SPR), 78 % (Genoa).
+#[test]
+fn bandwidth_efficiencies() {
+    let effs: Vec<f64> = uarch::all_machines()
+        .iter()
+        .map(memhier::bandwidth::full_socket_efficiency)
+        .collect();
+    assert!((effs[0] - 0.87).abs() < 0.05, "GCS {}", effs[0]);
+    assert!((effs[1] - 0.90).abs() < 0.05, "SPR {}", effs[1]);
+    assert!((effs[2] - 0.78).abs() < 0.05, "Genoa {}", effs[2]);
+}
+
+/// Table II: ports 17/12/13, SIMD 16/64/32 B, int units 6/5/4, FP units
+/// 4/3/4, loads 3×128 / 2×512 / 2×256, stores 2×128 / 2×256 / 1×256.
+#[test]
+fn table2_all_cells() {
+    let rows: Vec<_> = uarch::all_machines().iter().map(|m| m.table2_row()).collect();
+    let cells: Vec<(u32, u32, u32, u32, u32, u32, u32, u32)> = rows
+        .iter()
+        .map(|r| {
+            (r.num_ports, r.simd_width_bytes, r.int_units, r.fp_vec_units, r.loads_per_cycle,
+             r.load_width_bits, r.stores_per_cycle, r.store_width_bits)
+        })
+        .collect();
+    assert_eq!(cells[0], (17, 16, 6, 4, 3, 128, 2, 128));
+    assert_eq!(cells[1], (12, 64, 5, 3, 2, 512, 2, 256));
+    assert_eq!(cells[2], (13, 32, 4, 4, 2, 256, 1, 256));
+}
+
+/// Table III: measured (simulated) throughputs within tolerance of the
+/// paper's values for every cell.
+#[test]
+fn table3_throughput_cells() {
+    use bench::ibench::{instruction_throughput, Instr};
+    let ms = uarch::all_machines();
+    let lanes = [2.0, 8.0, 4.0];
+    // (instr, paper GCS, SPR, Genoa, tolerance, per-lane?)
+    let rows: &[(Instr, [f64; 3], f64, bool)] = &[
+        (Instr::VecAdd, [8.0, 16.0, 8.0], 0.5, true),
+        (Instr::VecMul, [8.0, 16.0, 8.0], 0.5, true),
+        (Instr::VecFma, [8.0, 16.0, 8.0], 0.5, true),
+        (Instr::VecDiv, [0.4, 0.5, 0.8], 0.12, true),
+        (Instr::ScalarAdd, [4.0, 2.0, 2.0], 0.3, false),
+        (Instr::ScalarMul, [4.0, 2.0, 2.0], 0.3, false),
+        (Instr::ScalarFma, [4.0, 2.0, 2.0], 0.3, false),
+    ];
+    for (instr, paper, tol, per_lane) in rows {
+        for (i, m) in ms.iter().enumerate() {
+            let mut tp = instruction_throughput(m, *instr);
+            if *per_lane {
+                tp *= lanes[i];
+            }
+            assert!(
+                (tp - paper[i]).abs() <= *tol,
+                "{} on {}: {} vs paper {}",
+                instr.name(),
+                m.arch.chip(),
+                tp,
+                paper[i]
+            );
+        }
+    }
+}
+
+/// Table III: gather throughput 1/4, 1/3, 1/8 cache lines per cycle.
+#[test]
+fn table3_gather_cells() {
+    use bench::ibench::{instruction_throughput, Instr};
+    let ms = uarch::all_machines();
+    let cl_per_gather = [2.0, 8.0, 4.0];
+    let paper = [0.25, 1.0 / 3.0, 0.125];
+    for (i, m) in ms.iter().enumerate() {
+        let cl_cy = instruction_throughput(m, Instr::Gather) * cl_per_gather[i];
+        assert!((cl_cy - paper[i]).abs() < 0.05, "{}: {cl_cy}", m.arch.chip());
+    }
+}
+
+/// Table III: latencies. V2 dominates (lower or equal everywhere); the
+/// exact cells match the paper.
+#[test]
+fn table3_latency_cells() {
+    use bench::ibench::{instruction_latency, Instr};
+    let ms = uarch::all_machines();
+    let rows: &[(Instr, [f64; 3])] = &[
+        (Instr::VecAdd, [2.0, 2.0, 3.0]),
+        (Instr::VecMul, [3.0, 4.0, 3.0]),
+        (Instr::VecFma, [4.0, 4.0, 4.0]),
+        (Instr::ScalarAdd, [2.0, 2.0, 3.0]),
+        (Instr::ScalarMul, [3.0, 4.0, 3.0]),
+        (Instr::ScalarFma, [4.0, 5.0, 4.0]),
+        (Instr::ScalarDiv, [12.0, 14.0, 13.0]),
+    ];
+    for (instr, paper) in rows {
+        for (i, m) in ms.iter().enumerate() {
+            let lat = instruction_latency(m, *instr);
+            assert!(
+                (lat - paper[i]).abs() < 0.35,
+                "{} on {}: {lat} vs paper {}",
+                instr.name(),
+                m.arch.chip(),
+                paper[i]
+            );
+        }
+    }
+}
+
+/// Fig. 2: the frequency end-points — SPR falls to 2.0 GHz (53 % of turbo)
+/// for AVX-512 and 3.0 GHz (78 %) for SSE/AVX; Genoa to 3.1 GHz (84 %);
+/// GCS flat at 3.4; GCS/SPR AVX-512 ratio = 1.7×.
+#[test]
+fn fig2_endpoints() {
+    let gcs = uarch::Machine::neoverse_v2();
+    let spr = uarch::Machine::golden_cove();
+    let genoa = uarch::Machine::zen4();
+    assert_eq!(node::sustained_freq_ghz(&gcs, IsaExt::Neon, 72), 3.4);
+    assert_eq!(node::sustained_freq_ghz(&spr, IsaExt::Avx512, 52), 2.0);
+    assert_eq!(node::sustained_freq_ghz(&spr, IsaExt::Sse, 52), 3.0);
+    assert_eq!(node::sustained_freq_ghz(&genoa, IsaExt::Avx512, 96), 3.1);
+    let ratio: f64 = node::sustained_freq_ghz(&gcs, IsaExt::Neon, 72)
+        / node::sustained_freq_ghz(&spr, IsaExt::Avx512, 52);
+    assert!((ratio - 1.7).abs() < 1e-9);
+}
+
+/// Fig. 4: the four headline curves — GCS 1.0 automatic; SPR standard
+/// 1.75–2.0 with SpecI2M ≤ 25 %; SPR NT ≈ 1.1 residual; Genoa standard 2.0
+/// and NT 1.0.
+#[test]
+fn fig4_headline_curves() {
+    use memhier::{store_traffic_ratio, StoreKind};
+    let gcs = uarch::Machine::neoverse_v2();
+    let spr = uarch::Machine::golden_cove();
+    let genoa = uarch::Machine::zen4();
+
+    assert!((store_traffic_ratio(&gcs, 72, StoreKind::Standard).ratio - 1.0).abs() < 0.05);
+
+    let spr_low = store_traffic_ratio(&spr, 1, StoreKind::Standard).ratio;
+    let spr_high = store_traffic_ratio(&spr, 13, StoreKind::Standard).ratio;
+    assert!((spr_low - 2.0).abs() < 0.05);
+    assert!(spr_high >= 1.70 && spr_high <= 1.85, "{spr_high}");
+
+    let spr_nt = store_traffic_ratio(&spr, 13, StoreKind::NonTemporal).ratio;
+    assert!((spr_nt - 1.1).abs() < 0.05, "{spr_nt}");
+
+    assert!((store_traffic_ratio(&genoa, 96, StoreKind::Standard).ratio - 2.0).abs() < 0.05);
+    assert!((store_traffic_ratio(&genoa, 96, StoreKind::NonTemporal).ratio - 1.0).abs() < 0.02);
+}
+
+/// Fig. 3 aggregate claims on the full corpus (this is the long test):
+/// OSACA ≥ 90 % optimistic with ≤ a handful of >2× misses; MCA mostly
+/// pessimistic with a heavier >2× tail.
+#[test]
+fn fig3_corpus_claims() {
+    let records = bench::rpe_corpus(&[
+        uarch::Arch::NeoverseV2,
+        uarch::Arch::GoldenCove,
+        uarch::Arch::Zen4,
+    ]);
+    assert_eq!(records.len(), 416);
+    let osaca: Vec<f64> = records.iter().map(|r| r.rpe_osaca).collect();
+    let mca: Vec<f64> = records.iter().map(|r| r.rpe_mca).collect();
+    let so = bench::fig3::summarize(&osaca);
+    let sm = bench::fig3::summarize(&mca);
+    assert!(so.optimistic_fraction >= 0.90, "osaca {:.2}", so.optimistic_fraction);
+    assert!(so.off_by_2x <= 5, "osaca off-by-2x {}", so.off_by_2x);
+    assert!(sm.optimistic_fraction <= 0.5, "mca {:.2}", sm.optimistic_fraction);
+    assert!(sm.off_by_2x >= so.off_by_2x, "mca tail {} vs osaca {}", sm.off_by_2x, so.off_by_2x);
+    // The paper's V2 observation: MCA's |RPE| is far worse than OSACA's on
+    // GCS (52 % vs 26 % in the paper).
+    let gcs_o: Vec<f64> = records.iter().filter(|r| r.chip == "GCS").map(|r| r.rpe_osaca).collect();
+    let gcs_m: Vec<f64> = records.iter().filter(|r| r.chip == "GCS").map(|r| r.rpe_mca).collect();
+    assert!(
+        bench::fig3::summarize(&gcs_m).mean_abs > 2.0 * bench::fig3::summarize(&gcs_o).mean_abs,
+        "MCA should be much worse on GCS"
+    );
+}
