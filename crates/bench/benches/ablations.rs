@@ -30,7 +30,10 @@ fn ablation_port_assignment(c: &mut Criterion) {
                         incore::analyze_with(
                             &m,
                             k,
-                            incore::Options { assignment: strat, frontend: true },
+                            incore::Options {
+                                assignment: strat,
+                                frontend: true,
+                            },
                         )
                         .prediction
                     })
@@ -40,7 +43,10 @@ fn ablation_port_assignment(c: &mut Criterion) {
     }
     g.finish();
     // Report the prediction delta.
-    let opts = |a| incore::Options { assignment: a, frontend: true };
+    let opts = |a| incore::Options {
+        assignment: a,
+        frontend: true,
+    };
     let (mut worse, mut total) = (0usize, 0usize);
     for k in &ks {
         let bal = incore::analyze_with(&m, k, opts(incore::PortAssignment::Balanced)).prediction;
@@ -66,13 +72,25 @@ fn ablation_quirks(c: &mut Criterion) {
     .unwrap();
     let mut g = c.benchmark_group("ablation_quirks");
     for (name, quirks) in [("on", true), ("off", false)] {
-        let cfg = exec::SimConfig { quirks, ..Default::default() };
-        g.bench_function(name, |b| b.iter(|| exec::simulate(&m, &k, cfg).cycles_per_iter));
+        let cfg = exec::SimConfig {
+            quirks,
+            ..Default::default()
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| exec::simulate(&m, &k, cfg).cycles_per_iter)
+        });
     }
     g.finish();
     let on = exec::simulate(&m, &k, exec::SimConfig::default()).cycles_per_iter;
-    let off = exec::simulate(&m, &k, exec::SimConfig { quirks: false, ..Default::default() })
-        .cycles_per_iter;
+    let off = exec::simulate(
+        &m,
+        &k,
+        exec::SimConfig {
+            quirks: false,
+            ..Default::default()
+        },
+    )
+    .cycles_per_iter;
     let model = incore::analyze(&m, &k).prediction;
     eprintln!(
         "[ablation] V2 FMA accumulation chain: quirks on {on:.2} cy/iter vs off {off:.2} (model predicts {model:.2} — the forwarding path is what OSACA over-predicts)"
@@ -110,7 +128,11 @@ fn ablation_ooo_window(c: &mut Criterion) {
     let k = kernels::generate_kernel(&v, &m);
     let mut g = c.benchmark_group("ablation_ooo_window");
     g.sample_size(10);
-    for (name, rob, sched) in [("512_205", 512u32, 205u32), ("128_64", 128, 64), ("64_32", 64, 32)] {
+    for (name, rob, sched) in [
+        ("512_205", 512u32, 205u32),
+        ("128_64", 128, 64),
+        ("64_32", 64, 32),
+    ] {
         m.rob_size = rob;
         m.sched_size = sched;
         let mm = m.clone();

@@ -7,7 +7,11 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig3_validation");
     g.sample_size(10);
     // Time one machine's sub-corpus per benchmark id.
-    for arch in [uarch::Arch::NeoverseV2, uarch::Arch::GoldenCove, uarch::Arch::Zen4] {
+    for arch in [
+        uarch::Arch::NeoverseV2,
+        uarch::Arch::GoldenCove,
+        uarch::Arch::Zen4,
+    ] {
         let chip = match arch {
             uarch::Arch::NeoverseV2 => "GCS",
             uarch::Arch::GoldenCove => "SPR",
@@ -24,8 +28,14 @@ fn bench(c: &mut Criterion) {
     ]);
     let osaca: Vec<f64> = records.iter().map(|r| r.rpe_osaca).collect();
     let mca: Vec<f64> = records.iter().map(|r| r.rpe_mca).collect();
-    eprintln!("{}", bench::fig3::render_histogram("OSACA-style in-core model", &osaca));
-    eprintln!("{}", bench::fig3::render_histogram("LLVM-MCA-style model", &mca));
+    eprintln!(
+        "{}",
+        bench::fig3::render_histogram("OSACA-style in-core model", &osaca)
+    );
+    eprintln!(
+        "{}",
+        bench::fig3::render_histogram("LLVM-MCA-style model", &mca)
+    );
     let so = bench::fig3::summarize(&osaca);
     let sm = bench::fig3::summarize(&mca);
     eprintln!(

@@ -7,7 +7,11 @@ fn fma_peak_kernel(m: &uarch::Machine) -> isa::Kernel {
     let mut asm = String::from(".L0:\n");
     match m.isa {
         isa::Isa::X86 => {
-            let r = if m.simd_width_bits == 512 { "zmm" } else { "ymm" };
+            let r = if m.simd_width_bits == 512 {
+                "zmm"
+            } else {
+                "ymm"
+            };
             for i in 0..10 {
                 asm.push_str(&format!("    vfmadd231pd %{r}14, %{r}15, %{r}{i}\n"));
             }

@@ -23,7 +23,10 @@ fn main() {
         "table2" => print!("{}", bench::tables::render_table2()),
         "table3" => {
             print!("{}", bench::tables::render_table3());
-            json.insert("table3".into(), serde_json::to_value(bench::ibench::table3()).unwrap());
+            json.insert(
+                "table3".into(),
+                serde_json::to_value(bench::ibench::table3()).unwrap(),
+            );
         }
         "fig1" => {
             for m in uarch::all_machines() {
@@ -41,7 +44,10 @@ fn main() {
             println!();
             print!("{}", bench::tables::render_table3());
             println!();
-            print!("{}", bench::tables::render_fig1(&uarch::Machine::neoverse_v2()));
+            print!(
+                "{}",
+                bench::tables::render_fig1(&uarch::Machine::neoverse_v2())
+            );
             println!();
             print!("{}", bench::tables::render_fig2());
             println!();
@@ -52,7 +58,9 @@ fn main() {
             run_ecm();
         }
         other => {
-            eprintln!("unknown target `{other}`; use table1|table2|table3|fig1|fig2|fig3|fig4|ecm|all");
+            eprintln!(
+                "unknown target `{other}`; use table1|table2|table3|fig1|fig2|fig3|fig4|ecm|all"
+            );
             std::process::exit(2);
         }
     }
@@ -69,30 +77,76 @@ fn run_fig3(json: &mut serde_json::Map<String, serde_json::Value>) {
     let osaca: Vec<f64> = records.iter().map(|r| r.rpe_osaca).collect();
     let mca: Vec<f64> = records.iter().map(|r| r.rpe_mca).collect();
 
-    println!("Fig. 3 — relative prediction error over {} test blocks", records.len());
-    println!("(positive = prediction faster than measurement; lower-bound models should sit right of 0)");
+    println!(
+        "Fig. 3 — relative prediction error over {} test blocks",
+        records.len()
+    );
+    println!(
+        "(positive = prediction faster than measurement; lower-bound models should sit right of 0)"
+    );
     println!();
-    print!("{}", bench::fig3::render_histogram("OSACA-style in-core model", &osaca));
+    print!(
+        "{}",
+        bench::fig3::render_histogram("OSACA-style in-core model", &osaca)
+    );
     println!();
-    print!("{}", bench::fig3::render_histogram("LLVM-MCA-style model", &mca));
+    print!(
+        "{}",
+        bench::fig3::render_histogram("LLVM-MCA-style model", &mca)
+    );
 
     let so = bench::fig3::summarize(&osaca);
     let sm = bench::fig3::summarize(&mca);
     println!();
     println!("summary                         OSACA      LLVM-MCA");
-    println!("optimistic (right of 0)     {:>8.0}%  {:>10.0}%", so.optimistic_fraction * 100.0, sm.optimistic_fraction * 100.0);
-    println!("within +0..10%              {:>8.0}%  {:>10.0}%", so.within_10 * 100.0, sm.within_10 * 100.0);
-    println!("within +0..20%              {:>8.0}%  {:>10.0}%", so.within_20 * 100.0, sm.within_20 * 100.0);
-    println!("within ±20%                 {:>8.0}%  {:>10.0}%", so.abs_within_20 * 100.0, sm.abs_within_20 * 100.0);
-    println!("off by > 2x                 {:>9}  {:>11}", so.off_by_2x, sm.off_by_2x);
-    println!("mean RPE (optimistic side)  {:>8.0}%  {:>10.0}%", so.mean_positive * 100.0, sm.mean_positive * 100.0);
-    println!("mean |RPE|                  {:>8.0}%  {:>10.0}%", so.mean_abs * 100.0, sm.mean_abs * 100.0);
+    println!(
+        "optimistic (right of 0)     {:>8.0}%  {:>10.0}%",
+        so.optimistic_fraction * 100.0,
+        sm.optimistic_fraction * 100.0
+    );
+    println!(
+        "within +0..10%              {:>8.0}%  {:>10.0}%",
+        so.within_10 * 100.0,
+        sm.within_10 * 100.0
+    );
+    println!(
+        "within +0..20%              {:>8.0}%  {:>10.0}%",
+        so.within_20 * 100.0,
+        sm.within_20 * 100.0
+    );
+    println!(
+        "within ±20%                 {:>8.0}%  {:>10.0}%",
+        so.abs_within_20 * 100.0,
+        sm.abs_within_20 * 100.0
+    );
+    println!(
+        "off by > 2x                 {:>9}  {:>11}",
+        so.off_by_2x, sm.off_by_2x
+    );
+    println!(
+        "mean RPE (optimistic side)  {:>8.0}%  {:>10.0}%",
+        so.mean_positive * 100.0,
+        sm.mean_positive * 100.0
+    );
+    println!(
+        "mean |RPE|                  {:>8.0}%  {:>10.0}%",
+        so.mean_abs * 100.0,
+        sm.mean_abs * 100.0
+    );
 
     // Per-µarch means quoted in the paper's text.
     println!();
     for chip in ["GCS", "SPR", "Genoa"] {
-        let o: Vec<f64> = records.iter().filter(|r| r.chip == chip).map(|r| r.rpe_osaca).collect();
-        let m: Vec<f64> = records.iter().filter(|r| r.chip == chip).map(|r| r.rpe_mca).collect();
+        let o: Vec<f64> = records
+            .iter()
+            .filter(|r| r.chip == chip)
+            .map(|r| r.rpe_osaca)
+            .collect();
+        let m: Vec<f64> = records
+            .iter()
+            .filter(|r| r.chip == chip)
+            .map(|r| r.rpe_mca)
+            .collect();
         let so = bench::fig3::summarize(&o);
         let sm = bench::fig3::summarize(&m);
         println!(
@@ -115,7 +169,10 @@ fn run_fig3(json: &mut serde_json::Map<String, serde_json::Value>) {
 
 fn run_ecm() {
     println!("ECM model (extension) — STREAM triad, cycles per cache line of work");
-    println!("{:<8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6}", "chip", "T_core", "T_L1L2", "T_L2L3", "T_L3Mem", "T_mem", "n_sat");
+    println!(
+        "{:<8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6}",
+        "chip", "T_core", "T_L1L2", "T_L2L3", "T_L3Mem", "T_mem", "n_sat"
+    );
     for m in uarch::all_machines() {
         let compiler = kernels::Compiler::for_arch(m.arch)[0];
         let v = kernels::Variant {
@@ -124,7 +181,11 @@ fn run_ecm() {
             opt: kernels::OptLevel::O3,
             arch: m.arch,
         };
-        let wa = if m.arch == uarch::Arch::NeoverseV2 { 1.0 } else { 2.0 };
+        let wa = if m.arch == uarch::Arch::NeoverseV2 {
+            1.0
+        } else {
+            2.0
+        };
         let e = node::ecm_for_kernel(&m, &v, wa);
         println!(
             "{:<8} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>6}",

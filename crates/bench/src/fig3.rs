@@ -109,7 +109,11 @@ pub fn summarize(rpes: &[f64]) -> RpeSummary {
         abs_within_10: rpes.iter().filter(|r| r.abs() < 0.10).count() as f64 / count as f64,
         abs_within_20: rpes.iter().filter(|r| r.abs() < 0.20).count() as f64 / count as f64,
         off_by_2x: rpes.iter().filter(|r| **r <= -1.0).count(),
-        mean_positive: if pos.is_empty() { 0.0 } else { pos.iter().sum::<f64>() / pos.len() as f64 },
+        mean_positive: if pos.is_empty() {
+            0.0
+        } else {
+            pos.iter().sum::<f64>() / pos.len() as f64
+        },
         mean_abs: rpes.iter().map(|r| r.abs()).sum::<f64>() / count as f64,
     }
 }
@@ -124,11 +128,21 @@ pub fn by_kernel(records: &[RpeRecord]) -> Vec<(String, f64, f64)> {
     names
         .into_iter()
         .map(|name| {
-            let o: Vec<f64> =
-                records.iter().filter(|r| r.kernel == name).map(|r| r.rpe_osaca).collect();
-            let m: Vec<f64> =
-                records.iter().filter(|r| r.kernel == name).map(|r| r.rpe_mca).collect();
-            (name.to_string(), summarize(&o).mean_abs, summarize(&m).mean_abs)
+            let o: Vec<f64> = records
+                .iter()
+                .filter(|r| r.kernel == name)
+                .map(|r| r.rpe_osaca)
+                .collect();
+            let m: Vec<f64> = records
+                .iter()
+                .filter(|r| r.kernel == name)
+                .map(|r| r.rpe_mca)
+                .collect();
+            (
+                name.to_string(),
+                summarize(&o).mean_abs,
+                summarize(&m).mean_abs,
+            )
         })
         .collect()
 }
@@ -209,7 +223,11 @@ mod tests {
         let mca: Vec<f64> = records.iter().map(|r| r.rpe_mca).collect();
         let so = summarize(&osaca);
         let sm = summarize(&mca);
-        assert!(so.optimistic_fraction > 0.85, "osaca optimistic {:.2}", so.optimistic_fraction);
+        assert!(
+            so.optimistic_fraction > 0.85,
+            "osaca optimistic {:.2}",
+            so.optimistic_fraction
+        );
         assert!(
             sm.optimistic_fraction < so.optimistic_fraction,
             "mca {:.2} should be more pessimistic than osaca {:.2}",

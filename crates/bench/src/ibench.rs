@@ -322,7 +322,12 @@ mod tests {
         // Paper: V2 shows lower-or-equal latency for every instruction.
         let v2 = Machine::neoverse_v2();
         let glc = Machine::golden_cove();
-        for i in [Instr::VecAdd, Instr::VecMul, Instr::VecFma, Instr::ScalarFma] {
+        for i in [
+            Instr::VecAdd,
+            Instr::VecMul,
+            Instr::VecFma,
+            Instr::ScalarFma,
+        ] {
             assert!(
                 lat(&v2, i) <= lat(&glc, i) + 0.2,
                 "{}: v2={} glc={}",

@@ -7,39 +7,81 @@ pub fn render_table1() -> String {
     let rows: Vec<node::Table1Row> = uarch::all_machines().iter().map(node::table1_row).collect();
     let mut s = String::new();
     let _ = writeln!(s, "Table I — node comparison");
-    let _ = writeln!(s, "{:<28} {:>12} {:>12} {:>12}", "", rows[0].chip, rows[1].chip, rows[2].chip);
+    let _ = writeln!(
+        s,
+        "{:<28} {:>12} {:>12} {:>12}",
+        "", rows[0].chip, rows[1].chip, rows[2].chip
+    );
     let line = |s: &mut String, label: &str, f: &dyn Fn(&node::Table1Row) -> String| {
-        let _ = writeln!(s, "{label:<28} {:>12} {:>12} {:>12}", f(&rows[0]), f(&rows[1]), f(&rows[2]));
+        let _ = writeln!(
+            s,
+            "{label:<28} {:>12} {:>12} {:>12}",
+            f(&rows[0]),
+            f(&rows[1]),
+            f(&rows[2])
+        );
     };
     line(&mut s, "Cores", &|r| r.cores.to_string());
-    line(&mut s, "Frequency (max/base) [GHz]", &|r| format!("{:.1}/{:.2}", r.freq_max_ghz, r.freq_base_ghz));
-    line(&mut s, "Theor. DP peak [Tflop/s]", &|r| format!("{:.2}", r.theor_peak_tflops));
-    line(&mut s, "Achiev. DP peak [Tflop/s]", &|r| format!("{:.2}", r.achieved_peak_tflops));
+    line(&mut s, "Frequency (max/base) [GHz]", &|r| {
+        format!("{:.1}/{:.2}", r.freq_max_ghz, r.freq_base_ghz)
+    });
+    line(&mut s, "Theor. DP peak [Tflop/s]", &|r| {
+        format!("{:.2}", r.theor_peak_tflops)
+    });
+    line(&mut s, "Achiev. DP peak [Tflop/s]", &|r| {
+        format!("{:.2}", r.achieved_peak_tflops)
+    });
     line(&mut s, "TDP [W]", &|r| format!("{:.0}", r.tdp_w));
-    line(&mut s, "L1/L2 [KiB], L3 [MiB]", &|r| format!("{}/{}/{}", r.l1_kib, r.l2_kib, r.l3_mib));
-    line(&mut s, "Main memory [GB]", &|r| format!("{} {}", r.mem_gb, r.mem_type));
+    line(&mut s, "L1/L2 [KiB], L3 [MiB]", &|r| {
+        format!("{}/{}/{}", r.l1_kib, r.l2_kib, r.l3_mib)
+    });
+    line(&mut s, "Main memory [GB]", &|r| {
+        format!("{} {}", r.mem_gb, r.mem_type)
+    });
     line(&mut s, "ccNUMA domains", &|r| r.numa_domains.to_string());
-    line(&mut s, "Mem BW theor. [GB/s]", &|r| format!("{:.0}", r.theor_bw_gbs));
-    line(&mut s, "Mem BW measured [GB/s]", &|r| format!("{:.0}", r.measured_bw_gbs));
+    line(&mut s, "Mem BW theor. [GB/s]", &|r| {
+        format!("{:.0}", r.theor_bw_gbs)
+    });
+    line(&mut s, "Mem BW measured [GB/s]", &|r| {
+        format!("{:.0}", r.measured_bw_gbs)
+    });
     s
 }
 
 /// Table II — in-core features.
 pub fn render_table2() -> String {
-    let rows: Vec<uarch::machine::Table2Row> =
-        uarch::all_machines().iter().map(|m| m.table2_row()).collect();
+    let rows: Vec<uarch::machine::Table2Row> = uarch::all_machines()
+        .iter()
+        .map(|m| m.table2_row())
+        .collect();
     let mut s = String::new();
     let _ = writeln!(s, "Table II — in-core features and port models");
-    let _ = writeln!(s, "{:<18} {:>14} {:>14} {:>14}", "", rows[0].uarch, rows[1].uarch, rows[2].uarch);
+    let _ = writeln!(
+        s,
+        "{:<18} {:>14} {:>14} {:>14}",
+        "", rows[0].uarch, rows[1].uarch, rows[2].uarch
+    );
     let line = |s: &mut String, label: &str, f: &dyn Fn(&uarch::machine::Table2Row) -> String| {
-        let _ = writeln!(s, "{label:<18} {:>14} {:>14} {:>14}", f(&rows[0]), f(&rows[1]), f(&rows[2]));
+        let _ = writeln!(
+            s,
+            "{label:<18} {:>14} {:>14} {:>14}",
+            f(&rows[0]),
+            f(&rows[1]),
+            f(&rows[2])
+        );
     };
     line(&mut s, "Number of ports", &|r| r.num_ports.to_string());
-    line(&mut s, "SIMD width [B]", &|r| r.simd_width_bytes.to_string());
+    line(&mut s, "SIMD width [B]", &|r| {
+        r.simd_width_bytes.to_string()
+    });
     line(&mut s, "Int units", &|r| r.int_units.to_string());
     line(&mut s, "FP vector units", &|r| r.fp_vec_units.to_string());
-    line(&mut s, "Loads/cy", &|r| format!("{}x{}B", r.loads_per_cycle, r.load_width_bits / 8));
-    line(&mut s, "Stores/cy", &|r| format!("{}x{}B", r.stores_per_cycle, r.store_width_bits / 8));
+    line(&mut s, "Loads/cy", &|r| {
+        format!("{}x{}B", r.loads_per_cycle, r.load_width_bits / 8)
+    });
+    line(&mut s, "Stores/cy", &|r| {
+        format!("{}x{}B", r.stores_per_cycle, r.store_width_bits / 8)
+    });
     s
 }
 
@@ -47,11 +89,23 @@ pub fn render_table2() -> String {
 pub fn render_table3() -> String {
     let cells = crate::ibench::table3();
     let mut s = String::new();
-    let _ = writeln!(s, "Table III — DP instruction throughput [elements/cy] and latency [cy]");
-    let _ = writeln!(s, "{:<16} {:>10} {:>10} {:>10}   {:>8} {:>8} {:>8}", "", "GCS", "SPR", "Genoa", "GCS", "SPR", "Genoa");
+    let _ = writeln!(
+        s,
+        "Table III — DP instruction throughput [elements/cy] and latency [cy]"
+    );
+    let _ = writeln!(
+        s,
+        "{:<16} {:>10} {:>10} {:>10}   {:>8} {:>8} {:>8}",
+        "", "GCS", "SPR", "Genoa", "GCS", "SPR", "Genoa"
+    );
     for instr in crate::ibench::Instr::ALL {
         let name = instr.name();
-        let get = |chip: &str| cells.iter().find(|c| c.instr == name && c.chip == chip).unwrap();
+        let get = |chip: &str| {
+            cells
+                .iter()
+                .find(|c| c.instr == name && c.chip == chip)
+                .unwrap()
+        };
         let (g, p, z) = (get("GCS"), get("SPR"), get("Genoa"));
         let _ = writeln!(
             s,
@@ -74,7 +128,10 @@ pub fn render_fig1(machine: &uarch::Machine) -> String {
 /// Fig. 2 — sustained frequency sweep.
 pub fn render_fig2() -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Fig. 2 — sustained clock frequency [GHz] vs. active cores");
+    let _ = writeln!(
+        s,
+        "Fig. 2 — sustained clock frequency [GHz] vs. active cores"
+    );
     for m in uarch::all_machines() {
         let _ = writeln!(s, "\n{} ({} cores):", m.arch.chip(), m.cores);
         for (ext, series) in node::fig2_sweep(&m) {
@@ -92,7 +149,10 @@ pub fn render_fig2() -> String {
 /// Fig. 4 — write-allocate evasion sweep.
 pub fn render_fig4() -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Fig. 4 — memory traffic / stored volume vs. cores (store-only, 40 GB)");
+    let _ = writeln!(
+        s,
+        "Fig. 4 — memory traffic / stored volume vs. cores (store-only, 40 GB)"
+    );
     for m in uarch::all_machines() {
         let counts: Vec<u32> = (1..=m.cores)
             .filter(|n| *n == 1 || n % 4 == 0 || *n == m.cores || *n == 13)

@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! incore-cli analyze <file.s> --arch <gcs|spr|genoa> [--balanced] [--mca] [--sim] [--timeline] [--trace]
+//! incore-cli lint [file.s] [--arch <gcs|spr|genoa>] [--machine-file <m.json>] [--json] [--strict] [--sim]
 //! incore-cli machines
 //! incore-cli ports --arch <gcs|spr|genoa>
 //! incore-cli storebench --arch <gcs|spr|genoa> [--nt]
@@ -27,10 +28,31 @@ pub enum Command {
         trace: bool,
     },
     Machines,
+    /// Run the `diag` lint rules over a kernel, a machine file, or the
+    /// built-in machine models.
+    Lint {
+        /// Assembly file to lint (kernel rules + predictor divergence).
+        path: Option<String>,
+        /// Machine to lint, or to lint the kernel against.
+        arch: Option<uarch::Arch>,
+        /// JSON machine file to lint (takes precedence over `arch` when
+        /// resolving the kernel's machine).
+        machine_file: Option<String>,
+        json: bool,
+        strict: bool,
+        sim: bool,
+    },
     /// Export a built-in machine model as a JSON machine file.
-    Export { arch: uarch::Arch },
-    Ports { arch: uarch::Arch },
-    StoreBench { arch: uarch::Arch, nt: bool },
+    Export {
+        arch: uarch::Arch,
+    },
+    Ports {
+        arch: uarch::Arch,
+    },
+    StoreBench {
+        arch: uarch::Arch,
+        nt: bool,
+    },
     Help,
 }
 
@@ -91,6 +113,45 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             let arch = arch.ok_or_else(|| UsageError("--arch is required".into()))?;
             Ok(Command::StoreBench { arch, nt })
         }
+        "lint" => {
+            let mut path = None;
+            let mut arch = None;
+            let mut machine_file = None;
+            let (mut json, mut strict, mut sim) = (false, false, false);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--arch" => arch = Some(next_arch(&mut it)?),
+                    "--machine-file" => {
+                        machine_file = Some(
+                            it.next()
+                                .ok_or_else(|| UsageError("--machine-file needs a path".into()))?
+                                .to_string(),
+                        )
+                    }
+                    "--json" => json = true,
+                    "--strict" => strict = true,
+                    "--sim" => sim = true,
+                    flag if flag.starts_with("--") => {
+                        return Err(UsageError(format!("unknown flag `{flag}`")))
+                    }
+                    p if path.is_none() => path = Some(p.to_string()),
+                    extra => return Err(UsageError(format!("unexpected argument `{extra}`"))),
+                }
+            }
+            if path.is_some() && arch.is_none() && machine_file.is_none() {
+                return Err(UsageError(
+                    "--arch (or --machine-file) is required when linting a kernel".into(),
+                ));
+            }
+            Ok(Command::Lint {
+                path,
+                arch,
+                machine_file,
+                json,
+                strict,
+                sim,
+            })
+        }
         "analyze" => {
             let mut path = None;
             let mut arch = None;
@@ -121,14 +182,25 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             }
             let path = path.ok_or_else(|| UsageError("missing input file".into()))?;
             let arch = arch.ok_or_else(|| UsageError("--arch is required".into()))?;
-            Ok(Command::Analyze { path, arch, machine_file, balanced, mca, sim, timeline, trace })
+            Ok(Command::Analyze {
+                path,
+                arch,
+                machine_file,
+                balanced,
+                mca,
+                sim,
+                timeline,
+                trace,
+            })
         }
         other => Err(UsageError(format!("unknown command `{other}`; try `help`"))),
     }
 }
 
 fn next_arch<'a>(it: &mut impl Iterator<Item = &'a String>) -> Result<uarch::Arch, UsageError> {
-    let v = it.next().ok_or_else(|| UsageError("--arch needs a value".into()))?;
+    let v = it
+        .next()
+        .ok_or_else(|| UsageError("--arch needs a value".into()))?;
     parse_arch(v)
 }
 
@@ -155,6 +227,13 @@ USAGE:
       --timeline   print the MCA timeline view
       --trace      print the simulator's pipeline trace
       --machine-file <file.json>  load an edited machine model instead of the built-in
+  incore-cli lint [file.s] [flags]    run the static diagnostics (rule codes K*, M*, D*)
+      --arch <machine>     machine for kernel lints / single machine to lint
+      --machine-file <file.json>  lint an edited machine file (also used for kernel lints)
+      --sim        include the cycle-level simulator in the divergence check
+      --json       emit a machine-readable JSON report
+      --strict     treat warnings as errors (nonzero exit)
+      with no file and no --arch, all three built-in models are linted
   incore-cli machines                 list the three machine models (Table II)
   incore-cli export --arch <machine>  dump a machine model as an editable JSON file
   incore-cli ports --arch <machine>   render the port model (Fig. 1)
@@ -215,6 +294,75 @@ pub fn run_analyze(
     Ok(out)
 }
 
+/// One unit of work for `incore-cli lint` (separated from `main` so the
+/// whole subcommand is testable without touching the filesystem).
+pub enum LintTarget<'a> {
+    /// A machine model already in memory (built-in models).
+    Machine(&'a uarch::Machine),
+    /// The raw JSON text of a user-supplied machine file.
+    MachineFile { label: &'a str, json: &'a str },
+    /// Assembly text to run the kernel rules and the predictor-divergence
+    /// check against, on the given machine.
+    Kernel {
+        label: &'a str,
+        machine: &'a uarch::Machine,
+        asm: &'a str,
+        sim: bool,
+    },
+}
+
+impl LintTarget<'_> {
+    fn name(&self) -> String {
+        match self {
+            LintTarget::Machine(m) => format!("machine:{}", m.arch.label()),
+            LintTarget::MachineFile { label, .. } => format!("machine-file:{label}"),
+            LintTarget::Kernel { label, .. } => format!("kernel:{label}"),
+        }
+    }
+
+    fn lint(&self) -> Vec<diag::Diagnostic> {
+        match self {
+            LintTarget::Machine(m) => diag::lint_machine(m),
+            LintTarget::MachineFile { json, .. } => diag::lint_machine_file(json).1,
+            LintTarget::Kernel {
+                machine, asm, sim, ..
+            } => {
+                let (kernel, mut diags) = diag::lint_assembly(machine, asm);
+                if let Some(k) = kernel {
+                    diags.extend(diag::lint_divergence(machine, &k, *sim).1);
+                }
+                diags
+            }
+        }
+    }
+}
+
+/// Run the lint rules over every target and render the combined report.
+/// Returns the report and the process exit code (0 clean, 1 findings under
+/// the [`diag::exit_code`] policy).
+pub fn run_lint(targets: &[LintTarget], json: bool, strict: bool) -> (String, i32) {
+    use std::fmt::Write;
+    let results: Vec<(String, Vec<diag::Diagnostic>)> =
+        targets.iter().map(|t| (t.name(), t.lint())).collect();
+    let all: Vec<diag::Diagnostic> = results
+        .iter()
+        .flat_map(|(_, d)| d.iter().cloned())
+        .collect();
+    let out = if json {
+        let mut s = diag::render_json_targets(&results);
+        s.push('\n');
+        s
+    } else {
+        let mut s = String::new();
+        for (name, diags) in &results {
+            let _ = writeln!(s, "== {name} ==");
+            s.push_str(&diag::render_text(diags));
+        }
+        s
+    };
+    (out, diag::exit_code(&all, strict))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,11 +416,16 @@ mod tests {
         assert_eq!(parse_args(&sv(&[])).unwrap(), Command::Help);
         assert_eq!(
             parse_args(&sv(&["storebench", "--arch", "genoa", "--nt"])).unwrap(),
-            Command::StoreBench { arch: uarch::Arch::Zen4, nt: true }
+            Command::StoreBench {
+                arch: uarch::Arch::Zen4,
+                nt: true
+            }
         );
         assert_eq!(
             parse_args(&sv(&["ports", "--arch", "gcs"])).unwrap(),
-            Command::Ports { arch: uarch::Arch::NeoverseV2 }
+            Command::Ports {
+                arch: uarch::Arch::NeoverseV2
+            }
         );
     }
 
@@ -292,10 +445,19 @@ mod tests {
     fn parse_export_and_machine_file() {
         assert_eq!(
             parse_args(&sv(&["export", "--arch", "spr"])).unwrap(),
-            Command::Export { arch: uarch::Arch::GoldenCove }
+            Command::Export {
+                arch: uarch::Arch::GoldenCove
+            }
         );
-        let c = parse_args(&sv(&["analyze", "k.s", "--arch", "spr", "--machine-file", "m.json"]))
-            .unwrap();
+        let c = parse_args(&sv(&[
+            "analyze",
+            "k.s",
+            "--arch",
+            "spr",
+            "--machine-file",
+            "m.json",
+        ]))
+        .unwrap();
         match c {
             Command::Analyze { machine_file, .. } => {
                 assert_eq!(machine_file.as_deref(), Some("m.json"))
@@ -308,5 +470,155 @@ mod tests {
     fn run_analyze_rejects_bad_asm() {
         let m = machine_for(uarch::Arch::GoldenCove);
         assert!(run_analyze(&m, "movq %bogus, %rax", false, false, false, false, false).is_err());
+    }
+
+    #[test]
+    fn parse_lint_variants() {
+        assert_eq!(
+            parse_args(&sv(&["lint"])).unwrap(),
+            Command::Lint {
+                path: None,
+                arch: None,
+                machine_file: None,
+                json: false,
+                strict: false,
+                sim: false,
+            }
+        );
+        assert_eq!(
+            parse_args(&sv(&[
+                "lint", "k.s", "--arch", "spr", "--json", "--strict", "--sim"
+            ]))
+            .unwrap(),
+            Command::Lint {
+                path: Some("k.s".into()),
+                arch: Some(uarch::Arch::GoldenCove),
+                machine_file: None,
+                json: true,
+                strict: true,
+                sim: true,
+            }
+        );
+        assert_eq!(
+            parse_args(&sv(&["lint", "k.s", "--machine-file", "m.json"])).unwrap(),
+            Command::Lint {
+                path: Some("k.s".into()),
+                arch: None,
+                machine_file: Some("m.json".into()),
+                json: false,
+                strict: false,
+                sim: false,
+            }
+        );
+        // A kernel needs a machine to lint against.
+        assert!(parse_args(&sv(&["lint", "k.s"])).is_err());
+        assert!(parse_args(&sv(&["lint", "--wat"])).is_err());
+    }
+
+    #[test]
+    fn lint_all_builtin_machines_is_clean() {
+        let machines = uarch::all_machines();
+        let targets: Vec<LintTarget> = machines.iter().map(LintTarget::Machine).collect();
+        let (out, code) = run_lint(&targets, false, true);
+        assert_eq!(code, 0, "{out}");
+        for m in &machines {
+            assert!(
+                out.contains(&format!("== machine:{} ==", m.arch.label())),
+                "{out}"
+            );
+        }
+    }
+
+    #[test]
+    fn lint_sample_kernels_from_each_isa_are_clean() {
+        let x86 = ".L1:\n vfmadd231pd (%rdi), %zmm1, %zmm2\n addq $64, %rdi\n \
+                   subq $1, %rax\n jne .L1\n";
+        let a64 = ".L1:\n ldr q0, [x1], #16\n fmla v2.2d, v0.2d, v1.2d\n \
+                   subs x2, x2, #1\n b.ne .L1\n";
+        for (machine, asm) in [
+            (machine_for(uarch::Arch::GoldenCove), x86),
+            (machine_for(uarch::Arch::Zen4), x86),
+            (machine_for(uarch::Arch::NeoverseV2), a64),
+        ] {
+            let t = LintTarget::Kernel {
+                label: "sample.s",
+                machine: &machine,
+                asm,
+                sim: true,
+            };
+            let (out, code) = run_lint(&[t], false, false);
+            assert_eq!(code, 0, "{}: {out}", machine.arch.label());
+        }
+    }
+
+    #[test]
+    fn lint_seeded_error_fixture_fails() {
+        let m = machine_for(uarch::Arch::GoldenCove);
+        let t = LintTarget::Kernel {
+            label: "bad.s",
+            machine: &m,
+            asm: "movq %bogus, %rax\n",
+            sim: false,
+        };
+        let (out, code) = run_lint(&[t], false, false);
+        assert_eq!(code, 1);
+        assert!(out.contains("K006"), "{out}");
+    }
+
+    #[test]
+    fn lint_strict_promotes_warnings_to_failures() {
+        // Mixed SSE and AVX in one kernel fires K004 (a warning).
+        let m = machine_for(uarch::Arch::GoldenCove);
+        let asm = ".L1:\n addps %xmm0, %xmm1\n vaddpd %ymm2, %ymm3, %ymm4\n \
+                   vmovupd %ymm4, (%rdi)\n movups %xmm1, 32(%rdi)\n \
+                   subq $1, %rax\n jne .L1\n";
+        let mk = |sim| LintTarget::Kernel {
+            label: "mixed.s",
+            machine: &m,
+            asm,
+            sim,
+        };
+        let (out, relaxed) = run_lint(&[mk(false)], false, false);
+        assert!(out.contains("K004"), "{out}");
+        assert_eq!(relaxed, 0, "{out}");
+        let (_, strict) = run_lint(&[mk(false)], false, true);
+        assert_eq!(strict, 1);
+    }
+
+    #[test]
+    fn lint_machine_file_target_reports_bad_json() {
+        let good = machine_for(uarch::Arch::Zen4).to_json();
+        let (out, code) = run_lint(
+            &[LintTarget::MachineFile {
+                label: "m.json",
+                json: &good,
+            }],
+            false,
+            false,
+        );
+        assert_eq!(code, 0, "{out}");
+        let (out, code) = run_lint(
+            &[LintTarget::MachineFile {
+                label: "m.json",
+                json: "{ nope",
+            }],
+            false,
+            false,
+        );
+        assert_eq!(code, 1);
+        assert!(out.contains("M006"), "{out}");
+    }
+
+    #[test]
+    fn lint_json_output_is_parseable() {
+        let machines = uarch::all_machines();
+        let targets: Vec<LintTarget> = machines.iter().map(LintTarget::Machine).collect();
+        let (out, code) = run_lint(&targets, true, false);
+        assert_eq!(code, 0);
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let o = v.as_object().unwrap();
+        assert!(o.contains_key("version"));
+        assert!(o.contains_key("counts"));
+        assert_eq!(o.get("targets").unwrap().as_array().unwrap().len(), 3);
     }
 }

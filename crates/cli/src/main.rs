@@ -1,7 +1,7 @@
 //! `incore-cli` entry point. All logic lives in the library for
 //! testability; this file only does I/O.
 
-use cli::{machine_for, parse_args, run_analyze, Command, USAGE};
+use cli::{machine_for, parse_args, run_analyze, run_lint, Command, LintTarget, USAGE};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,16 +33,80 @@ fn main() {
                 );
             }
         }
+        Command::Lint {
+            path,
+            arch,
+            machine_file,
+            json,
+            strict,
+            sim,
+        } => {
+            let read = |p: &str| match std::fs::read_to_string(p) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot read `{p}`: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let file_json = machine_file.as_deref().map(read);
+            let asm = path.as_deref().map(read);
+            // The machine used for kernel lints: an edited machine file
+            // takes precedence over a built-in model.
+            let imported = file_json
+                .as_deref()
+                .and_then(|j| uarch::Machine::from_json(j).ok());
+            let builtin = arch.map(machine_for);
+            let all_machines;
+            let mut targets: Vec<LintTarget> = Vec::new();
+            if let (Some(f), Some(j)) = (machine_file.as_deref(), file_json.as_deref()) {
+                targets.push(LintTarget::MachineFile { label: f, json: j });
+            }
+            match (asm.as_deref(), path.as_deref()) {
+                (Some(asm), Some(label)) => {
+                    match imported.as_ref().or(builtin.as_ref()) {
+                        Some(machine) => targets.push(LintTarget::Kernel {
+                            label,
+                            machine,
+                            asm,
+                            sim,
+                        }),
+                        // The machine-file lint above already reports why.
+                        None => eprintln!(
+                            "note: skipping kernel lints — the machine file did not import"
+                        ),
+                    }
+                }
+                _ if machine_file.is_none() => match builtin.as_ref() {
+                    Some(machine) => targets.push(LintTarget::Machine(machine)),
+                    None => {
+                        all_machines = uarch::all_machines();
+                        targets.extend(all_machines.iter().map(LintTarget::Machine));
+                    }
+                },
+                _ => {}
+            }
+            let (out, code) = run_lint(&targets, json, strict);
+            print!("{out}");
+            std::process::exit(code);
+        }
         Command::Export { arch } => {
             print!("{}", machine_for(arch).to_json());
         }
         Command::Ports { arch } => {
             let m = machine_for(arch);
-            print!("{}", m.port_model.render(&format!("{} port model ({})", m.arch.label(), m.part)));
+            print!(
+                "{}",
+                m.port_model
+                    .render(&format!("{} port model ({})", m.arch.label(), m.part))
+            );
         }
         Command::StoreBench { arch, nt } => {
             let m = machine_for(arch);
-            let kind = if nt { memhier::StoreKind::NonTemporal } else { memhier::StoreKind::Standard };
+            let kind = if nt {
+                memhier::StoreKind::NonTemporal
+            } else {
+                memhier::StoreKind::Standard
+            };
             println!("cores  traffic/stored");
             for n in 1..=m.cores {
                 if n == 1 || n % 4 == 0 || n == m.cores {
@@ -51,7 +115,16 @@ fn main() {
                 }
             }
         }
-        Command::Analyze { path, arch, machine_file, balanced, mca, sim, timeline, trace } => {
+        Command::Analyze {
+            path,
+            arch,
+            machine_file,
+            balanced,
+            mca,
+            sim,
+            timeline,
+            trace,
+        } => {
             let asm = match std::fs::read_to_string(&path) {
                 Ok(s) => s,
                 Err(e) => {

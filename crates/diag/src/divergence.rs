@@ -1,0 +1,156 @@
+//! Predictor-divergence lints (`D001`–`D002`): run the in-core model, the
+//! MCA-style baseline, and optionally the cycle-level simulator on the same
+//! kernel and flag blocks where they disagree badly. Large divergence means
+//! at least one model mishandles the kernel — exactly the cases worth a
+//! human look when validating the models against hardware.
+
+use crate::Diagnostic;
+use isa::Kernel;
+use uarch::Machine;
+
+/// The predictions that fed a divergence lint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DivergenceReport {
+    /// In-core model block prediction (cycles/iteration).
+    pub incore: f64,
+    /// MCA-style baseline (cycles/iteration).
+    pub mca: f64,
+    /// Cycle-level simulator (cycles/iteration), when requested.
+    pub sim: Option<f64>,
+}
+
+/// Factor by which two predictions disagree (>= 1; infinite when exactly
+/// one of them is zero).
+fn ratio(a: f64, b: f64) -> f64 {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    if hi <= 1e-9 {
+        1.0 // both zero: empty kernel, nothing to compare
+    } else if lo <= 1e-9 {
+        f64::INFINITY
+    } else {
+        hi / lo
+    }
+}
+
+/// Divergence threshold: predictions more than 2x apart are flagged.
+const THRESHOLD: f64 = 2.0;
+
+/// The rule logic on raw numbers (exposed separately so the thresholds are
+/// unit-testable without constructing a pathological kernel).
+///
+/// * `D001` — in-core and MCA predictions diverge by more than 2x.
+/// * `D002` — the simulator disagrees with *both* analytical models by more
+///   than 2x (if it disagrees with only one, that model's `D001`-style
+///   divergence already covers it).
+pub fn divergence_diags(incore_cy: f64, mca_cy: f64, sim_cy: Option<f64>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let r = ratio(incore_cy, mca_cy);
+    if r > THRESHOLD {
+        diags.push(
+            Diagnostic::new(
+                "D001",
+                format!(
+                    "in-core and MCA-style predictions diverge by {r:.1}x \
+                     ({incore_cy:.2} vs {mca_cy:.2} cy/iter)"
+                ),
+            )
+            .with_help(
+                "at least one model mishandles this kernel; compare the port \
+                 pressure and dependency views (`incore-cli analyze --mca`)",
+            ),
+        );
+    }
+    if let Some(sim) = sim_cy {
+        let ri = ratio(sim, incore_cy);
+        let rm = ratio(sim, mca_cy);
+        if ri > THRESHOLD && rm > THRESHOLD {
+            diags.push(
+                Diagnostic::new(
+                    "D002",
+                    format!(
+                        "simulator disagrees with both analytical models by more than \
+                         {THRESHOLD}x (sim {sim:.2}, in-core {incore_cy:.2}, MCA \
+                         {mca_cy:.2} cy/iter)"
+                    ),
+                )
+                .with_help(
+                    "the out-of-order window or memory behavior probably matters here; \
+                     inspect the pipeline trace (`incore-cli analyze --sim --trace`)",
+                ),
+            );
+        }
+    }
+    diags
+}
+
+/// Run the predictors on a kernel and lint their agreement. The simulator
+/// only runs when `with_sim` is set (it is by far the slowest of the
+/// three).
+pub fn lint_divergence(
+    machine: &Machine,
+    kernel: &Kernel,
+    with_sim: bool,
+) -> (DivergenceReport, Vec<Diagnostic>) {
+    let incore_cy = incore::analyze(machine, kernel).prediction;
+    let mca_cy = mca::predict(machine, kernel).cycles_per_iter;
+    let sim_cy = with_sim.then(|| exec::cycles_per_iteration(machine, kernel));
+    let report = DivergenceReport {
+        incore: incore_cy,
+        mca: mca_cy,
+        sim: sim_cy,
+    };
+    (report, divergence_diags(incore_cy, mca_cy, sim_cy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+
+    #[test]
+    fn agreement_is_clean() {
+        assert!(divergence_diags(4.0, 4.5, Some(4.2)).is_empty());
+        assert!(divergence_diags(0.0, 0.0, None).is_empty());
+        // Exactly 2x is still agreement; the rule is strictly-greater.
+        assert!(divergence_diags(2.0, 4.0, None).is_empty());
+    }
+
+    #[test]
+    fn d001_fires_above_2x() {
+        let diags = divergence_diags(10.0, 4.0, None);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "D001");
+        assert_eq!(diags[0].severity, Severity::Warning);
+        // Zero against non-zero is infinitely divergent.
+        assert_eq!(divergence_diags(0.0, 3.0, None)[0].code, "D001");
+    }
+
+    #[test]
+    fn d002_requires_disagreement_with_both() {
+        // Sim far from both.
+        let diags = divergence_diags(4.0, 4.1, Some(20.0));
+        assert!(diags.iter().any(|d| d.code == "D002"), "{diags:?}");
+        // Sim close to one model: only the models' own divergence fires.
+        let diags = divergence_diags(4.0, 10.0, Some(4.2));
+        assert!(diags.iter().any(|d| d.code == "D001"));
+        assert!(!diags.iter().any(|d| d.code == "D002"), "{diags:?}");
+    }
+
+    #[test]
+    fn models_agree_on_a_simple_kernel() {
+        let machine = Machine::golden_cove();
+        let asm = ".L1:
+            vmovupd (%rsi,%rax), %zmm0
+            vaddpd %zmm1, %zmm0, %zmm2
+            vmovupd %zmm2, (%rdi,%rax)
+            addq $64, %rax
+            cmpq %rcx, %rax
+            jne .L1
+        ";
+        let kernel = isa::parse_kernel(asm, isa::Isa::X86).unwrap();
+        let (report, diags) = lint_divergence(&machine, &kernel, true);
+        assert!(report.incore > 0.0 && report.mca > 0.0);
+        assert!(report.sim.unwrap() > 0.0);
+        assert!(diags.is_empty(), "{report:?} {diags:?}");
+    }
+}

@@ -1,0 +1,476 @@
+//! Kernel lints (`K001`–`K006`): static analysis over parsed assembly.
+
+use crate::{Diagnostic, Severity};
+use isa::dataflow::{dataflow, Dataflow};
+use isa::ext::{classify, IsaExt};
+use isa::reg::{RegClass, Register};
+use isa::{Isa, Kernel};
+use uarch::Machine;
+
+/// Lint an assembly listing: marker structure (`K005`), parse failures
+/// (`K006`), then — when the listing parses — every kernel lint via
+/// [`lint_kernel`]. Returns the parsed kernel (if any) so callers can go on
+/// to analyze it.
+pub fn lint_assembly(machine: &Machine, asm: &str) -> (Option<Kernel>, Vec<Diagnostic>) {
+    let mut diags = marker_lints(asm);
+    match isa::parse_kernel(asm, machine.isa) {
+        Ok(kernel) => {
+            diags.extend(lint_kernel(machine, &kernel));
+            (Some(kernel), diags)
+        }
+        Err(e) => {
+            diags.push(
+                Diagnostic::new("K006", e.message.clone())
+                    .with_span(e.line, e.source_line.clone())
+                    .with_help("fix the assembly syntax; see the parser error above"),
+            );
+            (None, diags)
+        }
+    }
+}
+
+/// `K005` — OSACA/IACA marker structure. The parser silently falls back to
+/// loop auto-detection when markers are unpaired or out of order, which
+/// almost certainly analyzes the wrong region; make that an error.
+fn marker_lints(asm: &str) -> Vec<Diagnostic> {
+    let is_begin = |l: &str| l.contains("OSACA-BEGIN") || l.contains("IACA START");
+    let is_end = |l: &str| l.contains("OSACA-END") || l.contains("IACA END");
+    let begins: Vec<usize> = asm
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| is_begin(l))
+        .map(|(i, _)| i + 1)
+        .collect();
+    let ends: Vec<usize> = asm
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| is_end(l))
+        .map(|(i, _)| i + 1)
+        .collect();
+
+    let mut diags = Vec::new();
+    let line_at = |n: usize| asm.lines().nth(n - 1).unwrap_or("").trim().to_string();
+    match (begins.first(), ends.first()) {
+        (Some(&b), None) => diags.push(
+            Diagnostic::new(
+                "K005",
+                "analysis BEGIN marker without a matching END marker",
+            )
+            .with_span(b, line_at(b))
+            .with_help("add an OSACA-END / IACA END marker after the kernel"),
+        ),
+        (None, Some(&e)) => diags.push(
+            Diagnostic::new(
+                "K005",
+                "analysis END marker without a matching BEGIN marker",
+            )
+            .with_span(e, line_at(e))
+            .with_help("add an OSACA-BEGIN / IACA START marker before the kernel"),
+        ),
+        (Some(&b), Some(&e)) if e < b => diags.push(
+            Diagnostic::new(
+                "K005",
+                format!(
+                    "analysis markers are out of order (END on line {e}, BEGIN on line {b}); \
+                     the marked region is silently ignored"
+                ),
+            )
+            .with_span(e, line_at(e))
+            .with_help("swap the markers so BEGIN precedes END"),
+        ),
+        _ => {}
+    }
+    if begins.len() > 1 || ends.len() > 1 {
+        diags.push(
+            Diagnostic::new(
+                "K005",
+                format!(
+                    "multiple analysis markers found ({} BEGIN, {} END); only the first \
+                     pair is used",
+                    begins.len(),
+                    ends.len()
+                ),
+            )
+            .with_severity(Severity::Warning)
+            .with_help("keep exactly one BEGIN/END pair per listing"),
+        );
+    }
+    diags
+}
+
+/// Run every kernel lint (`K001`–`K004`) over a parsed kernel.
+pub fn lint_kernel(machine: &Machine, kernel: &Kernel) -> Vec<Diagnostic> {
+    let flows: Vec<Dataflow> = kernel.instructions.iter().map(dataflow).collect();
+    let mut diags = Vec::new();
+    read_before_write(kernel, &flows, &mut diags);
+    dead_stores(kernel, &flows, &mut diags);
+    loop_structure(machine, kernel, &mut diags);
+    mixed_simd(kernel, &mut diags);
+    diags
+}
+
+fn aliases_any(regs: &[Register], r: Register) -> bool {
+    regs.iter().any(|x| x.aliases(&r))
+}
+
+/// ISA-aware register name for messages. [`Register`]'s own `Display` uses
+/// x86 GPR names (the register file is ISA-agnostic internally), which
+/// would render AArch64's `x4` as `rsp` in a diagnostic.
+fn reg_name(isa: Isa, r: Register) -> String {
+    match (isa, r.class) {
+        (Isa::AArch64, RegClass::Gpr) => format!("x{}", r.index),
+        (Isa::AArch64, RegClass::Vec) => format!("v{}", r.index),
+        _ => r.to_string(),
+    }
+}
+
+/// `K001` — registers read but never written anywhere in the block. For
+/// general registers these are the block's live-in values (loop inputs:
+/// pointers, bounds, constants) and are reported as `Info`. Flags are
+/// special-cased: a conditional branch consuming flags that no instruction
+/// in the block sets means the loop condition never changes — a `Warning`.
+fn read_before_write(kernel: &Kernel, flows: &[Dataflow], diags: &mut Vec<Diagnostic>) {
+    let mut reported: Vec<Register> = Vec::new();
+    for (i, flow) in flows.iter().enumerate() {
+        for &r in &flow.reads {
+            if matches!(r.class, RegClass::Zero | RegClass::Ip) {
+                continue;
+            }
+            if reported.iter().any(|x| x.aliases(&r)) {
+                continue;
+            }
+            let written = flows.iter().any(|f| aliases_any(&f.writes, r));
+            if written {
+                continue;
+            }
+            reported.push(r);
+            let inst = &kernel.instructions[i];
+            let d = if r.class == RegClass::Flags {
+                Diagnostic::new(
+                    "K001",
+                    "flags are consumed but no instruction in the block sets them",
+                )
+                .with_severity(Severity::Warning)
+                .with_span(inst.line, inst.raw.clone())
+                .with_help(
+                    "the loop condition never changes inside the block; is the \
+                     compare/test instruction missing from the region?",
+                )
+            } else {
+                Diagnostic::new(
+                    "K001",
+                    format!(
+                        "register `{}` is read but never written in the block",
+                        reg_name(kernel.isa, r)
+                    ),
+                )
+                .with_span(inst.line, inst.raw.clone())
+                .with_help("a live-in value (pointer, bound, or constant) — usually fine")
+            };
+            diags.push(d);
+        }
+    }
+}
+
+/// `K002` — dead stores: a register write that is overwritten before any
+/// read. For loop kernels the scan is cyclic (the body repeats), so a value
+/// produced late and consumed early next iteration is correctly live; for
+/// straight-line blocks the scan is linear and values reaching the end are
+/// assumed live-out.
+fn dead_stores(kernel: &Kernel, flows: &[Dataflow], diags: &mut Vec<Diagnostic>) {
+    let n = flows.len();
+    let cyclic = kernel.loop_label.is_some();
+    for i in 0..n {
+        for &w in &flows[i].writes {
+            // Flags are rewritten by nearly every ALU op; the IP/zero/stack
+            // registers have their own semantics. None are useful here.
+            if matches!(
+                w.class,
+                RegClass::Flags | RegClass::Zero | RegClass::Ip | RegClass::Sp
+            ) {
+                continue;
+            }
+            // Walk forward in program order; for loops, wrap around and end
+            // back at the writing instruction itself (an RMW instruction
+            // reading its own previous value keeps it live).
+            let order: Vec<usize> = if cyclic {
+                (i + 1..n).chain(0..=i).collect()
+            } else {
+                (i + 1..n).collect()
+            };
+            let mut dead = false;
+            for j in order {
+                if aliases_any(&flows[j].reads, w) {
+                    break; // live
+                }
+                if aliases_any(&flows[j].writes, w) {
+                    dead = j != i || !aliases_any(&flows[i].reads, w);
+                    break;
+                }
+            }
+            if dead {
+                let inst = &kernel.instructions[i];
+                diags.push(
+                    Diagnostic::new(
+                        "K002",
+                        format!(
+                            "register `{}` is written here but overwritten before any read",
+                            reg_name(kernel.isa, w)
+                        ),
+                    )
+                    .with_span(inst.line, inst.raw.clone())
+                    .with_help("the write is dead; remove it or check the register choice"),
+                );
+            }
+        }
+    }
+}
+
+/// `K003` — loop-carried structure. A detected loop whose dependency graph
+/// has *no* wrap (iteration-crossing) edge has no induction variable and no
+/// carried value at all: the trip count cannot change, so the analysis
+/// region is probably wrong. Reported as `Warning`. When no loop was
+/// detected at all the block is analyzed as straight-line code — an `Info`
+/// note, since throughput analysis of a non-loop is usually a mistake in
+/// this workflow.
+fn loop_structure(machine: &Machine, kernel: &Kernel, diags: &mut Vec<Diagnostic>) {
+    if kernel.instructions.is_empty() {
+        return;
+    }
+    match &kernel.loop_label {
+        None => diags.push(
+            Diagnostic::new(
+                "K003",
+                "no loop detected; the block is analyzed as straight-line code",
+            )
+            .with_severity(Severity::Info)
+            .with_help("add OSACA-BEGIN/OSACA-END markers or a backward branch"),
+        ),
+        Some(label) => {
+            let descs = machine.describe_kernel(kernel);
+            let graph = incore::depgraph::DepGraph::build(machine, kernel, &descs);
+            if !graph.edges.iter().any(|e| e.wrap) {
+                diags.push(
+                    Diagnostic::new(
+                        "K003",
+                        format!(
+                            "loop `{label}` has no loop-carried dependency at all — \
+                             no induction variable or carried value crosses iterations"
+                        ),
+                    )
+                    .with_help(
+                        "the loop condition is constant; check that the whole body \
+                         (including the counter update) is inside the analyzed region",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// `K004` — mixed SIMD extension domains. Mixing legacy (non-VEX) SSE with
+/// AVX/AVX-512 in one block triggers SSE/AVX transition stalls or false
+/// dependencies on the upper lanes — a `Warning`. Mixing NEON and SVE on
+/// AArch64 is architecturally fine but usually means the compiler only
+/// partially vectorized — an `Info` note.
+fn mixed_simd(kernel: &Kernel, diags: &mut Vec<Diagnostic>) {
+    let exts: Vec<IsaExt> = kernel.instructions.iter().map(classify).collect();
+    match kernel.isa {
+        Isa::X86 => {
+            let sse = exts.iter().position(|e| *e == IsaExt::Sse);
+            let avx = exts
+                .iter()
+                .any(|e| matches!(e, IsaExt::Avx | IsaExt::Avx512));
+            if let (Some(at), true) = (sse, avx) {
+                let inst = &kernel.instructions[at];
+                diags.push(
+                    Diagnostic::new(
+                        "K004",
+                        "legacy SSE instruction in a block that also uses AVX/AVX-512",
+                    )
+                    .with_span(inst.line, inst.raw.clone())
+                    .with_help(
+                        "SSE/AVX transitions stall or create false upper-lane \
+                         dependencies; recompile the SSE code as VEX (`v`-prefixed)",
+                    ),
+                );
+            }
+        }
+        Isa::AArch64 => {
+            let neon = exts.iter().position(|e| *e == IsaExt::Neon);
+            let sve = exts.contains(&IsaExt::Sve);
+            if let (Some(at), true) = (neon, sve) {
+                let inst = &kernel.instructions[at];
+                diags.push(
+                    Diagnostic::new("K004", "NEON instruction in a block that also uses SVE")
+                        .with_severity(Severity::Info)
+                        .with_span(inst.line, inst.raw.clone())
+                        .with_help("possibly a partially vectorized loop"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spr() -> Machine {
+        Machine::golden_cove()
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_kernel_has_no_warnings_or_errors() {
+        let asm = ".L1:
+            vmovupd (%rsi,%rax), %zmm0
+            vfmadd231pd %zmm1, %zmm2, %zmm0
+            vmovupd %zmm0, (%rdi,%rax)
+            addq $64, %rax
+            cmpq %rcx, %rax
+            jne .L1
+        ";
+        let (k, diags) = lint_assembly(&spr(), asm);
+        assert!(k.is_some());
+        assert!(
+            !diags.iter().any(|d| d.severity >= Severity::Warning),
+            "unexpected: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn k001_flags_without_setter() {
+        let asm = ".L1:\n vmovupd (%rsi), %zmm0\n jne .L1\n";
+        let (_, diags) = lint_assembly(&spr(), asm);
+        let f = diags
+            .iter()
+            .find(|d| d.code == "K001" && d.severity == Severity::Warning);
+        assert!(f.is_some(), "{diags:?}");
+    }
+
+    #[test]
+    fn k002_dead_store_across_back_edge_is_live() {
+        // %zmm0 is written at the bottom and read at the top of the next
+        // iteration — live, not a dead store.
+        let asm = ".L1:
+            vaddpd %zmm0, %zmm1, %zmm2
+            vmovupd %zmm2, (%rdi)
+            vmovupd (%rsi), %zmm0
+            subq $1, %rax
+            jne .L1
+        ";
+        let (_, diags) = lint_assembly(&spr(), asm);
+        assert!(!codes(&diags).contains(&"K002"), "{diags:?}");
+    }
+
+    #[test]
+    fn k002_detects_true_dead_store() {
+        let asm = ".L1:
+            vmovupd (%rsi), %zmm0
+            vmovupd (%rdi), %zmm0
+            vmovupd %zmm0, (%rdx)
+            subq $1, %rax
+            jne .L1
+        ";
+        let (_, diags) = lint_assembly(&spr(), asm);
+        let dead: Vec<_> = diags.iter().filter(|d| d.code == "K002").collect();
+        assert_eq!(dead.len(), 1, "{diags:?}");
+        assert_eq!(dead[0].span.as_ref().unwrap().line, 2);
+    }
+
+    #[test]
+    fn k003_loop_without_carried_dependency() {
+        // The backward branch is unconditional and nothing crosses the
+        // iteration boundary.
+        let asm = ".L1:\n vxorpd %xmm9, %xmm8, %xmm7\n jmp .L1\n";
+        let (_, diags) = lint_assembly(&spr(), asm);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "K003" && d.severity == Severity::Warning),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn k003_info_for_straight_line_code() {
+        let asm = "vaddpd %zmm0, %zmm1, %zmm2\n";
+        let (_, diags) = lint_assembly(&spr(), asm);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "K003" && d.severity == Severity::Info),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn k004_mixed_sse_avx() {
+        let asm = ".L1:
+            addsd %xmm0, %xmm1
+            vaddpd %ymm2, %ymm3, %ymm4
+            subq $1, %rax
+            jne .L1
+        ";
+        let (_, diags) = lint_assembly(&spr(), asm);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "K004" && d.severity == Severity::Warning),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn k004_pure_avx512_is_clean() {
+        let asm = ".L1:\n vaddpd %zmm0, %zmm1, %zmm2\n subq $1, %rax\n jne .L1\n";
+        let (_, diags) = lint_assembly(&spr(), asm);
+        assert!(!codes(&diags).contains(&"K004"), "{diags:?}");
+    }
+
+    #[test]
+    fn k005_unordered_markers() {
+        let asm = "# OSACA-END\n.L1:\n addq $1, %rax\n jne .L1\n# OSACA-BEGIN\n";
+        let (_, diags) = lint_assembly(&spr(), asm);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "K005" && d.severity == Severity::Error),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn k005_well_formed_markers_are_clean() {
+        let asm = "# OSACA-BEGIN\n.L1:\n subq $1, %rax\n jne .L1\n# OSACA-END\n";
+        let (_, diags) = lint_assembly(&spr(), asm);
+        assert!(!codes(&diags).contains(&"K005"), "{diags:?}");
+    }
+
+    #[test]
+    fn k006_parse_error_with_location() {
+        let asm = ".L1:\n movq %bogus, %rax\n jne .L1\n";
+        let (k, diags) = lint_assembly(&spr(), asm);
+        assert!(k.is_none());
+        let e = diags.iter().find(|d| d.code == "K006").expect("K006");
+        assert_eq!(e.severity, Severity::Error);
+        assert_eq!(e.span.as_ref().unwrap().line, 2);
+    }
+
+    #[test]
+    fn aarch64_neon_sve_mix_is_info() {
+        let asm = ".L1:
+            fadd v0.2d, v1.2d, v2.2d
+            fmla z3.d, p0/m, z4.d, z5.d
+            subs x0, x0, #1
+            b.ne .L1
+        ";
+        let (_, diags) = lint_assembly(&Machine::neoverse_v2(), asm);
+        let k4 = diags.iter().find(|d| d.code == "K004").expect("K004");
+        assert_eq!(k4.severity, Severity::Info);
+    }
+}

@@ -1,0 +1,494 @@
+//! Structured diagnostics & lint subsystem.
+//!
+//! A reusable static-analysis framework over the three layers of this
+//! workspace, in the spirit of `rustc`'s diagnostics and clang-tidy's rule
+//! registry:
+//!
+//! * **Kernel lints** (`K...`) — run over parsed assembly: read-before-write
+//!   inputs, dead stores, missing loop-carried structure, mixed SIMD
+//!   extension domains, analysis-marker mistakes, and parse failures
+//!   surfaced as recoverable diagnostics instead of panics.
+//! * **Machine-model lints** (`M...`) — run over [`uarch::Machine`] models
+//!   and imported JSON machine files: orphan ports, inconsistent
+//!   latency/throughput/port data, front-end sanity, cross-checks against
+//!   the paper's Table II, and memory-pipe structure.
+//! * **Predictor-divergence lints** (`D...`) — flag kernels where the
+//!   in-core model and the MCA-style baseline disagree by more than 2×, or
+//!   where the cycle-level simulator disagrees with both.
+//!
+//! Every finding is a [`Diagnostic`] with a stable rule code, a severity, an
+//! optional source [`Span`], a message, and optional help text. The full
+//! rule catalog is available through [`rules`]; renderers for human-readable
+//! text ([`render_text`]) and CI-friendly JSON ([`render_json`]) are
+//! provided, plus an [`exit_code`] policy for command-line use.
+//!
+//! ```
+//! use diag::{lint_assembly, Severity};
+//! let machine = uarch::Machine::golden_cove();
+//! let asm = ".L1:\n  vaddpd %zmm0, %zmm1, %zmm2\n  subq $1, %rax\n  jne .L1\n";
+//! let (kernel, diags) = lint_assembly(&machine, asm);
+//! assert!(kernel.is_some());
+//! assert!(!diags.iter().any(|d| d.severity == Severity::Error));
+//! ```
+
+pub mod divergence;
+pub mod kernel;
+pub mod machine;
+
+pub use divergence::{divergence_diags, lint_divergence, DivergenceReport};
+pub use kernel::{lint_assembly, lint_kernel};
+pub use machine::{lint_machine, lint_machine_file};
+
+use std::fmt;
+
+/// How serious a finding is.
+///
+/// `Error` findings fail a lint run (nonzero exit); `Warning` findings fail
+/// only under `--strict`; `Info` findings are advisory and never fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    Info,
+    Warning,
+    Error,
+}
+
+impl Severity {
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Source location of a finding: a 1-based line number plus the offending
+/// source text (an assembly line, or a model element name for machine
+/// lints). Machine-level findings that have no meaningful line use 0; the
+/// renderers then show only the snippet (the model element's path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    pub line: usize,
+    pub snippet: String,
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable rule code, e.g. `"K002"`. Codes never change meaning; retired
+    /// rules are not reused.
+    pub code: &'static str,
+    pub severity: Severity,
+    pub message: String,
+    /// Where in the linted artifact the finding is, if localizable.
+    pub span: Option<Span>,
+    /// Optional advice on how to fix or silence the finding.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// New diagnostic with the rule's default severity from the registry.
+    pub fn new(code: &'static str, message: impl Into<String>) -> Self {
+        let severity = rule(code)
+            .map(|r| r.default_severity)
+            .unwrap_or(Severity::Error);
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            span: None,
+            help: None,
+        }
+    }
+
+    pub fn with_span(mut self, line: usize, snippet: impl Into<String>) -> Self {
+        self.span = Some(Span {
+            line,
+            snippet: snippet.into(),
+        });
+        self
+    }
+
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Override the registry's default severity (e.g. a rule that downgrades
+    /// to `Info` in a benign variant).
+    pub fn with_severity(mut self, severity: Severity) -> Self {
+        self.severity = severity;
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.code)?;
+        if let Some(s) = &self.span {
+            if s.line > 0 {
+                write!(f, " line {}", s.line)?;
+            }
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// A registered lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rule {
+    pub code: &'static str,
+    /// Short kebab-case name, e.g. `"dead-store"`.
+    pub name: &'static str,
+    pub default_severity: Severity,
+    /// One-line description for `--help`-style listings.
+    pub summary: &'static str,
+}
+
+/// The complete rule catalog. Codes are stable across releases.
+pub const RULES: &[Rule] = &[
+    Rule {
+        code: "K001",
+        name: "read-before-write",
+        default_severity: Severity::Info,
+        summary: "a register is read but never written inside the block (loop input); \
+                  warns when a branch consumes flags no instruction sets",
+    },
+    Rule {
+        code: "K002",
+        name: "dead-store",
+        default_severity: Severity::Warning,
+        summary: "a register write is overwritten before any read (cyclically, across \
+                  the loop back-edge)",
+    },
+    Rule {
+        code: "K003",
+        name: "loop-structure",
+        default_severity: Severity::Warning,
+        summary: "a detected loop has no loop-carried dependency at all (suspicious \
+                  trip-count structure); informs when no loop was detected",
+    },
+    Rule {
+        code: "K004",
+        name: "mixed-simd-domains",
+        default_severity: Severity::Warning,
+        summary: "legacy SSE instructions mix with AVX/AVX-512 in one block (SSE/AVX \
+                  transition stalls); informs on mixed NEON/SVE",
+    },
+    Rule {
+        code: "K005",
+        name: "marker-mismatch",
+        default_severity: Severity::Error,
+        summary: "OSACA/IACA analysis markers are unpaired or out of order, so the \
+                  marked region would be silently ignored",
+    },
+    Rule {
+        code: "K006",
+        name: "parse-error",
+        default_severity: Severity::Error,
+        summary: "the assembly could not be parsed",
+    },
+    Rule {
+        code: "M001",
+        name: "orphan-port",
+        default_severity: Severity::Warning,
+        summary: "a port exists that no database entry, memory pipe, or fallback \
+                  recipe can ever issue to",
+    },
+    Rule {
+        code: "M002",
+        name: "inconsistent-entry",
+        default_severity: Severity::Error,
+        summary: "an instruction-table entry has inconsistent latency, throughput, \
+                  or port data",
+    },
+    Rule {
+        code: "M003",
+        name: "frontend-sanity",
+        default_severity: Severity::Error,
+        summary: "front-end / out-of-order resource sizes are impossible (zero widths, \
+                  scheduler larger than the ROB, ...)",
+    },
+    Rule {
+        code: "M004",
+        name: "table2-divergence",
+        default_severity: Severity::Warning,
+        summary: "the model diverges from the paper's Table II for its \
+                  microarchitecture",
+    },
+    Rule {
+        code: "M005",
+        name: "memory-pipes",
+        default_severity: Severity::Error,
+        summary: "load/store port sets or pipe widths are structurally broken",
+    },
+    Rule {
+        code: "M006",
+        name: "machine-file",
+        default_severity: Severity::Error,
+        summary: "a JSON machine file failed to load",
+    },
+    Rule {
+        code: "D001",
+        name: "predictor-divergence",
+        default_severity: Severity::Warning,
+        summary: "the in-core model and the MCA-style baseline diverge by more than \
+                  2x on the same kernel",
+    },
+    Rule {
+        code: "D002",
+        name: "simulator-divergence",
+        default_severity: Severity::Warning,
+        summary: "the cycle-level simulator disagrees with both analytical models by \
+                  more than 2x",
+    },
+];
+
+/// The full rule catalog.
+pub fn rules() -> &'static [Rule] {
+    RULES
+}
+
+/// Look up a rule by code.
+pub fn rule(code: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.code == code)
+}
+
+/// Count diagnostics at each severity: `(info, warning, error)`.
+pub fn counts(diags: &[Diagnostic]) -> (usize, usize, usize) {
+    let mut c = (0, 0, 0);
+    for d in diags {
+        match d.severity {
+            Severity::Info => c.0 += 1,
+            Severity::Warning => c.1 += 1,
+            Severity::Error => c.2 += 1,
+        }
+    }
+    c
+}
+
+/// CI exit-code policy: 1 if any `Error` (or, under `strict`, any
+/// `Warning`), else 0. `Info` findings never fail a run.
+pub fn exit_code(diags: &[Diagnostic], strict: bool) -> i32 {
+    let (_, warnings, errors) = counts(diags);
+    if errors > 0 || (strict && warnings > 0) {
+        1
+    } else {
+        0
+    }
+}
+
+/// Render diagnostics as human-readable text, one finding per block, with a
+/// trailing summary line.
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for d in diags {
+        let _ = writeln!(out, "{d}");
+        if let Some(s) = &d.span {
+            let _ = writeln!(out, "    | {}", s.snippet);
+        }
+        if let Some(h) = &d.help {
+            let _ = writeln!(out, "    = help: {h}");
+        }
+    }
+    let (info, warning, error) = counts(diags);
+    let _ = writeln!(
+        out,
+        "{} finding(s): {error} error(s), {warning} warning(s), {info} info",
+        diags.len()
+    );
+    out
+}
+
+/// Render diagnostics as a JSON document:
+///
+/// ```json
+/// {
+///   "version": 1,
+///   "counts": { "info": 0, "warning": 1, "error": 0 },
+///   "diagnostics": [
+///     { "code": "K002", "name": "dead-store", "severity": "warning",
+///       "message": "...", "line": 4, "snippet": "...", "help": "..." }
+///   ]
+/// }
+/// ```
+///
+/// `line`, `snippet`, and `help` are omitted when absent.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    use serde_json::{Map, Number, Value};
+    let (info, warning, error) = counts(diags);
+    let mut counts_obj = Map::new();
+    counts_obj.insert("info".into(), Value::Number(Number::PosInt(info as u64)));
+    counts_obj.insert(
+        "warning".into(),
+        Value::Number(Number::PosInt(warning as u64)),
+    );
+    counts_obj.insert("error".into(), Value::Number(Number::PosInt(error as u64)));
+
+    let items: Vec<Value> = diags
+        .iter()
+        .map(|d| {
+            let mut o = Map::new();
+            o.insert("code".into(), Value::String(d.code.into()));
+            if let Some(r) = rule(d.code) {
+                o.insert("name".into(), Value::String(r.name.into()));
+            }
+            o.insert("severity".into(), Value::String(d.severity.label().into()));
+            o.insert("message".into(), Value::String(d.message.clone()));
+            if let Some(s) = &d.span {
+                if s.line > 0 {
+                    o.insert("line".into(), Value::Number(Number::PosInt(s.line as u64)));
+                }
+                o.insert("snippet".into(), Value::String(s.snippet.clone()));
+            }
+            if let Some(h) = &d.help {
+                o.insert("help".into(), Value::String(h.clone()));
+            }
+            Value::Object(o)
+        })
+        .collect();
+
+    let mut root = Map::new();
+    root.insert("version".into(), Value::Number(Number::PosInt(1)));
+    root.insert("counts".into(), Value::Object(counts_obj));
+    root.insert("diagnostics".into(), Value::Array(items));
+    serde_json::to_string_pretty(&Value::Object(root)).expect("diagnostics serialize")
+}
+
+/// Render a multi-target lint run (e.g. several machine models, or a
+/// machine plus a kernel) as one JSON document:
+///
+/// ```json
+/// {
+///   "version": 1,
+///   "counts": { "info": 0, "warning": 0, "error": 1 },
+///   "targets": [
+///     { "name": "machine:golden-cove", "counts": {...}, "diagnostics": [...] }
+///   ]
+/// }
+/// ```
+///
+/// Per-diagnostic objects are identical to [`render_json`]'s.
+pub fn render_json_targets(targets: &[(String, Vec<Diagnostic>)]) -> String {
+    use serde_json::{Map, Number, Value};
+    let count_obj = |diags: &[Diagnostic]| {
+        let (info, warning, error) = counts(diags);
+        let mut o = Map::new();
+        o.insert("info".into(), Value::Number(Number::PosInt(info as u64)));
+        o.insert(
+            "warning".into(),
+            Value::Number(Number::PosInt(warning as u64)),
+        );
+        o.insert("error".into(), Value::Number(Number::PosInt(error as u64)));
+        Value::Object(o)
+    };
+    let all: Vec<Diagnostic> = targets
+        .iter()
+        .flat_map(|(_, d)| d.iter().cloned())
+        .collect();
+    let items: Vec<Value> = targets
+        .iter()
+        .map(|(name, diags)| {
+            // Reuse the single-list renderer for the diagnostic objects.
+            let rendered: Value =
+                serde_json::from_str(&render_json(diags)).expect("own output parses");
+            let mut o = Map::new();
+            o.insert("name".into(), Value::String(name.clone()));
+            o.insert("counts".into(), count_obj(diags));
+            o.insert(
+                "diagnostics".into(),
+                rendered
+                    .as_object()
+                    .unwrap()
+                    .get("diagnostics")
+                    .unwrap()
+                    .clone(),
+            );
+            Value::Object(o)
+        })
+        .collect();
+    let mut root = Map::new();
+    root.insert("version".into(), Value::Number(Number::PosInt(1)));
+    root.insert("counts".into(), count_obj(&all));
+    root.insert("targets".into(), Value::Array(items));
+    serde_json::to_string_pretty(&Value::Object(root)).expect("diagnostics serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_codes_are_unique_and_stable() {
+        let mut codes: Vec<&str> = RULES.iter().map(|r| r.code).collect();
+        codes.sort_unstable();
+        let n = codes.len();
+        codes.dedup();
+        assert_eq!(codes.len(), n, "duplicate rule codes");
+        // The published catalog: these codes must never change meaning.
+        for code in [
+            "K001", "K002", "K003", "K004", "K005", "K006", "M001", "M002", "M003", "M004", "M005",
+            "M006", "D001", "D002",
+        ] {
+            assert!(
+                rule(code).is_some(),
+                "rule {code} missing from the registry"
+            );
+        }
+    }
+
+    #[test]
+    fn exit_code_policy() {
+        let info = Diagnostic::new("K001", "x");
+        let warn = Diagnostic::new("K002", "x");
+        let err = Diagnostic::new("K006", "x");
+        assert_eq!(exit_code(&[], false), 0);
+        assert_eq!(exit_code(&[info.clone()], true), 0);
+        assert_eq!(exit_code(&[warn.clone()], false), 0);
+        assert_eq!(exit_code(&[warn], true), 1);
+        assert_eq!(exit_code(&[err], false), 1);
+        let _ = info;
+    }
+
+    #[test]
+    fn text_rendering_shows_span_and_help() {
+        let d = Diagnostic::new("K002", "register `%rax` is never read")
+            .with_span(4, "movq $1, %rax")
+            .with_help("remove the store");
+        let t = render_text(&[d]);
+        assert!(t.contains("warning[K002] line 4"), "{t}");
+        assert!(t.contains("| movq $1, %rax"), "{t}");
+        assert!(t.contains("= help: remove the store"), "{t}");
+        assert!(
+            t.contains("1 finding(s): 0 error(s), 1 warning(s), 0 info"),
+            "{t}"
+        );
+    }
+
+    #[test]
+    fn json_rendering_is_parseable_and_complete() {
+        let d = Diagnostic::new("M003", "dispatch width is zero").with_span(1, "dispatch_width");
+        let j = render_json(&[d]);
+        let v: serde_json::Value = serde_json::from_str(&j).expect("valid JSON");
+        let root = v.as_object().unwrap();
+        assert_eq!(root.get("version").and_then(|v| v.as_u64()), Some(1));
+        let diags = root.get("diagnostics").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(diags.len(), 1);
+        let d0 = diags[0].as_object().unwrap();
+        assert_eq!(d0.get("code").and_then(|v| v.as_str()), Some("M003"));
+        assert_eq!(d0.get("severity").and_then(|v| v.as_str()), Some("error"));
+        assert_eq!(
+            d0.get("name").and_then(|v| v.as_str()),
+            Some("frontend-sanity")
+        );
+        let counts = root.get("counts").and_then(|v| v.as_object()).unwrap();
+        assert_eq!(counts.get("error").and_then(|v| v.as_u64()), Some(1));
+    }
+}

@@ -1,0 +1,504 @@
+//! Machine-model lints (`M001`–`M006`): structural validation of
+//! [`uarch::Machine`] models and imported JSON machine files, including
+//! cross-checks against the paper's Table II.
+
+use crate::{Diagnostic, Severity};
+use uarch::ports::PortCap;
+use uarch::{Arch, Machine, PortSet};
+
+/// Run every machine lint (`M001`–`M005`) over a model.
+pub fn lint_machine(machine: &Machine) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    orphan_ports(machine, &mut diags);
+    entry_consistency(machine, &mut diags);
+    frontend_sanity(machine, &mut diags);
+    table2_crosscheck(machine, &mut diags);
+    memory_pipes(machine, &mut diags);
+    diags
+}
+
+/// Lint a JSON machine file: load failures become `M006`, a loaded model
+/// goes through [`lint_machine`]. Returns the machine (if it loaded) so
+/// callers can go on to use it.
+pub fn lint_machine_file(json: &str) -> (Option<Machine>, Vec<Diagnostic>) {
+    match Machine::from_json(json) {
+        Ok(m) => {
+            let diags = lint_machine(&m);
+            (Some(m), diags)
+        }
+        Err(e) => (
+            None,
+            vec![
+                Diagnostic::new("M006", format!("machine file failed to load: {e}"))
+                    .with_help("re-export a template with `incore-cli export --arch <machine>`"),
+            ],
+        ),
+    }
+}
+
+/// `M001` — ports no instruction can ever issue to. A port is reachable if
+/// some database entry's µ-op names it, a memory pipe set contains it, or
+/// the fallback recipes (which issue to every `Branch`/`VecAlu`/`IntAlu`
+/// capable port) can select it. Anything else is modeled silicon that the
+/// analyzers can never load — dead weight, or more likely a typo in a port
+/// set.
+fn orphan_ports(machine: &Machine, diags: &mut Vec<Diagnostic>) {
+    let pm = &machine.port_model;
+    let mut reachable = PortSet::EMPTY
+        .union(machine.load_ports)
+        .union(machine.load_ports_wide)
+        .union(machine.store_agu_ports)
+        .union(machine.store_data_ports)
+        .union(pm.with_cap(PortCap::Branch))
+        .union(pm.with_cap(PortCap::VecAlu))
+        .union(pm.with_cap(PortCap::IntAlu));
+    for entry in &machine.table {
+        for uop in &entry.uops {
+            reachable = reachable.union(uop.ports);
+        }
+    }
+    for (i, port) in pm.ports.iter().enumerate() {
+        if !reachable.contains(i) {
+            diags.push(
+                Diagnostic::new(
+                    "M001",
+                    format!(
+                        "port `{}` (index {i}) is unreachable: no instruction can issue to it",
+                        port.name
+                    ),
+                )
+                .with_span(i + 1, format!("port {} caps {:?}", port.name, port.caps))
+                .with_help("add it to an entry's port set or give it an ALU/branch capability"),
+            );
+        }
+    }
+}
+
+/// `M002` — instruction-table entries with inconsistent data:
+/// non-positive reciprocal throughput or µ-op occupancy (`Error`), a stated
+/// throughput below what the entry's own port sets can achieve (`Warning`),
+/// compute entries with no µ-ops (`Warning`), and zero-latency compute
+/// entries (`Info` — stores and eliminated forms legitimately have none).
+fn entry_consistency(machine: &Machine, diags: &mut Vec<Diagnostic>) {
+    use uarch::InstrClass;
+    for (idx, e) in machine.table.iter().enumerate() {
+        let name = e.mnemonics.first().copied().unwrap_or("?");
+        let label = format!("entry #{idx} `{name}` ({:?})", e.width);
+        let span = |d: Diagnostic| d.with_span(idx + 1, label.clone());
+
+        if e.mnemonics.is_empty() {
+            diags.push(span(Diagnostic::new(
+                "M002",
+                "entry matches no mnemonic".to_string(),
+            )));
+            continue;
+        }
+        let mem_like =
+            matches!(e.class, InstrClass::Load | InstrClass::Store) || e.mem == Some(true);
+        // Memory entries may state rthroughput 0: the real value is
+        // synthesized from the pipe count when the machine describes the
+        // instruction. Anything else must be positive.
+        if e.rthroughput < 0.0 || (e.rthroughput == 0.0 && !mem_like) {
+            diags.push(span(Diagnostic::new(
+                "M002",
+                format!("non-positive reciprocal throughput {}", e.rthroughput),
+            )));
+        }
+        for (u, uop) in e.uops.iter().enumerate() {
+            if uop.occupancy <= 0.0 {
+                diags.push(span(Diagnostic::new(
+                    "M002",
+                    format!("µ-op #{u} has non-positive occupancy {}", uop.occupancy),
+                )));
+            }
+            if uop.ports.is_empty() {
+                diags.push(span(Diagnostic::new(
+                    "M002",
+                    format!("µ-op #{u} has an empty port set"),
+                )));
+            }
+        }
+        if e.uops.is_empty() && !mem_like && e.class != InstrClass::Eliminated {
+            diags.push(span(
+                Diagnostic::new(
+                    "M002",
+                    "compute entry has no µ-ops and no synthesized memory recipe",
+                )
+                .with_severity(Severity::Warning),
+            ));
+        }
+        if e.latency == 0 && !mem_like && e.class != InstrClass::Eliminated && !e.uops.is_empty() {
+            diags.push(span(
+                Diagnostic::new("M002", "compute entry has zero latency".to_string())
+                    .with_severity(Severity::Info),
+            ));
+        }
+        // The stated throughput can never beat the port-pressure lower
+        // bound of the entry's own µ-ops: group µ-ops by port set and take
+        // the most loaded group.
+        if e.rthroughput > 0.0 && !e.uops.is_empty() {
+            let mut groups: Vec<(PortSet, f64)> = Vec::new();
+            for uop in &e.uops {
+                if uop.ports.is_empty() || uop.occupancy <= 0.0 {
+                    continue;
+                }
+                match groups.iter_mut().find(|(p, _)| *p == uop.ports) {
+                    Some((_, occ)) => *occ += uop.occupancy,
+                    None => groups.push((uop.ports, uop.occupancy)),
+                }
+            }
+            let bound = groups
+                .iter()
+                .map(|(p, occ)| occ / p.count() as f64)
+                .fold(0.0f64, f64::max);
+            if e.rthroughput + 1e-9 < bound {
+                diags.push(span(
+                    Diagnostic::new(
+                        "M002",
+                        format!(
+                            "stated reciprocal throughput {} is unachievable on its \
+                             ports (lower bound {bound:.3})",
+                            e.rthroughput
+                        ),
+                    )
+                    .with_severity(Severity::Warning),
+                ));
+            }
+        }
+    }
+}
+
+/// `M003` — front-end and out-of-order resource sanity: zero widths or
+/// sizes and a scheduler bigger than the ROB are impossible (`Error`); a
+/// retire width below the dispatch width merely throttles steady state
+/// (`Warning`).
+fn frontend_sanity(machine: &Machine, diags: &mut Vec<Diagnostic>) {
+    let mut err = |field: &str, msg: String| {
+        diags.push(Diagnostic::new("M003", msg).with_span(0, field.to_string()));
+    };
+    if machine.dispatch_width == 0 {
+        err(
+            "dispatch_width",
+            "dispatch width is zero; nothing can ever issue".into(),
+        );
+    }
+    if machine.retire_width == 0 {
+        err(
+            "retire_width",
+            "retire width is zero; nothing can ever retire".into(),
+        );
+    }
+    if machine.rob_size == 0 {
+        err("rob_size", "reorder buffer size is zero".into());
+    }
+    if machine.sched_size == 0 {
+        err("sched_size", "scheduler size is zero".into());
+    }
+    if machine.sched_size > machine.rob_size {
+        err(
+            "sched_size",
+            format!(
+                "scheduler ({} entries) is larger than the ROB ({} entries)",
+                machine.sched_size, machine.rob_size
+            ),
+        );
+    }
+    if machine.retire_width > 0 && machine.retire_width < machine.dispatch_width {
+        diags.push(
+            Diagnostic::new(
+                "M003",
+                format!(
+                    "retire width {} is below dispatch width {}; retirement throttles \
+                     steady-state throughput",
+                    machine.retire_width, machine.dispatch_width
+                ),
+            )
+            .with_severity(Severity::Warning)
+            .with_span(0, "retire_width".to_string()),
+        );
+    }
+}
+
+/// Expected Table II values from the paper, per microarchitecture:
+/// `(ports, simd bytes, int units, fp/vec units, loads/cy, load bits,
+/// stores/cy, store bits)`.
+fn table2_expected(arch: Arch) -> (u32, u32, u32, u32, u32, u32, u32, u32) {
+    match arch {
+        Arch::NeoverseV2 => (17, 16, 6, 4, 3, 128, 2, 128),
+        Arch::GoldenCove => (12, 64, 5, 3, 2, 512, 2, 256),
+        Arch::Zen4 => (13, 32, 4, 4, 2, 256, 1, 256),
+    }
+}
+
+/// `M004` — cross-check the model against the paper's Table II for its
+/// microarchitecture. Divergence is a `Warning`, not an error: edited
+/// machine files legitimately explore different configurations, but the
+/// shipped models must match the paper.
+fn table2_crosscheck(machine: &Machine, diags: &mut Vec<Diagnostic>) {
+    let r = machine.table2_row();
+    let (ports, simd, int_u, fp_u, lpc, lbits, spc, sbits) = table2_expected(machine.arch);
+    let checks: [(&str, u32, u32); 8] = [
+        ("execution ports", r.num_ports, ports),
+        ("SIMD width (bytes)", r.simd_width_bytes, simd),
+        ("integer units", r.int_units, int_u),
+        ("FP/vector units", r.fp_vec_units, fp_u),
+        ("loads per cycle", r.loads_per_cycle, lpc),
+        ("load width (bits)", r.load_width_bits, lbits),
+        ("stores per cycle", r.stores_per_cycle, spc),
+        ("store width (bits)", r.store_width_bits, sbits),
+    ];
+    for (what, got, want) in checks {
+        if got != want {
+            diags.push(
+                Diagnostic::new(
+                    "M004",
+                    format!(
+                        "{what} = {got} diverges from the paper's Table II value {want} \
+                         for {}",
+                        machine.arch.label()
+                    ),
+                )
+                .with_span(0, what.to_string())
+                .with_help("intentional for a what-if model; a bug for the shipped models"),
+            );
+        }
+    }
+}
+
+/// `M005` — memory-pipe structure: empty load/store port sets or
+/// zero-width pipes make every memory access unissuable (`Error`); the
+/// wide-load set not being a subset of the load set, or memory-pipe ports
+/// lacking the matching capability, indicate a port-set typo (`Warning`).
+fn memory_pipes(machine: &Machine, diags: &mut Vec<Diagnostic>) {
+    let mut err = |field: &str, msg: String| {
+        diags.push(Diagnostic::new("M005", msg).with_span(0, field.to_string()));
+    };
+    if machine.load_ports.is_empty() {
+        err("load_ports", "no port can execute a load".into());
+    }
+    if machine.load_ports_wide.is_empty() {
+        err(
+            "load_ports_wide",
+            "no port can execute a full-width load".into(),
+        );
+    }
+    if machine.store_agu_ports.is_empty() {
+        err(
+            "store_agu_ports",
+            "no port can generate a store address".into(),
+        );
+    }
+    if machine.store_data_ports.is_empty() {
+        err("store_data_ports", "no port can deliver store data".into());
+    }
+    if machine.load_width_bits == 0 {
+        err("load_width_bits", "load pipe width is zero bits".into());
+    }
+    if machine.store_width_bits == 0 {
+        err("store_width_bits", "store pipe width is zero bits".into());
+    }
+    let wide_extra = machine.load_ports_wide.intersect(machine.load_ports);
+    if wide_extra != machine.load_ports_wide {
+        diags.push(
+            Diagnostic::new(
+                "M005",
+                "full-width load ports are not a subset of the load ports".to_string(),
+            )
+            .with_severity(Severity::Warning)
+            .with_span(0, "load_ports_wide".to_string())
+            .with_help("the wide set restricts the general set; it cannot add ports"),
+        );
+    }
+    let cap_checks = [
+        ("load_ports", machine.load_ports, PortCap::Load),
+        (
+            "store_agu_ports",
+            machine.store_agu_ports,
+            PortCap::StoreAgu,
+        ),
+        (
+            "store_data_ports",
+            machine.store_data_ports,
+            PortCap::StoreData,
+        ),
+    ];
+    for (field, set, cap) in cap_checks {
+        for i in set.iter() {
+            let has = machine
+                .port_model
+                .ports
+                .get(i)
+                .is_some_and(|p| p.caps.contains(&cap));
+            if !has {
+                let name = machine
+                    .port_model
+                    .ports
+                    .get(i)
+                    .map(|p| p.name)
+                    .unwrap_or("<out of range>");
+                diags.push(
+                    Diagnostic::new(
+                        "M005",
+                        format!("{field} names port `{name}` (index {i}) which lacks the {cap:?} capability"),
+                    )
+                    .with_severity(Severity::Warning)
+                    .with_span(0, field.to_string()),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch::ports::Port;
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn shipped_models_have_no_errors() {
+        for m in uarch::all_machines() {
+            let diags = lint_machine(&m);
+            let errors: Vec<_> = diags
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .collect();
+            assert!(errors.is_empty(), "{}: {errors:?}", m.arch.label());
+        }
+    }
+
+    #[test]
+    fn m001_orphan_port() {
+        let mut m = Machine::golden_cove();
+        m.port_model.ports.push(Port {
+            name: "X9",
+            caps: vec![],
+        });
+        let diags = lint_machine(&m);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "M001" && d.message.contains("X9")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn m002_zero_throughput_is_an_error() {
+        let mut m = Machine::zen4();
+        // Pick a compute entry: memory entries may legitimately state 0.
+        let idx = m
+            .table
+            .iter()
+            .position(|e| {
+                !matches!(e.class, uarch::InstrClass::Load | uarch::InstrClass::Store)
+                    && e.mem != Some(true)
+            })
+            .unwrap();
+        m.table[idx].rthroughput = 0.0;
+        let diags = lint_machine(&m);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "M002" && d.severity == Severity::Error),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn m002_unachievable_throughput_is_a_warning() {
+        let mut m = Machine::zen4();
+        // Find a compute entry and claim it is faster than its ports allow.
+        let idx = m.table.iter().position(|e| !e.uops.is_empty()).unwrap();
+        m.table[idx].rthroughput = 1e-6;
+        let diags = lint_machine(&m);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "M002" && d.message.contains("unachievable")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn m003_zero_dispatch_and_inverted_sizes() {
+        let mut m = Machine::neoverse_v2();
+        m.dispatch_width = 0;
+        m.sched_size = m.rob_size + 1;
+        let diags = lint_machine(&m);
+        let m003: Vec<_> = diags.iter().filter(|d| d.code == "M003").collect();
+        assert!(
+            m003.iter().any(|d| d.message.contains("dispatch")),
+            "{diags:?}"
+        );
+        assert!(
+            m003.iter().any(|d| d.message.contains("scheduler")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn m004_divergence_from_table2() {
+        let mut m = Machine::golden_cove();
+        m.int_units += 1;
+        let diags = lint_machine(&m);
+        let d = diags.iter().find(|d| d.code == "M004").expect("M004");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("integer units"));
+    }
+
+    #[test]
+    fn m005_empty_load_ports() {
+        let mut m = Machine::golden_cove();
+        m.load_ports = PortSet::EMPTY;
+        m.load_ports_wide = PortSet::EMPTY;
+        let diags = lint_machine(&m);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "M005" && d.severity == Severity::Error),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn m005_wide_loads_must_be_a_subset() {
+        let mut m = Machine::golden_cove();
+        // Add a port to the wide set that is not in the general load set.
+        let extra = (0..m.port_model.num_ports())
+            .find(|i| !m.load_ports.contains(*i))
+            .unwrap();
+        m.load_ports_wide = m.load_ports_wide.union(PortSet::single(extra));
+        let diags = lint_machine(&m);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "M005" && d.message.contains("subset")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn m006_bad_machine_file() {
+        let (m, diags) = lint_machine_file("{ this is not json");
+        assert!(m.is_none());
+        assert!(codes(&diags).contains(&"M006"));
+        let (m, diags) = lint_machine_file("{\"arch\": \"pentium\"}");
+        assert!(m.is_none());
+        assert!(codes(&diags).contains(&"M006"));
+    }
+
+    #[test]
+    fn m006_roundtrip_through_json_stays_clean() {
+        let json = Machine::golden_cove().to_json();
+        let (m, diags) = lint_machine_file(&json);
+        assert!(m.is_some());
+        assert!(
+            !diags.iter().any(|d| d.severity == Severity::Error),
+            "{diags:?}"
+        );
+    }
+}

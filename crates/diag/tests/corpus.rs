@@ -1,0 +1,35 @@
+//! Corpus sweep: every generated kernel variant, on its machine, must be
+//! lint-clean (no errors or warnings; `Info` notes about live-in registers
+//! are expected and allowed).
+
+use diag::Severity;
+
+#[test]
+fn all_416_generated_variants_are_lint_clean() {
+    let mut total = 0;
+    for machine in uarch::all_machines() {
+        for v in kernels::variants_for(machine.arch) {
+            let asm = kernels::generate(&v, &machine);
+            let (kernel, diags) = diag::lint_assembly(&machine, &asm);
+            assert!(
+                kernel.is_some(),
+                "{} {}: failed to parse: {diags:?}",
+                machine.arch.label(),
+                v.label()
+            );
+            let bad: Vec<_> = diags
+                .iter()
+                .filter(|d| d.severity >= Severity::Warning)
+                .collect();
+            assert!(
+                bad.is_empty(),
+                "{} {}: {bad:?}\n{asm}",
+                machine.arch.label(),
+                v.label()
+            );
+            total += 1;
+        }
+    }
+    // The paper's corpus: 156 SPR + 156 Genoa + 104 GCS variants.
+    assert_eq!(total, 416);
+}

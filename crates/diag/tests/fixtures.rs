@@ -1,0 +1,188 @@
+//! One positive and one negative fixture per rule code: every rule in the
+//! registry must fire on its seeded-defect fixture and stay silent on its
+//! clean twin. This pins both the rule codes and their trigger conditions.
+
+use diag::{divergence_diags, lint_assembly, lint_machine, lint_machine_file, Diagnostic};
+use uarch::ports::Port;
+use uarch::{Machine, PortSet};
+
+fn kernel_diags(asm: &str) -> Vec<Diagnostic> {
+    lint_assembly(&Machine::golden_cove(), asm).1
+}
+
+fn has(diags: &[Diagnostic], code: &str) -> bool {
+    diags.iter().any(|d| d.code == code)
+}
+
+/// A clean x86 triad loop that no kernel rule should fire on (beyond
+/// `K001` info notes for its live-in registers).
+const CLEAN_X86: &str = ".L1:
+    vmovupd (%rsi,%rax), %zmm0
+    vfmadd231pd %zmm1, %zmm2, %zmm0
+    vmovupd %zmm0, (%rdi,%rax)
+    addq $64, %rax
+    cmpq %rcx, %rax
+    jne .L1
+";
+
+struct Fixture {
+    code: &'static str,
+    positive: fn() -> Vec<Diagnostic>,
+    negative: fn() -> Vec<Diagnostic>,
+}
+
+const FIXTURES: &[Fixture] = &[
+    Fixture {
+        code: "K001",
+        // A conditional branch whose flags nothing sets.
+        positive: || kernel_diags(".L1:\n vmovupd (%rsi), %zmm0\n jne .L1\n"),
+        negative: || {
+            kernel_diags(CLEAN_X86)
+                .into_iter()
+                .filter(|d| d.severity > diag::Severity::Info)
+                .collect()
+        },
+    },
+    Fixture {
+        code: "K002",
+        positive: || {
+            kernel_diags(
+                ".L1:\n vmovupd (%rsi), %zmm0\n vmovupd (%rdi), %zmm0\n \
+                 vmovupd %zmm0, (%rdx)\n subq $1, %rax\n jne .L1\n",
+            )
+        },
+        negative: || kernel_diags(CLEAN_X86),
+    },
+    Fixture {
+        code: "K003",
+        // An unconditional self-loop carrying nothing across iterations.
+        positive: || kernel_diags(".L1:\n vxorpd %xmm9, %xmm8, %xmm7\n jmp .L1\n"),
+        negative: || {
+            kernel_diags(CLEAN_X86)
+                .into_iter()
+                .filter(|d| d.severity > diag::Severity::Info)
+                .collect()
+        },
+    },
+    Fixture {
+        code: "K004",
+        positive: || {
+            kernel_diags(
+                ".L1:\n addsd %xmm0, %xmm1\n vaddpd %ymm2, %ymm3, %ymm4\n \
+                 subq $1, %rax\n jne .L1\n",
+            )
+        },
+        negative: || kernel_diags(CLEAN_X86),
+    },
+    Fixture {
+        code: "K005",
+        positive: || kernel_diags("# OSACA-END\n.L1:\n subq $1, %rax\n jne .L1\n# OSACA-BEGIN\n"),
+        negative: || kernel_diags("# OSACA-BEGIN\n.L1:\n subq $1, %rax\n jne .L1\n# OSACA-END\n"),
+    },
+    Fixture {
+        code: "K006",
+        positive: || kernel_diags(".L1:\n movq %bogus, %rax\n jne .L1\n"),
+        negative: || kernel_diags(CLEAN_X86),
+    },
+    Fixture {
+        code: "M001",
+        positive: || {
+            let mut m = Machine::golden_cove();
+            m.port_model.ports.push(Port {
+                name: "X9",
+                caps: vec![],
+            });
+            lint_machine(&m)
+        },
+        negative: || lint_machine(&Machine::golden_cove()),
+    },
+    Fixture {
+        code: "M002",
+        positive: || {
+            let mut m = Machine::zen4();
+            let idx = m
+                .table
+                .iter()
+                .position(|e| !e.uops.is_empty())
+                .expect("compute entry");
+            m.table[idx].rthroughput = -1.0;
+            lint_machine(&m)
+        },
+        negative: || lint_machine(&Machine::zen4()),
+    },
+    Fixture {
+        code: "M003",
+        positive: || {
+            let mut m = Machine::neoverse_v2();
+            m.dispatch_width = 0;
+            lint_machine(&m)
+        },
+        negative: || lint_machine(&Machine::neoverse_v2()),
+    },
+    Fixture {
+        code: "M004",
+        positive: || {
+            let mut m = Machine::golden_cove();
+            m.simd_width_bits = 256;
+            lint_machine(&m)
+        },
+        negative: || lint_machine(&Machine::golden_cove()),
+    },
+    Fixture {
+        code: "M005",
+        positive: || {
+            let mut m = Machine::golden_cove();
+            m.store_data_ports = PortSet::EMPTY;
+            lint_machine(&m)
+        },
+        negative: || lint_machine(&Machine::golden_cove()),
+    },
+    Fixture {
+        code: "M006",
+        positive: || lint_machine_file("not a machine file").1,
+        negative: || lint_machine_file(&Machine::zen4().to_json()).1,
+    },
+    Fixture {
+        code: "D001",
+        positive: || divergence_diags(10.0, 4.0, None),
+        negative: || divergence_diags(4.0, 4.5, None),
+    },
+    Fixture {
+        code: "D002",
+        positive: || divergence_diags(4.0, 4.1, Some(20.0)),
+        negative: || divergence_diags(4.0, 4.1, Some(4.2)),
+    },
+];
+
+#[test]
+fn every_rule_has_a_firing_and_a_clean_fixture() {
+    // The fixture table must cover the entire registry.
+    let covered: Vec<&str> = FIXTURES.iter().map(|f| f.code).collect();
+    for rule in diag::rules() {
+        assert!(covered.contains(&rule.code), "no fixture for {}", rule.code);
+    }
+    for f in FIXTURES {
+        let pos = (f.positive)();
+        assert!(
+            has(&pos, f.code),
+            "{} did not fire on its positive fixture: {pos:?}",
+            f.code
+        );
+        let neg = (f.negative)();
+        assert!(
+            !has(&neg, f.code),
+            "{} fired on its negative fixture: {neg:?}",
+            f.code
+        );
+    }
+}
+
+#[test]
+fn seeded_error_fixture_fails_a_lint_run() {
+    // The acceptance scenario: a seeded defect must produce a nonzero exit.
+    let diags = kernel_diags(".L1:\n movq %bogus, %rax\n jne .L1\n");
+    assert_eq!(diag::exit_code(&diags, false), 1);
+    // ... and the clean twin must not.
+    let diags = kernel_diags(CLEAN_X86);
+    assert_eq!(diag::exit_code(&diags, false), 0);
+}

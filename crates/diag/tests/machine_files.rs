@@ -1,0 +1,37 @@
+//! Machine-file round-trip: exporting a model to JSON and importing it back
+//! must reproduce the same model (checked via a second export, since
+//! `Machine` intentionally has no `PartialEq`), and the imported model must
+//! lint clean.
+
+use diag::Severity;
+use uarch::Machine;
+
+#[test]
+fn export_import_roundtrip_preserves_all_three_models() {
+    for machine in uarch::all_machines() {
+        let json1 = machine.to_json();
+        let imported = Machine::from_json(&json1)
+            .unwrap_or_else(|e| panic!("{}: reimport failed: {e}", machine.arch.label()));
+        assert_eq!(imported.arch, machine.arch);
+        let json2 = imported.to_json();
+        assert_eq!(
+            json1,
+            json2,
+            "{}: model changed across an export/import cycle",
+            machine.arch.label()
+        );
+    }
+}
+
+#[test]
+fn imported_shipped_models_lint_clean() {
+    for machine in uarch::all_machines() {
+        let (imported, diags) = diag::lint_machine_file(&machine.to_json());
+        assert!(imported.is_some(), "{}: {diags:?}", machine.arch.label());
+        assert!(
+            !diags.iter().any(|d| d.severity >= Severity::Error),
+            "{}: {diags:?}",
+            machine.arch.label()
+        );
+    }
+}

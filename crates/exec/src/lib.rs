@@ -57,7 +57,11 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { iterations: 200, warmup: 50, quirks: true }
+        SimConfig {
+            iterations: 200,
+            warmup: 50,
+            quirks: true,
+        }
     }
 }
 
@@ -72,7 +76,12 @@ impl Default for SimConfig {
 /// * **Zen 4 scalar FP divide** — sustained divide throughput measures
 ///   slightly better (≈4 cy/divide) than the documented 5 cy the model
 ///   uses; the paper notes exactly this for the π kernel on Zen 4.
-fn apply_quirks(machine: &Machine, kernel: &Kernel, descs: &mut [uarch::InstrDesc], graph: &mut DepGraph) {
+fn apply_quirks(
+    machine: &Machine,
+    kernel: &Kernel,
+    descs: &mut [uarch::InstrDesc],
+    graph: &mut DepGraph,
+) {
     match machine.arch {
         uarch::Arch::NeoverseV2 => {
             for e in &mut graph.edges {
@@ -96,7 +105,8 @@ fn apply_quirks(machine: &Machine, kernel: &Kernel, descs: &mut [uarch::InstrDes
             for (d, inst) in descs.iter_mut().zip(&kernel.instructions) {
                 // Scalar divides only — the packed divider matches its
                 // documented throughput.
-                if d.class == InstrClass::VecDiv && inst.max_vec_width() <= 128
+                if d.class == InstrClass::VecDiv
+                    && inst.max_vec_width() <= 128
                     && uarch::instr::is_scalar_fp(inst)
                 {
                     for u in &mut d.uops {
@@ -179,7 +189,14 @@ fn simulate_impl(
 ) -> (SimResult, ()) {
     let n = kernel.instructions.len();
     if n == 0 {
-        return (SimResult { cycles_per_iter: 0.0, total_cycles: 0, uops_per_cycle: 0.0 }, ());
+        return (
+            SimResult {
+                cycles_per_iter: 0.0,
+                total_cycles: 0,
+                uops_per_cycle: 0.0,
+            },
+            (),
+        );
     }
     let mut descs = machine.describe_kernel(kernel);
     let mut graph = DepGraph::build(machine, kernel, &descs);
@@ -291,7 +308,11 @@ fn simulate_impl(
                 sched_uops += nu;
             }
             budget = budget.saturating_sub(nu.max(1) as u32);
-            next_dispatch = if idx + 1 == n { (it + 1, 0) } else { (it, idx + 1) };
+            next_dispatch = if idx + 1 == n {
+                (it + 1, 0)
+            } else {
+                (it, idx + 1)
+            };
         }
 
         // --- Issue (oldest first). ---
@@ -366,7 +387,11 @@ fn simulate_impl(
                 w.issue_done = Some(last);
                 issue_done[w.iter][w.idx] = Some(last);
                 let lat = (descs[w.idx].latency as u64).max(1);
-                let completes = if descs[w.idx].class == InstrClass::Store { last + 1 } else { last + lat };
+                let completes = if descs[w.idx].class == InstrClass::Store {
+                    last + 1
+                } else {
+                    last + lat
+                };
                 w.completion = completes;
             }
         }
@@ -412,7 +437,10 @@ mod tests {
     fn serial_fma_chain_measures_latency() {
         // The accumulator chain forces ~4 cycles/iteration (FMA latency).
         let m = Machine::golden_cove();
-        let c = run_x86(".L1:\n vfmadd231pd %zmm1, %zmm2, %zmm3\n subq $1, %rax\n jne .L1\n", &m);
+        let c = run_x86(
+            ".L1:\n vfmadd231pd %zmm1, %zmm2, %zmm3\n subq $1, %rax\n jne .L1\n",
+            &m,
+        );
         assert!((c - 4.0).abs() < 0.3, "cycles/iter = {c}");
     }
 
@@ -489,7 +517,11 @@ mod tests {
 
     #[test]
     fn empty_kernel() {
-        let k = isa::Kernel { instructions: vec![], isa: Isa::X86, loop_label: None };
+        let k = isa::Kernel {
+            instructions: vec![],
+            isa: Isa::X86,
+            loop_label: None,
+        };
         let r = simulate(&Machine::zen4(), &k, SimConfig::default());
         assert_eq!(r.cycles_per_iter, 0.0);
     }

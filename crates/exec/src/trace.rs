@@ -9,7 +9,11 @@ use uarch::Machine;
 /// Render a pipeline trace of the first `iters` iterations.
 pub fn render(machine: &Machine, kernel: &Kernel, iters: usize) -> String {
     use std::fmt::Write;
-    let cfg = SimConfig { iterations: iters.max(1) + 2, warmup: 0, ..Default::default() };
+    let cfg = SimConfig {
+        iterations: iters.max(1) + 2,
+        warmup: 0,
+        ..Default::default()
+    };
     let (result, events) = crate::simulate_traced(machine, kernel, cfg, iters);
     let mut out = String::new();
     let _ = writeln!(
@@ -61,7 +65,11 @@ pub fn render(machine: &Machine, kernel: &Kernel, iters: usize) -> String {
             };
             let _ = write!(out, "{c}");
         }
-        let text = kernel.instructions.get(e.idx).map(|i| i.raw.as_str()).unwrap_or("");
+        let text = kernel
+            .instructions
+            .get(e.idx)
+            .map(|i| i.raw.as_str())
+            .unwrap_or("");
         let _ = writeln!(out, " {text}");
     }
     out
@@ -96,11 +104,24 @@ mod tests {
             Isa::X86,
         )
         .unwrap();
-        let (_, events) =
-            crate::simulate_traced(&m, &k, SimConfig { iterations: 4, warmup: 0, quirks: true }, 1);
+        let (_, events) = crate::simulate_traced(
+            &m,
+            &k,
+            SimConfig {
+                iterations: 4,
+                warmup: 0,
+                quirks: true,
+            },
+            1,
+        );
         let mul = events.iter().find(|e| e.iter == 0 && e.idx == 0).unwrap();
         let add = events.iter().find(|e| e.iter == 0 && e.idx == 1).unwrap();
-        assert!(add.issued >= mul.issued + 4, "mul@{} add@{}", mul.issued, add.issued);
+        assert!(
+            add.issued >= mul.issued + 4,
+            "mul@{} add@{}",
+            mul.issued,
+            add.issued
+        );
         // Retirement is in order.
         assert!(add.retired >= mul.retired);
     }
@@ -113,8 +134,16 @@ mod tests {
             Isa::AArch64,
         )
         .unwrap();
-        let (_, events) =
-            crate::simulate_traced(&m, &k, SimConfig { iterations: 3, warmup: 0, quirks: true }, 2);
+        let (_, events) = crate::simulate_traced(
+            &m,
+            &k,
+            SimConfig {
+                iterations: 3,
+                warmup: 0,
+                quirks: true,
+            },
+            2,
+        );
         let mut last = 0;
         for e in &events {
             assert!(e.retired >= last, "out-of-order retirement");

@@ -82,7 +82,10 @@ mod tests {
 
     #[test]
     fn empty_graph() {
-        let g = DepGraph { n: 0, edges: vec![] };
+        let g = DepGraph {
+            n: 0,
+            edges: vec![],
+        };
         assert_eq!(critical_path(&g), 0.0);
     }
 }

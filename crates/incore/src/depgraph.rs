@@ -176,7 +176,11 @@ mod tests {
         );
         // ldr(0) wrap-edge to itself through x0 with weight 1 (not the load
         // latency 6).
-        let self_edge = g.edges.iter().find(|e| e.from == 0 && e.to == 0 && e.wrap).unwrap();
+        let self_edge = g
+            .edges
+            .iter()
+            .find(|e| e.from == 0 && e.to == 0 && e.wrap)
+            .unwrap();
         assert!((self_edge.weight - 1.0).abs() < 1e-9);
     }
 

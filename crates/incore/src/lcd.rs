@@ -103,7 +103,10 @@ mod tests {
 
     #[test]
     fn empty_graph_has_zero_lcd() {
-        let g = DepGraph { n: 0, edges: vec![] };
+        let g = DepGraph {
+            n: 0,
+            edges: vec![],
+        };
         assert_eq!(loop_carried(&g), 0.0);
     }
 

@@ -64,7 +64,10 @@ pub struct Options {
 
 impl Default for Options {
     fn default() -> Self {
-        Options { assignment: PortAssignment::Optimal, frontend: true }
+        Options {
+            assignment: PortAssignment::Optimal,
+            frontend: true,
+        }
     }
 }
 
@@ -279,7 +282,11 @@ mod bottleneck_tests {
 
     #[test]
     fn dependency_bound_kernel() {
-        let k = parse_kernel(".L1:\n vfmadd231pd %zmm1, %zmm2, %zmm3\n subq $1, %rax\n jne .L1\n", Isa::X86).unwrap();
+        let k = parse_kernel(
+            ".L1:\n vfmadd231pd %zmm1, %zmm2, %zmm3\n subq $1, %rax\n jne .L1\n",
+            Isa::X86,
+        )
+        .unwrap();
         let a = analyze(&Machine::golden_cove(), &k);
         assert_eq!(a.bottleneck(), Bottleneck::Dependency);
     }
@@ -318,13 +325,22 @@ mod bottleneck_tests {
 ";
         let k = parse_kernel(asm, Isa::X86).unwrap();
         let a = analyze(&Machine::golden_cove(), &k);
-        assert!(a.frontend_bound > a.tp_bound, "fe={} tp={}", a.frontend_bound, a.tp_bound);
+        assert!(
+            a.frontend_bound > a.tp_bound,
+            "fe={} tp={}",
+            a.frontend_bound,
+            a.tp_bound
+        );
         assert_eq!(a.bottleneck(), Bottleneck::FrontEnd);
     }
 
     #[test]
     fn report_names_the_bottleneck() {
-        let k = parse_kernel(".L1:\n vfmadd231pd %zmm1, %zmm2, %zmm3\n subq $1, %rax\n jne .L1\n", Isa::X86).unwrap();
+        let k = parse_kernel(
+            ".L1:\n vfmadd231pd %zmm1, %zmm2, %zmm3\n subq $1, %rax\n jne .L1\n",
+            Isa::X86,
+        )
+        .unwrap();
         let m = Machine::golden_cove();
         let a = analyze(&m, &k);
         let text = Report::new(&m, &a).render();

@@ -22,7 +22,12 @@ impl<'a> Report<'a> {
         let pm = &self.machine.port_model;
         let np = pm.num_ports();
 
-        let _ = writeln!(out, "In-core analysis — {} ({})", self.machine.arch.label(), self.machine.part);
+        let _ = writeln!(
+            out,
+            "In-core analysis — {} ({})",
+            self.machine.arch.label(),
+            self.machine.part
+        );
         let _ = writeln!(out, "{}", "-".repeat(70));
 
         // Header row with port names.
@@ -32,7 +37,11 @@ impl<'a> Report<'a> {
         }
         let _ = writeln!(out, "  instruction");
         for (i, row) in self.analysis.per_inst.iter().enumerate() {
-            let cp = if self.analysis.cp_nodes.contains(&i) { "X" } else { "" };
+            let cp = if self.analysis.cp_nodes.contains(&i) {
+                "X"
+            } else {
+                ""
+            };
             let _ = write!(out, "{cp:>3} {:>5} ", row.latency);
             for p in 0..np {
                 if row.loads[p] > 1e-9 {
@@ -57,11 +66,31 @@ impl<'a> Report<'a> {
         let _ = writeln!(out);
         let _ = writeln!(out, "{}", "-".repeat(70));
         let a = self.analysis;
-        let _ = writeln!(out, "Throughput bound (port pressure): {:>7.2} cy/iter", a.tp_bound);
-        let _ = writeln!(out, "Front-end bound:                  {:>7.2} cy/iter", a.frontend_bound);
-        let _ = writeln!(out, "Loop-carried dependency:          {:>7.2} cy/iter", a.lcd);
-        let _ = writeln!(out, "Critical path (one iteration):    {:>7.2} cy", a.cp_latency);
-        let _ = writeln!(out, "Block prediction:                 {:>7.2} cy/iter", a.prediction);
+        let _ = writeln!(
+            out,
+            "Throughput bound (port pressure): {:>7.2} cy/iter",
+            a.tp_bound
+        );
+        let _ = writeln!(
+            out,
+            "Front-end bound:                  {:>7.2} cy/iter",
+            a.frontend_bound
+        );
+        let _ = writeln!(
+            out,
+            "Loop-carried dependency:          {:>7.2} cy/iter",
+            a.lcd
+        );
+        let _ = writeln!(
+            out,
+            "Critical path (one iteration):    {:>7.2} cy",
+            a.cp_latency
+        );
+        let _ = writeln!(
+            out,
+            "Block prediction:                 {:>7.2} cy/iter",
+            a.prediction
+        );
         let bottleneck = match a.bottleneck() {
             crate::Bottleneck::PortPressure => {
                 let ports: Vec<&str> = a
@@ -76,7 +105,11 @@ impl<'a> Report<'a> {
         };
         let _ = writeln!(out, "Bottleneck:                       {bottleneck}");
         if a.fallbacks > 0 {
-            let _ = writeln!(out, "warning: {} instruction(s) resolved via heuristic defaults (marked '?')", a.fallbacks);
+            let _ = writeln!(
+                out,
+                "warning: {} instruction(s) resolved via heuristic defaults (marked '?')",
+                a.fallbacks
+            );
         }
         out
     }

@@ -137,8 +137,16 @@ fn flow_assignment(uops: &[(usize, PortSet, f64)], np: usize, t: f64) -> Vec<Vec
     let add_edge = |adj: &mut Vec<Vec<E>>, a: usize, b: usize, cap: f64| {
         let ra = adj[b].len();
         let rb = adj[a].len();
-        adj[a].push(E { to: b, cap, rev: ra });
-        adj[b].push(E { to: a, cap: 0.0, rev: rb });
+        adj[a].push(E {
+            to: b,
+            cap,
+            rev: ra,
+        });
+        adj[b].push(E {
+            to: a,
+            cap: 0.0,
+            rev: rb,
+        });
     };
     for (i, (_, ports, occ)) in uops.iter().enumerate() {
         add_edge(&mut adj, 0, 1 + i, *occ);

@@ -37,7 +37,11 @@ pub fn dataflow(inst: &Instruction) -> Dataflow {
 }
 
 fn dataflow_x86(inst: &Instruction) -> Dataflow {
-    let mut df = Dataflow { mem_read: inst.is_load(), mem_write: inst.is_store(), ..Default::default() };
+    let mut df = Dataflow {
+        mem_read: inst.is_load(),
+        mem_write: inst.is_store(),
+        ..Default::default()
+    };
     let m = inst.mnemonic.as_str();
     let base = strip_suffix_x86(m);
 
@@ -184,8 +188,23 @@ fn strip_suffix_x86(m: &str) -> &str {
 fn sets_flags_x86(base: &str) -> bool {
     matches!(
         base,
-        "add" | "sub" | "and" | "or" | "xor" | "inc" | "dec" | "neg" | "cmp" | "test" | "imul"
-            | "mul" | "shl" | "shr" | "sar" | "adc" | "sbb"
+        "add"
+            | "sub"
+            | "and"
+            | "or"
+            | "xor"
+            | "inc"
+            | "dec"
+            | "neg"
+            | "cmp"
+            | "test"
+            | "imul"
+            | "mul"
+            | "shl"
+            | "shr"
+            | "sar"
+            | "adc"
+            | "sbb"
     )
 }
 
@@ -204,7 +223,11 @@ fn dest_is_source_x86(inst: &Instruction, base: &str) -> bool {
     }
     let m = inst.mnemonic.as_str();
     // FMA reads its accumulator destination.
-    if m.starts_with("vfmadd") || m.starts_with("vfmsub") || m.starts_with("vfnmadd") || m.starts_with("vfnmsub") {
+    if m.starts_with("vfmadd")
+        || m.starts_with("vfmsub")
+        || m.starts_with("vfnmadd")
+        || m.starts_with("vfnmsub")
+    {
         return true;
     }
     // Legacy (non-VEX) SSE two-operand arithmetic is RMW by encoding.
@@ -213,10 +236,29 @@ fn dest_is_source_x86(inst: &Instruction, base: &str) -> bool {
             "addpd", "addps", "addsd", "addss", "subpd", "subps", "subsd", "subss", "mulpd",
             "mulps", "mulsd", "mulss", "divpd", "divps", "divsd", "divss",
         ];
-        if SSE_RMW.contains(&m) || m.starts_with("p") && !m.starts_with("pop") && !m.starts_with("push") {
+        if SSE_RMW.contains(&m)
+            || m.starts_with("p") && !m.starts_with("pop") && !m.starts_with("push")
+        {
             return true;
         }
-        if matches!(m, "maxpd" | "maxsd" | "minpd" | "minsd" | "andpd" | "andps" | "orpd" | "orps" | "xorpd" | "xorps" | "unpcklpd" | "unpckhpd" | "shufpd" | "sqrtsd" | "sqrtpd") {
+        if matches!(
+            m,
+            "maxpd"
+                | "maxsd"
+                | "minpd"
+                | "minsd"
+                | "andpd"
+                | "andps"
+                | "orpd"
+                | "orps"
+                | "xorpd"
+                | "xorps"
+                | "unpcklpd"
+                | "unpckhpd"
+                | "shufpd"
+                | "sqrtsd"
+                | "sqrtpd"
+        ) {
             return !matches!(m, "sqrtsd" | "sqrtpd");
         }
     }
@@ -224,7 +266,11 @@ fn dest_is_source_x86(inst: &Instruction, base: &str) -> bool {
 }
 
 fn dataflow_aarch64(inst: &Instruction) -> Dataflow {
-    let mut df = Dataflow { mem_read: inst.is_load(), mem_write: inst.is_store(), ..Default::default() };
+    let mut df = Dataflow {
+        mem_read: inst.is_load(),
+        mem_write: inst.is_store(),
+        ..Default::default()
+    };
     let base = inst.base_mnemonic().to_string();
     let base = base.as_str();
 
@@ -246,9 +292,10 @@ fn dataflow_aarch64(inst: &Instruction) -> Dataflow {
     }
     // Post-index: a memory operand followed by a bare immediate updates the
     // base register.
-    if inst.operands.iter().any(|o| o.is_mem()) {
-        let mem_pos = inst.mem_position().unwrap();
-        if matches!(inst.operands.get(mem_pos + 1), Some(Operand::Imm(_))) && (inst.is_load() || inst.is_store()) {
+    if let Some(mem_pos) = inst.mem_position() {
+        if matches!(inst.operands.get(mem_pos + 1), Some(Operand::Imm(_)))
+            && (inst.is_load() || inst.is_store())
+        {
             if let Some(b) = inst.operands[mem_pos].as_mem().and_then(|m| m.base) {
                 df.write(b);
             }
@@ -369,8 +416,33 @@ fn dataflow_aarch64(inst: &Instruction) -> Dataflow {
 }
 
 fn dest_is_source_aarch64(base: &str) -> bool {
-    // Multiply-accumulate families read their accumulator destination.
-    matches!(base, "fmla" | "fmls" | "mla" | "mls" | "bfmlalb" | "bfmlalt" | "sdot" | "udot" | "fcadd" | "fcmla" | "ins")
+    // Multiply-accumulate families read their accumulator destination, and
+    // the SVE element/predicate-count increments (`incd x4` = x4 += #lanes)
+    // are read-modify-write on theirs.
+    matches!(
+        base,
+        "fmla"
+            | "fmls"
+            | "mla"
+            | "mls"
+            | "bfmlalb"
+            | "bfmlalt"
+            | "sdot"
+            | "udot"
+            | "fcadd"
+            | "fcmla"
+            | "ins"
+            | "incb"
+            | "inch"
+            | "incw"
+            | "incd"
+            | "incp"
+            | "decb"
+            | "dech"
+            | "decw"
+            | "decd"
+            | "decp"
+    )
 }
 
 fn sets_flags_aarch64(base: &str) -> bool {
@@ -378,7 +450,10 @@ fn sets_flags_aarch64(base: &str) -> bool {
 }
 
 fn reads_flags_aarch64(base: &str, _full: &str) -> bool {
-    matches!(base, "csel" | "csinc" | "csinv" | "csneg" | "cset" | "csetm" | "fcsel" | "cinc" | "adc" | "sbc")
+    matches!(
+        base,
+        "csel" | "csinc" | "csinv" | "csneg" | "cset" | "csetm" | "fcsel" | "cinc" | "adc" | "sbc"
+    )
 }
 
 #[cfg(test)]
@@ -485,6 +560,16 @@ mod tests {
         let df = a64("fmla v0.2d, v1.2d, v2.2d");
         assert!(has(&df.reads, Register::vec(0, 128)));
         assert!(has(&df.writes, Register::vec(0, 128)));
+    }
+
+    #[test]
+    fn a64_sve_count_increment_is_rmw() {
+        // `incd x4` is x4 += #lanes: it must read its own destination, or
+        // back-to-back increments look like dead stores and the induction
+        // chain through the counter is lost.
+        let df = a64("incd x4");
+        assert!(has(&df.reads, Register::gpr(4, 64)));
+        assert!(has(&df.writes, Register::gpr(4, 64)));
     }
 
     #[test]

@@ -59,11 +59,15 @@ pub fn classify(inst: &Instruction) -> IsaExt {
 }
 
 fn classify_x86(inst: &Instruction) -> IsaExt {
-    let uses_vec = inst.operands.iter().any(|o| {
-        o.as_reg().is_some_and(|r| r.class == RegClass::Vec)
-    });
+    let uses_vec = inst
+        .operands
+        .iter()
+        .any(|o| o.as_reg().is_some_and(|r| r.class == RegClass::Vec));
     let uses_mask = inst.predicate.is_some()
-        || inst.operands.iter().any(|o| o.as_reg().is_some_and(|r| r.class == RegClass::Mask));
+        || inst
+            .operands
+            .iter()
+            .any(|o| o.as_reg().is_some_and(|r| r.class == RegClass::Mask));
     if !uses_vec && !uses_mask {
         return IsaExt::Scalar;
     }
@@ -79,7 +83,10 @@ fn classify_x86(inst: &Instruction) -> IsaExt {
 
 fn classify_aarch64(inst: &Instruction) -> IsaExt {
     let has_pred = inst.predicate.is_some()
-        || inst.operands.iter().any(|o| o.as_reg().is_some_and(|r| r.class == RegClass::Pred));
+        || inst
+            .operands
+            .iter()
+            .any(|o| o.as_reg().is_some_and(|r| r.class == RegClass::Pred));
     if has_pred || is_sve_mnemonic(inst.base_mnemonic()) {
         return IsaExt::Sve;
     }
@@ -95,8 +102,19 @@ fn classify_aarch64(inst: &Instruction) -> IsaExt {
 }
 
 fn is_sve_mnemonic(m: &str) -> bool {
-    matches!(m, "whilelo" | "whilelt" | "ptrue" | "ptest" | "cntd" | "cntw" | "cnth" | "cntb" | "incd" | "incw")
-        || m.starts_with("ld1")
+    matches!(
+        m,
+        "whilelo"
+            | "whilelt"
+            | "ptrue"
+            | "ptest"
+            | "cntd"
+            | "cntw"
+            | "cnth"
+            | "cntb"
+            | "incd"
+            | "incw"
+    ) || m.starts_with("ld1")
         || m.starts_with("st1")
         || m.starts_with("ldff1")
         || m.starts_with("ldnt1")
@@ -106,12 +124,16 @@ fn is_sve_mnemonic(m: &str) -> bool {
 /// The dominant extension of a block: the widest/most specialized extension
 /// used by any arithmetic instruction (loads/stores inherit it).
 pub fn dominant_ext(insts: &[Instruction]) -> IsaExt {
-    insts.iter().map(classify).max_by_key(|e| match e {
-        IsaExt::Scalar => 0,
-        IsaExt::Sse | IsaExt::Neon => 1,
-        IsaExt::Avx | IsaExt::Sve => 2,
-        IsaExt::Avx512 => 3,
-    }).unwrap_or(IsaExt::Scalar)
+    insts
+        .iter()
+        .map(classify)
+        .max_by_key(|e| match e {
+            IsaExt::Scalar => 0,
+            IsaExt::Sse | IsaExt::Neon => 1,
+            IsaExt::Avx | IsaExt::Sve => 2,
+            IsaExt::Avx512 => 3,
+        })
+        .unwrap_or(IsaExt::Scalar)
 }
 
 #[cfg(test)]
@@ -134,7 +156,10 @@ mod tests {
         assert_eq!(classify(&x86("vaddpd %zmm0, %zmm1, %zmm2")), IsaExt::Avx512);
         assert_eq!(classify(&x86("vaddpd %xmm0, %xmm1, %xmm2")), IsaExt::Avx);
         // EVEX masking forces AVX-512 even at narrow width.
-        assert_eq!(classify(&x86("vaddpd %xmm1, %xmm2, %xmm3{%k1}{z}")), IsaExt::Avx512);
+        assert_eq!(
+            classify(&x86("vaddpd %xmm1, %xmm2, %xmm3{%k1}{z}")),
+            IsaExt::Avx512
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Instruction representation and ISA-level semantic queries.
 
-use crate::operand::{Operand, OpSig};
+use crate::operand::{OpSig, Operand};
 use crate::reg::Register;
 use std::fmt;
 
@@ -100,8 +100,10 @@ impl Instruction {
     pub fn is_nt_store(&self) -> bool {
         match self.isa {
             Isa::X86 => {
-                matches!(self.mnemonic.as_str(), "movntdq" | "movntpd" | "movntps" | "movnti")
-                    || self.mnemonic.starts_with("vmovnt")
+                matches!(
+                    self.mnemonic.as_str(),
+                    "movntdq" | "movntpd" | "movntps" | "movnti"
+                ) || self.mnemonic.starts_with("vmovnt")
             }
             Isa::AArch64 => {
                 let b = self.base_mnemonic();
@@ -120,7 +122,10 @@ impl Instruction {
             }
             Isa::AArch64 => {
                 let b = self.base_mnemonic();
-                matches!(b, "b" | "bl" | "br" | "blr" | "ret" | "cbz" | "cbnz" | "tbz" | "tbnz")
+                matches!(
+                    b,
+                    "b" | "bl" | "br" | "blr" | "ret" | "cbz" | "cbnz" | "tbz" | "tbnz"
+                )
             }
         }
     }
@@ -129,7 +134,9 @@ impl Instruction {
     pub fn is_cond_branch(&self) -> bool {
         match self.isa {
             Isa::X86 => {
-                self.is_branch() && self.mnemonic != "jmp" && self.mnemonic != "call"
+                self.is_branch()
+                    && self.mnemonic != "jmp"
+                    && self.mnemonic != "call"
                     && self.mnemonic != "ret"
             }
             Isa::AArch64 => {
@@ -144,17 +151,21 @@ impl Instruction {
     /// zero latency and no functional unit (e.g. `xorps %xmm0, %xmm0`,
     /// `eor x0, x0, x0`, `movi v0.2d, #0`).
     pub fn is_zero_idiom(&self) -> bool {
-        let same_two_regs = |a: usize, b: usize| {
-            match (self.operands.get(a).and_then(Operand::as_reg), self.operands.get(b).and_then(Operand::as_reg)) {
-                (Some(x), Some(y)) => x.aliases(&y),
-                _ => false,
-            }
+        let same_two_regs = |a: usize, b: usize| match (
+            self.operands.get(a).and_then(Operand::as_reg),
+            self.operands.get(b).and_then(Operand::as_reg),
+        ) {
+            (Some(x), Some(y)) => x.aliases(&y),
+            _ => false,
         };
         match self.isa {
             Isa::X86 => {
                 let m = self.base_x86();
                 let is_xor = matches!(m, "xor" | "pxor" | "xorps" | "xorpd")
-                    || matches!(self.mnemonic.as_str(), "vpxor" | "vpxord" | "vpxorq" | "vxorps" | "vxorpd");
+                    || matches!(
+                        self.mnemonic.as_str(),
+                        "vpxor" | "vpxord" | "vpxorq" | "vxorps" | "vxorpd"
+                    );
                 let is_sub = matches!(m, "sub" | "psubb" | "psubw" | "psubd" | "psubq");
                 (is_xor || is_sub)
                     && self.operands.len() >= 2
@@ -167,8 +178,7 @@ impl Instruction {
                     return matches!(self.operands.get(1), Some(Operand::Imm(0)));
                 }
                 if b == "eor" && self.operands.len() == 3 {
-                    return same_two_regs(1, 2)
-                        && same_two_regs(0, 1);
+                    return same_two_regs(1, 2) && same_two_regs(0, 1);
                 }
                 false
             }
@@ -178,18 +188,27 @@ impl Instruction {
     /// Whether this is a register-register move eligible for move
     /// elimination in the renamer.
     pub fn is_reg_move(&self) -> bool {
-        let all_regs = self.operands.len() == 2 && self.operands.iter().all(|o| o.as_reg().is_some());
+        let all_regs =
+            self.operands.len() == 2 && self.operands.iter().all(|o| o.as_reg().is_some());
         if !all_regs {
             return false;
         }
         match self.isa {
             Isa::X86 => {
-                matches!(self.base_x86(), "mov" | "movaps" | "movapd" | "movups" | "movupd" | "movdqa" | "movdqu")
-                    || matches!(
-                        self.mnemonic.as_str(),
-                        "vmovaps" | "vmovapd" | "vmovups" | "vmovupd" | "vmovdqa" | "vmovdqu"
-                            | "vmovdqa64" | "vmovdqu64"
-                    )
+                matches!(
+                    self.base_x86(),
+                    "mov" | "movaps" | "movapd" | "movups" | "movupd" | "movdqa" | "movdqu"
+                ) || matches!(
+                    self.mnemonic.as_str(),
+                    "vmovaps"
+                        | "vmovapd"
+                        | "vmovups"
+                        | "vmovupd"
+                        | "vmovdqa"
+                        | "vmovdqu"
+                        | "vmovdqa64"
+                        | "vmovdqu64"
+                )
             }
             Isa::AArch64 => matches!(self.base_mnemonic(), "mov" | "fmov" | "orr"),
         }
@@ -239,7 +258,13 @@ impl Instruction {
         match self.isa {
             Isa::X86 => {
                 // Width from the widest register operand, else the suffix.
-                if let Some(w) = self.operands.iter().filter_map(Operand::as_reg).map(|r| r.width).max() {
+                if let Some(w) = self
+                    .operands
+                    .iter()
+                    .filter_map(Operand::as_reg)
+                    .map(|r| r.width)
+                    .max()
+                {
                     return (w / 8) as u32;
                 }
                 match self.mnemonic.chars().last() {
@@ -256,14 +281,20 @@ impl Instruction {
                     .operands
                     .iter()
                     .filter_map(Operand::as_reg)
-                    .filter(|r| r.class == crate::reg::RegClass::Vec || r.class == crate::reg::RegClass::Gpr)
+                    .filter(|r| {
+                        r.class == crate::reg::RegClass::Vec || r.class == crate::reg::RegClass::Gpr
+                    })
                     .map(|r| (r.width / 8) as u32)
                     .next()
                     .unwrap_or(8);
                 // Pair instructions move two registers.
                 if b == "ldp" || b == "stp" || b == "stnp" || b == "ldnp" {
                     2 * per_reg
-                } else if b.starts_with("ld1") || b.starts_with("st1") || b.starts_with("ldnt1") || b.starts_with("stnt1") {
+                } else if b.starts_with("ld1")
+                    || b.starts_with("st1")
+                    || b.starts_with("ldnt1")
+                    || b.starts_with("stnt1")
+                {
                     // SVE full-vector structure access at VL=128.
                     16
                 } else {
@@ -326,7 +357,10 @@ impl Instruction {
     /// (read-modify-write).
     fn is_rmw(&self) -> bool {
         self.isa == Isa::X86
-            && matches!(self.base_x86(), "add" | "sub" | "and" | "or" | "xor" | "inc" | "dec" | "neg" | "not")
+            && matches!(
+                self.base_x86(),
+                "add" | "sub" | "and" | "or" | "xor" | "inc" | "dec" | "neg" | "not"
+            )
             && matches!(self.operands.last(), Some(Operand::Mem(_)))
     }
 
@@ -350,7 +384,6 @@ impl fmt::Display for Instruction {
         Ok(())
     }
 }
-
 
 /// Strip an AT&T width suffix (`b`/`w`/`l`/`q`) from integer mnemonics:
 /// `addq` → `add`, `cmovgq` → `cmovg`, `popcntl` → `popcnt`. SSE/AVX
@@ -468,8 +501,14 @@ mod tests {
 
     #[test]
     fn form_keys() {
-        assert_eq!(x86("vaddpd %zmm0, %zmm1, %zmm2").form_key(), "vaddpd v512,v512,v512");
-        assert_eq!(a64("fadd v0.2d, v1.2d, v2.2d").form_key(), "fadd v128,v128,v128");
+        assert_eq!(
+            x86("vaddpd %zmm0, %zmm1, %zmm2").form_key(),
+            "vaddpd v512,v512,v512"
+        );
+        assert_eq!(
+            a64("fadd v0.2d, v1.2d, v2.2d").form_key(),
+            "fadd v128,v128,v128"
+        );
     }
 
     #[test]

@@ -147,7 +147,11 @@ fn parse_kernel_unmarked(asm: &str, isa: Isa) -> Result<Kernel, ParseError> {
         ),
     };
 
-    Ok(Kernel { instructions, isa, loop_label })
+    Ok(Kernel {
+        instructions,
+        isa,
+        loop_label,
+    })
 }
 
 enum Item {
@@ -246,7 +250,10 @@ add_kernel:
         let k = parse_kernel(asm, Isa::X86).unwrap();
         assert_eq!(k.instructions.len(), 4);
         assert_eq!(k.loop_label.as_deref(), Some(".L2"));
-        assert!(!k.instructions.iter().any(|i| i.mnemonic.starts_with("movq")));
+        assert!(!k
+            .instructions
+            .iter()
+            .any(|i| i.mnemonic.starts_with("movq")));
     }
 
     #[test]

@@ -35,17 +35,32 @@ pub struct MemOperand {
 impl MemOperand {
     /// A simple base-register dereference.
     pub fn base(base: Register) -> Self {
-        MemOperand { base: Some(base), scale: 1, ..Default::default() }
+        MemOperand {
+            base: Some(base),
+            scale: 1,
+            ..Default::default()
+        }
     }
 
     /// Base + displacement.
     pub fn base_disp(base: Register, disp: i64) -> Self {
-        MemOperand { base: Some(base), disp, scale: 1, ..Default::default() }
+        MemOperand {
+            base: Some(base),
+            disp,
+            scale: 1,
+            ..Default::default()
+        }
     }
 
     /// Base + scaled index (+ displacement).
     pub fn base_index(base: Register, index: Register, scale: u8, disp: i64) -> Self {
-        MemOperand { base: Some(base), index: Some(index), scale, disp, ..Default::default() }
+        MemOperand {
+            base: Some(base),
+            index: Some(index),
+            scale,
+            disp,
+            ..Default::default()
+        }
     }
 
     /// Registers read to form the address.

@@ -86,7 +86,9 @@ fn parse_operand(s: &str, lineno: usize, raw: &str) -> Result<Parsed, ParseError
 
     // Register list `{v0.2d, v1.2d}` / `{z0.d}`.
     if let Some(inner) = s.strip_prefix('{') {
-        let inner = inner.strip_suffix('}').ok_or_else(|| err("unbalanced register list"))?;
+        let inner = inner
+            .strip_suffix('}')
+            .ok_or_else(|| err("unbalanced register list"))?;
         let mut regs = Vec::new();
         for piece in inner.split(',') {
             let piece = piece.trim();
@@ -116,11 +118,15 @@ fn parse_operand(s: &str, lineno: usize, raw: &str) -> Result<Parsed, ParseError
             .strip_prefix('[')
             .and_then(|b| b.strip_suffix(']'))
             .ok_or_else(|| err("unbalanced memory operand"))?;
-        let mut mem = MemOperand { scale: 1, ..Default::default() };
+        let mut mem = MemOperand {
+            scale: 1,
+            ..Default::default()
+        };
         let pieces: Vec<&str> = split_operands(inner);
         let mut piece_iter = pieces.iter().peekable();
         if let Some(first) = piece_iter.next() {
-            mem.base = Some(aarch64_register(first.trim()).ok_or_else(|| err("bad base register"))?);
+            mem.base =
+                Some(aarch64_register(first.trim()).ok_or_else(|| err("bad base register"))?);
         }
         let mut mul_vl = false;
         while let Some(piece) = piece_iter.next() {
@@ -273,7 +279,10 @@ mod tests {
     #[test]
     fn register_lists_flatten() {
         let i = p("ld2 {v0.2d, v1.2d}, [x0]");
-        assert_eq!(i.operands.iter().filter(|o| o.as_reg().is_some()).count(), 2);
+        assert_eq!(
+            i.operands.iter().filter(|o| o.as_reg().is_some()).count(),
+            2
+        );
     }
 
     #[test]

@@ -25,13 +25,21 @@ pub struct ParseError {
 
 impl ParseError {
     pub fn new(line: usize, message: impl Into<String>, source_line: impl Into<String>) -> Self {
-        ParseError { line, message: message.into(), source_line: source_line.into() }
+        ParseError {
+            line,
+            message: message.into(),
+            source_line: source_line.into(),
+        }
     }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {} in `{}`", self.line, self.message, self.source_line)
+        write!(
+            f,
+            "line {}: {} in `{}`",
+            self.line, self.message, self.source_line
+        )
     }
 }
 
@@ -106,9 +114,15 @@ mod tests {
 
     #[test]
     fn split_respects_brackets() {
-        assert_eq!(split_operands("%rax, 8(%rbx,%rcx,4), %rdx"), vec!["%rax", "8(%rbx,%rcx,4)", "%rdx"]);
+        assert_eq!(
+            split_operands("%rax, 8(%rbx,%rcx,4), %rdx"),
+            vec!["%rax", "8(%rbx,%rcx,4)", "%rdx"]
+        );
         assert_eq!(split_operands("q0, [x0, #16]"), vec!["q0", "[x0, #16]"]);
-        assert_eq!(split_operands("{z0.d, z1.d}, p0/z, [x0]"), vec!["{z0.d, z1.d}", "p0/z", "[x0]"]);
+        assert_eq!(
+            split_operands("{z0.d, z1.d}, p0/z, [x0]"),
+            vec!["{z0.d, z1.d}", "p0/z", "[x0]"]
+        );
         assert_eq!(split_operands(""), Vec::<&str>::new());
     }
 
@@ -123,8 +137,14 @@ mod tests {
 
     #[test]
     fn comments_stripped() {
-        assert_eq!(strip_comment("add x0, x1, x2 // hi", &["//", "@"]), "add x0, x1, x2");
-        assert_eq!(strip_comment("  movq %rax, %rbx # c", &["#"]), "movq %rax, %rbx");
+        assert_eq!(
+            strip_comment("add x0, x1, x2 // hi", &["//", "@"]),
+            "add x0, x1, x2"
+        );
+        assert_eq!(
+            strip_comment("  movq %rax, %rbx # c", &["#"]),
+            "movq %rax, %rbx"
+        );
         assert_eq!(strip_comment("# only", &["#"]), "");
     }
 }

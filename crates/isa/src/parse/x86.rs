@@ -70,7 +70,14 @@ fn parse_operand(
         for piece in ann.split(['{', '}']) {
             if let Some(k) = piece.trim().strip_prefix('%') {
                 if let Some(r) = x86_register(k) {
-                    mask = Some((r, if zeroing { PredMode::Zero } else { PredMode::Merge }));
+                    mask = Some((
+                        r,
+                        if zeroing {
+                            PredMode::Zero
+                        } else {
+                            PredMode::Merge
+                        },
+                    ));
                 }
             }
         }
@@ -87,7 +94,12 @@ fn parse_operand(
     }
     // Memory operand `disp(base,index,scale)` — any component optional.
     if let Some(open) = s.find('(') {
-        let close = s.rfind(')').ok_or_else(|| err("unbalanced memory operand"))?;
+        // `filter` also rejects a `)` *before* the `(` (e.g. `)(`), which
+        // would otherwise panic when slicing the inner text below.
+        let close = s
+            .rfind(')')
+            .filter(|&c| c > open)
+            .ok_or_else(|| err("unbalanced memory operand"))?;
         let disp_str = &s[..open];
         let disp = if disp_str.trim().is_empty() {
             0
@@ -101,27 +113,47 @@ fn parse_operand(
             if p.is_empty() {
                 return Ok(None);
             }
-            let name = p.strip_prefix('%').ok_or_else(|| err("expected register in memory operand"))?;
-            Ok(Some(x86_register(name).ok_or_else(|| err("unknown register in memory operand"))?))
+            let name = p
+                .strip_prefix('%')
+                .ok_or_else(|| err("expected register in memory operand"))?;
+            Ok(Some(x86_register(name).ok_or_else(|| {
+                err("unknown register in memory operand")
+            })?))
         };
         let base = get_reg(parts.first().copied().unwrap_or(""))?;
         let index = get_reg(parts.get(1).copied().unwrap_or(""))?;
         let scale = match parts.get(2) {
-            Some(p) if !p.is_empty() => {
-                parse_int(p).filter(|s| [1, 2, 4, 8].contains(s)).ok_or_else(|| err("bad scale"))? as u8
-            }
+            Some(p) if !p.is_empty() => parse_int(p)
+                .filter(|s| [1, 2, 4, 8].contains(s))
+                .ok_or_else(|| err("bad scale"))? as u8,
             _ => 1,
         };
         return Ok((
-            Operand::Mem(MemOperand { base, index, scale, disp, ..Default::default() }),
+            Operand::Mem(MemOperand {
+                base,
+                index,
+                scale,
+                disp,
+                ..Default::default()
+            }),
             mask,
         ));
     }
     // Bare symbol: branch target or absolute symbolic memory reference.
-    if s.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-') {
+    if s.chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_digit() || c == '-')
+    {
         // Absolute address used as memory (rare); treat as plain memory.
         let disp = parse_int(s).ok_or_else(|| err("bad absolute address"))?;
-        return Ok((Operand::Mem(MemOperand { disp, scale: 1, ..Default::default() }), mask));
+        return Ok((
+            Operand::Mem(MemOperand {
+                disp,
+                scale: 1,
+                ..Default::default()
+            }),
+            mask,
+        ));
     }
     Ok((Operand::Label(s.to_string()), mask))
 }
@@ -175,7 +207,10 @@ mod tests {
     #[test]
     fn partial_memory_operands() {
         let m = p("movq (%rax), %rbx");
-        assert_eq!(m.operands[0].as_mem().unwrap().base, Some(Register::gpr(0, 64)));
+        assert_eq!(
+            m.operands[0].as_mem().unwrap().base,
+            Some(Register::gpr(0, 64))
+        );
         let m = p("movq (,%rax,4), %rbx");
         let mem = m.operands[0].as_mem().unwrap();
         assert_eq!(mem.base, None);
@@ -211,6 +246,13 @@ mod tests {
     fn indirect_jump() {
         let i = p("jmp *%rax");
         assert_eq!(i.operands[0], Operand::Reg(Register::gpr(0, 64)));
+    }
+
+    #[test]
+    fn malformed_memory_operands_error_instead_of_panicking() {
+        // `)` before `(` used to slice out of range.
+        assert!(parse_line_x86("movq )(%rax, %rbx", 1).is_err());
+        assert!(parse_line_x86("movq 8(%rax, %rbx", 1).is_err());
     }
 
     #[test]

@@ -19,9 +19,11 @@ pub fn looks_like_intel_x86(asm: &str) -> bool {
     let lower = asm.to_ascii_lowercase();
     lower.contains("ptr [")
         || lower.contains('[')
-        || [" rax", " rbx", " rcx", " rdx", " rsi", " rdi", " xmm", " ymm", " zmm"]
-            .iter()
-            .any(|r| lower.contains(r))
+        || [
+            " rax", " rbx", " rcx", " rdx", " rsi", " rdi", " xmm", " ymm", " zmm",
+        ]
+        .iter()
+        .any(|r| lower.contains(r))
 }
 
 /// Parse one line of Intel-syntax assembly. Returns `Ok(None)` for blank
@@ -76,19 +78,21 @@ pub fn parse_line_x86_intel(line: &str, lineno: usize) -> Result<Option<Instruct
 
 /// Parse one Intel operand; returns the operand plus a width-suffix letter
 /// if a `ptr` directive was seen.
-fn parse_operand(
-    s: &str,
-    lineno: usize,
-    raw: &str,
-) -> Result<(Operand, Option<char>), ParseError> {
+fn parse_operand(s: &str, lineno: usize, raw: &str) -> Result<(Operand, Option<char>), ParseError> {
     let err = |m: &str| ParseError::new(lineno, m.to_string(), raw.to_string());
     let mut s = s.trim();
     let mut suffix = None;
 
     // Width directives: `qword ptr [..]`.
-    for (dir, sfx) in
-        [("byte", 'b'), ("word", 'w'), ("dword", 'l'), ("qword", 'q'), ("xmmword", 'x'), ("ymmword", 'y'), ("zmmword", 'z')]
-    {
+    for (dir, sfx) in [
+        ("byte", 'b'),
+        ("word", 'w'),
+        ("dword", 'l'),
+        ("qword", 'q'),
+        ("xmmword", 'x'),
+        ("ymmword", 'y'),
+        ("zmmword", 'z'),
+    ] {
         let lower = s.to_ascii_lowercase();
         if let Some(rest) = lower.strip_prefix(dir) {
             let rest = rest.trim_start();
@@ -105,9 +109,17 @@ fn parse_operand(
 
     // Memory operand `[base + index*scale + disp]`.
     if let Some(open) = s.find('[') {
-        let close = s.rfind(']').ok_or_else(|| err("unbalanced memory operand"))?;
+        // `filter` also rejects a `]` *before* the `[` (e.g. `][`), which
+        // would otherwise panic when slicing the inner text below.
+        let close = s
+            .rfind(']')
+            .filter(|&c| c > open)
+            .ok_or_else(|| err("unbalanced memory operand"))?;
         let inner = &s[open + 1..close];
-        let mut mem = MemOperand { scale: 1, ..Default::default() };
+        let mut mem = MemOperand {
+            scale: 1,
+            ..Default::default()
+        };
         // Split on +/- keeping the sign with each term.
         let mut terms: Vec<(i64, String)> = Vec::new();
         let mut sign = 1i64;
@@ -137,8 +149,9 @@ fn parse_operand(
         for (sign, term) in terms {
             if let Some((r, sc)) = term.split_once('*') {
                 let reg = x86_register(r.trim()).ok_or_else(|| err("bad index register"))?;
-                let scale =
-                    parse_int(sc.trim()).filter(|v| [1, 2, 4, 8].contains(v)).ok_or_else(|| err("bad scale"))?;
+                let scale = parse_int(sc.trim())
+                    .filter(|v| [1, 2, 4, 8].contains(v))
+                    .ok_or_else(|| err("bad scale"))?;
                 mem.index = Some(reg);
                 mem.scale = scale as u8;
             } else if let Some(reg) = x86_register(&term) {
@@ -242,6 +255,13 @@ mod tests {
         assert!(i.is_cond_branch());
         let i = p("cmp rax, 0x40");
         assert_eq!(i.operands[0], Operand::Imm(64));
+    }
+
+    #[test]
+    fn malformed_memory_operands_error_instead_of_panicking() {
+        // `]` before `[` used to slice out of range.
+        assert!(parse_line_x86_intel("mov rax, ][rbx", 1).is_err());
+        assert!(parse_line_x86_intel("mov rax, [rbx", 1).is_err());
     }
 
     #[test]

@@ -46,7 +46,11 @@ pub struct Register {
 impl Register {
     /// Construct a register; prefer the named constructors where possible.
     pub const fn new(class: RegClass, index: u8, width: u16) -> Self {
-        Register { class, index, width }
+        Register {
+            class,
+            index,
+            width,
+        }
     }
 
     /// General-purpose register of a given width.
@@ -93,8 +97,8 @@ impl Register {
 
 /// x86-64 GPR canonical indices in encoding order.
 pub const X86_GPR_NAMES: [&str; 16] = [
-    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi", "r8", "r9", "r10", "r11", "r12",
-    "r13", "r14", "r15",
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi", "r8", "r9", "r10", "r11", "r12", "r13",
+    "r14", "r15",
 ];
 
 /// Look up an x86 register name (without the `%` sigil). Handles all

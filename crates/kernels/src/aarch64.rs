@@ -476,7 +476,11 @@ mod tests {
 
     #[test]
     fn scalar_kernels_are_scalar() {
-        for kern in [StreamKernel::Sum, StreamKernel::Pi, StreamKernel::GaussSeidel2D] {
+        for kern in [
+            StreamKernel::Sum,
+            StreamKernel::Pi,
+            StreamKernel::GaussSeidel2D,
+        ] {
             let k = parse(kern, &cfg(0, 1, false));
             assert_eq!(k.dominant_ext(), isa::IsaExt::Scalar, "{}", kern.name());
         }
@@ -494,18 +498,36 @@ mod tests {
     fn gs_carries_d0() {
         let k = parse(StreamKernel::GaussSeidel2D, &cfg(0, 1, false));
         let writes0 = k.instructions.iter().any(|i| {
-            isa::dataflow::dataflow(i).writes.iter().any(|r| r.index == 0 && r.class == isa::RegClass::Vec)
+            isa::dataflow::dataflow(i)
+                .writes
+                .iter()
+                .any(|r| r.index == 0 && r.class == isa::RegClass::Vec)
         });
         assert!(writes0);
-        assert!(k.instructions.iter().all(|i| !i.mnemonic.starts_with("ld1")));
+        assert!(k
+            .instructions
+            .iter()
+            .all(|i| !i.mnemonic.starts_with("ld1")));
     }
 
     #[test]
     fn jacobi_loads() {
-        assert_eq!(parse(StreamKernel::Jacobi2D5, &cfg(128, 1, false)).load_count(), 4);
-        assert_eq!(parse(StreamKernel::Jacobi3D7, &cfg(128, 1, false)).load_count(), 7);
-        assert_eq!(parse(StreamKernel::Jacobi3D27, &cfg(128, 1, false)).load_count(), 27);
-        assert_eq!(parse(StreamKernel::Jacobi3D7, &cfg(128, 1, true)).load_count(), 7);
+        assert_eq!(
+            parse(StreamKernel::Jacobi2D5, &cfg(128, 1, false)).load_count(),
+            4
+        );
+        assert_eq!(
+            parse(StreamKernel::Jacobi3D7, &cfg(128, 1, false)).load_count(),
+            7
+        );
+        assert_eq!(
+            parse(StreamKernel::Jacobi3D27, &cfg(128, 1, false)).load_count(),
+            27
+        );
+        assert_eq!(
+            parse(StreamKernel::Jacobi3D7, &cfg(128, 1, true)).load_count(),
+            7
+        );
     }
 
     #[test]

@@ -58,7 +58,10 @@ pub fn c_translation_unit(kernel: StreamKernel) -> String {
 
 fn indent(s: &str, by: usize) -> String {
     let pad = " ".repeat(by);
-    s.lines().map(|l| format!("{pad}{l}")).collect::<Vec<_>>().join("\n")
+    s.lines()
+        .map(|l| format!("{pad}{l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 #[cfg(test)]
@@ -97,7 +100,12 @@ mod tests {
             assert!(tu.contains("void kernel"), "{}", k.name());
             assert!(tu.contains("restrict"), "{}", k.name());
             // Balanced braces.
-            assert_eq!(tu.matches('{').count(), tu.matches('}').count(), "{}", k.name());
+            assert_eq!(
+                tu.matches('{').count(),
+                tu.matches('}').count(),
+                "{}",
+                k.name()
+            );
         }
     }
 }

@@ -191,7 +191,12 @@ pub fn variants_for(arch: Arch) -> Vec<Variant> {
     for &kernel in &StreamKernel::ALL {
         for &compiler in Compiler::for_arch(arch) {
             for &opt in &OptLevel::ALL {
-                v.push(Variant { kernel, compiler, opt, arch });
+                v.push(Variant {
+                    kernel,
+                    compiler,
+                    opt,
+                    arch,
+                });
             }
         }
     }
@@ -271,7 +276,11 @@ pub fn gen_cfg(v: &Variant, machine: &Machine) -> GenCfg {
         }
     };
     // Long stencil bodies are not unrolled further by real compilers.
-    let unroll = if v.kernel == StreamKernel::Jacobi3D27 { 1 } else { unroll };
+    let unroll = if v.kernel == StreamKernel::Jacobi3D27 {
+        1
+    } else {
+        unroll
+    };
     let accumulators = if v.kernel.is_reduction() {
         if v.opt.fast_math() || v.compiler == Icx {
             match v.compiler {
@@ -350,7 +359,12 @@ mod tests {
     fn o1_is_always_scalar() {
         let m = uarch::Machine::golden_cove();
         for &k in &StreamKernel::ALL {
-            let v = Variant { kernel: k, compiler: Compiler::Icx, opt: OptLevel::O1, arch: Arch::GoldenCove };
+            let v = Variant {
+                kernel: k,
+                compiler: Compiler::Icx,
+                opt: OptLevel::O1,
+                arch: Arch::GoldenCove,
+            };
             assert_eq!(gen_cfg(&v, &m).width, 0, "{}", k.name());
         }
     }
@@ -359,7 +373,12 @@ mod tests {
     fn gauss_seidel_never_vectorizes() {
         let m = uarch::Machine::golden_cove();
         for &opt in &OptLevel::ALL {
-            let v = Variant { kernel: StreamKernel::GaussSeidel2D, compiler: Compiler::Icx, opt, arch: Arch::GoldenCove };
+            let v = Variant {
+                kernel: StreamKernel::GaussSeidel2D,
+                compiler: Compiler::Icx,
+                opt,
+                arch: Arch::GoldenCove,
+            };
             assert_eq!(gen_cfg(&v, &m).width, 0);
         }
     }
@@ -367,7 +386,12 @@ mod tests {
     #[test]
     fn reductions_gate_on_fast_math_except_icx() {
         let m = uarch::Machine::golden_cove();
-        let mk = |c, o| Variant { kernel: StreamKernel::Sum, compiler: c, opt: o, arch: Arch::GoldenCove };
+        let mk = |c, o| Variant {
+            kernel: StreamKernel::Sum,
+            compiler: c,
+            opt: o,
+            arch: Arch::GoldenCove,
+        };
         assert_eq!(gen_cfg(&mk(Compiler::Gcc, OptLevel::O3), &m).width, 0);
         assert!(gen_cfg(&mk(Compiler::Gcc, OptLevel::Ofast), &m).width > 0);
         assert!(gen_cfg(&mk(Compiler::Icx, OptLevel::O2), &m).width > 0);
@@ -376,21 +400,39 @@ mod tests {
     #[test]
     fn widths_differ_by_compiler() {
         let m = uarch::Machine::golden_cove();
-        let mk = |c| Variant { kernel: StreamKernel::Add, compiler: c, opt: OptLevel::O3, arch: Arch::GoldenCove };
+        let mk = |c| Variant {
+            kernel: StreamKernel::Add,
+            compiler: c,
+            opt: OptLevel::O3,
+            arch: Arch::GoldenCove,
+        };
         assert_eq!(gen_cfg(&mk(Compiler::Gcc), &m).width, 512);
         assert_eq!(gen_cfg(&mk(Compiler::Clang), &m).width, 256);
         assert_eq!(gen_cfg(&mk(Compiler::Icx), &m).width, 512);
         let z = uarch::Machine::zen4();
-        let vz = Variant { kernel: StreamKernel::Add, compiler: Compiler::Gcc, opt: OptLevel::O3, arch: Arch::Zen4 };
+        let vz = Variant {
+            kernel: StreamKernel::Add,
+            compiler: Compiler::Gcc,
+            opt: OptLevel::O3,
+            arch: Arch::Zen4,
+        };
         assert_eq!(gen_cfg(&vz, &z).width, 256);
     }
 
     #[test]
     fn armclang_uses_sve_at_o3() {
         let m = uarch::Machine::neoverse_v2();
-        let v = Variant { kernel: StreamKernel::Add, compiler: Compiler::ArmClang, opt: OptLevel::O3, arch: Arch::NeoverseV2 };
+        let v = Variant {
+            kernel: StreamKernel::Add,
+            compiler: Compiler::ArmClang,
+            opt: OptLevel::O3,
+            arch: Arch::NeoverseV2,
+        };
         assert!(gen_cfg(&v, &m).sve);
-        let v2 = Variant { opt: OptLevel::O2, ..v };
+        let v2 = Variant {
+            opt: OptLevel::O2,
+            ..v
+        };
         assert!(!gen_cfg(&v2, &m).sve);
     }
 

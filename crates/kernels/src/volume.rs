@@ -38,21 +38,86 @@ impl Volume {
 pub fn volume(kernel: StreamKernel) -> Volume {
     use StreamKernel::*;
     match kernel {
-        Init => Volume { load_bytes: 0, store_bytes: 8, full_line_store: true, flops: 0 },
-        Copy => Volume { load_bytes: 8, store_bytes: 8, full_line_store: true, flops: 0 },
-        Update => Volume { load_bytes: 8, store_bytes: 8, full_line_store: true, flops: 1 },
-        Add => Volume { load_bytes: 16, store_bytes: 8, full_line_store: true, flops: 1 },
-        StreamTriad => Volume { load_bytes: 16, store_bytes: 8, full_line_store: true, flops: 2 },
-        SchoenauerTriad => Volume { load_bytes: 24, store_bytes: 8, full_line_store: true, flops: 2 },
-        Sum => Volume { load_bytes: 8, store_bytes: 0, full_line_store: false, flops: 1 },
-        Pi => Volume { load_bytes: 0, store_bytes: 0, full_line_store: false, flops: 5 },
+        Init => Volume {
+            load_bytes: 0,
+            store_bytes: 8,
+            full_line_store: true,
+            flops: 0,
+        },
+        Copy => Volume {
+            load_bytes: 8,
+            store_bytes: 8,
+            full_line_store: true,
+            flops: 0,
+        },
+        Update => Volume {
+            load_bytes: 8,
+            store_bytes: 8,
+            full_line_store: true,
+            flops: 1,
+        },
+        Add => Volume {
+            load_bytes: 16,
+            store_bytes: 8,
+            full_line_store: true,
+            flops: 1,
+        },
+        StreamTriad => Volume {
+            load_bytes: 16,
+            store_bytes: 8,
+            full_line_store: true,
+            flops: 2,
+        },
+        SchoenauerTriad => Volume {
+            load_bytes: 24,
+            store_bytes: 8,
+            full_line_store: true,
+            flops: 2,
+        },
+        Sum => Volume {
+            load_bytes: 8,
+            store_bytes: 0,
+            full_line_store: false,
+            flops: 1,
+        },
+        Pi => Volume {
+            load_bytes: 0,
+            store_bytes: 0,
+            full_line_store: false,
+            flops: 5,
+        },
         // One sweep touches 3 distinct rows; with layer reuse the effective
         // traffic per update is one load + one store stream.
-        GaussSeidel2D => Volume { load_bytes: 24, store_bytes: 8, full_line_store: true, flops: 4 },
-        Jacobi2D5 => Volume { load_bytes: 32, store_bytes: 8, full_line_store: true, flops: 4 },
-        Jacobi3D7 => Volume { load_bytes: 56, store_bytes: 8, full_line_store: true, flops: 7 },
-        Jacobi3D11 => Volume { load_bytes: 88, store_bytes: 8, full_line_store: true, flops: 11 },
-        Jacobi3D27 => Volume { load_bytes: 216, store_bytes: 8, full_line_store: true, flops: 27 },
+        GaussSeidel2D => Volume {
+            load_bytes: 24,
+            store_bytes: 8,
+            full_line_store: true,
+            flops: 4,
+        },
+        Jacobi2D5 => Volume {
+            load_bytes: 32,
+            store_bytes: 8,
+            full_line_store: true,
+            flops: 4,
+        },
+        Jacobi3D7 => Volume {
+            load_bytes: 56,
+            store_bytes: 8,
+            full_line_store: true,
+            flops: 7,
+        },
+        Jacobi3D11 => Volume {
+            load_bytes: 88,
+            store_bytes: 8,
+            full_line_store: true,
+            flops: 11,
+        },
+        Jacobi3D27 => Volume {
+            load_bytes: 216,
+            store_bytes: 8,
+            full_line_store: true,
+            flops: 27,
+        },
     }
 }
 

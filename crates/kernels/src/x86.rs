@@ -24,7 +24,11 @@ struct Gen<'a> {
 impl<'a> Gen<'a> {
     fn new(cfg: &'a GenCfg) -> Self {
         let mut out = String::new();
-        let _ = writeln!(out, "# generated x86-64 kernel (width={}, unroll={})", cfg.width, cfg.unroll);
+        let _ = writeln!(
+            out,
+            "# generated x86-64 kernel (width={}, unroll={})",
+            cfg.width, cfg.unroll
+        );
         Gen { cfg, out }
     }
 
@@ -109,7 +113,11 @@ impl<'a> Gen<'a> {
         if self.scalar() && self.cfg.legacy_sse {
             self.line(&format!("{scal} {src}, {dst}"));
         } else {
-            let m = if self.scalar() { format!("v{scal}") } else { format!("v{packed}") };
+            let m = if self.scalar() {
+                format!("v{scal}")
+            } else {
+                format!("v{packed}")
+            };
             self.line(&format!("{m} {src}, {dst}, {dst}"));
         }
     }
@@ -118,7 +126,11 @@ impl<'a> Gen<'a> {
     /// mul+add through a scratch register otherwise).
     fn fma_acc(&mut self, mul_src: &str, mul_by: &str, acc: &str, scratch: &str) {
         if self.cfg.fma && !self.cfg.legacy_sse {
-            let m = if self.scalar() { "vfmadd231sd" } else { "vfmadd231pd" };
+            let m = if self.scalar() {
+                "vfmadd231sd"
+            } else {
+                "vfmadd231pd"
+            };
             self.line(&format!("{m} {mul_src}, {mul_by}, {acc}"));
         } else {
             // scratch = mul_src; scratch *= mul_by; acc += scratch
@@ -130,7 +142,11 @@ impl<'a> Gen<'a> {
 
     /// Standard loop tail: advance index, compare, branch.
     fn tail(&mut self, per_iter_ops: usize) {
-        let inc = if self.scalar() { per_iter_ops as i64 } else { (per_iter_ops * self.step()) as i64 };
+        let inc = if self.scalar() {
+            per_iter_ops as i64
+        } else {
+            (per_iter_ops * self.step()) as i64
+        };
         self.line(&format!("addq ${inc}, %rax"));
         self.line("cmpq %r8, %rax");
         self.line("jne .L0");
@@ -334,11 +350,19 @@ impl<'a> Gen<'a> {
         self.label();
         for u in 0..u_count {
             let base_off = (u * self.step()) as i64;
-            let elem = if self.scalar() { 1 } else { self.step() as i64 / 8 };
+            let elem = if self.scalar() {
+                1
+            } else {
+                self.step() as i64 / 8
+            };
             let v = self.vr(1 + u);
             let scale = self.vr(15);
             let (first_base, first_off) = points[0];
-            let scaled_first = if self.scalar() { base_off / 8 * 8 } else { base_off };
+            let scaled_first = if self.scalar() {
+                base_off / 8 * 8
+            } else {
+                base_off
+            };
             let _ = elem;
             self.load(self.mem(first_base, first_off + scaled_first), &v);
             for &(base, off) in &points[1..] {
@@ -402,10 +426,19 @@ mod tests {
     #[test]
     fn triads_use_fma_when_enabled() {
         let k = parse(StreamKernel::StreamTriad, &cfg(512, 1, false));
-        assert!(k.instructions.iter().any(|i| i.mnemonic.starts_with("vfmadd")));
-        let nofma = GenCfg { fma: false, ..cfg(512, 1, false) };
+        assert!(k
+            .instructions
+            .iter()
+            .any(|i| i.mnemonic.starts_with("vfmadd")));
+        let nofma = GenCfg {
+            fma: false,
+            ..cfg(512, 1, false)
+        };
         let k2 = parse(StreamKernel::StreamTriad, &nofma);
-        assert!(!k2.instructions.iter().any(|i| i.mnemonic.starts_with("vfmadd")));
+        assert!(!k2
+            .instructions
+            .iter()
+            .any(|i| i.mnemonic.starts_with("vfmadd")));
         assert!(k2.instructions.iter().any(|i| i.mnemonic == "vmulpd"));
     }
 
@@ -426,32 +459,60 @@ mod tests {
         let k = parse(StreamKernel::GaussSeidel2D, &cfg(0, 1, false));
         // xmm0 must be read and written in the body (the carried value).
         let reads0 = k.instructions.iter().any(|i| {
-            isa::dataflow::dataflow(i).reads.iter().any(|r| r.index == 0 && r.class == isa::RegClass::Vec)
+            isa::dataflow::dataflow(i)
+                .reads
+                .iter()
+                .any(|r| r.index == 0 && r.class == isa::RegClass::Vec)
         });
         let writes0 = k.instructions.iter().any(|i| {
-            isa::dataflow::dataflow(i).writes.iter().any(|r| r.index == 0 && r.class == isa::RegClass::Vec)
+            isa::dataflow::dataflow(i)
+                .writes
+                .iter()
+                .any(|r| r.index == 0 && r.class == isa::RegClass::Vec)
         });
         assert!(reads0 && writes0);
     }
 
     #[test]
     fn jacobi_load_counts() {
-        assert_eq!(parse(StreamKernel::Jacobi2D5, &cfg(512, 1, false)).load_count(), 4);
-        assert_eq!(parse(StreamKernel::Jacobi3D7, &cfg(512, 1, false)).load_count(), 7);
-        assert_eq!(parse(StreamKernel::Jacobi3D11, &cfg(512, 1, false)).load_count(), 11);
-        assert_eq!(parse(StreamKernel::Jacobi3D27, &cfg(512, 1, false)).load_count(), 27);
+        assert_eq!(
+            parse(StreamKernel::Jacobi2D5, &cfg(512, 1, false)).load_count(),
+            4
+        );
+        assert_eq!(
+            parse(StreamKernel::Jacobi3D7, &cfg(512, 1, false)).load_count(),
+            7
+        );
+        assert_eq!(
+            parse(StreamKernel::Jacobi3D11, &cfg(512, 1, false)).load_count(),
+            11
+        );
+        assert_eq!(
+            parse(StreamKernel::Jacobi3D27, &cfg(512, 1, false)).load_count(),
+            27
+        );
     }
 
     #[test]
     fn nt_store_flag() {
-        let c = GenCfg { nt_stores: true, ..cfg(512, 2, false) };
+        let c = GenCfg {
+            nt_stores: true,
+            ..cfg(512, 2, false)
+        };
         let k = parse(StreamKernel::Init, &c);
-        assert!(k.instructions.iter().filter(|i| i.is_store()).all(|i| i.is_nt_store()));
+        assert!(k
+            .instructions
+            .iter()
+            .filter(|i| i.is_store())
+            .all(|i| i.is_nt_store()));
     }
 
     #[test]
     fn sum_uses_accumulators() {
-        let c = GenCfg { accumulators: 4, ..cfg(256, 4, false) };
+        let c = GenCfg {
+            accumulators: 4,
+            ..cfg(256, 4, false)
+        };
         let k = parse(StreamKernel::Sum, &c);
         // Four distinct accumulator registers ymm0..ymm3.
         let accs: std::collections::HashSet<u8> = k

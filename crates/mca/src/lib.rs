@@ -42,7 +42,10 @@ pub struct McaResult {
 pub fn predict(machine: &Machine, kernel: &Kernel) -> McaResult {
     let n = kernel.instructions.len();
     if n == 0 {
-        return McaResult { cycles_per_iter: 0.0, uops: 0 };
+        return McaResult {
+            cycles_per_iter: 0.0,
+            uops: 0,
+        };
     }
     let descs = mca_descs(machine, kernel);
     let edges = mca_edges(kernel, &descs);
@@ -61,10 +64,20 @@ pub struct Event {
 
 /// Run the MCA model and record events for the first `iters` iterations
 /// (used by [`timeline::render`]).
-pub fn predict_with_events(machine: &Machine, kernel: &Kernel, iters: usize) -> (McaResult, Vec<Event>) {
+pub fn predict_with_events(
+    machine: &Machine,
+    kernel: &Kernel,
+    iters: usize,
+) -> (McaResult, Vec<Event>) {
     let n = kernel.instructions.len();
     if n == 0 {
-        return (McaResult { cycles_per_iter: 0.0, uops: 0 }, Vec::new());
+        return (
+            McaResult {
+                cycles_per_iter: 0.0,
+                uops: 0,
+            },
+            Vec::new(),
+        );
     }
     let descs = mca_descs(machine, kernel);
     let edges = mca_edges(kernel, &descs);
@@ -200,8 +213,12 @@ fn simulate(
 
     // Readiness of an instance: every producer fully issued and its result
     // propagated.
-    let ready = |it: usize, idx: usize, issue_at: &Vec<Vec<Option<u64>>>, now: u64,
-                 incoming: &Vec<Vec<McaEdge>>| -> bool {
+    let ready = |it: usize,
+                 idx: usize,
+                 issue_at: &Vec<Vec<Option<u64>>>,
+                 now: u64,
+                 incoming: &Vec<Vec<McaEdge>>|
+     -> bool {
         incoming[idx].iter().all(|e| {
             let pit = if e.wrap {
                 match it.checked_sub(1) {
@@ -236,7 +253,12 @@ fn simulate(
                 queues[p].push_back((it, idx));
             }
             if let Some(ev) = events.as_deref_mut() {
-                ev.push(Event { iter: it, idx, dispatched: now, issued: u64::MAX });
+                ev.push(Event {
+                    iter: it,
+                    idx,
+                    dispatched: now,
+                    issued: u64::MAX,
+                });
             }
             pending[it][idx] = descs[idx].uop_count() as u32;
             if descs[idx].uop_count() == 0 {
@@ -250,7 +272,11 @@ fn simulate(
                 }
             }
             budget -= nu;
-            next = if idx + 1 == n { (it + 1, 0) } else { (it, idx + 1) };
+            next = if idx + 1 == n {
+                (it + 1, 0)
+            } else {
+                (it, idx + 1)
+            };
         }
 
         // Issue: each port independently takes the oldest *ready* µ-op in
@@ -281,7 +307,8 @@ fn simulate(
                     issue_at[it][idx] = Some(last_uop_at[it][idx]);
                     inst_done[it] += 1;
                     if let Some(ev) = events.as_deref_mut() {
-                        if let Some(e) = ev.iter_mut().rev().find(|e| e.iter == it && e.idx == idx) {
+                        if let Some(e) = ev.iter_mut().rev().find(|e| e.iter == it && e.idx == idx)
+                        {
                             e.issued = last_uop_at[it][idx];
                         }
                     }
@@ -319,7 +346,10 @@ mod tests {
     #[test]
     fn serial_chain_bounded_by_latency() {
         let m = Machine::golden_cove();
-        let c = p(".L1:\n vfmadd231pd %zmm1, %zmm2, %zmm3\n subq $1, %rax\n jne .L1\n", &m);
+        let c = p(
+            ".L1:\n vfmadd231pd %zmm1, %zmm2, %zmm3\n subq $1, %rax\n jne .L1\n",
+            &m,
+        );
         assert!(c >= 4.0 - 0.1, "c={c}");
         assert!(c < 7.0, "c={c}");
     }
@@ -351,7 +381,11 @@ mod tests {
     #[test]
     fn empty_kernel() {
         let m = Machine::zen4();
-        let k = Kernel { instructions: vec![], isa: Isa::X86, loop_label: None };
+        let k = Kernel {
+            instructions: vec![],
+            isa: Isa::X86,
+            loop_label: None,
+        };
         assert_eq!(predict(&m, &k).cycles_per_iter, 0.0);
     }
 

@@ -5,7 +5,6 @@
 //! `E` = issued to its port, `.` = (not tracked further). One row per
 //! instruction instance, labelled `[iteration,index]`.
 
-
 use isa::Kernel;
 use uarch::Machine;
 
@@ -102,13 +101,22 @@ mod tests {
         let div = events.iter().find(|e| e.idx == 0).unwrap();
         let add = events.iter().find(|e| e.idx == 1).unwrap();
         // The add waits for the divide's 14-cycle latency.
-        assert!(add.issued >= div.issued + 14, "div@{} add@{}", div.issued, add.issued);
+        assert!(
+            add.issued >= div.issued + 14,
+            "div@{} add@{}",
+            div.issued,
+            add.issued
+        );
     }
 
     #[test]
     fn empty_kernel_timeline() {
         let m = Machine::zen4();
-        let k = Kernel { instructions: vec![], isa: Isa::X86, loop_label: None };
+        let k = Kernel {
+            instructions: vec![],
+            isa: Isa::X86,
+            loop_label: None,
+        };
         let t = render(&m, &k, 2);
         assert!(t.contains("0.00 cy/iter"));
     }

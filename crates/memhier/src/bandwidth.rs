@@ -79,7 +79,10 @@ mod tests {
         let spr = full_socket_efficiency(&Machine::golden_cove());
         let gcs = full_socket_efficiency(&Machine::neoverse_v2());
         let genoa = full_socket_efficiency(&Machine::zen4());
-        assert!(spr > gcs && gcs > genoa, "spr={spr} gcs={gcs} genoa={genoa}");
+        assert!(
+            spr > gcs && gcs > genoa,
+            "spr={spr} gcs={gcs} genoa={genoa}"
+        );
         assert!((spr - 0.90).abs() < 0.05);
         assert!((gcs - 0.87).abs() < 0.05);
         assert!((genoa - 0.78).abs() < 0.05);

@@ -71,7 +71,10 @@ impl Cache {
     /// Create a cache of `size_bytes` with `assoc` ways and `line_bytes`
     /// lines. `size_bytes` is rounded down to a whole number of sets.
     pub fn new(size_bytes: u64, assoc: usize, line_bytes: u64) -> Cache {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let num_lines = (size_bytes / line_bytes).max(assoc as u64);
         let raw_sets = (num_lines / assoc as u64).max(1);
         // Round *down* to a power of two so the set-index mask works.
@@ -82,7 +85,15 @@ impl Cache {
         };
         Cache {
             sets: vec![
-                vec![Line { tag: 0, valid: false, dirty: false, lru: 0 }; assoc];
+                vec![
+                    Line {
+                        tag: 0,
+                        valid: false,
+                        dirty: false,
+                        lru: 0
+                    };
+                    assoc
+                ];
                 num_sets as usize
             ],
             line_bytes,
@@ -100,7 +111,10 @@ impl Cache {
 
     fn set_of(&self, addr: u64) -> (usize, u64) {
         let line_addr = addr >> self.set_shift;
-        ((line_addr & self.set_mask) as usize, line_addr >> self.sets.len().trailing_zeros())
+        (
+            (line_addr & self.set_mask) as usize,
+            line_addr >> self.sets.len().trailing_zeros(),
+        )
     }
 
     /// Reconstruct the byte address of a line from its set and tag.
@@ -158,7 +172,12 @@ impl Cache {
         } else {
             down.fill = true;
         }
-        *victim = Line { tag, valid: true, dirty: is_store, lru: clock };
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: is_store,
+            lru: clock,
+        };
         if down.writeback {
             down.writeback_addr = self.addr_of(set_idx, down.writeback_addr);
         }
@@ -180,7 +199,12 @@ impl Cache {
             .min_by_key(|&w| if set[w].valid { set[w].lru } else { 0 })
             .expect("cache has at least one way");
         let victim = set[victim_idx];
-        set[victim_idx] = Line { tag, valid: true, dirty: false, lru: clock };
+        set[victim_idx] = Line {
+            tag,
+            valid: true,
+            dirty: false,
+            lru: clock,
+        };
         let displaced = (victim.valid && victim.dirty).then(|| {
             self.stats.writebacks += 1;
             self.addr_of(set_idx, victim.tag)
@@ -206,7 +230,12 @@ impl Cache {
             .min_by_key(|&w| if set[w].valid { set[w].lru } else { 0 })
             .expect("cache has at least one way");
         let victim = set[victim_idx];
-        set[victim_idx] = Line { tag, valid: true, dirty: true, lru: clock };
+        set[victim_idx] = Line {
+            tag,
+            valid: true,
+            dirty: true,
+            lru: clock,
+        };
         if victim.valid && victim.dirty {
             self.stats.writebacks += 1;
             Some(self.addr_of(set_idx, victim.tag))
@@ -304,7 +333,10 @@ mod tests {
         c.access(512, Access::Load); // way B
         c.access(0x0, Access::Load); // refresh A
         c.access(1024, Access::Load); // evicts B
-        assert!(!c.access(0x0, Access::Load).fill, "A must still be resident");
+        assert!(
+            !c.access(0x0, Access::Load).fill,
+            "A must still be resident"
+        );
         assert!(c.access(512, Access::Load).fill, "B must have been evicted");
     }
 

@@ -40,14 +40,26 @@ impl Hierarchy {
             };
             levels.push(Cache::new(size, c.assoc as usize, c.line_bytes as u64));
         }
-        let line = machine.caches.first().map(|c| c.line_bytes as u64).unwrap_or(64);
-        Hierarchy { levels, line_bytes: line, mem: Traffic::default() }
+        let line = machine
+            .caches
+            .first()
+            .map(|c| c.line_bytes as u64)
+            .unwrap_or(64);
+        Hierarchy {
+            levels,
+            line_bytes: line,
+            mem: Traffic::default(),
+        }
     }
 
     /// Build a small synthetic hierarchy (for tests).
     pub fn synthetic(l1: u64, l2: u64, l3: u64, line: u64) -> Hierarchy {
         Hierarchy {
-            levels: vec![Cache::new(l1, 4, line), Cache::new(l2, 8, line), Cache::new(l3, 16, line)],
+            levels: vec![
+                Cache::new(l1, 4, line),
+                Cache::new(l2, 8, line),
+                Cache::new(l3, 16, line),
+            ],
             line_bytes: line,
             mem: Traffic::default(),
         }

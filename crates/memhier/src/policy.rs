@@ -73,7 +73,10 @@ impl WaConfig {
             // bandwidth saturation; NT stores leave ~10 % residual.
             Arch::GoldenCove => WaConfig {
                 arch,
-                mode: WaMode::SpecI2M { onset: 0.85, max_fraction: 0.25 },
+                mode: WaMode::SpecI2M {
+                    onset: 0.85,
+                    max_fraction: 0.25,
+                },
                 cores_per_domain: 13,
                 domain_bw_gbs: 273.0 / 4.0,
                 per_core_traffic_gbs: 9.0,
@@ -100,7 +103,10 @@ impl WaConfig {
     /// domain bandwidth. Zero for the other modes.
     pub fn speci2m_fraction(&self, utilization: f64) -> f64 {
         match self.mode {
-            WaMode::SpecI2M { onset, max_fraction } => {
+            WaMode::SpecI2M {
+                onset,
+                max_fraction,
+            } => {
                 if utilization <= onset {
                     0.0
                 } else {
@@ -158,7 +164,10 @@ mod tests {
         assert!(mid > 0.0 && mid < 0.25);
         // Non-SpecI2M machines never promote.
         assert_eq!(WaConfig::for_arch(Arch::Zen4).speci2m_fraction(1.0), 0.0);
-        assert_eq!(WaConfig::for_arch(Arch::NeoverseV2).speci2m_fraction(1.0), 0.0);
+        assert_eq!(
+            WaConfig::for_arch(Arch::NeoverseV2).speci2m_fraction(1.0),
+            0.0
+        );
     }
 
     #[test]

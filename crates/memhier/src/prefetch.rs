@@ -176,7 +176,11 @@ mod tests {
         for i in 0..1000u64 {
             pf.observe(i * 64);
         }
-        assert!(pf.stats.coverage() > 0.9, "coverage {}", pf.stats.coverage());
+        assert!(
+            pf.stats.coverage() > 0.9,
+            "coverage {}",
+            pf.stats.coverage()
+        );
         assert!(pf.stats.issued >= 990);
     }
 
@@ -191,7 +195,11 @@ mod tests {
             x ^= x << 17;
             pf.observe((x % (1 << 24)) * 64);
         }
-        assert!(pf.stats.coverage() < 0.05, "coverage {}", pf.stats.coverage());
+        assert!(
+            pf.stats.coverage() < 0.05,
+            "coverage {}",
+            pf.stats.coverage()
+        );
     }
 
     #[test]
@@ -209,8 +217,8 @@ mod tests {
             covered = pf.stats.hits;
         }
         let _ = covered; // descending streams need direction detection:
-        // with the default +1 guess they never confirm, coverage ≈ 0. This
-        // documents the limitation (real prefetchers detect both).
+                         // with the default +1 guess they never confirm, coverage ≈ 0. This
+                         // documents the limitation (real prefetchers detect both).
         assert!(pf.stats.coverage() <= 1.0);
     }
 
@@ -222,7 +230,11 @@ mod tests {
             pf.observe((1 << 22) + i * 64); // stream B
             pf.observe((1 << 23) + i * 64); // stream C
         }
-        assert!(pf.stats.coverage() > 0.85, "coverage {}", pf.stats.coverage());
+        assert!(
+            pf.stats.coverage() > 0.85,
+            "coverage {}",
+            pf.stats.coverage()
+        );
     }
 
     #[test]
@@ -234,7 +246,11 @@ mod tests {
                 small.observe((s << 24) + i * 64);
             }
         }
-        assert!(small.stats.coverage() < 0.4, "coverage {}", small.stats.coverage());
+        assert!(
+            small.stats.coverage() < 0.4,
+            "coverage {}",
+            small.stats.coverage()
+        );
     }
 
     #[test]
@@ -247,6 +263,9 @@ mod tests {
         // L1 misses find their line already in L2.
         let l2 = &h.levels[1];
         let l2_demand_miss_rate = l2.stats.load_misses as f64 / l2.stats.loads.max(1) as f64;
-        assert!(l2_demand_miss_rate < 0.15, "L2 demand miss rate {l2_demand_miss_rate}");
+        assert!(
+            l2_demand_miss_rate < 0.15,
+            "L2 demand miss rate {l2_demand_miss_rate}"
+        );
     }
 }

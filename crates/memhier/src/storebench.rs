@@ -51,7 +51,13 @@ fn single_core_base(machine: &Machine, cfg: &WaConfig, kind: StoreKind, cores: u
     let slice_bytes: u64 = machine
         .caches
         .iter()
-        .map(|c| if c.shared { c.size_kib * 1024 / machine.cores as u64 } else { c.size_kib * 1024 })
+        .map(|c| {
+            if c.shared {
+                c.size_kib * 1024 / machine.cores as u64
+            } else {
+                c.size_kib * 1024
+            }
+        })
         .sum();
     let total = (4 * slice_bytes).max(8 << 20);
     let lines = total / line;
@@ -98,7 +104,7 @@ pub fn store_traffic_ratio(machine: &Machine, cores: u32, kind: StoreKind) -> St
         for _ in 0..32 {
             let reads = base.reads * (1.0 - fraction);
             let per_line_traffic = reads + base.writes; // in lines
-            // Offered traffic if cores ran unthrottled.
+                                                        // Offered traffic if cores ran unthrottled.
             let offered = in_domain as f64 * cfg.per_core_traffic_gbs;
             utilization = (offered / cfg.domain_bw_gbs).min(1.0);
             // Promotion only applies to standard write-allocate streams.

@@ -30,9 +30,21 @@ pub fn level_bw(machine: &Machine) -> LevelBw {
     // multicore saturation falls out of n_sat = ⌈T_ECM / T_L3Mem⌉.
     let mem_bc = machine.memory.measured_bw_gbs() / machine.base_freq_ghz;
     match machine.arch {
-        Arch::GoldenCove => LevelBw { l1_l2: 64.0, l2_l3: 32.0, l3_mem: mem_bc },
-        Arch::Zen4 => LevelBw { l1_l2: 32.0, l2_l3: 32.0, l3_mem: mem_bc },
-        Arch::NeoverseV2 => LevelBw { l1_l2: 32.0, l2_l3: 16.0, l3_mem: mem_bc },
+        Arch::GoldenCove => LevelBw {
+            l1_l2: 64.0,
+            l2_l3: 32.0,
+            l3_mem: mem_bc,
+        },
+        Arch::Zen4 => LevelBw {
+            l1_l2: 32.0,
+            l2_l3: 32.0,
+            l3_mem: mem_bc,
+        },
+        Arch::NeoverseV2 => LevelBw {
+            l1_l2: 32.0,
+            l2_l3: 16.0,
+            l3_mem: mem_bc,
+        },
     }
 }
 
@@ -120,15 +132,15 @@ pub fn ecm(
 }
 
 /// Convenience: analyze a generated kernel variant and compose its ECM.
-pub fn ecm_for_kernel(
-    machine: &Machine,
-    variant: &kernels::Variant,
-    wa_factor: f64,
-) -> Ecm {
+pub fn ecm_for_kernel(machine: &Machine, variant: &kernels::Variant, wa_factor: f64) -> Ecm {
     let k = kernels::generate_kernel(variant, machine);
     let a = incore::analyze(machine, &k);
     let cfg = kernels::gen_cfg(variant, machine);
-    let elems_per_op = if cfg.width == 0 { 1.0 } else { cfg.width as f64 / 64.0 };
+    let elems_per_op = if cfg.width == 0 {
+        1.0
+    } else {
+        cfg.width as f64 / 64.0
+    };
     let scalar_iters = elems_per_op * cfg.unroll.max(1) as f64;
     let vol = kernels::volume::volume(variant.kernel);
     ecm(machine, &a, &vol, scalar_iters, wa_factor)

@@ -51,7 +51,12 @@ mod tests {
         let gcs = efficiency(&Machine::neoverse_v2());
         let spr = efficiency(&Machine::golden_cove());
         let genoa = efficiency(&Machine::zen4());
-        assert!(gcs.gbs_per_w > 2.0 * spr.gbs_per_w, "gcs {} spr {}", gcs.gbs_per_w, spr.gbs_per_w);
+        assert!(
+            gcs.gbs_per_w > 2.0 * spr.gbs_per_w,
+            "gcs {} spr {}",
+            gcs.gbs_per_w,
+            spr.gbs_per_w
+        );
         assert!(gcs.gbs_per_w > genoa.gbs_per_w);
     }
 

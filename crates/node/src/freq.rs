@@ -31,17 +31,33 @@ pub struct FreqPolicy {
 pub fn policy(machine: &Machine, ext: IsaExt) -> FreqPolicy {
     match machine.arch {
         // Fixed frequency: no licence classes, no observable throttling.
-        Arch::NeoverseV2 => FreqPolicy { f1_ghz: 3.4, floor_ghz: 3.4, onset_cores: u32::MAX },
+        Arch::NeoverseV2 => FreqPolicy {
+            f1_ghz: 3.4,
+            floor_ghz: 3.4,
+            onset_cores: u32::MAX,
+        },
         Arch::GoldenCove => match ext {
             // AVX-512 behaves differently "right from the start" and falls
             // to 2.0 GHz (53 % of turbo) across the chip.
-            IsaExt::Avx512 => FreqPolicy { f1_ghz: 3.3, floor_ghz: 2.0, onset_cores: 2 },
+            IsaExt::Avx512 => FreqPolicy {
+                f1_ghz: 3.3,
+                floor_ghz: 2.0,
+                onset_cores: 2,
+            },
             // SSE/AVX-heavy code sustains 3.0 GHz (78 % of turbo).
-            _ => FreqPolicy { f1_ghz: 3.8, floor_ghz: 3.0, onset_cores: 4 },
+            _ => FreqPolicy {
+                f1_ghz: 3.8,
+                floor_ghz: 3.0,
+                onset_cores: 4,
+            },
         },
         // Genoa throttles identically for every ISA extension, to 3.1 GHz
         // (84 % of its 3.7 GHz turbo).
-        Arch::Zen4 => FreqPolicy { f1_ghz: 3.7, floor_ghz: 3.1, onset_cores: 8 },
+        Arch::Zen4 => FreqPolicy {
+            f1_ghz: 3.7,
+            floor_ghz: 3.1,
+            onset_cores: 8,
+        },
     }
 }
 

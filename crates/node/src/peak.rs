@@ -77,7 +77,10 @@ mod tests {
         let gcs = achieved_peak_dp_tflops(&Machine::neoverse_v2());
         let spr = achieved_peak_dp_tflops(&Machine::golden_cove());
         let genoa = achieved_peak_dp_tflops(&Machine::zen4());
-        assert!(genoa > gcs && gcs > spr, "genoa={genoa} gcs={gcs} spr={spr}");
+        assert!(
+            genoa > gcs && gcs > spr,
+            "genoa={genoa} gcs={gcs} spr={spr}"
+        );
         assert!((gcs - 3.92).abs() < 0.15, "gcs={gcs}");
         assert!((spr - 3.49).abs() < 0.35, "spr={spr}");
         assert!((genoa - 5.1).abs() < 0.45, "genoa={genoa}");

@@ -229,17 +229,29 @@ fn neoverse_v2_covers_aarch64_sample() {
 #[test]
 fn latencies_are_plausible_everywhere() {
     for m in crate::all_machines() {
-        let samples = if m.isa == isa::Isa::X86 { X86_SAMPLE } else { A64_SAMPLE };
+        let samples = if m.isa == isa::Isa::X86 {
+            X86_SAMPLE
+        } else {
+            A64_SAMPLE
+        };
         for s in samples {
             let inst = match m.isa {
                 isa::Isa::X86 => isa::parse::parse_line_x86(s, 1).unwrap().unwrap(),
                 isa::Isa::AArch64 => isa::parse::parse_line_aarch64(s, 1).unwrap().unwrap(),
             };
             let d = m.describe(&inst);
-            assert!(d.latency <= 30, "{s} on {}: latency {}", m.arch.label(), d.latency);
+            assert!(
+                d.latency <= 30,
+                "{s} on {}: latency {}",
+                m.arch.label(),
+                d.latency
+            );
             for uop in &d.uops {
                 assert!(!uop.ports.is_empty(), "{s}: µ-op without ports");
-                assert!(uop.occupancy >= 1.0 || d.uops.is_empty(), "{s}: occupancy < 1");
+                assert!(
+                    uop.occupancy >= 1.0 || d.uops.is_empty(),
+                    "{s}: occupancy < 1"
+                );
             }
         }
     }

@@ -38,7 +38,10 @@ pub struct Uop {
 
 impl Uop {
     pub fn new(ports: PortSet) -> Self {
-        Uop { ports, occupancy: 1.0 }
+        Uop {
+            ports,
+            occupancy: 1.0,
+        }
     }
 
     pub fn blocking(ports: PortSet, occupancy: f64) -> Self {
@@ -198,12 +201,24 @@ pub fn entry(
     rthroughput: f64,
     class: InstrClass,
 ) -> Entry {
-    Entry { mnemonics, width, mem: None, vector_index: None, uops, latency, rthroughput, class }
+    Entry {
+        mnemonics,
+        width,
+        mem: None,
+        vector_index: None,
+        uops,
+        latency,
+        rthroughput,
+        class,
+    }
 }
 
 /// Signature-based helpers used in tests and reports.
 pub fn sig_string(sigs: &[OpSig]) -> String {
-    sigs.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(",")
+    sigs.iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 #[cfg(test)]
@@ -234,7 +249,9 @@ mod tests {
         use isa::parse::parse_line_aarch64;
         let a = parse_line_aarch64("fadd d0, d1, d2", 1).unwrap().unwrap();
         assert!(is_scalar_fp(&a));
-        let v = parse_line_aarch64("fadd v0.2d, v1.2d, v2.2d", 1).unwrap().unwrap();
+        let v = parse_line_aarch64("fadd v0.2d, v1.2d, v2.2d", 1)
+            .unwrap()
+            .unwrap();
         assert!(!is_scalar_fp(&v));
     }
 

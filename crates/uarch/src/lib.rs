@@ -36,6 +36,10 @@ pub use ports::{PortModel, PortSet};
 /// All three machine models, in the paper's presentation order
 /// (GCS, SPR, Genoa).
 pub fn all_machines() -> Vec<Machine> {
-    vec![Machine::neoverse_v2(), Machine::golden_cove(), Machine::zen4()]
+    vec![
+        Machine::neoverse_v2(),
+        Machine::golden_cove(),
+        Machine::zen4(),
+    ]
 }
 mod coverage_tests;

@@ -185,11 +185,16 @@ impl Machine {
                 let wide = inst.mem_access_bytes() * 8 >= self.load_width_bits as u32
                     && !self.load_ports_wide.is_empty()
                     && self.load_ports_wide != self.load_ports;
-                let ports = if wide { self.load_ports_wide } else { self.load_ports };
+                let ports = if wide {
+                    self.load_ports_wide
+                } else {
+                    self.load_ports
+                };
                 for _ in 0..n {
                     desc.uops.push(Uop::new(ports));
                 }
-                let pure = matches!(desc.class, InstrClass::Load | InstrClass::Move) && !inst.is_store();
+                let pure =
+                    matches!(desc.class, InstrClass::Load | InstrClass::Move) && !inst.is_store();
                 if pure {
                     desc.class = InstrClass::Load;
                     desc.latency = self.l1_load_latency;
@@ -207,7 +212,10 @@ impl Machine {
                     desc.uops.push(Uop::new(self.store_data_ports));
                 }
                 if !inst.is_load()
-                    && matches!(desc.class, InstrClass::Load | InstrClass::Store | InstrClass::Move)
+                    && matches!(
+                        desc.class,
+                        InstrClass::Load | InstrClass::Store | InstrClass::Move
+                    )
                 {
                     desc.class = InstrClass::Store;
                     desc.latency = 0;
@@ -271,7 +279,11 @@ impl Machine {
 
     /// Describe every instruction of a kernel.
     pub fn describe_kernel(&self, kernel: &isa::Kernel) -> Vec<InstrDesc> {
-        kernel.instructions.iter().map(|i| self.describe(i)).collect()
+        kernel
+            .instructions
+            .iter()
+            .map(|i| self.describe(i))
+            .collect()
     }
 
     /// Constituent data of the paper's Table II for this machine.
@@ -316,9 +328,21 @@ mod tests {
         let gcs = Machine::neoverse_v2();
         let spr = Machine::golden_cove();
         let genoa = Machine::zen4();
-        assert!((gcs.theor_peak_dp_tflops() - 3.92).abs() < 0.02, "{}", gcs.theor_peak_dp_tflops());
-        assert!((spr.theor_peak_dp_tflops() - 6.32).abs() < 0.02, "{}", spr.theor_peak_dp_tflops());
-        assert!((genoa.theor_peak_dp_tflops() - 8.52).abs() < 0.03, "{}", genoa.theor_peak_dp_tflops());
+        assert!(
+            (gcs.theor_peak_dp_tflops() - 3.92).abs() < 0.02,
+            "{}",
+            gcs.theor_peak_dp_tflops()
+        );
+        assert!(
+            (spr.theor_peak_dp_tflops() - 6.32).abs() < 0.02,
+            "{}",
+            spr.theor_peak_dp_tflops()
+        );
+        assert!(
+            (genoa.theor_peak_dp_tflops() - 8.52).abs() < 0.03,
+            "{}",
+            genoa.theor_peak_dp_tflops()
+        );
     }
 
     #[test]

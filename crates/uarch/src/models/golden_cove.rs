@@ -67,9 +67,30 @@ impl Machine {
             int_units: 5,
             fp_vec_units: 3,
             caches: vec![
-                CacheLevel { name: "L1d", size_kib: 48, line_bytes: 64, assoc: 12, shared: false, latency_cy: 5 },
-                CacheLevel { name: "L2", size_kib: 2048, line_bytes: 64, assoc: 16, shared: false, latency_cy: 15 },
-                CacheLevel { name: "L3", size_kib: 105 * 1024, line_bytes: 64, assoc: 15, shared: true, latency_cy: 55 },
+                CacheLevel {
+                    name: "L1d",
+                    size_kib: 48,
+                    line_bytes: 64,
+                    assoc: 12,
+                    shared: false,
+                    latency_cy: 5,
+                },
+                CacheLevel {
+                    name: "L2",
+                    size_kib: 2048,
+                    line_bytes: 64,
+                    assoc: 16,
+                    shared: false,
+                    latency_cy: 15,
+                },
+                CacheLevel {
+                    name: "L3",
+                    size_kib: 105 * 1024,
+                    line_bytes: 64,
+                    assoc: 15,
+                    shared: true,
+                    latency_cy: 55,
+                },
             ],
             memory: MemorySpec {
                 size_gb: 512,
@@ -79,7 +100,7 @@ impl Machine {
                 latency_ns: 110.0,
             },
             tdp_w: 350.0,
-            numa_domains: 4, // SNC mode
+            numa_domains: 4,            // SNC mode
             fma_dp_flops_per_cycle: 32, // 2 × 512-bit FMA = 2 × 8 lanes × 2 flops
             extra_add_dp_flops_per_cycle: 0,
         }
@@ -90,18 +111,54 @@ fn port_model() -> PortModel {
     use PortCap::*;
     PortModel {
         ports: vec![
-            Port { name: "0", caps: vec![IntAlu, VecAlu, VecFma, VecDiv, Branch] },
-            Port { name: "1", caps: vec![IntAlu, IntMul, VecAlu, VecFma] },
-            Port { name: "2", caps: vec![Load] },
-            Port { name: "3", caps: vec![Load] },
-            Port { name: "4", caps: vec![StoreData] },
-            Port { name: "5", caps: vec![IntAlu, VecAlu, VecFma, PredOp] },
-            Port { name: "6", caps: vec![IntAlu, Branch] },
-            Port { name: "7", caps: vec![StoreAgu] },
-            Port { name: "8", caps: vec![StoreAgu] },
-            Port { name: "9", caps: vec![StoreData] },
-            Port { name: "10", caps: vec![IntAlu] },
-            Port { name: "11", caps: vec![Load] },
+            Port {
+                name: "0",
+                caps: vec![IntAlu, VecAlu, VecFma, VecDiv, Branch],
+            },
+            Port {
+                name: "1",
+                caps: vec![IntAlu, IntMul, VecAlu, VecFma],
+            },
+            Port {
+                name: "2",
+                caps: vec![Load],
+            },
+            Port {
+                name: "3",
+                caps: vec![Load],
+            },
+            Port {
+                name: "4",
+                caps: vec![StoreData],
+            },
+            Port {
+                name: "5",
+                caps: vec![IntAlu, VecAlu, VecFma, PredOp],
+            },
+            Port {
+                name: "6",
+                caps: vec![IntAlu, Branch],
+            },
+            Port {
+                name: "7",
+                caps: vec![StoreAgu],
+            },
+            Port {
+                name: "8",
+                caps: vec![StoreAgu],
+            },
+            Port {
+                name: "9",
+                caps: vec![StoreData],
+            },
+            Port {
+                name: "10",
+                caps: vec![IntAlu],
+            },
+            Port {
+                name: "11",
+                caps: vec![Load],
+            },
         ],
     }
 }
@@ -115,10 +172,39 @@ fn table() -> Vec<crate::instr::Entry> {
 
     // --- Pure loads / stores (recipe synthesized by `describe`). ---
     t.push(mem_entry(
-        &["mov", "movsd", "movss", "movq", "movd", "movzx", "movsx", "movapd", "movaps",
-          "movupd", "movups", "movdqa", "movdqu", "vmovapd", "vmovaps", "vmovupd", "vmovups",
-          "vmovdqa", "vmovdqu", "vmovdqa64", "vmovdqu64", "vmovsd", "vmovss", "vmovntpd",
-          "vmovntps", "movntpd", "movntps", "movnti", "vmovntdq", "movlpd", "movhpd"],
+        &[
+            "mov",
+            "movsd",
+            "movss",
+            "movq",
+            "movd",
+            "movzx",
+            "movsx",
+            "movapd",
+            "movaps",
+            "movupd",
+            "movups",
+            "movdqa",
+            "movdqu",
+            "vmovapd",
+            "vmovaps",
+            "vmovupd",
+            "vmovups",
+            "vmovdqa",
+            "vmovdqu",
+            "vmovdqa64",
+            "vmovdqu64",
+            "vmovsd",
+            "vmovss",
+            "vmovntpd",
+            "vmovntps",
+            "movntpd",
+            "movntps",
+            "movnti",
+            "vmovntdq",
+            "movlpd",
+            "movhpd",
+        ],
         Load,
     ));
 
@@ -126,12 +212,39 @@ fn table() -> Vec<crate::instr::Entry> {
     // A zmm gather touches up to 8 lines → 24 cycles on the (single)
     // gather sequencer, modeled as port 2.
     let gpt = PortSet::of(&[P2]);
-    t.push(e(&["vgatherdpd", "vgatherqpd"], V512, Some(true), ub(gpt, 24.0), 20, 24.0, Load));
-    t.push(e(&["vgatherdpd", "vgatherqpd"], V256, Some(true), ub(gpt, 12.0), 20, 12.0, Load));
-    t.push(e(&["vgatherdpd", "vgatherqpd"], V128, Some(true), ub(gpt, 6.0), 20, 6.0, Load));
+    t.push(e(
+        &["vgatherdpd", "vgatherqpd"],
+        V512,
+        Some(true),
+        ub(gpt, 24.0),
+        20,
+        24.0,
+        Load,
+    ));
+    t.push(e(
+        &["vgatherdpd", "vgatherqpd"],
+        V256,
+        Some(true),
+        ub(gpt, 12.0),
+        20,
+        12.0,
+        Load,
+    ));
+    t.push(e(
+        &["vgatherdpd", "vgatherqpd"],
+        V128,
+        Some(true),
+        ub(gpt, 6.0),
+        20,
+        6.0,
+        Load,
+    ));
 
     // --- Packed DP arithmetic. ---
-    let addish: &'static [&'static str] = &["vaddpd", "vsubpd", "vaddps", "vsubps", "vmaxpd", "vminpd", "vmaxps", "vminps", "addpd", "subpd", "maxpd", "minpd"];
+    let addish: &'static [&'static str] = &[
+        "vaddpd", "vsubpd", "vaddps", "vsubps", "vmaxpd", "vminpd", "vmaxps", "vminps", "addpd",
+        "subpd", "maxpd", "minpd",
+    ];
     t.push(e(addish, V512, None, u(FMA512), 2, 0.5, VecAlu));
     t.push(e(addish, V256, None, u(FP3), 2, 1.0 / 3.0, VecAlu));
     t.push(e(addish, V128, None, u(FP3), 2, 1.0 / 3.0, VecAlu));
@@ -142,107 +255,687 @@ fn table() -> Vec<crate::instr::Entry> {
     t.push(e(mulish, V128, None, u(FP3), 4, 1.0 / 3.0, VecMul));
 
     let fma: &'static [&'static str] = &[
-        "vfmadd132pd", "vfmadd213pd", "vfmadd231pd", "vfmsub132pd", "vfmsub213pd", "vfmsub231pd",
-        "vfnmadd132pd", "vfnmadd213pd", "vfnmadd231pd", "vfnmsub132pd", "vfnmsub213pd", "vfnmsub231pd",
-        "vfmadd132ps", "vfmadd213ps", "vfmadd231ps",
+        "vfmadd132pd",
+        "vfmadd213pd",
+        "vfmadd231pd",
+        "vfmsub132pd",
+        "vfmsub213pd",
+        "vfmsub231pd",
+        "vfnmadd132pd",
+        "vfnmadd213pd",
+        "vfnmadd231pd",
+        "vfnmsub132pd",
+        "vfnmsub213pd",
+        "vfnmsub231pd",
+        "vfmadd132ps",
+        "vfmadd213ps",
+        "vfmadd231ps",
     ];
     t.push(e(fma, V512, None, u(FMA512), 4, 0.5, VecFma));
     t.push(e(fma, V256, None, u(FP3), 4, 1.0 / 3.0, VecFma));
     t.push(e(fma, V128, None, u(FP3), 4, 1.0 / 3.0, VecFma));
 
     // Divide: 0.5 DP elements/cy at any width → 16 cy per zmm instruction.
-    t.push(e(&["vdivpd", "divpd"], V512, None, ub(DIV, 16.0), 14, 16.0, VecDiv));
-    t.push(e(&["vdivpd", "divpd"], V256, None, ub(DIV, 8.0), 14, 8.0, VecDiv));
-    t.push(e(&["vdivpd", "divpd"], V128, None, ub(DIV, 4.0), 14, 4.0, VecDiv));
-    t.push(e(&["vdivps", "divps"], Any, None, ub(DIV, 8.0), 12, 8.0, VecDiv));
-    t.push(e(&["vsqrtpd", "sqrtpd"], V512, None, ub(DIV, 18.0), 19, 18.0, VecDiv));
-    t.push(e(&["vsqrtpd", "sqrtpd"], Any, None, ub(DIV, 9.0), 18, 9.0, VecDiv));
+    t.push(e(
+        &["vdivpd", "divpd"],
+        V512,
+        None,
+        ub(DIV, 16.0),
+        14,
+        16.0,
+        VecDiv,
+    ));
+    t.push(e(
+        &["vdivpd", "divpd"],
+        V256,
+        None,
+        ub(DIV, 8.0),
+        14,
+        8.0,
+        VecDiv,
+    ));
+    t.push(e(
+        &["vdivpd", "divpd"],
+        V128,
+        None,
+        ub(DIV, 4.0),
+        14,
+        4.0,
+        VecDiv,
+    ));
+    t.push(e(
+        &["vdivps", "divps"],
+        Any,
+        None,
+        ub(DIV, 8.0),
+        12,
+        8.0,
+        VecDiv,
+    ));
+    t.push(e(
+        &["vsqrtpd", "sqrtpd"],
+        V512,
+        None,
+        ub(DIV, 18.0),
+        19,
+        18.0,
+        VecDiv,
+    ));
+    t.push(e(
+        &["vsqrtpd", "sqrtpd"],
+        Any,
+        None,
+        ub(DIV, 9.0),
+        18,
+        9.0,
+        VecDiv,
+    ));
 
     // --- Scalar DP arithmetic (Table III: 2/cy on the two FMA pipes). ---
-    t.push(e(&["addsd", "subsd", "vaddsd", "vsubsd", "addss", "subss", "vaddss", "vsubss", "maxsd", "minsd", "vmaxsd", "vminsd"], ScalarFp, None, u(FMA512), 2, 0.5, VecAlu));
-    t.push(e(&["mulsd", "vmulsd", "mulss", "vmulss"], ScalarFp, None, u(FMA512), 4, 0.5, VecMul));
     t.push(e(
-        &["vfmadd132sd", "vfmadd213sd", "vfmadd231sd", "vfnmadd132sd", "vfnmadd213sd", "vfnmadd231sd", "vfmsub132sd", "vfmsub213sd", "vfmsub231sd"],
-        ScalarFp, None, u(FMA512), 5, 0.5, VecFma,
+        &[
+            "addsd", "subsd", "vaddsd", "vsubsd", "addss", "subss", "vaddss", "vsubss", "maxsd",
+            "minsd", "vmaxsd", "vminsd",
+        ],
+        ScalarFp,
+        None,
+        u(FMA512),
+        2,
+        0.5,
+        VecAlu,
+    ));
+    t.push(e(
+        &["mulsd", "vmulsd", "mulss", "vmulss"],
+        ScalarFp,
+        None,
+        u(FMA512),
+        4,
+        0.5,
+        VecMul,
+    ));
+    t.push(e(
+        &[
+            "vfmadd132sd",
+            "vfmadd213sd",
+            "vfmadd231sd",
+            "vfnmadd132sd",
+            "vfnmadd213sd",
+            "vfnmadd231sd",
+            "vfmsub132sd",
+            "vfmsub213sd",
+            "vfmsub231sd",
+        ],
+        ScalarFp,
+        None,
+        u(FMA512),
+        5,
+        0.5,
+        VecFma,
     ));
     // Scalar divide: 0.25/cy → 4-cycle divider occupancy, latency 14.
-    t.push(e(&["divsd", "vdivsd", "divss", "vdivss"], ScalarFp, None, ub(DIV, 4.0), 14, 4.0, VecDiv));
-    t.push(e(&["sqrtsd", "vsqrtsd"], ScalarFp, None, ub(DIV, 4.5), 18, 4.5, VecDiv));
+    t.push(e(
+        &["divsd", "vdivsd", "divss", "vdivss"],
+        ScalarFp,
+        None,
+        ub(DIV, 4.0),
+        14,
+        4.0,
+        VecDiv,
+    ));
+    t.push(e(
+        &["sqrtsd", "vsqrtsd"],
+        ScalarFp,
+        None,
+        ub(DIV, 4.5),
+        18,
+        4.5,
+        VecDiv,
+    ));
 
     // --- Vector logicals, blends, shuffles, conversions. ---
-    t.push(e(&["vxorpd", "vxorps", "vandpd", "vandps", "vorpd", "vorps", "xorpd", "xorps", "andpd", "andps", "orpd", "orps", "vpand", "vpor", "vpxor", "vpxord", "vpxorq", "vpandd", "vpandq"], V512, None, u(FMA512), 1, 0.5, VecAlu));
-    t.push(e(&["vxorpd", "vxorps", "vandpd", "vandps", "vorpd", "vorps", "xorpd", "xorps", "andpd", "andps", "orpd", "orps", "vpand", "vpor", "vpxor"], Any, None, u(FP3), 1, 1.0 / 3.0, VecAlu));
-    t.push(e(&["vblendvpd", "vblendpd", "blendvpd"], Any, None, u(FP3), 2, 1.0 / 3.0, VecAlu));
-    t.push(e(&["vunpcklpd", "vunpckhpd", "unpcklpd", "unpckhpd", "vshufpd", "shufpd", "vpermilpd", "vmovddup", "movddup", "vinsertf128", "vextractf128", "vinsertf64x4", "vextractf64x4", "vpermpd", "vperm2f128", "vvalignq", "vshuff64x2"], V512, None, u(SHUF512), 3, 1.0, VecAlu));
-    t.push(e(&["vunpcklpd", "vunpckhpd", "unpcklpd", "unpckhpd", "vshufpd", "shufpd", "vpermilpd", "vmovddup", "movddup", "vinsertf128", "vextractf128", "vpermpd", "vperm2f128"], Any, None, u(SHUF), 3, 0.5, VecAlu));
+    t.push(e(
+        &[
+            "vxorpd", "vxorps", "vandpd", "vandps", "vorpd", "vorps", "xorpd", "xorps", "andpd",
+            "andps", "orpd", "orps", "vpand", "vpor", "vpxor", "vpxord", "vpxorq", "vpandd",
+            "vpandq",
+        ],
+        V512,
+        None,
+        u(FMA512),
+        1,
+        0.5,
+        VecAlu,
+    ));
+    t.push(e(
+        &[
+            "vxorpd", "vxorps", "vandpd", "vandps", "vorpd", "vorps", "xorpd", "xorps", "andpd",
+            "andps", "orpd", "orps", "vpand", "vpor", "vpxor",
+        ],
+        Any,
+        None,
+        u(FP3),
+        1,
+        1.0 / 3.0,
+        VecAlu,
+    ));
+    t.push(e(
+        &["vblendvpd", "vblendpd", "blendvpd"],
+        Any,
+        None,
+        u(FP3),
+        2,
+        1.0 / 3.0,
+        VecAlu,
+    ));
+    t.push(e(
+        &[
+            "vunpcklpd",
+            "vunpckhpd",
+            "unpcklpd",
+            "unpckhpd",
+            "vshufpd",
+            "shufpd",
+            "vpermilpd",
+            "vmovddup",
+            "movddup",
+            "vinsertf128",
+            "vextractf128",
+            "vinsertf64x4",
+            "vextractf64x4",
+            "vpermpd",
+            "vperm2f128",
+            "vvalignq",
+            "vshuff64x2",
+        ],
+        V512,
+        None,
+        u(SHUF512),
+        3,
+        1.0,
+        VecAlu,
+    ));
+    t.push(e(
+        &[
+            "vunpcklpd",
+            "vunpckhpd",
+            "unpcklpd",
+            "unpckhpd",
+            "vshufpd",
+            "shufpd",
+            "vpermilpd",
+            "vmovddup",
+            "movddup",
+            "vinsertf128",
+            "vextractf128",
+            "vpermpd",
+            "vperm2f128",
+        ],
+        Any,
+        None,
+        u(SHUF),
+        3,
+        0.5,
+        VecAlu,
+    ));
     // Register-register movsd/movss merge the low lane (not eliminated).
-    t.push(e(&["movsd", "movss", "vmovsd", "vmovss"], Any, Some(false), u(SHUF), 1, 0.5, VecAlu));
-    t.push(e(&["vbroadcastsd", "vbroadcastss"], Any, Some(false), u(SHUF), 3, 0.5, VecAlu));
+    t.push(e(
+        &["movsd", "movss", "vmovsd", "vmovss"],
+        Any,
+        Some(false),
+        u(SHUF),
+        1,
+        0.5,
+        VecAlu,
+    ));
+    t.push(e(
+        &["vbroadcastsd", "vbroadcastss"],
+        Any,
+        Some(false),
+        u(SHUF),
+        3,
+        0.5,
+        VecAlu,
+    ));
     // Broadcast from memory is a load with embedded broadcast (free).
     t.push(mem_entry(&["vbroadcastsd", "vbroadcastss"], Load));
-    t.push(e(&["vcvtsi2sd", "cvtsi2sd", "vcvtsi2sdq", "cvtsi2sdq", "vcvttsd2si", "cvttsd2si", "vcvtsd2si"], Any, None, u(PortSet::of(&[P0, P1])), 7, 0.5, VecAlu));
-    t.push(e(&["vcvtpd2ps", "vcvtps2pd", "cvtpd2ps", "cvtps2pd", "vcvtdq2pd", "vcvttpd2dq"], Any, None, u(FMA512), 4, 0.5, VecAlu));
+    t.push(e(
+        &[
+            "vcvtsi2sd",
+            "cvtsi2sd",
+            "vcvtsi2sdq",
+            "cvtsi2sdq",
+            "vcvttsd2si",
+            "cvttsd2si",
+            "vcvtsd2si",
+        ],
+        Any,
+        None,
+        u(PortSet::of(&[P0, P1])),
+        7,
+        0.5,
+        VecAlu,
+    ));
+    t.push(e(
+        &[
+            "vcvtpd2ps",
+            "vcvtps2pd",
+            "cvtpd2ps",
+            "cvtps2pd",
+            "vcvtdq2pd",
+            "vcvttpd2dq",
+        ],
+        Any,
+        None,
+        u(FMA512),
+        4,
+        0.5,
+        VecAlu,
+    ));
     // Packed integer SIMD (used by some compiler variants for index math).
-    t.push(e(&["vpaddq", "vpaddd", "vpsubq", "vpsubd", "paddq", "paddd", "psubq", "psubd"], V512, None, u(FMA512), 1, 0.5, VecAlu));
-    t.push(e(&["vpaddq", "vpaddd", "vpsubq", "vpsubd", "paddq", "paddd", "psubq", "psubd"], Any, None, u(FP3), 1, 1.0 / 3.0, VecAlu));
-    t.push(e(&["vpmullq", "vpmulld", "vpmuludq"], Any, None, u(FMA512), 5, 0.5, VecMul));
-    t.push(e(&["vpbroadcastq", "vpbroadcastd"], Any, None, u(SHUF), 3, 0.5, VecAlu));
+    t.push(e(
+        &[
+            "vpaddq", "vpaddd", "vpsubq", "vpsubd", "paddq", "paddd", "psubq", "psubd",
+        ],
+        V512,
+        None,
+        u(FMA512),
+        1,
+        0.5,
+        VecAlu,
+    ));
+    t.push(e(
+        &[
+            "vpaddq", "vpaddd", "vpsubq", "vpsubd", "paddq", "paddd", "psubq", "psubd",
+        ],
+        Any,
+        None,
+        u(FP3),
+        1,
+        1.0 / 3.0,
+        VecAlu,
+    ));
+    t.push(e(
+        &["vpmullq", "vpmulld", "vpmuludq"],
+        Any,
+        None,
+        u(FMA512),
+        5,
+        0.5,
+        VecMul,
+    ));
+    t.push(e(
+        &["vpbroadcastq", "vpbroadcastd"],
+        Any,
+        None,
+        u(SHUF),
+        3,
+        0.5,
+        VecAlu,
+    ));
 
     // --- Mask (AVX-512 k-register) operations. ---
-    t.push(e(&["kmovb", "kmovw", "kmovd", "kmovq", "kandw", "korw", "kxorw", "knotw", "kortestw", "kortestb", "ktestw"], Any, None, u(PortSet::of(&[P0])), 1, 1.0, Other));
+    t.push(e(
+        &[
+            "kmovb", "kmovw", "kmovd", "kmovq", "kandw", "korw", "kxorw", "knotw", "kortestw",
+            "kortestb", "ktestw",
+        ],
+        Any,
+        None,
+        u(PortSet::of(&[P0])),
+        1,
+        1.0,
+        Other,
+    ));
 
     // --- Scalar integer. ---
-    t.push(e(&["add", "sub", "and", "or", "xor", "inc", "dec", "neg", "not", "mov", "cmov", "cmova", "cmovb", "cmove", "cmovne", "cmovg", "cmovl", "cmovge", "cmovle", "cmovae", "cmovbe", "movz", "movs", "sete", "setne", "setl", "setg"], Scalar, Some(false), u(ALU), 1, 0.2, IntAlu));
+    t.push(e(
+        &[
+            "add", "sub", "and", "or", "xor", "inc", "dec", "neg", "not", "mov", "cmov", "cmova",
+            "cmovb", "cmove", "cmovne", "cmovg", "cmovl", "cmovge", "cmovle", "cmovae", "cmovbe",
+            "movz", "movs", "sete", "setne", "setl", "setg",
+        ],
+        Scalar,
+        Some(false),
+        u(ALU),
+        1,
+        0.2,
+        IntAlu,
+    ));
     t.push(e(&["cmp", "test"], Scalar, None, u(ALU), 1, 0.2, IntAlu));
     // RMW memory forms of integer ops (compute µ-op; loads/stores synthesized).
-    t.push(e(&["add", "sub", "and", "or", "xor", "inc", "dec", "neg", "not"], Scalar, Some(true), u(ALU), 1, 0.2, IntAlu));
+    t.push(e(
+        &["add", "sub", "and", "or", "xor", "inc", "dec", "neg", "not"],
+        Scalar,
+        Some(true),
+        u(ALU),
+        1,
+        0.2,
+        IntAlu,
+    ));
     t.push(e(&["lea"], Scalar, None, u(LEA), 1, 0.5, IntAlu));
     t.push(e(&["imul"], Scalar, None, u(IMUL), 3, 1.0, IntMul));
     t.push(e(&["mul"], Scalar, None, u(IMUL), 4, 1.0, IntMul));
-    t.push(e(&["idiv", "div"], Scalar, None, ub(DIV, 6.0), 18, 6.0, IntDiv));
-    t.push(e(&["shl", "shr", "sar", "rol", "ror", "shlx", "shrx", "sarx"], Scalar, None, u(PortSet::of(&[P0, P6])), 1, 0.5, IntAlu));
+    t.push(e(
+        &["idiv", "div"],
+        Scalar,
+        None,
+        ub(DIV, 6.0),
+        18,
+        6.0,
+        IntDiv,
+    ));
+    t.push(e(
+        &["shl", "shr", "sar", "rol", "ror", "shlx", "shrx", "sarx"],
+        Scalar,
+        None,
+        u(PortSet::of(&[P0, P6])),
+        1,
+        0.5,
+        IntAlu,
+    ));
     t.push(e(&["push"], Scalar, None, u(ALU), 1, 1.0, Store));
     t.push(e(&["pop"], Scalar, None, u(ALU), 1, 1.0, Load));
 
     // --- FP compare / control. ---
-    t.push(e(&["ucomisd", "comisd", "vucomisd", "vcomisd", "ucomiss", "vucomiss"], Any, None, u(PortSet::of(&[P0])), 3, 1.0, VecAlu));
-    t.push(e(&["vcmppd", "cmppd", "vcmpsd", "cmpsd"], Any, None, u(FP3), 3, 1.0 / 3.0, VecAlu));
+    t.push(e(
+        &[
+            "ucomisd", "comisd", "vucomisd", "vcomisd", "ucomiss", "vucomiss",
+        ],
+        Any,
+        None,
+        u(PortSet::of(&[P0])),
+        3,
+        1.0,
+        VecAlu,
+    ));
+    t.push(e(
+        &["vcmppd", "cmppd", "vcmpsd", "cmpsd"],
+        Any,
+        None,
+        u(FP3),
+        3,
+        1.0 / 3.0,
+        VecAlu,
+    ));
 
     // --- Branches. ---
     t.push(e(
-        &["jmp", "ja", "jae", "jb", "jbe", "je", "jne", "jg", "jge", "jl", "jle", "js", "jns", "jo", "jno", "jp", "jnp", "jc", "jnc", "jz", "jnz"],
-        Any, None, u(BR), 1, 0.5, Branch,
+        &[
+            "jmp", "ja", "jae", "jb", "jbe", "je", "jne", "jg", "jge", "jl", "jle", "js", "jns",
+            "jo", "jno", "jp", "jnp", "jc", "jnc", "jz", "jnz",
+        ],
+        Any,
+        None,
+        u(BR),
+        1,
+        0.5,
+        Branch,
     ));
-    t.push(e(&["call", "ret"], Any, None, u(PortSet::of(&[P6])), 2, 1.0, Branch));
+    t.push(e(
+        &["call", "ret"],
+        Any,
+        None,
+        u(PortSet::of(&[P6])),
+        2,
+        1.0,
+        Branch,
+    ));
 
     // --- Extended integer coverage. ---
-    t.push(e(&["popcnt", "lzcnt", "tzcnt"], Scalar, None, u(IMUL), 3, 1.0, IntAlu));
-    t.push(e(&["bswap", "movbe"], Scalar, None, u(PortSet::of(&[P1, P5])), 1, 0.5, IntAlu));
-    t.push(e(&["bt", "bts", "btr", "btc"], Scalar, None, u(PortSet::of(&[P0, P6])), 1, 0.5, IntAlu));
-    t.push(e(&["shld", "shrd"], Scalar, None, u(PortSet::of(&[P1])), 3, 1.0, IntAlu));
-    t.push(e(&["cdq", "cqo", "cbw", "cwde", "cdqe"], Scalar, None, u(ALU), 1, 0.2, IntAlu));
+    t.push(e(
+        &["popcnt", "lzcnt", "tzcnt"],
+        Scalar,
+        None,
+        u(IMUL),
+        3,
+        1.0,
+        IntAlu,
+    ));
+    t.push(e(
+        &["bswap", "movbe"],
+        Scalar,
+        None,
+        u(PortSet::of(&[P1, P5])),
+        1,
+        0.5,
+        IntAlu,
+    ));
+    t.push(e(
+        &["bt", "bts", "btr", "btc"],
+        Scalar,
+        None,
+        u(PortSet::of(&[P0, P6])),
+        1,
+        0.5,
+        IntAlu,
+    ));
+    t.push(e(
+        &["shld", "shrd"],
+        Scalar,
+        None,
+        u(PortSet::of(&[P1])),
+        3,
+        1.0,
+        IntAlu,
+    ));
+    t.push(e(
+        &["cdq", "cqo", "cbw", "cwde", "cdqe"],
+        Scalar,
+        None,
+        u(ALU),
+        1,
+        0.2,
+        IntAlu,
+    ));
     t.push(e(&["xchg"], Scalar, Some(false), u(ALU), 1, 0.5, IntAlu));
-    t.push(e(&["andn", "blsi", "blsr", "blsmsk", "bzhi"], Scalar, None, u(PortSet::of(&[P0, P6])), 1, 0.5, IntAlu));
-    t.push(e(&["mulx", "adcx", "adox"], Scalar, None, u(IMUL), 4, 1.0, IntMul));
+    t.push(e(
+        &["andn", "blsi", "blsr", "blsmsk", "bzhi"],
+        Scalar,
+        None,
+        u(PortSet::of(&[P0, P6])),
+        1,
+        0.5,
+        IntAlu,
+    ));
+    t.push(e(
+        &["mulx", "adcx", "adox"],
+        Scalar,
+        None,
+        u(IMUL),
+        4,
+        1.0,
+        IntMul,
+    ));
 
     // --- Extended FP/SIMD coverage. ---
-    t.push(e(&["vroundpd", "roundpd", "vroundsd", "roundsd", "vrndscalepd", "vrndscalesd"], Any, None, u(FP3), 8, 0.5, VecAlu));
-    t.push(e(&["vrcp14pd", "vrsqrt14pd", "rcpps", "rsqrtps", "vrcpps", "vrsqrtps"], Any, None, u(DIV), 5, 1.0, VecAlu));
-    t.push(e(&["vandnpd", "vandnps", "andnpd", "andnps"], V512, None, u(FMA512), 1, 0.5, VecAlu));
-    t.push(e(&["vandnpd", "vandnps", "andnpd", "andnps"], Any, None, u(FP3), 1, 1.0 / 3.0, VecAlu));
-    t.push(e(&["vhaddpd", "haddpd", "vhsubpd"], Any, None, u(SHUF), 6, 2.0, VecAlu));
-    t.push(e(&["vpabsd", "vpabsq", "vpsignd"], Any, None, u(FP3), 1, 1.0 / 3.0, VecAlu));
-    t.push(e(&["vpsllq", "vpsrlq", "vpsraq", "vpslld", "vpsrld", "psllq", "psrlq", "pslld", "psrld"], Any, None, u(PortSet::of(&[P0, P1])), 1, 0.5, VecAlu));
-    t.push(e(&["vpcmpeqq", "vpcmpeqd", "vpcmpgtq", "vpcmpgtd", "pcmpeqd", "pcmpgtd"], Any, None, u(FP3), 1, 1.0 / 3.0, VecAlu));
-    t.push(e(&["vpmovzxdq", "vpmovsxdq", "vpmovzxwd", "vpmovsxwd", "pmovzxdq"], Any, None, u(SHUF), 3, 0.5, VecAlu));
-    t.push(e(&["vpextrq", "vpextrd", "pextrq", "vmovmskpd", "movmskpd", "vpmovmskb"], Any, None, u(PortSet::of(&[P0])), 3, 1.0, Other));
-    t.push(e(&["vpinsrq", "vpinsrd", "pinsrq"], Any, None, u(SHUF), 4, 1.0, VecAlu));
+    t.push(e(
+        &[
+            "vroundpd",
+            "roundpd",
+            "vroundsd",
+            "roundsd",
+            "vrndscalepd",
+            "vrndscalesd",
+        ],
+        Any,
+        None,
+        u(FP3),
+        8,
+        0.5,
+        VecAlu,
+    ));
+    t.push(e(
+        &[
+            "vrcp14pd",
+            "vrsqrt14pd",
+            "rcpps",
+            "rsqrtps",
+            "vrcpps",
+            "vrsqrtps",
+        ],
+        Any,
+        None,
+        u(DIV),
+        5,
+        1.0,
+        VecAlu,
+    ));
+    t.push(e(
+        &["vandnpd", "vandnps", "andnpd", "andnps"],
+        V512,
+        None,
+        u(FMA512),
+        1,
+        0.5,
+        VecAlu,
+    ));
+    t.push(e(
+        &["vandnpd", "vandnps", "andnpd", "andnps"],
+        Any,
+        None,
+        u(FP3),
+        1,
+        1.0 / 3.0,
+        VecAlu,
+    ));
+    t.push(e(
+        &["vhaddpd", "haddpd", "vhsubpd"],
+        Any,
+        None,
+        u(SHUF),
+        6,
+        2.0,
+        VecAlu,
+    ));
+    t.push(e(
+        &["vpabsd", "vpabsq", "vpsignd"],
+        Any,
+        None,
+        u(FP3),
+        1,
+        1.0 / 3.0,
+        VecAlu,
+    ));
+    t.push(e(
+        &[
+            "vpsllq", "vpsrlq", "vpsraq", "vpslld", "vpsrld", "psllq", "psrlq", "pslld", "psrld",
+        ],
+        Any,
+        None,
+        u(PortSet::of(&[P0, P1])),
+        1,
+        0.5,
+        VecAlu,
+    ));
+    t.push(e(
+        &[
+            "vpcmpeqq", "vpcmpeqd", "vpcmpgtq", "vpcmpgtd", "pcmpeqd", "pcmpgtd",
+        ],
+        Any,
+        None,
+        u(FP3),
+        1,
+        1.0 / 3.0,
+        VecAlu,
+    ));
+    t.push(e(
+        &[
+            "vpmovzxdq",
+            "vpmovsxdq",
+            "vpmovzxwd",
+            "vpmovsxwd",
+            "pmovzxdq",
+        ],
+        Any,
+        None,
+        u(SHUF),
+        3,
+        0.5,
+        VecAlu,
+    ));
+    t.push(e(
+        &[
+            "vpextrq",
+            "vpextrd",
+            "pextrq",
+            "vmovmskpd",
+            "movmskpd",
+            "vpmovmskb",
+        ],
+        Any,
+        None,
+        u(PortSet::of(&[P0])),
+        3,
+        1.0,
+        Other,
+    ));
+    t.push(e(
+        &["vpinsrq", "vpinsrd", "pinsrq"],
+        Any,
+        None,
+        u(SHUF),
+        4,
+        1.0,
+        VecAlu,
+    ));
     // GPR ↔ XMM moves.
-    t.push(e(&["vmovq", "vmovd"], Any, Some(false), u(PortSet::of(&[P0, P5])), 3, 0.5, Other));
-    t.push(e(&["vmaskmovpd", "vblendmpd", "vpblendmq", "vpternlogq", "vpternlogd"], Any, None, u(FMA512), 1, 0.5, VecAlu));
-    t.push(e(&["kshiftrw", "kshiftlw", "kunpckbw", "kaddw", "kandnw"], Any, None, u(PortSet::of(&[P0])), 1, 1.0, Other));
-    t.push(e(&["vgetexppd", "vgetmantpd", "vscalefpd", "vfixupimmpd", "vreducepd"], Any, None, u(FMA512), 4, 0.5, VecAlu));
-    t.push(e(&["vcompresspd", "vexpandpd", "vpcompressq"], Any, Some(false), u(SHUF512), 3, 2.0, VecAlu));
+    t.push(e(
+        &["vmovq", "vmovd"],
+        Any,
+        Some(false),
+        u(PortSet::of(&[P0, P5])),
+        3,
+        0.5,
+        Other,
+    ));
+    t.push(e(
+        &[
+            "vmaskmovpd",
+            "vblendmpd",
+            "vpblendmq",
+            "vpternlogq",
+            "vpternlogd",
+        ],
+        Any,
+        None,
+        u(FMA512),
+        1,
+        0.5,
+        VecAlu,
+    ));
+    t.push(e(
+        &["kshiftrw", "kshiftlw", "kunpckbw", "kaddw", "kandnw"],
+        Any,
+        None,
+        u(PortSet::of(&[P0])),
+        1,
+        1.0,
+        Other,
+    ));
+    t.push(e(
+        &[
+            "vgetexppd",
+            "vgetmantpd",
+            "vscalefpd",
+            "vfixupimmpd",
+            "vreducepd",
+        ],
+        Any,
+        None,
+        u(FMA512),
+        4,
+        0.5,
+        VecAlu,
+    ));
+    t.push(e(
+        &["vcompresspd", "vexpandpd", "vpcompressq"],
+        Any,
+        Some(false),
+        u(SHUF512),
+        3,
+        2.0,
+        VecAlu,
+    ));
 
     t
 }
@@ -308,8 +1001,14 @@ mod tests {
     #[test]
     fn moves_eliminated() {
         let m = Machine::golden_cove();
-        assert_eq!(desc(&m, "vmovaps %zmm0, %zmm1").class, crate::instr::InstrClass::Eliminated);
-        assert_eq!(desc(&m, "xorl %eax, %eax").class, crate::instr::InstrClass::Eliminated);
+        assert_eq!(
+            desc(&m, "vmovaps %zmm0, %zmm1").class,
+            crate::instr::InstrClass::Eliminated
+        );
+        assert_eq!(
+            desc(&m, "xorl %eax, %eax").class,
+            crate::instr::InstrClass::Eliminated
+        );
     }
 
     #[test]

@@ -20,7 +20,16 @@ pub(crate) fn e(
     rthroughput: f64,
     class: InstrClass,
 ) -> Entry {
-    Entry { mnemonics, width, mem, vector_index: None, uops, latency, rthroughput, class }
+    Entry {
+        mnemonics,
+        width,
+        mem,
+        vector_index: None,
+        uops,
+        latency,
+        rthroughput,
+        class,
+    }
 }
 
 /// One pipelined µ-op on the given ports.

@@ -68,9 +68,30 @@ impl Machine {
             int_units: 6, // 2 multi-cycle + 4 single-cycle
             fp_vec_units: 4,
             caches: vec![
-                CacheLevel { name: "L1d", size_kib: 64, line_bytes: 64, assoc: 4, shared: false, latency_cy: 4 },
-                CacheLevel { name: "L2", size_kib: 1024, line_bytes: 64, assoc: 8, shared: false, latency_cy: 12 },
-                CacheLevel { name: "L3", size_kib: 114 * 1024, line_bytes: 64, assoc: 12, shared: true, latency_cy: 45 },
+                CacheLevel {
+                    name: "L1d",
+                    size_kib: 64,
+                    line_bytes: 64,
+                    assoc: 4,
+                    shared: false,
+                    latency_cy: 4,
+                },
+                CacheLevel {
+                    name: "L2",
+                    size_kib: 1024,
+                    line_bytes: 64,
+                    assoc: 8,
+                    shared: false,
+                    latency_cy: 12,
+                },
+                CacheLevel {
+                    name: "L3",
+                    size_kib: 114 * 1024,
+                    line_bytes: 64,
+                    assoc: 12,
+                    shared: true,
+                    latency_cy: 45,
+                },
             ],
             memory: MemorySpec {
                 size_gb: 240,
@@ -91,23 +112,74 @@ fn port_model() -> PortModel {
     use PortCap::*;
     PortModel {
         ports: vec![
-            Port { name: "B0", caps: vec![Branch] },
-            Port { name: "B1", caps: vec![Branch] },
-            Port { name: "S0", caps: vec![IntAlu] },
-            Port { name: "S1", caps: vec![IntAlu] },
-            Port { name: "S2", caps: vec![IntAlu] },
-            Port { name: "S3", caps: vec![IntAlu] },
-            Port { name: "M0", caps: vec![IntAlu, IntMul, PredOp] },
-            Port { name: "M1", caps: vec![IntAlu, IntMul] },
-            Port { name: "V0", caps: vec![VecAlu, VecFma, VecDiv, PredOp] },
-            Port { name: "V1", caps: vec![VecAlu, VecFma, PredOp] },
-            Port { name: "V2", caps: vec![VecAlu, VecFma] },
-            Port { name: "V3", caps: vec![VecAlu, VecFma] },
-            Port { name: "L0", caps: vec![Load, StoreAgu] },
-            Port { name: "L1", caps: vec![Load, StoreAgu] },
-            Port { name: "L2", caps: vec![Load] },
-            Port { name: "SD0", caps: vec![StoreData] },
-            Port { name: "SD1", caps: vec![StoreData] },
+            Port {
+                name: "B0",
+                caps: vec![Branch],
+            },
+            Port {
+                name: "B1",
+                caps: vec![Branch],
+            },
+            Port {
+                name: "S0",
+                caps: vec![IntAlu],
+            },
+            Port {
+                name: "S1",
+                caps: vec![IntAlu],
+            },
+            Port {
+                name: "S2",
+                caps: vec![IntAlu],
+            },
+            Port {
+                name: "S3",
+                caps: vec![IntAlu],
+            },
+            Port {
+                name: "M0",
+                caps: vec![IntAlu, IntMul, PredOp],
+            },
+            Port {
+                name: "M1",
+                caps: vec![IntAlu, IntMul],
+            },
+            Port {
+                name: "V0",
+                caps: vec![VecAlu, VecFma, VecDiv, PredOp],
+            },
+            Port {
+                name: "V1",
+                caps: vec![VecAlu, VecFma, PredOp],
+            },
+            Port {
+                name: "V2",
+                caps: vec![VecAlu, VecFma],
+            },
+            Port {
+                name: "V3",
+                caps: vec![VecAlu, VecFma],
+            },
+            Port {
+                name: "L0",
+                caps: vec![Load, StoreAgu],
+            },
+            Port {
+                name: "L1",
+                caps: vec![Load, StoreAgu],
+            },
+            Port {
+                name: "L2",
+                caps: vec![Load],
+            },
+            Port {
+                name: "SD0",
+                caps: vec![StoreData],
+            },
+            Port {
+                name: "SD1",
+                caps: vec![StoreData],
+            },
         ],
     }
 }
@@ -120,9 +192,11 @@ fn table() -> Vec<crate::instr::Entry> {
 
     // --- Pure loads / stores. ---
     t.push(mem_entry(
-        &["ldr", "ldp", "ldur", "ldnp", "ld1", "ld2", "ld1d", "ld1w", "ld1rd", "ld1rw",
-          "ldff1d", "ldnt1d", "str", "stp", "stur", "stnp", "st1", "st2", "st1d", "st1w",
-          "stnt1d", "prfm", "prfd"],
+        &[
+            "ldr", "ldp", "ldur", "ldnp", "ld1", "ld2", "ld1d", "ld1w", "ld1rd", "ld1rw", "ldff1d",
+            "ldnt1d", "str", "stp", "stur", "stnp", "st1", "st2", "st1d", "st1w", "stnt1d", "prfm",
+            "prfd",
+        ],
         Load,
     ));
 
@@ -145,85 +219,485 @@ fn table() -> Vec<crate::instr::Entry> {
     });
 
     // --- Packed FP (NEON and SVE at VL=128). ---
-    let addish: &'static [&'static str] = &["fadd", "fsub", "fmax", "fmin", "fmaxnm", "fminnm", "fabd", "faddp"];
+    let addish: &'static [&'static str] = &[
+        "fadd", "fsub", "fmax", "fmin", "fmaxnm", "fminnm", "fabd", "faddp",
+    ];
     t.push(e(addish, V128, None, u(VEC), 2, 0.25, VecAlu));
     t.push(e(&["fmul", "fmulx"], V128, None, u(VEC), 3, 0.25, VecMul));
-    t.push(e(&["fmla", "fmls", "fmad", "fmsb", "fnmla", "fnmls"], V128, None, u(VEC), 4, 0.25, VecFma));
+    t.push(e(
+        &["fmla", "fmls", "fmad", "fmsb", "fnmla", "fnmls"],
+        V128,
+        None,
+        u(VEC),
+        4,
+        0.25,
+        VecFma,
+    ));
     // Divide: 0.4 DP elements/cy → 5 cy per 2-lane instruction, latency 5
     // (Table III lists the best case; fdiv is unpipelined on V0).
-    t.push(e(&["fdiv", "fdivr"], V128, None, ub(FDIV, 5.0), 5, 5.0, VecDiv));
+    t.push(e(
+        &["fdiv", "fdivr"],
+        V128,
+        None,
+        ub(FDIV, 5.0),
+        5,
+        5.0,
+        VecDiv,
+    ));
     t.push(e(&["fsqrt"], V128, None, ub(FDIV, 7.0), 13, 7.0, VecDiv));
-    t.push(e(&["fneg", "fabs", "frintm", "frintp", "frintz", "frinta"], V128, None, u(VEC), 2, 0.25, VecAlu));
+    t.push(e(
+        &["fneg", "fabs", "frintm", "frintp", "frintz", "frinta"],
+        V128,
+        None,
+        u(VEC),
+        2,
+        0.25,
+        VecAlu,
+    ));
     // movprfx is usually fused with the destructive op that follows; a
     // non-fused execution still costs one V-port slot.
     t.push(e(&["movprfx"], Any, None, u(VEC), 2, 0.25, Move));
-    t.push(e(&["fcmgt", "fcmge", "fcmeq", "fcmlt", "fcmle", "facgt", "facge"], V128, None, u(V01), 2, 0.5, VecAlu));
+    t.push(e(
+        &[
+            "fcmgt", "fcmge", "fcmeq", "fcmlt", "fcmle", "facgt", "facge",
+        ],
+        V128,
+        None,
+        u(V01),
+        2,
+        0.5,
+        VecAlu,
+    ));
 
     // --- Scalar FP (d/s registers; Table III: 4/cy on all four V ports). ---
     t.push(e(addish, ScalarFp, None, u(VEC), 2, 0.25, VecAlu));
-    t.push(e(&["fmul", "fnmul"], ScalarFp, None, u(VEC), 3, 0.25, VecMul));
-    t.push(e(&["fmadd", "fmsub", "fnmadd", "fnmsub", "fmla", "fmls"], ScalarFp, None, u(VEC), 4, 0.25, VecFma));
+    t.push(e(
+        &["fmul", "fnmul"],
+        ScalarFp,
+        None,
+        u(VEC),
+        3,
+        0.25,
+        VecMul,
+    ));
+    t.push(e(
+        &["fmadd", "fmsub", "fnmadd", "fnmsub", "fmla", "fmls"],
+        ScalarFp,
+        None,
+        u(VEC),
+        4,
+        0.25,
+        VecFma,
+    ));
     // Scalar divide: 0.4/cy → 2.5 cy occupancy, latency 12.
     t.push(e(&["fdiv"], ScalarFp, None, ub(FDIV, 2.5), 12, 2.5, VecDiv));
-    t.push(e(&["fsqrt"], ScalarFp, None, ub(FDIV, 4.0), 12, 4.0, VecDiv));
-    t.push(e(&["fneg", "fabs", "fcvt", "fcvtzs", "fcvtzu", "scvtf", "ucvtf", "frintm", "frintz"], ScalarFp, None, u(VEC), 3, 0.25, VecAlu));
-    t.push(e(&["fcmp", "fcmpe", "fccmp"], Any, None, u(V01), 2, 0.5, VecAlu));
+    t.push(e(
+        &["fsqrt"],
+        ScalarFp,
+        None,
+        ub(FDIV, 4.0),
+        12,
+        4.0,
+        VecDiv,
+    ));
+    t.push(e(
+        &[
+            "fneg", "fabs", "fcvt", "fcvtzs", "fcvtzu", "scvtf", "ucvtf", "frintm", "frintz",
+        ],
+        ScalarFp,
+        None,
+        u(VEC),
+        3,
+        0.25,
+        VecAlu,
+    ));
+    t.push(e(
+        &["fcmp", "fcmpe", "fccmp"],
+        Any,
+        None,
+        u(V01),
+        2,
+        0.5,
+        VecAlu,
+    ));
     t.push(e(&["fcsel"], Any, None, u(V01), 2, 0.5, VecAlu));
 
     // --- Vector integer / logical / permute (NEON & SVE). ---
-    t.push(e(&["add", "sub", "and", "orr", "eor", "bic", "cmeq", "cmgt", "cmge", "addp", "uaddlv", "smax", "smin", "umax", "umin", "mul", "mla", "mls", "sdot", "udot"], V128, None, u(VEC), 2, 0.25, VecAlu));
-    t.push(e(&["dup", "movi", "mvni", "ins", "zip1", "zip2", "uzp1", "uzp2", "trn1", "trn2", "ext", "rev64", "tbl", "splice", "sel"], V128, None, u(V01), 2, 0.5, VecAlu));
+    t.push(e(
+        &[
+            "add", "sub", "and", "orr", "eor", "bic", "cmeq", "cmgt", "cmge", "addp", "uaddlv",
+            "smax", "smin", "umax", "umin", "mul", "mla", "mls", "sdot", "udot",
+        ],
+        V128,
+        None,
+        u(VEC),
+        2,
+        0.25,
+        VecAlu,
+    ));
+    t.push(e(
+        &[
+            "dup", "movi", "mvni", "ins", "zip1", "zip2", "uzp1", "uzp2", "trn1", "trn2", "ext",
+            "rev64", "tbl", "splice", "sel",
+        ],
+        V128,
+        None,
+        u(V01),
+        2,
+        0.5,
+        VecAlu,
+    ));
     t.push(e(&["fmov", "mov"], V128, None, u(VEC), 2, 0.25, Move));
     t.push(e(&["fmov"], ScalarFp, None, u(VEC), 2, 0.25, Move));
-    t.push(e(&["scvtf", "ucvtf", "fcvtzs", "fcvtzu", "fcvtn", "fcvtl", "fcvt"], V128, None, u(V01), 3, 0.5, VecAlu));
+    t.push(e(
+        &[
+            "scvtf", "ucvtf", "fcvtzs", "fcvtzu", "fcvtn", "fcvtl", "fcvt",
+        ],
+        V128,
+        None,
+        u(V01),
+        3,
+        0.5,
+        VecAlu,
+    ));
 
     // --- SVE predicate machinery. ---
-    t.push(e(&["whilelo", "whilelt", "whilele", "whilels"], Any, None, u(PortSet::of(&[M0])), 2, 1.0, Other));
-    t.push(e(&["ptrue", "pfalse", "ptest", "pnext", "punpklo", "punpkhi"], Any, None, u(PortSet::of(&[M0])), 2, 1.0, Other));
-    t.push(e(&["cntd", "cntw", "cnth", "cntb", "incd", "incw", "inch", "incb", "decd", "decw", "rdvl"], Any, None, u(MC), 2, 0.5, IntAlu));
+    t.push(e(
+        &["whilelo", "whilelt", "whilele", "whilels"],
+        Any,
+        None,
+        u(PortSet::of(&[M0])),
+        2,
+        1.0,
+        Other,
+    ));
+    t.push(e(
+        &["ptrue", "pfalse", "ptest", "pnext", "punpklo", "punpkhi"],
+        Any,
+        None,
+        u(PortSet::of(&[M0])),
+        2,
+        1.0,
+        Other,
+    ));
+    t.push(e(
+        &[
+            "cntd", "cntw", "cnth", "cntb", "incd", "incw", "inch", "incb", "decd", "decw", "rdvl",
+        ],
+        Any,
+        None,
+        u(MC),
+        2,
+        0.5,
+        IntAlu,
+    ));
     t.push(e(&["index"], Any, None, u(V01), 4, 0.5, VecAlu));
 
     // --- Scalar integer. ---
     // Simple single-cycle ALU: 6 ports (S0–S3 plus the M ports).
-    t.push(e(&["add", "sub", "and", "orr", "eor", "bic", "orn", "eon", "neg", "mvn", "mov", "movz", "movk", "movn", "sxtw", "uxtw", "sxth", "uxth", "adr", "adrp"], Scalar, None, u(INT), 1, 1.0 / 6.0, IntAlu));
-    t.push(e(&["adds", "subs", "ands", "bics", "cmp", "cmn", "tst"], Scalar, None, u(INT), 1, 1.0 / 6.0, IntAlu));
+    t.push(e(
+        &[
+            "add", "sub", "and", "orr", "eor", "bic", "orn", "eon", "neg", "mvn", "mov", "movz",
+            "movk", "movn", "sxtw", "uxtw", "sxth", "uxth", "adr", "adrp",
+        ],
+        Scalar,
+        None,
+        u(INT),
+        1,
+        1.0 / 6.0,
+        IntAlu,
+    ));
+    t.push(e(
+        &["adds", "subs", "ands", "bics", "cmp", "cmn", "tst"],
+        Scalar,
+        None,
+        u(INT),
+        1,
+        1.0 / 6.0,
+        IntAlu,
+    ));
     // Shifts and shifted-operand forms go to the multi-cycle ports.
-    t.push(e(&["lsl", "lsr", "asr", "ror", "lslv", "lsrv", "asrv", "ubfm", "sbfm", "ubfx", "sbfx", "ubfiz", "sbfiz", "bfi", "extr"], Scalar, None, u(MC), 2, 0.5, IntAlu));
-    t.push(e(&["madd", "msub", "mul", "mneg", "smull", "umull", "smulh", "umulh"], Scalar, None, u(MC), 3, 0.5, IntMul));
-    t.push(e(&["sdiv", "udiv"], Scalar, None, ub(PortSet::of(&[M0]), 7.0), 12, 7.0, IntDiv));
-    t.push(e(&["csel", "csinc", "csinv", "csneg", "cset", "csetm", "cinc"], Scalar, None, u(INT), 1, 1.0 / 6.0, IntAlu));
-    t.push(e(&["ccmp", "ccmn"], Scalar, None, u(INT), 1, 1.0 / 6.0, IntAlu));
+    t.push(e(
+        &[
+            "lsl", "lsr", "asr", "ror", "lslv", "lsrv", "asrv", "ubfm", "sbfm", "ubfx", "sbfx",
+            "ubfiz", "sbfiz", "bfi", "extr",
+        ],
+        Scalar,
+        None,
+        u(MC),
+        2,
+        0.5,
+        IntAlu,
+    ));
+    t.push(e(
+        &[
+            "madd", "msub", "mul", "mneg", "smull", "umull", "smulh", "umulh",
+        ],
+        Scalar,
+        None,
+        u(MC),
+        3,
+        0.5,
+        IntMul,
+    ));
+    t.push(e(
+        &["sdiv", "udiv"],
+        Scalar,
+        None,
+        ub(PortSet::of(&[M0]), 7.0),
+        12,
+        7.0,
+        IntDiv,
+    ));
+    t.push(e(
+        &["csel", "csinc", "csinv", "csneg", "cset", "csetm", "cinc"],
+        Scalar,
+        None,
+        u(INT),
+        1,
+        1.0 / 6.0,
+        IntAlu,
+    ));
+    t.push(e(
+        &["ccmp", "ccmn"],
+        Scalar,
+        None,
+        u(INT),
+        1,
+        1.0 / 6.0,
+        IntAlu,
+    ));
 
     // --- Branches. ---
-    t.push(e(&["b", "br", "cbz", "cbnz", "tbz", "tbnz"], Any, None, u(BR), 1, 0.5, Branch));
-    t.push(e(&["bl", "blr", "ret"], Any, None, u(PortSet::of(&[B0])), 1, 1.0, Branch));
+    t.push(e(
+        &["b", "br", "cbz", "cbnz", "tbz", "tbnz"],
+        Any,
+        None,
+        u(BR),
+        1,
+        0.5,
+        Branch,
+    ));
+    t.push(e(
+        &["bl", "blr", "ret"],
+        Any,
+        None,
+        u(PortSet::of(&[B0])),
+        1,
+        1.0,
+        Branch,
+    ));
 
     // --- Extended integer coverage. ---
-    t.push(e(&["rbit", "clz", "cls", "rev", "rev16", "rev32"], Scalar, None, u(INT), 1, 1.0 / 6.0, IntAlu));
-    t.push(e(&["smaddl", "umaddl", "smsubl", "umsubl"], Scalar, None, u(MC), 3, 0.5, IntMul));
-    t.push(e(&["crc32b", "crc32h", "crc32w", "crc32x"], Scalar, None, u(PortSet::of(&[M0])), 2, 1.0, IntAlu));
-    t.push(e(&["adc", "sbc", "adcs", "sbcs", "ngc"], Scalar, None, u(INT), 1, 1.0 / 6.0, IntAlu));
-    t.push(e(&["tst", "mvn", "bfc", "bfxil"], Scalar, None, u(INT), 1, 1.0 / 6.0, IntAlu));
+    t.push(e(
+        &["rbit", "clz", "cls", "rev", "rev16", "rev32"],
+        Scalar,
+        None,
+        u(INT),
+        1,
+        1.0 / 6.0,
+        IntAlu,
+    ));
+    t.push(e(
+        &["smaddl", "umaddl", "smsubl", "umsubl"],
+        Scalar,
+        None,
+        u(MC),
+        3,
+        0.5,
+        IntMul,
+    ));
+    t.push(e(
+        &["crc32b", "crc32h", "crc32w", "crc32x"],
+        Scalar,
+        None,
+        u(PortSet::of(&[M0])),
+        2,
+        1.0,
+        IntAlu,
+    ));
+    t.push(e(
+        &["adc", "sbc", "adcs", "sbcs", "ngc"],
+        Scalar,
+        None,
+        u(INT),
+        1,
+        1.0 / 6.0,
+        IntAlu,
+    ));
+    t.push(e(
+        &["tst", "mvn", "bfc", "bfxil"],
+        Scalar,
+        None,
+        u(INT),
+        1,
+        1.0 / 6.0,
+        IntAlu,
+    ));
 
     // --- Extended NEON/SVE coverage. ---
-    t.push(e(&["faddv", "fmaxv", "fminv", "fmaxnmv", "fminnmv", "addv", "smaxv", "uminv"], V128, None, u(V01), 4, 0.5, VecAlu));
-    t.push(e(&["fadda"], V128, None, ub(PortSet::of(&[V0]), 4.0), 8, 4.0, VecAlu));
-    t.push(e(&["shl", "sshr", "ushr", "sshl", "ushl", "shrn", "shll", "sli", "sri"], V128, None, u(V01), 2, 0.5, VecAlu));
-    t.push(e(&["lsl", "lsr", "asr"], V128, None, u(V01), 2, 0.5, VecAlu));
-    t.push(e(&["frecpe", "frsqrte", "frecps", "frsqrts"], Any, None, u(PortSet::of(&[V0])), 4, 1.0, VecAlu));
-    t.push(e(&["abs", "neg", "sqabs", "sqneg"], V128, None, u(VEC), 2, 0.25, VecAlu));
-    t.push(e(&["bsl", "bit", "bif", "bic", "orn"], V128, None, u(VEC), 2, 0.25, VecAlu));
-    t.push(e(&["xtn", "xtn2", "sxtl", "uxtl", "sxtl2", "uxtl2"], V128, None, u(V01), 2, 0.5, VecAlu));
-    t.push(e(&["saddlp", "uaddlp", "sadalp", "uadalp", "saddlv", "uaddlv"], V128, None, u(V01), 3, 0.5, VecAlu));
-    t.push(e(&["umov", "smov"], Any, None, u(PortSet::of(&[V1])), 2, 1.0, Other));
+    t.push(e(
+        &[
+            "faddv", "fmaxv", "fminv", "fmaxnmv", "fminnmv", "addv", "smaxv", "uminv",
+        ],
+        V128,
+        None,
+        u(V01),
+        4,
+        0.5,
+        VecAlu,
+    ));
+    t.push(e(
+        &["fadda"],
+        V128,
+        None,
+        ub(PortSet::of(&[V0]), 4.0),
+        8,
+        4.0,
+        VecAlu,
+    ));
+    t.push(e(
+        &[
+            "shl", "sshr", "ushr", "sshl", "ushl", "shrn", "shll", "sli", "sri",
+        ],
+        V128,
+        None,
+        u(V01),
+        2,
+        0.5,
+        VecAlu,
+    ));
+    t.push(e(
+        &["lsl", "lsr", "asr"],
+        V128,
+        None,
+        u(V01),
+        2,
+        0.5,
+        VecAlu,
+    ));
+    t.push(e(
+        &["frecpe", "frsqrte", "frecps", "frsqrts"],
+        Any,
+        None,
+        u(PortSet::of(&[V0])),
+        4,
+        1.0,
+        VecAlu,
+    ));
+    t.push(e(
+        &["abs", "neg", "sqabs", "sqneg"],
+        V128,
+        None,
+        u(VEC),
+        2,
+        0.25,
+        VecAlu,
+    ));
+    t.push(e(
+        &["bsl", "bit", "bif", "bic", "orn"],
+        V128,
+        None,
+        u(VEC),
+        2,
+        0.25,
+        VecAlu,
+    ));
+    t.push(e(
+        &["xtn", "xtn2", "sxtl", "uxtl", "sxtl2", "uxtl2"],
+        V128,
+        None,
+        u(V01),
+        2,
+        0.5,
+        VecAlu,
+    ));
+    t.push(e(
+        &["saddlp", "uaddlp", "sadalp", "uadalp", "saddlv", "uaddlv"],
+        V128,
+        None,
+        u(V01),
+        3,
+        0.5,
+        VecAlu,
+    ));
+    t.push(e(
+        &["umov", "smov"],
+        Any,
+        None,
+        u(PortSet::of(&[V1])),
+        2,
+        1.0,
+        Other,
+    ));
     // SVE predicate / compare / select extras.
-    t.push(e(&["cmpgt", "cmpge", "cmpeq", "cmpne", "cmplt", "cmple", "cmphi", "cmplo"], V128, None, u(V01), 4, 0.5, VecAlu));
-    t.push(e(&["nand", "nor", "bics"], Any, None, u(PortSet::of(&[M0])), 1, 1.0, Other));
-    t.push(e(&["brka", "brkb", "brkn", "pfirst", "plast"], Any, None, u(PortSet::of(&[M0])), 2, 1.0, Other));
-    t.push(e(&["compact", "lasta", "lastb", "clasta", "clastb"], V128, None, u(V01), 3, 0.5, VecAlu));
-    t.push(e(&["uzp1", "uzp2", "zip1", "zip2", "trn1", "trn2", "revb", "revh", "revw"], Any, None, u(V01), 2, 0.5, VecAlu));
-    t.push(e(&["mad", "msb", "mla", "mls", "mul"], V128, None, u(VEC), 4, 0.25, VecMul));
-    t.push(e(&["sminv", "umaxv", "andv", "orv", "eorv"], V128, None, u(V01), 4, 0.5, VecAlu));
+    t.push(e(
+        &[
+            "cmpgt", "cmpge", "cmpeq", "cmpne", "cmplt", "cmple", "cmphi", "cmplo",
+        ],
+        V128,
+        None,
+        u(V01),
+        4,
+        0.5,
+        VecAlu,
+    ));
+    t.push(e(
+        &["nand", "nor", "bics"],
+        Any,
+        None,
+        u(PortSet::of(&[M0])),
+        1,
+        1.0,
+        Other,
+    ));
+    t.push(e(
+        &["brka", "brkb", "brkn", "pfirst", "plast"],
+        Any,
+        None,
+        u(PortSet::of(&[M0])),
+        2,
+        1.0,
+        Other,
+    ));
+    t.push(e(
+        &["compact", "lasta", "lastb", "clasta", "clastb"],
+        V128,
+        None,
+        u(V01),
+        3,
+        0.5,
+        VecAlu,
+    ));
+    t.push(e(
+        &[
+            "uzp1", "uzp2", "zip1", "zip2", "trn1", "trn2", "revb", "revh", "revw",
+        ],
+        Any,
+        None,
+        u(V01),
+        2,
+        0.5,
+        VecAlu,
+    ));
+    t.push(e(
+        &["mad", "msb", "mla", "mls", "mul"],
+        V128,
+        None,
+        u(VEC),
+        4,
+        0.25,
+        VecMul,
+    ));
+    t.push(e(
+        &["sminv", "umaxv", "andv", "orv", "eorv"],
+        V128,
+        None,
+        u(V01),
+        4,
+        0.5,
+        VecAlu,
+    ));
 
     t
 }
@@ -286,7 +760,10 @@ mod tests {
         assert_eq!(st.uop_count(), 2);
         assert_eq!(desc(&m, "stp q0, q1, [x0]").uop_count(), 4);
         // SVE loads at VL=128 are single-pipe.
-        assert_eq!(desc(&m, "ld1d {z0.d}, p0/z, [x0, x1, lsl #3]").uop_count(), 1);
+        assert_eq!(
+            desc(&m, "ld1d {z0.d}, p0/z, [x0, x1, lsl #3]").uop_count(),
+            1
+        );
     }
 
     #[test]

@@ -65,10 +65,31 @@ impl Machine {
             int_units: 4,
             fp_vec_units: 4,
             caches: vec![
-                CacheLevel { name: "L1d", size_kib: 32, line_bytes: 64, assoc: 8, shared: false, latency_cy: 4 },
-                CacheLevel { name: "L2", size_kib: 1024, line_bytes: 64, assoc: 8, shared: false, latency_cy: 14 },
+                CacheLevel {
+                    name: "L1d",
+                    size_kib: 32,
+                    line_bytes: 64,
+                    assoc: 8,
+                    shared: false,
+                    latency_cy: 4,
+                },
+                CacheLevel {
+                    name: "L2",
+                    size_kib: 1024,
+                    line_bytes: 64,
+                    assoc: 8,
+                    shared: false,
+                    latency_cy: 14,
+                },
                 // Genoa-X: 3D V-Cache, 1152 MB per socket.
-                CacheLevel { name: "L3", size_kib: 1152 * 1024, line_bytes: 64, assoc: 16, shared: true, latency_cy: 50 },
+                CacheLevel {
+                    name: "L3",
+                    size_kib: 1152 * 1024,
+                    line_bytes: 64,
+                    assoc: 16,
+                    shared: true,
+                    latency_cy: 50,
+                },
             ],
             memory: MemorySpec {
                 size_gb: 384,
@@ -79,7 +100,7 @@ impl Machine {
             },
             tdp_w: 400.0,
             numa_domains: 1,
-            fma_dp_flops_per_cycle: 16, // 2 × 256-bit FMA
+            fma_dp_flops_per_cycle: 16,      // 2 × 256-bit FMA
             extra_add_dp_flops_per_cycle: 8, // 2 × 256-bit FADD pipes run concurrently
         }
     }
@@ -89,19 +110,58 @@ fn port_model() -> PortModel {
     use PortCap::*;
     PortModel {
         ports: vec![
-            Port { name: "I0", caps: vec![IntAlu, Branch] },
-            Port { name: "I1", caps: vec![IntAlu, IntMul] },
-            Port { name: "I2", caps: vec![IntAlu] },
-            Port { name: "I3", caps: vec![IntAlu] },
-            Port { name: "BR", caps: vec![Branch] },
-            Port { name: "AG0", caps: vec![Load] },
-            Port { name: "AG1", caps: vec![Load] },
-            Port { name: "AG2", caps: vec![StoreAgu] },
-            Port { name: "F0", caps: vec![VecAlu, VecFma] },
-            Port { name: "F1", caps: vec![VecAlu, VecFma, VecDiv] },
-            Port { name: "F2", caps: vec![VecAlu] },
-            Port { name: "F3", caps: vec![VecAlu] },
-            Port { name: "ST", caps: vec![StoreData] },
+            Port {
+                name: "I0",
+                caps: vec![IntAlu, Branch],
+            },
+            Port {
+                name: "I1",
+                caps: vec![IntAlu, IntMul],
+            },
+            Port {
+                name: "I2",
+                caps: vec![IntAlu],
+            },
+            Port {
+                name: "I3",
+                caps: vec![IntAlu],
+            },
+            Port {
+                name: "BR",
+                caps: vec![Branch],
+            },
+            Port {
+                name: "AG0",
+                caps: vec![Load],
+            },
+            Port {
+                name: "AG1",
+                caps: vec![Load],
+            },
+            Port {
+                name: "AG2",
+                caps: vec![StoreAgu],
+            },
+            Port {
+                name: "F0",
+                caps: vec![VecAlu, VecFma],
+            },
+            Port {
+                name: "F1",
+                caps: vec![VecAlu, VecFma, VecDiv],
+            },
+            Port {
+                name: "F2",
+                caps: vec![VecAlu],
+            },
+            Port {
+                name: "F3",
+                caps: vec![VecAlu],
+            },
+            Port {
+                name: "ST",
+                caps: vec![StoreData],
+            },
         ],
     }
 }
@@ -113,22 +173,78 @@ fn table() -> Vec<crate::instr::Entry> {
     let mut t = Vec::new();
 
     t.push(mem_entry(
-        &["mov", "movsd", "movss", "movq", "movd", "movzx", "movsx", "movapd", "movaps",
-          "movupd", "movups", "movdqa", "movdqu", "vmovapd", "vmovaps", "vmovupd", "vmovups",
-          "vmovdqa", "vmovdqu", "vmovdqa64", "vmovdqu64", "vmovsd", "vmovss", "vmovntpd",
-          "vmovntps", "movntpd", "movntps", "movnti", "vmovntdq", "movlpd", "movhpd"],
+        &[
+            "mov",
+            "movsd",
+            "movss",
+            "movq",
+            "movd",
+            "movzx",
+            "movsx",
+            "movapd",
+            "movaps",
+            "movupd",
+            "movups",
+            "movdqa",
+            "movdqu",
+            "vmovapd",
+            "vmovaps",
+            "vmovupd",
+            "vmovups",
+            "vmovdqa",
+            "vmovdqu",
+            "vmovdqa64",
+            "vmovdqu64",
+            "vmovsd",
+            "vmovss",
+            "vmovntpd",
+            "vmovntps",
+            "movntpd",
+            "movntps",
+            "movnti",
+            "vmovntdq",
+            "movlpd",
+            "movhpd",
+        ],
         Load,
     ));
 
     // Gather: Table III — 1/8 cache line per cycle, latency 13; the µcoded
     // gather serializes on one load AGU.
     let gpt = PortSet::of(&[AG0]);
-    t.push(e(&["vgatherdpd", "vgatherqpd"], V512, Some(true), ub(gpt, 64.0), 13, 64.0, Load));
-    t.push(e(&["vgatherdpd", "vgatherqpd"], V256, Some(true), ub(gpt, 32.0), 13, 32.0, Load));
-    t.push(e(&["vgatherdpd", "vgatherqpd"], V128, Some(true), ub(gpt, 16.0), 13, 16.0, Load));
+    t.push(e(
+        &["vgatherdpd", "vgatherqpd"],
+        V512,
+        Some(true),
+        ub(gpt, 64.0),
+        13,
+        64.0,
+        Load,
+    ));
+    t.push(e(
+        &["vgatherdpd", "vgatherqpd"],
+        V256,
+        Some(true),
+        ub(gpt, 32.0),
+        13,
+        32.0,
+        Load,
+    ));
+    t.push(e(
+        &["vgatherdpd", "vgatherqpd"],
+        V128,
+        Some(true),
+        ub(gpt, 16.0),
+        13,
+        16.0,
+        Load,
+    ));
 
     // --- Packed DP arithmetic. FADD pipes F2/F3; FMA/FMUL pipes F0/F1. ---
-    let addish: &'static [&'static str] = &["vaddpd", "vsubpd", "vaddps", "vsubps", "vmaxpd", "vminpd", "addpd", "subpd", "maxpd", "minpd"];
+    let addish: &'static [&'static str] = &[
+        "vaddpd", "vsubpd", "vaddps", "vsubps", "vmaxpd", "vminpd", "addpd", "subpd", "maxpd",
+        "minpd",
+    ];
     t.push(e(addish, V512, None, u2(FADD), 4, 1.0, VecAlu));
     t.push(e(addish, V256, None, u(FADD), 3, 0.5, VecAlu));
     t.push(e(addish, V128, None, u(FADD), 3, 0.5, VecAlu));
@@ -139,98 +255,601 @@ fn table() -> Vec<crate::instr::Entry> {
     t.push(e(mulish, V128, None, u(FMA), 3, 0.5, VecMul));
 
     let fma: &'static [&'static str] = &[
-        "vfmadd132pd", "vfmadd213pd", "vfmadd231pd", "vfmsub132pd", "vfmsub213pd", "vfmsub231pd",
-        "vfnmadd132pd", "vfnmadd213pd", "vfnmadd231pd", "vfnmsub132pd", "vfnmsub213pd", "vfnmsub231pd",
-        "vfmadd132ps", "vfmadd213ps", "vfmadd231ps",
+        "vfmadd132pd",
+        "vfmadd213pd",
+        "vfmadd231pd",
+        "vfmsub132pd",
+        "vfmsub213pd",
+        "vfmsub231pd",
+        "vfnmadd132pd",
+        "vfnmadd213pd",
+        "vfnmadd231pd",
+        "vfnmsub132pd",
+        "vfnmsub213pd",
+        "vfnmsub231pd",
+        "vfmadd132ps",
+        "vfmadd213ps",
+        "vfmadd231ps",
     ];
     t.push(e(fma, V512, None, u2(FMA), 5, 1.0, VecFma));
     t.push(e(fma, V256, None, u(FMA), 4, 0.5, VecFma));
     t.push(e(fma, V128, None, u(FMA), 4, 0.5, VecFma));
 
     // Divide: 0.8 DP elements/cy → 5 cy per ymm instruction, latency 13.
-    t.push(e(&["vdivpd", "divpd"], V512, None, ub(FDIV, 10.0), 14, 10.0, VecDiv));
-    t.push(e(&["vdivpd", "divpd"], V256, None, ub(FDIV, 5.0), 13, 5.0, VecDiv));
-    t.push(e(&["vdivpd", "divpd"], V128, None, ub(FDIV, 2.5), 13, 2.5, VecDiv));
-    t.push(e(&["vsqrtpd", "sqrtpd"], Any, None, ub(FDIV, 9.0), 21, 9.0, VecDiv));
+    t.push(e(
+        &["vdivpd", "divpd"],
+        V512,
+        None,
+        ub(FDIV, 10.0),
+        14,
+        10.0,
+        VecDiv,
+    ));
+    t.push(e(
+        &["vdivpd", "divpd"],
+        V256,
+        None,
+        ub(FDIV, 5.0),
+        13,
+        5.0,
+        VecDiv,
+    ));
+    t.push(e(
+        &["vdivpd", "divpd"],
+        V128,
+        None,
+        ub(FDIV, 2.5),
+        13,
+        2.5,
+        VecDiv,
+    ));
+    t.push(e(
+        &["vsqrtpd", "sqrtpd"],
+        Any,
+        None,
+        ub(FDIV, 9.0),
+        21,
+        9.0,
+        VecDiv,
+    ));
 
     // --- Scalar DP (Table III: ADD 2/cy lat 3, MUL 2/cy lat 3, FMA lat 4,
     // DIV 0.2/cy lat 13). ---
-    t.push(e(&["addsd", "subsd", "vaddsd", "vsubsd", "addss", "subss", "vaddss", "vsubss", "maxsd", "minsd", "vmaxsd", "vminsd"], ScalarFp, None, u(FADD), 3, 0.5, VecAlu));
-    t.push(e(&["mulsd", "vmulsd", "mulss", "vmulss"], ScalarFp, None, u(FMA), 3, 0.5, VecMul));
     t.push(e(
-        &["vfmadd132sd", "vfmadd213sd", "vfmadd231sd", "vfnmadd132sd", "vfnmadd213sd", "vfnmadd231sd", "vfmsub132sd", "vfmsub213sd", "vfmsub231sd"],
-        ScalarFp, None, u(FMA), 4, 0.5, VecFma,
+        &[
+            "addsd", "subsd", "vaddsd", "vsubsd", "addss", "subss", "vaddss", "vsubss", "maxsd",
+            "minsd", "vmaxsd", "vminsd",
+        ],
+        ScalarFp,
+        None,
+        u(FADD),
+        3,
+        0.5,
+        VecAlu,
     ));
-    t.push(e(&["divsd", "vdivsd", "divss", "vdivss"], ScalarFp, None, ub(FDIV, 5.0), 13, 5.0, VecDiv));
-    t.push(e(&["sqrtsd", "vsqrtsd"], ScalarFp, None, ub(FDIV, 5.5), 21, 5.5, VecDiv));
+    t.push(e(
+        &["mulsd", "vmulsd", "mulss", "vmulss"],
+        ScalarFp,
+        None,
+        u(FMA),
+        3,
+        0.5,
+        VecMul,
+    ));
+    t.push(e(
+        &[
+            "vfmadd132sd",
+            "vfmadd213sd",
+            "vfmadd231sd",
+            "vfnmadd132sd",
+            "vfnmadd213sd",
+            "vfnmadd231sd",
+            "vfmsub132sd",
+            "vfmsub213sd",
+            "vfmsub231sd",
+        ],
+        ScalarFp,
+        None,
+        u(FMA),
+        4,
+        0.5,
+        VecFma,
+    ));
+    t.push(e(
+        &["divsd", "vdivsd", "divss", "vdivss"],
+        ScalarFp,
+        None,
+        ub(FDIV, 5.0),
+        13,
+        5.0,
+        VecDiv,
+    ));
+    t.push(e(
+        &["sqrtsd", "vsqrtsd"],
+        ScalarFp,
+        None,
+        ub(FDIV, 5.5),
+        21,
+        5.5,
+        VecDiv,
+    ));
 
     // --- Vector logicals / shuffles / converts. ---
-    t.push(e(&["vxorpd", "vxorps", "vandpd", "vandps", "vorpd", "vorps", "xorpd", "xorps", "andpd", "andps", "orpd", "orps", "vpand", "vpor", "vpxor", "vpxord", "vpxorq"], V512, None, u2(FANY), 2, 0.5, VecAlu));
-    t.push(e(&["vxorpd", "vxorps", "vandpd", "vandps", "vorpd", "vorps", "xorpd", "xorps", "andpd", "andps", "orpd", "orps", "vpand", "vpor", "vpxor"], Any, None, u(FANY), 1, 0.25, VecAlu));
-    t.push(e(&["vblendvpd", "vblendpd", "blendvpd"], Any, None, u(SHUF), 1, 0.5, VecAlu));
-    t.push(e(&["vunpcklpd", "vunpckhpd", "unpcklpd", "unpckhpd", "vshufpd", "shufpd", "vpermilpd", "vmovddup", "movddup", "vinsertf128", "vextractf128", "vpermpd", "vperm2f128"], Any, None, u(SHUF), 2, 0.5, VecAlu));
+    t.push(e(
+        &[
+            "vxorpd", "vxorps", "vandpd", "vandps", "vorpd", "vorps", "xorpd", "xorps", "andpd",
+            "andps", "orpd", "orps", "vpand", "vpor", "vpxor", "vpxord", "vpxorq",
+        ],
+        V512,
+        None,
+        u2(FANY),
+        2,
+        0.5,
+        VecAlu,
+    ));
+    t.push(e(
+        &[
+            "vxorpd", "vxorps", "vandpd", "vandps", "vorpd", "vorps", "xorpd", "xorps", "andpd",
+            "andps", "orpd", "orps", "vpand", "vpor", "vpxor",
+        ],
+        Any,
+        None,
+        u(FANY),
+        1,
+        0.25,
+        VecAlu,
+    ));
+    t.push(e(
+        &["vblendvpd", "vblendpd", "blendvpd"],
+        Any,
+        None,
+        u(SHUF),
+        1,
+        0.5,
+        VecAlu,
+    ));
+    t.push(e(
+        &[
+            "vunpcklpd",
+            "vunpckhpd",
+            "unpcklpd",
+            "unpckhpd",
+            "vshufpd",
+            "shufpd",
+            "vpermilpd",
+            "vmovddup",
+            "movddup",
+            "vinsertf128",
+            "vextractf128",
+            "vpermpd",
+            "vperm2f128",
+        ],
+        Any,
+        None,
+        u(SHUF),
+        2,
+        0.5,
+        VecAlu,
+    ));
     // Register-register movsd/movss merge the low lane (not eliminated).
-    t.push(e(&["movsd", "movss", "vmovsd", "vmovss"], Any, Some(false), u(SHUF), 1, 0.5, VecAlu));
-    t.push(e(&["vbroadcastsd", "vbroadcastss"], Any, Some(false), u(SHUF), 2, 0.5, VecAlu));
+    t.push(e(
+        &["movsd", "movss", "vmovsd", "vmovss"],
+        Any,
+        Some(false),
+        u(SHUF),
+        1,
+        0.5,
+        VecAlu,
+    ));
+    t.push(e(
+        &["vbroadcastsd", "vbroadcastss"],
+        Any,
+        Some(false),
+        u(SHUF),
+        2,
+        0.5,
+        VecAlu,
+    ));
     t.push(mem_entry(&["vbroadcastsd", "vbroadcastss"], Load));
-    t.push(e(&["vcvtsi2sd", "cvtsi2sd", "vcvtsi2sdq", "cvtsi2sdq", "vcvttsd2si", "cvttsd2si", "vcvtsd2si"], Any, None, u(PortSet::of(&[F1])), 7, 1.0, VecAlu));
-    t.push(e(&["vcvtpd2ps", "vcvtps2pd", "cvtpd2ps", "cvtps2pd", "vcvtdq2pd", "vcvttpd2dq"], Any, None, u(SHUF), 3, 0.5, VecAlu));
-    t.push(e(&["vpaddq", "vpaddd", "vpsubq", "vpsubd", "paddq", "paddd", "psubq", "psubd"], Any, None, u(FANY), 1, 0.25, VecAlu));
-    t.push(e(&["vpmullq", "vpmulld", "vpmuludq"], Any, None, u(FMA), 4, 0.5, VecMul));
-    t.push(e(&["vpbroadcastq", "vpbroadcastd"], Any, None, u(SHUF), 2, 0.5, VecAlu));
+    t.push(e(
+        &[
+            "vcvtsi2sd",
+            "cvtsi2sd",
+            "vcvtsi2sdq",
+            "cvtsi2sdq",
+            "vcvttsd2si",
+            "cvttsd2si",
+            "vcvtsd2si",
+        ],
+        Any,
+        None,
+        u(PortSet::of(&[F1])),
+        7,
+        1.0,
+        VecAlu,
+    ));
+    t.push(e(
+        &[
+            "vcvtpd2ps",
+            "vcvtps2pd",
+            "cvtpd2ps",
+            "cvtps2pd",
+            "vcvtdq2pd",
+            "vcvttpd2dq",
+        ],
+        Any,
+        None,
+        u(SHUF),
+        3,
+        0.5,
+        VecAlu,
+    ));
+    t.push(e(
+        &[
+            "vpaddq", "vpaddd", "vpsubq", "vpsubd", "paddq", "paddd", "psubq", "psubd",
+        ],
+        Any,
+        None,
+        u(FANY),
+        1,
+        0.25,
+        VecAlu,
+    ));
+    t.push(e(
+        &["vpmullq", "vpmulld", "vpmuludq"],
+        Any,
+        None,
+        u(FMA),
+        4,
+        0.5,
+        VecMul,
+    ));
+    t.push(e(
+        &["vpbroadcastq", "vpbroadcastd"],
+        Any,
+        None,
+        u(SHUF),
+        2,
+        0.5,
+        VecAlu,
+    ));
 
     // --- Mask registers (AVX-512). ---
-    t.push(e(&["kmovb", "kmovw", "kmovd", "kmovq", "kandw", "korw", "kxorw", "knotw", "kortestw", "kortestb", "ktestw"], Any, None, u(PortSet::of(&[F1])), 1, 1.0, Other));
+    t.push(e(
+        &[
+            "kmovb", "kmovw", "kmovd", "kmovq", "kandw", "korw", "kxorw", "knotw", "kortestw",
+            "kortestb", "ktestw",
+        ],
+        Any,
+        None,
+        u(PortSet::of(&[F1])),
+        1,
+        1.0,
+        Other,
+    ));
 
     // --- Scalar integer. ---
-    t.push(e(&["add", "sub", "and", "or", "xor", "inc", "dec", "neg", "not", "mov", "cmov", "cmova", "cmovb", "cmove", "cmovne", "cmovg", "cmovl", "cmovge", "cmovle", "cmovae", "cmovbe", "movz", "movs", "sete", "setne", "setl", "setg"], Scalar, Some(false), u(ALU), 1, 0.25, IntAlu));
+    t.push(e(
+        &[
+            "add", "sub", "and", "or", "xor", "inc", "dec", "neg", "not", "mov", "cmov", "cmova",
+            "cmovb", "cmove", "cmovne", "cmovg", "cmovl", "cmovge", "cmovle", "cmovae", "cmovbe",
+            "movz", "movs", "sete", "setne", "setl", "setg",
+        ],
+        Scalar,
+        Some(false),
+        u(ALU),
+        1,
+        0.25,
+        IntAlu,
+    ));
     t.push(e(&["cmp", "test"], Scalar, None, u(ALU), 1, 0.25, IntAlu));
-    t.push(e(&["add", "sub", "and", "or", "xor", "inc", "dec", "neg", "not"], Scalar, Some(true), u(ALU), 1, 0.25, IntAlu));
+    t.push(e(
+        &["add", "sub", "and", "or", "xor", "inc", "dec", "neg", "not"],
+        Scalar,
+        Some(true),
+        u(ALU),
+        1,
+        0.25,
+        IntAlu,
+    ));
     t.push(e(&["lea"], Scalar, None, u(ALU), 1, 0.25, IntAlu));
     t.push(e(&["imul"], Scalar, None, u(IMUL), 3, 1.0, IntMul));
     t.push(e(&["mul"], Scalar, None, u(IMUL), 3, 1.0, IntMul));
-    t.push(e(&["idiv", "div"], Scalar, None, ub(IDIV, 7.0), 19, 7.0, IntDiv));
-    t.push(e(&["shl", "shr", "sar", "rol", "ror", "shlx", "shrx", "sarx"], Scalar, None, u(ALU), 1, 0.25, IntAlu));
+    t.push(e(
+        &["idiv", "div"],
+        Scalar,
+        None,
+        ub(IDIV, 7.0),
+        19,
+        7.0,
+        IntDiv,
+    ));
+    t.push(e(
+        &["shl", "shr", "sar", "rol", "ror", "shlx", "shrx", "sarx"],
+        Scalar,
+        None,
+        u(ALU),
+        1,
+        0.25,
+        IntAlu,
+    ));
     t.push(e(&["push"], Scalar, None, u(ALU), 1, 1.0, Store));
     t.push(e(&["pop"], Scalar, None, u(ALU), 1, 1.0, Load));
 
     // --- FP compare / control. ---
-    t.push(e(&["ucomisd", "comisd", "vucomisd", "vcomisd", "ucomiss", "vucomiss"], Any, None, u(PortSet::of(&[F1])), 3, 1.0, VecAlu));
-    t.push(e(&["vcmppd", "cmppd", "vcmpsd", "cmpsd"], Any, None, u(FADD), 2, 0.5, VecAlu));
+    t.push(e(
+        &[
+            "ucomisd", "comisd", "vucomisd", "vcomisd", "ucomiss", "vucomiss",
+        ],
+        Any,
+        None,
+        u(PortSet::of(&[F1])),
+        3,
+        1.0,
+        VecAlu,
+    ));
+    t.push(e(
+        &["vcmppd", "cmppd", "vcmpsd", "cmpsd"],
+        Any,
+        None,
+        u(FADD),
+        2,
+        0.5,
+        VecAlu,
+    ));
 
     // --- Branches. ---
     t.push(e(
-        &["jmp", "ja", "jae", "jb", "jbe", "je", "jne", "jg", "jge", "jl", "jle", "js", "jns", "jo", "jno", "jp", "jnp", "jc", "jnc", "jz", "jnz"],
-        Any, None, u(BR), 1, 0.5, Branch,
+        &[
+            "jmp", "ja", "jae", "jb", "jbe", "je", "jne", "jg", "jge", "jl", "jle", "js", "jns",
+            "jo", "jno", "jp", "jnp", "jc", "jnc", "jz", "jnz",
+        ],
+        Any,
+        None,
+        u(BR),
+        1,
+        0.5,
+        Branch,
     ));
-    t.push(e(&["call", "ret"], Any, None, u(PortSet::of(&[BRP])), 2, 1.0, Branch));
+    t.push(e(
+        &["call", "ret"],
+        Any,
+        None,
+        u(PortSet::of(&[BRP])),
+        2,
+        1.0,
+        Branch,
+    ));
 
     // --- Extended integer coverage. ---
-    t.push(e(&["popcnt", "lzcnt", "tzcnt"], Scalar, None, u(ALU), 1, 0.25, IntAlu));
+    t.push(e(
+        &["popcnt", "lzcnt", "tzcnt"],
+        Scalar,
+        None,
+        u(ALU),
+        1,
+        0.25,
+        IntAlu,
+    ));
     t.push(e(&["bswap", "movbe"], Scalar, None, u(ALU), 1, 0.5, IntAlu));
-    t.push(e(&["bt", "bts", "btr", "btc"], Scalar, None, u(ALU), 1, 0.5, IntAlu));
+    t.push(e(
+        &["bt", "bts", "btr", "btc"],
+        Scalar,
+        None,
+        u(ALU),
+        1,
+        0.5,
+        IntAlu,
+    ));
     t.push(e(&["shld", "shrd"], Scalar, None, u(IMUL), 3, 1.0, IntAlu));
-    t.push(e(&["cdq", "cqo", "cbw", "cwde", "cdqe"], Scalar, None, u(ALU), 1, 0.25, IntAlu));
+    t.push(e(
+        &["cdq", "cqo", "cbw", "cwde", "cdqe"],
+        Scalar,
+        None,
+        u(ALU),
+        1,
+        0.25,
+        IntAlu,
+    ));
     t.push(e(&["xchg"], Scalar, Some(false), u(ALU), 1, 0.5, IntAlu));
-    t.push(e(&["andn", "blsi", "blsr", "blsmsk", "bzhi"], Scalar, None, u(ALU), 1, 0.25, IntAlu));
-    t.push(e(&["mulx", "adcx", "adox"], Scalar, None, u(IMUL), 3, 1.0, IntMul));
+    t.push(e(
+        &["andn", "blsi", "blsr", "blsmsk", "bzhi"],
+        Scalar,
+        None,
+        u(ALU),
+        1,
+        0.25,
+        IntAlu,
+    ));
+    t.push(e(
+        &["mulx", "adcx", "adox"],
+        Scalar,
+        None,
+        u(IMUL),
+        3,
+        1.0,
+        IntMul,
+    ));
 
     // --- Extended FP/SIMD coverage. ---
-    t.push(e(&["vroundpd", "roundpd", "vroundsd", "roundsd", "vrndscalepd", "vrndscalesd"], Any, None, u(SHUF), 3, 0.5, VecAlu));
-    t.push(e(&["vrcp14pd", "vrsqrt14pd", "rcpps", "rsqrtps", "vrcpps", "vrsqrtps"], Any, None, u(FDIV), 5, 1.0, VecAlu));
-    t.push(e(&["vandnpd", "vandnps", "andnpd", "andnps"], Any, None, u(FANY), 1, 0.25, VecAlu));
-    t.push(e(&["vhaddpd", "haddpd", "vhsubpd"], Any, None, u(SHUF), 6, 2.0, VecAlu));
-    t.push(e(&["vpabsd", "vpabsq", "vpsignd"], Any, None, u(FANY), 1, 0.25, VecAlu));
-    t.push(e(&["vpsllq", "vpsrlq", "vpsraq", "vpslld", "vpsrld", "psllq", "psrlq", "pslld", "psrld"], Any, None, u(SHUF), 1, 0.5, VecAlu));
-    t.push(e(&["vpcmpeqq", "vpcmpeqd", "vpcmpgtq", "vpcmpgtd", "pcmpeqd", "pcmpgtd"], Any, None, u(FANY), 1, 0.25, VecAlu));
-    t.push(e(&["vpmovzxdq", "vpmovsxdq", "vpmovzxwd", "vpmovsxwd", "pmovzxdq"], Any, None, u(SHUF), 1, 0.5, VecAlu));
-    t.push(e(&["vpextrq", "vpextrd", "pextrq", "vmovmskpd", "movmskpd", "vpmovmskb"], Any, None, u(PortSet::of(&[F2])), 3, 1.0, Other));
-    t.push(e(&["vpinsrq", "vpinsrd", "pinsrq"], Any, None, u(SHUF), 3, 1.0, VecAlu));
-    t.push(e(&["vmovq", "vmovd"], Any, Some(false), u(PortSet::of(&[F1, F2])), 3, 0.5, Other));
-    t.push(e(&["vmaskmovpd", "vblendmpd", "vpblendmq", "vpternlogq", "vpternlogd"], Any, None, u(FANY), 1, 0.25, VecAlu));
-    t.push(e(&["kshiftrw", "kshiftlw", "kunpckbw", "kaddw", "kandnw"], Any, None, u(PortSet::of(&[F1])), 1, 1.0, Other));
-    t.push(e(&["vgetexppd", "vgetmantpd", "vscalefpd", "vfixupimmpd", "vreducepd"], Any, None, u(FMA), 4, 0.5, VecAlu));
-    t.push(e(&["vcompresspd", "vexpandpd", "vpcompressq"], Any, Some(false), u(SHUF), 4, 2.0, VecAlu));
+    t.push(e(
+        &[
+            "vroundpd",
+            "roundpd",
+            "vroundsd",
+            "roundsd",
+            "vrndscalepd",
+            "vrndscalesd",
+        ],
+        Any,
+        None,
+        u(SHUF),
+        3,
+        0.5,
+        VecAlu,
+    ));
+    t.push(e(
+        &[
+            "vrcp14pd",
+            "vrsqrt14pd",
+            "rcpps",
+            "rsqrtps",
+            "vrcpps",
+            "vrsqrtps",
+        ],
+        Any,
+        None,
+        u(FDIV),
+        5,
+        1.0,
+        VecAlu,
+    ));
+    t.push(e(
+        &["vandnpd", "vandnps", "andnpd", "andnps"],
+        Any,
+        None,
+        u(FANY),
+        1,
+        0.25,
+        VecAlu,
+    ));
+    t.push(e(
+        &["vhaddpd", "haddpd", "vhsubpd"],
+        Any,
+        None,
+        u(SHUF),
+        6,
+        2.0,
+        VecAlu,
+    ));
+    t.push(e(
+        &["vpabsd", "vpabsq", "vpsignd"],
+        Any,
+        None,
+        u(FANY),
+        1,
+        0.25,
+        VecAlu,
+    ));
+    t.push(e(
+        &[
+            "vpsllq", "vpsrlq", "vpsraq", "vpslld", "vpsrld", "psllq", "psrlq", "pslld", "psrld",
+        ],
+        Any,
+        None,
+        u(SHUF),
+        1,
+        0.5,
+        VecAlu,
+    ));
+    t.push(e(
+        &[
+            "vpcmpeqq", "vpcmpeqd", "vpcmpgtq", "vpcmpgtd", "pcmpeqd", "pcmpgtd",
+        ],
+        Any,
+        None,
+        u(FANY),
+        1,
+        0.25,
+        VecAlu,
+    ));
+    t.push(e(
+        &[
+            "vpmovzxdq",
+            "vpmovsxdq",
+            "vpmovzxwd",
+            "vpmovsxwd",
+            "pmovzxdq",
+        ],
+        Any,
+        None,
+        u(SHUF),
+        1,
+        0.5,
+        VecAlu,
+    ));
+    t.push(e(
+        &[
+            "vpextrq",
+            "vpextrd",
+            "pextrq",
+            "vmovmskpd",
+            "movmskpd",
+            "vpmovmskb",
+        ],
+        Any,
+        None,
+        u(PortSet::of(&[F2])),
+        3,
+        1.0,
+        Other,
+    ));
+    t.push(e(
+        &["vpinsrq", "vpinsrd", "pinsrq"],
+        Any,
+        None,
+        u(SHUF),
+        3,
+        1.0,
+        VecAlu,
+    ));
+    t.push(e(
+        &["vmovq", "vmovd"],
+        Any,
+        Some(false),
+        u(PortSet::of(&[F1, F2])),
+        3,
+        0.5,
+        Other,
+    ));
+    t.push(e(
+        &[
+            "vmaskmovpd",
+            "vblendmpd",
+            "vpblendmq",
+            "vpternlogq",
+            "vpternlogd",
+        ],
+        Any,
+        None,
+        u(FANY),
+        1,
+        0.25,
+        VecAlu,
+    ));
+    t.push(e(
+        &["kshiftrw", "kshiftlw", "kunpckbw", "kaddw", "kandnw"],
+        Any,
+        None,
+        u(PortSet::of(&[F1])),
+        1,
+        1.0,
+        Other,
+    ));
+    t.push(e(
+        &[
+            "vgetexppd",
+            "vgetmantpd",
+            "vscalefpd",
+            "vfixupimmpd",
+            "vreducepd",
+        ],
+        Any,
+        None,
+        u(FMA),
+        4,
+        0.5,
+        VecAlu,
+    ));
+    t.push(e(
+        &["vcompresspd", "vexpandpd", "vpcompressq"],
+        Any,
+        Some(false),
+        u(SHUF),
+        4,
+        2.0,
+        VecAlu,
+    ));
 
     t
 }

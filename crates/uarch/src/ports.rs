@@ -173,9 +173,18 @@ mod tests {
     fn capability_query() {
         let pm = PortModel {
             ports: vec![
-                Port { name: "0", caps: vec![PortCap::IntAlu, PortCap::VecFma] },
-                Port { name: "1", caps: vec![PortCap::IntAlu] },
-                Port { name: "2", caps: vec![PortCap::Load] },
+                Port {
+                    name: "0",
+                    caps: vec![PortCap::IntAlu, PortCap::VecFma],
+                },
+                Port {
+                    name: "1",
+                    caps: vec![PortCap::IntAlu],
+                },
+                Port {
+                    name: "2",
+                    caps: vec![PortCap::Load],
+                },
             ],
         };
         assert_eq!(pm.with_cap(PortCap::IntAlu), PortSet::of(&[0, 1]));

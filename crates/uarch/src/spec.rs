@@ -224,7 +224,9 @@ impl MachineSpec {
     /// Build a spec from a live machine model.
     pub fn from_machine(m: &Machine) -> MachineSpec {
         let port_names = |set: PortSet| -> Vec<String> {
-            set.iter().map(|i| m.port_model.ports[i].name.to_string()).collect()
+            set.iter()
+                .map(|i| m.port_model.ports[i].name.to_string())
+                .collect()
         };
         MachineSpec {
             arch: arch_name(m.arch).to_string(),
@@ -290,7 +292,10 @@ impl MachineSpec {
                     uops: e
                         .uops
                         .iter()
-                        .map(|u| UopSpec { ports: port_names(u.ports), occupancy: u.occupancy })
+                        .map(|u| UopSpec {
+                            ports: port_names(u.ports),
+                            occupancy: u.occupancy,
+                        })
                         .collect(),
                     latency: e.latency,
                     rthroughput: e.rthroughput,
@@ -311,7 +316,11 @@ impl MachineSpec {
             .map(|p| {
                 Ok(Port {
                     name: leak(&p.name),
-                    caps: p.caps.iter().map(|c| cap_from(c)).collect::<Result<_, _>>()?,
+                    caps: p
+                        .caps
+                        .iter()
+                        .map(|c| cap_from(c))
+                        .collect::<Result<_, _>>()?,
                 })
             })
             .collect::<Result<_, SpecError>>()?;
@@ -345,7 +354,10 @@ impl MachineSpec {
                         e.mnemonics
                     )));
                 }
-                uops.push(Uop { ports, occupancy: u.occupancy });
+                uops.push(Uop {
+                    ports,
+                    occupancy: u.occupancy,
+                });
             }
             table.push(Entry {
                 mnemonics,
@@ -450,7 +462,10 @@ mod tests {
             let json = original.to_json();
             let loaded = Machine::from_json(&json).expect("roundtrip load");
             assert_eq!(loaded.arch, original.arch);
-            assert_eq!(loaded.port_model.num_ports(), original.port_model.num_ports());
+            assert_eq!(
+                loaded.port_model.num_ports(),
+                original.port_model.num_ports()
+            );
             assert_eq!(loaded.table.len(), original.table.len());
             assert_eq!(loaded.table2_row(), original.table2_row());
 

@@ -9,7 +9,10 @@ fn main() {
     let want = std::env::args().nth(1);
     let machines: Vec<uarch::Machine> = uarch::all_machines()
         .into_iter()
-        .filter(|m| want.as_deref().is_none_or(|w| m.arch.chip().eq_ignore_ascii_case(w)))
+        .filter(|m| {
+            want.as_deref()
+                .is_none_or(|w| m.arch.chip().eq_ignore_ascii_case(w))
+        })
         .collect();
     if machines.is_empty() {
         eprintln!("unknown machine; use GCS, SPR, or Genoa");

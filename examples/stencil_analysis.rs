@@ -12,7 +12,13 @@ use kernels::{gen_cfg, generate_kernel, Compiler, OptLevel, StreamKernel, Varian
 fn main() {
     let kernel = StreamKernel::Jacobi3D7;
     let vol = kernels::volume::volume(kernel);
-    println!("kernel: {} — {} B loaded, {} B stored, {} flops per update\n", kernel.name(), vol.load_bytes, vol.store_bytes, vol.flops);
+    println!(
+        "kernel: {} — {} B loaded, {} B stored, {} flops per update\n",
+        kernel.name(),
+        vol.load_bytes,
+        vol.store_bytes,
+        vol.flops
+    );
 
     for machine in uarch::all_machines() {
         println!("=== {} ({}) ===", machine.arch.label(), machine.part);
@@ -22,13 +28,22 @@ fn main() {
         );
         for compiler in kernels::Compiler::for_arch(machine.arch) {
             for opt in [OptLevel::O1, OptLevel::O3] {
-                let v = Variant { kernel, compiler: *compiler, opt, arch: machine.arch };
+                let v = Variant {
+                    kernel,
+                    compiler: *compiler,
+                    opt,
+                    arch: machine.arch,
+                };
                 let k = generate_kernel(&v, &machine);
                 let a = incore::analyze(&machine, &k);
                 let sim = exec::cycles_per_iteration(&machine, &k);
                 // Scalar updates per assembly-loop iteration.
                 let cfg = gen_cfg(&v, &machine);
-                let elems = if cfg.width == 0 { 1.0 } else { cfg.width as f64 / 64.0 };
+                let elems = if cfg.width == 0 {
+                    1.0
+                } else {
+                    cfg.width as f64 / 64.0
+                };
                 let updates = elems * cfg.unroll.max(1) as f64;
                 let ext = k.dominant_ext();
                 let f = node::freq::sustained_freq_ghz(&machine, ext, 1);
@@ -69,7 +84,11 @@ fn main() {
             "Roofline: I = {:.3} flop/B → {:.0} Gflop/s ({}), peak {:.0}, balance {:.2} flop/B\n",
             roof.intensity,
             roof.p_gflops,
-            if roof.memory_bound { "memory-bound" } else { "compute-bound" },
+            if roof.memory_bound {
+                "memory-bound"
+            } else {
+                "compute-bound"
+            },
             roof.p_peak_gflops,
             node::roofline::machine_balance(&machine)
         );

@@ -17,7 +17,11 @@ fn spark(ratio: f64) -> String {
 fn main() {
     println!("Ratio of memory traffic to stored data volume (1.0 = perfect WA evasion, 2.0 = full write-allocate)\n");
     for machine in uarch::all_machines() {
-        println!("--- {} ({} cores/socket) ---", machine.arch.chip(), machine.cores);
+        println!(
+            "--- {} ({} cores/socket) ---",
+            machine.arch.chip(),
+            machine.cores
+        );
         let counts: Vec<u32> = (0..)
             .map(|i| 1 << i)
             .take_while(|&n| n < machine.cores)

@@ -14,10 +14,18 @@ fn corpus_structural_invariants() {
             assert!(k.instructions.last().unwrap().is_branch(), "{}", v.label());
 
             let a = incore::analyze(&m, &k);
-            assert!(a.prediction.is_finite() && a.prediction > 0.0, "{}", v.label());
+            assert!(
+                a.prediction.is_finite() && a.prediction > 0.0,
+                "{}",
+                v.label()
+            );
             assert!(a.prediction + 1e-9 >= a.tp_bound, "{}", v.label());
             assert!(a.prediction + 1e-9 >= a.lcd, "{}", v.label());
-            assert!(a.cp_latency + 1e-9 >= a.lcd || a.lcd <= a.cp_latency + 64.0, "{}", v.label());
+            assert!(
+                a.cp_latency + 1e-9 >= a.lcd || a.lcd <= a.cp_latency + 64.0,
+                "{}",
+                v.label()
+            );
 
             // Port loads are non-negative and the max equals the bound.
             let max_load = a.port_loads.iter().copied().fold(0.0f64, f64::max);
@@ -35,7 +43,11 @@ fn pressure_rows_sum_to_port_loads() {
         let a = incore::analyze(&m, &k);
         for p in 0..a.port_loads.len() {
             let sum: f64 = a.per_inst.iter().map(|r| r.loads[p]).sum();
-            assert!((sum - a.port_loads[p]).abs() < 1e-6, "{} port {p}", v.label());
+            assert!(
+                (sum - a.port_loads[p]).abs() < 1e-6,
+                "{} port {p}",
+                v.label()
+            );
         }
     }
 }
@@ -47,7 +59,11 @@ fn store_sweep_bounds() {
     for m in uarch::all_machines() {
         for n in [1, 2, 7, m.cores / 2, m.cores] {
             let std = memhier::store_traffic_ratio(&m, n, memhier::StoreKind::Standard).ratio;
-            assert!((1.0..=2.05).contains(&std), "{} n={n}: {std}", m.arch.label());
+            assert!(
+                (1.0..=2.05).contains(&std),
+                "{} n={n}: {std}",
+                m.arch.label()
+            );
             if m.isa == isa::Isa::X86 {
                 let nt = memhier::store_traffic_ratio(&m, n, memhier::StoreKind::NonTemporal).ratio;
                 assert!(nt <= std + 1e-9, "{} n={n}", m.arch.label());

@@ -38,7 +38,10 @@ fn mca_is_more_pessimistic_than_osaca() {
     for m in uarch::all_machines() {
         let mut osaca_above = 0usize;
         let mut mca_above = 0usize;
-        for v in variants_for(m.arch).iter().filter(|v| v.opt == OptLevel::O3) {
+        for v in variants_for(m.arch)
+            .iter()
+            .filter(|v| v.opt == OptLevel::O3)
+        {
             let k = kernels::generate_kernel(v, &m);
             let sim = exec::cycles_per_iteration(&m, &k);
             if incore::analyze(&m, &k).prediction > sim + 1e-6 {
@@ -79,7 +82,12 @@ fn vectorization_pays_off_on_golden_cove() {
         if kernel.is_serial() {
             continue;
         }
-        let mk = |opt| kernels::Variant { kernel, compiler: kernels::Compiler::Icx, opt, arch: m.arch };
+        let mk = |opt| kernels::Variant {
+            kernel,
+            compiler: kernels::Compiler::Icx,
+            opt,
+            arch: m.arch,
+        };
         let scalar_v = mk(OptLevel::O1);
         let vector_v = mk(OptLevel::O3);
         let sc = incore::analyze(&m, &kernels::generate_kernel(&scalar_v, &m)).prediction;
@@ -122,7 +130,10 @@ fn microarchitectural_rankings_hold() {
     x86.push_str("    subq $1, %rax\n    jne .L0\n");
     let gcs_cy = scalar_tp(&gcs, &a64, isa::Isa::AArch64);
     let spr_cy = scalar_tp(&spr, &x86, isa::Isa::X86);
-    assert!(gcs_cy < spr_cy, "gcs {gcs_cy} should beat spr {spr_cy} on scalar FP");
+    assert!(
+        gcs_cy < spr_cy,
+        "gcs {gcs_cy} should beat spr {spr_cy} on scalar FP"
+    );
 }
 
 /// The store benchmark and the ECM/WA factors are consistent: the WA ratio
@@ -135,7 +146,11 @@ fn wa_ratio_feeds_ecm_consistently() {
             uarch::Arch::NeoverseV2 => 1.0,
             _ => 2.0,
         };
-        assert!((measured - expected).abs() < 0.05, "{}: {measured}", m.arch.label());
+        assert!(
+            (measured - expected).abs() < 0.05,
+            "{}: {measured}",
+            m.arch.label()
+        );
     }
 }
 
@@ -167,11 +182,19 @@ fn intel_syntax_matches_att() {
     for m in [uarch::Machine::golden_cove(), uarch::Machine::zen4()] {
         let aa = incore::analyze(&m, &ka);
         let ai = incore::analyze(&m, &ki);
-        assert!((aa.prediction - ai.prediction).abs() < 1e-9, "{}", m.arch.label());
+        assert!(
+            (aa.prediction - ai.prediction).abs() < 1e-9,
+            "{}",
+            m.arch.label()
+        );
         assert!((aa.lcd - ai.lcd).abs() < 1e-9);
         let sa = exec::cycles_per_iteration(&m, &ka);
         let si = exec::cycles_per_iteration(&m, &ki);
-        assert!((sa - si).abs() < 0.05, "{}: att {sa} intel {si}", m.arch.label());
+        assert!(
+            (sa - si).abs() < 0.05,
+            "{}: att {sa} intel {si}",
+            m.arch.label()
+        );
     }
 }
 

@@ -6,7 +6,10 @@ use isa::IsaExt;
 /// Table I: theoretical DP peaks — 3.92 / 6.32 / 8.52 Tflop/s.
 #[test]
 fn table1_theoretical_peaks() {
-    let peaks: Vec<f64> = uarch::all_machines().iter().map(|m| m.theor_peak_dp_tflops()).collect();
+    let peaks: Vec<f64> = uarch::all_machines()
+        .iter()
+        .map(|m| m.theor_peak_dp_tflops())
+        .collect();
     assert!((peaks[0] - 3.92).abs() < 0.02);
     assert!((peaks[1] - 6.32).abs() < 0.02);
     assert!((peaks[2] - 8.52).abs() < 0.03);
@@ -16,8 +19,10 @@ fn table1_theoretical_peaks() {
 /// nearly half its theoretical peak to AVX-512 throttling.
 #[test]
 fn table1_achieved_peaks() {
-    let a: Vec<f64> =
-        uarch::all_machines().iter().map(node::achieved_peak_dp_tflops).collect();
+    let a: Vec<f64> = uarch::all_machines()
+        .iter()
+        .map(node::achieved_peak_dp_tflops)
+        .collect();
     assert!(a[2] > a[0] && a[0] > a[1], "{a:?}");
     let spr = &uarch::all_machines()[1];
     assert!(a[1] / spr.theor_peak_dp_tflops() < 0.6);
@@ -39,12 +44,24 @@ fn bandwidth_efficiencies() {
 /// 4/3/4, loads 3×128 / 2×512 / 2×256, stores 2×128 / 2×256 / 1×256.
 #[test]
 fn table2_all_cells() {
-    let rows: Vec<_> = uarch::all_machines().iter().map(|m| m.table2_row()).collect();
-    let cells: Vec<(u32, u32, u32, u32, u32, u32, u32, u32)> = rows
+    let rows: Vec<_> = uarch::all_machines()
+        .iter()
+        .map(|m| m.table2_row())
+        .collect();
+    type Row = (u32, u32, u32, u32, u32, u32, u32, u32);
+    let cells: Vec<Row> = rows
         .iter()
         .map(|r| {
-            (r.num_ports, r.simd_width_bytes, r.int_units, r.fp_vec_units, r.loads_per_cycle,
-             r.load_width_bits, r.stores_per_cycle, r.store_width_bits)
+            (
+                r.num_ports,
+                r.simd_width_bytes,
+                r.int_units,
+                r.fp_vec_units,
+                r.loads_per_cycle,
+                r.load_width_bits,
+                r.stores_per_cycle,
+                r.store_width_bits,
+            )
         })
         .collect();
     assert_eq!(cells[0], (17, 16, 6, 4, 3, 128, 2, 128));
@@ -96,7 +113,11 @@ fn table3_gather_cells() {
     let paper = [0.25, 1.0 / 3.0, 0.125];
     for (i, m) in ms.iter().enumerate() {
         let cl_cy = instruction_throughput(m, Instr::Gather) * cl_per_gather[i];
-        assert!((cl_cy - paper[i]).abs() < 0.05, "{}: {cl_cy}", m.arch.chip());
+        assert!(
+            (cl_cy - paper[i]).abs() < 0.05,
+            "{}: {cl_cy}",
+            m.arch.chip()
+        );
     }
 }
 
@@ -161,7 +182,7 @@ fn fig4_headline_curves() {
     let spr_low = store_traffic_ratio(&spr, 1, StoreKind::Standard).ratio;
     let spr_high = store_traffic_ratio(&spr, 13, StoreKind::Standard).ratio;
     assert!((spr_low - 2.0).abs() < 0.05);
-    assert!(spr_high >= 1.70 && spr_high <= 1.85, "{spr_high}");
+    assert!((1.70..=1.85).contains(&spr_high), "{spr_high}");
 
     let spr_nt = store_traffic_ratio(&spr, 13, StoreKind::NonTemporal).ratio;
     assert!((spr_nt - 1.1).abs() < 0.05, "{spr_nt}");
@@ -185,14 +206,35 @@ fn fig3_corpus_claims() {
     let mca: Vec<f64> = records.iter().map(|r| r.rpe_mca).collect();
     let so = bench::fig3::summarize(&osaca);
     let sm = bench::fig3::summarize(&mca);
-    assert!(so.optimistic_fraction >= 0.90, "osaca {:.2}", so.optimistic_fraction);
+    assert!(
+        so.optimistic_fraction >= 0.90,
+        "osaca {:.2}",
+        so.optimistic_fraction
+    );
     assert!(so.off_by_2x <= 5, "osaca off-by-2x {}", so.off_by_2x);
-    assert!(sm.optimistic_fraction <= 0.5, "mca {:.2}", sm.optimistic_fraction);
-    assert!(sm.off_by_2x >= so.off_by_2x, "mca tail {} vs osaca {}", sm.off_by_2x, so.off_by_2x);
+    assert!(
+        sm.optimistic_fraction <= 0.5,
+        "mca {:.2}",
+        sm.optimistic_fraction
+    );
+    assert!(
+        sm.off_by_2x >= so.off_by_2x,
+        "mca tail {} vs osaca {}",
+        sm.off_by_2x,
+        so.off_by_2x
+    );
     // The paper's V2 observation: MCA's |RPE| is far worse than OSACA's on
     // GCS (52 % vs 26 % in the paper).
-    let gcs_o: Vec<f64> = records.iter().filter(|r| r.chip == "GCS").map(|r| r.rpe_osaca).collect();
-    let gcs_m: Vec<f64> = records.iter().filter(|r| r.chip == "GCS").map(|r| r.rpe_mca).collect();
+    let gcs_o: Vec<f64> = records
+        .iter()
+        .filter(|r| r.chip == "GCS")
+        .map(|r| r.rpe_osaca)
+        .collect();
+    let gcs_m: Vec<f64> = records
+        .iter()
+        .filter(|r| r.chip == "GCS")
+        .map(|r| r.rpe_mca)
+        .collect();
     assert!(
         bench::fig3::summarize(&gcs_m).mean_abs > 2.0 * bench::fig3::summarize(&gcs_o).mean_abs,
         "MCA should be much worse on GCS"

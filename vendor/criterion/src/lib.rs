@@ -1,0 +1,105 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The benches in this workspace use `harness = false` with
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `sample_size`, `bench_function`, and `Bencher::iter`. This stand-in
+//! keeps those entry points compiling and, when run via `cargo bench`,
+//! executes each body a small fixed number of times and prints the mean
+//! wall-clock time — enough for coarse comparisons, with none of
+//! criterion's statistics.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_one("", &name.into(), f, 10);
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_one(&self.name, &name.into(), f, self.sample_size);
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(group: &str, name: &str, mut f: impl FnMut(&mut Bencher), samples: usize) {
+    let mut b = Bencher {
+        iters: samples.min(10) as u64,
+        elapsed_ns: 0.0,
+    };
+    f(&mut b);
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    if b.iters > 0 && b.elapsed_ns > 0.0 {
+        eprintln!(
+            "{label}: {:.1} ns/iter (stand-in, {} iters)",
+            b.elapsed_ns / b.iters as f64,
+            b.iters
+        );
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos() as f64;
+    }
+}
+
+/// Define a function that runs each benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` to run the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

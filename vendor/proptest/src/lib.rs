@@ -1,0 +1,406 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset of the proptest API this repository uses: the
+//! [`proptest!`] macro with an optional `#![proptest_config(...)]` header,
+//! integer-range strategies, tuples of strategies,
+//! [`collection::vec`], [`sample::select`], and simple character-class
+//! string "regexes" such as `"[ -~\n]{0,160}"`.
+//!
+//! Differences from real proptest: generation is driven by a fixed-seed
+//! xorshift generator (fully deterministic, no `RUST_PROPTEST_*` env
+//! handling) and failing cases are **not shrunk** — the failing input is
+//! simply reported by the panic message of the assertion that fired.
+
+pub mod rng {
+    /// Deterministic xorshift64* generator.
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Every test starts from the same seed so failures reproduce.
+        pub fn deterministic() -> Self {
+            TestRng(0x9E37_79B9_7F4A_7C15)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    use super::rng::TestRng;
+    use std::ops::Range;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "empty range strategy {}..{}", self.start, self.end
+                    );
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_signed_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "empty range strategy {}..{}", self.start, self.end
+                    );
+                    let span = (self.end as i64 - self.start as i64) as u64;
+                    (self.start as i64 + rng.below(span) as i64) as $t
+                }
+            }
+        )*};
+    }
+    impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// String strategy from a character-class pattern, e.g. `"[ -~\n]{0,160}"`.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            super::pattern::generate(self, rng)
+        }
+    }
+}
+
+/// Tiny generator for the character-class regex subset used in tests:
+/// sequences of `[...]` classes or literal characters, each optionally
+/// followed by `{m,n}`, `{m}`, `?`, `*`, or `+`.
+mod pattern {
+    use super::rng::TestRng;
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut out = String::new();
+        while i < chars.len() {
+            let choices: Vec<char> = match chars[i] {
+                '[' => {
+                    let (set, next) = parse_class(&chars, i + 1, pattern);
+                    i = next;
+                    set
+                }
+                '\\' => {
+                    i += 2;
+                    vec![unescape(chars.get(i - 1).copied().unwrap_or('\\'))]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (lo, hi, next) = parse_quantifier(&chars, i, pattern);
+            i = next;
+            let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(choices[rng.below(choices.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+        let mut set = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            let c = if chars[i] == '\\' {
+                i += 1;
+                unescape(chars[i])
+            } else {
+                chars[i]
+            };
+            // Range `a-b` (a trailing `-` is a literal).
+            if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|c| *c != ']') {
+                let hi = if chars[i + 2] == '\\' {
+                    i += 1;
+                    unescape(chars[i + 2])
+                } else {
+                    chars[i + 2]
+                };
+                for code in (c as u32)..=(hi as u32) {
+                    if let Some(ch) = char::from_u32(code) {
+                        set.push(ch);
+                    }
+                }
+                i += 3;
+            } else {
+                set.push(c);
+                i += 1;
+            }
+        }
+        assert!(
+            i < chars.len(),
+            "proptest stand-in: unterminated `[` in pattern {pattern:?}"
+        );
+        assert!(
+            !set.is_empty(),
+            "proptest stand-in: empty character class in {pattern:?}"
+        );
+        (set, i + 1)
+    }
+
+    fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+        match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|c| *c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| {
+                        panic!("proptest stand-in: unterminated `{{` in pattern {pattern:?}")
+                    });
+                let body: String = chars[i + 1..close].iter().collect();
+                let (lo, hi) = match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("quantifier lower bound"),
+                        hi.trim().parse().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                };
+                (lo, hi, close + 1)
+            }
+            Some('?') => (0, 1, i + 1),
+            Some('*') => (0, 8, i + 1),
+            Some('+') => (1, 8, i + 1),
+            _ => (1, 1, i),
+        }
+    }
+}
+
+pub mod collection {
+    use super::rng::TestRng;
+    use super::strategy::Strategy;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(strategy, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::rng::TestRng;
+    use super::strategy::Strategy;
+
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    /// `prop::sample::select(vec![...])`: pick one of the given items.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(
+            !items.is_empty(),
+            "proptest stand-in: select() needs at least one item"
+        );
+        Select { items }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.below(self.items.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// Per-test configuration. Only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest runs 256; 64 keeps simulator-heavy properties fast
+        // while still exploring the space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_tests! { config = ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_tests! {
+            config = (<$crate::ProptestConfig as ::std::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( config = ($cfg:expr); ) => {};
+    (
+        config = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::rng::TestRng::deterministic();
+            for __case in 0..__cfg.cases {
+                let _ = __case;
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_tests! { config = ($cfg); $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of proptest's `prop` facade module (`prop::sample::select`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 1usize..6, z in -5i64..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((1..6).contains(&y));
+            prop_assert!((-5..5).contains(&z));
+        }
+
+        #[test]
+        fn vec_and_select(
+            v in crate::collection::vec((1u32..15, 1u32..40), 1..12),
+            s in prop::sample::select(vec!["a", "b", "c"]),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 12);
+            prop_assert!(["a", "b", "c"].contains(&s));
+        }
+
+        #[test]
+        fn string_pattern(text in "[ -~\n]{0,16}") {
+            prop_assert!(text.chars().count() <= 16);
+            prop_assert!(text.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let gen = || {
+            let mut rng = crate::rng::TestRng::deterministic();
+            (0..8).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(gen(), gen());
+    }
+}

@@ -1,0 +1,63 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Exposes the parallel-iterator entry points this workspace uses
+//! (`par_iter`, `into_par_iter`) as thin wrappers over the corresponding
+//! **sequential** std iterators. All downstream adapters (`map`, `filter`,
+//! `collect`, ...) are the ordinary `Iterator` methods, so call sites
+//! compile unchanged; they simply run on one thread in this environment.
+
+pub mod prelude {
+    /// `into_par_iter()` — sequential fallback.
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl<'a, T> IntoParallelIterator for &'a [T] {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T> IntoParallelIterator for &'a Vec<T> {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `par_iter()` — sequential fallback.
+    pub trait IntoParallelRefIterator<'data> {
+        type Item: 'data;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}

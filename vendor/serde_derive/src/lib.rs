@@ -1,0 +1,286 @@
+//! Offline stand-in for the `serde_derive` crate.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! a minimal derive implementation with **no dependencies** (no `syn`, no
+//! `quote`): the token stream is parsed by hand. It supports exactly the
+//! shapes this repository uses:
+//!
+//! * named-field structs without generics,
+//! * enums whose variants are all unit variants,
+//! * the field attributes `#[serde(default)]` and
+//!   `#[serde(skip_serializing_if = "Option::is_none")]`.
+//!
+//! Anything else fails loudly at compile time rather than silently
+//! misbehaving. The generated code targets the data model of the vendored
+//! `serde` stand-in (`serde::Value`), not the real serde visitor API.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: use `Default::default()` when the key is absent.
+    has_default: bool,
+    /// `#[serde(skip_serializing_if = ...)]`: omit the key when the value
+    /// reports itself skippable (only `Option::is_none` is used here).
+    has_skip: bool,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let generated = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in &fields {
+                let push = format!(
+                    "__fields.push((\"{n}\".to_string(), \
+                     ::serde::Serialize::serialize_value(&self.{n})));",
+                    n = f.name
+                );
+                if f.has_skip {
+                    pushes.push_str(&format!(
+                        "if !::serde::Serialize::skip_serializing(&self.{n}) {{ {push} }}\n",
+                        n = f.name
+                    ));
+                } else {
+                    pushes.push_str(&push);
+                    pushes.push('\n');
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                             ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(::serde::Map::from_entries(__fields))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    generated
+        .parse()
+        .expect("serde_derive stand-in generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let generated = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    let getter = if f.has_default {
+                        "field_or_default"
+                    } else {
+                        "field"
+                    };
+                    format!(
+                        "{n}: ::serde::__private::{getter}(__obj, \"{n}\")?,\n",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __obj = __v.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected a JSON object for `{name}`\"))?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "::std::option::Option::Some(\"{v}\") => \
+                         ::std::result::Result::Ok({name}::{v}),\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __v.as_str() {{\n\
+                             {arms}\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"unknown variant for `{name}`\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    generated
+        .parse()
+        .expect("serde_derive stand-in generated invalid Rust")
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stand-in derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stand-in derive: expected a type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic type `{name}`");
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde stand-in derive: `{name}` must have a braced body \
+             (tuple structs are unsupported), got {other:?}"
+        ),
+    };
+
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde stand-in derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Skip `#[...]` attribute pairs, reporting whether any was a `#[serde(...)]`
+/// attribute containing the given markers.
+fn scan_attributes(tokens: &[TokenTree], i: &mut usize) -> (bool, bool) {
+    let (mut has_default, mut has_skip) = (false, false);
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            let text = g.to_string();
+            if text.trim_start_matches(['[', ' ']).starts_with("serde") {
+                // e.g. `[serde(default, skip_serializing_if = "Option::is_none")]`
+                if text.contains("default") {
+                    has_default = true;
+                }
+                if text.contains("skip_serializing_if") {
+                    has_skip = true;
+                }
+            }
+        }
+        *i += 2;
+    }
+    (has_default, has_skip)
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    let _ = scan_attributes(tokens, i);
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let (has_default, has_skip) = scan_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde stand-in derive: expected a field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("serde stand-in derive: expected `:` after field `{name}`, got {other:?}")
+            }
+        }
+        // Consume the type: everything up to the next `,` at angle-depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            has_default,
+            has_skip,
+        });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde stand-in derive: expected a variant name, got {other:?}"),
+        };
+        i += 1;
+        if let Some(TokenTree::Group(_)) = tokens.get(i) {
+            panic!(
+                "serde stand-in derive: variant `{name}` carries data; \
+                 only unit variants are supported"
+            );
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(name);
+    }
+    variants
+}
