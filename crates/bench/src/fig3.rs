@@ -12,17 +12,25 @@
 //! so that **positive** values mean the prediction is *faster* than the
 //! measurement (the paper's right-hand side of the red line — where a
 //! lower-bound model should sit).
+//!
+//! This module is a thin presentation layer over [`engine`]: the actual
+//! corpus run — parallel fan-out, kernel-parse caching, predictor
+//! dispatch through the [`uarch::Predictor`] trait — lives in
+//! [`engine::Session`]. Here we only flatten the structured
+//! [`engine::BatchReport`] into the flat per-record rows the repro
+//! binary and the paper-claims tests consume.
 
-use rayon::prelude::*;
 use serde::Serialize;
 
-/// One validated block.
+pub use engine::{histogram, render_histogram, rpe, summarize, Summary as RpeSummary};
+
+/// One validated block, flattened for tabular output.
 #[derive(Debug, Clone, Serialize)]
 pub struct RpeRecord {
-    pub kernel: &'static str,
-    pub compiler: &'static str,
-    pub opt: &'static str,
-    pub chip: &'static str,
+    pub kernel: String,
+    pub compiler: String,
+    pub opt: String,
+    pub chip: String,
     /// Simulated "measurement" in cycles/iteration.
     pub measured: f64,
     /// OSACA-style in-core prediction.
@@ -35,94 +43,46 @@ pub struct RpeRecord {
 }
 
 /// Run the full corpus (or a machine subset) and collect RPE records.
+///
+/// Thin wrapper over [`engine::Session`] with the default predictor set
+/// (in-core + MCA baseline, simulator reference).
 pub fn rpe_corpus(archs: &[uarch::Arch]) -> Vec<RpeRecord> {
-    let machines: Vec<uarch::Machine> = uarch::all_machines()
+    let report = engine::Session::new()
+        .archs(archs)
+        .run()
+        .expect("builtin corpus evaluation cannot fail");
+    report
+        .records
         .into_iter()
-        .filter(|m| archs.contains(&m.arch))
-        .collect();
-    machines
-        .iter()
-        .flat_map(|m| {
-            let variants = kernels::variants_for(m.arch);
-            variants
-                .into_par_iter()
-                .map(|v| {
-                    let kernel = kernels::generate_kernel(&v, m);
-                    let measured = exec::cycles_per_iteration(m, &kernel);
-                    let osaca = incore::analyze(m, &kernel).prediction;
-                    let mca = mca::predict(m, &kernel).cycles_per_iter;
-                    RpeRecord {
-                        kernel: v.kernel.name(),
-                        compiler: v.compiler.name(),
-                        opt: v.opt.name(),
-                        chip: m.arch.chip(),
-                        measured,
-                        osaca,
-                        mca,
-                        rpe_osaca: rpe(measured, osaca),
-                        rpe_mca: rpe(measured, mca),
-                    }
-                })
-                .collect::<Vec<_>>()
+        .map(|r| {
+            let get = |name: &str| {
+                let p = r
+                    .prediction(name)
+                    .unwrap_or_else(|| panic!("predictor `{name}` missing from record"));
+                (p.cycles_per_iter, p.rpe.unwrap_or(0.0))
+            };
+            let (osaca, rpe_osaca) = get("incore");
+            let (mca, rpe_mca) = get("mca");
+            RpeRecord {
+                measured: r.measured.unwrap_or(0.0),
+                osaca,
+                mca,
+                rpe_osaca,
+                rpe_mca,
+                kernel: r.kernel,
+                compiler: r.compiler,
+                opt: r.opt,
+                chip: r.chip,
+            }
         })
         .collect()
-}
-
-/// Relative prediction error, positive when the prediction is faster.
-pub fn rpe(measured: f64, predicted: f64) -> f64 {
-    if measured <= 0.0 {
-        return 0.0;
-    }
-    (measured - predicted) / measured
-}
-
-/// Summary statistics over a set of RPEs, mirroring the numbers quoted in
-/// the paper's Fig. 3 discussion.
-#[derive(Debug, Clone, Serialize)]
-pub struct RpeSummary {
-    pub count: usize,
-    /// Fraction of predictions on the optimistic (positive) side.
-    pub optimistic_fraction: f64,
-    /// Fraction within +0..10 % / +0..20 %.
-    pub within_10: f64,
-    pub within_20: f64,
-    /// Fraction within ±10 % / ±20 % on either side.
-    pub abs_within_10: f64,
-    pub abs_within_20: f64,
-    /// Number off by more than a factor of two (RPE ≤ −1.0).
-    pub off_by_2x: usize,
-    /// Mean RPE over the optimistic side only.
-    pub mean_positive: f64,
-    /// Mean |RPE| over everything.
-    pub mean_abs: f64,
-}
-
-/// Summarize a slice of RPE values.
-pub fn summarize(rpes: &[f64]) -> RpeSummary {
-    let count = rpes.len().max(1);
-    let pos: Vec<f64> = rpes.iter().copied().filter(|r| *r >= 0.0).collect();
-    RpeSummary {
-        count: rpes.len(),
-        optimistic_fraction: pos.len() as f64 / count as f64,
-        within_10: rpes.iter().filter(|r| (0.0..0.10).contains(*r)).count() as f64 / count as f64,
-        within_20: rpes.iter().filter(|r| (0.0..0.20).contains(*r)).count() as f64 / count as f64,
-        abs_within_10: rpes.iter().filter(|r| r.abs() < 0.10).count() as f64 / count as f64,
-        abs_within_20: rpes.iter().filter(|r| r.abs() < 0.20).count() as f64 / count as f64,
-        off_by_2x: rpes.iter().filter(|r| **r <= -1.0).count(),
-        mean_positive: if pos.is_empty() {
-            0.0
-        } else {
-            pos.iter().sum::<f64>() / pos.len() as f64
-        },
-        mean_abs: rpes.iter().map(|r| r.abs()).sum::<f64>() / count as f64,
-    }
 }
 
 /// Per-kernel mean |RPE| for both predictors — shows *where* each model is
 /// weak (Gauss-Seidel for the in-core model, post-index pointer walks for
 /// MCA).
 pub fn by_kernel(records: &[RpeRecord]) -> Vec<(String, f64, f64)> {
-    let mut names: Vec<&str> = records.iter().map(|r| r.kernel).collect();
+    let mut names: Vec<&str> = records.iter().map(|r| r.kernel.as_str()).collect();
     names.sort();
     names.dedup();
     names
@@ -147,70 +107,9 @@ pub fn by_kernel(records: &[RpeRecord]) -> Vec<(String, f64, f64)> {
         .collect()
 }
 
-/// 10 %-wide histogram buckets from ≤ −100 % to > +100 %, as in Fig. 3.
-/// Returns `(lower_edge_percent, count)` pairs.
-pub fn histogram(rpes: &[f64]) -> Vec<(i32, usize)> {
-    let mut buckets: Vec<(i32, usize)> = (-10..10).map(|b| (b * 10, 0)).collect();
-    for &r in rpes {
-        let pct = r * 100.0;
-        let idx = if pct < -100.0 {
-            0
-        } else {
-            (((pct + 100.0) / 10.0).floor() as i32).clamp(0, 19) as usize
-        };
-        buckets[idx].1 += 1;
-    }
-    buckets
-}
-
-/// Render a Fig. 3-style ASCII histogram for one predictor.
-pub fn render_histogram(title: &str, rpes: &[f64]) -> String {
-    use std::fmt::Write;
-    let mut out = String::new();
-    let h = histogram(rpes);
-    let max = h.iter().map(|(_, c)| *c).max().unwrap_or(1).max(1);
-    let _ = writeln!(out, "{title} (n = {})", rpes.len());
-    for (edge, count) in h {
-        let bar = "#".repeat(count * 50 / max);
-        let marker = if edge == 0 { "|" } else { " " };
-        let _ = writeln!(out, "{edge:>5}%..{:>4}% {marker} {bar} {count}", edge + 10);
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn rpe_sign_convention() {
-        // Prediction faster (lower cycles) → positive.
-        assert!(rpe(10.0, 8.0) > 0.0);
-        assert!(rpe(10.0, 12.0) < 0.0);
-        assert_eq!(rpe(10.0, 10.0), 0.0);
-        assert_eq!(rpe(0.0, 5.0), 0.0);
-    }
-
-    #[test]
-    fn summary_counts() {
-        let rpes = [0.05, 0.15, -0.05, -1.2, 0.5];
-        let s = summarize(&rpes);
-        assert_eq!(s.count, 5);
-        assert_eq!(s.off_by_2x, 1);
-        assert!((s.optimistic_fraction - 0.6).abs() < 1e-9);
-        assert!((s.within_10 - 0.2).abs() < 1e-9);
-        assert!((s.within_20 - 0.4).abs() < 1e-9);
-    }
-
-    #[test]
-    fn histogram_buckets() {
-        let h = histogram(&[0.05, 0.05, -0.15, -2.0]);
-        let at = |edge: i32| h.iter().find(|(e, _)| *e == edge).unwrap().1;
-        assert_eq!(at(0), 2);
-        assert_eq!(at(-20), 1);
-        assert_eq!(at(-100), 1);
-        assert_eq!(h.len(), 20);
-    }
 
     /// The headline claim on a small slice: OSACA predictions are
     /// overwhelmingly optimistic (lower-bound), MCA predictions mostly
@@ -234,5 +133,20 @@ mod tests {
             sm.optimistic_fraction,
             so.optimistic_fraction
         );
+    }
+
+    /// The wrapper must agree with a hand-rolled serial evaluation of the
+    /// same blocks — no drift between bench and engine.
+    #[test]
+    fn wrapper_matches_direct_predictor_calls() {
+        use uarch::Predictor;
+        let records = rpe_corpus(&[uarch::Arch::Zen4]);
+        let m = uarch::Machine::zen4();
+        let v = kernels::variants_for(m.arch)[0];
+        let kernel = kernels::generate_kernel(&v, &m);
+        let direct = incore::InCoreModel::new().predict(&m, &kernel);
+        let r = &records[0];
+        assert_eq!(r.kernel, v.kernel.name());
+        assert_eq!(r.osaca, direct.cycles_per_iter);
     }
 }

@@ -1,17 +1,40 @@
 //! `incore-cli` — command-line front end in the spirit of OSACA:
 //! analyze an assembly kernel on any of the three machine models, compare
-//! against the LLVM-MCA-style baseline and the cycle-level simulator, and
-//! inspect the machines themselves.
+//! against the LLVM-MCA-style baseline and the cycle-level simulator,
+//! validate the predictors over the full corpus, and inspect the machines
+//! themselves.
 //!
 //! ```text
-//! incore-cli analyze <file.s> --arch <gcs|spr|genoa> [--balanced] [--mca] [--sim] [--timeline] [--trace]
+//! incore-cli analyze <file.s> --arch <gcs|spr|genoa> [--balanced] [--mca] [--sim] [--timeline] [--trace] [--json]
+//! incore-cli validate [--arch <machine>]... [--threads N] [--limit N] [--json] [--threshold X] [--max-divergent N]
 //! incore-cli lint [file.s] [--arch <gcs|spr|genoa>] [--machine-file <m.json>] [--json] [--strict] [--sim]
 //! incore-cli machines
 //! incore-cli ports --arch <gcs|spr|genoa>
 //! incore-cli storebench --arch <gcs|spr|genoa> [--nt]
 //! ```
+//!
+//! All error paths use the workspace [`engine::Error`] type, so `main` can
+//! propagate with `?` and derive the process exit code from the error kind.
 
-use std::fmt;
+pub use engine::{Error, ErrorKind};
+
+/// Options for `incore-cli validate` — the full-corpus validation gate.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ValidateOpts {
+    /// Machines to cover; empty = all three.
+    pub archs: Vec<uarch::Arch>,
+    /// Worker threads; 0 = all available cores.
+    pub threads: usize,
+    /// Evaluate only the first N blocks (smoke runs).
+    pub limit: Option<usize>,
+    /// Emit the JSON [`engine::BatchReport`] instead of the text summary.
+    pub json: bool,
+    /// Fail (exit 1) when the in-core model's mean |RPE| exceeds this.
+    pub threshold: Option<f64>,
+    /// Fail (exit 1) when more than N records fire D002 (reference
+    /// disagrees with every analytical model).
+    pub max_divergent: Option<usize>,
+}
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,7 +49,11 @@ pub enum Command {
         sim: bool,
         timeline: bool,
         trace: bool,
+        /// Emit a one-record [`engine::BatchReport`] instead of text.
+        json: bool,
     },
+    /// Validate the predictors over the kernel corpus (Fig. 3 pipeline).
+    Validate(ValidateOpts),
     Machines,
     /// Run the `diag` lint rules over a kernel, a machine file, or the
     /// built-in machine models.
@@ -56,35 +83,23 @@ pub enum Command {
     Help,
 }
 
-/// Command-line parsing error.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct UsageError(pub String);
-
-impl fmt::Display for UsageError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
-    }
-}
-
-impl std::error::Error for UsageError {}
-
 /// Resolve a machine name (`gcs`/`grace`, `spr`/`sapphirerapids`,
 /// `genoa`/`zen4`, plus the µarch names) to its model.
-pub fn parse_arch(name: &str) -> Result<uarch::Arch, UsageError> {
+pub fn parse_arch(name: &str) -> Result<uarch::Arch, Error> {
     match name.to_ascii_lowercase().as_str() {
         "gcs" | "grace" | "neoverse-v2" | "neoversev2" | "v2" => Ok(uarch::Arch::NeoverseV2),
         "spr" | "sapphire-rapids" | "sapphirerapids" | "golden-cove" | "goldencove" => {
             Ok(uarch::Arch::GoldenCove)
         }
         "genoa" | "zen4" | "zen-4" => Ok(uarch::Arch::Zen4),
-        other => Err(UsageError(format!(
+        other => Err(Error::usage(format!(
             "unknown machine `{other}`; use gcs, spr, or genoa"
         ))),
     }
 }
 
 /// Parse an argument vector (without the program name).
-pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
+pub fn parse_args(args: &[String]) -> Result<Command, Error> {
     let mut it = args.iter();
     let Some(cmd) = it.next() else {
         return Ok(Command::Help);
@@ -107,11 +122,28 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 match a.as_str() {
                     "--arch" => arch = Some(next_arch(&mut it)?),
                     "--nt" => nt = true,
-                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                    other => return Err(Error::usage(format!("unknown flag `{other}`"))),
                 }
             }
-            let arch = arch.ok_or_else(|| UsageError("--arch is required".into()))?;
+            let arch = arch.ok_or_else(|| Error::usage("--arch is required"))?;
             Ok(Command::StoreBench { arch, nt })
+        }
+        "validate" => {
+            let mut opts = ValidateOpts::default();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--arch" => opts.archs.push(next_arch(&mut it)?),
+                    "--threads" => opts.threads = next_value(&mut it, "--threads")?,
+                    "--limit" => opts.limit = Some(next_value(&mut it, "--limit")?),
+                    "--json" => opts.json = true,
+                    "--threshold" => opts.threshold = Some(next_value(&mut it, "--threshold")?),
+                    "--max-divergent" => {
+                        opts.max_divergent = Some(next_value(&mut it, "--max-divergent")?)
+                    }
+                    other => return Err(Error::usage(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Validate(opts))
         }
         "lint" => {
             let mut path = None;
@@ -124,7 +156,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                     "--machine-file" => {
                         machine_file = Some(
                             it.next()
-                                .ok_or_else(|| UsageError("--machine-file needs a path".into()))?
+                                .ok_or_else(|| Error::usage("--machine-file needs a path"))?
                                 .to_string(),
                         )
                     }
@@ -132,15 +164,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                     "--strict" => strict = true,
                     "--sim" => sim = true,
                     flag if flag.starts_with("--") => {
-                        return Err(UsageError(format!("unknown flag `{flag}`")))
+                        return Err(Error::usage(format!("unknown flag `{flag}`")))
                     }
                     p if path.is_none() => path = Some(p.to_string()),
-                    extra => return Err(UsageError(format!("unexpected argument `{extra}`"))),
+                    extra => return Err(Error::usage(format!("unexpected argument `{extra}`"))),
                 }
             }
             if path.is_some() && arch.is_none() && machine_file.is_none() {
-                return Err(UsageError(
-                    "--arch (or --machine-file) is required when linting a kernel".into(),
+                return Err(Error::usage(
+                    "--arch (or --machine-file) is required when linting a kernel",
                 ));
             }
             Ok(Command::Lint {
@@ -156,15 +188,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             let mut path = None;
             let mut arch = None;
             let mut machine_file = None;
-            let (mut balanced, mut mca, mut sim, mut timeline, mut trace) =
-                (false, false, false, false, false);
+            let (mut balanced, mut mca, mut sim, mut timeline, mut trace, mut json) =
+                (false, false, false, false, false, false);
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--arch" => arch = Some(next_arch(&mut it)?),
                     "--machine-file" => {
                         machine_file = Some(
                             it.next()
-                                .ok_or_else(|| UsageError("--machine-file needs a path".into()))?
+                                .ok_or_else(|| Error::usage("--machine-file needs a path"))?
                                 .to_string(),
                         )
                     }
@@ -173,15 +205,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                     "--sim" => sim = true,
                     "--timeline" => timeline = true,
                     "--trace" => trace = true,
+                    "--json" => json = true,
                     flag if flag.starts_with("--") => {
-                        return Err(UsageError(format!("unknown flag `{flag}`")))
+                        return Err(Error::usage(format!("unknown flag `{flag}`")))
                     }
                     p if path.is_none() => path = Some(p.to_string()),
-                    extra => return Err(UsageError(format!("unexpected argument `{extra}`"))),
+                    extra => return Err(Error::usage(format!("unexpected argument `{extra}`"))),
                 }
             }
-            let path = path.ok_or_else(|| UsageError("missing input file".into()))?;
-            let arch = arch.ok_or_else(|| UsageError("--arch is required".into()))?;
+            let path = path.ok_or_else(|| Error::usage("missing input file"))?;
+            let arch = arch.ok_or_else(|| Error::usage("--arch is required"))?;
             Ok(Command::Analyze {
                 path,
                 arch,
@@ -191,28 +224,42 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 sim,
                 timeline,
                 trace,
+                json,
             })
         }
-        other => Err(UsageError(format!("unknown command `{other}`; try `help`"))),
+        other => Err(Error::usage(format!(
+            "unknown command `{other}`; try `help`"
+        ))),
     }
 }
 
-fn next_arch<'a>(it: &mut impl Iterator<Item = &'a String>) -> Result<uarch::Arch, UsageError> {
+fn next_arch<'a>(it: &mut impl Iterator<Item = &'a String>) -> Result<uarch::Arch, Error> {
     let v = it
         .next()
-        .ok_or_else(|| UsageError("--arch needs a value".into()))?;
+        .ok_or_else(|| Error::usage("--arch needs a value"))?;
     parse_arch(v)
 }
 
-fn required_arch<'a>(it: &mut impl Iterator<Item = &'a String>) -> Result<uarch::Arch, UsageError> {
+fn next_value<'a, T: std::str::FromStr>(
+    it: &mut impl Iterator<Item = &'a String>,
+    flag: &str,
+) -> Result<T, Error> {
+    let v = it
+        .next()
+        .ok_or_else(|| Error::usage(format!("{flag} needs a value")))?;
+    v.parse()
+        .map_err(|_| Error::usage(format!("invalid value `{v}` for {flag}")))
+}
+
+fn required_arch<'a>(it: &mut impl Iterator<Item = &'a String>) -> Result<uarch::Arch, Error> {
     let mut arch = None;
     while let Some(a) = it.next() {
         match a.as_str() {
             "--arch" => arch = Some(next_arch(it)?),
-            other => return Err(UsageError(format!("unknown flag `{other}`"))),
+            other => return Err(Error::usage(format!("unknown flag `{other}`"))),
         }
     }
-    arch.ok_or_else(|| UsageError("--arch is required".into()))
+    arch.ok_or_else(|| Error::usage("--arch is required"))
 }
 
 /// The help text.
@@ -226,7 +273,15 @@ USAGE:
       --sim        also run the cycle-level core simulator
       --timeline   print the MCA timeline view
       --trace      print the simulator's pipeline trace
+      --json       emit a one-record JSON report (same schema as validate)
       --machine-file <file.json>  load an edited machine model instead of the built-in
+  incore-cli validate [flags]         validate the predictors over the kernel corpus
+      --arch <machine>     restrict to one machine (repeatable; default all three)
+      --threads <n>        worker threads (0 = all cores); results are identical
+      --limit <n>          only the first n corpus blocks (smoke runs)
+      --json               emit the JSON BatchReport instead of the text summary
+      --threshold <x>      exit 1 if the in-core model's mean |RPE| exceeds x
+      --max-divergent <n>  exit 1 if more than n records fire D002
   incore-cli lint [file.s] [flags]    run the static diagnostics (rule codes K*, M*, D*)
       --arch <machine>     machine for kernel lints / single machine to lint
       --machine-file <file.json>  lint an edited machine file (also used for kernel lints)
@@ -260,7 +315,7 @@ pub fn run_analyze(
     with_sim: bool,
     timeline: bool,
     trace: bool,
-) -> Result<String, isa::ParseError> {
+) -> Result<String, Error> {
     use std::fmt::Write;
     let kernel = isa::parse_kernel(asm, machine.isa)?;
     let opts = incore::Options {
@@ -292,6 +347,101 @@ pub fn run_analyze(
         let _ = writeln!(out, "\n{}", exec::trace::render(machine, &kernel, 2));
     }
     Ok(out)
+}
+
+/// `analyze --json`: evaluate one kernel through the same
+/// [`engine::evaluate_block`] path as `validate` and wrap it in a
+/// one-record [`engine::BatchReport`], so scripted consumers see a single
+/// schema whichever subcommand produced it.
+pub fn run_analyze_json(
+    machine: &uarch::Machine,
+    label: &str,
+    asm: &str,
+    balanced: bool,
+    with_mca: bool,
+    with_sim: bool,
+) -> Result<String, Error> {
+    let kernel =
+        isa::parse_kernel(asm, machine.isa).map_err(|e| Error::from(e).with_context(label))?;
+    let model: Box<dyn uarch::Predictor> = if balanced {
+        Box::new(incore::InCoreModel::balanced())
+    } else {
+        Box::new(incore::InCoreModel::new())
+    };
+    let mut analytical: Vec<Box<dyn uarch::Predictor>> = vec![model];
+    if with_mca {
+        analytical.push(Box::new(mca::McaBaseline));
+    }
+    let sim = exec::CoreSimulator::default();
+    let reference: Option<&dyn uarch::Predictor> = if with_sim { Some(&sim) } else { None };
+    let refs: Vec<&dyn uarch::Predictor> = analytical.iter().map(|b| b.as_ref()).collect();
+    let record = engine::evaluate_block(
+        machine,
+        &kernel,
+        engine::BlockLabels {
+            kernel: label,
+            compiler: "",
+            opt: "",
+        },
+        &refs,
+        reference,
+    );
+    let report = engine::BatchReport::from_records(
+        vec![machine.arch.label().to_string()],
+        refs.iter().map(|p| p.name().to_string()).collect(),
+        reference.map(|r| r.name().to_string()),
+        vec![record],
+        engine::CacheStats::default(),
+    );
+    let mut out = report.to_json();
+    out.push('\n');
+    Ok(out)
+}
+
+/// Result of `incore-cli validate`: the rendered report plus any gate
+/// failures (printed to stderr; each makes the exit code nonzero).
+pub struct ValidateOutcome {
+    pub output: String,
+    pub gate_failures: Vec<Error>,
+}
+
+/// Run the corpus validation pipeline and apply the CI gates.
+pub fn run_validate(opts: &ValidateOpts) -> Result<ValidateOutcome, Error> {
+    let mut session = engine::Session::new().threads(opts.threads);
+    if !opts.archs.is_empty() {
+        session = session.archs(&opts.archs);
+    }
+    if let Some(limit) = opts.limit {
+        session = session.limit(limit);
+    }
+    let report = session.run()?;
+    let mut gate_failures = Vec::new();
+    if let Some(limit) = opts.threshold {
+        let mean = report.summary("incore").map(|s| s.mean_abs).unwrap_or(0.0);
+        if mean > limit {
+            gate_failures.push(Error::threshold("mean |RPE| (incore)", mean, limit));
+        }
+    }
+    if let Some(max) = opts.max_divergent {
+        if report.d002_records > max {
+            gate_failures.push(Error::threshold(
+                "records with D002 divergence",
+                report.d002_records as f64,
+                max as f64,
+            ));
+        }
+    }
+    let output = if opts.json {
+        let mut s = report.to_json();
+        s.push('\n');
+        s
+    } else {
+        report.render_text()
+    };
+    Ok(ValidateOutcome {
+        output,
+        gate_failures,
+    })
 }
 
 /// One unit of work for `incore-cli lint` (separated from `main` so the
@@ -385,6 +535,7 @@ mod tests {
                 sim: true,
                 timeline: false,
                 trace: false,
+                json: false,
             }
         );
     }
@@ -405,9 +556,11 @@ mod tests {
     }
 
     #[test]
-    fn unknown_flag_is_an_error() {
+    fn unknown_flag_is_a_usage_error() {
         let e = parse_args(&sv(&["analyze", "k.s", "--arch", "spr", "--wat"])).unwrap_err();
-        assert!(e.0.contains("--wat"));
+        assert_eq!(e.kind(), ErrorKind::Usage);
+        assert_eq!(e.exit_code(), 2);
+        assert!(e.to_string().contains("--wat"));
     }
 
     #[test]
@@ -430,6 +583,44 @@ mod tests {
     }
 
     #[test]
+    fn parse_validate_variants() {
+        assert_eq!(
+            parse_args(&sv(&["validate"])).unwrap(),
+            Command::Validate(ValidateOpts::default())
+        );
+        assert_eq!(
+            parse_args(&sv(&[
+                "validate",
+                "--arch",
+                "spr",
+                "--arch",
+                "genoa",
+                "--threads",
+                "4",
+                "--limit",
+                "32",
+                "--json",
+                "--threshold",
+                "0.25",
+                "--max-divergent",
+                "10",
+            ]))
+            .unwrap(),
+            Command::Validate(ValidateOpts {
+                archs: vec![uarch::Arch::GoldenCove, uarch::Arch::Zen4],
+                threads: 4,
+                limit: Some(32),
+                json: true,
+                threshold: Some(0.25),
+                max_divergent: Some(10),
+            })
+        );
+        let e = parse_args(&sv(&["validate", "--threads", "lots"])).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::Usage);
+        assert!(parse_args(&sv(&["validate", "--wat"])).is_err());
+    }
+
+    #[test]
     fn run_analyze_produces_report_with_extras() {
         let m = machine_for(uarch::Arch::GoldenCove);
         let asm = ".L1:\n vaddpd %zmm0, %zmm1, %zmm2\n subq $1, %rax\n jne .L1\n";
@@ -439,6 +630,78 @@ mod tests {
         assert!(out.contains("LLVM-MCA-style baseline:"));
         assert!(out.contains("MCA timeline"));
         assert!(out.contains("pipeline trace"));
+    }
+
+    #[test]
+    fn analyze_json_shares_the_batch_schema() {
+        let m = machine_for(uarch::Arch::GoldenCove);
+        let asm = ".L1:\n vaddpd %zmm0, %zmm1, %zmm2\n subq $1, %rax\n jne .L1\n";
+        let out = run_analyze_json(&m, "k.s", asm, false, true, true).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let o = v.as_object().unwrap();
+        assert_eq!(
+            o.get("schema_version").unwrap().as_u64().unwrap(),
+            engine::SCHEMA_VERSION as u64
+        );
+        let records = o.get("records").unwrap().as_array().unwrap();
+        assert_eq!(records.len(), 1);
+        let rec = records[0].as_object().unwrap();
+        assert_eq!(rec.get("kernel").unwrap().as_str().unwrap(), "k.s");
+        assert!(rec.get("measured").unwrap().as_f64().unwrap() > 0.0);
+        let preds = rec.get("predictions").unwrap().as_array().unwrap();
+        assert_eq!(preds.len(), 2);
+        assert_eq!(
+            preds[0]
+                .as_object()
+                .unwrap()
+                .get("predictor")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "incore"
+        );
+        // Parse failures carry the input label as context.
+        let e = run_analyze_json(&m, "k.s", "movq %bogus, %rax", false, false, false).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::Parse);
+        assert!(e.to_string().contains("k.s"));
+    }
+
+    #[test]
+    fn validate_smoke_run_and_gates() {
+        let clean = run_validate(&ValidateOpts {
+            archs: vec![uarch::Arch::GoldenCove],
+            threads: 2,
+            limit: Some(8),
+            json: false,
+            threshold: Some(10.0),
+            max_divergent: Some(1000),
+        })
+        .unwrap();
+        assert!(clean.gate_failures.is_empty());
+        assert!(clean.output.contains("validation over 8 test blocks"));
+        // An absurdly tight threshold must trip the gate.
+        let tripped = run_validate(&ValidateOpts {
+            archs: vec![uarch::Arch::GoldenCove],
+            threads: 1,
+            limit: Some(8),
+            json: true,
+            threshold: Some(1e-9),
+            max_divergent: None,
+        })
+        .unwrap();
+        assert_eq!(tripped.gate_failures.len(), 1);
+        assert_eq!(tripped.gate_failures[0].kind(), ErrorKind::Threshold);
+        let v: serde_json::Value = serde_json::from_str(&tripped.output).unwrap();
+        assert_eq!(
+            v.as_object()
+                .unwrap()
+                .get("records")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            8
+        );
     }
 
     #[test]
@@ -469,7 +732,9 @@ mod tests {
     #[test]
     fn run_analyze_rejects_bad_asm() {
         let m = machine_for(uarch::Arch::GoldenCove);
-        assert!(run_analyze(&m, "movq %bogus, %rax", false, false, false, false, false).is_err());
+        let e =
+            run_analyze(&m, "movq %bogus, %rax", false, false, false, false, false).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::Parse);
     }
 
     #[test]

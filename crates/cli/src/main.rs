@@ -1,18 +1,35 @@
 //! `incore-cli` entry point. All logic lives in the library for
-//! testability; this file only does I/O.
+//! testability; this file only does I/O and exit-code plumbing: `run`
+//! propagates every failure as a workspace [`cli::Error`] with `?`, and
+//! `main` maps the error kind to the process exit code (2 for usage, 1
+//! for everything else).
 
-use cli::{machine_for, parse_args, run_analyze, run_lint, Command, LintTarget, USAGE};
+use cli::{
+    machine_for, parse_args, run_analyze, run_analyze_json, run_lint, run_validate, Command, Error,
+    ErrorKind, LintTarget, USAGE,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = match parse_args(&args) {
-        Ok(c) => c,
+    match run(&args) {
+        Ok(code) => std::process::exit(code),
         Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
-            std::process::exit(2);
+            if e.kind() == ErrorKind::Usage {
+                eprintln!("error: {e}\n\n{USAGE}");
+            } else {
+                eprintln!("error: {e}");
+            }
+            std::process::exit(e.exit_code());
         }
-    };
-    match cmd {
+    }
+}
+
+fn read(path: &str) -> Result<String, Error> {
+    std::fs::read_to_string(path).map_err(|e| Error::io(path, &e))
+}
+
+fn run(args: &[String]) -> Result<i32, Error> {
+    match parse_args(args)? {
         Command::Help => print!("{USAGE}"),
         Command::Machines => {
             for m in uarch::all_machines() {
@@ -33,6 +50,16 @@ fn main() {
                 );
             }
         }
+        Command::Validate(opts) => {
+            let outcome = run_validate(&opts)?;
+            print!("{}", outcome.output);
+            if !outcome.gate_failures.is_empty() {
+                for gate in &outcome.gate_failures {
+                    eprintln!("gate failed: {gate}");
+                }
+                return Ok(1);
+            }
+        }
         Command::Lint {
             path,
             arch,
@@ -41,15 +68,14 @@ fn main() {
             strict,
             sim,
         } => {
-            let read = |p: &str| match std::fs::read_to_string(p) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("error: cannot read `{p}`: {e}");
-                    std::process::exit(1);
-                }
+            let file_json = match machine_file.as_deref() {
+                Some(p) => Some(read(p)?),
+                None => None,
             };
-            let file_json = machine_file.as_deref().map(read);
-            let asm = path.as_deref().map(read);
+            let asm = match path.as_deref() {
+                Some(p) => Some(read(p)?),
+                None => None,
+            };
             // The machine used for kernel lints: an edited machine file
             // takes precedence over a built-in model.
             let imported = file_json
@@ -87,7 +113,7 @@ fn main() {
             }
             let (out, code) = run_lint(&targets, json, strict);
             print!("{out}");
-            std::process::exit(code);
+            return Ok(code);
         }
         Command::Export { arch } => {
             print!("{}", machine_for(arch).to_json());
@@ -124,40 +150,22 @@ fn main() {
             sim,
             timeline,
             trace,
+            json,
         } => {
-            let asm = match std::fs::read_to_string(&path) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("error: cannot read `{path}`: {e}");
-                    std::process::exit(1);
-                }
-            };
+            let asm = read(&path)?;
             let m = match machine_file {
-                Some(f) => {
-                    let json = match std::fs::read_to_string(&f) {
-                        Ok(s) => s,
-                        Err(e) => {
-                            eprintln!("error: cannot read `{f}`: {e}");
-                            std::process::exit(1);
-                        }
-                    };
-                    match uarch::Machine::from_json(&json) {
-                        Ok(m) => m,
-                        Err(e) => {
-                            eprintln!("error: {e}");
-                            std::process::exit(1);
-                        }
-                    }
-                }
+                Some(f) => uarch::Machine::from_json(&read(&f)?)
+                    .map_err(|e| Error::from(e).with_context(f))?,
                 None => machine_for(arch),
             };
-            match run_analyze(&m, &asm, balanced, mca, sim, timeline, trace) {
-                Ok(out) => print!("{out}"),
-                Err(e) => {
-                    eprintln!("parse error: {e}");
-                    std::process::exit(1);
-                }
-            }
+            let out = if json {
+                run_analyze_json(&m, &path, &asm, balanced, mca, sim)?
+            } else {
+                run_analyze(&m, &asm, balanced, mca, sim, timeline, trace)
+                    .map_err(|e| e.with_context(path))?
+            };
+            print!("{out}");
         }
     }
+    Ok(0)
 }

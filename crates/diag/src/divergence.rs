@@ -1,12 +1,22 @@
-//! Predictor-divergence lints (`D001`–`D002`): run the in-core model, the
-//! MCA-style baseline, and optionally the cycle-level simulator on the same
-//! kernel and flag blocks where they disagree badly. Large divergence means
-//! at least one model mishandles the kernel — exactly the cases worth a
-//! human look when validating the models against hardware.
+//! Predictor-divergence lints (`D001`–`D002`): run any set of
+//! [`uarch::Predictor`]s on the same kernel and flag blocks where they
+//! disagree badly. Large divergence means at least one model mishandles
+//! the kernel — exactly the cases worth a human look when validating the
+//! models against hardware.
+//!
+//! The rules consume the unified predictor trait, so the same logic lints
+//! the default in-core/MCA pair, a balanced-port in-core variant, or any
+//! future backend without new signatures:
+//!
+//! * `D001` — two *analytical* predictions diverge by more than 2×
+//!   (checked pairwise over every analytical predictor).
+//! * `D002` — the *reference* (measurement stand-in) disagrees with every
+//!   analytical prediction by more than 2×; if it disagrees with only
+//!   some of them, those models' pairwise `D001`s already cover it.
 
 use crate::Diagnostic;
 use isa::Kernel;
-use uarch::Machine;
+use uarch::{Machine, Prediction, Predictor};
 
 /// The predictions that fed a divergence lint.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,42 +45,50 @@ fn ratio(a: f64, b: f64) -> f64 {
 /// Divergence threshold: predictions more than 2x apart are flagged.
 const THRESHOLD: f64 = 2.0;
 
-/// The rule logic on raw numbers (exposed separately so the thresholds are
-/// unit-testable without constructing a pathological kernel).
-///
-/// * `D001` — in-core and MCA predictions diverge by more than 2x.
-/// * `D002` — the simulator disagrees with *both* analytical models by more
-///   than 2x (if it disagrees with only one, that model's `D001`-style
-///   divergence already covers it).
-pub fn divergence_diags(incore_cy: f64, mca_cy: f64, sim_cy: Option<f64>) -> Vec<Diagnostic> {
+/// The rule logic on named prediction values — the core every other entry
+/// point (pure numbers, trait objects, the batch engine) reduces to.
+pub fn divergence_diags_named(
+    analytical: &[(&str, f64)],
+    reference: Option<(&str, f64)>,
+) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
-    let r = ratio(incore_cy, mca_cy);
-    if r > THRESHOLD {
-        diags.push(
-            Diagnostic::new(
-                "D001",
-                format!(
-                    "in-core and MCA-style predictions diverge by {r:.1}x \
-                     ({incore_cy:.2} vs {mca_cy:.2} cy/iter)"
-                ),
-            )
-            .with_help(
-                "at least one model mishandles this kernel; compare the port \
-                 pressure and dependency views (`incore-cli analyze --mca`)",
-            ),
-        );
+    for (i, &(name_a, cy_a)) in analytical.iter().enumerate() {
+        for &(name_b, cy_b) in &analytical[i + 1..] {
+            let r = ratio(cy_a, cy_b);
+            if r > THRESHOLD {
+                diags.push(
+                    Diagnostic::new(
+                        "D001",
+                        format!(
+                            "{name_a} and {name_b} predictions diverge by {r:.1}x \
+                             ({cy_a:.2} vs {cy_b:.2} cy/iter)"
+                        ),
+                    )
+                    .with_help(
+                        "at least one model mishandles this kernel; compare the port \
+                         pressure and dependency views (`incore-cli analyze --mca`)",
+                    ),
+                );
+            }
+        }
     }
-    if let Some(sim) = sim_cy {
-        let ri = ratio(sim, incore_cy);
-        let rm = ratio(sim, mca_cy);
-        if ri > THRESHOLD && rm > THRESHOLD {
+    if let Some((ref_name, ref_cy)) = reference {
+        let all_diverge = !analytical.is_empty()
+            && analytical
+                .iter()
+                .all(|&(_, cy)| ratio(ref_cy, cy) > THRESHOLD);
+        if all_diverge {
+            let models = analytical
+                .iter()
+                .map(|(name, cy)| format!("{name} {cy:.2}"))
+                .collect::<Vec<_>>()
+                .join(", ");
             diags.push(
                 Diagnostic::new(
                     "D002",
                     format!(
-                        "simulator disagrees with both analytical models by more than \
-                         {THRESHOLD}x (sim {sim:.2}, in-core {incore_cy:.2}, MCA \
-                         {mca_cy:.2} cy/iter)"
+                        "{ref_name} disagrees with every analytical model by more than \
+                         {THRESHOLD}x ({ref_name} {ref_cy:.2} vs {models} cy/iter)"
                     ),
                 )
                 .with_help(
@@ -83,23 +101,71 @@ pub fn divergence_diags(incore_cy: f64, mca_cy: f64, sim_cy: Option<f64>) -> Vec
     diags
 }
 
-/// Run the predictors on a kernel and lint their agreement. The simulator
-/// only runs when `with_sim` is set (it is by far the slowest of the
-/// three).
+/// The classic fixed-role entry point: in-core vs MCA, with an optional
+/// simulator measurement. Kept for callers (and tests) that think in the
+/// paper's three-predictor terms.
+pub fn divergence_diags(incore_cy: f64, mca_cy: f64, sim_cy: Option<f64>) -> Vec<Diagnostic> {
+    divergence_diags_named(
+        &[("in-core", incore_cy), ("MCA-style", mca_cy)],
+        sim_cy.map(|s| ("simulator", s)),
+    )
+}
+
+/// Run an arbitrary predictor set through the divergence rules. Returns
+/// every prediction (name, value) in input order — reference predictors
+/// are split out by [`Predictor::is_reference`] — plus the diagnostics.
+pub fn lint_divergence_predictors(
+    machine: &Machine,
+    kernel: &Kernel,
+    predictors: &[&dyn Predictor],
+) -> (Vec<(&'static str, Prediction)>, Vec<Diagnostic>) {
+    let predictions: Vec<(&'static str, Prediction)> = predictors
+        .iter()
+        .map(|p| (p.name(), p.predict(machine, kernel)))
+        .collect();
+    let analytical: Vec<(&str, f64)> = predictions
+        .iter()
+        .zip(predictors)
+        .filter(|(_, p)| !p.is_reference())
+        .map(|((name, pred), _)| (*name, pred.cycles_per_iter))
+        .collect();
+    let reference = predictions
+        .iter()
+        .zip(predictors)
+        .find(|(_, p)| p.is_reference())
+        .map(|((name, pred), _)| (*name, pred.cycles_per_iter));
+    let diags = divergence_diags_named(&analytical, reference);
+    (predictions, diags)
+}
+
+/// Run the default predictors on a kernel and lint their agreement. The
+/// simulator only runs when `with_sim` is set (it is by far the slowest
+/// of the three).
 pub fn lint_divergence(
     machine: &Machine,
     kernel: &Kernel,
     with_sim: bool,
 ) -> (DivergenceReport, Vec<Diagnostic>) {
-    let incore_cy = incore::analyze(machine, kernel).prediction;
-    let mca_cy = mca::predict(machine, kernel).cycles_per_iter;
-    let sim_cy = with_sim.then(|| exec::cycles_per_iteration(machine, kernel));
-    let report = DivergenceReport {
-        incore: incore_cy,
-        mca: mca_cy,
-        sim: sim_cy,
+    let incore_model = incore::InCoreModel::new();
+    let mca_model = mca::McaBaseline;
+    let simulator = exec::CoreSimulator::default();
+    let mut predictors: Vec<&dyn Predictor> = vec![&incore_model, &mca_model];
+    if with_sim {
+        predictors.push(&simulator);
+    }
+    let (predictions, diags) = lint_divergence_predictors(machine, kernel, &predictors);
+    let by_name = |n: &str| {
+        predictions
+            .iter()
+            .find(|(name, _)| *name == n)
+            .map(|(_, p)| p.cycles_per_iter)
     };
-    (report, divergence_diags(incore_cy, mca_cy, sim_cy))
+    let report = DivergenceReport {
+        incore: by_name("incore").unwrap_or(0.0),
+        mca: by_name("mca").unwrap_or(0.0),
+        sim: by_name("sim"),
+    };
+    (report, diags)
 }
 
 #[cfg(test)]
@@ -134,6 +200,38 @@ mod tests {
         let diags = divergence_diags(4.0, 10.0, Some(4.2));
         assert!(diags.iter().any(|d| d.code == "D001"));
         assert!(!diags.iter().any(|d| d.code == "D002"), "{diags:?}");
+    }
+
+    #[test]
+    fn pairwise_d001_over_three_analytical_models() {
+        // Three models where only one pair diverges: exactly one D001.
+        let diags = divergence_diags_named(&[("a", 4.0), ("b", 4.5), ("c", 10.0)], None);
+        let d001: Vec<_> = diags.iter().filter(|d| d.code == "D001").collect();
+        assert_eq!(d001.len(), 2, "{diags:?}"); // a-c and b-c both > 2x
+        assert!(d001[0].message.contains("a and c"));
+    }
+
+    #[test]
+    fn reference_without_analytical_is_clean() {
+        assert!(divergence_diags_named(&[], Some(("sim", 9.0))).is_empty());
+    }
+
+    #[test]
+    fn trait_dispatch_matches_fixed_roles() {
+        let machine = Machine::golden_cove();
+        let asm = ".L1:\n vaddpd %zmm0, %zmm1, %zmm2\n subq $1, %rax\n jne .L1\n";
+        let kernel = isa::parse_kernel(asm, isa::Isa::X86).unwrap();
+        let (report, diags) = lint_divergence(&machine, &kernel, true);
+        let incore_model = incore::InCoreModel::new();
+        let mca_model = mca::McaBaseline;
+        let simulator = exec::CoreSimulator::default();
+        let preds: Vec<&dyn Predictor> = vec![&incore_model, &mca_model, &simulator];
+        let (predictions, diags2) = lint_divergence_predictors(&machine, &kernel, &preds);
+        assert_eq!(predictions.len(), 3);
+        assert_eq!(report.incore, predictions[0].1.cycles_per_iter);
+        assert_eq!(report.mca, predictions[1].1.cycles_per_iter);
+        assert_eq!(report.sim, Some(predictions[2].1.cycles_per_iter));
+        assert_eq!(diags, diags2);
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub mod divergence;
 pub mod kernel;
 pub mod machine;
 
-pub use divergence::{divergence_diags, lint_divergence, DivergenceReport};
+pub use divergence::{
+    divergence_diags, divergence_diags_named, lint_divergence, lint_divergence_predictors,
+    DivergenceReport,
+};
 pub use kernel::{lint_assembly, lint_kernel};
 pub use machine::{lint_machine, lint_machine_file};
 

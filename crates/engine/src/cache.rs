@@ -1,0 +1,164 @@
+//! Content-keyed memoization for the batch pipeline.
+//!
+//! The corpus run decodes each distinct kernel text **once** and shares
+//! the parsed [`isa::Kernel`] across every predictor (and across machines
+//! that generate byte-identical assembly, e.g. two x86 models at the same
+//! vector width). Imported JSON machine files are deduplicated the same
+//! way. Both caches are safe to hit from the worker pool.
+//!
+//! Each cache entry is a `OnceLock` slot created under the map lock but
+//! *filled outside it*, so two workers racing on different keys parse in
+//! parallel, while workers racing on the same key block on the slot and
+//! share one parse. That also makes the hit/miss counters deterministic
+//! regardless of thread count: exactly one miss per distinct key (the
+//! slot's creator), a hit for every other lookup — which is what lets the
+//! stats ride along in the byte-identical JSON report.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::error::Error;
+use serde::Serialize;
+
+type Slot<T> = Arc<OnceLock<Result<Arc<T>, Error>>>;
+
+/// Hit/miss counters, serialized into the batch report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct CacheStats {
+    pub kernel_hits: u64,
+    pub kernel_misses: u64,
+    pub machine_hits: u64,
+    pub machine_misses: u64,
+}
+
+/// Thread-safe content-keyed caches for parsed kernels and imported
+/// machine models.
+#[derive(Default)]
+pub struct CorpusCache {
+    kernels: Mutex<HashMap<(isa::Isa, String), Slot<isa::Kernel>>>,
+    machines: Mutex<HashMap<String, Slot<uarch::Machine>>>,
+    kernel_hits: AtomicU64,
+    kernel_misses: AtomicU64,
+    machine_hits: AtomicU64,
+    machine_misses: AtomicU64,
+}
+
+impl CorpusCache {
+    pub fn new() -> Self {
+        CorpusCache::default()
+    }
+
+    /// Parse `asm` for `isa`, reusing a previous parse of identical text.
+    pub fn kernel(&self, asm: &str, isa: isa::Isa) -> Result<Arc<isa::Kernel>, Error> {
+        let slot = {
+            let mut map = self.kernels.lock().expect("kernel cache poisoned");
+            match map.entry((isa, asm.to_string())) {
+                Entry::Occupied(e) => {
+                    self.kernel_hits.fetch_add(1, Ordering::Relaxed);
+                    e.get().clone()
+                }
+                Entry::Vacant(v) => {
+                    self.kernel_misses.fetch_add(1, Ordering::Relaxed);
+                    v.insert(Arc::new(OnceLock::new())).clone()
+                }
+            }
+        };
+        slot.get_or_init(|| {
+            isa::parse_kernel(asm, isa)
+                .map(Arc::new)
+                .map_err(Error::from)
+        })
+        .clone()
+    }
+
+    /// Import a JSON machine file, reusing a previous import of identical
+    /// text.
+    pub fn machine(&self, json: &str) -> Result<Arc<uarch::Machine>, Error> {
+        let slot = {
+            let mut map = self.machines.lock().expect("machine cache poisoned");
+            match map.entry(json.to_string()) {
+                Entry::Occupied(e) => {
+                    self.machine_hits.fetch_add(1, Ordering::Relaxed);
+                    e.get().clone()
+                }
+                Entry::Vacant(v) => {
+                    self.machine_misses.fetch_add(1, Ordering::Relaxed);
+                    v.insert(Arc::new(OnceLock::new())).clone()
+                }
+            }
+        };
+        slot.get_or_init(|| {
+            uarch::Machine::from_json(json)
+                .map(Arc::new)
+                .map_err(Error::from)
+        })
+        .clone()
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            kernel_hits: self.kernel_hits.load(Ordering::Relaxed),
+            kernel_misses: self.kernel_misses.load(Ordering::Relaxed),
+            machine_hits: self.machine_hits.load(Ordering::Relaxed),
+            machine_misses: self.machine_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_parsed_once_per_distinct_text() {
+        let cache = CorpusCache::new();
+        let asm = ".L1:\n addq $1, %rax\n jne .L1\n";
+        let a = cache.kernel(asm, isa::Isa::X86).unwrap();
+        let b = cache.kernel(asm, isa::Isa::X86).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must share the parse");
+        let other = cache.kernel(".L1:\n subq $1, %rax\n jne .L1\n", isa::Isa::X86);
+        assert!(other.is_ok());
+        let s = cache.stats();
+        assert_eq!(s.kernel_misses, 2);
+        assert_eq!(s.kernel_hits, 1);
+    }
+
+    #[test]
+    fn parse_failures_are_cached_too() {
+        let cache = CorpusCache::new();
+        let bad = "movq %bogus, %rax\n";
+        let e1 = cache.kernel(bad, isa::Isa::X86).unwrap_err();
+        let e2 = cache.kernel(bad, isa::Isa::X86).unwrap_err();
+        assert_eq!(e1, e2);
+        let s = cache.stats();
+        assert_eq!((s.kernel_misses, s.kernel_hits), (1, 1));
+    }
+
+    #[test]
+    fn machine_files_are_content_keyed() {
+        let cache = CorpusCache::new();
+        let json = uarch::Machine::zen4().to_json();
+        let a = cache.machine(&json).unwrap();
+        let b = cache.machine(&json).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(cache.machine("{ nope").is_err());
+        let s = cache.stats();
+        assert_eq!((s.machine_misses, s.machine_hits), (2, 1));
+    }
+
+    #[test]
+    fn deterministic_counts_under_contention() {
+        let cache = CorpusCache::new();
+        let asm = ".L1:\n addq $1, %rax\n jne .L1\n";
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| cache.kernel(asm, isa::Isa::X86).unwrap());
+            }
+        });
+        let st = cache.stats();
+        assert_eq!(st.kernel_misses, 1);
+        assert_eq!(st.kernel_hits, 7);
+    }
+}

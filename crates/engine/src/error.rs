@@ -1,0 +1,232 @@
+//! The workspace error type.
+//!
+//! Replaces the stringly-typed error paths that used to be scattered over
+//! the tools (`UsageError(String)` in the CLI, `SpecError(String)` leaking
+//! out of machine-file import, parser errors formatted at every call
+//! site): one enum carrying a machine-checkable [`ErrorKind`] plus enough
+//! context to print a useful message, with `From` impls so `cli` and
+//! `engine` propagate with `?` instead of per-call `match` ladders.
+//!
+//! The type is `Clone` (sources are flattened into strings) so cached
+//! computations can store and replay a failure to every waiter.
+
+use std::fmt;
+
+/// Machine-checkable classification of an [`Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// Bad command-line usage (unknown flag, missing argument).
+    Usage,
+    /// Assembly failed to parse.
+    Parse,
+    /// A machine model/JSON machine file failed to import.
+    MachineSpec,
+    /// Filesystem I/O failed.
+    Io,
+    /// JSON (de)serialization failed.
+    Json,
+    /// A validation gate failed (mean RPE or divergence over threshold).
+    Threshold,
+}
+
+impl ErrorKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorKind::Usage => "usage",
+            ErrorKind::Parse => "parse",
+            ErrorKind::MachineSpec => "machine-spec",
+            ErrorKind::Io => "io",
+            ErrorKind::Json => "json",
+            ErrorKind::Threshold => "threshold",
+        }
+    }
+}
+
+/// One error, with kind and context.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Bad command-line usage; the message is shown next to the help text.
+    Usage { message: String },
+    /// Assembly parse failure, with the 1-based source line when known and
+    /// the artifact it came from (file path or corpus variant label).
+    Parse {
+        context: String,
+        line: usize,
+        message: String,
+    },
+    /// Machine model import/validation failure.
+    MachineSpec { context: String, message: String },
+    /// I/O failure on a named path.
+    Io { path: String, message: String },
+    /// JSON (de)serialization failure.
+    Json { context: String, message: String },
+    /// A validation gate tripped: `metric` exceeded `limit` at `value`.
+    Threshold {
+        metric: String,
+        value: f64,
+        limit: f64,
+    },
+}
+
+impl Error {
+    pub fn usage(message: impl Into<String>) -> Self {
+        Error::Usage {
+            message: message.into(),
+        }
+    }
+
+    pub fn io(path: impl Into<String>, source: &std::io::Error) -> Self {
+        Error::Io {
+            path: path.into(),
+            message: source.to_string(),
+        }
+    }
+
+    pub fn threshold(metric: impl Into<String>, value: f64, limit: f64) -> Self {
+        Error::Threshold {
+            metric: metric.into(),
+            value,
+            limit,
+        }
+    }
+
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            Error::Usage { .. } => ErrorKind::Usage,
+            Error::Parse { .. } => ErrorKind::Parse,
+            Error::MachineSpec { .. } => ErrorKind::MachineSpec,
+            Error::Io { .. } => ErrorKind::Io,
+            Error::Json { .. } => ErrorKind::Json,
+            Error::Threshold { .. } => ErrorKind::Threshold,
+        }
+    }
+
+    /// Attach (or replace) the artifact context on kinds that carry one.
+    pub fn with_context(mut self, ctx: impl Into<String>) -> Self {
+        match &mut self {
+            Error::Parse { context, .. }
+            | Error::MachineSpec { context, .. }
+            | Error::Json { context, .. } => *context = ctx.into(),
+            Error::Io { .. } | Error::Usage { .. } | Error::Threshold { .. } => {}
+        }
+        self
+    }
+
+    /// Conventional process exit code: usage errors are `2`, everything
+    /// else `1` (mirroring grep/clang-tidy style tools).
+    pub fn exit_code(&self) -> i32 {
+        match self.kind() {
+            ErrorKind::Usage => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Usage { message } => write!(f, "{message}"),
+            Error::Parse {
+                context,
+                line,
+                message,
+            } => {
+                if context.is_empty() {
+                    write!(f, "parse error at line {line}: {message}")
+                } else {
+                    write!(f, "{context}: parse error at line {line}: {message}")
+                }
+            }
+            Error::MachineSpec { context, message } => {
+                if context.is_empty() {
+                    write!(f, "machine spec error: {message}")
+                } else {
+                    write!(f, "{context}: machine spec error: {message}")
+                }
+            }
+            Error::Io { path, message } => write!(f, "cannot access `{path}`: {message}"),
+            Error::Json { context, message } => {
+                if context.is_empty() {
+                    write!(f, "json error: {message}")
+                } else {
+                    write!(f, "{context}: json error: {message}")
+                }
+            }
+            Error::Threshold {
+                metric,
+                value,
+                limit,
+            } => write!(f, "{metric} {value:.4} exceeds the limit {limit:.4}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<isa::ParseError> for Error {
+    fn from(e: isa::ParseError) -> Self {
+        Error::Parse {
+            context: String::new(),
+            line: e.line,
+            message: format!("{} in `{}`", e.message, e.source_line),
+        }
+    }
+}
+
+impl From<uarch::spec::SpecError> for Error {
+    fn from(e: uarch::spec::SpecError) -> Self {
+        Error::MachineSpec {
+            context: String::new(),
+            message: e.0,
+        }
+    }
+}
+
+impl From<serde_json::Error> for Error {
+    fn from(e: serde_json::Error) -> Self {
+        Error::Json {
+            context: String::new(),
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_exit_codes() {
+        assert_eq!(Error::usage("x").kind(), ErrorKind::Usage);
+        assert_eq!(Error::usage("x").exit_code(), 2);
+        let t = Error::threshold("mean |RPE|", 0.5, 0.25);
+        assert_eq!(t.kind(), ErrorKind::Threshold);
+        assert_eq!(t.exit_code(), 1);
+        assert!(t.to_string().contains("0.5000"));
+    }
+
+    #[test]
+    fn from_parse_error_keeps_the_line() {
+        let pe = isa::ParseError::new(7, "unknown register", "movq %bogus, %rax");
+        let e: Error = pe.into();
+        assert_eq!(e.kind(), ErrorKind::Parse);
+        let shown = e.with_context("k.s").to_string();
+        assert!(shown.contains("k.s"), "{shown}");
+        assert!(shown.contains("line 7"), "{shown}");
+    }
+
+    #[test]
+    fn from_spec_error() {
+        let e: Error = uarch::spec::SpecError("bad port".into()).into();
+        assert_eq!(e.kind(), ErrorKind::MachineSpec);
+        assert!(e.to_string().contains("bad port"));
+    }
+
+    #[test]
+    fn io_errors_name_the_path() {
+        let ioe = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = Error::io("m.json", &ioe);
+        assert_eq!(e.kind(), ErrorKind::Io);
+        assert!(e.to_string().contains("m.json"));
+    }
+}

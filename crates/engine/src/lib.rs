@@ -1,0 +1,34 @@
+//! `engine` — the batch analysis pipeline behind the unified
+//! [`Predictor`](uarch::Predictor) API.
+//!
+//! The crate turns "run a predictor on a kernel" into "validate a corpus":
+//! a [`Session`] fans the full kernels × machines grid out over a worker
+//! pool (vendored `rayon`), decodes each distinct kernel text exactly once
+//! through a content-keyed [`CorpusCache`], runs every configured
+//! predictor against the shared parse, scores each prediction against the
+//! reference measurement, applies the `diag` divergence rules, and
+//! collects everything into a JSON-serializable [`BatchReport`].
+//!
+//! Layering: `engine` sits above the predictors (`incore`, `mca`, `exec`)
+//! and `diag`, and below the user-facing tools — `bench::fig3` and
+//! `incore-cli validate` / `analyze --json` are thin wrappers over this
+//! crate.
+//!
+//! Determinism is a design invariant, not an accident: the parallel map
+//! preserves submission order, the report carries no run-environment
+//! fields (thread count, timing), and the cache counters are
+//! scheduling-independent — so the serialized report is byte-identical
+//! for any `threads` setting.
+
+pub mod cache;
+pub mod error;
+pub mod report;
+pub mod session;
+
+pub use cache::{CacheStats, CorpusCache};
+pub use error::{Error, ErrorKind};
+pub use report::{
+    histogram, render_histogram, rpe, summarize, BatchReport, PredictorResult, PredictorSummary,
+    RecordReport, Summary, SCHEMA_VERSION,
+};
+pub use session::{evaluate_block, BlockLabels, Session};

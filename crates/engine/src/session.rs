@@ -1,0 +1,317 @@
+//! The batch analysis pipeline: a corpus of kernels × machines ×
+//! predictors, evaluated in parallel with content-keyed memoization.
+//!
+//! [`Session`] is a builder: select machines, predictors, corpus size and
+//! thread count, then [`run`](Session::run) the whole grid. Each kernel
+//! variant is generated and decoded **once** (via [`CorpusCache`]) and the
+//! parsed kernel is shared across every predictor; the work grid is fanned
+//! out over a `rayon` pool whose output ordering is deterministic, so the
+//! resulting [`BatchReport`] is byte-identical regardless of thread count.
+//!
+//! ```
+//! let report = engine::Session::new()
+//!     .archs(&[uarch::Arch::GoldenCove])
+//!     .limit(8)
+//!     .threads(2)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(report.records.len(), 8);
+//! assert!(report.summary("incore").is_some());
+//! ```
+
+use rayon::prelude::*;
+
+use crate::cache::CorpusCache;
+use crate::error::Error;
+use crate::report::{rpe, BatchReport, PredictorResult, RecordReport};
+use uarch::{Machine, Predictor};
+
+/// Descriptive labels for one evaluated block.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockLabels<'a> {
+    pub kernel: &'a str,
+    pub compiler: &'a str,
+    pub opt: &'a str,
+}
+
+/// Evaluate one parsed kernel on one machine: run the reference (if any)
+/// and every analytical predictor, compute RPEs against the reference,
+/// and apply the divergence rules. This is the single block evaluation
+/// both the batch pipeline and `incore-cli analyze --json` go through.
+pub fn evaluate_block(
+    machine: &Machine,
+    kernel: &isa::Kernel,
+    labels: BlockLabels<'_>,
+    analytical: &[&dyn Predictor],
+    reference: Option<&dyn Predictor>,
+) -> RecordReport {
+    let measured = reference.map(|r| r.predict(machine, kernel).cycles_per_iter);
+    let predictions: Vec<PredictorResult> = analytical
+        .iter()
+        .map(|p| {
+            let pred = p.predict(machine, kernel);
+            PredictorResult {
+                predictor: p.name().to_string(),
+                cycles_per_iter: pred.cycles_per_iter,
+                rpe: measured.map(|m| rpe(m, pred.cycles_per_iter)),
+                bottleneck: pred.bottleneck.label().to_string(),
+                port_pressure: pred.port_pressure,
+                uops_per_iter: pred.uops_per_iter,
+            }
+        })
+        .collect();
+    let named: Vec<(&str, f64)> = predictions
+        .iter()
+        .map(|p| (p.predictor.as_str(), p.cycles_per_iter))
+        .collect();
+    let reference_named = reference.zip(measured).map(|(r, cy)| (r.name(), cy));
+    let divergence = diag::divergence_diags_named(&named, reference_named)
+        .into_iter()
+        .map(|d| d.code.to_string())
+        .collect();
+    RecordReport {
+        kernel: labels.kernel.to_string(),
+        compiler: labels.compiler.to_string(),
+        opt: labels.opt.to_string(),
+        chip: machine.arch.chip().to_string(),
+        measured,
+        predictions,
+        divergence,
+    }
+}
+
+/// Builder for a batch validation run.
+///
+/// Defaults mirror the paper's Fig. 3 setup: all three machines, the
+/// in-core model and the MCA baseline as analytical predictors, the
+/// cycle-level simulator as the reference measurement, every corpus
+/// variant, and one worker per available core.
+pub struct Session {
+    archs: Vec<uarch::Arch>,
+    machine_files: Vec<(String, String)>,
+    predictors: Vec<Box<dyn Predictor>>,
+    reference: Option<Box<dyn Predictor>>,
+    threads: usize,
+    limit: Option<usize>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session {
+            archs: vec![
+                uarch::Arch::NeoverseV2,
+                uarch::Arch::GoldenCove,
+                uarch::Arch::Zen4,
+            ],
+            machine_files: Vec::new(),
+            predictors: vec![
+                Box::new(incore::InCoreModel::new()),
+                Box::new(mca::McaBaseline),
+            ],
+            reference: Some(Box::new(exec::CoreSimulator::default())),
+            threads: 0,
+            limit: None,
+        }
+    }
+}
+
+impl Session {
+    pub fn new() -> Self {
+        Session::default()
+    }
+
+    /// Restrict the run to these builtin machines (in the given order).
+    pub fn archs(mut self, archs: &[uarch::Arch]) -> Self {
+        self.archs = archs.to_vec();
+        self
+    }
+
+    /// Add a machine imported from JSON machine-file text; `label` names
+    /// it in error messages. The machine joins the grid alongside the
+    /// builtin ones.
+    pub fn machine_file(mut self, label: impl Into<String>, json: impl Into<String>) -> Self {
+        self.machine_files.push((label.into(), json.into()));
+        self
+    }
+
+    /// Replace the analytical predictor set.
+    pub fn predictors(mut self, predictors: Vec<Box<dyn Predictor>>) -> Self {
+        self.predictors = predictors;
+        self
+    }
+
+    /// Add one analytical predictor to the set.
+    pub fn predictor(mut self, p: Box<dyn Predictor>) -> Self {
+        self.predictors.push(p);
+        self
+    }
+
+    /// Replace (or with `None`, disable) the reference measurement.
+    pub fn reference(mut self, reference: Option<Box<dyn Predictor>>) -> Self {
+        self.reference = reference;
+        self
+    }
+
+    /// Worker thread count; `0` (default) = all available cores.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Evaluate only the first `limit` blocks of the grid (test slices).
+    pub fn limit(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Run the full grid and collect the report.
+    pub fn run(&self) -> Result<BatchReport, Error> {
+        let cache = CorpusCache::new();
+        let mut machines: Vec<Machine> = Vec::new();
+        for arch in &self.archs {
+            let m = uarch::all_machines()
+                .into_iter()
+                .find(|m| m.arch == *arch)
+                .expect("every Arch has a builtin machine");
+            machines.push(m);
+        }
+        for (label, json) in &self.machine_files {
+            let m = cache
+                .machine(json)
+                .map_err(|e| e.with_context(label.clone()))?;
+            machines.push((*m).clone());
+        }
+
+        let mut grid: Vec<(usize, kernels::Variant)> = Vec::new();
+        for (i, m) in machines.iter().enumerate() {
+            for v in kernels::variants_for(m.arch) {
+                grid.push((i, v));
+            }
+        }
+        if let Some(limit) = self.limit {
+            grid.truncate(limit);
+        }
+
+        let analytical: Vec<&dyn Predictor> = self.predictors.iter().map(|b| b.as_ref()).collect();
+        let reference = self.reference.as_deref();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.threads)
+            .build()
+            .expect("thread pool construction is infallible");
+        let records: Result<Vec<RecordReport>, Error> = pool.install(|| {
+            grid.into_par_iter()
+                .map(|(mi, variant)| {
+                    let machine = &machines[mi];
+                    let asm = kernels::generate(&variant, machine);
+                    let kernel = cache
+                        .kernel(&asm, machine.isa)
+                        .map_err(|e| e.with_context(variant.label()))?;
+                    Ok(evaluate_block(
+                        machine,
+                        &kernel,
+                        BlockLabels {
+                            kernel: variant.kernel.name(),
+                            compiler: variant.compiler.name(),
+                            opt: variant.opt.name(),
+                        },
+                        &analytical,
+                        reference,
+                    ))
+                })
+                .collect()
+        });
+        Ok(BatchReport::from_records(
+            machines
+                .iter()
+                .map(|m| m.arch.label().to_string())
+                .collect(),
+            self.predictors
+                .iter()
+                .map(|p| p.name().to_string())
+                .collect(),
+            self.reference.as_ref().map(|r| r.name().to_string()),
+            records?,
+            cache.stats(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_run_produces_records_and_summaries() {
+        let report = Session::new()
+            .archs(&[uarch::Arch::GoldenCove])
+            .limit(6)
+            .threads(2)
+            .run()
+            .unwrap();
+        assert_eq!(report.records.len(), 6);
+        assert_eq!(report.predictors, vec!["incore", "mca"]);
+        assert_eq!(report.reference.as_deref(), Some("sim"));
+        for r in &report.records {
+            assert_eq!(r.chip, "SPR");
+            assert!(r.measured.unwrap() > 0.0);
+            assert_eq!(r.predictions.len(), 2);
+            assert!(r.predictions[0].rpe.is_some());
+        }
+        assert_eq!(report.summary("incore").unwrap().count, 6);
+        // Every record decoded exactly once; all lookups hit or miss.
+        let c = report.cache;
+        assert_eq!(c.kernel_hits + c.kernel_misses, 6);
+        assert!(c.kernel_misses >= 1);
+    }
+
+    #[test]
+    fn no_reference_means_no_rpes() {
+        let report = Session::new()
+            .archs(&[uarch::Arch::Zen4])
+            .reference(None)
+            .limit(3)
+            .run()
+            .unwrap();
+        assert!(report.reference.is_none());
+        for r in &report.records {
+            assert!(r.measured.is_none());
+            assert!(r.predictions.iter().all(|p| p.rpe.is_none()));
+        }
+        assert_eq!(report.summary("incore").unwrap().count, 0);
+    }
+
+    #[test]
+    fn machine_file_joins_the_grid() {
+        let json = uarch::Machine::zen4().to_json();
+        let report = Session::new()
+            .archs(&[])
+            .machine_file("edited.json", json)
+            .limit(4)
+            .run()
+            .unwrap();
+        assert_eq!(report.archs, vec!["Zen 4"]);
+        assert_eq!(report.records.len(), 4);
+        let bad = Session::new().archs(&[]).machine_file("bad.json", "{ nope");
+        let err = bad.run().unwrap_err();
+        assert_eq!(err.kind(), crate::error::ErrorKind::MachineSpec);
+        assert!(err.to_string().contains("bad.json"), "{err}");
+    }
+
+    #[test]
+    fn custom_predictor_set_flows_through() {
+        let report = Session::new()
+            .archs(&[uarch::Arch::GoldenCove])
+            .predictors(vec![
+                Box::new(incore::InCoreModel::new()),
+                Box::new(incore::InCoreModel::balanced()),
+                Box::new(mca::McaBaseline),
+            ])
+            .limit(4)
+            .run()
+            .unwrap();
+        assert_eq!(report.predictors, vec!["incore", "incore-balanced", "mca"]);
+        for r in &report.records {
+            assert_eq!(r.predictions.len(), 3);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! The pipeline's determinism contract: a parallel run serializes
+//! byte-identically to a single-threaded run, including the cache
+//! counters, and the cache actually shares parses across the corpus.
+
+use engine::Session;
+
+fn slice_report(threads: usize) -> engine::BatchReport {
+    Session::new()
+        .archs(&[uarch::Arch::GoldenCove, uarch::Arch::NeoverseV2])
+        .limit(48)
+        .threads(threads)
+        .run()
+        .unwrap()
+}
+
+#[test]
+fn parallel_json_is_byte_identical_to_serial() {
+    let serial = slice_report(1).to_json();
+    for threads in [2, 4, 8] {
+        let parallel = slice_report(threads).to_json();
+        assert_eq!(
+            serial, parallel,
+            "thread count {threads} changed the serialized report"
+        );
+    }
+}
+
+#[test]
+fn cache_shares_parses_across_the_slice() {
+    let report = slice_report(4);
+    let c = report.cache;
+    assert_eq!(
+        c.kernel_hits + c.kernel_misses,
+        report.records.len() as u64,
+        "every record makes exactly one cache lookup"
+    );
+    assert!(
+        c.kernel_misses < report.records.len() as u64,
+        "corpus variants with identical codegen must share a parse \
+         ({} misses for {} lookups)",
+        c.kernel_misses,
+        report.records.len()
+    );
+}
+
+#[test]
+fn cache_counters_are_scheduling_independent() {
+    let base = slice_report(1).cache;
+    for threads in [2, 8] {
+        assert_eq!(slice_report(threads).cache, base);
+    }
+}
+
+#[test]
+fn records_keep_grid_order() {
+    let report = slice_report(3);
+    // The grid is machines (in arch order) x variants (in corpus order);
+    // the first records must be the first machine's variants, in order.
+    let variants = kernels::variants_for(uarch::Arch::GoldenCove);
+    for (record, variant) in report.records.iter().zip(&variants) {
+        assert_eq!(record.kernel, variant.kernel.name());
+        assert_eq!(record.compiler, variant.compiler.name());
+        assert_eq!(record.opt, variant.opt.name());
+        assert_eq!(record.chip, "SPR");
+    }
+}

@@ -1,0 +1,82 @@
+//! Golden snapshot of the JSON report schema (`SCHEMA_VERSION` 1).
+//!
+//! The test walks a real report and derives its *shape* — field names in
+//! serialization order with primitive types — and compares it against the
+//! checked-in fixture. Renaming, reordering, adding, or removing a field
+//! fails here first: that is a schema change, so update the fixture AND
+//! bump [`engine::SCHEMA_VERSION`] together.
+
+use serde_json::Value;
+use std::fmt::Write;
+
+fn shape(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match v {
+        Value::Object(map) => {
+            out.push_str("{\n");
+            for (key, val) in map.iter() {
+                let _ = write!(out, "{pad}  {key}: ");
+                shape(val, indent + 1, out);
+                out.push('\n');
+            }
+            let _ = write!(out, "{pad}}}");
+        }
+        Value::Array(items) => match items.first() {
+            Some(first) => {
+                out.push('[');
+                shape(first, indent, out);
+                out.push(']');
+            }
+            None => out.push_str("[?]"),
+        },
+        Value::Number(_) => out.push_str("number"),
+        Value::String(_) => out.push_str("string"),
+        Value::Bool(_) => out.push_str("bool"),
+        Value::Null => out.push_str("null"),
+    }
+}
+
+#[test]
+fn report_schema_matches_golden_fixture() {
+    let report = engine::Session::new()
+        .archs(&[uarch::Arch::GoldenCove])
+        .limit(2)
+        .threads(1)
+        .run()
+        .unwrap();
+    assert_eq!(report.schema_version, engine::SCHEMA_VERSION);
+    let v: Value = serde_json::from_str(&report.to_json()).unwrap();
+    let mut derived = String::new();
+    shape(&v, 0, &mut derived);
+    let golden = include_str!("fixtures/schema_v1.txt");
+    assert_eq!(
+        derived.trim(),
+        golden.trim(),
+        "report schema drifted from tests/fixtures/schema_v1.txt — if this \
+         is intentional, update the fixture and bump engine::SCHEMA_VERSION"
+    );
+}
+
+#[test]
+fn analyze_style_single_record_report_has_the_same_shape() {
+    // The one-record report `incore-cli analyze --json` builds through
+    // BatchReport::from_records must serialize with the identical shape.
+    let full = engine::Session::new()
+        .archs(&[uarch::Arch::GoldenCove])
+        .limit(1)
+        .run()
+        .unwrap();
+    let rebuilt = engine::BatchReport::from_records(
+        full.archs.clone(),
+        full.predictors.clone(),
+        full.reference.clone(),
+        full.records.clone(),
+        engine::CacheStats::default(),
+    );
+    let a: Value = serde_json::from_str(&full.to_json()).unwrap();
+    let b: Value = serde_json::from_str(&rebuilt.to_json()).unwrap();
+    let (mut sa, mut sb) = (String::new(), String::new());
+    shape(&a, 0, &mut sa);
+    shape(&b, 0, &mut sb);
+    assert_eq!(sa, sb);
+}

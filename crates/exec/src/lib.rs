@@ -161,6 +161,34 @@ pub struct TraceEvent {
     pub retired: u64,
 }
 
+/// The cycle-level simulator as a [`uarch::Predictor`] — the workspace's
+/// measurement stand-in (`is_reference`), anchoring relative prediction
+/// error in validation runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoreSimulator {
+    pub config: SimConfig,
+}
+
+impl uarch::Predictor for CoreSimulator {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn predict(&self, machine: &Machine, kernel: &Kernel) -> uarch::Prediction {
+        let r = simulate(machine, kernel, self.config);
+        uarch::Prediction {
+            cycles_per_iter: r.cycles_per_iter,
+            bottleneck: uarch::Bottleneck::Measured,
+            port_pressure: Vec::new(),
+            uops_per_iter: r.uops_per_cycle * r.cycles_per_iter,
+        }
+    }
+
+    fn is_reference(&self) -> bool {
+        true
+    }
+}
+
 /// Simulate a kernel and return steady-state cycles/iteration.
 pub fn simulate(machine: &Machine, kernel: &Kernel, cfg: SimConfig) -> SimResult {
     simulate_impl(machine, kernel, cfg, None).0

@@ -142,6 +142,53 @@ pub struct InstPressure {
     pub fallback: bool,
 }
 
+/// The analytical in-core model as a [`uarch::Predictor`] — the unified
+/// entry point batch pipelines and divergence lints dispatch through.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InCoreModel {
+    pub options: Options,
+}
+
+impl InCoreModel {
+    pub fn new() -> Self {
+        InCoreModel::default()
+    }
+
+    /// OSACA's equal-split port heuristic instead of the optimal split.
+    pub fn balanced() -> Self {
+        InCoreModel {
+            options: Options {
+                assignment: PortAssignment::Balanced,
+                frontend: true,
+            },
+        }
+    }
+}
+
+impl uarch::Predictor for InCoreModel {
+    fn name(&self) -> &'static str {
+        match self.options.assignment {
+            PortAssignment::Optimal => "incore",
+            PortAssignment::Balanced => "incore-balanced",
+        }
+    }
+
+    fn predict(&self, machine: &Machine, kernel: &Kernel) -> uarch::Prediction {
+        let a = analyze_with(machine, kernel, self.options);
+        let bottleneck = match a.bottleneck() {
+            Bottleneck::PortPressure => uarch::Bottleneck::PortPressure,
+            Bottleneck::Dependency => uarch::Bottleneck::Dependency,
+            Bottleneck::FrontEnd => uarch::Bottleneck::FrontEnd,
+        };
+        uarch::Prediction {
+            cycles_per_iter: a.prediction,
+            bottleneck,
+            uops_per_iter: a.frontend_bound * machine.dispatch_width as f64,
+            port_pressure: a.port_loads,
+        }
+    }
+}
+
 /// Analyze a kernel with default options.
 pub fn analyze(machine: &Machine, kernel: &Kernel) -> Analysis {
     analyze_with(machine, kernel, Options::default())

@@ -38,6 +38,31 @@ pub struct McaResult {
     pub uops: usize,
 }
 
+/// The MCA-style baseline as a [`uarch::Predictor`] — the unified entry
+/// point batch pipelines and divergence lints dispatch through.
+///
+/// MCA's number falls out of a queue simulation rather than a closed-form
+/// bound, so the prediction carries no per-port pressure view and its
+/// bottleneck is [`uarch::Bottleneck::Unattributed`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct McaBaseline;
+
+impl uarch::Predictor for McaBaseline {
+    fn name(&self) -> &'static str {
+        "mca"
+    }
+
+    fn predict(&self, machine: &Machine, kernel: &Kernel) -> uarch::Prediction {
+        let r = crate::predict(machine, kernel);
+        uarch::Prediction {
+            cycles_per_iter: r.cycles_per_iter,
+            bottleneck: uarch::Bottleneck::Unattributed,
+            port_pressure: Vec::new(),
+            uops_per_iter: r.uops as f64,
+        }
+    }
+}
+
 /// Predict the block throughput of a kernel (cycles per iteration).
 pub fn predict(machine: &Machine, kernel: &Kernel) -> McaResult {
     let n = kernel.instructions.len();

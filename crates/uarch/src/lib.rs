@@ -27,11 +27,13 @@ pub mod instr;
 pub mod machine;
 pub mod models;
 pub mod ports;
+pub mod predict;
 pub mod spec;
 
 pub use instr::{Entry, InstrClass, InstrDesc, Uop, WidthClass};
 pub use machine::{Arch, CacheLevel, Machine, MemorySpec};
 pub use ports::{PortModel, PortSet};
+pub use predict::{Bottleneck, Prediction, Predictor};
 
 /// All three machine models, in the paper's presentation order
 /// (GCS, SPR, Genoa).

@@ -1,9 +1,13 @@
-//! Head-to-head of the two predictors against the simulated hardware over
-//! a slice of the validation corpus — a miniature Fig. 3.
+//! Head-to-head of the predictors against the simulated hardware over a
+//! slice of the validation corpus — a miniature Fig. 3, driven entirely
+//! through the unified `uarch::Predictor` trait: add a backend to the
+//! `predictors` vector and it shows up in every column and summary.
 //!
 //! ```sh
 //! cargo run --release --example compare_predictors [GCS|SPR|Genoa]
 //! ```
+
+use uarch::Predictor;
 
 fn main() {
     let want = std::env::args().nth(1);
@@ -19,42 +23,48 @@ fn main() {
         std::process::exit(2);
     }
 
+    let predictors: Vec<Box<dyn Predictor>> = vec![
+        Box::new(incore::InCoreModel::new()),
+        Box::new(mca::McaBaseline),
+    ];
+    let reference = exec::CoreSimulator::default();
+
     for machine in machines {
         println!("=== {} ===", machine.arch.label());
-        println!(
-            "{:<44} {:>8} {:>8} {:>8} {:>9} {:>9}",
-            "variant", "sim", "OSACA", "MCA", "RPE(OSA)", "RPE(MCA)"
-        );
-        let mut osaca_rpes = Vec::new();
-        let mut mca_rpes = Vec::new();
+        print!("{:<44} {:>8}", "variant", reference.name());
+        for p in &predictors {
+            print!(" {:>8} {:>9}", p.name(), format!("RPE({})", p.name()));
+        }
+        println!();
+        let mut rpes: Vec<Vec<f64>> = vec![Vec::new(); predictors.len()];
         for v in kernels::variants_for(machine.arch) {
             // Keep the demo readable: -O3 only.
             if v.opt != kernels::OptLevel::O3 {
                 continue;
             }
             let k = kernels::generate_kernel(&v, &machine);
-            let sim = exec::cycles_per_iteration(&machine, &k);
-            let osaca = incore::analyze(&machine, &k).prediction;
-            let mca = mca::predict(&machine, &k).cycles_per_iter;
-            let ro = (sim - osaca) / sim;
-            let rm = (sim - mca) / sim;
-            osaca_rpes.push(ro);
-            mca_rpes.push(rm);
-            println!(
-                "{:<44} {:>8.2} {:>8.2} {:>8.2} {:>+8.1}% {:>+8.1}%",
+            let sim = reference.predict(&machine, &k).cycles_per_iter;
+            print!(
+                "{:<44} {:>8.2}",
                 format!("{} / {}", v.kernel.name(), v.compiler.name()),
-                sim,
-                osaca,
-                mca,
-                ro * 100.0,
-                rm * 100.0
+                sim
+            );
+            for (p, acc) in predictors.iter().zip(&mut rpes) {
+                let cy = p.predict(&machine, &k).cycles_per_iter;
+                let r = engine::rpe(sim, cy);
+                acc.push(r);
+                print!(" {:>8.2} {:>+8.1}%", cy, r * 100.0);
+            }
+            println!();
+        }
+        print!("→ optimistic predictions:");
+        for (p, acc) in predictors.iter().zip(&rpes) {
+            print!(
+                " {} {:.0}%",
+                p.name(),
+                engine::summarize(acc).optimistic_fraction * 100.0
             );
         }
-        let optimistic = |rs: &[f64]| rs.iter().filter(|r| **r >= 0.0).count() * 100 / rs.len();
-        println!(
-            "→ optimistic predictions: OSACA {}% (a lower bound should be ~100%), MCA {}%\n",
-            optimistic(&osaca_rpes),
-            optimistic(&mca_rpes)
-        );
+        println!(" (a lower bound should be ~100%)\n");
     }
 }

@@ -11,7 +11,10 @@
 //! - [`memhier`] — cache/memory hierarchy with write-allocate evasion
 //! - [`kernels`] — the 13 streaming benchmark kernels × compiler variants
 //! - [`node`] — node-level models: frequency, peak, bandwidth, ECM, Roofline
+//! - [`engine`] — parallel cached corpus-validation pipeline behind the
+//!   unified [`uarch::Predictor`](uarch::predict::Predictor) trait
 
+pub use engine;
 pub use exec;
 pub use incore;
 pub use isa;

@@ -1,63 +1,324 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate — now with real threads.
 //!
-//! Exposes the parallel-iterator entry points this workspace uses
-//! (`par_iter`, `into_par_iter`) as thin wrappers over the corresponding
-//! **sequential** std iterators. All downstream adapters (`map`, `filter`,
-//! `collect`, ...) are the ordinary `Iterator` methods, so call sites
-//! compile unchanged; they simply run on one thread in this environment.
+//! Exposes the subset of rayon's API this workspace uses:
+//!
+//! * the prelude's `into_par_iter()` / `par_iter()` entry points with
+//!   `map(..).collect::<Vec<_>>()` chains, executed on a pool of OS
+//!   threads via dynamic index stealing;
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] to pin the number of
+//!   worker threads for a region of code (the engine's `Session` uses this
+//!   to honour an explicit thread count).
+//!
+//! Output ordering is **deterministic**: results land in the slot of the
+//! item that produced them, so a parallel `collect` is byte-for-byte
+//! identical to the sequential one regardless of scheduling. Worker
+//! panics propagate to the caller when the scope joins.
+//!
+//! Unlike real rayon there is no global work-stealing deque and no
+//! `join`-based splitting — each `collect` spins up scoped threads. The
+//! work units in this workspace (whole-kernel analyses and cycle-level
+//! simulations) are far coarser than the spawn cost, so this is the right
+//! trade-off for an offline stand-in.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Thread count installed by [`ThreadPool::install`]; `None` = auto.
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads a parallel call on this thread will use.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|c| c.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (infallible here; kept for API
+/// compatibility with real rayon).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Clone, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// `0` (the default) means "use all available parallelism".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// A logical thread pool: parallel calls made inside
+/// [`install`](ThreadPool::install) use this pool's thread count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `f` with this pool's thread count installed for any parallel
+    /// iterator work `f` performs on the calling thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        let out = f();
+        INSTALLED_THREADS.with(|c| c.set(prev));
+        out
+    }
+}
+
+/// Order-preserving parallel map: evaluate `f` over `items` on up to
+/// [`current_num_threads`] workers, returning results in item order.
+fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let len = items.len();
+    let workers = current_num_threads().min(len);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Each item sits in its own slot so workers can take them without
+    // holding a shared lock while running `f`; results land in the slot of
+    // the item that produced them, which makes the output order (and thus
+    // any serialization of it) independent of scheduling.
+    let input: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let output: Vec<Mutex<Option<R>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                let item = input[i]
+                    .lock()
+                    .expect("input slot poisoned")
+                    .take()
+                    .expect("each index is claimed exactly once");
+                let result = f(item);
+                *output[i].lock().expect("output slot poisoned") = Some(result);
+            });
+        }
+    });
+    output
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("output slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+pub mod iter {
+    use super::parallel_map;
+
+    /// A materialized parallel iterator over owned items.
+    pub struct IntoParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> IntoParIter<T> {
+        pub(crate) fn new(items: Vec<T>) -> Self {
+            IntoParIter { items }
+        }
+
+        pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, R, F> {
+            ParMap {
+                items: self.items,
+                f,
+                _out: std::marker::PhantomData,
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            self.items.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.items.is_empty()
+        }
+    }
+
+    /// The result of [`IntoParIter::map`]; terminal ops run the pool.
+    pub struct ParMap<T, R, F> {
+        items: Vec<T>,
+        f: F,
+        _out: std::marker::PhantomData<fn() -> R>,
+    }
+
+    impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, R, F> {
+        pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+            C::from_par_vec(parallel_map(self.items, self.f))
+        }
+    }
+
+    /// Collection types a parallel map can terminate into.
+    pub trait FromParallelIterator<T> {
+        fn from_par_vec(v: Vec<T>) -> Self;
+    }
+
+    impl<T> FromParallelIterator<T> for Vec<T> {
+        fn from_par_vec(v: Vec<T>) -> Self {
+            v
+        }
+    }
+
+    impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+        fn from_par_vec(v: Vec<Result<T, E>>) -> Self {
+            v.into_iter().collect()
+        }
+    }
+}
 
 pub mod prelude {
-    /// `into_par_iter()` — sequential fallback.
+    pub use super::iter::{FromParallelIterator, IntoParIter, ParMap};
+
+    /// `into_par_iter()` — materialize into a parallel iterator.
     pub trait IntoParallelIterator {
-        type Item;
-        type Iter: Iterator<Item = Self::Item>;
-        fn into_par_iter(self) -> Self::Iter;
+        type Item: Send;
+        fn into_par_iter(self) -> IntoParIter<Self::Item>;
     }
 
-    impl<T> IntoParallelIterator for Vec<T> {
+    impl<T: Send> IntoParallelIterator for Vec<T> {
         type Item = T;
-        type Iter = std::vec::IntoIter<T>;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+        fn into_par_iter(self) -> IntoParIter<T> {
+            IntoParIter::new(self)
         }
     }
 
-    impl<'a, T> IntoParallelIterator for &'a [T] {
+    impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
         type Item = &'a T;
-        type Iter = std::slice::Iter<'a, T>;
-        fn into_par_iter(self) -> Self::Iter {
-            self.iter()
+        fn into_par_iter(self) -> IntoParIter<&'a T> {
+            IntoParIter::new(self.iter().collect())
         }
     }
 
-    impl<'a, T> IntoParallelIterator for &'a Vec<T> {
+    impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
         type Item = &'a T;
-        type Iter = std::slice::Iter<'a, T>;
-        fn into_par_iter(self) -> Self::Iter {
-            self.iter()
+        fn into_par_iter(self) -> IntoParIter<&'a T> {
+            IntoParIter::new(self.iter().collect())
         }
     }
 
-    /// `par_iter()` — sequential fallback.
+    /// `par_iter()` — parallel iterator over references.
     pub trait IntoParallelRefIterator<'data> {
-        type Item: 'data;
-        type Iter: Iterator<Item = Self::Item>;
-        fn par_iter(&'data self) -> Self::Iter;
+        type Item: Send + 'data;
+        fn par_iter(&'data self) -> IntoParIter<Self::Item>;
     }
 
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
         type Item = &'data T;
-        type Iter = std::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+        fn par_iter(&'data self) -> IntoParIter<&'data T> {
+            IntoParIter::new(self.iter().collect())
         }
     }
 
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
         type Item = &'data T;
-        type Iter = std::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+        fn par_iter(&'data self) -> IntoParIter<&'data T> {
+            IntoParIter::new(self.iter().collect())
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_refs() {
+        let v: Vec<String> = (0..10).map(|i| i.to_string()).collect();
+        let out: Vec<usize> = v.par_iter().map(|s| s.len()).collect();
+        assert_eq!(out, v.iter().map(|s| s.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 3);
+        // Restored after install; nested installs shadow correctly.
+        let pool1 = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let nested = pool.install(|| pool1.install(current_num_threads));
+        assert_eq!(nested, 1);
+        assert_eq!(pool.install(current_num_threads), 3);
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let work = |x: usize| x.wrapping_mul(2654435761) % 97;
+        let v: Vec<usize> = (0..256).collect();
+        let serial = ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| v.clone().into_par_iter().map(work).collect::<Vec<_>>());
+        let parallel = ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build()
+            .unwrap()
+            .install(|| v.into_par_iter().map(work).collect::<Vec<_>>());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn result_collect_short_circuits_to_first_error() {
+        let v: Vec<usize> = (0..16).collect();
+        let r: Result<Vec<usize>, String> = v
+            .into_par_iter()
+            .map(|x| {
+                if x == 7 {
+                    Err("seven".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(r.unwrap_err(), "seven");
     }
 }
