@@ -1,0 +1,75 @@
+//! Simulator-core benchmark: Criterion timings for representative
+//! kernels on both engines, then a full-corpus comparison written to
+//! `BENCH_sim.json` at the repository root (see `bench::simbench`).
+//!
+//! `BENCH_SIM_LIMIT=<n>` caps the corpus at n variants per machine —
+//! CI uses this for a quick smoke run; local `cargo bench --bench
+//! sim_core` measures the whole corpus.
+
+use criterion::{criterion_group, Criterion};
+
+fn representative_kernels(c: &mut Criterion) {
+    let m = uarch::Machine::golden_cove();
+    for kernel in [
+        kernels::StreamKernel::StreamTriad,
+        kernels::StreamKernel::Jacobi3D27,
+    ] {
+        let v = kernels::Variant {
+            kernel,
+            compiler: kernels::Compiler::Icx,
+            opt: kernels::OptLevel::O3,
+            arch: m.arch,
+        };
+        let k = kernels::generate_kernel(&v, &m);
+        let mut g = c.benchmark_group(format!("sim_core/{}", v.kernel.name()));
+        g.sample_size(10);
+        let mut scratch = exec::SimScratch::default();
+        g.bench_function("event", |b| {
+            b.iter(|| {
+                exec::simulate_with_scratch(&m, &k, exec::SimConfig::default(), &mut scratch)
+                    .cycles_per_iter
+            })
+        });
+        let ref_cfg = exec::SimConfig {
+            reference: true,
+            ..Default::default()
+        };
+        g.bench_function("reference", |b| {
+            b.iter(|| exec::simulate(&m, &k, ref_cfg).cycles_per_iter)
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, representative_kernels);
+
+fn main() {
+    benches();
+    let limit = std::env::var("BENCH_SIM_LIMIT")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok());
+    let report = bench::simbench::run(limit);
+    eprintln!(
+        "[sim_core] {} blocks: event {:.1} ms vs reference {:.1} ms — {:.1}x speedup, \
+         {} early exits, equivalent: {}",
+        report.blocks,
+        report.event_ms,
+        report.reference_ms,
+        report.speedup,
+        report.early_exit_blocks,
+        report.equivalent,
+    );
+    for r in &report.machines {
+        eprintln!(
+            "[sim_core]   {:<6} {:<12} {:>3} blocks: {:>8.1} ms vs {:>8.1} ms ({:.1}x, {} early exits)",
+            r.chip, r.arch, r.blocks, r.event_ms, r.reference_ms, r.speedup, r.early_exit_blocks
+        );
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    std::fs::write(path, report.to_json()).expect("write BENCH_sim.json");
+    eprintln!("[sim_core] wrote {path}");
+    assert!(
+        report.equivalent,
+        "event engine diverged from the reference engine on the corpus"
+    );
+}

@@ -306,7 +306,7 @@ mod tests {
         assert!((spr - 0.5).abs() < 0.1, "spr={spr}");
         // Zen 4 measures slightly better than the model (the paper's π
         // observation): ≈ 1.0 with the silicon quirk enabled.
-        assert!(genoa >= 0.7 && genoa <= 1.1, "genoa={genoa}");
+        assert!((0.7..=1.1).contains(&genoa), "genoa={genoa}");
     }
 
     #[test]

@@ -5,7 +5,9 @@
 
 pub mod fig3;
 pub mod ibench;
+pub mod simbench;
 pub mod tables;
 
 pub use fig3::{rpe_corpus, RpeRecord};
 pub use ibench::{instruction_latency, instruction_throughput, table3};
+pub use simbench::SimBenchReport;

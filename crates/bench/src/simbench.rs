@@ -1,0 +1,140 @@
+//! Tracked simulator-core benchmark: times the event-driven engine
+//! against the naive reference engine over the full validation corpus
+//! and checks bit-exact agreement while doing so. The `sim_core` bench
+//! target runs this and writes the report to `BENCH_sim.json` at the
+//! repository root, so the speedup is recorded alongside the code that
+//! produced it.
+
+use serde::Serialize;
+use std::time::Instant;
+
+/// Per-machine timing row.
+#[derive(Debug, Clone, Serialize)]
+pub struct MachineRow {
+    pub chip: &'static str,
+    pub arch: &'static str,
+    pub blocks: usize,
+    pub event_ms: f64,
+    pub reference_ms: f64,
+    pub speedup: f64,
+    /// Blocks where the event engine's steady-state detector fired.
+    pub early_exit_blocks: usize,
+}
+
+/// The whole report, serialized to `BENCH_sim.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimBenchReport {
+    pub schema_version: u32,
+    pub blocks: usize,
+    pub event_ms: f64,
+    pub reference_ms: f64,
+    pub speedup: f64,
+    pub early_exit_blocks: usize,
+    /// Every block produced bit-identical results on both engines.
+    pub equivalent: bool,
+    pub machines: Vec<MachineRow>,
+}
+
+impl SimBenchReport {
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("report serializes");
+        s.push('\n');
+        s
+    }
+}
+
+fn bits(r: exec::SimResult) -> (u64, u64, u64, bool) {
+    (
+        r.cycles_per_iter.to_bits(),
+        r.total_cycles,
+        r.uops_per_cycle.to_bits(),
+        r.truncated,
+    )
+}
+
+/// Run the benchmark over the corpus (optionally the first `limit`
+/// variants per machine, for smoke runs) with the default simulation
+/// config on the event side and `reference: true` on the naive side.
+pub fn run(limit: Option<usize>) -> SimBenchReport {
+    let cfg = exec::SimConfig::default();
+    let ref_cfg = exec::SimConfig {
+        reference: true,
+        ..cfg
+    };
+    let mut scratch = exec::SimScratch::default();
+    let mut machines = Vec::new();
+    let mut equivalent = true;
+    for m in uarch::all_machines() {
+        let mut variants = kernels::variants_for(m.arch);
+        if let Some(n) = limit {
+            variants.truncate(n);
+        }
+        let ks: Vec<isa::Kernel> = variants
+            .iter()
+            .map(|v| kernels::generate_kernel(v, &m))
+            .collect();
+        // Warm the parse/describe caches and the scratch arena so both
+        // timed passes measure simulation, not first-touch allocation.
+        for k in &ks {
+            std::hint::black_box(exec::simulate_with_scratch(&m, k, cfg, &mut scratch));
+        }
+        let start = Instant::now();
+        let event: Vec<exec::SimResult> = ks
+            .iter()
+            .map(|k| exec::simulate_with_scratch(&m, k, cfg, &mut scratch))
+            .collect();
+        let event_ms = start.elapsed().as_secs_f64() * 1e3;
+        let start = Instant::now();
+        let reference: Vec<exec::SimResult> =
+            ks.iter().map(|k| exec::simulate(&m, k, ref_cfg)).collect();
+        let reference_ms = start.elapsed().as_secs_f64() * 1e3;
+        let mut early_exit_blocks = 0;
+        for (e, r) in event.iter().zip(&reference) {
+            if bits(*e) != bits(*r) {
+                equivalent = false;
+            }
+            if e.early_exit_iter.is_some() {
+                early_exit_blocks += 1;
+            }
+        }
+        machines.push(MachineRow {
+            chip: m.arch.chip(),
+            arch: m.arch.label(),
+            blocks: ks.len(),
+            event_ms,
+            reference_ms,
+            speedup: reference_ms / event_ms.max(1e-9),
+            early_exit_blocks,
+        });
+    }
+    let blocks = machines.iter().map(|r| r.blocks).sum();
+    let event_ms: f64 = machines.iter().map(|r| r.event_ms).sum();
+    let reference_ms: f64 = machines.iter().map(|r| r.reference_ms).sum();
+    SimBenchReport {
+        schema_version: 1,
+        blocks,
+        event_ms,
+        reference_ms,
+        speedup: reference_ms / event_ms.max(1e-9),
+        early_exit_blocks: machines.iter().map(|r| r.early_exit_blocks).sum(),
+        equivalent,
+        machines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_is_equivalent_and_covers_all_machines() {
+        let report = run(Some(4));
+        assert!(report.equivalent, "engines disagreed on a corpus block");
+        assert_eq!(report.machines.len(), uarch::all_machines().len());
+        assert_eq!(report.blocks, 12);
+        let v: serde_json::Value = serde_json::from_str(&report.to_json()).unwrap();
+        let o = v.as_object().unwrap();
+        assert_eq!(o.get("schema_version").unwrap().as_f64().unwrap(), 1.0);
+        assert!(o.get("speedup").unwrap().as_f64().unwrap() > 0.0);
+    }
+}

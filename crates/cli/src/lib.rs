@@ -18,6 +18,37 @@
 
 pub use engine::{Error, ErrorKind};
 
+/// Simulator configuration overrides shared by `analyze` and `validate`
+/// (`--iterations`, `--warmup`, `--no-early-exit`). `None`/`false` means
+/// "keep the [`exec::SimConfig`] default".
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimOverrides {
+    pub iterations: Option<usize>,
+    pub warmup: Option<usize>,
+    pub no_early_exit: bool,
+}
+
+impl SimOverrides {
+    /// Apply the overrides on top of a base configuration.
+    pub fn apply(self, mut cfg: exec::SimConfig) -> exec::SimConfig {
+        if let Some(iterations) = self.iterations {
+            cfg.iterations = iterations;
+        }
+        if let Some(warmup) = self.warmup {
+            cfg.warmup = warmup;
+        }
+        if self.no_early_exit {
+            cfg.early_exit = false;
+        }
+        cfg
+    }
+
+    /// The resulting configuration over the defaults.
+    pub fn config(self) -> exec::SimConfig {
+        self.apply(exec::SimConfig::default())
+    }
+}
+
 /// Options for `incore-cli validate` — the full-corpus validation gate.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ValidateOpts {
@@ -34,6 +65,25 @@ pub struct ValidateOpts {
     /// Fail (exit 1) when more than N records fire D002 (reference
     /// disagrees with every analytical model).
     pub max_divergent: Option<usize>,
+    /// Reference-simulator configuration overrides.
+    pub sim: SimOverrides,
+}
+
+/// What `analyze` should run and render, beyond the basic in-core model.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AnalyzeFlags {
+    /// Use OSACA's equal-split port heuristic instead of the optimum.
+    pub balanced: bool,
+    /// Also run the LLVM-MCA-style baseline.
+    pub mca: bool,
+    /// Also run the cycle-level core simulator.
+    pub sim: bool,
+    /// Print the MCA timeline view (text mode only).
+    pub timeline: bool,
+    /// Print the simulator's pipeline trace (text mode only).
+    pub trace: bool,
+    /// Simulator configuration overrides.
+    pub sim_cfg: SimOverrides,
 }
 
 /// Parsed command line.
@@ -44,11 +94,7 @@ pub enum Command {
         arch: uarch::Arch,
         /// Optional JSON machine file overriding the built-in model.
         machine_file: Option<String>,
-        balanced: bool,
-        mca: bool,
-        sim: bool,
-        timeline: bool,
-        trace: bool,
+        flags: AnalyzeFlags,
         /// Emit a one-record [`engine::BatchReport`] instead of text.
         json: bool,
     },
@@ -140,6 +186,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, Error> {
                     "--max-divergent" => {
                         opts.max_divergent = Some(next_value(&mut it, "--max-divergent")?)
                     }
+                    "--iterations" => {
+                        opts.sim.iterations = Some(next_value(&mut it, "--iterations")?)
+                    }
+                    "--warmup" => opts.sim.warmup = Some(next_value(&mut it, "--warmup")?),
+                    "--no-early-exit" => opts.sim.no_early_exit = true,
                     other => return Err(Error::usage(format!("unknown flag `{other}`"))),
                 }
             }
@@ -188,8 +239,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, Error> {
             let mut path = None;
             let mut arch = None;
             let mut machine_file = None;
-            let (mut balanced, mut mca, mut sim, mut timeline, mut trace, mut json) =
-                (false, false, false, false, false, false);
+            let mut flags = AnalyzeFlags::default();
+            let mut json = false;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--arch" => arch = Some(next_arch(&mut it)?),
@@ -200,12 +251,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, Error> {
                                 .to_string(),
                         )
                     }
-                    "--balanced" => balanced = true,
-                    "--mca" => mca = true,
-                    "--sim" => sim = true,
-                    "--timeline" => timeline = true,
-                    "--trace" => trace = true,
+                    "--balanced" => flags.balanced = true,
+                    "--mca" => flags.mca = true,
+                    "--sim" => flags.sim = true,
+                    "--timeline" => flags.timeline = true,
+                    "--trace" => flags.trace = true,
                     "--json" => json = true,
+                    "--iterations" => {
+                        flags.sim_cfg.iterations = Some(next_value(&mut it, "--iterations")?)
+                    }
+                    "--warmup" => flags.sim_cfg.warmup = Some(next_value(&mut it, "--warmup")?),
+                    "--no-early-exit" => flags.sim_cfg.no_early_exit = true,
                     flag if flag.starts_with("--") => {
                         return Err(Error::usage(format!("unknown flag `{flag}`")))
                     }
@@ -219,11 +275,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, Error> {
                 path,
                 arch,
                 machine_file,
-                balanced,
-                mca,
-                sim,
-                timeline,
-                trace,
+                flags,
                 json,
             })
         }
@@ -275,6 +327,9 @@ USAGE:
       --trace      print the simulator's pipeline trace
       --json       emit a one-record JSON report (same schema as validate)
       --machine-file <file.json>  load an edited machine model instead of the built-in
+      --iterations <n>     simulator measured iterations (default 200)
+      --warmup <n>         simulator warm-up iterations (default 50)
+      --no-early-exit      simulate every iteration (no steady-state extrapolation)
   incore-cli validate [flags]         validate the predictors over the kernel corpus
       --arch <machine>     restrict to one machine (repeatable; default all three)
       --threads <n>        worker threads (0 = all cores); results are identical
@@ -282,6 +337,7 @@ USAGE:
       --json               emit the JSON BatchReport instead of the text summary
       --threshold <x>      exit 1 if the in-core model's mean |RPE| exceeds x
       --max-divergent <n>  exit 1 if more than n records fire D002
+      --iterations / --warmup / --no-early-exit   as for analyze (reference simulator)
   incore-cli lint [file.s] [flags]    run the static diagnostics (rule codes K*, M*, D*)
       --arch <machine>     machine for kernel lints / single machine to lint
       --machine-file <file.json>  lint an edited machine file (also used for kernel lints)
@@ -310,16 +366,12 @@ pub fn machine_for(arch: uarch::Arch) -> uarch::Machine {
 pub fn run_analyze(
     machine: &uarch::Machine,
     asm: &str,
-    balanced: bool,
-    with_mca: bool,
-    with_sim: bool,
-    timeline: bool,
-    trace: bool,
+    flags: AnalyzeFlags,
 ) -> Result<String, Error> {
     use std::fmt::Write;
     let kernel = isa::parse_kernel(asm, machine.isa)?;
     let opts = incore::Options {
-        assignment: if balanced {
+        assignment: if flags.balanced {
             incore::PortAssignment::Balanced
         } else {
             incore::PortAssignment::Optimal
@@ -328,22 +380,22 @@ pub fn run_analyze(
     };
     let analysis = incore::analyze_with(machine, &kernel, opts);
     let mut out = incore::Report::new(machine, &analysis).render();
-    if with_sim {
-        let sim = exec::cycles_per_iteration(machine, &kernel);
+    if flags.sim {
+        let sim = exec::simulate(machine, &kernel, flags.sim_cfg.config()).cycles_per_iter;
         let _ = writeln!(
             out,
             "simulator:                        {sim:>7.2} cy/iter (RPE {:+.1}%)",
             (sim - analysis.prediction) / sim.max(1e-12) * 100.0
         );
     }
-    if with_mca {
+    if flags.mca {
         let m = mca::predict(machine, &kernel).cycles_per_iter;
         let _ = writeln!(out, "LLVM-MCA-style baseline:          {m:>7.2} cy/iter");
     }
-    if timeline {
+    if flags.timeline {
         let _ = writeln!(out, "\n{}", mca::timeline::render(machine, &kernel, 2));
     }
-    if trace {
+    if flags.trace {
         let _ = writeln!(out, "\n{}", exec::trace::render(machine, &kernel, 2));
     }
     Ok(out)
@@ -357,25 +409,26 @@ pub fn run_analyze_json(
     machine: &uarch::Machine,
     label: &str,
     asm: &str,
-    balanced: bool,
-    with_mca: bool,
-    with_sim: bool,
+    flags: AnalyzeFlags,
 ) -> Result<String, Error> {
+    let wall_start = std::time::Instant::now();
     let kernel =
         isa::parse_kernel(asm, machine.isa).map_err(|e| Error::from(e).with_context(label))?;
-    let model: Box<dyn uarch::Predictor> = if balanced {
+    let model: Box<dyn uarch::Predictor> = if flags.balanced {
         Box::new(incore::InCoreModel::balanced())
     } else {
         Box::new(incore::InCoreModel::new())
     };
     let mut analytical: Vec<Box<dyn uarch::Predictor>> = vec![model];
-    if with_mca {
+    if flags.mca {
         analytical.push(Box::new(mca::McaBaseline));
     }
-    let sim = exec::CoreSimulator::default();
-    let reference: Option<&dyn uarch::Predictor> = if with_sim { Some(&sim) } else { None };
+    let sim = exec::CoreSimulator {
+        config: flags.sim_cfg.config(),
+    };
+    let reference: Option<&dyn uarch::Predictor> = if flags.sim { Some(&sim) } else { None };
     let refs: Vec<&dyn uarch::Predictor> = analytical.iter().map(|b| b.as_ref()).collect();
-    let record = engine::evaluate_block(
+    let (record, block_timings) = engine::evaluate_block_timed(
         machine,
         &kernel,
         engine::BlockLabels {
@@ -386,13 +439,19 @@ pub fn run_analyze_json(
         &refs,
         reference,
     );
-    let report = engine::BatchReport::from_records(
+    let mut report = engine::BatchReport::from_records(
         vec![machine.arch.label().to_string()],
         refs.iter().map(|p| p.name().to_string()).collect(),
         reference.map(|r| r.name().to_string()),
         vec![record],
         engine::CacheStats::default(),
     );
+    report.timings = engine::RunTimings {
+        wall_ms: wall_start.elapsed().as_nanos() as f64 / 1e6,
+        parse_ms: 0.0,
+        reference_ms: block_timings.reference_ns as f64 / 1e6,
+        predictors_ms: block_timings.predictors_ns as f64 / 1e6,
+    };
     let mut out = report.to_json();
     out.push('\n');
     Ok(out)
@@ -407,7 +466,9 @@ pub struct ValidateOutcome {
 
 /// Run the corpus validation pipeline and apply the CI gates.
 pub fn run_validate(opts: &ValidateOpts) -> Result<ValidateOutcome, Error> {
-    let mut session = engine::Session::new().threads(opts.threads);
+    let mut session = engine::Session::new()
+        .threads(opts.threads)
+        .sim_config(opts.sim.config());
     if !opts.archs.is_empty() {
         session = session.archs(&opts.archs);
     }
@@ -530,14 +591,51 @@ mod tests {
                 path: "k.s".into(),
                 arch: uarch::Arch::GoldenCove,
                 machine_file: None,
-                balanced: false,
-                mca: true,
-                sim: true,
-                timeline: false,
-                trace: false,
+                flags: AnalyzeFlags {
+                    mca: true,
+                    sim: true,
+                    ..AnalyzeFlags::default()
+                },
                 json: false,
             }
         );
+    }
+
+    #[test]
+    fn parse_analyze_sim_overrides() {
+        let c = parse_args(&sv(&[
+            "analyze",
+            "k.s",
+            "--arch",
+            "genoa",
+            "--sim",
+            "--iterations",
+            "64",
+            "--warmup",
+            "8",
+            "--no-early-exit",
+        ]))
+        .unwrap();
+        match c {
+            Command::Analyze { flags, .. } => {
+                assert_eq!(
+                    flags.sim_cfg,
+                    SimOverrides {
+                        iterations: Some(64),
+                        warmup: Some(8),
+                        no_early_exit: true,
+                    }
+                );
+                let cfg = flags.sim_cfg.config();
+                assert_eq!(cfg.iterations, 64);
+                assert_eq!(cfg.warmup, 8);
+                assert!(!cfg.early_exit);
+                assert!(cfg.quirks, "overrides must not disturb other defaults");
+            }
+            other => panic!("{other:?}"),
+        }
+        let e = parse_args(&sv(&["analyze", "k.s", "--arch", "spr", "--iterations"])).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::Usage);
     }
 
     #[test]
@@ -613,6 +711,26 @@ mod tests {
                 json: true,
                 threshold: Some(0.25),
                 max_divergent: Some(10),
+                sim: SimOverrides::default(),
+            })
+        );
+        assert_eq!(
+            parse_args(&sv(&[
+                "validate",
+                "--iterations",
+                "100",
+                "--warmup",
+                "20",
+                "--no-early-exit",
+            ]))
+            .unwrap(),
+            Command::Validate(ValidateOpts {
+                sim: SimOverrides {
+                    iterations: Some(100),
+                    warmup: Some(20),
+                    no_early_exit: true,
+                },
+                ..ValidateOpts::default()
             })
         );
         let e = parse_args(&sv(&["validate", "--threads", "lots"])).unwrap_err();
@@ -624,19 +742,50 @@ mod tests {
     fn run_analyze_produces_report_with_extras() {
         let m = machine_for(uarch::Arch::GoldenCove);
         let asm = ".L1:\n vaddpd %zmm0, %zmm1, %zmm2\n subq $1, %rax\n jne .L1\n";
-        let out = run_analyze(&m, asm, false, true, true, true, true).unwrap();
+        let flags = AnalyzeFlags {
+            mca: true,
+            sim: true,
+            timeline: true,
+            trace: true,
+            ..AnalyzeFlags::default()
+        };
+        let out = run_analyze(&m, asm, flags).unwrap();
         assert!(out.contains("Block prediction"));
         assert!(out.contains("simulator:"));
         assert!(out.contains("LLVM-MCA-style baseline:"));
         assert!(out.contains("MCA timeline"));
         assert!(out.contains("pipeline trace"));
+        // Simulator overrides flow through to the simulated result: a short
+        // no-early-exit run must agree with the default extrapolated run.
+        let short = AnalyzeFlags {
+            sim: true,
+            sim_cfg: SimOverrides {
+                iterations: Some(200),
+                warmup: Some(50),
+                no_early_exit: true,
+            },
+            ..AnalyzeFlags::default()
+        };
+        let out2 = run_analyze(&m, asm, short).unwrap();
+        let line = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("simulator:"))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(line(&out), line(&out2));
     }
 
     #[test]
     fn analyze_json_shares_the_batch_schema() {
         let m = machine_for(uarch::Arch::GoldenCove);
         let asm = ".L1:\n vaddpd %zmm0, %zmm1, %zmm2\n subq $1, %rax\n jne .L1\n";
-        let out = run_analyze_json(&m, "k.s", asm, false, true, true).unwrap();
+        let flags = AnalyzeFlags {
+            mca: true,
+            sim: true,
+            ..AnalyzeFlags::default()
+        };
+        let out = run_analyze_json(&m, "k.s", asm, flags).unwrap();
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         let o = v.as_object().unwrap();
         assert_eq!(
@@ -660,8 +809,12 @@ mod tests {
                 .unwrap(),
             "incore"
         );
+        // The timings block is present and wall-clock is nonzero.
+        let t = o.get("timings").unwrap().as_object().unwrap();
+        assert!(t.get("wall_ms").unwrap().as_f64().unwrap() > 0.0);
         // Parse failures carry the input label as context.
-        let e = run_analyze_json(&m, "k.s", "movq %bogus, %rax", false, false, false).unwrap_err();
+        let e =
+            run_analyze_json(&m, "k.s", "movq %bogus, %rax", AnalyzeFlags::default()).unwrap_err();
         assert_eq!(e.kind(), ErrorKind::Parse);
         assert!(e.to_string().contains("k.s"));
     }
@@ -675,6 +828,7 @@ mod tests {
             json: false,
             threshold: Some(10.0),
             max_divergent: Some(1000),
+            sim: SimOverrides::default(),
         })
         .unwrap();
         assert!(clean.gate_failures.is_empty());
@@ -687,6 +841,7 @@ mod tests {
             json: true,
             threshold: Some(1e-9),
             max_divergent: None,
+            sim: SimOverrides::default(),
         })
         .unwrap();
         assert_eq!(tripped.gate_failures.len(), 1);
@@ -732,8 +887,7 @@ mod tests {
     #[test]
     fn run_analyze_rejects_bad_asm() {
         let m = machine_for(uarch::Arch::GoldenCove);
-        let e =
-            run_analyze(&m, "movq %bogus, %rax", false, false, false, false, false).unwrap_err();
+        let e = run_analyze(&m, "movq %bogus, %rax", AnalyzeFlags::default()).unwrap_err();
         assert_eq!(e.kind(), ErrorKind::Parse);
     }
 

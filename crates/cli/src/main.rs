@@ -145,11 +145,7 @@ fn run(args: &[String]) -> Result<i32, Error> {
             path,
             arch,
             machine_file,
-            balanced,
-            mca,
-            sim,
-            timeline,
-            trace,
+            flags,
             json,
         } => {
             let asm = read(&path)?;
@@ -159,10 +155,9 @@ fn run(args: &[String]) -> Result<i32, Error> {
                 None => machine_for(arch),
             };
             let out = if json {
-                run_analyze_json(&m, &path, &asm, balanced, mca, sim)?
+                run_analyze_json(&m, &path, &asm, flags)?
             } else {
-                run_analyze(&m, &asm, balanced, mca, sim, timeline, trace)
-                    .map_err(|e| e.with_context(path))?
+                run_analyze(&m, &asm, flags).map_err(|e| e.with_context(path))?
             };
             print!("{out}");
         }

@@ -15,10 +15,14 @@
 //! crate.
 //!
 //! Determinism is a design invariant, not an accident: the parallel map
-//! preserves submission order, the report carries no run-environment
-//! fields (thread count, timing), and the cache counters are
-//! scheduling-independent — so the serialized report is byte-identical
-//! for any `threads` setting.
+//! preserves submission order, the cache counters are
+//! scheduling-independent, and the report carries no run-environment
+//! fields — so the serialized report is byte-identical for any `threads`
+//! setting. The single carve-out is the trailing
+//! [`RunTimings`](report::RunTimings) block (wall-clock observations,
+//! fed by [`Predictor::predict_timed`](uarch::Predictor::predict_timed)):
+//! consumers comparing reports zero it out first, which is exactly what
+//! the determinism test does.
 
 pub mod cache;
 pub mod error;
@@ -29,6 +33,6 @@ pub use cache::{CacheStats, CorpusCache};
 pub use error::{Error, ErrorKind};
 pub use report::{
     histogram, render_histogram, rpe, summarize, BatchReport, PredictorResult, PredictorSummary,
-    RecordReport, Summary, SCHEMA_VERSION,
+    RecordReport, RunTimings, Summary, SCHEMA_VERSION,
 };
-pub use session::{evaluate_block, BlockLabels, Session};
+pub use session::{evaluate_block, evaluate_block_timed, BlockLabels, BlockTimings, Session};

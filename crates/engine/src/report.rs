@@ -8,14 +8,35 @@
 //! Serialization is deterministic — field order is fixed by declaration
 //! order and floats format reproducibly — so a parallel run serializes
 //! byte-identically to a single-threaded one (see the determinism test in
-//! `tests/determinism.rs`).
+//! `tests/determinism.rs`). The one deliberate exception is the trailing
+//! [`RunTimings`] block, which records wall-clock observations; consumers
+//! comparing reports must ignore it (zero it out before comparing).
 
 use serde::Serialize;
 
 use crate::cache::CacheStats;
 
-/// Version of the JSON report shape.
+/// Version of the JSON report shape. Additive, append-only fields (such
+/// as the `timings` block) do not bump the version; only breaking shape
+/// changes do.
 pub const SCHEMA_VERSION: u32 = 1;
+
+/// Where the wall-clock time of a run went. Purely observational: two
+/// runs over the same inputs produce identical reports *except* for this
+/// block, so tools diffing reports must zero it first. The per-phase
+/// fields are summed across worker threads (they can exceed `wall_ms` on
+/// a parallel run); `wall_ms` is end-to-end for the whole batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct RunTimings {
+    /// End-to-end wall-clock of `Session::run`, in milliseconds.
+    pub wall_ms: f64,
+    /// Kernel generation + decode time, summed over blocks (ms).
+    pub parse_ms: f64,
+    /// Reference (simulator) time, summed over blocks (ms).
+    pub reference_ms: f64,
+    /// Analytical predictor time, summed over blocks (ms).
+    pub predictors_ms: f64,
+}
 
 /// One predictor's verdict inside a record.
 #[derive(Debug, Clone, Serialize)]
@@ -112,6 +133,9 @@ pub struct BatchReport {
     /// (`D002` — the serious kind).
     pub d002_records: usize,
     pub cache: CacheStats,
+    /// Wall-clock observations — the only nondeterministic fields in the
+    /// report (see [`RunTimings`]).
+    pub timings: RunTimings,
 }
 
 impl BatchReport {
@@ -154,6 +178,7 @@ impl BatchReport {
             divergent_records,
             d002_records,
             cache,
+            timings: RunTimings::default(),
         }
     }
 
@@ -244,6 +269,14 @@ impl BatchReport {
             self.cache.kernel_misses + self.cache.kernel_hits,
             self.cache.kernel_hits,
         );
+        if self.timings.wall_ms > 0.0 {
+            let t = &self.timings;
+            let _ = writeln!(
+                out,
+                "time: {:.0} ms wall (per-worker sums: {:.0} ms reference, {:.0} ms predictors, {:.0} ms parse)",
+                t.wall_ms, t.reference_ms, t.predictors_ms, t.parse_ms,
+            );
+        }
         out
     }
 }

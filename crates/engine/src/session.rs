@@ -23,7 +23,7 @@ use rayon::prelude::*;
 
 use crate::cache::CorpusCache;
 use crate::error::Error;
-use crate::report::{rpe, BatchReport, PredictorResult, RecordReport};
+use crate::report::{rpe, BatchReport, PredictorResult, RecordReport, RunTimings};
 use uarch::{Machine, Predictor};
 
 /// Descriptive labels for one evaluated block.
@@ -32,6 +32,15 @@ pub struct BlockLabels<'a> {
     pub kernel: &'a str,
     pub compiler: &'a str,
     pub opt: &'a str,
+}
+
+/// Wall-clock attribution for one evaluated block, in nanoseconds.
+/// Summed into [`crate::report::RunTimings`] by the batch pipeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockTimings {
+    pub parse_ns: u64,
+    pub reference_ns: u64,
+    pub predictors_ns: u64,
 }
 
 /// Evaluate one parsed kernel on one machine: run the reference (if any)
@@ -45,11 +54,30 @@ pub fn evaluate_block(
     analytical: &[&dyn Predictor],
     reference: Option<&dyn Predictor>,
 ) -> RecordReport {
-    let measured = reference.map(|r| r.predict(machine, kernel).cycles_per_iter);
+    evaluate_block_timed(machine, kernel, labels, analytical, reference).0
+}
+
+/// [`evaluate_block`] plus per-phase wall-clock attribution (via
+/// [`Predictor::predict_timed`]). The timings are observational only —
+/// the record is computed identically either way.
+pub fn evaluate_block_timed(
+    machine: &Machine,
+    kernel: &isa::Kernel,
+    labels: BlockLabels<'_>,
+    analytical: &[&dyn Predictor],
+    reference: Option<&dyn Predictor>,
+) -> (RecordReport, BlockTimings) {
+    let mut timings = BlockTimings::default();
+    let measured = reference.map(|r| {
+        let (p, took) = r.predict_timed(machine, kernel);
+        timings.reference_ns = took.as_nanos() as u64;
+        p.cycles_per_iter
+    });
     let predictions: Vec<PredictorResult> = analytical
         .iter()
         .map(|p| {
-            let pred = p.predict(machine, kernel);
+            let (pred, took) = p.predict_timed(machine, kernel);
+            timings.predictors_ns += took.as_nanos() as u64;
             PredictorResult {
                 predictor: p.name().to_string(),
                 cycles_per_iter: pred.cycles_per_iter,
@@ -69,7 +97,7 @@ pub fn evaluate_block(
         .into_iter()
         .map(|d| d.code.to_string())
         .collect();
-    RecordReport {
+    let record = RecordReport {
         kernel: labels.kernel.to_string(),
         compiler: labels.compiler.to_string(),
         opt: labels.opt.to_string(),
@@ -77,7 +105,8 @@ pub fn evaluate_block(
         measured,
         predictions,
         divergence,
-    }
+    };
+    (record, timings)
 }
 
 /// Builder for a batch validation run.
@@ -152,6 +181,14 @@ impl Session {
         self
     }
 
+    /// Run the default simulator reference with this configuration
+    /// (iteration counts, early-exit, engine selection). Replaces any
+    /// previously set reference predictor.
+    pub fn sim_config(mut self, config: exec::SimConfig) -> Self {
+        self.reference = Some(Box::new(exec::CoreSimulator { config }));
+        self
+    }
+
     /// Worker thread count; `0` (default) = all available cores.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
@@ -166,6 +203,7 @@ impl Session {
 
     /// Run the full grid and collect the report.
     pub fn run(&self) -> Result<BatchReport, Error> {
+        let wall_start = std::time::Instant::now();
         let cache = CorpusCache::new();
         let mut machines: Vec<Machine> = Vec::new();
         for arch in &self.archs {
@@ -198,15 +236,17 @@ impl Session {
             .num_threads(self.threads)
             .build()
             .expect("thread pool construction is infallible");
-        let records: Result<Vec<RecordReport>, Error> = pool.install(|| {
+        let outcomes: Result<Vec<(RecordReport, BlockTimings)>, Error> = pool.install(|| {
             grid.into_par_iter()
                 .map(|(mi, variant)| {
                     let machine = &machines[mi];
                     let asm = kernels::generate(&variant, machine);
+                    let parse_start = std::time::Instant::now();
                     let kernel = cache
                         .kernel(&asm, machine.isa)
                         .map_err(|e| e.with_context(variant.label()))?;
-                    Ok(evaluate_block(
+                    let parse_ns = parse_start.elapsed().as_nanos() as u64;
+                    let (record, mut timings) = evaluate_block_timed(
                         machine,
                         &kernel,
                         BlockLabels {
@@ -216,11 +256,16 @@ impl Session {
                         },
                         &analytical,
                         reference,
-                    ))
+                    );
+                    timings.parse_ns = parse_ns;
+                    Ok((record, timings))
                 })
                 .collect()
         });
-        Ok(BatchReport::from_records(
+        let (records, block_timings): (Vec<RecordReport>, Vec<BlockTimings>) =
+            outcomes?.into_iter().unzip();
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let mut report = BatchReport::from_records(
             machines
                 .iter()
                 .map(|m| m.arch.label().to_string())
@@ -230,9 +275,16 @@ impl Session {
                 .map(|p| p.name().to_string())
                 .collect(),
             self.reference.as_ref().map(|r| r.name().to_string()),
-            records?,
+            records,
             cache.stats(),
-        ))
+        );
+        report.timings = RunTimings {
+            wall_ms: ms(wall_start.elapsed().as_nanos() as u64),
+            parse_ms: ms(block_timings.iter().map(|t| t.parse_ns).sum()),
+            reference_ms: ms(block_timings.iter().map(|t| t.reference_ns).sum()),
+            predictors_ms: ms(block_timings.iter().map(|t| t.predictors_ns).sum()),
+        };
+        Ok(report)
     }
 }
 
@@ -262,6 +314,27 @@ mod tests {
         let c = report.cache;
         assert_eq!(c.kernel_hits + c.kernel_misses, 6);
         assert!(c.kernel_misses >= 1);
+    }
+
+    #[test]
+    fn run_populates_timings() {
+        let report = Session::new()
+            .archs(&[uarch::Arch::GoldenCove])
+            .limit(4)
+            .threads(2)
+            .run()
+            .unwrap();
+        let t = report.timings;
+        assert!(t.wall_ms > 0.0);
+        assert!(t.reference_ms > 0.0, "simulator time should dominate");
+        assert!(t.predictors_ms > 0.0);
+        // Timings are a plain field: zeroing them is all a consumer needs
+        // to do to compare reports (the determinism test relies on this).
+        let mut zeroed = report.clone();
+        zeroed.timings = Default::default();
+        assert!(zeroed
+            .to_json()
+            .contains("\"timings\":{\"wall_ms\":0.0,\"parse_ms\":0.0"));
     }
 
     #[test]

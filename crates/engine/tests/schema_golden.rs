@@ -3,8 +3,10 @@
 //! The test walks a real report and derives its *shape* — field names in
 //! serialization order with primitive types — and compares it against the
 //! checked-in fixture. Renaming, reordering, adding, or removing a field
-//! fails here first: that is a schema change, so update the fixture AND
-//! bump [`engine::SCHEMA_VERSION`] together.
+//! fails here first. Breaking changes (rename/reorder/remove) must update
+//! the fixture AND bump [`engine::SCHEMA_VERSION`] together; append-only
+//! additions (like the `timings` block) update the fixture but keep the
+//! version, per the policy documented on `SCHEMA_VERSION`.
 
 use serde_json::Value;
 use std::fmt::Write;

@@ -24,6 +24,25 @@
 //! Loads always hit L1 (the validation corpus is in-core by construction);
 //! memory-hierarchy effects are the `memhier` crate's business.
 //!
+//! # Execution engines
+//!
+//! Two interchangeable engines implement the identical cycle semantics:
+//!
+//! * [`event`] (default) — jumps the clock straight to the next cycle on
+//!   which anything can happen (a completion, a wake-up, a port becoming
+//!   free, a dispatch unblocking), fingerprints the machine state every
+//!   time an iteration retires, and once the relative state provably
+//!   repeats it exits early, extrapolating the remaining iterations
+//!   **exactly** (the schedule is periodic, so this is arithmetic, not
+//!   approximation). All per-run buffers live in a reusable [`SimScratch`]
+//!   arena so back-to-back calls allocate ~nothing.
+//! * [`reference`] — the original tick-by-tick loop, retained verbatim as
+//!   the equivalence oracle. Select it with
+//!   [`SimConfig::reference`]` = true`.
+//!
+//! Both paths produce bit-identical [`SimResult`]s on every corpus kernel;
+//! `tests/sim_equivalence.rs` at the workspace root enforces this.
+//!
 //! # Example
 //!
 //! ```
@@ -36,14 +55,18 @@
 //! assert!(r.cycles_per_iter >= 1.0);
 //! ```
 
+pub mod event;
+pub mod reference;
 pub mod trace;
+
+pub use event::SimScratch;
 
 use incore::depgraph::DepGraph;
 use isa::Kernel;
-use uarch::{InstrClass, Machine};
+use uarch::{InstrClass, InstrDesc, Machine};
 
 /// Simulation parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// Measured iterations (after warm-up).
     pub iterations: usize,
@@ -53,6 +76,14 @@ pub struct SimConfig {
     /// model deliberately ignores (see [`apply_quirks`]). These reproduce
     /// the paper's known model-vs-measurement outliers in Fig. 3.
     pub quirks: bool,
+    /// Let the event-driven engine stop as soon as the per-iteration issue
+    /// schedule provably repeats, extrapolating the remaining iterations
+    /// exactly. Disable to force every iteration to be simulated.
+    pub early_exit: bool,
+    /// Run the retained naive tick-by-tick engine instead of the
+    /// event-driven one. Slower; exists as the equivalence oracle for
+    /// tests and the benchmark harness.
+    pub reference: bool,
 }
 
 impl Default for SimConfig {
@@ -61,6 +92,8 @@ impl Default for SimConfig {
             iterations: 200,
             warmup: 50,
             quirks: true,
+            early_exit: true,
+            reference: false,
         }
     }
 }
@@ -121,6 +154,21 @@ fn apply_quirks(
     }
 }
 
+/// Decode the kernel on this machine and build its dependence graph, with
+/// quirks applied per `cfg`. Both execution engines start from this.
+pub(crate) fn prepare(
+    machine: &Machine,
+    kernel: &Kernel,
+    cfg: SimConfig,
+) -> (Vec<InstrDesc>, DepGraph) {
+    let mut descs = machine.describe_kernel(kernel);
+    let mut graph = DepGraph::build(machine, kernel, &descs);
+    if cfg.quirks {
+        apply_quirks(machine, kernel, &mut descs, &mut graph);
+    }
+    (descs, graph)
+}
+
 /// Simulation outcome.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimResult {
@@ -130,21 +178,49 @@ pub struct SimResult {
     pub total_cycles: u64,
     /// µ-ops issued per cycle over the measured window.
     pub uops_per_cycle: f64,
+    /// The max-cycles watchdog fired before every iteration retired; the
+    /// other fields describe the truncated run.
+    pub truncated: bool,
+    /// Iterations actually retired in simulation before the steady-state
+    /// early exit extrapolated the rest (`None` = ran to completion).
+    /// Engine bookkeeping only — never affects the numeric fields.
+    pub early_exit_iter: Option<usize>,
 }
 
-/// Per-instruction-instance bookkeeping.
-#[derive(Debug, Clone)]
-struct InFlight {
-    iter: usize,
-    idx: usize,
-    /// Cycle at which the instruction was dispatched.
-    dispatched: u64,
-    /// Issue time of each µ-op (`None` = not yet issued).
-    uop_issue: Vec<Option<u64>>,
-    /// Cycle at which the last µ-op issued (valid once all issued).
-    issue_done: Option<u64>,
-    /// Cycle at which the instruction may retire.
-    completion: u64,
+impl SimResult {
+    pub(crate) fn empty() -> Self {
+        SimResult {
+            cycles_per_iter: 0.0,
+            total_cycles: 0,
+            uops_per_cycle: 0.0,
+            truncated: false,
+            early_exit_iter: None,
+        }
+    }
+}
+
+/// Raw counters at loop exit, shared by both engines; [`finish`] turns
+/// them into a [`SimResult`] with identical arithmetic.
+pub(crate) struct RawOutcome {
+    pub now: u64,
+    pub retired_iters: usize,
+    pub issued_uops_total: u64,
+    pub warmup_end_cycle: Option<u64>,
+    pub warmup_issued: u64,
+    pub early_exit_iter: Option<usize>,
+}
+
+pub(crate) fn finish(cfg: SimConfig, total_iters: usize, o: RawOutcome) -> SimResult {
+    let start = o.warmup_end_cycle.unwrap_or(0);
+    let measured_iters = (o.retired_iters.saturating_sub(cfg.warmup)).max(1) as f64;
+    let measured_cycles = (o.now - start) as f64;
+    SimResult {
+        cycles_per_iter: measured_cycles / measured_iters,
+        total_cycles: o.now,
+        uops_per_cycle: (o.issued_uops_total - o.warmup_issued) as f64 / measured_cycles.max(1.0),
+        truncated: o.retired_iters < total_iters,
+        early_exit_iter: o.early_exit_iter,
+    }
 }
 
 /// Lifecycle of one instruction instance, for the pipeline trace.
@@ -189,9 +265,57 @@ impl uarch::Predictor for CoreSimulator {
     }
 }
 
-/// Simulate a kernel and return steady-state cycles/iteration.
+thread_local! {
+    static SCRATCH: std::cell::RefCell<SimScratch> = std::cell::RefCell::new(SimScratch::default());
+}
+
+/// The event engine packs per-µ-op issue state into one 64-bit mask; any
+/// instruction wider than that (never produced by the builtin decoders,
+/// but machine files are open-ended) falls back to the reference engine.
+fn needs_reference(cfg: SimConfig, descs: &[InstrDesc]) -> bool {
+    cfg.reference || descs.iter().any(|d| d.uop_count() > 64)
+}
+
+fn simulate_dispatch(
+    machine: &Machine,
+    kernel: &Kernel,
+    cfg: SimConfig,
+    scratch: Option<&mut SimScratch>,
+    trace: Option<(&mut Vec<TraceEvent>, usize)>,
+) -> SimResult {
+    if kernel.instructions.is_empty() {
+        return SimResult::empty();
+    }
+    let (descs, graph) = prepare(machine, kernel, cfg);
+    if needs_reference(cfg, &descs) {
+        reference::simulate(machine, cfg, &descs, &graph, trace)
+    } else {
+        match scratch {
+            Some(s) => event::simulate(machine, cfg, &descs, &graph, s, trace),
+            None => SCRATCH.with(|c| {
+                event::simulate(machine, cfg, &descs, &graph, &mut c.borrow_mut(), trace)
+            }),
+        }
+    }
+}
+
+/// Simulate a kernel and return steady-state cycles/iteration. Uses a
+/// thread-local [`SimScratch`], so repeated calls on one thread reuse all
+/// simulation buffers.
 pub fn simulate(machine: &Machine, kernel: &Kernel, cfg: SimConfig) -> SimResult {
-    simulate_impl(machine, kernel, cfg, None).0
+    simulate_dispatch(machine, kernel, cfg, None, None)
+}
+
+/// [`simulate`] with a caller-owned scratch arena — for callers that
+/// manage their own worker state or want allocation behaviour to be
+/// explicit. (Ignored when `cfg.reference` selects the naive engine.)
+pub fn simulate_with_scratch(
+    machine: &Machine,
+    kernel: &Kernel,
+    cfg: SimConfig,
+    scratch: &mut SimScratch,
+) -> SimResult {
+    simulate_dispatch(machine, kernel, cfg, Some(scratch), None)
 }
 
 /// Simulate and also return the pipeline trace of the first
@@ -204,240 +328,9 @@ pub fn simulate_traced(
     trace_iters: usize,
 ) -> (SimResult, Vec<TraceEvent>) {
     let mut events = Vec::new();
-    let (r, ()) = simulate_impl(machine, kernel, cfg, Some((&mut events, trace_iters)));
+    let r = simulate_dispatch(machine, kernel, cfg, None, Some((&mut events, trace_iters)));
     events.sort_by_key(|e| (e.iter, e.idx));
     (r, events)
-}
-
-fn simulate_impl(
-    machine: &Machine,
-    kernel: &Kernel,
-    cfg: SimConfig,
-    mut trace: Option<(&mut Vec<TraceEvent>, usize)>,
-) -> (SimResult, ()) {
-    let n = kernel.instructions.len();
-    if n == 0 {
-        return (
-            SimResult {
-                cycles_per_iter: 0.0,
-                total_cycles: 0,
-                uops_per_cycle: 0.0,
-            },
-            (),
-        );
-    }
-    let mut descs = machine.describe_kernel(kernel);
-    let mut graph = DepGraph::build(machine, kernel, &descs);
-    if cfg.quirks {
-        apply_quirks(machine, kernel, &mut descs, &mut graph);
-    }
-    let descs = descs;
-    let graph = graph;
-    // Incoming edges per instruction index.
-    let mut incoming: Vec<Vec<(usize, f64, bool)>> = vec![Vec::new(); n];
-    for e in &graph.edges {
-        incoming[e.to].push((e.from, e.weight, e.wrap));
-    }
-
-    let total_iters = cfg.warmup + cfg.iterations;
-    let np = machine.port_model.num_ports();
-    let mut port_busy_until = vec![0u64; np];
-
-    // issue_done time of every completed-issue instance, indexed [iter][idx].
-    let mut issue_done: Vec<Vec<Option<u64>>> = vec![vec![None; n]; total_iters];
-
-    let mut window: Vec<InFlight> = Vec::new();
-    let mut next_dispatch = (0usize, 0usize); // (iter, idx)
-    let mut rob_uops: u64 = 0;
-    let mut sched_uops: u64 = 0;
-    let mut retired_iters = 0usize;
-    let mut retire_head = 0usize; // index into `window`
-    let mut now: u64 = 0;
-    let mut issued_uops_total: u64 = 0;
-    let mut warmup_end_cycle: Option<u64> = None;
-    let mut warmup_issued: u64 = 0;
-
-    let max_cycles: u64 = 1_000_000 + (total_iters as u64) * 2_000;
-
-    while retired_iters < total_iters && now < max_cycles {
-        // --- Retire (in order). ---
-        let mut retired = 0u32;
-        while retire_head < window.len() && retired < machine.retire_width {
-            let inst = &window[retire_head];
-            if inst.issue_done.is_some() && inst.completion <= now {
-                if let Some((ev, max_iters)) = trace.as_mut() {
-                    if inst.iter < *max_iters {
-                        ev.push(TraceEvent {
-                            iter: inst.iter,
-                            idx: inst.idx,
-                            dispatched: inst.dispatched,
-                            issued: inst.issue_done.unwrap_or(inst.dispatched),
-                            completed: inst.completion,
-                            retired: now,
-                        });
-                    }
-                }
-                rob_uops -= descs[inst.idx].uop_count() as u64;
-                if inst.idx == n - 1 {
-                    retired_iters = inst.iter + 1;
-                    if retired_iters == cfg.warmup && warmup_end_cycle.is_none() {
-                        warmup_end_cycle = Some(now);
-                        warmup_issued = issued_uops_total;
-                    }
-                }
-                retire_head += 1;
-                retired += 1;
-            } else {
-                break;
-            }
-        }
-        // Compact the window occasionally.
-        if retire_head > 4096 {
-            window.drain(..retire_head);
-            retire_head = 0;
-        }
-
-        // --- Dispatch (in order, limited by width / ROB / scheduler). ---
-        let mut budget = machine.dispatch_width;
-        while budget > 0 && next_dispatch.0 < total_iters {
-            let (it, idx) = next_dispatch;
-            let d = &descs[idx];
-            let nu = d.uop_count() as u64;
-            if nu.max(1) > budget as u64 {
-                break; // instruction does not fit in this cycle's group
-            }
-            if rob_uops + nu.max(1) > machine.rob_size as u64
-                || sched_uops + nu > machine.sched_size as u64
-            {
-                break;
-            }
-            // Eliminated instructions complete at dispatch.
-            if nu == 0 {
-                issue_done[it][idx] = Some(now);
-                window.push(InFlight {
-                    iter: it,
-                    idx,
-                    dispatched: now,
-                    uop_issue: Vec::new(),
-                    issue_done: Some(now),
-                    completion: now,
-                });
-                rob_uops += 1; // occupies a ROB slot until retired
-            } else {
-                window.push(InFlight {
-                    iter: it,
-                    idx,
-                    dispatched: now,
-                    uop_issue: vec![None; nu as usize],
-                    issue_done: None,
-                    completion: u64::MAX,
-                });
-                rob_uops += nu;
-                sched_uops += nu;
-            }
-            budget = budget.saturating_sub(nu.max(1) as u32);
-            next_dispatch = if idx + 1 == n {
-                (it + 1, 0)
-            } else {
-                (it, idx + 1)
-            };
-        }
-
-        // --- Issue (oldest first). ---
-        let mut port_taken_this_cycle = vec![false; np];
-        for w in window.iter_mut().skip(retire_head) {
-            if w.issue_done.is_some() && w.uop_issue.is_empty() {
-                continue; // eliminated
-            }
-            if w.issue_done.is_some() {
-                continue; // fully issued
-            }
-            // Readiness: all producers issued and their results available.
-            let mut ready = true;
-            for &(from, weight, wrap) in &incoming[w.idx] {
-                let prod_iter = if wrap {
-                    match w.iter.checked_sub(1) {
-                        Some(pi) => pi,
-                        None => continue, // first iteration: no producer
-                    }
-                } else {
-                    w.iter
-                };
-                match issue_done[prod_iter][from] {
-                    Some(t) => {
-                        if (t as f64 + weight) > now as f64 {
-                            ready = false;
-                            break;
-                        }
-                    }
-                    None => {
-                        ready = false;
-                        break;
-                    }
-                }
-            }
-            if !ready {
-                continue;
-            }
-            // Try to issue each pending µ-op on a free eligible port.
-            let d = &descs[w.idx];
-            let mut all_issued = true;
-            for (ui, u) in d.uops.iter().enumerate() {
-                if w.uop_issue[ui].is_some() {
-                    continue;
-                }
-                // Pick the eligible free port with the earliest availability.
-                let mut best: Option<usize> = None;
-                for p in u.ports.iter() {
-                    if port_busy_until[p] <= now && !port_taken_this_cycle[p] {
-                        best = match best {
-                            Some(b) if port_busy_until[b] <= port_busy_until[p] => Some(b),
-                            _ => Some(p),
-                        };
-                    }
-                }
-                if let Some(p) = best {
-                    port_taken_this_cycle[p] = true;
-                    // A blocking µ-op holds its port beyond this cycle.
-                    let occ = u.occupancy.ceil() as u64;
-                    if occ > 1 {
-                        port_busy_until[p] = now + occ;
-                    }
-                    w.uop_issue[ui] = Some(now);
-                    sched_uops -= 1;
-                    issued_uops_total += 1;
-                } else {
-                    all_issued = false;
-                }
-            }
-            if all_issued {
-                let last = w.uop_issue.iter().map(|t| t.unwrap()).max().unwrap_or(now);
-                w.issue_done = Some(last);
-                issue_done[w.iter][w.idx] = Some(last);
-                let lat = (descs[w.idx].latency as u64).max(1);
-                let completes = if descs[w.idx].class == InstrClass::Store {
-                    last + 1
-                } else {
-                    last + lat
-                };
-                w.completion = completes;
-            }
-        }
-
-        now += 1;
-    }
-
-    let start = warmup_end_cycle.unwrap_or(0);
-    let measured_iters = (retired_iters.saturating_sub(cfg.warmup)).max(1) as f64;
-    let measured_cycles = (now - start) as f64;
-    (
-        SimResult {
-            cycles_per_iter: measured_cycles / measured_iters,
-            total_cycles: now,
-            uops_per_cycle: (issued_uops_total - warmup_issued) as f64 / measured_cycles.max(1.0),
-        },
-        (),
-    )
 }
 
 /// Convenience: steady-state cycles per iteration with default config.
@@ -459,6 +352,40 @@ mod tests {
     fn run_a64(asm: &str, m: &Machine) -> f64 {
         let k = parse_kernel(asm, Isa::AArch64).unwrap();
         cycles_per_iteration(m, &k)
+    }
+
+    /// Both engines must agree bit-for-bit on everything observable
+    /// (`early_exit_iter` is engine bookkeeping, not an observable).
+    fn assert_engines_agree(m: &Machine, asm: &str, isa: Isa, cfg: SimConfig) {
+        let k = parse_kernel(asm, isa).unwrap();
+        let ev = simulate(
+            m,
+            &k,
+            SimConfig {
+                reference: false,
+                ..cfg
+            },
+        );
+        let rf = simulate(
+            m,
+            &k,
+            SimConfig {
+                reference: true,
+                ..cfg
+            },
+        );
+        assert_eq!(
+            ev.cycles_per_iter.to_bits(),
+            rf.cycles_per_iter.to_bits(),
+            "{asm}"
+        );
+        assert_eq!(ev.total_cycles, rf.total_cycles, "{asm}");
+        assert_eq!(
+            ev.uops_per_cycle.to_bits(),
+            rf.uops_per_cycle.to_bits(),
+            "{asm}"
+        );
+        assert_eq!(ev.truncated, rf.truncated, "{asm}");
     }
 
     #[test]
@@ -496,7 +423,7 @@ mod tests {
         }
         asm.push_str("    subs x0, x0, #1\n    b.ne .L1\n");
         let c = run_a64(&asm, &m);
-        assert!(c >= 2.0 - 1e-9 && c < 2.8, "cycles/iter = {c}");
+        assert!((2.0 - 1e-9..2.8).contains(&c), "cycles/iter = {c}");
     }
 
     #[test]
@@ -552,6 +479,7 @@ mod tests {
         };
         let r = simulate(&Machine::zen4(), &k, SimConfig::default());
         assert_eq!(r.cycles_per_iter, 0.0);
+        assert!(!r.truncated);
     }
 
     #[test]
@@ -564,5 +492,179 @@ mod tests {
         // Single store-data port → ≥ 2 cycles for two stores.
         assert!(c >= 2.0 - 1e-9, "cycles/iter = {c}");
         assert!(c < 3.0, "cycles/iter = {c}");
+    }
+
+    #[test]
+    fn steady_state_early_exit_triggers_and_is_exact() {
+        // A throughput-bound kernel settles into a periodic schedule well
+        // within the default budget: the event engine must take the early
+        // exit and still agree bit-for-bit with the naive engine.
+        let m = Machine::golden_cove();
+        let asm = ".L1:\n vaddpd %zmm1, %zmm2, %zmm3\n vmulpd %zmm4, %zmm5, %zmm6\n subq $1, %rax\n jne .L1\n";
+        let k = parse_kernel(asm, Isa::X86).unwrap();
+        let cfg = SimConfig::default();
+        let ev = simulate(&m, &k, cfg);
+        let exited_at = ev.early_exit_iter.expect("steady kernel should early-exit");
+        assert!(
+            exited_at < cfg.warmup + cfg.iterations,
+            "no iterations were saved"
+        );
+        assert_engines_agree(&m, asm, Isa::X86, cfg);
+    }
+
+    #[test]
+    fn no_early_exit_simulates_every_iteration() {
+        let m = Machine::zen4();
+        let asm = ".L1:\n vaddpd %ymm1, %ymm2, %ymm3\n subq $1, %rax\n jne .L1\n";
+        let k = parse_kernel(asm, Isa::X86).unwrap();
+        let cfg = SimConfig {
+            early_exit: false,
+            ..SimConfig::default()
+        };
+        let full = simulate(&m, &k, cfg);
+        assert_eq!(full.early_exit_iter, None);
+        let fast = simulate(&m, &k, SimConfig::default());
+        assert_eq!(
+            full.cycles_per_iter.to_bits(),
+            fast.cycles_per_iter.to_bits()
+        );
+        assert_eq!(full.total_cycles, fast.total_cycles);
+    }
+
+    #[test]
+    fn watchdog_truncates_stalled_kernels_on_all_machines() {
+        // With a zero dispatch width nothing ever enters the window, so no
+        // retirement progress is possible; both engines must stop at the
+        // watchdog and report a truncated run instead of spinning.
+        for mut m in uarch::all_machines() {
+            m.dispatch_width = 0;
+            let (asm, isa) = match m.isa {
+                isa::Isa::X86 => (".L1:\n addq $1, %rax\n jne .L1\n", Isa::X86),
+                isa::Isa::AArch64 => (".L1:\n add x0, x0, #1\n b.ne .L1\n", Isa::AArch64),
+            };
+            let k = parse_kernel(asm, isa).unwrap();
+            let cfg = SimConfig {
+                iterations: 3,
+                warmup: 1,
+                ..SimConfig::default()
+            };
+            let max_cycles = 1_000_000 + 4 * 2_000;
+            for reference in [false, true] {
+                let r = simulate(&m, &k, SimConfig { reference, ..cfg });
+                assert!(r.truncated, "{} reference={reference}", m.part);
+                assert_eq!(r.total_cycles, max_cycles, "{}", m.part);
+            }
+        }
+    }
+
+    #[test]
+    fn watchdog_on_retirement_stall_with_narrow_dispatch() {
+        // A 2-µ-op store behind a 1-wide dispatch never fits the group,
+        // so dispatch stalls forever with real (nonzero) hardware widths.
+        let mut m = Machine::golden_cove();
+        m.dispatch_width = 1;
+        let k = parse_kernel(".L1:\n vmovupd %ymm0, (%rdi)\n jne .L1\n", Isa::X86).unwrap();
+        let cfg = SimConfig {
+            iterations: 2,
+            warmup: 0,
+            ..SimConfig::default()
+        };
+        let ev = simulate(&m, &k, cfg);
+        let rf = simulate(
+            &m,
+            &k,
+            SimConfig {
+                reference: true,
+                ..cfg
+            },
+        );
+        assert!(ev.truncated && rf.truncated);
+        assert_eq!(ev.total_cycles, rf.total_cycles);
+    }
+
+    #[test]
+    fn engines_agree_on_spot_kernels() {
+        let x86 = [
+            ".L1:\n vfmadd231pd %zmm1, %zmm2, %zmm3\n subq $1, %rax\n jne .L1\n",
+            ".L1:\n vmovupd (%rsi,%rax), %zmm0\n vaddpd %zmm0, %zmm1, %zmm2\n vmovupd %zmm2, (%rdi,%rax)\n addq $64, %rax\n cmpq %rcx, %rax\n jne .L1\n",
+            ".L1:\n vdivpd %zmm1, %zmm2, %zmm4\n vdivpd %zmm1, %zmm2, %zmm5\n subq $1, %rax\n jne .L1\n",
+            ".L1:\n xorq %rax, %rax\n movq %rbx, %rcx\n subq $1, %rdx\n jne .L1\n",
+        ];
+        let cfgs = [
+            SimConfig::default(),
+            SimConfig {
+                iterations: 7,
+                warmup: 3,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                iterations: 30,
+                warmup: 0,
+                quirks: false,
+                ..SimConfig::default()
+            },
+        ];
+        for asm in x86 {
+            for cfg in cfgs {
+                assert_engines_agree(&Machine::golden_cove(), asm, Isa::X86, cfg);
+                assert_engines_agree(&Machine::zen4(), asm, Isa::X86, cfg);
+            }
+        }
+        let a64 = ".L1:\n fmla v0.2d, v1.2d, v2.2d\n fadd v3.2d, v4.2d, v5.2d\n subs x0, x0, #1\n b.ne .L1\n";
+        for cfg in cfgs {
+            assert_engines_agree(&Machine::neoverse_v2(), a64, Isa::AArch64, cfg);
+        }
+    }
+
+    #[test]
+    fn traces_agree_between_engines() {
+        let m = Machine::golden_cove();
+        let asm = ".L1:\n vmulpd %zmm4, %zmm1, %zmm2\n vaddpd %zmm2, %zmm3, %zmm4\n subq $1, %rax\n jne .L1\n";
+        let k = parse_kernel(asm, Isa::X86).unwrap();
+        let cfg = SimConfig {
+            iterations: 12,
+            warmup: 4,
+            ..SimConfig::default()
+        };
+        let (ev, ev_trace) = simulate_traced(&m, &k, cfg, 6);
+        let (rf, rf_trace) = simulate_traced(
+            &m,
+            &k,
+            SimConfig {
+                reference: true,
+                ..cfg
+            },
+            6,
+        );
+        assert_eq!(ev_trace, rf_trace);
+        assert_eq!(ev.cycles_per_iter.to_bits(), rf.cycles_per_iter.to_bits());
+    }
+
+    #[test]
+    fn caller_scratch_is_reusable_across_machines_and_kernels() {
+        let mut scratch = SimScratch::default();
+        let blocks = [
+            (
+                Machine::golden_cove(),
+                ".L1:\n vaddpd %zmm1, %zmm2, %zmm3\n subq $1, %rax\n jne .L1\n",
+            ),
+            (
+                Machine::zen4(),
+                ".L1:\n vfmadd231pd %ymm1, %ymm2, %ymm3\n subq $1, %rax\n jne .L1\n",
+            ),
+            (
+                Machine::golden_cove(),
+                ".L1:\n vdivpd %zmm1, %zmm2, %zmm4\n subq $1, %rax\n jne .L1\n",
+            ),
+        ];
+        for (m, asm) in &blocks {
+            let k = parse_kernel(asm, Isa::X86).unwrap();
+            let fresh = simulate(m, &k, SimConfig::default());
+            let reused = simulate_with_scratch(m, &k, SimConfig::default(), &mut scratch);
+            assert_eq!(fresh, reused);
+            // And again, to exercise re-initialization of dirty buffers.
+            let again = simulate_with_scratch(m, &k, SimConfig::default(), &mut scratch);
+            assert_eq!(fresh, again);
+        }
     }
 }

@@ -1,0 +1,244 @@
+//! The original tick-by-tick simulator loop, retained verbatim as the
+//! equivalence oracle for the event-driven engine in [`crate::event`].
+//!
+//! This engine advances `now` one cycle at a time and rescans the whole
+//! in-flight window every cycle. It allocates its bookkeeping per call
+//! (including a `Vec<Option<u64>>` per in-flight instruction) — exactly
+//! the costs the event engine exists to remove — so it is only reachable
+//! through [`crate::SimConfig::reference`], the workspace equivalence
+//! tests, and the benchmark harness.
+
+use crate::{RawOutcome, SimConfig, SimResult, TraceEvent};
+use incore::depgraph::DepGraph;
+use uarch::{InstrClass, InstrDesc, Machine};
+
+/// Per-instruction-instance bookkeeping.
+#[derive(Debug, Clone)]
+struct InFlight {
+    iter: usize,
+    idx: usize,
+    /// Cycle at which the instruction was dispatched.
+    dispatched: u64,
+    /// Issue time of each µ-op (`None` = not yet issued).
+    uop_issue: Vec<Option<u64>>,
+    /// Cycle at which the last µ-op issued (valid once all issued).
+    issue_done: Option<u64>,
+    /// Cycle at which the instruction may retire.
+    completion: u64,
+}
+
+pub(crate) fn simulate(
+    machine: &Machine,
+    cfg: SimConfig,
+    descs: &[InstrDesc],
+    graph: &DepGraph,
+    mut trace: Option<(&mut Vec<TraceEvent>, usize)>,
+) -> SimResult {
+    let n = descs.len();
+    // Incoming edges per instruction index.
+    let mut incoming: Vec<Vec<(usize, f64, bool)>> = vec![Vec::new(); n];
+    for e in &graph.edges {
+        incoming[e.to].push((e.from, e.weight, e.wrap));
+    }
+
+    let total_iters = cfg.warmup + cfg.iterations;
+    let np = machine.port_model.num_ports();
+    let mut port_busy_until = vec![0u64; np];
+
+    // issue_done time of every completed-issue instance, indexed [iter][idx].
+    let mut issue_done: Vec<Vec<Option<u64>>> = vec![vec![None; n]; total_iters];
+
+    let mut window: Vec<InFlight> = Vec::new();
+    let mut next_dispatch = (0usize, 0usize); // (iter, idx)
+    let mut rob_uops: u64 = 0;
+    let mut sched_uops: u64 = 0;
+    let mut retired_iters = 0usize;
+    let mut retire_head = 0usize; // index into `window`
+    let mut now: u64 = 0;
+    let mut issued_uops_total: u64 = 0;
+    let mut warmup_end_cycle: Option<u64> = None;
+    let mut warmup_issued: u64 = 0;
+
+    let max_cycles: u64 = 1_000_000 + (total_iters as u64) * 2_000;
+
+    while retired_iters < total_iters && now < max_cycles {
+        // --- Retire (in order). ---
+        let mut retired = 0u32;
+        while retire_head < window.len() && retired < machine.retire_width {
+            let inst = &window[retire_head];
+            if inst.issue_done.is_some() && inst.completion <= now {
+                if let Some((ev, max_iters)) = trace.as_mut() {
+                    if inst.iter < *max_iters {
+                        ev.push(TraceEvent {
+                            iter: inst.iter,
+                            idx: inst.idx,
+                            dispatched: inst.dispatched,
+                            issued: inst.issue_done.unwrap_or(inst.dispatched),
+                            completed: inst.completion,
+                            retired: now,
+                        });
+                    }
+                }
+                rob_uops -= descs[inst.idx].uop_count() as u64;
+                if inst.idx == n - 1 {
+                    retired_iters = inst.iter + 1;
+                    if retired_iters == cfg.warmup && warmup_end_cycle.is_none() {
+                        warmup_end_cycle = Some(now);
+                        warmup_issued = issued_uops_total;
+                    }
+                }
+                retire_head += 1;
+                retired += 1;
+            } else {
+                break;
+            }
+        }
+        // Compact the window occasionally.
+        if retire_head > 4096 {
+            window.drain(..retire_head);
+            retire_head = 0;
+        }
+
+        // --- Dispatch (in order, limited by width / ROB / scheduler). ---
+        let mut budget = machine.dispatch_width;
+        while budget > 0 && next_dispatch.0 < total_iters {
+            let (it, idx) = next_dispatch;
+            let d = &descs[idx];
+            let nu = d.uop_count() as u64;
+            if nu.max(1) > budget as u64 {
+                break; // instruction does not fit in this cycle's group
+            }
+            if rob_uops + nu.max(1) > machine.rob_size as u64
+                || sched_uops + nu > machine.sched_size as u64
+            {
+                break;
+            }
+            // Eliminated instructions complete at dispatch.
+            if nu == 0 {
+                issue_done[it][idx] = Some(now);
+                window.push(InFlight {
+                    iter: it,
+                    idx,
+                    dispatched: now,
+                    uop_issue: Vec::new(),
+                    issue_done: Some(now),
+                    completion: now,
+                });
+                rob_uops += 1; // occupies a ROB slot until retired
+            } else {
+                window.push(InFlight {
+                    iter: it,
+                    idx,
+                    dispatched: now,
+                    uop_issue: vec![None; nu as usize],
+                    issue_done: None,
+                    completion: u64::MAX,
+                });
+                rob_uops += nu;
+                sched_uops += nu;
+            }
+            budget = budget.saturating_sub(nu.max(1) as u32);
+            next_dispatch = if idx + 1 == n {
+                (it + 1, 0)
+            } else {
+                (it, idx + 1)
+            };
+        }
+
+        // --- Issue (oldest first). ---
+        let mut port_taken_this_cycle = vec![false; np];
+        for w in window.iter_mut().skip(retire_head) {
+            if w.issue_done.is_some() && w.uop_issue.is_empty() {
+                continue; // eliminated
+            }
+            if w.issue_done.is_some() {
+                continue; // fully issued
+            }
+            // Readiness: all producers issued and their results available.
+            let mut ready = true;
+            for &(from, weight, wrap) in &incoming[w.idx] {
+                let prod_iter = if wrap {
+                    match w.iter.checked_sub(1) {
+                        Some(pi) => pi,
+                        None => continue, // first iteration: no producer
+                    }
+                } else {
+                    w.iter
+                };
+                match issue_done[prod_iter][from] {
+                    Some(t) => {
+                        if (t as f64 + weight) > now as f64 {
+                            ready = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        ready = false;
+                        break;
+                    }
+                }
+            }
+            if !ready {
+                continue;
+            }
+            // Try to issue each pending µ-op on a free eligible port.
+            let d = &descs[w.idx];
+            let mut all_issued = true;
+            for (ui, u) in d.uops.iter().enumerate() {
+                if w.uop_issue[ui].is_some() {
+                    continue;
+                }
+                // Pick the eligible free port with the earliest availability.
+                let mut best: Option<usize> = None;
+                for p in u.ports.iter() {
+                    if port_busy_until[p] <= now && !port_taken_this_cycle[p] {
+                        best = match best {
+                            Some(b) if port_busy_until[b] <= port_busy_until[p] => Some(b),
+                            _ => Some(p),
+                        };
+                    }
+                }
+                if let Some(p) = best {
+                    port_taken_this_cycle[p] = true;
+                    // A blocking µ-op holds its port beyond this cycle.
+                    let occ = u.occupancy.ceil() as u64;
+                    if occ > 1 {
+                        port_busy_until[p] = now + occ;
+                    }
+                    w.uop_issue[ui] = Some(now);
+                    sched_uops -= 1;
+                    issued_uops_total += 1;
+                } else {
+                    all_issued = false;
+                }
+            }
+            if all_issued {
+                let last = w.uop_issue.iter().map(|t| t.unwrap()).max().unwrap_or(now);
+                w.issue_done = Some(last);
+                issue_done[w.iter][w.idx] = Some(last);
+                let lat = (descs[w.idx].latency as u64).max(1);
+                let completes = if descs[w.idx].class == InstrClass::Store {
+                    last + 1
+                } else {
+                    last + lat
+                };
+                w.completion = completes;
+            }
+        }
+
+        now += 1;
+    }
+
+    crate::finish(
+        cfg,
+        total_iters,
+        RawOutcome {
+            now,
+            retired_iters,
+            issued_uops_total,
+            warmup_end_cycle,
+            warmup_issued,
+            early_exit_iter: None,
+        },
+    )
+}

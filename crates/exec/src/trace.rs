@@ -111,6 +111,7 @@ mod tests {
                 iterations: 4,
                 warmup: 0,
                 quirks: true,
+                ..Default::default()
             },
             1,
         );
@@ -141,6 +142,7 @@ mod tests {
                 iterations: 3,
                 warmup: 0,
                 quirks: true,
+                ..Default::default()
             },
             2,
         );

@@ -84,11 +84,52 @@ pub trait Predictor: Send + Sync {
     fn is_reference(&self) -> bool {
         false
     }
+
+    /// [`predict`](Predictor::predict) plus the wall-clock time the call
+    /// took. Batch pipelines use this to attribute run time to each
+    /// predictor (e.g. the `timings` block of `validate --json`) without
+    /// every implementation having to care about clocks; the timing is
+    /// observational only and must never influence the prediction.
+    fn predict_timed(
+        &self,
+        machine: &Machine,
+        kernel: &Kernel,
+    ) -> (Prediction, std::time::Duration) {
+        let start = std::time::Instant::now();
+        let p = self.predict(machine, kernel);
+        (p, start.elapsed())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn predict_timed_wraps_predict() {
+        struct Fixed;
+        impl Predictor for Fixed {
+            fn name(&self) -> &'static str {
+                "fixed"
+            }
+            fn predict(&self, _m: &Machine, _k: &Kernel) -> Prediction {
+                Prediction {
+                    cycles_per_iter: 2.5,
+                    bottleneck: Bottleneck::Unattributed,
+                    port_pressure: Vec::new(),
+                    uops_per_iter: 1.0,
+                }
+            }
+        }
+        let k = Kernel {
+            instructions: vec![],
+            isa: isa::Isa::X86,
+            loop_label: None,
+        };
+        let (p, t) = Fixed.predict_timed(&Machine::golden_cove(), &k);
+        assert_eq!(p.cycles_per_iter, 2.5);
+        assert!(t.as_nanos() > 0 || t.is_zero()); // a Duration, possibly 0 on coarse clocks
+    }
 
     #[test]
     fn bottleneck_labels_are_stable() {
