@@ -1,0 +1,83 @@
+//! Memory-hierarchy benchmark: Criterion timings for one representative
+//! store stream (fast streaming path vs. per-access reference), then the
+//! full Fig. 4 sweep comparison written to `BENCH_memhier.json` at the
+//! repository root (see `bench::membench`).
+//!
+//! `BENCH_MEMHIER_LIMIT=<n>` caps the sweep at n core counts per machine
+//! — CI uses this for a quick smoke run; local `cargo bench --bench
+//! memhier_core` measures the whole Fig. 4 sweep.
+
+use criterion::{criterion_group, Criterion};
+use memhier::{Hierarchy, MemScratch, StreamConfig, StreamPattern};
+
+fn representative_stream(c: &mut Criterion) {
+    let m = uarch::Machine::golden_cove();
+    let mut h = Hierarchy::from_machine(&m, m.cores);
+    let line = h.line_bytes();
+    let slice_bytes: u64 = m
+        .caches
+        .iter()
+        .map(|cc| {
+            if cc.shared {
+                cc.size_kib * 1024 / m.cores as u64
+            } else {
+                cc.size_kib * 1024
+            }
+        })
+        .sum();
+    let lines = (4 * slice_bytes).max(8 << 20) / line;
+    let p = StreamPattern::store_lines(line, lines);
+    let mut scratch = MemScratch::default();
+    let mut g = c.benchmark_group("memhier_core/spr_store_stream");
+    g.sample_size(10);
+    g.bench_function("fast", |b| {
+        b.iter(|| {
+            h.reset();
+            h.access_stream_with_scratch(p, StreamConfig::default(), &mut scratch);
+            h.flush();
+            h.mem.write_bytes
+        })
+    });
+    g.bench_function("reference", |b| {
+        b.iter(|| {
+            h.reset();
+            h.access_stream_with_scratch(p, StreamConfig::reference(), &mut scratch);
+            h.flush();
+            h.mem.write_bytes
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, representative_stream);
+
+fn main() {
+    benches();
+    let limit = std::env::var("BENCH_MEMHIER_LIMIT")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok());
+    let report = bench::membench::run(limit);
+    eprintln!(
+        "[memhier_core] {} sweep points: fast {:.1} ms vs reference {:.1} ms — {:.1}x speedup, \
+         parallel sweep {:.1} ms, equivalent: {}",
+        report.points,
+        report.fast_ms,
+        report.reference_ms,
+        report.speedup,
+        report.parallel_sweep_ms,
+        report.equivalent,
+    );
+    for r in &report.machines {
+        eprintln!(
+            "[memhier_core]   {:<6} {:<12} {:>3} points: {:>8.1} ms vs {:>8.1} ms ({:.1}x, {} accesses extrapolated)",
+            r.chip, r.arch, r.points, r.fast_ms, r.reference_ms, r.speedup, r.extrapolated_accesses
+        );
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_memhier.json");
+    std::fs::write(path, report.to_json()).expect("write BENCH_memhier.json");
+    eprintln!("[memhier_core] wrote {path}");
+    assert!(
+        report.equivalent,
+        "streaming fast path diverged from the per-access reference on the Fig. 4 sweep"
+    );
+}

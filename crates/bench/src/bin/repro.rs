@@ -1,14 +1,22 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro table1|table2|table3|fig1|fig2|fig3|fig4|ecm|all [--json FILE]
+//! repro table1|table2|table3|fig1|fig2|fig3|fig4|ecm|all [--json FILE] [--threads N]
 //! ```
+//!
+//! `--threads N` sizes the rayon pool the parallel renders (Table I,
+//! Fig. 4, ECM) run on; output is byte-identical at every thread count.
 
 use std::env;
 use std::fs;
 
 fn main() {
-    let args: Vec<String> = env::args().skip(1).collect();
+    let mut args: Vec<String> = env::args().skip(1).collect();
+    let mut threads = None;
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        threads = args.get(i + 1).and_then(|s| s.parse::<usize>().ok());
+        args.drain(i..(i + 2).min(args.len()));
+    }
     let what = args.first().map(String::as_str).unwrap_or("all");
     let json_path = args
         .iter()
@@ -18,6 +26,22 @@ fn main() {
 
     let mut json = serde_json::Map::new();
 
+    match threads {
+        Some(n) => rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("thread pool builds")
+            .install(|| dispatch(what, &mut json)),
+        None => dispatch(what, &mut json),
+    }
+
+    if let Some(path) = json_path {
+        fs::write(&path, serde_json::Value::Object(json).to_string()).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn dispatch(what: &str, json: &mut serde_json::Map<String, serde_json::Value>) {
     match what {
         "table1" => print!("{}", bench::tables::render_table1()),
         "table2" => print!("{}", bench::tables::render_table2()),
@@ -34,9 +58,9 @@ fn main() {
             }
         }
         "fig2" => print!("{}", bench::tables::render_fig2()),
-        "fig3" => run_fig3(&mut json),
+        "fig3" => run_fig3(json),
         "fig4" => print!("{}", bench::tables::render_fig4()),
-        "ecm" => run_ecm(),
+        "ecm" => run_ecm(json),
         "all" => {
             print!("{}", bench::tables::render_table1());
             println!();
@@ -51,11 +75,11 @@ fn main() {
             println!();
             print!("{}", bench::tables::render_fig2());
             println!();
-            run_fig3(&mut json);
+            run_fig3(json);
             println!();
             print!("{}", bench::tables::render_fig4());
             println!();
-            run_ecm();
+            run_ecm(json);
         }
         other => {
             eprintln!(
@@ -63,11 +87,6 @@ fn main() {
             );
             std::process::exit(2);
         }
-    }
-
-    if let Some(path) = json_path {
-        fs::write(&path, serde_json::Value::Object(json).to_string()).expect("write json");
-        eprintln!("wrote {path}");
     }
 }
 
@@ -167,35 +186,19 @@ fn run_fig3(json: &mut serde_json::Map<String, serde_json::Value>) {
     json.insert("fig3".into(), serde_json::to_value(&records).unwrap());
 }
 
-fn run_ecm() {
+fn run_ecm(json: &mut serde_json::Map<String, serde_json::Value>) {
     println!("ECM model (extension) — STREAM triad, cycles per cache line of work");
     println!(
         "{:<8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6}",
         "chip", "T_core", "T_L1L2", "T_L2L3", "T_L3Mem", "T_mem", "n_sat"
     );
-    for m in uarch::all_machines() {
-        let compiler = kernels::Compiler::for_arch(m.arch)[0];
-        let v = kernels::Variant {
-            kernel: kernels::StreamKernel::StreamTriad,
-            compiler,
-            opt: kernels::OptLevel::O3,
-            arch: m.arch,
-        };
-        let wa = if m.arch == uarch::Arch::NeoverseV2 {
-            1.0
-        } else {
-            2.0
-        };
-        let e = node::ecm_for_kernel(&m, &v, wa);
+    let machines = uarch::all_machines();
+    let rows = node::ecm::triad_ecm_rows(&machines);
+    for r in &rows {
         println!(
             "{:<8} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>6}",
-            m.arch.chip(),
-            e.t_core,
-            e.t_l1_l2,
-            e.t_l2_l3,
-            e.t_l3_mem,
-            e.t_mem,
-            e.saturation_cores()
+            r.chip, r.t_core, r.t_l1_l2, r.t_l2_l3, r.t_l3_mem, r.t_mem, r.n_sat
         );
     }
+    json.insert("ecm".into(), serde_json::to_value(rows).unwrap());
 }

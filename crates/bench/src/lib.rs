@@ -5,9 +5,11 @@
 
 pub mod fig3;
 pub mod ibench;
+pub mod membench;
 pub mod simbench;
 pub mod tables;
 
 pub use fig3::{rpe_corpus, RpeRecord};
 pub use ibench::{instruction_latency, instruction_throughput, table3};
+pub use membench::MemBenchReport;
 pub use simbench::SimBenchReport;

@@ -1,0 +1,207 @@
+//! Tracked memory-hierarchy benchmark: times the streaming fast path
+//! (steady-state extrapolation + hoisted bases + pooled hierarchies)
+//! against the original per-access reference pipeline over the full
+//! Fig. 4 sweep, checking bit-exact agreement while doing so. It also
+//! verifies that the parallel Fig. 4 / Table I / ECM sweeps are
+//! byte-identical to single-threaded runs. The `memhier_core` bench
+//! target runs this and writes the report to `BENCH_memhier.json` at
+//! the repository root, so the speedup is recorded alongside the code
+//! that produced it (same schema style as `BENCH_sim.json`).
+
+use memhier::storebench::{self, SweepScratch};
+use memhier::{StoreKind, StorePoint, StreamConfig};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Per-machine timing row.
+#[derive(Debug, Clone, Serialize)]
+pub struct MachineRow {
+    pub chip: &'static str,
+    pub arch: &'static str,
+    /// Sweep points (core counts × store kinds).
+    pub points: usize,
+    pub fast_ms: f64,
+    pub reference_ms: f64,
+    pub speedup: f64,
+    /// Stream accesses whose effect the fast pass applied in closed form.
+    pub extrapolated_accesses: u64,
+}
+
+/// The whole report, serialized to `BENCH_memhier.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct MemBenchReport {
+    pub schema_version: u32,
+    pub points: usize,
+    pub fast_ms: f64,
+    pub reference_ms: f64,
+    pub speedup: f64,
+    /// Wall clock of the whole Fig. 4 sweep fanned out on the rayon pool
+    /// (fast path, default thread count).
+    pub parallel_sweep_ms: f64,
+    /// Every sweep point was bit-identical between fast and reference
+    /// pipelines, and every parallel sweep (Fig. 4, Table I, ECM) was
+    /// byte-identical to its single-threaded run.
+    pub equivalent: bool,
+    pub machines: Vec<MachineRow>,
+}
+
+impl MemBenchReport {
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("report serializes");
+        s.push('\n');
+        s
+    }
+}
+
+fn bits(p: &StorePoint) -> (u32, u64, u64) {
+    (p.cores, p.ratio.to_bits(), p.utilization.to_bits())
+}
+
+fn counts_for(m: &uarch::Machine, limit: Option<usize>) -> Vec<u32> {
+    let mut c = storebench::fig4_core_counts(m);
+    if let Some(n) = limit {
+        c.truncate(n);
+    }
+    c
+}
+
+/// Run the benchmark over the Fig. 4 sweep (optionally the first `limit`
+/// core counts per machine, for smoke runs): fast pipeline vs. the
+/// per-count per-access reference pipeline, then the parallel sweeps
+/// against their single-threaded twins.
+pub fn run(limit: Option<usize>) -> MemBenchReport {
+    let machines = uarch::all_machines();
+    let mut rows = Vec::new();
+    let mut equivalent = true;
+    for m in &machines {
+        let counts = counts_for(m, limit);
+        let mut kinds = vec![StoreKind::Standard];
+        if storebench::nt_applicable(m.arch) {
+            kinds.push(StoreKind::NonTemporal);
+        }
+        let mut scratch = SweepScratch::default();
+        // Warm the hierarchy pool and snapshot buffers so the timed fast
+        // pass measures streaming, not first-touch allocation.
+        for &k in &kinds {
+            std::hint::black_box(storebench::sweep_points(
+                m,
+                &counts,
+                k,
+                StreamConfig::default(),
+                &mut scratch,
+            ));
+        }
+        let start = Instant::now();
+        let mut extrapolated = 0u64;
+        let fast: Vec<Vec<StorePoint>> = kinds
+            .iter()
+            .map(|&k| {
+                let pts =
+                    storebench::sweep_points(m, &counts, k, StreamConfig::default(), &mut scratch);
+                extrapolated += scratch.last_outcome.extrapolated;
+                pts
+            })
+            .collect();
+        let fast_ms = start.elapsed().as_secs_f64() * 1e3;
+        let start = Instant::now();
+        let reference: Vec<Vec<StorePoint>> = kinds
+            .iter()
+            .map(|&k| {
+                counts
+                    .iter()
+                    .map(|&n| {
+                        let mut s = SweepScratch::default();
+                        storebench::store_traffic_ratio_with(
+                            m,
+                            n,
+                            k,
+                            StreamConfig::reference(),
+                            &mut s,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let reference_ms = start.elapsed().as_secs_f64() * 1e3;
+        for (f, r) in fast.iter().flatten().zip(reference.iter().flatten()) {
+            if bits(f) != bits(r) {
+                equivalent = false;
+            }
+        }
+        rows.push(MachineRow {
+            chip: m.arch.chip(),
+            arch: m.arch.label(),
+            points: counts.len() * kinds.len(),
+            fast_ms,
+            reference_ms,
+            speedup: reference_ms / fast_ms.max(1e-9),
+            extrapolated_accesses: extrapolated,
+        });
+    }
+
+    // The parallel sweeps must be byte-identical to single-threaded runs.
+    let one = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("pool builds");
+    let counts: Vec<Vec<u32>> = machines.iter().map(|m| counts_for(m, limit)).collect();
+    let start = Instant::now();
+    let fig4_par = storebench::fig4_full_with(&machines, &counts, StreamConfig::default());
+    let parallel_sweep_ms = start.elapsed().as_secs_f64() * 1e3;
+    let fig4_one =
+        one.install(|| storebench::fig4_full_with(&machines, &counts, StreamConfig::default()));
+    if serde_json::to_string(&fig4_par).expect("serializes")
+        != serde_json::to_string(&fig4_one).expect("serializes")
+    {
+        equivalent = false;
+    }
+    if crate::tables::render_table1() != one.install(crate::tables::render_table1) {
+        equivalent = false;
+    }
+    let ecm_par = serde_json::to_string(&node::ecm::triad_ecm_rows(&machines)).expect("serializes");
+    let ecm_one = one.install(|| {
+        serde_json::to_string(&node::ecm::triad_ecm_rows(&machines)).expect("serializes")
+    });
+    if ecm_par != ecm_one {
+        equivalent = false;
+    }
+
+    let points = rows.iter().map(|r| r.points).sum();
+    let fast_ms: f64 = rows.iter().map(|r| r.fast_ms).sum();
+    let reference_ms: f64 = rows.iter().map(|r| r.reference_ms).sum();
+    MemBenchReport {
+        schema_version: 1,
+        points,
+        fast_ms,
+        reference_ms,
+        speedup: reference_ms / fast_ms.max(1e-9),
+        parallel_sweep_ms,
+        equivalent,
+        machines: rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_is_equivalent_and_covers_all_machines() {
+        let report = run(Some(2));
+        assert!(report.equivalent, "fast pipeline diverged from reference");
+        assert_eq!(report.machines.len(), uarch::all_machines().len());
+        // Standard sweeps must actually have extrapolated (the NT closed
+        // form bypasses the stream driver).
+        for r in &report.machines {
+            assert!(
+                r.extrapolated_accesses > 0,
+                "{}: steady state never detected",
+                r.chip
+            );
+        }
+        let v: serde_json::Value = serde_json::from_str(&report.to_json()).unwrap();
+        let o = v.as_object().unwrap();
+        assert_eq!(o.get("schema_version").unwrap().as_f64().unwrap(), 1.0);
+        assert!(o.get("speedup").unwrap().as_f64().unwrap() > 0.0);
+    }
+}

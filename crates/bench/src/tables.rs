@@ -1,10 +1,16 @@
 //! Text renderers for the paper's tables and figures.
+//!
+//! The heavy renders (Table I rows, the Fig. 4 write-allocate sweep) fan
+//! out on the vendored rayon pool; the pool's map is order-preserving,
+//! so output is byte-identical at every thread count.
 
+use rayon::prelude::*;
 use std::fmt::Write;
 
 /// Table I — node comparison.
 pub fn render_table1() -> String {
-    let rows: Vec<node::Table1Row> = uarch::all_machines().iter().map(node::table1_row).collect();
+    let machines = uarch::all_machines();
+    let rows: Vec<node::Table1Row> = machines.par_iter().map(node::table1_row).collect();
     let mut s = String::new();
     let _ = writeln!(s, "Table I — node comparison");
     let _ = writeln!(
@@ -146,22 +152,24 @@ pub fn render_fig2() -> String {
     s
 }
 
-/// Fig. 4 — write-allocate evasion sweep.
+/// Fig. 4 — write-allocate evasion sweep. All (machine × store kind)
+/// tasks run concurrently on the rayon pool via
+/// [`memhier::storebench::fig4_full`].
 pub fn render_fig4() -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
         "Fig. 4 — memory traffic / stored volume vs. cores (store-only, 40 GB)"
     );
-    for m in uarch::all_machines() {
-        let counts: Vec<u32> = (1..=m.cores)
-            .filter(|n| *n == 1 || n % 4 == 0 || *n == m.cores || *n == 13)
-            .collect();
-        let pts = memhier::storebench::fig4_sweep(&m, &counts);
-        let _ = writeln!(s, "\n{}:", m.arch.chip());
-        for (n, std, nt) in pts {
-            match nt {
-                Some(ntr) => {
+    let machines = uarch::all_machines();
+    let sweeps = memhier::storebench::fig4_full(&machines, memhier::StreamConfig::default());
+    for sw in &sweeps {
+        let _ = writeln!(s, "\n{}:", sw.chip);
+        for (i, p) in sw.standard.iter().enumerate() {
+            let (n, std) = (p.cores, p.ratio);
+            match &sw.nt {
+                Some(nt) => {
+                    let ntr = nt[i].ratio;
                     let _ = writeln!(s, "  cores {n:>3}: standard {std:.3}   NT stores {ntr:.3}");
                 }
                 None => {

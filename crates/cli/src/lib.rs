@@ -123,8 +123,16 @@ pub enum Command {
         arch: uarch::Arch,
     },
     StoreBench {
-        arch: uarch::Arch,
+        /// Machines to sweep; empty = all three.
+        archs: Vec<uarch::Arch>,
         nt: bool,
+        /// Emit the versioned JSON [`memhier::storebench::StoreSweepReport`].
+        json: bool,
+        /// Rayon pool size for the sweep; `None` = the default pool.
+        threads: Option<usize>,
+        /// Use the per-access reference pipeline instead of the streaming
+        /// fast path (results are bit-identical; this exists to check that).
+        reference: bool,
     },
     Help,
 }
@@ -162,17 +170,26 @@ pub fn parse_args(args: &[String]) -> Result<Command, Error> {
             Ok(Command::Ports { arch })
         }
         "storebench" => {
-            let mut arch = None;
-            let mut nt = false;
+            let mut archs = Vec::new();
+            let (mut nt, mut json, mut reference) = (false, false, false);
+            let mut threads = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
-                    "--arch" => arch = Some(next_arch(&mut it)?),
+                    "--arch" => archs.push(next_arch(&mut it)?),
                     "--nt" => nt = true,
+                    "--json" => json = true,
+                    "--threads" => threads = Some(next_value(&mut it, "--threads")?),
+                    "--reference" => reference = true,
                     other => return Err(Error::usage(format!("unknown flag `{other}`"))),
                 }
             }
-            let arch = arch.ok_or_else(|| Error::usage("--arch is required"))?;
-            Ok(Command::StoreBench { arch, nt })
+            Ok(Command::StoreBench {
+                archs,
+                nt,
+                json,
+                threads,
+                reference,
+            })
         }
         "validate" => {
             let mut opts = ValidateOpts::default();
@@ -348,9 +365,63 @@ USAGE:
   incore-cli machines                 list the three machine models (Table II)
   incore-cli export --arch <machine>  dump a machine model as an editable JSON file
   incore-cli ports --arch <machine>   render the port model (Fig. 1)
-  incore-cli storebench --arch <machine> [--nt]
-                                      store-only traffic-ratio sweep (Fig. 4)
+  incore-cli storebench [flags]       store-only traffic-ratio sweep (Fig. 4)
+      --arch <machine>     restrict to one machine (repeatable; default all three)
+      --nt                 non-temporal stores instead of standard write-allocate
+      --json               emit the versioned JSON StoreSweepReport
+      --threads <n>        rayon pool size; output is identical at every count
+      --reference          per-access reference pipeline (bit-identical, slower)
 ";
+
+/// Render `incore-cli storebench`: the Fig. 4 store-only sweep over one
+/// or more machines, as the original text table or the versioned JSON
+/// [`memhier::storebench::StoreSweepReport`]. With `reference` the sweep
+/// runs the per-access oracle pipeline instead of the streaming fast
+/// path — output is bit-identical either way.
+pub fn run_storebench(archs: &[uarch::Arch], nt: bool, json: bool, reference: bool) -> String {
+    use std::fmt::Write;
+    let machines: Vec<uarch::Machine> = if archs.is_empty() {
+        uarch::all_machines()
+    } else {
+        archs.iter().copied().map(machine_for).collect()
+    };
+    let kind = if nt {
+        memhier::StoreKind::NonTemporal
+    } else {
+        memhier::StoreKind::Standard
+    };
+    let scfg = if reference {
+        memhier::StreamConfig::reference()
+    } else {
+        memhier::StreamConfig::default()
+    };
+    let counts: Vec<Vec<u32>> = machines
+        .iter()
+        .map(|m| {
+            (1..=m.cores)
+                .filter(|&n| n == 1 || n % 4 == 0 || n == m.cores)
+                .collect()
+        })
+        .collect();
+    let report = memhier::storebench::sweep_report(&machines, &counts, kind, scfg);
+    if json {
+        return report.to_json();
+    }
+    let mut s = String::new();
+    for (i, m) in report.machines.iter().enumerate() {
+        if report.machines.len() > 1 {
+            if i > 0 {
+                s.push('\n');
+            }
+            let _ = writeln!(s, "{} ({})", m.chip, m.arch);
+        }
+        let _ = writeln!(s, "cores  traffic/stored");
+        for p in &m.points {
+            let _ = writeln!(s, "{:>5}  {:.3}", p.cores, p.ratio);
+        }
+    }
+    s
+}
 
 /// Machine model for an arch tag.
 pub fn machine_for(arch: uarch::Arch) -> uarch::Machine {
@@ -668,10 +739,35 @@ mod tests {
         assert_eq!(
             parse_args(&sv(&["storebench", "--arch", "genoa", "--nt"])).unwrap(),
             Command::StoreBench {
-                arch: uarch::Arch::Zen4,
-                nt: true
+                archs: vec![uarch::Arch::Zen4],
+                nt: true,
+                json: false,
+                threads: None,
+                reference: false,
             }
         );
+        assert_eq!(
+            parse_args(&sv(&[
+                "storebench",
+                "--arch",
+                "spr",
+                "--arch",
+                "gcs",
+                "--json",
+                "--threads",
+                "2",
+                "--reference",
+            ]))
+            .unwrap(),
+            Command::StoreBench {
+                archs: vec![uarch::Arch::GoldenCove, uarch::Arch::NeoverseV2],
+                nt: false,
+                json: true,
+                threads: Some(2),
+                reference: true,
+            }
+        );
+        assert!(parse_args(&sv(&["storebench", "--threads", "many"])).is_err());
         assert_eq!(
             parse_args(&sv(&["ports", "--arch", "gcs"])).unwrap(),
             Command::Ports {
@@ -860,6 +956,47 @@ mod tests {
     }
 
     #[test]
+    fn storebench_text_format_is_stable() {
+        // The single-machine text table is the original `--arch` output:
+        // no per-machine header, same filter, same row format.
+        let out = run_storebench(&[uarch::Arch::GoldenCove], false, false, false);
+        let mut lines = out.lines();
+        assert_eq!(lines.next(), Some("cores  traffic/stored"));
+        let first = lines.next().unwrap();
+        assert!(first.starts_with("    1  "), "{first}");
+        assert!(
+            !out.contains("SPR ("),
+            "single machine must not get a header"
+        );
+        // The reference pipeline renders byte-identical text.
+        let reference = run_storebench(&[uarch::Arch::GoldenCove], false, false, true);
+        assert_eq!(out, reference);
+        // All machines: one headed block per machine.
+        let all = run_storebench(&[], false, false, false);
+        for chip in ["GCS", "SPR", "Genoa"] {
+            assert!(all.contains(&format!("{chip} (")), "{all}");
+        }
+    }
+
+    #[test]
+    fn storebench_json_is_versioned_and_thread_invariant() {
+        let out = run_storebench(&[], true, true, false);
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let o = v.as_object().unwrap();
+        assert_eq!(o.get("schema_version").unwrap().as_u64().unwrap(), 1);
+        assert_eq!(o.get("kind").unwrap().as_str().unwrap(), "nt");
+        // NT sweeps cover only the machines the paper shows NT data for —
+        // the report still lists all requested machines.
+        assert_eq!(o.get("machines").unwrap().as_array().unwrap().len(), 3);
+        let one = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("pool builds")
+            .install(|| run_storebench(&[], true, true, false));
+        assert_eq!(out, one, "storebench --json must not depend on threads");
+    }
+
+    #[test]
     fn parse_export_and_machine_file() {
         assert_eq!(
             parse_args(&sv(&["export", "--arch", "spr"])).unwrap(),
@@ -946,6 +1083,37 @@ mod tests {
                 "{out}"
             );
         }
+    }
+
+    #[test]
+    fn lint_surfaces_cache_geometry_rule() {
+        // The shipped L3 slices are non-representable by design: M007 fires
+        // as an advisory and must not fail even --strict runs.
+        let machines = uarch::all_machines();
+        let targets: Vec<LintTarget> = machines.iter().map(LintTarget::Machine).collect();
+        let (out, code) = run_lint(&targets, false, true);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("M007"), "{out}");
+        // A machine file with a distorted private cache gets the warning,
+        // and --strict turns it into a failing run.
+        let mut m = machine_for(uarch::Arch::GoldenCove);
+        let idx = m.caches.iter().position(|c| !c.shared).unwrap();
+        m.caches[idx].assoc = 8;
+        let edited = m.to_json();
+        let t = LintTarget::MachineFile {
+            label: "edited.json",
+            json: &edited,
+        };
+        let (out, relaxed) = run_lint(&[t], false, false);
+        assert!(out.contains("M007"), "{out}");
+        assert!(out.contains("not representable"), "{out}");
+        assert_eq!(relaxed, 0, "{out}");
+        let t = LintTarget::MachineFile {
+            label: "edited.json",
+            json: &edited,
+        };
+        let (_, strict) = run_lint(&[t], false, true);
+        assert_eq!(strict, 1);
     }
 
     #[test]

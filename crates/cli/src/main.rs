@@ -126,20 +126,22 @@ fn run(args: &[String]) -> Result<i32, Error> {
                     .render(&format!("{} port model ({})", m.arch.label(), m.part))
             );
         }
-        Command::StoreBench { arch, nt } => {
-            let m = machine_for(arch);
-            let kind = if nt {
-                memhier::StoreKind::NonTemporal
-            } else {
-                memhier::StoreKind::Standard
+        Command::StoreBench {
+            archs,
+            nt,
+            json,
+            threads,
+            reference,
+        } => {
+            let out = match threads {
+                Some(n) => rayon::ThreadPoolBuilder::new()
+                    .num_threads(n)
+                    .build()
+                    .expect("thread pool builds")
+                    .install(|| cli::run_storebench(&archs, nt, json, reference)),
+                None => cli::run_storebench(&archs, nt, json, reference),
             };
-            println!("cores  traffic/stored");
-            for n in 1..=m.cores {
-                if n == 1 || n % 4 == 0 || n == m.cores {
-                    let p = memhier::store_traffic_ratio(&m, n, kind);
-                    println!("{n:>5}  {:.3}", p.ratio);
-                }
-            }
+            print!("{out}");
         }
         Command::Analyze {
             path,

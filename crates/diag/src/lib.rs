@@ -238,6 +238,14 @@ pub const RULES: &[Rule] = &[
         summary: "a JSON machine file failed to load",
     },
     Rule {
+        code: "M007",
+        name: "cache-geometry",
+        default_severity: Severity::Warning,
+        summary: "a declared cache size is not representable by the hierarchy \
+                  simulator's power-of-two set geometry, so the simulated capacity \
+                  silently differs from the declared one",
+    },
+    Rule {
         code: "D001",
         name: "predictor-divergence",
         default_severity: Severity::Warning,
@@ -438,7 +446,7 @@ mod tests {
         // The published catalog: these codes must never change meaning.
         for code in [
             "K001", "K002", "K003", "K004", "K005", "K006", "M001", "M002", "M003", "M004", "M005",
-            "M006", "D001", "D002",
+            "M006", "M007", "D001", "D002",
         ] {
             assert!(
                 rule(code).is_some(),

@@ -1,12 +1,13 @@
-//! Machine-model lints (`M001`–`M006`): structural validation of
+//! Machine-model lints (`M001`–`M007`): structural validation of
 //! [`uarch::Machine`] models and imported JSON machine files, including
-//! cross-checks against the paper's Table II.
+//! cross-checks against the paper's Table II and the hierarchy
+//! simulator's realized cache geometry.
 
 use crate::{Diagnostic, Severity};
 use uarch::ports::PortCap;
 use uarch::{Arch, Machine, PortSet};
 
-/// Run every machine lint (`M001`–`M005`) over a model.
+/// Run every machine lint (`M001`–`M005`, `M007`) over a model.
 pub fn lint_machine(machine: &Machine) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     orphan_ports(machine, &mut diags);
@@ -14,6 +15,7 @@ pub fn lint_machine(machine: &Machine) -> Vec<Diagnostic> {
     frontend_sanity(machine, &mut diags);
     table2_crosscheck(machine, &mut diags);
     memory_pipes(machine, &mut diags);
+    cache_geometry(machine, &mut diags);
     diags
 }
 
@@ -349,6 +351,84 @@ fn memory_pipes(machine: &Machine, diags: &mut Vec<Diagnostic>) {
     }
 }
 
+/// `M007` — cache geometry the hierarchy simulator cannot represent.
+/// [`memhier::Cache`] rounds the set count down to a power of two, so a
+/// declared size that is not `sets × assoc × line` with power-of-two sets
+/// is silently simulated at a smaller capacity. A broken line size or
+/// zero associativity would make the cache unconstructible (`Error`); a
+/// distorted private cache is a `Warning`; a distorted shared cache is
+/// `Info`, because the simulator slices it per core and real L3s (2.02
+/// MiB slices on SPR, 12 MiB CCD pools on Genoa) are routinely
+/// non-power-of-two by design.
+fn cache_geometry(machine: &Machine, diags: &mut Vec<Diagnostic>) {
+    for (idx, c) in machine.caches.iter().enumerate() {
+        let label = format!(
+            "cache {} ({} KiB, {}-way, {} B lines{})",
+            c.name,
+            c.size_kib,
+            c.assoc,
+            c.line_bytes,
+            if c.shared { ", shared" } else { "" }
+        );
+        let span = move |d: Diagnostic| d.with_span(idx + 1, label.clone());
+        if c.line_bytes == 0 || !c.line_bytes.is_power_of_two() {
+            diags.push(span(
+                Diagnostic::new(
+                    "M007",
+                    format!(
+                        "line size {} B is not a power of two; the hierarchy \
+                         simulator cannot index this cache",
+                        c.line_bytes
+                    ),
+                )
+                .with_severity(Severity::Error),
+            ));
+            continue;
+        }
+        if c.assoc == 0 {
+            diags.push(span(
+                Diagnostic::new("M007", "associativity is zero".to_string())
+                    .with_severity(Severity::Error),
+            ));
+            continue;
+        }
+        // The simulator models what a core sees: private caches whole,
+        // shared caches as a per-core slice.
+        let declared = if c.shared {
+            c.size_kib * 1024 / machine.cores.max(1) as u64
+        } else {
+            c.size_kib * 1024
+        };
+        let g = memhier::realized_geometry(declared, c.assoc as usize, c.line_bytes as u64);
+        if g.capacity_bytes() != declared {
+            let severity = if c.shared {
+                Severity::Info
+            } else {
+                Severity::Warning
+            };
+            diags.push(span(
+                Diagnostic::new(
+                    "M007",
+                    format!(
+                        "declared {} capacity {declared} B is not representable: the \
+                         simulator realizes {} sets x {}-way x {} B = {} B",
+                        if c.shared { "per-core slice" } else { "cache" },
+                        g.sets,
+                        g.assoc,
+                        g.line_bytes,
+                        g.capacity_bytes()
+                    ),
+                )
+                .with_severity(severity)
+                .with_help(
+                    "size the cache as sets x assoc x line with power-of-two sets, \
+                     or accept the realized capacity",
+                ),
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -477,6 +557,58 @@ mod tests {
             diags
                 .iter()
                 .any(|d| d.code == "M005" && d.message.contains("subset")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn m007_shared_l3_slices_are_info_only() {
+        // Every shipped L3 slice is non-representable (2.02 MiB on SPR,
+        // 1.5 MiB on GCS, 12 MiB CCD pools on Genoa) — the finding must be
+        // advisory so the shipped models stay clean under --strict.
+        for m in uarch::all_machines() {
+            let diags = lint_machine(&m);
+            let m007: Vec<_> = diags.iter().filter(|d| d.code == "M007").collect();
+            assert!(!m007.is_empty(), "{}: expected L3 finding", m.arch.label());
+            for d in &m007 {
+                assert_eq!(d.severity, Severity::Info, "{d}");
+                assert!(d.message.contains("per-core slice"), "{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn m007_distorted_private_cache_is_a_warning() {
+        let mut m = Machine::golden_cove();
+        let idx = m.caches.iter().position(|c| !c.shared).unwrap();
+        m.caches[idx].size_kib = 48; // 48 KiB 12-way: 64 sets realize 48 KiB...
+        m.caches[idx].assoc = 8; // ...but 8-way needs 96 sets -> rounds to 64
+        let diags = lint_machine(&m);
+        let d = diags
+            .iter()
+            .find(|d| d.code == "M007" && d.severity == Severity::Warning)
+            .expect("private-cache M007 warning");
+        assert!(d.message.contains("not representable"), "{d}");
+    }
+
+    #[test]
+    fn m007_broken_line_size_is_an_error() {
+        let mut m = Machine::zen4();
+        m.caches[0].line_bytes = 48;
+        let diags = lint_machine(&m);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "M007" && d.severity == Severity::Error),
+            "{diags:?}"
+        );
+        let mut m = Machine::zen4();
+        m.caches[0].assoc = 0;
+        let diags = lint_machine(&m);
+        assert!(
+            diags.iter().any(|d| d.code == "M007"
+                && d.severity == Severity::Error
+                && d.message.contains("associativity")),
             "{diags:?}"
         );
     }

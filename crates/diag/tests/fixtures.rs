@@ -143,6 +143,31 @@ const FIXTURES: &[Fixture] = &[
         negative: || lint_machine_file(&Machine::zen4().to_json()).1,
     },
     Fixture {
+        code: "M007",
+        positive: || {
+            let mut m = Machine::golden_cove();
+            // 48 KiB at 8-way/64 B needs 96 sets; the simulator rounds down
+            // to 64 and silently realizes 32 KiB.
+            let idx = m.caches.iter().position(|c| !c.shared).expect("private");
+            m.caches[idx].assoc = 8;
+            lint_machine(&m)
+        },
+        negative: || {
+            // Shipped models carry advisory M007 findings on their L3
+            // slices, so the clean twin resizes the shared level to an
+            // exactly representable per-core slice (2 MiB, 16-way).
+            let mut m = Machine::golden_cove();
+            let cores = m.cores as u64;
+            for c in &mut m.caches {
+                if c.shared {
+                    c.assoc = 16;
+                    c.size_kib = cores * 2048;
+                }
+            }
+            lint_machine(&m)
+        },
+    },
+    Fixture {
         code: "D001",
         positive: || divergence_diags(10.0, 4.0, None),
         negative: || divergence_diags(4.0, 4.5, None),

@@ -45,12 +45,55 @@ impl CacheStats {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
+pub(crate) struct Line {
+    pub(crate) tag: u64,
+    pub(crate) valid: bool,
+    pub(crate) dirty: bool,
     /// LRU stamp; larger = more recent.
-    lru: u64,
+    pub(crate) lru: u64,
+}
+
+/// The geometry a cache construction actually realizes: the number of
+/// sets is rounded *down* to a power of two, which can silently shrink
+/// the effective capacity below the declared size (by up to ~2×). Expose
+/// it so callers — and the `M007` lint — can see the distortion instead
+/// of discovering it in skewed miss rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    pub sets: u64,
+    pub assoc: usize,
+    pub line_bytes: u64,
+}
+
+impl Geometry {
+    /// Effective capacity after set rounding.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.sets * self.assoc as u64 * self.line_bytes
+    }
+
+    /// Effective capacity in cache lines.
+    pub fn capacity_lines(&self) -> u64 {
+        self.sets * self.assoc as u64
+    }
+}
+
+/// The geometry [`Cache::new`] would realize for a declared size. The
+/// declared size is representable exactly iff
+/// `capacity_bytes() == size_bytes`.
+pub fn realized_geometry(size_bytes: u64, assoc: usize, line_bytes: u64) -> Geometry {
+    let num_lines = (size_bytes / line_bytes).max(assoc as u64);
+    let raw_sets = (num_lines / assoc as u64).max(1);
+    // Round *down* to a power of two so the set-index mask works.
+    let sets = if raw_sets.is_power_of_two() {
+        raw_sets
+    } else {
+        raw_sets.next_power_of_two() / 2
+    };
+    Geometry {
+        sets,
+        assoc,
+        line_bytes,
+    }
 }
 
 /// One set-associative cache level.
@@ -69,20 +112,14 @@ pub struct Cache {
 
 impl Cache {
     /// Create a cache of `size_bytes` with `assoc` ways and `line_bytes`
-    /// lines. `size_bytes` is rounded down to a whole number of sets.
+    /// lines. `size_bytes` is rounded down to a whole number of sets —
+    /// see [`realized_geometry`] for the effective shape.
     pub fn new(size_bytes: u64, assoc: usize, line_bytes: u64) -> Cache {
         assert!(
             line_bytes.is_power_of_two(),
             "line size must be a power of two"
         );
-        let num_lines = (size_bytes / line_bytes).max(assoc as u64);
-        let raw_sets = (num_lines / assoc as u64).max(1);
-        // Round *down* to a power of two so the set-index mask works.
-        let num_sets = if raw_sets.is_power_of_two() {
-            raw_sets
-        } else {
-            raw_sets.next_power_of_two() / 2
-        };
+        let num_sets = realized_geometry(size_bytes, assoc, line_bytes).sets;
         Cache {
             sets: vec![
                 vec![
@@ -270,6 +307,171 @@ impl Cache {
     pub fn num_sets(&self) -> usize {
         self.sets.len()
     }
+
+    /// Number of sets (u64, for address arithmetic).
+    pub fn sets(&self) -> u64 {
+        self.sets.len() as u64
+    }
+
+    /// Realized geometry of this cache.
+    pub fn geometry(&self) -> Geometry {
+        Geometry {
+            sets: self.sets(),
+            assoc: self.assoc(),
+            line_bytes: self.line_bytes,
+        }
+    }
+
+    /// Effective capacity in bytes after set rounding.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.geometry().capacity_bytes()
+    }
+
+    /// Effective capacity in cache lines.
+    pub fn capacity_lines(&self) -> u64 {
+        self.geometry().capacity_lines()
+    }
+
+    /// Return the cache to its just-constructed state (cold lines, zeroed
+    /// counters) without reallocating the set arrays.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            for line in set.iter_mut() {
+                *line = Line {
+                    tag: 0,
+                    valid: false,
+                    dirty: false,
+                    lru: 0,
+                };
+            }
+        }
+        self.clock = 0;
+        self.stats = CacheStats::default();
+    }
+
+    /// Copy the full line state into `buf` (reused across snapshots).
+    pub(crate) fn snapshot_into(&self, buf: &mut Vec<Line>) {
+        buf.clear();
+        for set in &self.sets {
+            buf.extend_from_slice(set);
+        }
+    }
+
+    /// Does the current state equal `snap` advanced by `shift_lines` line
+    /// addresses? `shift_lines` must be a multiple of the set count, so the
+    /// shift moves every line by a whole tag increment within its own set.
+    ///
+    /// Equality is up to everything future accesses cannot observe:
+    /// absolute LRU stamps (replacement only compares stamps *within* a
+    /// set) and the way a line happens to occupy (lookups scan all ways;
+    /// the victim is picked by stamp, not position — and way assignment
+    /// genuinely rotates when fills-per-period isn't a multiple of the
+    /// associativity). So each set is compared as its sequence of
+    /// `(valid, dirty, tag)` ordered by the victim-selection key.
+    pub(crate) fn matches_shifted(
+        &self,
+        snap: &[Line],
+        shift_lines: u64,
+        rank_cur: &mut Vec<usize>,
+        rank_old: &mut Vec<usize>,
+    ) -> bool {
+        let assoc = self.assoc();
+        if snap.len() != self.sets.len() * assoc {
+            return false;
+        }
+        debug_assert!(shift_lines.is_multiple_of(self.sets()));
+        let tag_shift = shift_lines / self.sets();
+        for (si, set) in self.sets.iter().enumerate() {
+            let old = &snap[si * assoc..(si + 1) * assoc];
+            lru_rank(set, rank_cur);
+            lru_rank(old, rank_old);
+            for (&wc, &wo) in rank_cur.iter().zip(rank_old.iter()) {
+                let (cur, o) = (&set[wc], &old[wo]);
+                if cur.valid != o.valid || cur.dirty != o.dirty {
+                    return false;
+                }
+                if cur.valid && cur.tag != o.tag + tag_shift {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Present a whole constant-stride stream to this level alone,
+    /// taking the exact steady-state fast path when the stride is a
+    /// multiple of the line size (see [`crate::stream`]). `stats` end up
+    /// bit-identical to calling [`Self::access`] per element; downstream
+    /// requests are discarded either way.
+    pub fn access_stream(
+        &mut self,
+        p: crate::stream::StreamPattern,
+        cfg: crate::stream::StreamConfig,
+    ) -> crate::stream::StreamOutcome {
+        let mut scratch = crate::stream::MemScratch::default();
+        crate::stream::run_stream(self, p, cfg, &mut scratch)
+    }
+
+    /// Diagnostic twin of `matches_shifted`: first mismatch, described.
+    #[cfg(test)]
+    pub(crate) fn debug_mismatch(&self, snap: &[Line], shift_lines: u64) -> Option<String> {
+        let assoc = self.assoc();
+        let tag_shift = shift_lines / self.sets();
+        let mut ra = Vec::new();
+        let mut rb = Vec::new();
+        for (si, set) in self.sets.iter().enumerate() {
+            let old = &snap[si * assoc..(si + 1) * assoc];
+            lru_rank(set, &mut ra);
+            lru_rank(old, &mut rb);
+            for (k, (&wc, &wo)) in ra.iter().zip(rb.iter()).enumerate() {
+                let (cur, o) = (&set[wc], &old[wo]);
+                if cur.valid != o.valid {
+                    return Some(format!(
+                        "set {si} rank {k}: valid {} vs {}",
+                        cur.valid, o.valid
+                    ));
+                }
+                if cur.dirty != o.dirty {
+                    return Some(format!(
+                        "set {si} rank {k}: dirty {} vs {}",
+                        cur.dirty, o.dirty
+                    ));
+                }
+                if cur.valid && cur.tag != o.tag + tag_shift {
+                    return Some(format!(
+                        "set {si} rank {k}: tag {} vs {}+{tag_shift}",
+                        cur.tag, o.tag
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    /// Advance every valid tag by `shift_lines / sets` tag units: the
+    /// teleport that makes the post-extrapolation state identical to what
+    /// per-access simulation would have produced (LRU stamps keep their
+    /// order, which is all replacement and `flush` ever observe).
+    pub(crate) fn shift_tags(&mut self, shift_lines: u64) {
+        debug_assert!(shift_lines.is_multiple_of(self.sets()));
+        let tag_shift = shift_lines / self.sets();
+        for set in &mut self.sets {
+            for line in set.iter_mut() {
+                if line.valid {
+                    line.tag += tag_shift;
+                }
+            }
+        }
+    }
+}
+
+/// Way indices of `lines` sorted by the victim-selection key
+/// (`if valid { lru } else { 0 }`); the sort is stable, so ties among
+/// invalid ways break by index exactly like the victim `min_by_key` scan.
+fn lru_rank(lines: &[Line], out: &mut Vec<usize>) {
+    out.clear();
+    out.extend(0..lines.len());
+    out.sort_by_key(|&w| if lines[w].valid { lines[w].lru } else { 0 });
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Per-core cache stack (L1 → L2 → L3 slice) with a memory-traffic ledger.
 
 use crate::cache::{Access, Cache};
+use crate::stream::{self, MemScratch, StreamConfig, StreamOutcome, StreamPattern};
 use uarch::Machine;
 
 /// Bytes exchanged with main memory.
@@ -72,6 +73,25 @@ impl Hierarchy {
         }
     }
 
+    /// Set line-claim at every level (both directions; used when a
+    /// hierarchy is pooled and reused across configurations).
+    pub fn set_line_claim(&mut self, on: bool) {
+        for l in &mut self.levels {
+            l.line_claim = on;
+        }
+    }
+
+    /// Return the hierarchy to its just-constructed state without
+    /// reallocating the per-set arrays — the scratch/arena half of the
+    /// streaming fast path: repeated `single_core_base` calls reuse one
+    /// hierarchy per (machine, sharers) instead of rebuilding ~10⁵ lines.
+    pub fn reset(&mut self) {
+        for l in &mut self.levels {
+            l.reset();
+        }
+        self.mem = Traffic::default();
+    }
+
     pub fn line_bytes(&self) -> u64 {
         self.line_bytes
     }
@@ -138,6 +158,48 @@ impl Hierarchy {
         }
         if filled_from_memory {
             self.mem.read_bytes += self.line_bytes;
+        }
+    }
+
+    /// Present a whole constant-stride stream, taking the exact
+    /// steady-state fast path when the pattern allows it (see
+    /// [`crate::stream`]). Counters and final cache state are
+    /// bit-identical to issuing each access through [`Self::access`];
+    /// pass `StreamConfig { reference: true }` to force that oracle loop.
+    pub fn access_stream(&mut self, p: StreamPattern, cfg: StreamConfig) -> StreamOutcome {
+        let mut scratch = MemScratch::default();
+        self.access_stream_with_scratch(p, cfg, &mut scratch)
+    }
+
+    /// [`Self::access_stream`] with caller-owned snapshot buffers, so
+    /// sweeps that issue many streams allocate nothing per stream.
+    pub fn access_stream_with_scratch(
+        &mut self,
+        p: StreamPattern,
+        cfg: StreamConfig,
+        scratch: &mut MemScratch,
+    ) -> StreamOutcome {
+        stream::run_stream(self, p, cfg, scratch)
+    }
+
+    /// Non-temporal store stream of `lines` lines: closed form for the
+    /// ledger the per-line loop produces (a write per line plus a read
+    /// for every ⌈1/residual⌉-th line, counting line 0). Bit-identical
+    /// to calling [`Self::nt_store_line`] for `0..lines`; the oracle
+    /// loop is retained behind `cfg.reference`.
+    pub fn nt_store_stream(&mut self, lines: u64, residual_wa: f64, cfg: StreamConfig) {
+        if cfg.reference {
+            for i in 0..lines {
+                self.nt_store_line(i, residual_wa);
+            }
+            return;
+        }
+        self.mem.write_bytes += lines * self.line_bytes;
+        if residual_wa > 0.0 && lines > 0 {
+            let period = (1.0 / residual_wa).round() as u64;
+            if period > 0 {
+                self.mem.read_bytes += lines.div_ceil(period) * self.line_bytes;
+            }
         }
     }
 

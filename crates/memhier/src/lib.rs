@@ -14,6 +14,10 @@
 //!   stores* through write-combining buffers (x86 and Arm);
 //! * [`storebench`] — the store-only benchmark of Fig. 4: memory traffic /
 //!   stored volume vs. active cores, standard and NT variants;
+//! * [`stream`] — the exact streaming fast path: once a constant-stride
+//!   stream reaches its steady per-set cycle, stats advance in closed
+//!   form, bit-identical to the per-access path (kept as the oracle
+//!   behind [`stream::StreamConfig::reference`]);
 //! * [`bandwidth`] — the multi-core bandwidth-saturation model used for
 //!   the measured-bandwidth rows of Table I.
 
@@ -23,8 +27,10 @@ pub mod hierarchy;
 pub mod policy;
 pub mod prefetch;
 pub mod storebench;
+pub mod stream;
 
-pub use cache::{Access, Cache, CacheStats};
+pub use cache::{realized_geometry, Access, Cache, CacheStats, Geometry};
 pub use hierarchy::{Hierarchy, Traffic};
-pub use policy::{StoreKind, WaConfig, WaMode};
+pub use policy::{FixedPoint, StoreKind, WaConfig, WaMode};
 pub use storebench::{store_traffic_ratio, StorePoint};
+pub use stream::{MemScratch, StreamConfig, StreamOutcome, StreamPattern};

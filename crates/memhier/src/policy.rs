@@ -29,6 +29,30 @@ pub enum StoreKind {
     NonTemporal,
 }
 
+impl StoreKind {
+    /// Stable machine-readable label (used in JSON reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            StoreKind::Standard => "standard",
+            StoreKind::NonTemporal => "nt",
+        }
+    }
+}
+
+/// Converged state of the SpecI2M promotion ←→ utilization fixed point
+/// for one ccNUMA domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedPoint {
+    /// Promotion fraction at the fixed point.
+    pub fraction: f64,
+    /// Domain utilization at the fixed point (0..1 of sustained BW).
+    pub utilization: f64,
+    /// Iterations spent (1 when promotion is off or gated out).
+    pub iterations: u32,
+    /// Whether the 1e-9 convergence test passed within the cap.
+    pub converged: bool,
+}
+
 /// Per-machine memory-path parameters for the store benchmark and the
 /// bandwidth model.
 #[derive(Debug, Clone, Copy)]
@@ -115,6 +139,43 @@ impl WaConfig {
                 }
             }
             _ => 0.0,
+        }
+    }
+
+    /// Iterate the SpecI2M promotion fraction against the domain
+    /// utilization it induces for `in_domain` active cores, capped at 32
+    /// iterations. `promote` gates promotion (standard write-allocate
+    /// streams with a non-zero read base only). Under the current traffic
+    /// model the utilization does not feed back on the fraction, so this
+    /// converges in at most two iterations — the cap guards models where
+    /// it does.
+    pub fn speci2m_fixed_point(&self, in_domain: u32, promote: bool) -> FixedPoint {
+        let mut fraction = 0.0f64;
+        let mut utilization = 0.0f64;
+        let mut iterations = 0u32;
+        let mut converged = false;
+        for _ in 0..32 {
+            iterations += 1;
+            // Offered traffic if cores ran unthrottled.
+            let offered = in_domain as f64 * self.per_core_traffic_gbs;
+            utilization = (offered / self.domain_bw_gbs).min(1.0);
+            let new_fraction = if promote {
+                self.speci2m_fraction(utilization)
+            } else {
+                0.0
+            };
+            if (new_fraction - fraction).abs() < 1e-9 {
+                fraction = new_fraction;
+                converged = true;
+                break;
+            }
+            fraction = new_fraction;
+        }
+        FixedPoint {
+            fraction,
+            utilization,
+            iterations,
+            converged,
         }
     }
 

@@ -1,0 +1,336 @@
+//! Exact streaming fast path.
+//!
+//! The Fig. 4 and bandwidth sweeps push multi-megabyte strided streams
+//! through [`crate::Hierarchy`] one access at a time. For a constant
+//! stride the hierarchy is *translation invariant*: shifting every
+//! address by a multiple of `sets × line_bytes` of every level maps
+//! reachable states onto each other without changing any counter
+//! delta. So once the warmed-up state at access `i` equals the state at
+//! access `i − P` shifted by `P × stride` (where `P` makes `P × stride`
+//! a multiple of every level's set span), every subsequent period
+//! contributes *exactly* the same stat deltas — and we can add
+//! `whole_periods × delta` in closed form, simulate only the tail, and
+//! teleport the tags so the final state (including the dirty-line
+//! census that [`crate::Hierarchy::flush`] takes) behaves exactly like
+//! the per-access path's. "Equals" here is observational: absolute LRU
+//! stamps and which way a line occupies are invisible to every future
+//! access (replacement compares stamps within a set; lookups scan all
+//! ways), and way assignment genuinely rotates between periods, so the
+//! detector compares each set as its victim-key-ordered sequence of
+//! `(valid, dirty, tag)`. Every counter — `CacheStats`, `Traffic` — is
+//! bit-identical to the per-access path.
+//!
+//! The per-access path is retained behind [`StreamConfig::reference`]
+//! as the oracle; `tests/memhier_equivalence.rs` and `bench::membench`
+//! assert bit-equality on every run.
+
+use crate::cache::{Access, Cache, CacheStats, Line};
+use crate::hierarchy::{Hierarchy, Traffic};
+
+/// A constant-stride access stream: `count` accesses of `kind` at
+/// `start, start + stride, …`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamPattern {
+    pub start: u64,
+    pub stride: u64,
+    pub count: u64,
+    pub kind: Access,
+}
+
+impl StreamPattern {
+    /// Sequential full-line stores over `lines` lines of `line_bytes`
+    /// each — the pattern the write-allocate benchmarks issue.
+    pub fn store_lines(line_bytes: u64, lines: u64) -> StreamPattern {
+        StreamPattern {
+            start: 0,
+            stride: line_bytes,
+            count: lines,
+            kind: Access::StoreFullLine,
+        }
+    }
+
+    fn addr(&self, i: u64) -> u64 {
+        self.start + i * self.stride
+    }
+}
+
+/// Options for [`crate::Hierarchy::access_stream`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Force the per-access oracle path (no steady-state extrapolation).
+    pub reference: bool,
+}
+
+impl StreamConfig {
+    pub fn reference() -> StreamConfig {
+        StreamConfig { reference: true }
+    }
+}
+
+/// What the stream driver did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamOutcome {
+    /// The fast path was eligible for this pattern (stride a multiple of
+    /// every line size). `false` means the oracle loop ran.
+    pub fast_path: bool,
+    /// Accesses whose effect was applied in closed form instead of being
+    /// simulated (0 if the stream ended before steady state was seen).
+    pub extrapolated: u64,
+}
+
+/// Reusable snapshot buffers so repeated streams allocate nothing.
+#[derive(Debug, Default)]
+pub struct MemScratch {
+    lines: Vec<Vec<Line>>,
+    stats: Vec<CacheStats>,
+    mem: Traffic,
+    rank_cur: Vec<usize>,
+    rank_old: Vec<usize>,
+}
+
+/// The two shapes the driver runs against: a full hierarchy or a lone
+/// cache level. Only what the steady-state machinery needs.
+pub(crate) trait StreamSink {
+    fn access_one(&mut self, addr: u64, kind: Access);
+    fn num_levels(&self) -> usize;
+    fn level(&self, i: usize) -> &Cache;
+    fn level_mut(&mut self, i: usize) -> &mut Cache;
+    fn mem(&self) -> Traffic;
+    fn mem_add_scaled(&mut self, delta: Traffic, k: u64);
+}
+
+impl StreamSink for Hierarchy {
+    fn access_one(&mut self, addr: u64, kind: Access) {
+        self.access(addr, kind);
+    }
+    fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+    fn level(&self, i: usize) -> &Cache {
+        &self.levels[i]
+    }
+    fn level_mut(&mut self, i: usize) -> &mut Cache {
+        &mut self.levels[i]
+    }
+    fn mem(&self) -> Traffic {
+        self.mem
+    }
+    fn mem_add_scaled(&mut self, delta: Traffic, k: u64) {
+        self.mem.read_bytes += delta.read_bytes * k;
+        self.mem.write_bytes += delta.write_bytes * k;
+    }
+}
+
+impl StreamSink for Cache {
+    fn access_one(&mut self, addr: u64, kind: Access) {
+        self.access(addr, kind);
+    }
+    fn num_levels(&self) -> usize {
+        1
+    }
+    fn level(&self, _i: usize) -> &Cache {
+        self
+    }
+    fn level_mut(&mut self, _i: usize) -> &mut Cache {
+        self
+    }
+    fn mem(&self) -> Traffic {
+        Traffic::default()
+    }
+    fn mem_add_scaled(&mut self, _delta: Traffic, _k: u64) {}
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+fn sub_stats(a: CacheStats, b: CacheStats) -> CacheStats {
+    CacheStats {
+        loads: a.loads - b.loads,
+        stores: a.stores - b.stores,
+        load_misses: a.load_misses - b.load_misses,
+        store_misses: a.store_misses - b.store_misses,
+        claims: a.claims - b.claims,
+        writebacks: a.writebacks - b.writebacks,
+    }
+}
+
+fn add_stats_scaled(into: &mut CacheStats, d: CacheStats, k: u64) {
+    into.loads += d.loads * k;
+    into.stores += d.stores * k;
+    into.load_misses += d.load_misses * k;
+    into.store_misses += d.store_misses * k;
+    into.claims += d.claims * k;
+    into.writebacks += d.writebacks * k;
+}
+
+fn take_snapshot<S: StreamSink>(sink: &S, s: &mut MemScratch) {
+    let n = sink.num_levels();
+    s.lines.resize_with(n, Vec::new);
+    s.stats.clear();
+    for i in 0..n {
+        sink.level(i).snapshot_into(&mut s.lines[i]);
+        s.stats.push(sink.level(i).stats);
+    }
+    s.mem = sink.mem();
+}
+
+fn matches_snapshot<S: StreamSink>(sink: &S, s: &mut MemScratch, period_bytes: u64) -> bool {
+    for i in 0..sink.num_levels() {
+        let l = sink.level(i);
+        let shift_lines = period_bytes / l.line_bytes();
+        if !l.matches_shifted(&s.lines[i], shift_lines, &mut s.rank_cur, &mut s.rank_old) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod debug_tests {
+    use super::*;
+
+    #[test]
+    #[ignore]
+    fn diagnose_spr_steady_state() {
+        let m = uarch::Machine::golden_cove();
+        let mut h = Hierarchy::from_machine(&m, m.cores);
+        let line = h.line_bytes();
+        let p = StreamPattern::store_lines(line, 300_000);
+        let mut s = MemScratch::default();
+        let period: u64 = (0..h.num_levels())
+            .map(|i| {
+                let l = h.level(i);
+                let span = l.sets() * l.line_bytes();
+                span / gcd(p.stride, span)
+            })
+            .max()
+            .unwrap();
+        let capacity: u64 = (0..h.num_levels())
+            .map(|i| h.level(i).capacity_lines())
+            .sum();
+        eprintln!("period={period} capacity={capacity}");
+        let period_bytes = period * p.stride;
+        let mut have = false;
+        for i in 0..p.count {
+            h.access(p.addr(i), p.kind);
+            let i = i + 1;
+            if !i.is_multiple_of(period) || i < capacity + period {
+                continue;
+            }
+            if have {
+                let mut all_ok = true;
+                for l in 0..h.num_levels() {
+                    let lv = h.level(l);
+                    let shift_lines = period_bytes / lv.line_bytes();
+                    let detail = lv.debug_mismatch(&s.lines[l], shift_lines);
+                    if let Some(d) = detail {
+                        all_ok = false;
+                        eprintln!("i={i}: level {l}: {d}");
+                    }
+                }
+                if all_ok {
+                    eprintln!("i={i}: MATCH");
+                    return;
+                }
+                if i > capacity + 6 * period {
+                    eprintln!("giving up at i={i}");
+                    return;
+                }
+            }
+            take_snapshot(&h, &mut s);
+            have = true;
+        }
+    }
+}
+
+/// Run `p` against `sink`, extrapolating once a steady period is seen.
+/// Bit-identical to issuing every access through `access_one`.
+pub(crate) fn run_stream<S: StreamSink>(
+    sink: &mut S,
+    p: StreamPattern,
+    cfg: StreamConfig,
+    s: &mut MemScratch,
+) -> StreamOutcome {
+    let eligible = !cfg.reference
+        && p.stride > 0
+        && sink.num_levels() > 0
+        && (0..sink.num_levels()).all(|i| p.stride.is_multiple_of(sink.level(i).line_bytes()));
+    if !eligible {
+        for i in 0..p.count {
+            sink.access_one(p.addr(i), p.kind);
+        }
+        return StreamOutcome {
+            fast_path: false,
+            extrapolated: 0,
+        };
+    }
+    // Smallest P (in accesses) such that P × stride is a multiple of
+    // every level's set span — set spans are powers of two, so the lcm
+    // of the per-level periods is just their max.
+    let period = (0..sink.num_levels())
+        .map(|i| {
+            let l = sink.level(i);
+            let span = l.sets() * l.line_bytes();
+            span / gcd(p.stride, span)
+        })
+        .max()
+        .expect("at least one level");
+    // Don't bother comparing before every line can have been touched
+    // once: each access claims at most one new line per level, so the
+    // state cannot be periodic before `capacity` accesses.
+    let capacity: u64 = (0..sink.num_levels())
+        .map(|i| sink.level(i).capacity_lines())
+        .sum();
+    let warm = capacity + period;
+    let period_bytes = period * p.stride;
+    let mut have_snapshot_at = u64::MAX;
+    let mut i = 0u64;
+    while i < p.count {
+        sink.access_one(p.addr(i), p.kind);
+        i += 1;
+        if !i.is_multiple_of(period) || i < warm || p.count - i < 2 * period {
+            continue;
+        }
+        if have_snapshot_at == i - period && matches_snapshot(sink, s, period_bytes) {
+            let remaining = p.count - i;
+            let whole = remaining / period;
+            let tail = remaining % period;
+            // Per-period deltas, captured before the tail runs.
+            let dstats: Vec<CacheStats> = (0..sink.num_levels())
+                .map(|l| sub_stats(sink.level(l).stats, s.stats[l]))
+                .collect();
+            let dmem = Traffic {
+                read_bytes: sink.mem().read_bytes - s.mem.read_bytes,
+                write_bytes: sink.mem().write_bytes - s.mem.write_bytes,
+            };
+            // The tail is simulated with its *true* addresses from the
+            // current state; the skipped whole periods commute with it
+            // because per-access deltas are now P-periodic.
+            for j in 0..tail {
+                sink.access_one(p.addr(i + j), p.kind);
+            }
+            for (l, d) in dstats.iter().enumerate() {
+                add_stats_scaled(&mut sink.level_mut(l).stats, *d, whole);
+            }
+            sink.mem_add_scaled(dmem, whole);
+            for l in 0..sink.num_levels() {
+                let shift_lines = whole * (period_bytes / sink.level(l).line_bytes());
+                sink.level_mut(l).shift_tags(shift_lines);
+            }
+            return StreamOutcome {
+                fast_path: true,
+                extrapolated: whole * period,
+            };
+        }
+        take_snapshot(sink, s);
+        have_snapshot_at = i;
+    }
+    StreamOutcome {
+        fast_path: true,
+        extrapolated: 0,
+    }
+}

@@ -11,6 +11,8 @@
 
 use incore::Analysis;
 use kernels::volume::Volume;
+use rayon::prelude::*;
+use serde::Serialize;
 use uarch::{Arch, Machine};
 
 /// Per-level inter-cache bandwidths in bytes per cycle.
@@ -146,6 +148,49 @@ pub fn ecm_for_kernel(machine: &Machine, variant: &kernels::Variant, wa_factor: 
     ecm(machine, &a, &vol, scalar_iters, wa_factor)
 }
 
+/// One row of the ECM summary table: STREAM triad with each machine's
+/// default compiler and its paper write-allocate factor (1.0 on Neoverse
+/// V2 — automatic claim — else 2.0).
+#[derive(Debug, Clone, Serialize)]
+pub struct EcmRow {
+    pub chip: &'static str,
+    pub t_core: f64,
+    pub t_l1_l2: f64,
+    pub t_l2_l3: f64,
+    pub t_l3_mem: f64,
+    pub t_mem: f64,
+    pub n_sat: u32,
+}
+
+/// The ECM sweep behind `repro ecm`, fanned out on the rayon pool. The
+/// map is order-preserving, so rows — and any JSON rendered from them —
+/// are byte-identical at every thread count.
+pub fn triad_ecm_rows(machines: &[Machine]) -> Vec<EcmRow> {
+    machines
+        .par_iter()
+        .map(|m| {
+            let compiler = kernels::Compiler::for_arch(m.arch)[0];
+            let v = kernels::Variant {
+                kernel: kernels::StreamKernel::StreamTriad,
+                compiler,
+                opt: kernels::OptLevel::O3,
+                arch: m.arch,
+            };
+            let wa = if m.arch == Arch::NeoverseV2 { 1.0 } else { 2.0 };
+            let e = ecm_for_kernel(m, &v, wa);
+            EcmRow {
+                chip: m.arch.chip(),
+                t_core: e.t_core,
+                t_l1_l2: e.t_l1_l2,
+                t_l2_l3: e.t_l2_l3,
+                t_l3_mem: e.t_l3_mem,
+                t_mem: e.t_mem,
+                n_sat: e.saturation_cores(),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +241,24 @@ mod tests {
         let evaded = ecm_for_kernel(&m, &v, 1.0);
         assert!(evaded.t_mem < full.t_mem);
         assert!(evaded.t_l3_mem < full.t_l3_mem);
+    }
+
+    #[test]
+    fn parallel_rows_match_serial_bitwise() {
+        let machines = uarch::all_machines();
+        let par = triad_ecm_rows(&machines);
+        let serial: Vec<EcmRow> = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("pool builds")
+            .install(|| triad_ecm_rows(&machines));
+        assert_eq!(par.len(), serial.len());
+        for (p, s) in par.iter().zip(&serial) {
+            assert_eq!(p.chip, s.chip);
+            assert_eq!(p.t_mem.to_bits(), s.t_mem.to_bits());
+            assert_eq!(p.t_core.to_bits(), s.t_core.to_bits());
+            assert_eq!(p.n_sat, s.n_sat);
+        }
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! Equivalence regression for the memory-hierarchy streaming fast path:
+//! on store and load streams over every machine model — and on randomized
+//! strided patterns over synthetic hierarchies — `access_stream` with
+//! `StreamConfig::default()` (steady-state extrapolation) must produce
+//! *bit-identical* per-level [`memhier::CacheStats`] and memory
+//! [`memhier::Traffic`] to `StreamConfig::reference()` (the per-access
+//! oracle). This is the contract that keeps `repro fig4`, `repro table1`,
+//! and `incore-cli storebench` byte-identical across the fast-path
+//! rewrite.
+
+use memhier::{Access, Hierarchy, StreamConfig, StreamPattern, Traffic};
+use proptest::prelude::*;
+
+/// Every observable of a hierarchy after a stream: per-level counters plus
+/// the memory ledger. All integers, so equality is exact.
+fn observables(h: &Hierarchy) -> (Vec<memhier::CacheStats>, Traffic) {
+    (h.levels.iter().map(|l| l.stats).collect(), h.mem)
+}
+
+/// Run `p` through `h` twice — fast path, then reference — and demand
+/// bit-identical observables, both right after the stream and again after
+/// a full flush (which exercises the teleported tag state).
+fn assert_stream_equivalent(h: &mut Hierarchy, p: StreamPattern, label: &str) {
+    let outcome = h.access_stream(p, StreamConfig::default());
+    let streamed = observables(h);
+    h.flush();
+    let flushed = observables(h);
+
+    h.reset();
+    let ref_outcome = h.access_stream(p, StreamConfig::reference());
+    assert!(
+        !ref_outcome.fast_path,
+        "{label}: reference took the fast path"
+    );
+    let ref_streamed = observables(h);
+    h.flush();
+    let ref_flushed = observables(h);
+    h.reset();
+
+    assert_eq!(
+        streamed, ref_streamed,
+        "{label}: post-stream state diverged"
+    );
+    assert_eq!(flushed, ref_flushed, "{label}: post-flush state diverged");
+    // Long sequential streams must actually hit the closed form — a silent
+    // fallback would make this test vacuous.
+    if p.stride > 0 && p.count > 0 && outcome.extrapolated == 0 {
+        panic!(
+            "{label}: steady state never detected (fast_path={})",
+            outcome.fast_path
+        );
+    }
+}
+
+/// A stream long enough to reach steady state but short enough for debug
+/// builds: ~2.5× the hierarchy's total capacity in lines, plus a ragged
+/// tail so the extrapolation's remainder path is exercised.
+fn stream_lines(h: &Hierarchy) -> u64 {
+    let cap: u64 = h.levels.iter().map(|l| l.capacity_lines()).sum();
+    cap * 5 / 2 + 137
+}
+
+#[test]
+fn store_streams_agree_on_every_machine() {
+    for m in uarch::all_machines() {
+        for claim in [false, true] {
+            let mut h = Hierarchy::from_machine(&m, m.cores);
+            h.set_line_claim(claim);
+            let line = h.line_bytes();
+            let lines = stream_lines(&h);
+            assert_stream_equivalent(
+                &mut h,
+                StreamPattern::store_lines(line, lines),
+                &format!("{} stores (claim={claim})", m.arch.label()),
+            );
+        }
+    }
+}
+
+#[test]
+fn load_streams_agree_on_every_machine() {
+    for m in uarch::all_machines() {
+        let mut h = Hierarchy::from_machine(&m, m.cores);
+        let line = h.line_bytes();
+        let lines = stream_lines(&h);
+        assert_stream_equivalent(
+            &mut h,
+            StreamPattern {
+                start: 0,
+                stride: line,
+                count: lines,
+                kind: Access::Load,
+            },
+            &format!("{} loads", m.arch.label()),
+        );
+    }
+}
+
+#[test]
+fn nt_store_streams_agree_on_every_machine() {
+    for m in uarch::all_machines() {
+        for residual in [0.0, 0.05, 0.37, 1.0] {
+            let mut h = Hierarchy::from_machine(&m, m.cores);
+            let lines = stream_lines(&h);
+            h.nt_store_stream(lines, residual, StreamConfig::default());
+            let fast = h.mem;
+            h.reset();
+            h.nt_store_stream(lines, residual, StreamConfig::reference());
+            assert_eq!(
+                fast,
+                h.mem,
+                "{} NT stores (residual={residual})",
+                m.arch.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn strided_partial_stores_agree() {
+    // A 2-line stride with partial stores: every access misses a different
+    // set phase than the sequential case, and partial stores fill (RFO)
+    // rather than claim.
+    let mut h = Hierarchy::synthetic(4096, 32768, 262144, 64);
+    let lines = stream_lines(&h);
+    assert_stream_equivalent(
+        &mut h,
+        StreamPattern {
+            start: 192,
+            stride: 128,
+            count: lines,
+            kind: Access::StorePartial,
+        },
+        "synthetic strided partial stores",
+    );
+}
+
+#[test]
+fn sub_line_strides_fall_back_to_the_reference_loop() {
+    // Strides that are not line multiples are ineligible for the closed
+    // form; the driver must quietly run the per-access loop and still agree.
+    let mut h = Hierarchy::synthetic(4096, 32768, 262144, 64);
+    let p = StreamPattern {
+        start: 0,
+        stride: 24,
+        count: 4096,
+        kind: Access::Load,
+    };
+    let outcome = h.access_stream(p, StreamConfig::default());
+    assert!(!outcome.fast_path);
+    let fast = observables(&h);
+    h.reset();
+    h.access_stream(p, StreamConfig::reference());
+    assert_eq!(fast, observables(&h));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized strided patterns over small synthetic hierarchies:
+    /// stride varies over line multiples (including non-power-of-two
+    /// multiples, which leave some sets untouched), the start is an
+    /// arbitrary line phase, and all three access kinds are covered.
+    #[test]
+    fn random_strided_streams_agree(
+        stride_lines in 1u64..7,
+        start_lines in 0u64..64,
+        kind_sel in 0u32..3,
+        claim_sel in 0u32..2,
+        extra in 0u64..500,
+    ) {
+        let claim = claim_sel == 1;
+        let mut h = Hierarchy::synthetic(2048, 16384, 65536, 64);
+        h.set_line_claim(claim);
+        let kind = match kind_sel {
+            0 => Access::Load,
+            1 => Access::StoreFullLine,
+            _ => Access::StorePartial,
+        };
+        let cap: u64 = h.levels.iter().map(|l| l.capacity_lines()).sum();
+        // Strided streams touch 1/stride of the sets, so scale the length
+        // by the stride to pass the warm threshold, plus a ragged tail.
+        let count = (cap * 3) * stride_lines + extra;
+        let p = StreamPattern {
+            start: start_lines * 64,
+            stride: stride_lines * 64,
+            count,
+            kind,
+        };
+        let fast_outcome = h.access_stream(p, StreamConfig::default());
+        let fast = observables(&h);
+        h.flush();
+        let fast_flushed = observables(&h);
+        h.reset();
+        h.access_stream(p, StreamConfig::reference());
+        let reference = observables(&h);
+        h.flush();
+        let ref_flushed = observables(&h);
+        prop_assert_eq!(fast, reference, "stride={} start={} {:?}", stride_lines, start_lines, kind);
+        prop_assert_eq!(fast_flushed, ref_flushed, "flush: stride={} {:?}", stride_lines, kind);
+        prop_assert!(fast_outcome.extrapolated > 0,
+            "no extrapolation at stride={} count={}", stride_lines, count);
+    }
+}
