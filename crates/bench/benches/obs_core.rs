@@ -1,0 +1,74 @@
+//! Observability-overhead benchmark: Criterion timings for a
+//! representative kernel simulated with the `obs` recorder disabled and
+//! enabled, then a full-corpus validation comparison written to
+//! `BENCH_obs.json` at the repository root (see `bench::obsbench`).
+//!
+//! `BENCH_OBS_LIMIT=<n>` caps the corpus at n variants per machine — CI
+//! uses this for a quick smoke run; local `cargo bench --bench obs_core`
+//! measures the whole corpus.
+
+use criterion::{criterion_group, Criterion};
+
+fn recorder_overhead(c: &mut Criterion) {
+    let m = uarch::Machine::golden_cove();
+    let v = kernels::Variant {
+        kernel: kernels::StreamKernel::StreamTriad,
+        compiler: kernels::Compiler::Icx,
+        opt: kernels::OptLevel::O3,
+        arch: m.arch,
+    };
+    let k = kernels::generate_kernel(&v, &m);
+    let mut g = c.benchmark_group("obs_core/simulate");
+    g.sample_size(10);
+    let mut scratch = exec::SimScratch::default();
+    obs::disable();
+    g.bench_function("recorder_disabled", |b| {
+        b.iter(|| {
+            exec::simulate_with_scratch(&m, &k, exec::SimConfig::default(), &mut scratch)
+                .cycles_per_iter
+        })
+    });
+    obs::enable();
+    g.bench_function("recorder_enabled", |b| {
+        b.iter(|| {
+            exec::simulate_with_scratch(&m, &k, exec::SimConfig::default(), &mut scratch)
+                .cycles_per_iter
+        })
+    });
+    let _ = obs::take();
+    obs::disable();
+    g.finish();
+}
+
+criterion_group!(benches, recorder_overhead);
+
+fn main() {
+    benches();
+    let limit = std::env::var("BENCH_OBS_LIMIT")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok());
+    let report = bench::obsbench::run(limit);
+    eprintln!(
+        "[obs_core] {} blocks: disabled {:.1} ms vs enabled {:.1} ms ({:+.1}% overhead), \
+         {} counters / {} spans recorded, disabled-identical: {}, enabled-identical: {}",
+        report.blocks,
+        report.disabled_ms,
+        report.enabled_ms,
+        report.overhead_pct,
+        report.profile_counters,
+        report.profile_spans,
+        report.disabled_runs_identical,
+        report.enabled_output_identical,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    std::fs::write(path, report.to_json()).expect("write BENCH_obs.json");
+    eprintln!("[obs_core] wrote {path}");
+    assert!(
+        report.disabled_runs_identical,
+        "validation output drifted between recorder-disabled runs"
+    );
+    assert!(
+        report.enabled_output_identical,
+        "enabling the obs recorder changed the validation output"
+    );
+}

@@ -6,10 +6,12 @@
 pub mod fig3;
 pub mod ibench;
 pub mod membench;
+pub mod obsbench;
 pub mod simbench;
 pub mod tables;
 
 pub use fig3::{rpe_corpus, RpeRecord};
 pub use ibench::{instruction_latency, instruction_throughput, table3};
 pub use membench::MemBenchReport;
+pub use obsbench::ObsBenchReport;
 pub use simbench::SimBenchReport;

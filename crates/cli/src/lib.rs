@@ -7,11 +7,18 @@
 //! ```text
 //! incore-cli analyze <file.s> --arch <gcs|spr|genoa> [--balanced] [--mca] [--sim] [--timeline] [--trace] [--json]
 //! incore-cli validate [--arch <machine>]... [--threads N] [--limit N] [--json] [--threshold X] [--max-divergent N]
+//! incore-cli explain <kernel> --arch <gcs|spr|genoa>
 //! incore-cli lint [file.s] [--arch <gcs|spr|genoa>] [--machine-file <m.json>] [--json] [--strict] [--sim]
 //! incore-cli machines
 //! incore-cli ports --arch <gcs|spr|genoa>
 //! incore-cli storebench --arch <gcs|spr|genoa> [--nt]
 //! ```
+//!
+//! `analyze`, `validate`, and `storebench` additionally take
+//! `--profile[=text|json|chrome]`, which turns on the `obs` recorder for
+//! the run and emits the drained profile on stderr (or, for `chrome`, as
+//! a trace file loadable in `about:tracing` / Perfetto) — the report on
+//! stdout stays byte-identical to an unprofiled run.
 //!
 //! All error paths use the workspace [`engine::Error`] type, so `main` can
 //! propagate with `?` and derive the process exit code from the error kind.
@@ -49,6 +56,44 @@ impl SimOverrides {
     }
 }
 
+/// How `--profile` renders the drained [`obs::Profile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileMode {
+    /// Per-stage span tree plus counter/histogram tables (the default).
+    Text,
+    /// The stable `obs` JSON (`{"counters":…,"histograms":…,"spans":…}`).
+    Json,
+    /// Chrome trace event format for `about:tracing` / Perfetto.
+    Chrome,
+}
+
+/// Parse a `--profile` / `--profile=<mode>` flag occurrence.
+pub fn parse_profile_mode(flag: &str) -> Result<ProfileMode, Error> {
+    let rest = flag.strip_prefix("--profile").unwrap_or(flag);
+    match rest.strip_prefix('=') {
+        None | Some("text") => Ok(ProfileMode::Text),
+        Some("json") => Ok(ProfileMode::Json),
+        Some("chrome") => Ok(ProfileMode::Chrome),
+        Some(other) => Err(Error::usage(format!(
+            "unknown profile mode `{other}`; use text, json, or chrome"
+        ))),
+    }
+}
+
+/// Render a drained profile in the requested mode (what main sends to
+/// stderr, or writes to the chrome trace file).
+pub fn render_profile(profile: &obs::Profile, mode: ProfileMode) -> String {
+    match mode {
+        ProfileMode::Text => profile.render_text(),
+        ProfileMode::Json => {
+            let mut s = profile.to_json();
+            s.push('\n');
+            s
+        }
+        ProfileMode::Chrome => profile.to_chrome_trace(),
+    }
+}
+
 /// Options for `incore-cli validate` — the full-corpus validation gate.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ValidateOpts {
@@ -67,6 +112,9 @@ pub struct ValidateOpts {
     pub max_divergent: Option<usize>,
     /// Reference-simulator configuration overrides.
     pub sim: SimOverrides,
+    /// Record and emit an `obs` profile of the run (`--profile[=mode]`);
+    /// also attaches the per-predictor `obs` summary to the JSON report.
+    pub profile: Option<ProfileMode>,
 }
 
 /// What `analyze` should run and render, beyond the basic in-core model.
@@ -84,6 +132,8 @@ pub struct AnalyzeFlags {
     pub trace: bool,
     /// Simulator configuration overrides.
     pub sim_cfg: SimOverrides,
+    /// Record and emit an `obs` profile of the run (`--profile[=mode]`).
+    pub profile: Option<ProfileMode>,
 }
 
 /// Parsed command line.
@@ -133,6 +183,20 @@ pub enum Command {
         /// Use the per-access reference pipeline instead of the streaming
         /// fast path (results are bit-identical; this exists to check that).
         reference: bool,
+        /// Record and emit an `obs` profile of the sweep.
+        profile: Option<ProfileMode>,
+    },
+    /// Render the bottleneck-attribution report for one corpus kernel:
+    /// which port, dependency chain, or front-end limit bounds it, per
+    /// predictor, and why the predictors disagree when they do.
+    Explain {
+        /// Corpus kernel name (e.g. `triad`, `jacobi3d27`).
+        kernel: String,
+        arch: uarch::Arch,
+        /// Optional JSON machine file overriding the built-in model.
+        machine_file: Option<String>,
+        /// Reference-simulator configuration overrides.
+        sim: SimOverrides,
     },
     Help,
 }
@@ -173,6 +237,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, Error> {
             let mut archs = Vec::new();
             let (mut nt, mut json, mut reference) = (false, false, false);
             let mut threads = None;
+            let mut profile = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--arch" => archs.push(next_arch(&mut it)?),
@@ -180,6 +245,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, Error> {
                     "--json" => json = true,
                     "--threads" => threads = Some(next_value(&mut it, "--threads")?),
                     "--reference" => reference = true,
+                    f if is_profile_flag(f) => profile = Some(parse_profile_mode(f)?),
                     other => return Err(Error::usage(format!("unknown flag `{other}`"))),
                 }
             }
@@ -189,6 +255,41 @@ pub fn parse_args(args: &[String]) -> Result<Command, Error> {
                 json,
                 threads,
                 reference,
+                profile,
+            })
+        }
+        "explain" => {
+            let mut kernel = None;
+            let mut arch = None;
+            let mut machine_file = None;
+            let mut sim = SimOverrides::default();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--arch" => arch = Some(next_arch(&mut it)?),
+                    "--machine-file" => {
+                        machine_file = Some(
+                            it.next()
+                                .ok_or_else(|| Error::usage("--machine-file needs a path"))?
+                                .to_string(),
+                        )
+                    }
+                    "--iterations" => sim.iterations = Some(next_value(&mut it, "--iterations")?),
+                    "--warmup" => sim.warmup = Some(next_value(&mut it, "--warmup")?),
+                    "--no-early-exit" => sim.no_early_exit = true,
+                    flag if flag.starts_with("--") => {
+                        return Err(Error::usage(format!("unknown flag `{flag}`")))
+                    }
+                    k if kernel.is_none() => kernel = Some(k.to_string()),
+                    extra => return Err(Error::usage(format!("unexpected argument `{extra}`"))),
+                }
+            }
+            let kernel = kernel.ok_or_else(|| Error::usage("missing kernel name"))?;
+            let arch = arch.ok_or_else(|| Error::usage("--arch is required"))?;
+            Ok(Command::Explain {
+                kernel,
+                arch,
+                machine_file,
+                sim,
             })
         }
         "validate" => {
@@ -208,6 +309,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, Error> {
                     }
                     "--warmup" => opts.sim.warmup = Some(next_value(&mut it, "--warmup")?),
                     "--no-early-exit" => opts.sim.no_early_exit = true,
+                    f if is_profile_flag(f) => opts.profile = Some(parse_profile_mode(f)?),
                     other => return Err(Error::usage(format!("unknown flag `{other}`"))),
                 }
             }
@@ -279,6 +381,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, Error> {
                     }
                     "--warmup" => flags.sim_cfg.warmup = Some(next_value(&mut it, "--warmup")?),
                     "--no-early-exit" => flags.sim_cfg.no_early_exit = true,
+                    f if is_profile_flag(f) => flags.profile = Some(parse_profile_mode(f)?),
                     flag if flag.starts_with("--") => {
                         return Err(Error::usage(format!("unknown flag `{flag}`")))
                     }
@@ -300,6 +403,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, Error> {
             "unknown command `{other}`; try `help`"
         ))),
     }
+}
+
+fn is_profile_flag(flag: &str) -> bool {
+    flag == "--profile" || flag.starts_with("--profile=")
 }
 
 fn next_arch<'a>(it: &mut impl Iterator<Item = &'a String>) -> Result<uarch::Arch, Error> {
@@ -347,6 +454,7 @@ USAGE:
       --iterations <n>     simulator measured iterations (default 200)
       --warmup <n>         simulator warm-up iterations (default 50)
       --no-early-exit      simulate every iteration (no steady-state extrapolation)
+      --profile[=mode]     obs profile on stderr (text|json) or trace.chrome.json (chrome)
   incore-cli validate [flags]         validate the predictors over the kernel corpus
       --arch <machine>     restrict to one machine (repeatable; default all three)
       --threads <n>        worker threads (0 = all cores); results are identical
@@ -354,6 +462,12 @@ USAGE:
       --json               emit the JSON BatchReport instead of the text summary
       --threshold <x>      exit 1 if the in-core model's mean |RPE| exceeds x
       --max-divergent <n>  exit 1 if more than n records fire D002
+      --iterations / --warmup / --no-early-exit   as for analyze (reference simulator)
+      --profile[=mode]     obs profile (also adds the per-predictor obs block to --json)
+  incore-cli explain <kernel> --arch <machine>   bottleneck-attribution report for a
+      corpus kernel: the binding port/dependency/front-end bound per predictor and
+      why the predictors disagree (divergence rules D001/D002, attribution rule D003)
+      --machine-file <file.json>  explain against an edited machine model
       --iterations / --warmup / --no-early-exit   as for analyze (reference simulator)
   incore-cli lint [file.s] [flags]    run the static diagnostics (rule codes K*, M*, D*)
       --arch <machine>     machine for kernel lints / single machine to lint
@@ -371,6 +485,7 @@ USAGE:
       --json               emit the versioned JSON StoreSweepReport
       --threads <n>        rayon pool size; output is identical at every count
       --reference          per-access reference pipeline (bit-identical, slower)
+      --profile[=mode]     obs profile of the sweep (text|json|chrome)
 ";
 
 /// Render `incore-cli storebench`: the Fig. 4 store-only sweep over one
@@ -539,7 +654,8 @@ pub struct ValidateOutcome {
 pub fn run_validate(opts: &ValidateOpts) -> Result<ValidateOutcome, Error> {
     let mut session = engine::Session::new()
         .threads(opts.threads)
-        .sim_config(opts.sim.config());
+        .sim_config(opts.sim.config())
+        .profile(opts.profile.is_some());
     if !opts.archs.is_empty() {
         session = session.archs(&opts.archs);
     }
@@ -574,6 +690,197 @@ pub fn run_validate(opts: &ValidateOpts) -> Result<ValidateOutcome, Error> {
         output,
         gate_failures,
     })
+}
+
+/// The attribution margin: the top in-core bound must clear the
+/// runner-up by this factor to count as the *dominating* resource. Inside
+/// the margin the bounds are effectively tied, the report says so, and a
+/// divergent kernel additionally fires `D003`
+/// (divergence-without-attribution).
+pub const ATTRIBUTION_MARGIN: f64 = 1.05;
+
+/// `incore-cli explain <kernel> --arch <a>` — the bottleneck-attribution
+/// report for one corpus kernel: run all three predictors on the kernel's
+/// first corpus variant, rank the in-core bounds (port pressure,
+/// loop-carried dependency, front-end dispatch), name the binding
+/// resource, and explain disagreement through the `diag` divergence rules
+/// (`D001`/`D002`) plus the attribution rule `D003` when the predictors
+/// diverge and no bound dominates.
+pub fn run_explain(
+    machine: &uarch::Machine,
+    kernel_name: &str,
+    sim_cfg: SimOverrides,
+) -> Result<String, Error> {
+    use std::fmt::Write;
+    let variants = kernels::variants_for(machine.arch);
+    // Corpus kernel names are display names ("STREAM triad", "Jacobi 3D
+    // 27pt"); match case-insensitively ignoring spaces/punctuation, and
+    // accept a unique substring ("jacobi3d27", "schoenauer").
+    let norm = |s: &str| {
+        s.chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .map(|c| c.to_ascii_lowercase())
+            .collect::<String>()
+    };
+    let want = norm(kernel_name);
+    let exact = variants.iter().find(|v| norm(v.kernel.name()) == want);
+    let variant = match exact {
+        Some(v) => v,
+        None => {
+            let subs: Vec<&kernels::Variant> = variants
+                .iter()
+                .filter(|v| !want.is_empty() && norm(v.kernel.name()).contains(&want))
+                .collect();
+            let mut sub_names: Vec<&str> = subs.iter().map(|v| v.kernel.name()).collect();
+            sub_names.dedup();
+            match sub_names.len() {
+                1 => subs[0],
+                0 => {
+                    let mut names: Vec<&str> = variants.iter().map(|v| v.kernel.name()).collect();
+                    names.dedup();
+                    return Err(Error::usage(format!(
+                        "unknown kernel `{kernel_name}` for {}; corpus kernels: {}",
+                        machine.arch.label(),
+                        names.join(", ")
+                    )));
+                }
+                _ => {
+                    return Err(Error::usage(format!(
+                        "ambiguous kernel `{kernel_name}`; matches: {}",
+                        sub_names.join(", ")
+                    )))
+                }
+            }
+        }
+    };
+    let kernel = kernels::generate_kernel(variant, machine);
+    let analysis = incore::analyze_with(machine, &kernel, incore::Options::default());
+    let mca_pred = mca::predict(machine, &kernel);
+    let sim_pred = exec::simulate(machine, &kernel, sim_cfg.config());
+    let (mca_cy, sim_cy) = (mca_pred.cycles_per_iter, sim_pred.cycles_per_iter);
+
+    // Rank the in-core bounds; the winner is the bounding resource, and it
+    // dominates when it clears the runner-up by the attribution margin.
+    let binding_ports = analysis
+        .busiest_ports()
+        .iter()
+        .map(|&i| machine.port_model.ports[i].name)
+        .collect::<Vec<_>>()
+        .join("/");
+    let bounds = [
+        ("port pressure", analysis.tp_bound),
+        ("loop-carried dependency", analysis.lcd),
+        ("front-end dispatch", analysis.frontend_bound),
+    ];
+    let mut ranked = bounds;
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let ((win_name, win), (run_name, run)) = (ranked[0], ranked[1]);
+    let resource = if win_name == "port pressure" && !binding_ports.is_empty() {
+        format!("port pressure on {binding_ports}")
+    } else {
+        win_name.to_string()
+    };
+    let dominating = win > run * ATTRIBUTION_MARGIN;
+
+    let mut diags = diag::divergence_diags_named(
+        &[("incore", analysis.prediction), ("mca", mca_cy)],
+        Some(("sim", sim_cy)),
+    );
+    let divergent = !diags.is_empty();
+    diags.extend(diag::attribution_diags(
+        variant.kernel.name(),
+        divergent,
+        dominating.then_some(resource.as_str()),
+    ));
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "explain {} on {} ({})",
+        variant.kernel.name(),
+        machine.arch.chip(),
+        machine.arch.label()
+    );
+    let _ = writeln!(out, "variant: {}", variant.label());
+    let _ = writeln!(out);
+    let _ = writeln!(out, "predictions (cy/iter):");
+    let pct = |p: f64| {
+        if sim_cy > 1e-9 {
+            format!("  ({:+.1}% vs sim)", (p - sim_cy) / sim_cy * 100.0)
+        } else {
+            String::new()
+        }
+    };
+    let _ = writeln!(
+        out,
+        "  incore {:>8.2}  bottleneck: {}{}",
+        analysis.prediction,
+        match analysis.bottleneck() {
+            incore::Bottleneck::PortPressure => "port-pressure",
+            incore::Bottleneck::Dependency => "dependency",
+            incore::Bottleneck::FrontEnd => "front-end",
+        },
+        pct(analysis.prediction)
+    );
+    let _ = writeln!(
+        out,
+        "  mca    {:>8.2}  {} µops/iter{}",
+        mca_cy,
+        mca_pred.uops,
+        pct(mca_cy)
+    );
+    let _ = writeln!(
+        out,
+        "  sim    {:>8.2}  {:.2} µops/cy  (reference)",
+        sim_cy, sim_pred.uops_per_cycle
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "in-core bounds (cy/iter):");
+    for (name, v) in &bounds {
+        let mark = if *name == win_name {
+            "  <- binding"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  {name:<24} {v:>8.2}{mark}");
+    }
+    if !binding_ports.is_empty() {
+        let _ = writeln!(
+            out,
+            "  binding ports: {binding_ports} ({:.2} cy each)",
+            analysis.port_loads.iter().copied().fold(0.0f64, f64::max)
+        );
+    }
+    let _ = writeln!(out);
+    if dominating {
+        let over = if run > 1e-9 {
+            format!(
+                "{:.0}% over runner-up {run_name}",
+                (win / run - 1.0) * 100.0
+            )
+        } else {
+            format!("runner-up {run_name} is zero")
+        };
+        let _ = writeln!(out, "bound by: {resource} (dominating; {over})");
+    } else {
+        let _ = writeln!(
+            out,
+            "bound by: {resource} (narrow; {run_name} at {run:.2} cy is within the \
+             {:.0}% attribution margin — no dominating resource)",
+            (ATTRIBUTION_MARGIN - 1.0) * 100.0
+        );
+    }
+    if diags.is_empty() {
+        let _ = writeln!(
+            out,
+            "predictors agree (no divergence rule fired); the attribution above \
+             explains all three."
+        );
+    } else {
+        let _ = writeln!(out);
+        out.push_str(&diag::render_text(&diags));
+    }
+    Ok(out)
 }
 
 /// One unit of work for `incore-cli lint` (separated from `main` so the
@@ -744,6 +1051,7 @@ mod tests {
                 json: false,
                 threads: None,
                 reference: false,
+                profile: None,
             }
         );
         assert_eq!(
@@ -765,6 +1073,7 @@ mod tests {
                 json: true,
                 threads: Some(2),
                 reference: true,
+                profile: None,
             }
         );
         assert!(parse_args(&sv(&["storebench", "--threads", "many"])).is_err());
@@ -808,6 +1117,7 @@ mod tests {
                 threshold: Some(0.25),
                 max_divergent: Some(10),
                 sim: SimOverrides::default(),
+                profile: None,
             })
         );
         assert_eq!(
@@ -925,6 +1235,7 @@ mod tests {
             threshold: Some(10.0),
             max_divergent: Some(1000),
             sim: SimOverrides::default(),
+            profile: None,
         })
         .unwrap();
         assert!(clean.gate_failures.is_empty());
@@ -938,6 +1249,7 @@ mod tests {
             threshold: Some(1e-9),
             max_divergent: None,
             sim: SimOverrides::default(),
+            profile: None,
         })
         .unwrap();
         assert_eq!(tripped.gate_failures.len(), 1);
@@ -1194,6 +1506,206 @@ mod tests {
         );
         assert_eq!(code, 1);
         assert!(out.contains("M006"), "{out}");
+    }
+
+    #[test]
+    fn parse_profile_modes() {
+        assert_eq!(parse_profile_mode("--profile").unwrap(), ProfileMode::Text);
+        assert_eq!(
+            parse_profile_mode("--profile=text").unwrap(),
+            ProfileMode::Text
+        );
+        assert_eq!(
+            parse_profile_mode("--profile=json").unwrap(),
+            ProfileMode::Json
+        );
+        assert_eq!(
+            parse_profile_mode("--profile=chrome").unwrap(),
+            ProfileMode::Chrome
+        );
+        assert_eq!(
+            parse_profile_mode("--profile=flame").unwrap_err().kind(),
+            ErrorKind::Usage
+        );
+        // The flag lands on all three profiled subcommands.
+        match parse_args(&sv(&["validate", "--profile=chrome"])).unwrap() {
+            Command::Validate(o) => assert_eq!(o.profile, Some(ProfileMode::Chrome)),
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&sv(&["analyze", "k.s", "--arch", "spr", "--profile"])).unwrap() {
+            Command::Analyze { flags, .. } => assert_eq!(flags.profile, Some(ProfileMode::Text)),
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&sv(&["storebench", "--profile=json"])).unwrap() {
+            Command::StoreBench { profile, .. } => assert_eq!(profile, Some(ProfileMode::Json)),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&sv(&["validate", "--profile=flame"])).is_err());
+    }
+
+    #[test]
+    fn parse_explain() {
+        assert_eq!(
+            parse_args(&sv(&["explain", "triad", "--arch", "gcs"])).unwrap(),
+            Command::Explain {
+                kernel: "triad".into(),
+                arch: uarch::Arch::NeoverseV2,
+                machine_file: None,
+                sim: SimOverrides::default(),
+            }
+        );
+        assert_eq!(
+            parse_args(&sv(&[
+                "explain",
+                "copy",
+                "--arch",
+                "genoa",
+                "--machine-file",
+                "m.json",
+                "--iterations",
+                "64",
+            ]))
+            .unwrap(),
+            Command::Explain {
+                kernel: "copy".into(),
+                arch: uarch::Arch::Zen4,
+                machine_file: Some("m.json".into()),
+                sim: SimOverrides {
+                    iterations: Some(64),
+                    ..SimOverrides::default()
+                },
+            }
+        );
+        // Kernel and arch are both required; unknown flags are usage errors.
+        assert!(parse_args(&sv(&["explain", "--arch", "spr"])).is_err());
+        assert!(parse_args(&sv(&["explain", "triad"])).is_err());
+        assert!(parse_args(&sv(&["explain", "triad", "--arch", "spr", "--wat"])).is_err());
+    }
+
+    #[test]
+    fn explain_names_a_bounding_resource_on_every_machine() {
+        for machine in uarch::all_machines() {
+            let out = run_explain(&machine, "streamtriad", SimOverrides::default()).unwrap();
+            assert!(
+                out.contains("bound by: "),
+                "{}: {out}",
+                machine.arch.label()
+            );
+            assert!(out.contains("in-core bounds (cy/iter):"), "{out}");
+            assert!(out.contains("  incore"), "{out}");
+            assert!(out.contains("(reference)"), "{out}");
+            // Either the predictors agree or every divergence is explained
+            // (a D003 finding marks the unexplained case explicitly).
+            assert!(
+                out.contains("predictors agree") || out.contains("D0"),
+                "{out}"
+            );
+        }
+        // Names match case-insensitively ignoring spaces and punctuation,
+        // and unique substrings resolve ("schoenauer" → Schoenauer triad).
+        let m = machine_for(uarch::Arch::GoldenCove);
+        let upper = run_explain(&m, "STREAM triad", SimOverrides::default()).unwrap();
+        let lower = run_explain(&m, "streamtriad", SimOverrides::default()).unwrap();
+        assert_eq!(upper, lower);
+        let sub = run_explain(&m, "schoenauer", SimOverrides::default()).unwrap();
+        assert!(sub.contains("Schoenauer triad"), "{sub}");
+        // Ambiguous substrings list the candidates.
+        let e = run_explain(&m, "triad", SimOverrides::default()).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::Usage);
+        assert!(e.to_string().contains("Schoenauer triad"), "{e}");
+        // Unknown kernels list what the corpus does contain.
+        let e = run_explain(&m, "nope", SimOverrides::default()).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::Usage);
+        assert!(e.to_string().contains("STREAM triad"), "{e}");
+    }
+
+    #[test]
+    fn render_profile_modes_and_chrome_trace_shape() {
+        // Built by hand so the test never touches the global recorder.
+        let mut profile = obs::Profile::default();
+        profile.counters.insert("sim.calls".into(), 3);
+        profile.spans.push(obs::SpanRecord {
+            name: "sim:triad".into(),
+            tid: 1,
+            depth: 0,
+            start_us: 10,
+            dur_us: 250,
+        });
+        let text = render_profile(&profile, ProfileMode::Text);
+        assert!(text.contains("sim.calls"), "{text}");
+        assert!(text.contains("sim:triad"), "{text}");
+        let json = render_profile(&profile, ProfileMode::Json);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let o = v.as_object().unwrap();
+        let counters = o.get("counters").unwrap().as_object().unwrap();
+        assert_eq!(counters.get("sim.calls").unwrap().as_u64().unwrap(), 3);
+        let spans = o.get("spans").unwrap().as_array().unwrap();
+        let span0 = spans[0].as_object().unwrap();
+        assert_eq!(span0.get("name").unwrap().as_str().unwrap(), "sim:triad");
+        // The chrome rendering must be valid Chrome trace event format:
+        // a traceEvents array whose events carry name/ph/ts/pid/tid, with
+        // a dur on every complete ("X") event.
+        let chrome = render_profile(&profile, ProfileMode::Chrome);
+        let v: serde_json::Value = serde_json::from_str(&chrome).unwrap();
+        let events = v
+            .as_object()
+            .unwrap()
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert_eq!(events.len(), 2);
+        for e in events {
+            let o = e.as_object().unwrap();
+            for key in ["name", "ph", "ts", "pid", "tid"] {
+                assert!(o.contains_key(key), "missing {key}: {e:?}");
+            }
+            if o.get("ph").unwrap().as_str().unwrap() == "X" {
+                assert!(o.get("dur").unwrap().as_u64().unwrap() > 0, "{e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn validate_profile_attaches_obs_block_to_json() {
+        let profiled = run_validate(&ValidateOpts {
+            archs: vec![uarch::Arch::GoldenCove],
+            threads: 1,
+            limit: Some(4),
+            json: true,
+            profile: Some(ProfileMode::Text),
+            ..ValidateOpts::default()
+        })
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&profiled.output).unwrap();
+        let obs = v
+            .as_object()
+            .unwrap()
+            .get("obs")
+            .expect("obs block present")
+            .as_object()
+            .unwrap();
+        assert_eq!(
+            obs.get("schema_minor").unwrap().as_u64().unwrap(),
+            engine::SCHEMA_MINOR as u64
+        );
+        assert!(!obs
+            .get("predictors")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+        // Without --profile the block is absent entirely.
+        let plain = run_validate(&ValidateOpts {
+            archs: vec![uarch::Arch::GoldenCove],
+            threads: 1,
+            limit: Some(4),
+            json: true,
+            ..ValidateOpts::default()
+        })
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&plain.output).unwrap();
+        assert!(v.as_object().unwrap().get("obs").is_none());
     }
 
     #[test]

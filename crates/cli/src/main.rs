@@ -5,9 +5,40 @@
 //! for everything else).
 
 use cli::{
-    machine_for, parse_args, run_analyze, run_analyze_json, run_lint, run_validate, Command, Error,
-    ErrorKind, LintTarget, USAGE,
+    machine_for, parse_args, run_analyze, run_analyze_json, run_explain, run_lint, run_validate,
+    Command, Error, ErrorKind, LintTarget, ProfileMode, USAGE,
 };
+
+/// Chrome trace output path for `--profile=chrome`.
+const CHROME_TRACE_PATH: &str = "trace.chrome.json";
+
+/// Start recording when a `--profile` mode was requested.
+fn start_profile(mode: Option<ProfileMode>) {
+    if mode.is_some() {
+        obs::enable();
+    }
+}
+
+/// Drain the recorder and emit the profile: text and JSON go to stderr so
+/// the report on stdout stays byte-identical; chrome mode writes a trace
+/// file for `about:tracing` / Perfetto.
+fn emit_profile(mode: Option<ProfileMode>) -> Result<(), Error> {
+    let Some(mode) = mode else { return Ok(()) };
+    let profile = obs::take();
+    obs::disable();
+    match mode {
+        ProfileMode::Chrome => {
+            std::fs::write(CHROME_TRACE_PATH, cli::render_profile(&profile, mode))
+                .map_err(|e| Error::io(CHROME_TRACE_PATH, &e))?;
+            eprintln!(
+                "profile: chrome trace written to {CHROME_TRACE_PATH} \
+                 (load in about:tracing or ui.perfetto.dev)"
+            );
+        }
+        mode => eprint!("{}", cli::render_profile(&profile, mode)),
+    }
+    Ok(())
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,8 +82,10 @@ fn run(args: &[String]) -> Result<i32, Error> {
             }
         }
         Command::Validate(opts) => {
+            start_profile(opts.profile);
             let outcome = run_validate(&opts)?;
             print!("{}", outcome.output);
+            emit_profile(opts.profile)?;
             if !outcome.gate_failures.is_empty() {
                 for gate in &outcome.gate_failures {
                     eprintln!("gate failed: {gate}");
@@ -132,7 +165,9 @@ fn run(args: &[String]) -> Result<i32, Error> {
             json,
             threads,
             reference,
+            profile,
         } => {
+            start_profile(profile);
             let out = match threads {
                 Some(n) => rayon::ThreadPoolBuilder::new()
                     .num_threads(n)
@@ -142,6 +177,7 @@ fn run(args: &[String]) -> Result<i32, Error> {
                 None => cli::run_storebench(&archs, nt, json, reference),
             };
             print!("{out}");
+            emit_profile(profile)?;
         }
         Command::Analyze {
             path,
@@ -156,12 +192,27 @@ fn run(args: &[String]) -> Result<i32, Error> {
                     .map_err(|e| Error::from(e).with_context(f))?,
                 None => machine_for(arch),
             };
+            start_profile(flags.profile);
             let out = if json {
                 run_analyze_json(&m, &path, &asm, flags)?
             } else {
                 run_analyze(&m, &asm, flags).map_err(|e| e.with_context(path))?
             };
             print!("{out}");
+            emit_profile(flags.profile)?;
+        }
+        Command::Explain {
+            kernel,
+            arch,
+            machine_file,
+            sim,
+        } => {
+            let m = match machine_file {
+                Some(f) => uarch::Machine::from_json(&read(&f)?)
+                    .map_err(|e| Error::from(e).with_context(f))?,
+                None => machine_for(arch),
+            };
+            print!("{}", run_explain(&m, &kernel, sim)?);
         }
     }
     Ok(0)

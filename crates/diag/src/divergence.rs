@@ -101,6 +101,35 @@ pub fn divergence_diags_named(
     diags
 }
 
+/// `D003` — a divergent kernel whose bottleneck-attribution report found
+/// no *dominating* resource: the predictors disagree (some `D001`/`D002`
+/// fired) and no single port, dependency chain, or front-end limit
+/// stands clear of the runner-up bound, so the divergence report carries
+/// no explanation. Emitted by `incore-cli explain`; `divergent` is
+/// whether any divergence rule fired on the kernel and `dominating` is
+/// the attribution winner when one cleared the margin.
+pub fn attribution_diags(
+    kernel: &str,
+    divergent: bool,
+    dominating: Option<&str>,
+) -> Vec<Diagnostic> {
+    if !divergent || dominating.is_some() {
+        return Vec::new();
+    }
+    vec![Diagnostic::new(
+        "D003",
+        format!(
+            "predictors diverge on `{kernel}` but no resource dominates the \
+             attribution — the divergence report carries no explanation"
+        ),
+    )
+    .with_help(
+        "the binding bounds are within the attribution margin of each other; \
+         compare the per-predictor views (`incore-cli explain <kernel> --arch <a>`) \
+         and the pipeline trace (`incore-cli analyze --sim --trace`)",
+    )]
+}
+
 /// The classic fixed-role entry point: in-core vs MCA, with an optional
 /// simulator measurement. Kept for callers (and tests) that think in the
 /// paper's three-predictor terms.

@@ -36,8 +36,8 @@ pub mod kernel;
 pub mod machine;
 
 pub use divergence::{
-    divergence_diags, divergence_diags_named, lint_divergence, lint_divergence_predictors,
-    DivergenceReport,
+    attribution_diags, divergence_diags, divergence_diags_named, lint_divergence,
+    lint_divergence_predictors, DivergenceReport,
 };
 pub use kernel::{lint_assembly, lint_kernel};
 pub use machine::{lint_machine, lint_machine_file};
@@ -259,6 +259,14 @@ pub const RULES: &[Rule] = &[
         summary: "the cycle-level simulator disagrees with both analytical models by \
                   more than 2x",
     },
+    Rule {
+        code: "D003",
+        name: "divergence-without-attribution",
+        default_severity: Severity::Warning,
+        summary: "a divergent kernel has no dominating bound resource — the predictors \
+                  disagree and the attribution report cannot say which port, dependency \
+                  chain, or front-end limit is responsible",
+    },
 ];
 
 /// The full rule catalog.
@@ -446,7 +454,7 @@ mod tests {
         // The published catalog: these codes must never change meaning.
         for code in [
             "K001", "K002", "K003", "K004", "K005", "K006", "M001", "M002", "M003", "M004", "M005",
-            "M006", "M007", "D001", "D002",
+            "M006", "M007", "D001", "D002", "D003",
         ] {
             assert!(
                 rule(code).is_some(),

@@ -177,6 +177,17 @@ const FIXTURES: &[Fixture] = &[
         positive: || divergence_diags(4.0, 4.1, Some(20.0)),
         negative: || divergence_diags(4.0, 4.1, Some(4.2)),
     },
+    Fixture {
+        code: "D003",
+        // Divergent kernel whose attribution found no dominating bound.
+        positive: || diag::attribution_diags("triad", true, None),
+        // A clear winner (or no divergence at all) keeps the rule silent.
+        negative: || {
+            let mut diags = diag::attribution_diags("triad", true, Some("port V0"));
+            diags.extend(diag::attribution_diags("triad", false, None));
+            diags
+        },
+    },
 ];
 
 #[test]

@@ -32,7 +32,8 @@ pub mod session;
 pub use cache::{CacheStats, CorpusCache};
 pub use error::{Error, ErrorKind};
 pub use report::{
-    histogram, render_histogram, rpe, summarize, BatchReport, PredictorResult, PredictorSummary,
-    RecordReport, RunTimings, Summary, SCHEMA_VERSION,
+    histogram, render_histogram, rpe, summarize, BatchReport, ObsPredictorTimings, ObsSummary,
+    PredictorResult, PredictorSummary, RecordReport, RunTimings, Summary, SCHEMA_MINOR,
+    SCHEMA_VERSION,
 };
 pub use session::{evaluate_block, evaluate_block_timed, BlockLabels, BlockTimings, Session};

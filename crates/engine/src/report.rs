@@ -21,6 +21,41 @@ use crate::cache::CacheStats;
 /// changes do.
 pub const SCHEMA_VERSION: u32 = 1;
 
+/// Minor schema version, carried inside the additive [`ObsSummary`]
+/// block: bumped when that block grows fields. The major shape (every
+/// field present without profiling) is still [`SCHEMA_VERSION`].
+pub const SCHEMA_MINOR: u32 = 1;
+
+/// Per-predictor counter summary inside the optional `obs` block.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ObsPredictorTimings {
+    /// Stable predictor name (`"incore"`, `"mca"`, ...).
+    pub predictor: String,
+    /// Predict calls taken (one per evaluated block).
+    pub calls: u64,
+    /// Total wall-clock across those calls, in nanoseconds.
+    pub total_ns: u64,
+    /// Mean wall-clock per call, in nanoseconds.
+    pub mean_ns: f64,
+}
+
+/// Additive observability block, present only when the run was profiled
+/// (`Session::profile(true)` / `incore-cli validate --profile`). Skipped
+/// entirely from serialization otherwise, so non-profiling output stays
+/// byte-identical to the pre-observability schema — the golden snapshot
+/// in `tests/fixtures/schema_v1.txt` covers that shape and
+/// `schema_v1_obs.txt` covers this one.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ObsSummary {
+    /// Minor version of this block ([`SCHEMA_MINOR`]).
+    pub schema_minor: u32,
+    /// Per-predictor call/latency summaries, in session predictor order,
+    /// with the reference (when one ran) appended last.
+    pub predictors: Vec<ObsPredictorTimings>,
+    /// Corpus-cache hit rate over kernel lookups (0..1).
+    pub cache_hit_rate: f64,
+}
+
 /// Where the wall-clock time of a run went. Purely observational: two
 /// runs over the same inputs produce identical reports *except* for this
 /// block, so tools diffing reports must zero it first. The per-phase
@@ -136,6 +171,10 @@ pub struct BatchReport {
     /// Wall-clock observations — the only nondeterministic fields in the
     /// report (see [`RunTimings`]).
     pub timings: RunTimings,
+    /// Observability block; `None` (and absent from the JSON) unless the
+    /// run was profiled (see [`ObsSummary`]).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub obs: Option<ObsSummary>,
 }
 
 impl BatchReport {
@@ -179,6 +218,7 @@ impl BatchReport {
             d002_records,
             cache,
             timings: RunTimings::default(),
+            obs: None,
         }
     }
 
@@ -276,6 +316,17 @@ impl BatchReport {
                 "time: {:.0} ms wall (per-worker sums: {:.0} ms reference, {:.0} ms predictors, {:.0} ms parse)",
                 t.wall_ms, t.reference_ms, t.predictors_ms, t.parse_ms,
             );
+        }
+        if let Some(obs) = &self.obs {
+            for p in &obs.predictors {
+                let _ = writeln!(
+                    out,
+                    "profiled: {:<16} {:>5} calls, mean {:>8.1} µs/call",
+                    p.predictor,
+                    p.calls,
+                    p.mean_ns / 1e3,
+                );
+            }
         }
         out
     }

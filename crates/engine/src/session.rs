@@ -23,7 +23,10 @@ use rayon::prelude::*;
 
 use crate::cache::CorpusCache;
 use crate::error::Error;
-use crate::report::{rpe, BatchReport, PredictorResult, RecordReport, RunTimings};
+use crate::report::{
+    rpe, BatchReport, ObsPredictorTimings, ObsSummary, PredictorResult, RecordReport, RunTimings,
+    SCHEMA_MINOR,
+};
 use uarch::{Machine, Predictor};
 
 /// Descriptive labels for one evaluated block.
@@ -36,11 +39,13 @@ pub struct BlockLabels<'a> {
 
 /// Wall-clock attribution for one evaluated block, in nanoseconds.
 /// Summed into [`crate::report::RunTimings`] by the batch pipeline.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct BlockTimings {
     pub parse_ns: u64,
     pub reference_ns: u64,
     pub predictors_ns: u64,
+    /// Per-predictor breakdown of `predictors_ns`, in `analytical` order.
+    pub per_predictor_ns: Vec<u64>,
 }
 
 /// Evaluate one parsed kernel on one machine: run the reference (if any)
@@ -68,7 +73,12 @@ pub fn evaluate_block_timed(
     reference: Option<&dyn Predictor>,
 ) -> (RecordReport, BlockTimings) {
     let mut timings = BlockTimings::default();
+    // One span per predictor call when the obs recorder is on (the
+    // `--profile` trace shows each kernel × predictor as its own slice);
+    // a single cached bool keeps the disabled path free of formatting.
+    let profiling = obs::enabled();
     let measured = reference.map(|r| {
+        let _span = profiling.then(|| obs::span(&format!("{}:{}", r.name(), labels.kernel)));
         let (p, took) = r.predict_timed(machine, kernel);
         timings.reference_ns = took.as_nanos() as u64;
         p.cycles_per_iter
@@ -76,8 +86,10 @@ pub fn evaluate_block_timed(
     let predictions: Vec<PredictorResult> = analytical
         .iter()
         .map(|p| {
+            let _span = profiling.then(|| obs::span(&format!("{}:{}", p.name(), labels.kernel)));
             let (pred, took) = p.predict_timed(machine, kernel);
             timings.predictors_ns += took.as_nanos() as u64;
+            timings.per_predictor_ns.push(took.as_nanos() as u64);
             PredictorResult {
                 predictor: p.name().to_string(),
                 cycles_per_iter: pred.cycles_per_iter,
@@ -122,6 +134,7 @@ pub struct Session {
     reference: Option<Box<dyn Predictor>>,
     threads: usize,
     limit: Option<usize>,
+    profile: bool,
 }
 
 impl Default for Session {
@@ -140,6 +153,7 @@ impl Default for Session {
             reference: Some(Box::new(exec::CoreSimulator::default())),
             threads: 0,
             limit: None,
+            profile: false,
         }
     }
 }
@@ -198,6 +212,15 @@ impl Session {
     /// Evaluate only the first `limit` blocks of the grid (test slices).
     pub fn limit(mut self, limit: usize) -> Self {
         self.limit = Some(limit);
+        self
+    }
+
+    /// Attach the additive [`ObsSummary`] block (per-predictor counter
+    /// summaries) to the report. Off by default — the block carries
+    /// wall-clock observations, so profiled reports are not
+    /// byte-comparable; a non-profiled run's JSON is unchanged.
+    pub fn profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
         self
     }
 
@@ -284,7 +307,70 @@ impl Session {
             reference_ms: ms(block_timings.iter().map(|t| t.reference_ns).sum()),
             predictors_ms: ms(block_timings.iter().map(|t| t.predictors_ns).sum()),
         };
+        if self.profile {
+            report.obs = Some(obs_summary(
+                &self.predictors,
+                self.reference.as_deref(),
+                &block_timings,
+                report.cache,
+            ));
+        }
+        if obs::enabled() {
+            let c = report.cache;
+            obs::counter("engine.blocks", block_timings.len() as u64);
+            obs::counter("engine.cache.kernel_hits", c.kernel_hits);
+            obs::counter("engine.cache.kernel_misses", c.kernel_misses);
+            obs::counter("engine.cache.machine_hits", c.machine_hits);
+            obs::counter("engine.cache.machine_misses", c.machine_misses);
+        }
         Ok(report)
+    }
+}
+
+/// Fold the per-block timing vectors into the report's [`ObsSummary`]:
+/// one [`ObsPredictorTimings`] row per analytical predictor (in session
+/// order), the reference appended last when one ran.
+fn obs_summary(
+    predictors: &[Box<dyn Predictor>],
+    reference: Option<&dyn Predictor>,
+    block_timings: &[BlockTimings],
+    cache: crate::cache::CacheStats,
+) -> ObsSummary {
+    let calls = block_timings.len() as u64;
+    let row = |name: &str, total_ns: u64| ObsPredictorTimings {
+        predictor: name.to_string(),
+        calls,
+        total_ns,
+        mean_ns: if calls == 0 {
+            0.0
+        } else {
+            total_ns as f64 / calls as f64
+        },
+    };
+    let mut rows: Vec<ObsPredictorTimings> = predictors
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let total: u64 = block_timings
+                .iter()
+                .map(|t| t.per_predictor_ns.get(i).copied().unwrap_or(0))
+                .sum();
+            row(p.name(), total)
+        })
+        .collect();
+    if let Some(r) = reference {
+        let total: u64 = block_timings.iter().map(|t| t.reference_ns).sum();
+        rows.push(row(r.name(), total));
+    }
+    let lookups = cache.kernel_hits + cache.kernel_misses;
+    ObsSummary {
+        schema_minor: SCHEMA_MINOR,
+        predictors: rows,
+        cache_hit_rate: if lookups == 0 {
+            0.0
+        } else {
+            cache.kernel_hits as f64 / lookups as f64
+        },
     }
 }
 
@@ -335,6 +421,44 @@ mod tests {
         assert!(zeroed
             .to_json()
             .contains("\"timings\":{\"wall_ms\":0.0,\"parse_ms\":0.0"));
+    }
+
+    #[test]
+    fn profile_attaches_obs_block_and_default_omits_it() {
+        let plain = Session::new()
+            .archs(&[uarch::Arch::GoldenCove])
+            .limit(2)
+            .threads(1)
+            .run()
+            .unwrap();
+        assert!(plain.obs.is_none());
+        assert!(!plain.to_json().contains("\"obs\""));
+        let profiled = Session::new()
+            .archs(&[uarch::Arch::GoldenCove])
+            .limit(2)
+            .threads(1)
+            .profile(true)
+            .run()
+            .unwrap();
+        let obs = profiled.obs.as_ref().expect("profiled run carries obs");
+        assert_eq!(obs.schema_minor, crate::report::SCHEMA_MINOR);
+        // incore, mca, then the sim reference appended last.
+        let names: Vec<&str> = obs
+            .predictors
+            .iter()
+            .map(|p| p.predictor.as_str())
+            .collect();
+        assert_eq!(names, vec!["incore", "mca", "sim"]);
+        assert!(obs.predictors.iter().all(|p| p.calls == 2));
+        assert!(obs.predictors.iter().all(|p| p.total_ns > 0));
+        assert!((0.0..=1.0).contains(&obs.cache_hit_rate));
+        // Stripping the block restores the non-profiled shape.
+        let mut stripped = profiled.clone();
+        stripped.obs = None;
+        stripped.timings = Default::default();
+        let mut plain_zeroed = plain.clone();
+        plain_zeroed.timings = Default::default();
+        assert_eq!(stripped.to_json(), plain_zeroed.to_json());
     }
 
     #[test]

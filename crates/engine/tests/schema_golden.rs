@@ -60,6 +60,33 @@ fn report_schema_matches_golden_fixture() {
 }
 
 #[test]
+fn profiled_report_schema_matches_obs_golden_fixture() {
+    // Same run with profiling on: everything from schema_v1.txt plus the
+    // trailing additive `obs` block (minor version SCHEMA_MINOR). The
+    // non-profiled fixture above stays valid because the block is
+    // skip-serialized when absent.
+    let report = engine::Session::new()
+        .archs(&[uarch::Arch::GoldenCove])
+        .limit(2)
+        .threads(1)
+        .profile(true)
+        .run()
+        .unwrap();
+    let obs = report.obs.as_ref().expect("profiled run carries obs");
+    assert_eq!(obs.schema_minor, engine::SCHEMA_MINOR);
+    let v: Value = serde_json::from_str(&report.to_json()).unwrap();
+    let mut derived = String::new();
+    shape(&v, 0, &mut derived);
+    let golden = include_str!("fixtures/schema_v1_obs.txt");
+    assert_eq!(
+        derived.trim(),
+        golden.trim(),
+        "profiled report schema drifted from tests/fixtures/schema_v1_obs.txt — \
+         if this is intentional, update the fixture and bump engine::SCHEMA_MINOR"
+    );
+}
+
+#[test]
 fn analyze_style_single_record_report_has_the_same_shape() {
     // The one-record report `incore-cli analyze --json` builds through
     // BatchReport::from_records must serialize with the identical shape.

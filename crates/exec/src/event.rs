@@ -207,6 +207,15 @@ pub(crate) fn simulate(
         .any(|d| d.uops.iter().any(|u| u.occupancy.ceil() as u64 > 1));
     let trace_horizon = trace.as_ref().map_or(0, |(_, m)| *m);
 
+    // Profiling aggregates stay in locals and are emitted once at the end
+    // of the run; when the recorder is off the only cost is this one load
+    // plus a predictable per-site branch on the cached bool.
+    let profiling = obs::enabled();
+    let mut prof_heap_pops: u64 = 0;
+    let mut prof_port_issued: Vec<u64> = if profiling { vec![0; np] } else { Vec::new() };
+    let mut prof_teleport_cycles: Option<u64> = None;
+    let mut prof_extrapolated_iters: u64 = 0;
+
     let mut next_dispatch = (0usize, 0usize); // (iter, idx)
     let mut rob_uops: u64 = 0;
     let mut sched_uops: u64 = 0;
@@ -345,6 +354,9 @@ pub(crate) fn simulate(
             s.wake.push(key);
         }
         s.wake.sort_unstable();
+        if profiling {
+            prof_heap_pops += s.wake.len() as u64;
+        }
         for i in 0..s.wake.len() {
             let wi = s.wake[i] - base_key;
             let (w_iter, w_idx) = (s.window[wi].iter, s.window[wi].idx);
@@ -401,6 +413,9 @@ pub(crate) fn simulate(
                 }
                 if let Some(p) = best {
                     s.port_taken[p] = true;
+                    if profiling {
+                        prof_port_issued[p] += 1;
+                    }
                     // A blocking µ-op holds its port beyond this cycle.
                     let occ = u.occupancy.ceil() as u64;
                     if occ > 1 {
@@ -497,6 +512,9 @@ pub(crate) fn simulate(
                             }
                         }
                         early_exit_iter = Some(retired_iters);
+                        if profiling {
+                            prof_extrapolated_iters = (total_iters - retired_iters) as u64;
+                        }
                         retired_iters = total_iters;
                         // Every dispatched µ-op issues before the final
                         // retirement, so the grand total is exact.
@@ -560,6 +578,10 @@ pub(crate) fn simulate(
                             }
                         }
                         early_exit_iter = Some(retired_iters);
+                        if profiling {
+                            prof_teleport_cycles = Some(jdc);
+                            prof_extrapolated_iters = jdk as u64;
+                        }
                         retired_iters += jdk;
                         next_dispatch.0 += jdk;
                         issued_uops_total += jdk as u64 * sum_uops;
@@ -604,6 +626,34 @@ pub(crate) fn simulate(
             retire_head,
         )
         .min(max_cycles);
+    }
+
+    if profiling {
+        obs::counter("sim.calls", 1);
+        obs::counter("sim.cycles", now);
+        obs::counter("sim.heap.pops", prof_heap_pops);
+        obs::counter("sim.samples.taken", samples_taken as u64);
+        obs::counter(
+            if early_exit_iter.is_some() {
+                "sim.steady.hit"
+            } else {
+                "sim.steady.miss"
+            },
+            1,
+        );
+        obs::counter("sim.iters.extrapolated", prof_extrapolated_iters);
+        if let Some(jdc) = prof_teleport_cycles {
+            obs::observe("sim.teleport.cycles", jdc);
+        }
+        for (p, &cnt) in prof_port_issued.iter().enumerate() {
+            let name = machine.port_model.ports[p].name;
+            obs::counter(&format!("sim.port.{name}.issued"), cnt);
+            // Per-port occupancy (issue slots used per 100 cycles), one
+            // observation per simulated kernel.
+            if let Some(pct) = (cnt * 100).checked_div(now) {
+                obs::observe(&format!("sim.port.{name}.occupancy_pct"), pct);
+            }
+        }
     }
 
     crate::finish(

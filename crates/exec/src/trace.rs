@@ -6,8 +6,17 @@ use crate::SimConfig;
 use isa::Kernel;
 use uarch::Machine;
 
-/// Render a pipeline trace of the first `iters` iterations.
+/// Render a pipeline trace of the first `iters` iterations, at the
+/// default width of 100 cycle columns.
 pub fn render(machine: &Machine, kernel: &Kernel, iters: usize) -> String {
+    render_width(machine, kernel, iters, 100)
+}
+
+/// Render a pipeline trace of the first `iters` iterations, showing at
+/// most `width` cycle columns. Lifecycles extending past the window are
+/// cut with an explicit `… (+N cycles elided)` marker instead of being
+/// silently truncated.
+pub fn render_width(machine: &Machine, kernel: &Kernel, iters: usize, width: u64) -> String {
     use std::fmt::Write;
     let cfg = SimConfig {
         iterations: iters.max(1) + 2,
@@ -26,12 +35,9 @@ pub fn render(machine: &Machine, kernel: &Kernel, iters: usize) -> String {
         return out;
     }
     let t0 = events.iter().map(|e| e.dispatched).min().unwrap_or(0);
-    let t_end = events
-        .iter()
-        .map(|e| e.retired + 1)
-        .max()
-        .unwrap_or(1)
-        .min(t0 + 100);
+    let t_full = events.iter().map(|e| e.retired + 1).max().unwrap_or(1);
+    let t_end = t_full.min(t0 + width.max(1));
+    let elided = t_full - t_end;
 
     let _ = write!(out, "{:<10}", "");
     for t in t0..t_end {
@@ -71,6 +77,9 @@ pub fn render(machine: &Machine, kernel: &Kernel, iters: usize) -> String {
             .map(|i| i.raw.as_str())
             .unwrap_or("");
         let _ = writeln!(out, " {text}");
+    }
+    if elided > 0 {
+        let _ = writeln!(out, "… (+{elided} cycles elided; rerun with a wider trace)");
     }
     out
 }
@@ -125,6 +134,27 @@ mod tests {
         );
         // Retirement is in order.
         assert!(add.retired >= mul.retired);
+    }
+
+    #[test]
+    fn narrow_width_marks_elided_cycles() {
+        let m = Machine::neoverse_v2();
+        // Serial fdiv chain: the trace easily outruns a 10-column window.
+        let k = parse_kernel(
+            ".L1:\n fdiv d0, d0, d1\n fdiv d0, d0, d2\n subs x5, x5, #1\n b.ne .L1\n",
+            Isa::AArch64,
+        )
+        .unwrap();
+        let narrow = render_width(&m, &k, 3, 10);
+        assert!(
+            narrow.contains("cycles elided"),
+            "narrow trace must announce the cut:\n{narrow}"
+        );
+        // A window wide enough for the whole lifecycle shows no marker.
+        let wide = render_width(&m, &k, 3, 10_000);
+        assert!(!wide.contains("cycles elided"));
+        // The default width delegates to render_width(…, 100).
+        assert_eq!(render(&m, &k, 3), render_width(&m, &k, 3, 100));
     }
 
     #[test]

@@ -95,6 +95,14 @@ fn single_core_base(
     scfg: StreamConfig,
     scratch: &mut SweepScratch,
 ) -> BasePerLine {
+    let _span = obs::enabled().then(|| {
+        obs::counter("storebench.base_sims", 1);
+        obs::span(&format!(
+            "storebench.base {} {}",
+            machine.arch.label(),
+            kind.label()
+        ))
+    });
     let h = pooled(&mut scratch.pool, machine, machine.cores);
     h.set_line_claim(cfg.mode == WaMode::AutoClaim);
     let line = h.line_bytes();
@@ -197,6 +205,17 @@ pub fn sweep_points(
     scratch: &mut SweepScratch,
 ) -> Vec<StorePoint> {
     let cfg = WaConfig::for_arch(machine.arch);
+    // One span per (machine, kind) sweep; the per-stream counters under
+    // it come from `crate::stream`. Inert unless the recorder is on.
+    let _span = obs::enabled().then(|| {
+        obs::counter("storebench.sweeps", 1);
+        obs::counter("storebench.points", counts.len() as u64);
+        obs::span(&format!(
+            "storebench.sweep {} {}",
+            machine.arch.label(),
+            kind.label()
+        ))
+    });
     match kind {
         StoreKind::Standard => {
             let base = single_core_base(machine, &cfg, kind, 1, scfg, scratch);

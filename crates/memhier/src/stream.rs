@@ -249,7 +249,54 @@ mod debug_tests {
 
 /// Run `p` against `sink`, extrapolating once a steady period is seen.
 /// Bit-identical to issuing every access through `access_one`.
+///
+/// When the [`obs`] recorder is on, the per-level counter deltas and the
+/// fast-path-vs-oracle attribution of this one stream are emitted after
+/// the run; the disabled cost is a single atomic load.
 pub(crate) fn run_stream<S: StreamSink>(
+    sink: &mut S,
+    p: StreamPattern,
+    cfg: StreamConfig,
+    s: &mut MemScratch,
+) -> StreamOutcome {
+    if !obs::enabled() {
+        return run_stream_inner(sink, p, cfg, s);
+    }
+    let pre: Vec<CacheStats> = (0..sink.num_levels())
+        .map(|i| sink.level(i).stats)
+        .collect();
+    let pre_mem = sink.mem();
+    let out = run_stream_inner(sink, p, cfg, s);
+    obs::counter("mem.stream.calls", 1);
+    obs::counter(
+        if out.fast_path {
+            "mem.stream.fast_path"
+        } else {
+            "mem.stream.oracle"
+        },
+        1,
+    );
+    obs::counter("mem.stream.accesses", p.count);
+    obs::counter("mem.stream.extrapolated", out.extrapolated);
+    for (i, before) in pre.iter().enumerate() {
+        let d = sub_stats(sink.level(i).stats, *before);
+        let l = i + 1;
+        obs::counter(&format!("mem.l{l}.loads"), d.loads);
+        obs::counter(&format!("mem.l{l}.stores"), d.stores);
+        obs::counter(&format!("mem.l{l}.load_misses"), d.load_misses);
+        obs::counter(&format!("mem.l{l}.store_misses"), d.store_misses);
+        obs::counter(&format!("mem.l{l}.claims"), d.claims);
+        obs::counter(&format!("mem.l{l}.writebacks"), d.writebacks);
+    }
+    obs::counter("mem.read_bytes", sink.mem().read_bytes - pre_mem.read_bytes);
+    obs::counter(
+        "mem.write_bytes",
+        sink.mem().write_bytes - pre_mem.write_bytes,
+    );
+    out
+}
+
+fn run_stream_inner<S: StreamSink>(
     sink: &mut S,
     p: StreamPattern,
     cfg: StreamConfig,

@@ -1,0 +1,518 @@
+//! Zero-dependency observability: spans, counters, and histograms
+//! behind a process-global recorder that costs one relaxed atomic load
+//! when disabled.
+//!
+//! The predictor stack's hot layers (`exec::event`, `memhier::stream`,
+//! `engine::Session`) aggregate their statistics in locals and emit them
+//! here **once per call**, gated on [`enabled`]; the disabled path is a
+//! single `AtomicBool` load, so instrumented code is byte- and
+//! timing-identical (within noise) to uninstrumented code unless a
+//! profile was requested. `bench::obsbench` asserts both properties on
+//! the full corpus.
+//!
+//! The recorder is thread-aware without depending on any thread pool:
+//! every recording thread gets a small process-unique id on first use
+//! (the vendored rayon pool spawns scoped threads per `collect`, so ids
+//! are assigned lazily rather than at pool construction), and spans
+//! carry that id plus the per-thread nesting depth so [`Profile`] can
+//! render a per-stage tree and a Chrome-trace with one track per
+//! thread.
+//!
+//! A [`Profile`] drained with [`take`] renders three ways:
+//! [`Profile::render_text`] (indented span tree plus counter/histogram
+//! tables), [`Profile::to_json`] (stable hand-emitted JSON for CI
+//! schema checks), and [`Profile::to_chrome_trace`] (Chrome trace event
+//! format — `"X"` complete events and `"C"` counter events — loadable
+//! in `about:tracing` or Perfetto).
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Is the recorder on? Inlined so instrumentation sites compile to a
+/// single relaxed load plus a predictable branch when profiling is off.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+struct Inner {
+    epoch: Instant,
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    spans: Vec<SpanRecord>,
+}
+
+impl Inner {
+    fn new() -> Inner {
+        Inner {
+            epoch: Instant::now(),
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            spans: Vec::new(),
+        }
+    }
+}
+
+fn collector() -> &'static Mutex<Inner> {
+    static COLLECTOR: OnceLock<Mutex<Inner>> = OnceLock::new();
+    COLLECTOR.get_or_init(|| Mutex::new(Inner::new()))
+}
+
+/// Turn the recorder on, discarding anything recorded before.
+pub fn enable() {
+    *collector().lock().expect("obs collector poisoned") = Inner::new();
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn the recorder off. Recorded data stays until [`take`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Add `delta` to the named counter. No-op while disabled.
+pub fn counter(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut inner = collector().lock().expect("obs collector poisoned");
+    *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+}
+
+/// Record one observation into the named power-of-two histogram.
+/// No-op while disabled.
+pub fn observe(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut inner = collector().lock().expect("obs collector poisoned");
+    inner
+        .histograms
+        .entry(name.to_string())
+        .or_default()
+        .record(value);
+}
+
+/// Open a named span; it records itself when dropped. While disabled
+/// the guard is inert (no clock read, no lock).
+pub fn span(name: &str) -> Span {
+    if !enabled() {
+        return Span {
+            name: String::new(),
+            start: None,
+            depth: 0,
+        };
+    }
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    Span {
+        name: name.to_string(),
+        start: Some(Instant::now()),
+        depth,
+    }
+}
+
+/// RAII guard returned by [`span`].
+pub struct Span {
+    name: String,
+    start: Option<Instant>,
+    depth: u32,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let tid = TID.with(|t| *t);
+        let mut inner = collector().lock().expect("obs collector poisoned");
+        let start_us = start
+            .saturating_duration_since(inner.epoch)
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64;
+        let dur_us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        let name = std::mem::take(&mut self.name);
+        let depth = self.depth;
+        inner.spans.push(SpanRecord {
+            name,
+            tid,
+            depth,
+            start_us,
+            dur_us,
+        });
+    }
+}
+
+/// Drain everything recorded so far (the recorder's enabled/disabled
+/// state is left alone; subsequent events accumulate into a fresh
+/// profile).
+pub fn take() -> Profile {
+    let mut inner = collector().lock().expect("obs collector poisoned");
+    let drained = std::mem::replace(&mut *inner, Inner::new());
+    let mut spans = drained.spans;
+    spans.sort_by_key(|s| (s.tid, s.start_us, s.depth));
+    Profile {
+        counters: drained.counters,
+        histograms: drained.histograms,
+        spans,
+    }
+}
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    pub name: String,
+    /// Process-unique recording-thread id (assigned on first use).
+    pub tid: u64,
+    /// Nesting depth within its thread at open time.
+    pub depth: u32,
+    /// Microseconds since the recorder was enabled.
+    pub start_us: u64,
+    pub dur_us: u64,
+}
+
+/// Power-of-two-bucketed histogram: bucket `i` holds values whose
+/// bit-length is `i` (bucket 0 is exactly zero), so the whole `u64`
+/// range fits in 65 fixed buckets with no configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+}
+
+fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+impl Histogram {
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_of(value)] += 1;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, c))
+            .collect()
+    }
+}
+
+/// Everything one profiling window recorded, with deterministic
+/// (sorted-key) iteration order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Profile {
+    pub counters: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, Histogram>,
+    pub spans: Vec<SpanRecord>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Profile {
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty() && self.spans.is_empty()
+    }
+
+    /// Indented per-thread span tree followed by counter and histogram
+    /// tables — the `--profile` / `--profile=text` rendering.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("profile\n");
+        if !self.spans.is_empty() {
+            out.push_str("  spans:\n");
+            let mut last_tid = None;
+            for s in &self.spans {
+                if last_tid != Some(s.tid) {
+                    out.push_str(&format!("    thread {}:\n", s.tid));
+                    last_tid = Some(s.tid);
+                }
+                out.push_str(&format!(
+                    "    {:indent$}{} {:.3} ms\n",
+                    "",
+                    s.name,
+                    s.dur_us as f64 / 1e3,
+                    indent = 2 * (s.depth as usize + 1),
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("  counters:\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("    {name:<44} {v:>14}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("  histograms:\n");
+            for (name, h) in &self.histograms {
+                out.push_str(&format!(
+                    "    {:<44} n={} min={} mean={:.1} max={}\n",
+                    name,
+                    h.count,
+                    h.min,
+                    h.mean(),
+                    h.max
+                ));
+            }
+        }
+        out
+    }
+
+    /// Stable hand-emitted JSON (`{"counters":…,"histograms":…,"spans":…}`)
+    /// — what `--profile=json` prints and CI schema-checks.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", json_escape(name), v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
+                json_escape(name),
+                h.count,
+                h.sum,
+                if h.count == 0 { 0 } else { h.min },
+                h.max
+            ));
+        }
+        out.push_str("},\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"tid\":{},\"depth\":{},\"start_us\":{},\"dur_us\":{}}}",
+                json_escape(&s.name),
+                s.tid,
+                s.depth,
+                s.start_us,
+                s.dur_us
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Chrome trace event format: spans become `"X"` complete events
+    /// (one track per recording thread), counters become `"C"` counter
+    /// events at t=0. Load the file in `about:tracing` or Perfetto.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut events = Vec::new();
+        for s in &self.spans {
+            events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"obs\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{}}}",
+                json_escape(&s.name),
+                s.start_us,
+                s.dur_us,
+                s.tid
+            ));
+        }
+        for (name, v) in &self.counters {
+            events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"obs\",\"ph\":\"C\",\"ts\":0,\"pid\":0,\"tid\":0,\"args\":{{\"value\":{}}}}}",
+                json_escape(name),
+                v
+            ));
+        }
+        format!(
+            "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}\n",
+            events.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    // The recorder is process-global; tests that flip it on serialize
+    // through this lock so they don't see each other's events.
+    fn exclusive() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_recorder_drops_everything() {
+        let _g = exclusive();
+        disable();
+        let _ = take();
+        counter("x", 3);
+        observe("h", 7);
+        {
+            let _s = span("dead");
+        }
+        assert!(take().is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_and_sort() {
+        let _g = exclusive();
+        enable();
+        counter("b.two", 2);
+        counter("a.one", 1);
+        counter("b.two", 3);
+        let p = take();
+        disable();
+        assert_eq!(
+            p.counters.iter().collect::<Vec<_>>(),
+            vec![(&"a.one".to_string(), &1), (&"b.two".to_string(), &5)]
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!((h.min, h.max), (0, 1000));
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![(0, 1), (1, 1), (2, 2), (4, 1), (512, 1)]
+        );
+    }
+
+    #[test]
+    fn spans_nest_and_render() {
+        let _g = exclusive();
+        enable();
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+        }
+        let p = take();
+        disable();
+        assert_eq!(p.spans.len(), 2);
+        let outer = p.spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = p.spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        let text = p.render_text();
+        assert!(text.contains("outer"));
+        assert!(text.contains("  inner"));
+    }
+
+    #[test]
+    fn threads_get_distinct_track_ids() {
+        use rayon::prelude::*;
+        let _g = exclusive();
+        enable();
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .expect("pool")
+            .install(|| {
+                let _: Vec<()> = vec![0u32; 8]
+                    .into_par_iter()
+                    .map(|_| {
+                        let _s = span("work");
+                        counter("jobs", 1);
+                    })
+                    .collect();
+            });
+        let p = take();
+        disable();
+        assert_eq!(p.counters.get("jobs"), Some(&8));
+        assert_eq!(p.spans.len(), 8);
+    }
+
+    #[test]
+    fn json_and_chrome_emit_expected_shapes() {
+        let _g = exclusive();
+        enable();
+        counter("c\"quoted", 1);
+        observe("h", 42);
+        {
+            let _s = span("stage");
+        }
+        let p = take();
+        disable();
+        let j = p.to_json();
+        assert!(j.starts_with("{\"counters\":{"));
+        assert!(j.contains("\\\"quoted"));
+        assert!(j.contains("\"spans\":["));
+        let t = p.to_chrome_trace();
+        assert!(t.starts_with("{\"traceEvents\":["));
+        assert!(t.contains("\"ph\":\"X\""));
+        assert!(t.contains("\"ph\":\"C\""));
+        assert!(t.ends_with("}\n"));
+    }
+
+    #[test]
+    fn take_resets_epoch_between_windows() {
+        let _g = exclusive();
+        enable();
+        counter("first", 1);
+        let p1 = take();
+        counter("second", 1);
+        let p2 = take();
+        disable();
+        assert!(p1.counters.contains_key("first") && !p1.counters.contains_key("second"));
+        assert!(p2.counters.contains_key("second") && !p2.counters.contains_key("first"));
+    }
+}
