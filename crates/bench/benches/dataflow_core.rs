@@ -1,0 +1,91 @@
+//! Dataflow-extraction benchmark with micro-asserts: time
+//! `isa::dataflow::dataflow` over every instruction of the full corpus,
+//! and assert on the way that the extracted effect sets are bounded and
+//! alias-deduplicated — the contract the small-vec dedupe in
+//! `Dataflow::read`/`write` exists to keep. A regression that reintroduces
+//! duplicate alias entries (or quadratic blowup via unbounded sets) fails
+//! the assert before it shows up as a timing drift.
+
+use criterion::{criterion_group, Criterion};
+use isa::dataflow::dataflow;
+
+/// No instruction in either ISA legitimately touches more registers than
+/// this; a larger set means the dedupe failed and aliases piled up.
+const MAX_EFFECTS: usize = 12;
+
+/// The corpus, generated and parsed once: (chip, kernel) per variant.
+fn corpus() -> Vec<(&'static str, isa::Kernel)> {
+    uarch::all_machines()
+        .iter()
+        .flat_map(|m| {
+            kernels::variants_for(m.arch)
+                .into_iter()
+                .map(|v| (m.arch.chip(), kernels::generate_kernel(&v, m)))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Extract dataflow for every instruction, asserting the effect-set
+/// invariants, and return a checksum so the work cannot be optimized out.
+fn sweep(blocks: &[(&str, isa::Kernel)]) -> usize {
+    let mut total = 0usize;
+    for (chip, kernel) in blocks {
+        for inst in &kernel.instructions {
+            let f = dataflow(inst);
+            assert!(
+                f.reads.len() <= MAX_EFFECTS && f.writes.len() <= MAX_EFFECTS,
+                "{chip}: {} reads {} / writes {} — dedupe regressed",
+                inst.raw,
+                f.reads.len(),
+                f.writes.len()
+            );
+            for (i, a) in f.reads.iter().enumerate() {
+                for b in &f.reads[i + 1..] {
+                    assert!(
+                        !a.aliases(b),
+                        "{chip}: duplicate read alias in {}",
+                        inst.raw
+                    );
+                }
+            }
+            for (i, a) in f.writes.iter().enumerate() {
+                for b in &f.writes[i + 1..] {
+                    assert!(
+                        !a.aliases(b),
+                        "{chip}: duplicate write alias in {}",
+                        inst.raw
+                    );
+                }
+            }
+            total += f.reads.len() + f.writes.len();
+        }
+    }
+    total
+}
+
+fn dataflow_extraction(c: &mut Criterion) {
+    let blocks = corpus();
+    let insts: usize = blocks.iter().map(|(_, k)| k.instructions.len()).sum();
+    let mut g = c.benchmark_group("dataflow_core");
+    g.sample_size(20);
+    g.bench_function(format!("extract/{insts}-insts"), |b| {
+        b.iter(|| sweep(&blocks))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, dataflow_extraction);
+
+fn main() {
+    benches();
+    // One audited pass outside the timing loop so the invariants hold
+    // even when the bench is run with a sampling profile that skips work.
+    let blocks = corpus();
+    let effects = sweep(&blocks);
+    eprintln!(
+        "[dataflow_core] {} blocks, {} effects extracted — alias sets bounded and deduplicated",
+        blocks.len(),
+        effects
+    );
+}

@@ -136,6 +136,38 @@ pub struct AnalyzeFlags {
     pub profile: Option<ProfileMode>,
 }
 
+/// Options for `incore-cli lint` — the static-analysis driver.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LintOpts {
+    /// Assembly file to lint (kernel rules + predictor divergence).
+    pub path: Option<String>,
+    /// Machine to lint, or to lint the kernel against.
+    pub arch: Option<uarch::Arch>,
+    /// JSON machine file to lint (takes precedence over `arch` when
+    /// resolving the kernel's machine).
+    pub machine_file: Option<String>,
+    pub json: bool,
+    /// Emit a SARIF 2.1.0 report instead of text/JSON.
+    pub sarif: bool,
+    pub strict: bool,
+    pub sim: bool,
+    /// Run the machine-model admission gate (rules M008–M010) over the
+    /// selected machines (or all three built-ins).
+    pub admission: bool,
+    /// Lint every generated corpus kernel of the selected machines.
+    pub corpus: bool,
+    /// Rule codes promoted to error severity.
+    pub deny: Vec<String>,
+    /// Rule codes demoted to info severity (never fail the run).
+    pub allow: Vec<String>,
+    /// Baseline file: findings whose fingerprints it lists are suppressed.
+    pub baseline: Option<String>,
+    /// Write the current findings' fingerprints to this baseline file.
+    pub write_baseline: Option<String>,
+    /// Worker threads for `--corpus`; 0 = all cores (output identical).
+    pub threads: usize,
+}
+
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -151,20 +183,9 @@ pub enum Command {
     /// Validate the predictors over the kernel corpus (Fig. 3 pipeline).
     Validate(ValidateOpts),
     Machines,
-    /// Run the `diag` lint rules over a kernel, a machine file, or the
-    /// built-in machine models.
-    Lint {
-        /// Assembly file to lint (kernel rules + predictor divergence).
-        path: Option<String>,
-        /// Machine to lint, or to lint the kernel against.
-        arch: Option<uarch::Arch>,
-        /// JSON machine file to lint (takes precedence over `arch` when
-        /// resolving the kernel's machine).
-        machine_file: Option<String>,
-        json: bool,
-        strict: bool,
-        sim: bool,
-    },
+    /// Run the static diagnostics over a kernel, a machine file, the
+    /// built-in machine models, or the whole corpus.
+    Lint(LintOpts),
     /// Export a built-in machine model as a JSON machine file.
     Export {
         arch: uarch::Arch,
@@ -316,43 +337,42 @@ pub fn parse_args(args: &[String]) -> Result<Command, Error> {
             Ok(Command::Validate(opts))
         }
         "lint" => {
-            let mut path = None;
-            let mut arch = None;
-            let mut machine_file = None;
-            let (mut json, mut strict, mut sim) = (false, false, false);
+            let mut opts = LintOpts::default();
             while let Some(a) = it.next() {
                 match a.as_str() {
-                    "--arch" => arch = Some(next_arch(&mut it)?),
+                    "--arch" => opts.arch = Some(next_arch(&mut it)?),
                     "--machine-file" => {
-                        machine_file = Some(
-                            it.next()
-                                .ok_or_else(|| Error::usage("--machine-file needs a path"))?
-                                .to_string(),
-                        )
+                        opts.machine_file = Some(next_value(&mut it, "--machine-file")?)
                     }
-                    "--json" => json = true,
-                    "--strict" => strict = true,
-                    "--sim" => sim = true,
+                    "--json" => opts.json = true,
+                    "--sarif" => opts.sarif = true,
+                    "--strict" => opts.strict = true,
+                    "--sim" => opts.sim = true,
+                    "--admission" => opts.admission = true,
+                    "--corpus" => opts.corpus = true,
+                    "--deny" => opts.deny.push(next_value(&mut it, "--deny")?),
+                    "--allow" => opts.allow.push(next_value(&mut it, "--allow")?),
+                    "--baseline" => opts.baseline = Some(next_value(&mut it, "--baseline")?),
+                    "--write-baseline" => {
+                        opts.write_baseline = Some(next_value(&mut it, "--write-baseline")?)
+                    }
+                    "--threads" => opts.threads = next_value(&mut it, "--threads")?,
                     flag if flag.starts_with("--") => {
                         return Err(Error::usage(format!("unknown flag `{flag}`")))
                     }
-                    p if path.is_none() => path = Some(p.to_string()),
+                    p if opts.path.is_none() => opts.path = Some(p.to_string()),
                     extra => return Err(Error::usage(format!("unexpected argument `{extra}`"))),
                 }
             }
-            if path.is_some() && arch.is_none() && machine_file.is_none() {
+            if opts.path.is_some() && opts.arch.is_none() && opts.machine_file.is_none() {
                 return Err(Error::usage(
                     "--arch (or --machine-file) is required when linting a kernel",
                 ));
             }
-            Ok(Command::Lint {
-                path,
-                arch,
-                machine_file,
-                json,
-                strict,
-                sim,
-            })
+            if opts.json && opts.sarif {
+                return Err(Error::usage("--json and --sarif are mutually exclusive"));
+            }
+            Ok(Command::Lint(opts))
         }
         "analyze" => {
             let mut path = None;
@@ -469,11 +489,20 @@ USAGE:
       why the predictors disagree (divergence rules D001/D002, attribution rule D003)
       --machine-file <file.json>  explain against an edited machine model
       --iterations / --warmup / --no-early-exit   as for analyze (reference simulator)
-  incore-cli lint [file.s] [flags]    run the static diagnostics (rule codes K*, M*, D*)
+  incore-cli lint [file.s] [flags]    run the static diagnostics (rule codes K*, M*, D*, S*)
       --arch <machine>     machine for kernel lints / single machine to lint
       --machine-file <file.json>  lint an edited machine file (also used for kernel lints)
       --sim        include the cycle-level simulator in the divergence check
+      --admission  run the machine-model admission gate (M008-M010): the machine's
+                   tables must cover every instruction form its corpus decodes to
+      --corpus     lint every generated corpus kernel (K001-K010), in parallel
+      --threads <n>        worker threads for --corpus (output identical at any count)
+      --deny <CODE>        promote a rule to error severity (repeatable)
+      --allow <CODE>       demote a rule to info severity (repeatable; wins over --deny)
+      --baseline <file>    suppress findings recorded in a baseline file
+      --write-baseline <file>  record current findings as the baseline, exit 0
       --json       emit a machine-readable JSON report
+      --sarif      emit a SARIF 2.1.0 report (for code-scanning upload)
       --strict     treat warnings as errors (nonzero exit)
       with no file and no --arch, all three built-in models are linted
   incore-cli machines                 list the three machine models (Table II)
@@ -898,6 +927,12 @@ pub enum LintTarget<'a> {
         asm: &'a str,
         sim: bool,
     },
+    /// The machine-model admission gate (rules M008–M010): cross-check a
+    /// machine's tables against the ISA coverage its corpus demands.
+    Admission {
+        label: String,
+        machine: uarch::Machine,
+    },
 }
 
 impl LintTarget<'_> {
@@ -906,6 +941,7 @@ impl LintTarget<'_> {
             LintTarget::Machine(m) => format!("machine:{}", m.arch.label()),
             LintTarget::MachineFile { label, .. } => format!("machine-file:{label}"),
             LintTarget::Kernel { label, .. } => format!("kernel:{label}"),
+            LintTarget::Admission { label, .. } => format!("admission:{label}"),
         }
     }
 
@@ -918,26 +954,102 @@ impl LintTarget<'_> {
             } => {
                 let (kernel, mut diags) = diag::lint_assembly(machine, asm);
                 if let Some(k) = kernel {
+                    diags.extend(semck::lint_kernel_sem(machine, &k));
                     diags.extend(diag::lint_divergence(machine, &k, *sim).1);
                 }
                 diags
             }
+            LintTarget::Admission { machine, .. } => semck::lint_admission(machine),
         }
     }
 }
 
-/// Run the lint rules over every target and render the combined report.
-/// Returns the report and the process exit code (0 clean, 1 findings under
-/// the [`diag::exit_code`] policy).
-pub fn run_lint(targets: &[LintTarget], json: bool, strict: bool) -> (String, i32) {
+/// How a lint run renders and gates its findings — the policy half of
+/// [`LintOpts`] (everything except target selection and file paths, which
+/// `main` resolves into [`LintTarget`]s and file contents).
+#[derive(Debug, Clone, Default)]
+pub struct LintPolicy {
+    pub json: bool,
+    /// SARIF 2.1.0 output (wins over `json`-style rendering).
+    pub sarif: bool,
+    pub strict: bool,
+    /// Rule codes promoted to error severity.
+    pub deny: Vec<String>,
+    /// Rule codes demoted to info severity (never fail the run).
+    pub allow: Vec<String>,
+    /// Baseline file *content*: one fingerprint per line; matching
+    /// findings are suppressed before rendering and gating.
+    pub baseline: Option<String>,
+}
+
+/// Result of a lint run: the rendered report, the process exit code, and
+/// the sorted fingerprints of every finding (what `--write-baseline`
+/// serializes).
+pub struct LintOutcome {
+    pub output: String,
+    pub exit_code: i32,
+    pub fingerprints: Vec<String>,
+}
+
+/// Stable identity of one finding for baseline matching. Deliberately
+/// excludes severity and message text so `--deny`/`--allow` and message
+/// rewording don't invalidate a recorded baseline.
+fn fingerprint(target: &str, d: &diag::Diagnostic) -> String {
+    let (line, snippet) = d
+        .span
+        .as_ref()
+        .map(|s| (s.line, s.snippet.as_str()))
+        .unwrap_or((0, ""));
+    format!("{target}|{}|{line}|{snippet}", d.code)
+}
+
+/// Run the lint rules over every target (plus any precomputed results,
+/// e.g. a parallel corpus sweep), apply the severity overrides and the
+/// baseline filter, and render the combined report.
+pub fn run_lint_with(
+    targets: &[LintTarget],
+    precomputed: Vec<(String, Vec<diag::Diagnostic>)>,
+    policy: &LintPolicy,
+) -> LintOutcome {
     use std::fmt::Write;
-    let results: Vec<(String, Vec<diag::Diagnostic>)> =
+    let mut results: Vec<(String, Vec<diag::Diagnostic>)> =
         targets.iter().map(|t| (t.name(), t.lint())).collect();
+    results.extend(precomputed);
+    // Severity overrides: --deny promotes, --allow demotes (and wins when
+    // a code appears in both, so a blanket deny can carry exceptions).
+    for (_, diags) in &mut results {
+        for d in diags {
+            if policy.deny.iter().any(|c| c == d.code) {
+                d.severity = diag::Severity::Error;
+            }
+            if policy.allow.iter().any(|c| c == d.code) {
+                d.severity = diag::Severity::Info;
+            }
+        }
+    }
+    let mut fingerprints: Vec<String> = results
+        .iter()
+        .flat_map(|(name, diags)| diags.iter().map(|d| fingerprint(name, d)))
+        .collect();
+    fingerprints.sort();
+    fingerprints.dedup();
+    if let Some(baseline) = &policy.baseline {
+        let known: std::collections::BTreeSet<&str> = baseline
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .collect();
+        for (name, diags) in &mut results {
+            diags.retain(|d| !known.contains(fingerprint(name, d).as_str()));
+        }
+    }
     let all: Vec<diag::Diagnostic> = results
         .iter()
         .flat_map(|(_, d)| d.iter().cloned())
         .collect();
-    let out = if json {
+    let output = if policy.sarif {
+        diag::render_sarif(&results)
+    } else if policy.json {
         let mut s = diag::render_json_targets(&results);
         s.push('\n');
         s
@@ -949,7 +1061,53 @@ pub fn run_lint(targets: &[LintTarget], json: bool, strict: bool) -> (String, i3
         }
         s
     };
-    (out, diag::exit_code(&all, strict))
+    LintOutcome {
+        output,
+        exit_code: diag::exit_code(&all, policy.strict),
+        fingerprints,
+    }
+}
+
+/// Run the lint rules over every target and render the combined report.
+/// Returns the report and the process exit code (0 clean, 1 findings under
+/// the [`diag::exit_code`] policy). Thin wrapper over [`run_lint_with`]
+/// with the default policy.
+pub fn run_lint(targets: &[LintTarget], json: bool, strict: bool) -> (String, i32) {
+    let outcome = run_lint_with(
+        targets,
+        Vec::new(),
+        &LintPolicy {
+            json,
+            strict,
+            ..LintPolicy::default()
+        },
+    );
+    (outcome.output, outcome.exit_code)
+}
+
+/// Resolve the lint options into the admission-gate targets: the chosen
+/// built-in machines, plus any imported machine file (labelled by path).
+pub fn admission_targets<'a>(
+    arch: Option<uarch::Arch>,
+    imported: Option<(&str, &uarch::Machine)>,
+) -> Vec<LintTarget<'a>> {
+    let mut targets = Vec::new();
+    let builtin: Vec<uarch::Machine> = match arch {
+        Some(a) => vec![machine_for(a)],
+        None if imported.is_none() => uarch::all_machines(),
+        None => Vec::new(),
+    };
+    for m in builtin {
+        let label = m.arch.label().to_string();
+        targets.push(LintTarget::Admission { label, machine: m });
+    }
+    if let Some((label, m)) = imported {
+        targets.push(LintTarget::Admission {
+            label: label.to_string(),
+            machine: m.clone(),
+        });
+    }
+    targets
 }
 
 #[cfg(test)]
@@ -1344,43 +1502,259 @@ mod tests {
     fn parse_lint_variants() {
         assert_eq!(
             parse_args(&sv(&["lint"])).unwrap(),
-            Command::Lint {
-                path: None,
-                arch: None,
-                machine_file: None,
-                json: false,
-                strict: false,
-                sim: false,
-            }
+            Command::Lint(LintOpts::default())
         );
         assert_eq!(
             parse_args(&sv(&[
                 "lint", "k.s", "--arch", "spr", "--json", "--strict", "--sim"
             ]))
             .unwrap(),
-            Command::Lint {
+            Command::Lint(LintOpts {
                 path: Some("k.s".into()),
                 arch: Some(uarch::Arch::GoldenCove),
-                machine_file: None,
                 json: true,
                 strict: true,
                 sim: true,
-            }
+                ..LintOpts::default()
+            })
         );
         assert_eq!(
             parse_args(&sv(&["lint", "k.s", "--machine-file", "m.json"])).unwrap(),
-            Command::Lint {
+            Command::Lint(LintOpts {
                 path: Some("k.s".into()),
-                arch: None,
                 machine_file: Some("m.json".into()),
-                json: false,
-                strict: false,
-                sim: false,
-            }
+                ..LintOpts::default()
+            })
+        );
+        assert_eq!(
+            parse_args(&sv(&[
+                "lint",
+                "--admission",
+                "--corpus",
+                "--threads",
+                "3",
+                "--deny",
+                "K004",
+                "--deny",
+                "M007",
+                "--allow",
+                "K001",
+                "--baseline",
+                "base.txt",
+                "--write-baseline",
+                "new.txt",
+                "--sarif",
+            ]))
+            .unwrap(),
+            Command::Lint(LintOpts {
+                admission: true,
+                corpus: true,
+                threads: 3,
+                deny: vec!["K004".into(), "M007".into()],
+                allow: vec!["K001".into()],
+                baseline: Some("base.txt".into()),
+                write_baseline: Some("new.txt".into()),
+                sarif: true,
+                ..LintOpts::default()
+            })
         );
         // A kernel needs a machine to lint against.
         assert!(parse_args(&sv(&["lint", "k.s"])).is_err());
         assert!(parse_args(&sv(&["lint", "--wat"])).is_err());
+        // The two machine-readable formats are mutually exclusive.
+        assert!(parse_args(&sv(&["lint", "--json", "--sarif"])).is_err());
+        assert!(parse_args(&sv(&["lint", "--deny"])).is_err());
+    }
+
+    #[test]
+    fn admission_gate_passes_builtins_and_rejects_gutted_machine() {
+        // All three built-in machines clear the admission gate.
+        let targets = admission_targets(None, None);
+        assert_eq!(targets.len(), 3);
+        let (out, code) = run_lint(&targets, false, false);
+        assert_eq!(code, 0, "{out}");
+        for label in ["Neoverse V2", "Golden Cove", "Zen 4"] {
+            assert!(out.contains(&format!("== admission:{label} ==")), "{out}");
+        }
+        // A machine file whose tables lost an opcode class its corpus
+        // needs (the FMA entries) is rejected with an M008 error.
+        let mut m = machine_for(uarch::Arch::GoldenCove);
+        m.table
+            .retain(|e| !e.mnemonics.iter().any(|mn| mn.starts_with("vfmadd")));
+        let targets = admission_targets(None, Some(("gutted.json", &m)));
+        assert_eq!(targets.len(), 1);
+        let (out, code) = run_lint(&targets, false, false);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("M008"), "{out}");
+        assert!(out.contains("== admission:gutted.json =="), "{out}");
+        // --arch restricts the builtin set to one machine.
+        let targets = admission_targets(Some(uarch::Arch::Zen4), None);
+        assert_eq!(targets.len(), 1);
+        assert_eq!(targets[0].name(), "admission:Zen 4");
+    }
+
+    #[test]
+    fn fixture_machine_file_is_rejected_by_the_admission_gate() {
+        // The checked-in acceptance fixture: Golden Cove with its FMA
+        // entries stripped. It must import cleanly (the structural rules
+        // can't see the gap) yet fail `lint --admission`.
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../fixtures/machines/golden_cove_no_fma.json"
+        );
+        let json = std::fs::read_to_string(path).expect("fixture exists");
+        let m = uarch::Machine::from_json(&json).expect("fixture imports");
+        let (out, code) = run_lint(
+            &[LintTarget::MachineFile {
+                label: "golden_cove_no_fma.json",
+                json: &json,
+            }],
+            false,
+            false,
+        );
+        assert_eq!(code, 0, "structural lint must not catch the gap: {out}");
+        let targets = admission_targets(None, Some(("golden_cove_no_fma.json", &m)));
+        let (out, code) = run_lint(&targets, false, false);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("M008"), "{out}");
+        assert!(out.contains("vfmadd"), "{out}");
+    }
+
+    #[test]
+    fn deny_and_allow_override_severities() {
+        // Mixed SSE/AVX fires K004 as a warning: relaxed runs pass.
+        let m = machine_for(uarch::Arch::GoldenCove);
+        let asm = ".L1:\n addps %xmm0, %xmm1\n vaddpd %ymm2, %ymm3, %ymm4\n \
+                   vmovupd %ymm4, (%rdi)\n movups %xmm1, 32(%rdi)\n \
+                   subq $1, %rax\n jne .L1\n";
+        let mk = || LintTarget::Kernel {
+            label: "mixed.s",
+            machine: &m,
+            asm,
+            sim: false,
+        };
+        // --deny K004 promotes the warning to a failing error.
+        let denied = run_lint_with(
+            &[mk()],
+            Vec::new(),
+            &LintPolicy {
+                deny: vec!["K004".into()],
+                ..LintPolicy::default()
+            },
+        );
+        assert_eq!(denied.exit_code, 1, "{}", denied.output);
+        // --allow K004 keeps even a --strict run green (no other warnings
+        // in this kernel), and wins when the code is denied too.
+        let allowed = run_lint_with(
+            &[mk()],
+            Vec::new(),
+            &LintPolicy {
+                strict: true,
+                deny: vec!["K004".into()],
+                allow: vec!["K004".into(), "K001".into()],
+                ..LintPolicy::default()
+            },
+        );
+        assert_eq!(allowed.exit_code, 0, "{}", allowed.output);
+    }
+
+    #[test]
+    fn baseline_suppresses_recorded_findings() {
+        let m = machine_for(uarch::Arch::GoldenCove);
+        let asm = ".L1:\n addps %xmm0, %xmm1\n vaddpd %ymm2, %ymm3, %ymm4\n \
+                   vmovupd %ymm4, (%rdi)\n movups %xmm1, 32(%rdi)\n \
+                   subq $1, %rax\n jne .L1\n";
+        let mk = || LintTarget::Kernel {
+            label: "mixed.s",
+            machine: &m,
+            asm,
+            sim: false,
+        };
+        let first = run_lint_with(&[mk()], Vec::new(), &LintPolicy::default());
+        assert!(!first.fingerprints.is_empty());
+        assert!(first.output.contains("K004"), "{}", first.output);
+        // Feeding the recorded fingerprints back silences every finding,
+        // even under --strict with the rule denied.
+        let second = run_lint_with(
+            &[mk()],
+            Vec::new(),
+            &LintPolicy {
+                strict: true,
+                deny: vec!["K004".into()],
+                baseline: Some(first.fingerprints.join("\n")),
+                ..LintPolicy::default()
+            },
+        );
+        assert_eq!(second.exit_code, 0, "{}", second.output);
+        assert!(!second.output.contains("K004"), "{}", second.output);
+        // The fingerprints themselves are unaffected by the filter, so
+        // re-writing a baseline from a baselined run loses nothing.
+        assert_eq!(first.fingerprints, second.fingerprints);
+    }
+
+    #[test]
+    fn sarif_output_is_parseable_and_names_targets() {
+        let machines = uarch::all_machines();
+        let targets: Vec<LintTarget> = machines.iter().map(LintTarget::Machine).collect();
+        let outcome = run_lint_with(
+            &targets,
+            Vec::new(),
+            &LintPolicy {
+                sarif: true,
+                ..LintPolicy::default()
+            },
+        );
+        let v: serde_json::Value = serde_json::from_str(&outcome.output).unwrap();
+        let o = v.as_object().unwrap();
+        assert_eq!(o.get("version").unwrap().as_str().unwrap(), "2.1.0");
+        let runs = o.get("runs").unwrap().as_array().unwrap();
+        let run = runs[0].as_object().unwrap();
+        let results = run.get("results").unwrap().as_array().unwrap();
+        // The shipped models carry advisory M007 findings, so the report
+        // is non-empty and every result points at a machine target.
+        assert!(!results.is_empty());
+        for r in results {
+            let uri = r
+                .as_object()
+                .unwrap()
+                .get("locations")
+                .unwrap()
+                .as_array()
+                .unwrap()[0]
+                .as_object()
+                .unwrap()
+                .get("physicalLocation")
+                .unwrap()
+                .as_object()
+                .unwrap()
+                .get("artifactLocation")
+                .unwrap()
+                .as_object()
+                .unwrap()
+                .get("uri")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string();
+            assert!(uri.starts_with("machine:"), "{uri}");
+        }
+    }
+
+    #[test]
+    fn corpus_lint_slice_flows_through_the_driver() {
+        // A corpus slice rides in as precomputed results and renders under
+        // its corpus:{chip}:{variant} target names.
+        let slice = engine::lint_corpus(&[uarch::Arch::Zen4], 2, Some(6));
+        let outcome = run_lint_with(&[], slice.clone(), &LintPolicy::default());
+        assert_eq!(outcome.exit_code, 0, "{}", outcome.output);
+        assert!(
+            outcome.output.contains("== corpus:Genoa:"),
+            "{}",
+            outcome.output
+        );
+        // Byte-identical to a single-threaded sweep, rendered or raw.
+        let one = engine::lint_corpus(&[uarch::Arch::Zen4], 1, Some(6));
+        assert_eq!(slice, one);
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! for everything else).
 
 use cli::{
-    machine_for, parse_args, run_analyze, run_analyze_json, run_explain, run_lint, run_validate,
-    Command, Error, ErrorKind, LintTarget, ProfileMode, USAGE,
+    machine_for, parse_args, run_analyze, run_analyze_json, run_explain, run_validate, Command,
+    Error, ErrorKind, LintTarget, ProfileMode, USAGE,
 };
 
 /// Chrome trace output path for `--profile=chrome`.
@@ -93,19 +93,12 @@ fn run(args: &[String]) -> Result<i32, Error> {
                 return Ok(1);
             }
         }
-        Command::Lint {
-            path,
-            arch,
-            machine_file,
-            json,
-            strict,
-            sim,
-        } => {
-            let file_json = match machine_file.as_deref() {
+        Command::Lint(opts) => {
+            let file_json = match opts.machine_file.as_deref() {
                 Some(p) => Some(read(p)?),
                 None => None,
             };
-            let asm = match path.as_deref() {
+            let asm = match opts.path.as_deref() {
                 Some(p) => Some(read(p)?),
                 None => None,
             };
@@ -114,20 +107,20 @@ fn run(args: &[String]) -> Result<i32, Error> {
             let imported = file_json
                 .as_deref()
                 .and_then(|j| uarch::Machine::from_json(j).ok());
-            let builtin = arch.map(machine_for);
+            let builtin = opts.arch.map(machine_for);
             let all_machines;
             let mut targets: Vec<LintTarget> = Vec::new();
-            if let (Some(f), Some(j)) = (machine_file.as_deref(), file_json.as_deref()) {
+            if let (Some(f), Some(j)) = (opts.machine_file.as_deref(), file_json.as_deref()) {
                 targets.push(LintTarget::MachineFile { label: f, json: j });
             }
-            match (asm.as_deref(), path.as_deref()) {
+            match (asm.as_deref(), opts.path.as_deref()) {
                 (Some(asm), Some(label)) => {
                     match imported.as_ref().or(builtin.as_ref()) {
                         Some(machine) => targets.push(LintTarget::Kernel {
                             label,
                             machine,
                             asm,
-                            sim,
+                            sim: opts.sim,
                         }),
                         // The machine-file lint above already reports why.
                         None => eprintln!(
@@ -135,18 +128,58 @@ fn run(args: &[String]) -> Result<i32, Error> {
                         ),
                     }
                 }
-                _ if machine_file.is_none() => match builtin.as_ref() {
-                    Some(machine) => targets.push(LintTarget::Machine(machine)),
-                    None => {
-                        all_machines = uarch::all_machines();
-                        targets.extend(all_machines.iter().map(LintTarget::Machine));
+                _ if opts.machine_file.is_none() && !opts.admission && !opts.corpus => {
+                    match builtin.as_ref() {
+                        Some(machine) => targets.push(LintTarget::Machine(machine)),
+                        None => {
+                            all_machines = uarch::all_machines();
+                            targets.extend(all_machines.iter().map(LintTarget::Machine));
+                        }
                     }
-                },
+                }
                 _ => {}
             }
-            let (out, code) = run_lint(&targets, json, strict);
-            print!("{out}");
-            return Ok(code);
+            if opts.admission {
+                let file = opts
+                    .machine_file
+                    .as_deref()
+                    .zip(imported.as_ref())
+                    .map(|(p, m)| (p, m));
+                targets.extend(cli::admission_targets(opts.arch, file));
+            }
+            let precomputed = if opts.corpus {
+                let archs: Vec<uarch::Arch> = opts.arch.into_iter().collect();
+                engine::lint_corpus(&archs, opts.threads, None)
+            } else {
+                Vec::new()
+            };
+            let baseline = match opts.baseline.as_deref() {
+                Some(p) => Some(read(p)?),
+                None => None,
+            };
+            let policy = cli::LintPolicy {
+                json: opts.json,
+                sarif: opts.sarif,
+                strict: opts.strict,
+                deny: opts.deny,
+                allow: opts.allow,
+                baseline,
+            };
+            let outcome = cli::run_lint_with(&targets, precomputed, &policy);
+            print!("{}", outcome.output);
+            if let Some(p) = opts.write_baseline.as_deref() {
+                let mut body = outcome.fingerprints.join("\n");
+                if !body.is_empty() {
+                    body.push('\n');
+                }
+                std::fs::write(p, body).map_err(|e| Error::io(p, &e))?;
+                eprintln!(
+                    "baseline: {} fingerprint(s) written to {p}",
+                    outcome.fingerprints.len()
+                );
+                return Ok(0);
+            }
+            return Ok(outcome.exit_code);
         }
         Command::Export { arch } => {
             print!("{}", machine_for(arch).to_json());

@@ -198,6 +198,36 @@ pub const RULES: &[Rule] = &[
         summary: "the assembly could not be parsed",
     },
     Rule {
+        code: "K007",
+        name: "undefined-flag-read",
+        default_severity: Severity::Warning,
+        summary: "a non-branch instruction consumes condition flags that no \
+                  instruction sets on any path, including the loop back-edge",
+    },
+    Rule {
+        code: "K008",
+        name: "loop-carried-dead-value",
+        default_severity: Severity::Warning,
+        summary: "a value computed every iteration never reaches a store, branch, or \
+                  loop-carried dependency cycle — dead in steady state (informs on \
+                  pure loads, a deliberate microbenchmark idiom)",
+    },
+    Rule {
+        code: "K009",
+        name: "unconsumed-comparison",
+        default_severity: Severity::Warning,
+        summary: "a comparison's flag result is overwritten before any consumer \
+                  reads it (cyclically, across the back-edge)",
+    },
+    Rule {
+        code: "K010",
+        name: "depgraph-divergence",
+        default_severity: Severity::Error,
+        summary: "the dataflow framework and incore::depgraph disagree on the \
+                  kernel's dependency edges — the linter and the model would \
+                  silently model different critical paths",
+    },
+    Rule {
         code: "M001",
         name: "orphan-port",
         default_severity: Severity::Warning,
@@ -244,6 +274,56 @@ pub const RULES: &[Rule] = &[
         summary: "a declared cache size is not representable by the hierarchy \
                   simulator's power-of-two set geometry, so the simulated capacity \
                   silently differs from the declared one",
+    },
+    Rule {
+        code: "M008",
+        name: "corpus-coverage",
+        default_severity: Severity::Error,
+        summary: "an instruction form used by the benchmark corpus is missing from \
+                  the machine's database (heuristic timing would be silently used) \
+                  or decodes to a µ-op that no issue port can execute",
+    },
+    Rule {
+        code: "M009",
+        name: "latency-throughput-consistency",
+        default_severity: Severity::Warning,
+        summary: "a fully pipelined entry documents a reciprocal throughput larger \
+                  than its latency — a single dependency chain would outrun the \
+                  documented steady-state rate",
+    },
+    Rule {
+        code: "M010",
+        name: "issue-capacity",
+        default_severity: Severity::Warning,
+        summary: "declared dispatch width is not backed by issue capacity (more \
+                  dispatch slots than ports, or a scheduler smaller than one \
+                  dispatch group)",
+    },
+    Rule {
+        code: "S001",
+        name: "sim-clock-monotonicity",
+        default_severity: Severity::Error,
+        summary: "the simulator's event clock failed to advance strictly",
+    },
+    Rule {
+        code: "S002",
+        name: "sim-port-conservation",
+        default_severity: Severity::Error,
+        summary: "the simulator granted a port already taken this cycle or busy \
+                  beyond it",
+    },
+    Rule {
+        code: "S003",
+        name: "sim-early-wakeup",
+        default_severity: Severity::Error,
+        summary: "the simulator issued a µ-op before all of its operands were ready",
+    },
+    Rule {
+        code: "S004",
+        name: "sim-teleport-equivalence",
+        default_severity: Severity::Error,
+        summary: "the simulator's post-teleport state fingerprint diverged from the \
+                  pre-jump fingerprint",
     },
     Rule {
         code: "D001",
@@ -326,6 +406,26 @@ pub fn render_text(diags: &[Diagnostic]) -> String {
     out
 }
 
+/// Canonical rendering order: rule code, then line, then snippet. Lint
+/// passes run in whatever order the driver composes them (and, for the
+/// corpus, on several threads), so machine-readable output sorts
+/// diagnostics canonically — `--json` diffs and `--baseline` files stay
+/// byte-stable across runs and thread counts.
+pub fn sorted(diags: &[Diagnostic]) -> Vec<Diagnostic> {
+    let mut v = diags.to_vec();
+    v.sort_by(|a, b| {
+        let key = |d: &Diagnostic| {
+            (
+                d.code,
+                d.span.as_ref().map_or(0, |s| s.line),
+                d.span.as_ref().map_or(String::new(), |s| s.snippet.clone()),
+            )
+        };
+        key(a).cmp(&key(b))
+    });
+    v
+}
+
 /// Render diagnostics as a JSON document:
 ///
 /// ```json
@@ -342,6 +442,7 @@ pub fn render_text(diags: &[Diagnostic]) -> String {
 /// `line`, `snippet`, and `help` are omitted when absent.
 pub fn render_json(diags: &[Diagnostic]) -> String {
     use serde_json::{Map, Number, Value};
+    let diags = &sorted(diags)[..];
     let (info, warning, error) = counts(diags);
     let mut counts_obj = Map::new();
     counts_obj.insert("info".into(), Value::Number(Number::PosInt(info as u64)));
@@ -440,6 +541,96 @@ pub fn render_json_targets(targets: &[(String, Vec<Diagnostic>)]) -> String {
     serde_json::to_string_pretty(&Value::Object(root)).expect("diagnostics serialize")
 }
 
+/// Render a multi-target lint run as a minimal SARIF 2.1.0 document, for
+/// upload to code-scanning UIs. One run, one `tool.driver` listing every
+/// rule that produced a finding; each finding becomes a `result` whose
+/// `artifactLocation.uri` is the target name and whose `region.startLine`
+/// is the span line (omitted when the finding has no line). Diagnostics
+/// are emitted in [`sorted`] order within each target, so the document is
+/// byte-stable for identical findings.
+pub fn render_sarif(targets: &[(String, Vec<Diagnostic>)]) -> String {
+    use serde_json::{Map, Number, Value};
+    let level = |s: Severity| match s {
+        Severity::Info => "note",
+        Severity::Warning => "warning",
+        Severity::Error => "error",
+    };
+
+    let mut used: Vec<&'static str> = targets
+        .iter()
+        .flat_map(|(_, d)| d.iter().map(|x| x.code))
+        .collect();
+    used.sort_unstable();
+    used.dedup();
+    let rules_arr: Vec<Value> = used
+        .iter()
+        .filter_map(|code| rule(code))
+        .map(|r| {
+            let mut o = Map::new();
+            o.insert("id".into(), Value::String(r.code.into()));
+            o.insert("name".into(), Value::String(r.name.into()));
+            let mut desc = Map::new();
+            desc.insert("text".into(), Value::String(r.summary.into()));
+            o.insert("shortDescription".into(), Value::Object(desc));
+            Value::Object(o)
+        })
+        .collect();
+
+    let mut results = Vec::new();
+    for (name, diags) in targets {
+        for d in sorted(diags) {
+            let mut r = Map::new();
+            r.insert("ruleId".into(), Value::String(d.code.into()));
+            r.insert("level".into(), Value::String(level(d.severity).into()));
+            let mut msg = Map::new();
+            msg.insert("text".into(), Value::String(d.message.clone()));
+            r.insert("message".into(), Value::Object(msg));
+            let mut phys = Map::new();
+            let mut art = Map::new();
+            art.insert("uri".into(), Value::String(name.clone()));
+            phys.insert("artifactLocation".into(), Value::Object(art));
+            if let Some(s) = &d.span {
+                if s.line > 0 {
+                    let mut region = Map::new();
+                    region.insert(
+                        "startLine".into(),
+                        Value::Number(Number::PosInt(s.line as u64)),
+                    );
+                    phys.insert("region".into(), Value::Object(region));
+                }
+            }
+            let mut loc = Map::new();
+            loc.insert("physicalLocation".into(), Value::Object(phys));
+            r.insert("locations".into(), Value::Array(vec![Value::Object(loc)]));
+            results.push(Value::Object(r));
+        }
+    }
+
+    let mut driver = Map::new();
+    driver.insert("name".into(), Value::String("incore-lint".into()));
+    driver.insert(
+        "informationUri".into(),
+        Value::String("https://github.com/example/incore-model".into()),
+    );
+    driver.insert("rules".into(), Value::Array(rules_arr));
+    let mut tool = Map::new();
+    tool.insert("driver".into(), Value::Object(driver));
+    let mut run = Map::new();
+    run.insert("tool".into(), Value::Object(tool));
+    run.insert("results".into(), Value::Array(results));
+    let mut root = Map::new();
+    root.insert(
+        "$schema".into(),
+        Value::String(
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+                .into(),
+        ),
+    );
+    root.insert("version".into(), Value::String("2.1.0".into()));
+    root.insert("runs".into(), Value::Array(vec![Value::Object(run)]));
+    serde_json::to_string_pretty(&Value::Object(root)).expect("sarif serialize")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -453,8 +644,9 @@ mod tests {
         assert_eq!(codes.len(), n, "duplicate rule codes");
         // The published catalog: these codes must never change meaning.
         for code in [
-            "K001", "K002", "K003", "K004", "K005", "K006", "M001", "M002", "M003", "M004", "M005",
-            "M006", "M007", "D001", "D002", "D003",
+            "K001", "K002", "K003", "K004", "K005", "K006", "K007", "K008", "K009", "K010", "M001",
+            "M002", "M003", "M004", "M005", "M006", "M007", "M008", "M009", "M010", "S001", "S002",
+            "S003", "S004", "D001", "D002", "D003",
         ] {
             assert!(
                 rule(code).is_some(),
@@ -489,6 +681,93 @@ mod tests {
             t.contains("1 finding(s): 0 error(s), 1 warning(s), 0 info"),
             "{t}"
         );
+    }
+
+    #[test]
+    fn json_diagnostic_order_is_canonical_and_input_order_independent() {
+        let a = Diagnostic::new("K002", "later line").with_span(9, "vmovupd %zmm2, (%rdi)");
+        let b = Diagnostic::new("K002", "earlier line").with_span(3, "movq $1, %rax");
+        let c = Diagnostic::new("K001", "different rule").with_span(9, "addq $8, %rax");
+        let d = Diagnostic::new("M003", "no span at all");
+        let forward = render_json(&[a.clone(), b.clone(), c.clone(), d.clone()]);
+        let reversed = render_json(&[d, a, b, c]);
+        assert_eq!(
+            forward, reversed,
+            "rendering must not depend on input order"
+        );
+        let v: serde_json::Value = serde_json::from_str(&forward).unwrap();
+        let codes: Vec<_> = v
+            .as_object()
+            .unwrap()
+            .get("diagnostics")
+            .and_then(|d| d.as_array())
+            .unwrap()
+            .iter()
+            .map(|d| {
+                let o = d.as_object().unwrap();
+                (
+                    o.get("code").and_then(|c| c.as_str()).unwrap().to_string(),
+                    o.get("line").and_then(|l| l.as_u64()).unwrap_or(0),
+                )
+            })
+            .collect();
+        assert_eq!(
+            codes,
+            [
+                ("K001".to_string(), 9),
+                ("K002".to_string(), 3),
+                ("K002".to_string(), 9),
+                ("M003".to_string(), 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn sarif_document_is_well_formed() {
+        let targets = vec![
+            (
+                "corpus:SPR:load / gcc -O3".to_string(),
+                vec![Diagnostic::new("K008", "dead load").with_span(2, "vmovupd (%rsi), %zmm0")],
+            ),
+            (
+                "machine:golden-cove".to_string(),
+                vec![Diagnostic::new("M008", "form missing").with_span(0, "table: vfmadd")],
+            ),
+        ];
+        let sarif = render_sarif(&targets);
+        let v: serde_json::Value = serde_json::from_str(&sarif).expect("valid JSON");
+        let root = v.as_object().unwrap();
+        let get = |o: &serde_json::Value, k: &str| o.as_object().unwrap().get(k).unwrap().clone();
+        assert_eq!(root.get("version").and_then(|x| x.as_str()), Some("2.1.0"));
+        let runs = root.get("runs").and_then(|r| r.as_array()).unwrap().clone();
+        let run = &runs[0];
+        let rules = get(&get(&get(run, "tool"), "driver"), "rules");
+        let ids: Vec<String> = rules
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|r| get(r, "id").as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(ids, ["K008", "M008"]);
+        let results_v = get(run, "results");
+        let results = results_v.as_array().unwrap().clone();
+        assert_eq!(results.len(), 2);
+        assert_eq!(get(&results[0], "ruleId").as_str(), Some("K008"));
+        let phys0 = get(
+            &get(&results[0], "locations").as_array().unwrap()[0],
+            "physicalLocation",
+        );
+        assert_eq!(
+            get(&get(&phys0, "artifactLocation"), "uri").as_str(),
+            Some("corpus:SPR:load / gcc -O3")
+        );
+        assert_eq!(get(&get(&phys0, "region"), "startLine").as_u64(), Some(2));
+        // Line-0 (model element) findings carry no region.
+        let phys1 = get(
+            &get(&results[1], "locations").as_array().unwrap()[0],
+            "physicalLocation",
+        );
+        assert!(phys1.as_object().unwrap().get("region").is_none());
     }
 
     #[test]

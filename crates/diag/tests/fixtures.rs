@@ -190,12 +190,26 @@ const FIXTURES: &[Fixture] = &[
     },
 ];
 
+/// Rules whose implementations live above `diag` in the crate graph and
+/// are therefore fixtured elsewhere: the semantic kernel rules and the
+/// admission gate in `crates/semck/tests/fixtures.rs`, the simulator
+/// sanitizer rules in `crates/exec/tests/sanitizer_seeded.rs`. The lists
+/// must stay in sync — semck's fixture suite asserts the same coverage
+/// from its side.
+const EXTERNAL: &[&str] = &[
+    "K007", "K008", "K009", "K010", "M008", "M009", "M010", "S001", "S002", "S003", "S004",
+];
+
 #[test]
 fn every_rule_has_a_firing_and_a_clean_fixture() {
     // The fixture table must cover the entire registry.
     let covered: Vec<&str> = FIXTURES.iter().map(|f| f.code).collect();
     for rule in diag::rules() {
-        assert!(covered.contains(&rule.code), "no fixture for {}", rule.code);
+        assert!(
+            covered.contains(&rule.code) || EXTERNAL.contains(&rule.code),
+            "no fixture for {}",
+            rule.code
+        );
     }
     for f in FIXTURES {
         let pos = (f.positive)();

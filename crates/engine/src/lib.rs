@@ -26,11 +26,13 @@
 
 pub mod cache;
 pub mod error;
+pub mod lint;
 pub mod report;
 pub mod session;
 
 pub use cache::{CacheStats, CorpusCache};
 pub use error::{Error, ErrorKind};
+pub use lint::lint_corpus;
 pub use report::{
     histogram, render_histogram, rpe, summarize, BatchReport, ObsPredictorTimings, ObsSummary,
     PredictorResult, PredictorSummary, RecordReport, RunTimings, Summary, SCHEMA_MINOR,

@@ -1,0 +1,100 @@
+//! Corpus-wide parallel lint: every generated corpus kernel run through
+//! the `diag` kernel rules plus the `semck` semantic dataflow rules, the
+//! whole grid fanned out over a `rayon` pool.
+//!
+//! Mirrors the determinism contract of [`crate::session::Session`]: the
+//! parallel map preserves submission order and each target's diagnostics
+//! are canonically sorted ([`diag::sorted`]), so the result — and any
+//! rendering of it — is byte-identical at every thread count. That is
+//! what lets CI gate on the output of `incore-cli lint --corpus`.
+
+use diag::Diagnostic;
+use rayon::prelude::*;
+use uarch::Machine;
+
+/// Lint every corpus variant of the given machines (empty = all three).
+///
+/// Each generated kernel runs [`diag::lint_kernel`] (structural rules
+/// K001–K006) and [`semck::lint_kernel_sem`] (semantic dataflow rules
+/// K007–K010). Targets are named `corpus:{chip}:{variant label}` in grid
+/// order (machines as given, variants in corpus order); `limit`
+/// truncates the grid for smoke runs.
+pub fn lint_corpus(
+    archs: &[uarch::Arch],
+    threads: usize,
+    limit: Option<usize>,
+) -> Vec<(String, Vec<Diagnostic>)> {
+    let machines: Vec<Machine> = if archs.is_empty() {
+        uarch::all_machines()
+    } else {
+        archs
+            .iter()
+            .map(|a| {
+                uarch::all_machines()
+                    .into_iter()
+                    .find(|m| m.arch == *a)
+                    .expect("every Arch has a builtin machine")
+            })
+            .collect()
+    };
+    let mut grid: Vec<(usize, kernels::Variant)> = Vec::new();
+    for (i, m) in machines.iter().enumerate() {
+        for v in kernels::variants_for(m.arch) {
+            grid.push((i, v));
+        }
+    }
+    if let Some(limit) = limit {
+        grid.truncate(limit);
+    }
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool construction is infallible");
+    pool.install(|| {
+        grid.into_par_iter()
+            .map(|(mi, variant)| {
+                let machine = &machines[mi];
+                let kernel = kernels::generate_kernel(&variant, machine);
+                let mut diags = diag::lint_kernel(machine, &kernel);
+                diags.extend(semck::lint_kernel_sem(machine, &kernel));
+                let name = format!("corpus:{}:{}", machine.arch.chip(), variant.label());
+                (name, diag::sorted(&diags))
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_lint_is_thread_invariant() {
+        let one = lint_corpus(&[uarch::Arch::GoldenCove], 1, Some(24));
+        let four = lint_corpus(&[uarch::Arch::GoldenCove], 4, Some(24));
+        assert_eq!(one.len(), 24);
+        assert_eq!(one, four, "corpus lint must not depend on thread count");
+        // The rendered report is the byte-level contract CI gates on.
+        assert_eq!(
+            diag::render_json_targets(&one),
+            diag::render_json_targets(&four)
+        );
+        assert!(one.iter().all(|(n, _)| n.starts_with("corpus:SPR:")));
+    }
+
+    #[test]
+    fn full_corpus_has_zero_errors_at_baseline() {
+        // The acceptance gate: all 416 blocks, across all three machines,
+        // lint without a single error-severity finding.
+        let results = lint_corpus(&[], 0, None);
+        let total: usize = uarch::all_machines()
+            .iter()
+            .map(|m| kernels::variants_for(m.arch).len())
+            .sum();
+        assert_eq!(results.len(), total);
+        for (name, diags) in &results {
+            let (_, _, errors) = diag::counts(diags);
+            assert_eq!(errors, 0, "{name}: {diags:?}");
+        }
+    }
+}

@@ -393,6 +393,29 @@ pub(crate) fn simulate(
                 s.heap.push(std::cmp::Reverse((at, s.wake[i])));
                 continue;
             }
+            // Sanitizer S003: independently re-derive operand maturity for
+            // an entry the issue phase deemed ready.
+            #[cfg(debug_assertions)]
+            {
+                let mut ready_at = 0.0f64;
+                for &(from, weight, wrap) in &s.in_edges[s.in_start[w_idx]..s.in_start[w_idx + 1]] {
+                    let prod_iter = if wrap {
+                        match w_iter.checked_sub(1) {
+                            Some(pi) => pi,
+                            None => continue,
+                        }
+                    } else {
+                        w_iter
+                    };
+                    let t = s.issue_done[prod_iter * n + from];
+                    ready_at = if t == NONE {
+                        f64::INFINITY
+                    } else {
+                        ready_at.max(t as f64 + weight)
+                    };
+                }
+                crate::sanitizer::check_wakeup(w_iter, w_idx, now, ready_at);
+            }
             // Try to issue each pending µ-op on a free eligible port.
             let d = &descs[w_idx];
             let mut all_issued = true;
@@ -412,6 +435,8 @@ pub(crate) fn simulate(
                     }
                 }
                 if let Some(p) = best {
+                    #[cfg(debug_assertions)]
+                    crate::sanitizer::check_port_grant(p, s.port_taken[p], s.port_busy[p], now);
                     s.port_taken[p] = true;
                     if profiling {
                         prof_port_issued[p] += 1;
@@ -535,6 +560,11 @@ pub(crate) fn simulate(
                     let jdc = j as u64 * dc;
                     let jdk = j * dk;
                     if j >= 1 && now + jdc < max_cycles {
+                        // Sanitizer S004: `s.fp` still holds the pre-jump
+                        // fingerprint; the post-jump state must reproduce
+                        // it bit for bit (all coordinates are relative).
+                        #[cfg(debug_assertions)]
+                        let fp_pre = s.fp.clone();
                         if warmup_end_cycle.is_none() {
                             if let Some((wc, wi)) = warmup_at(s, retired_iters + jdk) {
                                 warmup_end_cycle = Some(wc);
@@ -586,6 +616,21 @@ pub(crate) fn simulate(
                         next_dispatch.0 += jdk;
                         issued_uops_total += jdk as u64 * sum_uops;
                         now += jdc;
+                        #[cfg(debug_assertions)]
+                        if next_dispatch.0 < total_iters {
+                            fingerprint(
+                                s,
+                                n,
+                                now,
+                                retired_iters,
+                                next_dispatch,
+                                rob_uops,
+                                sched_uops,
+                                retire_head,
+                                wmax,
+                            );
+                            crate::sanitizer::check_teleport(&fp_pre, &mut s.fp);
+                        }
                     }
                     // One jump per run: afterwards the periodic middle is
                     // gone and only the drain remains.
@@ -614,7 +659,7 @@ pub(crate) fn simulate(
         }
 
         // --- Jump to the next cycle on which anything can happen. ---
-        now = next_event(
+        let next_now = next_event(
             s,
             machine,
             descs,
@@ -626,6 +671,11 @@ pub(crate) fn simulate(
             retire_head,
         )
         .min(max_cycles);
+        // Sanitizer S001: the `now + 1` floor in `next_event` plus the
+        // `now < max_cycles` loop guard make this jump strictly forward.
+        #[cfg(debug_assertions)]
+        crate::sanitizer::check_clock_advance(now, next_now);
+        now = next_now;
     }
 
     if profiling {

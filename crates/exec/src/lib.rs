@@ -57,6 +57,7 @@
 
 pub mod event;
 pub mod reference;
+pub mod sanitizer;
 pub mod trace;
 
 pub use event::SimScratch;

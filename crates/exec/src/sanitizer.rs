@@ -1,0 +1,321 @@
+//! Simulator invariant sanitizer (`S001`–`S004`).
+//!
+//! Debug builds re-verify, at every relevant site inside the event-driven
+//! engine, four invariants the engine's correctness argument rests on:
+//!
+//! * **S001 — clock monotonicity.** Every event-clock jump strictly
+//!   increases `now` (the `now + 1` floor in `next_event` plus the
+//!   watchdog guard make this provable; the check keeps it true under
+//!   refactoring).
+//! * **S002 — port-capacity conservation.** A µ-op is only ever granted a
+//!   port that is neither already taken this cycle nor busy beyond `now` —
+//!   one grant per port per cycle, blocking occupancies respected.
+//! * **S003 — no early wake-up.** When the issue phase deems a window
+//!   entry ready, every incoming dependence edge is independently
+//!   re-evaluated: each producer must have issued and its result matured
+//!   (`issue_time + weight ≤ now`).
+//! * **S004 — teleport state equivalence.** After a steady-state teleport
+//!   shifts the machine state by a whole number of periods, the state
+//!   fingerprint (which is relative to `now` and the retired-iteration
+//!   count) must be bit-identical to the pre-jump fingerprint.
+//!
+//! The checks compile only under `cfg(debug_assertions)` and by default
+//! **panic** on violation, so every debug test run is a sanitizer run.
+//! [`capture`] switches the current thread to record mode — violations are
+//! collected instead — which is what `semck` uses to report findings as
+//! S-rule diagnostics, and what the seeded-violation tests use together
+//! with [`inject`] to prove each check actually fires. Injected faults
+//! perturb only the *observed* values fed to a checker, never the
+//! simulator's real state, so a seeded run still produces correct results.
+
+use std::cell::RefCell;
+
+/// One detected invariant violation. `code()` gives the stable S-rule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// S001: the event clock failed to advance strictly.
+    ClockNotMonotone { before: u64, after: u64 },
+    /// S002: a µ-op was granted a port already taken this cycle or busy
+    /// beyond it.
+    PortOvercommit {
+        port: usize,
+        cycle: u64,
+        taken: bool,
+        busy_until: u64,
+    },
+    /// S003: a window entry issued before all operands were ready.
+    EarlyWakeup {
+        iter: usize,
+        idx: usize,
+        cycle: u64,
+        /// Earliest cycle at which every operand is actually mature.
+        ready_at: u64,
+    },
+    /// S004: the post-teleport state fingerprint differs from the
+    /// pre-jump one (first differing word index, or the shorter length
+    /// on a length mismatch).
+    TeleportSkew { word: usize },
+}
+
+impl Violation {
+    /// Stable sanitizer rule code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Violation::ClockNotMonotone { .. } => "S001",
+            Violation::PortOvercommit { .. } => "S002",
+            Violation::EarlyWakeup { .. } => "S003",
+            Violation::TeleportSkew { .. } => "S004",
+        }
+    }
+
+    /// Human-readable description of the violated invariant.
+    pub fn describe(&self) -> String {
+        match self {
+            Violation::ClockNotMonotone { before, after } => {
+                format!("event clock failed to advance: jumped from cycle {before} to {after}")
+            }
+            Violation::PortOvercommit {
+                port,
+                cycle,
+                taken,
+                busy_until,
+            } => format!(
+                "port {port} over-committed at cycle {cycle} ({})",
+                if *taken {
+                    "already granted this cycle".to_string()
+                } else {
+                    format!("busy until cycle {busy_until}")
+                }
+            ),
+            Violation::EarlyWakeup {
+                iter,
+                idx,
+                cycle,
+                ready_at,
+            } => format!(
+                "instruction {idx} of iteration {iter} issued at cycle {cycle} \
+                 but its operands mature only at cycle {ready_at}"
+            ),
+            Violation::TeleportSkew { word } => format!(
+                "post-teleport state fingerprint diverges from the pre-jump \
+                 fingerprint at word {word}"
+            ),
+        }
+    }
+}
+
+/// A fault to inject into the *observed* values of one sanitizer check —
+/// the simulator's real state is untouched. One-shot: the first reaching
+/// check consumes it. Used by the seeded-violation tests to prove each
+/// check fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Make the next clock-advance check observe a stalled clock (S001).
+    ClockStall,
+    /// Make the next port-grant check observe an already-taken port (S002).
+    PortDoubleGrant,
+    /// Make the next readiness re-check observe an immature operand (S003).
+    EarlyWakeup,
+    /// Corrupt the observed post-teleport fingerprint (S004).
+    TeleportSkew,
+}
+
+#[derive(Default)]
+struct State {
+    recording: bool,
+    violations: Vec<Violation>,
+    fault: Option<Fault>,
+}
+
+thread_local! {
+    static STATE: RefCell<State> = RefCell::new(State::default());
+}
+
+/// Run `f` with this thread's sanitizer in **record** mode: violations are
+/// collected and returned instead of panicking. Any still-pending injected
+/// fault is cleared on exit.
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Vec<Violation>) {
+    STATE.with(|s| {
+        let mut st = s.borrow_mut();
+        st.recording = true;
+        st.violations.clear();
+    });
+    let r = f();
+    let v = STATE.with(|s| {
+        let mut st = s.borrow_mut();
+        st.recording = false;
+        st.fault = None;
+        std::mem::take(&mut st.violations)
+    });
+    (r, v)
+}
+
+/// Arm a one-shot fault for this thread's next matching sanitizer check.
+/// No-op in release builds (the checks do not exist there).
+pub fn inject(fault: Fault) {
+    STATE.with(|s| s.borrow_mut().fault = Some(fault));
+}
+
+/// Consume the armed fault if it matches `f`.
+fn take_fault(f: Fault) -> bool {
+    STATE.with(|s| {
+        let mut st = s.borrow_mut();
+        if st.fault == Some(f) {
+            st.fault = None;
+            true
+        } else {
+            false
+        }
+    })
+}
+
+fn report(v: Violation) {
+    STATE.with(|s| {
+        let mut st = s.borrow_mut();
+        if st.recording {
+            st.violations.push(v);
+        } else {
+            panic!("simulator sanitizer [{}]: {}", v.code(), v.describe());
+        }
+    });
+}
+
+// --- Check entry points, called from `event.rs` under
+// --- `cfg(debug_assertions)` only.
+
+/// S001: the event clock must strictly advance on every jump.
+pub fn check_clock_advance(before: u64, after: u64) {
+    let observed = if take_fault(Fault::ClockStall) {
+        before
+    } else {
+        after
+    };
+    if observed <= before {
+        report(Violation::ClockNotMonotone {
+            before,
+            after: observed,
+        });
+    }
+}
+
+/// S002: a grant must land on a port that is free this cycle.
+pub fn check_port_grant(port: usize, taken: bool, busy_until: u64, now: u64) {
+    let taken = taken || take_fault(Fault::PortDoubleGrant);
+    if taken || busy_until > now {
+        report(Violation::PortOvercommit {
+            port,
+            cycle: now,
+            taken,
+            busy_until,
+        });
+    }
+}
+
+/// S003: an entry deemed ready must have every operand mature. `ready_at`
+/// is the independently recomputed maturity cycle over all incoming edges
+/// (`f64::INFINITY` if some producer has not even issued).
+pub fn check_wakeup(iter: usize, idx: usize, now: u64, ready_at: f64) {
+    let observed = if take_fault(Fault::EarlyWakeup) {
+        now as f64 + 1.0
+    } else {
+        ready_at
+    };
+    if observed > now as f64 {
+        report(Violation::EarlyWakeup {
+            iter,
+            idx,
+            cycle: now,
+            ready_at: if observed.is_finite() {
+                observed.ceil() as u64
+            } else {
+                u64::MAX
+            },
+        });
+    }
+}
+
+/// S004: the recomputed post-teleport fingerprint must equal the pre-jump
+/// one word for word (both are relative to `now` and the retired count).
+pub fn check_teleport(fp_pre: &[i64], fp_post: &mut [i64]) {
+    if take_fault(Fault::TeleportSkew) {
+        if let Some(w) = fp_post.first_mut() {
+            *w ^= 1; // perturb the observed copy only
+        }
+    }
+    let mismatch = if fp_pre.len() != fp_post.len() {
+        Some(fp_pre.len().min(fp_post.len()))
+    } else {
+        fp_pre.iter().zip(fp_post.iter()).position(|(a, b)| a != b)
+    };
+    if let Some(word) = mismatch {
+        report(Violation::TeleportSkew { word });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_collects_instead_of_panicking() {
+        let ((), v) = capture(|| {
+            report(Violation::ClockNotMonotone {
+                before: 5,
+                after: 5,
+            });
+        });
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].code(), "S001");
+    }
+
+    #[test]
+    fn faults_are_one_shot() {
+        let ((), v) = capture(|| {
+            inject(Fault::PortDoubleGrant);
+            check_port_grant(3, false, 0, 10); // consumes the fault
+            check_port_grant(3, false, 0, 10); // clean
+        });
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].code(), "S002");
+    }
+
+    #[test]
+    fn mismatched_fault_kind_does_not_fire() {
+        let ((), v) = capture(|| {
+            inject(Fault::ClockStall);
+            check_port_grant(0, false, 0, 1);
+        });
+        assert!(v.is_empty());
+        // The pending fault is cleared when capture ends.
+        let ((), v) = capture(|| check_clock_advance(4, 5));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn describe_names_every_code() {
+        let all = [
+            Violation::ClockNotMonotone {
+                before: 1,
+                after: 1,
+            },
+            Violation::PortOvercommit {
+                port: 2,
+                cycle: 9,
+                taken: true,
+                busy_until: 0,
+            },
+            Violation::EarlyWakeup {
+                iter: 0,
+                idx: 1,
+                cycle: 4,
+                ready_at: 6,
+            },
+            Violation::TeleportSkew { word: 17 },
+        ];
+        let codes: Vec<_> = all.iter().map(|v| v.code()).collect();
+        assert_eq!(codes, ["S001", "S002", "S003", "S004"]);
+        for v in &all {
+            assert!(!v.describe().is_empty());
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Seeded-violation tests: prove that each sanitizer check (S001–S004)
+//! actually fires when its invariant is broken, by injecting a one-shot
+//! fault into the *observed* values of the corresponding check while the
+//! real simulator state stays correct.
+//!
+//! The checks exist only in debug builds, so this whole suite is gated on
+//! `debug_assertions` (a release `cargo test` compiles it to nothing).
+#![cfg(debug_assertions)]
+
+use exec::sanitizer::{capture, inject, Fault, Violation};
+use exec::{simulate, SimConfig};
+use isa::{parse_kernel, Isa};
+use uarch::Machine;
+
+/// A pipelined FMA loop: exercises clock jumps, port grants, wake-ups.
+const FMA: &str = ".L1:\n vfmadd231pd %zmm1, %zmm2, %zmm3\n subq $1, %rax\n jne .L1\n";
+
+/// A blocking-divider loop: the steady-state early exit must *teleport*
+/// (occupancy > 1 gates off the closed-form drain), exercising S004.
+const DIV: &str = ".L1:\n vdivpd %zmm1, %zmm2, %zmm4\n subq $1, %rax\n jne .L1\n";
+
+fn run(asm: &str) -> exec::SimResult {
+    let k = parse_kernel(asm, Isa::X86).unwrap();
+    simulate(&Machine::golden_cove(), &k, SimConfig::default())
+}
+
+#[test]
+fn clean_runs_report_no_violations() {
+    for asm in [FMA, DIV] {
+        let (r, v) = capture(|| run(asm));
+        assert!(v.is_empty(), "{asm}: {v:?}");
+        assert!(r.cycles_per_iter > 0.0);
+    }
+}
+
+#[test]
+fn s001_fires_on_injected_clock_stall() {
+    let (r, v) = capture(|| {
+        inject(Fault::ClockStall);
+        run(FMA)
+    });
+    assert!(
+        v.iter()
+            .any(|x| matches!(x, Violation::ClockNotMonotone { before, after } if after <= before)),
+        "{v:?}"
+    );
+    // The fault perturbed only the checker's view: results are untouched.
+    let clean = run(FMA);
+    assert_eq!(r, clean);
+}
+
+#[test]
+fn s002_fires_on_injected_double_grant() {
+    let (_, v) = capture(|| {
+        inject(Fault::PortDoubleGrant);
+        run(FMA)
+    });
+    assert_eq!(
+        v.iter().filter(|x| x.code() == "S002").count(),
+        1,
+        "one-shot fault must fire exactly once: {v:?}"
+    );
+    assert!(
+        v.iter()
+            .any(|x| matches!(x, Violation::PortOvercommit { taken: true, .. })),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn s003_fires_on_injected_early_wakeup() {
+    let (_, v) = capture(|| {
+        inject(Fault::EarlyWakeup);
+        run(FMA)
+    });
+    assert!(
+        v.iter().any(
+            |x| matches!(x, Violation::EarlyWakeup { cycle, ready_at, .. } if ready_at > cycle)
+        ),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn s004_fires_on_injected_teleport_skew() {
+    // First establish the kernel really teleports: a run with the fault
+    // armed must consume it (the check ran), and the violation names S004.
+    let (r, v) = capture(|| {
+        inject(Fault::TeleportSkew);
+        run(DIV)
+    });
+    assert!(
+        v.iter()
+            .any(|x| matches!(x, Violation::TeleportSkew { .. })),
+        "expected the divider loop to take the teleport path and the seeded \
+         fingerprint skew to be caught: {v:?}"
+    );
+    assert!(r.early_exit_iter.is_some(), "teleport implies early exit");
+}
+
+#[test]
+fn s004_holds_on_real_teleports_across_machines() {
+    // The real (unseeded) S004 check runs on every teleport in this suite;
+    // drive it over blocking kernels on all three machines.
+    let blocks = [
+        (Machine::golden_cove(), DIV, Isa::X86),
+        (
+            Machine::zen4(),
+            ".L1:\n vdivpd %ymm1, %ymm2, %ymm4\n subq $1, %rax\n jne .L1\n",
+            Isa::X86,
+        ),
+        (
+            Machine::neoverse_v2(),
+            ".L1:\n fdiv v0.2d, v1.2d, v2.2d\n subs x5, x5, #1\n b.ne .L1\n",
+            Isa::AArch64,
+        ),
+    ];
+    for (m, asm, isa) in blocks {
+        let k = parse_kernel(asm, isa).unwrap();
+        let (r, v) = capture(|| simulate(&m, &k, SimConfig::default()));
+        assert!(v.is_empty(), "{}: {v:?}", m.arch.label());
+        assert!(r.total_cycles > 0);
+    }
+}

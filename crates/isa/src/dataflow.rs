@@ -13,17 +13,68 @@ pub struct Dataflow {
     pub writes: Vec<Register>,
     pub mem_read: bool,
     pub mem_write: bool,
+    // Sorted packed-identity keys mirroring `reads`/`writes`, so each
+    // insert is a binary-search probe instead of an alias scan over every
+    // register accumulated so far (the old path was O(n²) per instruction
+    // across the whole extraction).
+    read_keys: KeySet,
+    write_keys: KeySet,
 }
 
 impl Dataflow {
     fn read(&mut self, r: Register) {
-        if !r.is_zero_reg() && !self.reads.iter().any(|x| x.aliases(&r)) {
+        if !r.is_zero_reg() && self.read_keys.insert_probe(&self.reads, r) {
             self.reads.push(r);
         }
     }
     fn write(&mut self, r: Register) {
-        if !r.is_zero_reg() && !self.writes.iter().any(|x| x.aliases(&r)) {
+        if !r.is_zero_reg() && self.write_keys.insert_probe(&self.writes, r) {
             self.writes.push(r);
+        }
+    }
+    fn clear_reads(&mut self) {
+        self.reads.clear();
+        self.read_keys = KeySet::default();
+    }
+}
+
+/// Inline sorted set of packed `(class, index)` register identities — the
+/// same identity [`Register::aliases`] compares. Capacity covers any real
+/// instruction (≤ a handful of distinct registers); on the off chance it
+/// fills up, membership falls back to the exact linear alias scan.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct KeySet {
+    len: u8,
+    keys: [u16; KEYSET_CAP],
+}
+
+const KEYSET_CAP: usize = 12;
+
+fn reg_key(r: &Register) -> u16 {
+    let (class, index) = r.id();
+    ((class as u16) << 8) | index as u16
+}
+
+impl KeySet {
+    /// Probe-and-insert: returns `true` when `r` was not yet present (the
+    /// caller then appends it to the mirrored `Vec<Register>`).
+    fn insert_probe(&mut self, regs: &[Register], r: Register) -> bool {
+        let key = reg_key(&r);
+        let live = &self.keys[..self.len as usize];
+        match live.binary_search(&key) {
+            Ok(_) => false,
+            Err(pos) => {
+                if (self.len as usize) < KEYSET_CAP {
+                    self.keys.copy_within(pos..self.len as usize, pos + 1);
+                    self.keys[pos] = key;
+                    self.len += 1;
+                    true
+                } else {
+                    // Saturated: the keys only cover the first KEYSET_CAP
+                    // registers, so answer from the authoritative list.
+                    !regs.iter().any(|x| x.aliases(&r))
+                }
+            }
         }
     }
 }
@@ -77,7 +128,7 @@ fn dataflow_x86(inst: &Instruction) -> Dataflow {
         if sets_flags_x86(base) {
             df.write(Register::flags());
         }
-        df.reads.clear();
+        df.clear_reads();
         return df;
     }
 
@@ -315,7 +366,7 @@ fn dataflow_aarch64(inst: &Instruction) -> Dataflow {
         if let Some(Operand::Reg(d)) = inst.operands.first() {
             df.write(*d);
         }
-        df.reads.clear();
+        df.clear_reads();
         return df;
     }
 

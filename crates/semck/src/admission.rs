@@ -1,0 +1,268 @@
+//! Machine-model admission gate: rules `M008`–`M010`.
+//!
+//! `diag::lint_machine` (M001–M007) checks a model's *internal* structure.
+//! The admission gate asks a stronger question before a machine file is
+//! allowed into experiments: **can this model actually execute the study's
+//! workload?** It drives the model over every kernel variant of the 416-block
+//! corpus for its architecture and rejects models whose instruction database
+//! cannot place the corpus's opcode classes on issue ports, whose
+//! latency/throughput pairs are mutually impossible, or whose issue capacity
+//! cannot back the declared dispatch width.
+
+use diag::{Diagnostic, Severity};
+use std::collections::BTreeSet;
+use uarch::instr::InstrClass;
+use uarch::Machine;
+
+/// Run the admission gate over one machine model. Returns M008–M010
+/// findings; an `Error` among them means the model must be rejected.
+pub fn lint_admission(machine: &Machine) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    corpus_coverage(machine, &mut diags);
+    entry_consistency(machine, &mut diags);
+    issue_capacity(machine, &mut diags);
+    diags
+}
+
+/// `M008` — every instruction form the corpus uses must resolve to a
+/// database entry whose µ-ops all map to at least one issue port.
+///
+/// * A **compute** form that falls back to the heuristic default is an
+///   `Error`: the model would silently guess latency and port bindings for
+///   instructions the paper's experiments measure.
+/// * A **load/store/branch** fallback is a `Warning`: the memory/branch
+///   recipe still synthesizes correct port bindings, but latency is a guess.
+/// * Any µ-op with an **empty port set** is an `Error` regardless of origin:
+///   the simulator could never issue it.
+///
+/// Findings are deduplicated by instruction form (normalized mnemonic +
+/// vector width + memory shape); the first corpus variant exhibiting the
+/// form is named in the message.
+fn corpus_coverage(machine: &Machine, diags: &mut Vec<Diagnostic>) {
+    let mut seen: BTreeSet<(String, u16, bool)> = BTreeSet::new();
+    for variant in kernels::variants_for(machine.arch) {
+        let kernel = kernels::generate_kernel(&variant, machine);
+        for inst in &kernel.instructions {
+            let key = (
+                inst.norm_mnemonic().to_string(),
+                inst.max_vec_width(),
+                inst.mem_position().is_some(),
+            );
+            if seen.contains(&key) {
+                continue;
+            }
+            seen.insert(key);
+            let desc = machine.describe(inst);
+            let form = format!(
+                "{}{}{}",
+                inst.norm_mnemonic(),
+                if inst.max_vec_width() > 0 {
+                    format!(" @{}", inst.max_vec_width())
+                } else {
+                    String::new()
+                },
+                if inst.mem_position().is_some() {
+                    " (mem)"
+                } else {
+                    ""
+                },
+            );
+            if desc.uops.iter().any(|u| u.ports.is_empty()) {
+                diags.push(
+                    Diagnostic::new(
+                        "M008",
+                        format!(
+                            "corpus instruction form `{form}` decodes to a µ-op with an \
+                             empty port set — it can never issue (first used by \
+                             `{}`)",
+                            variant.label()
+                        ),
+                    )
+                    .with_span(0, format!("table: {form}")),
+                );
+            } else if desc.from_fallback {
+                let compute = !matches!(
+                    desc.class,
+                    InstrClass::Load | InstrClass::Store | InstrClass::Branch
+                );
+                let severity = if compute {
+                    Severity::Error
+                } else {
+                    Severity::Warning
+                };
+                diags.push(
+                    Diagnostic::new(
+                        "M008",
+                        format!(
+                            "corpus instruction form `{form}` is not in the instruction \
+                             database; the model would fall back to heuristic \
+                             {:?} timing (first used by `{}`)",
+                            desc.class,
+                            variant.label()
+                        ),
+                    )
+                    .with_severity(severity)
+                    .with_span(0, format!("table: {form}"))
+                    .with_help(
+                        "add a database entry for this form before admitting the \
+                         model to experiments",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// `M009` — latency and reciprocal throughput of a database entry must be
+/// mutually possible. For a fully pipelined compute entry (all µ-ops with
+/// occupancy 1), a dependent chain retires one result every `latency`
+/// cycles, so a documented steady-state rate *slower* than that
+/// (`rthroughput > latency`) is self-contradictory. Non-pipelined entries
+/// (occupancy > 1, e.g. dividers) legitimately block their port longer than
+/// their latency and are exempt.
+fn entry_consistency(machine: &Machine, diags: &mut Vec<Diagnostic>) {
+    for (i, e) in machine.table.iter().enumerate() {
+        let compute = !matches!(
+            e.class,
+            InstrClass::Load | InstrClass::Store | InstrClass::Branch | InstrClass::Move
+        );
+        let pipelined = e.uops.iter().all(|u| u.occupancy <= 1.0);
+        if compute && pipelined && e.latency >= 1 && e.rthroughput > e.latency as f64 {
+            diags.push(
+                Diagnostic::new(
+                    "M009",
+                    format!(
+                        "entry #{i} ({:?}): reciprocal throughput {} exceeds latency {} \
+                         on a fully pipelined unit — a single dependency chain would \
+                         outrun the documented steady-state rate",
+                        e.mnemonics, e.rthroughput, e.latency
+                    ),
+                )
+                .with_span(0, format!("table[{i}]: {}", e.mnemonics.join("/"))),
+            );
+        }
+    }
+}
+
+/// `M010` — declared dispatch width must be backed by issue capacity.
+/// Dispatching more µ-ops per cycle than the machine has ports means the
+/// scheduler fills and the front end stalls by construction; a scheduler
+/// smaller than one dispatch group cannot even buffer a single cycle of
+/// dispatch. (Zero widths and scheduler-vs-ROB inversions are `M003`'s.)
+fn issue_capacity(machine: &Machine, diags: &mut Vec<Diagnostic>) {
+    let num_ports = machine.port_model.num_ports() as u32;
+    if machine.dispatch_width > num_ports {
+        diags.push(
+            Diagnostic::new(
+                "M010",
+                format!(
+                    "dispatch width {} exceeds the machine's {} issue ports — \
+                     sustained dispatch can never be issued",
+                    machine.dispatch_width, num_ports
+                ),
+            )
+            .with_span(0, "dispatch_width".to_string()),
+        );
+    }
+    if machine.sched_size > 0 && machine.sched_size < machine.dispatch_width {
+        diags.push(
+            Diagnostic::new(
+                "M010",
+                format!(
+                    "scheduler of {} entries cannot hold one dispatch group of {}",
+                    machine.sched_size, machine.dispatch_width
+                ),
+            )
+            .with_span(0, "sched_size".to_string()),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_machines_pass_the_admission_gate() {
+        for m in uarch::all_machines() {
+            let diags = lint_admission(&m);
+            let errors: Vec<_> = diags
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .collect();
+            assert!(
+                errors.is_empty(),
+                "{} rejected by admission gate: {errors:?}",
+                m.arch.label()
+            );
+        }
+    }
+
+    #[test]
+    fn missing_fma_entries_are_rejected() {
+        let mut m = Machine::golden_cove();
+        m.table.retain(|e| {
+            !e.mnemonics
+                .iter()
+                .any(|mn| mn.starts_with("vfmadd") || mn.starts_with("vfnmadd"))
+        });
+        let diags = lint_admission(&m);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "M008" && d.severity == Severity::Error),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unissuable_uop_is_rejected() {
+        use uarch::instr::{entry, InstrClass, Uop, WidthClass};
+        use uarch::ports::PortSet;
+        let mut m = Machine::zen4();
+        // Shadow every vaddpd entry with one whose µ-op has no ports.
+        m.table.insert(
+            0,
+            entry(
+                &["vaddpd"],
+                WidthClass::Any,
+                vec![Uop::new(PortSet::EMPTY)],
+                3,
+                0.5,
+                InstrClass::VecAlu,
+            ),
+        );
+        let diags = lint_admission(&m);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "M008" && d.message.contains("empty port set")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn impossible_throughput_latency_pair_is_flagged() {
+        use uarch::instr::{entry, InstrClass, Uop, WidthClass};
+        use uarch::ports::PortSet;
+        let mut m = Machine::neoverse_v2();
+        m.table.push(entry(
+            &["__semck_test"],
+            WidthClass::Any,
+            vec![Uop::new(PortSet::single(0))],
+            2,
+            5.0,
+            InstrClass::IntAlu,
+        ));
+        let diags = lint_admission(&m);
+        assert!(diags.iter().any(|d| d.code == "M009"), "{diags:?}");
+    }
+
+    #[test]
+    fn overcommitted_dispatch_is_flagged() {
+        let mut m = Machine::golden_cove();
+        m.dispatch_width = 40;
+        let diags = lint_admission(&m);
+        assert!(diags.iter().any(|d| d.code == "M010"), "{diags:?}");
+    }
+}

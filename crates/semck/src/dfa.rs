@@ -1,0 +1,266 @@
+//! Loop-aware dataflow framework over one kernel body.
+//!
+//! The kernel body is treated as the body of an implicit infinite loop —
+//! exactly the execution model of the analyzers and the simulator — so the
+//! control-flow graph is a single basic block whose unique successor is
+//! itself. Reaching definitions therefore wrap around the back edge: a use
+//! with no earlier writer in the same iteration is fed by the *last* writer
+//! anywhere in the body, from the previous iteration. This mirrors
+//! [`incore::depgraph::DepGraph::build`] exactly (same per-instruction
+//! effects from [`isa::dataflow::dataflow`], same nearest-writer /
+//! last-writer-anywhere resolution), which is what lets the K010 cross-check
+//! guarantee the linter and the model never silently disagree.
+
+use isa::dataflow::{dataflow, Dataflow};
+use isa::reg::{RegClass, Register};
+use isa::Kernel;
+use std::collections::BTreeSet;
+
+/// Canonical register identity, the same key the dependency analyses use.
+pub type RegId = (RegClass, u8);
+
+/// One definition site: instruction `inst` writes register `reg`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DefSite {
+    pub inst: usize,
+    pub reg: Register,
+}
+
+/// The definition reaching a use: the producing instruction, and whether
+/// the value flows around the loop back edge (previous iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReachingDef {
+    pub inst: usize,
+    pub wrap: bool,
+}
+
+/// One use site: instruction `inst` reads register `reg`, fed by `def`
+/// (`None` ⇔ no instruction in the body ever writes the register — a loop
+/// input that lives outside the block).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UseSite {
+    pub inst: usize,
+    pub reg: Register,
+    pub def: Option<ReachingDef>,
+}
+
+/// Def-use / liveness facts for one kernel body under the cyclic
+/// (implicit-infinite-loop) execution model.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    pub n: usize,
+    /// Per-instruction register/memory effects.
+    pub flows: Vec<Dataflow>,
+    /// Every definition site, in program order.
+    pub defs: Vec<DefSite>,
+    /// Every use site with its resolved reaching definition.
+    pub uses: Vec<UseSite>,
+    /// Registers read somewhere but never written in the body: the kernel's
+    /// external inputs (pointers, trip counts, hoisted constants).
+    pub inputs: BTreeSet<RegId>,
+    /// Live-in register set before each instruction, from a backwards
+    /// fixpoint over the cyclic block.
+    pub live_in: Vec<BTreeSet<RegId>>,
+}
+
+impl Dfa {
+    /// Build the framework facts for a kernel.
+    pub fn build(kernel: &Kernel) -> Dfa {
+        let n = kernel.instructions.len();
+        let flows: Vec<Dataflow> = kernel.instructions.iter().map(dataflow).collect();
+
+        let mut defs = Vec::new();
+        for (i, f) in flows.iter().enumerate() {
+            for &w in &f.writes {
+                defs.push(DefSite { inst: i, reg: w });
+            }
+        }
+
+        // Reaching definitions, resolved use by use with the depgraph's
+        // exact rule: nearest earlier writer intra-iteration, else the last
+        // writer anywhere in the body via the back edge.
+        let mut uses = Vec::new();
+        let mut inputs = BTreeSet::new();
+        let writer = |i: usize, r: &Register| flows[i].writes.iter().any(|w| w.aliases(r));
+        for (j, f) in flows.iter().enumerate() {
+            for &r in &f.reads {
+                let intra = (0..j).rev().find(|&i| writer(i, &r));
+                let def = match intra {
+                    Some(i) => Some(ReachingDef {
+                        inst: i,
+                        wrap: false,
+                    }),
+                    None => (0..n).rev().find(|&i| writer(i, &r)).map(|i| ReachingDef {
+                        inst: i,
+                        wrap: true,
+                    }),
+                };
+                if def.is_none() {
+                    inputs.insert(r.id());
+                }
+                uses.push(UseSite {
+                    inst: j,
+                    reg: r,
+                    def,
+                });
+            }
+        }
+
+        // Backwards liveness fixpoint. Successor of instruction i is
+        // (i + 1) mod n — the single-block cyclic CFG — so the fixpoint
+        // stabilizes after at most n + 1 sweeps.
+        let mut live_in: Vec<BTreeSet<RegId>> = vec![BTreeSet::new(); n];
+        let mut changed = n > 0;
+        while changed {
+            changed = false;
+            for i in (0..n).rev() {
+                let live_out: BTreeSet<RegId> = if n == 1 {
+                    live_in[0].clone()
+                } else {
+                    live_in[(i + 1) % n].clone()
+                };
+                let mut next: BTreeSet<RegId> = live_out;
+                for w in &flows[i].writes {
+                    next.remove(&w.id());
+                }
+                for r in &flows[i].reads {
+                    next.insert(r.id());
+                }
+                if next != live_in[i] {
+                    live_in[i] = next;
+                    changed = true;
+                }
+            }
+        }
+
+        Dfa {
+            n,
+            flows,
+            defs,
+            uses,
+            inputs,
+            live_in,
+        }
+    }
+
+    /// Use sites whose resolved reaching definition is `(inst, reg)`.
+    pub fn uses_of_def<'a>(
+        &'a self,
+        inst: usize,
+        reg: &'a Register,
+    ) -> impl Iterator<Item = &'a UseSite> + 'a {
+        self.uses
+            .iter()
+            .filter(move |u| u.reg.aliases(reg) && matches!(u.def, Some(d) if d.inst == inst))
+    }
+
+    /// Dependency edges `(from, to, via, wrap)` implied by the resolved
+    /// uses — the same edge set [`incore::depgraph::DepGraph`] materializes
+    /// (modulo latency weights, which are the machine's business).
+    pub fn dep_edges(&self) -> Vec<(usize, usize, RegId, bool)> {
+        self.uses
+            .iter()
+            .filter_map(|u| u.def.map(|d| (d.inst, u.inst, u.reg.id(), d.wrap)))
+            .collect()
+    }
+
+    /// Whether instruction `i` can reach itself through dependency edges
+    /// (including wrap edges): membership in a loop-carried dependency
+    /// cycle — accumulators, induction variables, recurrences.
+    pub fn in_dep_cycle(&self, i: usize) -> bool {
+        let edges = self.dep_edges();
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![i];
+        while let Some(v) = stack.pop() {
+            for &(from, to, _, _) in &edges {
+                if from == v && !seen[to] {
+                    if to == i {
+                        return true;
+                    }
+                    seen[to] = true;
+                    stack.push(to);
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isa::{parse_kernel, Isa};
+
+    fn dfa(asm: &str, isa: Isa) -> Dfa {
+        Dfa::build(&parse_kernel(asm, isa).unwrap())
+    }
+
+    #[test]
+    fn accumulator_use_wraps() {
+        let d = dfa(
+            ".L1:\n vfmadd231pd %zmm1, %zmm2, %zmm3\n subq $1, %rax\n jne .L1\n",
+            Isa::X86,
+        );
+        // zmm3 is read by the FMA and fed by its own previous-iteration def.
+        let u = d
+            .uses
+            .iter()
+            .find(|u| u.inst == 0 && u.reg.id() == (RegClass::Vec, 3))
+            .unwrap();
+        assert_eq!(
+            u.def,
+            Some(ReachingDef {
+                inst: 0,
+                wrap: true
+            })
+        );
+        assert!(d.in_dep_cycle(0));
+        // rax: sub reads its own wrap def; zmm1/zmm2 are external inputs.
+        assert!(d.inputs.contains(&(RegClass::Vec, 1)));
+        assert!(d.inputs.contains(&(RegClass::Vec, 2)));
+        assert!(!d.inputs.contains(&(RegClass::Gpr, 0)));
+    }
+
+    #[test]
+    fn intra_def_resolves_to_nearest_writer() {
+        let d = dfa(
+            ".L1:\n vmulpd %zmm0, %zmm1, %zmm2\n vaddpd %zmm2, %zmm3, %zmm4\n subq $1, %rax\n jne .L1\n",
+            Isa::X86,
+        );
+        let u = d
+            .uses
+            .iter()
+            .find(|u| u.inst == 1 && u.reg.id() == (RegClass::Vec, 2))
+            .unwrap();
+        assert_eq!(
+            u.def,
+            Some(ReachingDef {
+                inst: 0,
+                wrap: false
+            })
+        );
+        assert!(!d.in_dep_cycle(1)); // the add feeds nothing that feeds it back
+    }
+
+    #[test]
+    fn liveness_includes_loop_carried_values() {
+        let d = dfa(
+            ".L1:\n addq $8, %rax\n cmpq %rcx, %rax\n jne .L1\n",
+            Isa::X86,
+        );
+        // rax is live-in at the add (its previous value is consumed).
+        assert!(d.live_in[0].contains(&(RegClass::Gpr, 0)));
+        // flags are live-in at the branch but not at the add.
+        assert!(d.live_in[2].contains(&(RegClass::Flags, 0)));
+        assert!(!d.live_in[0].contains(&(RegClass::Flags, 0)));
+    }
+
+    #[test]
+    fn empty_and_straightline_kernels() {
+        let d = dfa("", Isa::X86);
+        assert_eq!(d.n, 0);
+        let d = dfa("movq %rax, %rbx\n", Isa::X86);
+        assert_eq!(d.n, 1);
+        assert!(d.inputs.contains(&(RegClass::Gpr, 0)));
+    }
+}

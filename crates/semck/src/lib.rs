@@ -1,0 +1,45 @@
+//! Semantic checking: a dataflow framework over `isa` kernels, spent three
+//! ways.
+//!
+//! 1. **Semantic kernel rules** (`K007`–`K010`, [`rules`]) — loop-aware
+//!    def-use analysis of a kernel body under the implicit-infinite-loop
+//!    execution model: undefined flag reads, loop-carried dead values,
+//!    unconsumed comparisons, and a hard cross-check that the framework's
+//!    dependency edges agree exactly with [`incore::depgraph`] — so the
+//!    linter and the performance model can never silently disagree about a
+//!    kernel's critical path.
+//! 2. **Machine-model admission gate** (`M008`–`M010`, [`admission`]) —
+//!    before a machine file is admitted into experiments, drive it over
+//!    every kernel variant of its architecture's corpus and reject models
+//!    that cannot place the corpus's opcode classes on issue ports, whose
+//!    latency/throughput pairs are mutually impossible, or whose issue
+//!    capacity cannot back the declared dispatch width. Run via
+//!    `incore-cli lint --admission`.
+//! 3. **Simulator sanitizer reporting** (`S001`–`S004`, [`sanitizer`]) —
+//!    the debug-gated invariant checks inside [`exec::event`] (clock
+//!    monotonicity, port-capacity conservation, no early wake-up, teleport
+//!    state equivalence) surfaced as diagnostics.
+//!
+//! The underlying framework ([`dfa`]) computes reaching definitions and
+//! liveness over the cyclic single-block CFG, with the same
+//! nearest-writer / last-writer-anywhere resolution rule the dependency
+//! graph uses.
+//!
+//! ```
+//! use semck::lint_kernel_sem;
+//! let machine = uarch::Machine::golden_cove();
+//! let asm = ".L1:\n  cmpq %rdx, %rbx\n  cmpq %rcx, %rax\n  jne .L1\n";
+//! let kernel = isa::parse_kernel(asm, isa::Isa::X86).unwrap();
+//! let diags = lint_kernel_sem(&machine, &kernel);
+//! assert!(diags.iter().any(|d| d.code == "K009")); // shadowed comparison
+//! ```
+
+pub mod admission;
+pub mod dfa;
+pub mod rules;
+pub mod sanitizer;
+
+pub use admission::lint_admission;
+pub use dfa::{DefSite, Dfa, ReachingDef, RegId, UseSite};
+pub use rules::lint_kernel_sem;
+pub use sanitizer::{sanitize_simulation, violations_to_diags};

@@ -1,0 +1,402 @@
+//! Semantic kernel rules `K007`–`K010`, built on the dataflow framework.
+//!
+//! These go beyond the syntactic `K001`–`K006` lints in `diag::kernel`:
+//! they reason about *values* — which definitions feed which uses across
+//! the loop back edge — and cross-check the framework's own dependency
+//! edges against [`incore::depgraph::DepGraph`], so a divergence between
+//! what the linter believes and what the model simulates can never pass
+//! silently.
+
+use crate::dfa::Dfa;
+use diag::{Diagnostic, Severity};
+use incore::depgraph::DepGraph;
+use isa::reg::RegClass;
+use isa::{Instruction, Kernel};
+use uarch::Machine;
+
+/// Run every semantic kernel rule over a parsed kernel.
+pub fn lint_kernel_sem(machine: &Machine, kernel: &Kernel) -> Vec<Diagnostic> {
+    let dfa = Dfa::build(kernel);
+    let mut diags = Vec::new();
+    undefined_flag_read(kernel, &dfa, &mut diags);
+    loop_carried_dead_value(kernel, &dfa, &mut diags);
+    unconsumed_flag_def(kernel, &dfa, &mut diags);
+    depgraph_crosscheck(machine, kernel, &dfa, &mut diags);
+    diags
+}
+
+fn span(inst: &Instruction) -> (usize, String) {
+    (inst.line, inst.raw.clone())
+}
+
+/// `K007` — a non-branch instruction consumes condition flags (or an
+/// AVX-512 mask) that no instruction on any path — including around the
+/// back edge — ever defines. Unlike a GPR/vector "loop input" (K001 Info),
+/// flags are not meaningful live-in values: a `cmov`/`adc`/`csel` reading
+/// flags nothing sets is acting on whatever the code *before* the loop
+/// left there, which is almost certainly a bug in the block selection.
+fn undefined_flag_read(kernel: &Kernel, dfa: &Dfa, diags: &mut Vec<Diagnostic>) {
+    for u in &dfa.uses {
+        if u.def.is_some() || u.reg.class != RegClass::Flags {
+            continue;
+        }
+        let inst = &kernel.instructions[u.inst];
+        if inst.is_branch() {
+            continue; // K001 already warns on flag-consuming branches
+        }
+        let (line, snippet) = span(inst);
+        diags.push(
+            Diagnostic::new(
+                "K007",
+                format!(
+                    "`{}` consumes condition flags that no instruction in the block \
+                     sets, on any path including the loop back edge",
+                    inst.mnemonic
+                ),
+            )
+            .with_span(line, snippet)
+            .with_help(
+                "the flags come from outside the analyzed block; widen the marked \
+                 region or move the flag-setting instruction into the loop",
+            ),
+        );
+    }
+}
+
+/// Whether an instruction's only architectural effect is setting flags —
+/// the comparison family. Arithmetic that sets flags incidentally
+/// (`add`, `sub`, `subs`, …) is excluded: overwriting its flag result is
+/// normal codegen, not a smell.
+fn is_flag_only_writer(inst: &Instruction) -> bool {
+    match inst.isa {
+        isa::Isa::X86 => matches!(inst.norm_mnemonic(), "cmp" | "test" | "bt"),
+        isa::Isa::AArch64 => matches!(
+            inst.base_mnemonic(),
+            "cmp" | "cmn" | "tst" | "fcmp" | "fcmpe" | "ccmp" | "ccmn"
+        ),
+    }
+}
+
+/// `K009` — a comparison's flag result is never consumed before being
+/// overwritten (cyclically, across the back edge). The compare is dead
+/// work occupying an ALU slot every iteration.
+fn unconsumed_flag_def(kernel: &Kernel, dfa: &Dfa, diags: &mut Vec<Diagnostic>) {
+    for (i, inst) in kernel.instructions.iter().enumerate() {
+        if !is_flag_only_writer(inst) {
+            continue;
+        }
+        let Some(flag_def) = dfa.flows[i]
+            .writes
+            .iter()
+            .find(|w| w.class == RegClass::Flags)
+        else {
+            continue;
+        };
+        if dfa.uses_of_def(i, flag_def).next().is_none() {
+            let (line, snippet) = span(inst);
+            diags.push(
+                Diagnostic::new(
+                    "K009",
+                    format!(
+                        "the flags set by `{}` are never consumed: every reader sees a \
+                         later comparison's result instead",
+                        inst.mnemonic
+                    ),
+                )
+                .with_span(line, snippet)
+                .with_help("remove the dead comparison or reorder it next to its branch"),
+            );
+        }
+    }
+}
+
+/// `K008` — a value computed every iteration that never escapes: it feeds
+/// no store, no branch, and no loop-carried dependency cycle, even
+/// transitively. In a steady-state loop such a computation is
+/// unobservable — dead weight on the ports. Pure loads get `Info` (dead
+/// loads are the *point* of load-only microbenchmarks); anything else is
+/// a `Warning`. Only runs on detected loops: in a straight-line block
+/// values legitimately escape to the code after it.
+fn loop_carried_dead_value(kernel: &Kernel, dfa: &Dfa, diags: &mut Vec<Diagnostic>) {
+    if kernel.loop_label.is_none() || dfa.n == 0 {
+        return;
+    }
+    let n = dfa.n;
+    let insts = &kernel.instructions;
+    // useful(i): i's effects are architecturally observable — it writes
+    // memory or resolves the loop branch — or some value it defines feeds
+    // a useful instruction, or it sits on a loop-carried dependency cycle
+    // (reductions and induction variables are live-out by construction).
+    let mut useful = vec![false; n];
+    for i in 0..n {
+        if insts[i].is_store() || insts[i].is_branch() || dfa.in_dep_cycle(i) {
+            useful[i] = true;
+        }
+    }
+    let edges = dfa.dep_edges();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &(from, to, _, _) in &edges {
+            if useful[to] && !useful[from] {
+                useful[from] = true;
+                changed = true;
+            }
+        }
+    }
+    for i in 0..n {
+        if useful[i] || insts[i].is_nop() || dfa.flows[i].writes.is_empty() {
+            continue;
+        }
+        let severity = if insts[i].is_load() {
+            Severity::Info
+        } else {
+            Severity::Warning
+        };
+        let (line, snippet) = span(&insts[i]);
+        diags.push(
+            Diagnostic::new(
+                "K008",
+                format!(
+                    "the value computed by `{}` never reaches a store, branch, or \
+                     loop-carried dependency — dead in steady state",
+                    insts[i].mnemonic
+                ),
+            )
+            .with_severity(severity)
+            .with_span(line, snippet)
+            .with_help(
+                "harmless in a load/latency microbenchmark; otherwise the loop does \
+                 work the program never observes",
+            ),
+        );
+    }
+}
+
+/// `K010` — the framework's dependency edges must agree with
+/// [`DepGraph::build`] exactly: same `(from, to, via)` triples, same
+/// wrap/intra classification. Both derive from [`isa::dataflow::dataflow`]
+/// with the same resolution rule, so any difference means one of the two
+/// analyses regressed — the linter and the model would silently disagree
+/// about the kernel's critical path. Reported as an `Error` naming each
+/// edge present on one side only.
+fn depgraph_crosscheck(machine: &Machine, kernel: &Kernel, dfa: &Dfa, diags: &mut Vec<Diagnostic>) {
+    let descs = machine.describe_kernel(kernel);
+    let graph = DepGraph::build(machine, kernel, &descs);
+    let mut ours: Vec<(usize, usize, (RegClass, u8), bool)> = dfa.dep_edges();
+    let mut theirs: Vec<(usize, usize, (RegClass, u8), bool)> = graph
+        .edges
+        .iter()
+        .map(|e| (e.from, e.to, e.via, e.wrap))
+        .collect();
+    ours.sort_unstable();
+    theirs.sort_unstable();
+    if ours == theirs {
+        return;
+    }
+    let fmt = |(from, to, via, wrap): &(usize, usize, (RegClass, u8), bool)| {
+        format!(
+            "{from}→{to} via {:?}{} ({})",
+            via.0,
+            via.1,
+            if *wrap { ", wrap" } else { "" }
+        )
+    };
+    for e in ours.iter().filter(|e| !theirs.contains(e)) {
+        diags.push(
+            Diagnostic::new(
+                "K010",
+                format!(
+                    "dependency {} is visible to the dataflow framework but not to \
+                     incore::depgraph — the model would miss this edge on its \
+                     critical path",
+                    fmt(e)
+                ),
+            )
+            .with_span(
+                kernel.instructions[e.1].line,
+                kernel.instructions[e.1].raw.clone(),
+            ),
+        );
+    }
+    for e in theirs.iter().filter(|e| !ours.contains(e)) {
+        diags.push(
+            Diagnostic::new(
+                "K010",
+                format!(
+                    "incore::depgraph materializes dependency {} that the dataflow \
+                     framework cannot derive — the model invents an edge",
+                    fmt(e)
+                ),
+            )
+            .with_span(
+                kernel.instructions[e.1].line,
+                kernel.instructions[e.1].raw.clone(),
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isa::{parse_kernel, Isa};
+
+    fn lint(asm: &str, isa: Isa) -> Vec<Diagnostic> {
+        let machine = match isa {
+            Isa::X86 => Machine::golden_cove(),
+            Isa::AArch64 => Machine::neoverse_v2(),
+        };
+        lint_kernel_sem(&machine, &parse_kernel(asm, isa).unwrap())
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_stream_kernel_has_no_findings() {
+        let d = lint(
+            ".L1:\n vmovupd (%rsi,%rax), %zmm0\n vaddpd %zmm0, %zmm1, %zmm2\n \
+             vmovupd %zmm2, (%rdi,%rax)\n addq $64, %rax\n cmpq %rcx, %rax\n jne .L1\n",
+            Isa::X86,
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn k007_cmov_without_flag_setter() {
+        // NB: the filler must not set flags (`add` would define them and
+        // feed the cmov around the back edge).
+        let d = lint(
+            ".L1:\n cmovgq %rbx, %rdx\n movq %rcx, %rax\n jmp .L1\n",
+            Isa::X86,
+        );
+        assert!(codes(&d).contains(&"K007"), "{d:?}");
+        // The jmp itself must not trigger K007 (unconditional, no flag read).
+        assert_eq!(d.iter().filter(|x| x.code == "K007").count(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn k007_silent_when_flags_are_set() {
+        let d = lint(
+            ".L1:\n cmpq %rcx, %rax\n cmovgq %rbx, %rdx\n addq $8, %rax\n jmp .L1\n",
+            Isa::X86,
+        );
+        assert!(!codes(&d).contains(&"K007"), "{d:?}");
+    }
+
+    #[test]
+    fn k008_dead_compute_chain() {
+        // zmm5 = zmm0 * zmm1 feeds only zmm6 = zmm5 + zmm2, which feeds
+        // nothing observable: both are dead in steady state.
+        let d = lint(
+            ".L1:\n vmulpd %zmm0, %zmm1, %zmm5\n vaddpd %zmm5, %zmm2, %zmm6\n \
+             subq $1, %rax\n jne .L1\n",
+            Isa::X86,
+        );
+        let k008: Vec<_> = d.iter().filter(|x| x.code == "K008").collect();
+        assert_eq!(k008.len(), 2, "{d:?}");
+        assert!(k008.iter().all(|x| x.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn k008_accumulators_and_stores_are_live() {
+        // The FMA accumulator is a loop-carried cycle; the store escapes.
+        let d = lint(
+            ".L1:\n vfmadd231pd %zmm1, %zmm2, %zmm3\n vmovupd %zmm3, (%rdi)\n \
+             subq $1, %rax\n jne .L1\n",
+            Isa::X86,
+        );
+        assert!(!codes(&d).contains(&"K008"), "{d:?}");
+    }
+
+    #[test]
+    fn k008_pure_dead_load_is_info() {
+        let d = lint(
+            ".L1:\n vmovupd (%rsi,%rax), %zmm0\n addq $64, %rax\n cmpq %rcx, %rax\n jne .L1\n",
+            Isa::X86,
+        );
+        let k008 = d.iter().find(|x| x.code == "K008").expect("dead load");
+        assert_eq!(k008.severity, Severity::Info);
+    }
+
+    #[test]
+    fn k008_skips_straight_line_blocks() {
+        let d = lint("vmulpd %zmm0, %zmm1, %zmm5\n", Isa::X86);
+        assert!(!codes(&d).contains(&"K008"), "{d:?}");
+    }
+
+    #[test]
+    fn k009_shadowed_comparison() {
+        // The first cmp's flags are overwritten by the second before the
+        // branch reads them.
+        let d = lint(
+            ".L1:\n addq $8, %rax\n cmpq %rdx, %rbx\n cmpq %rcx, %rax\n jne .L1\n",
+            Isa::X86,
+        );
+        let k009: Vec<_> = d.iter().filter(|x| x.code == "K009").collect();
+        assert_eq!(k009.len(), 1, "{d:?}");
+        assert_eq!(k009[0].span.as_ref().unwrap().line, 3, "{d:?}");
+    }
+
+    #[test]
+    fn k009_consumed_compare_is_silent_aarch64() {
+        let d = lint(
+            ".L1:\n add x3, x3, #16\n cmp x3, x4\n b.ne .L1\n",
+            Isa::AArch64,
+        );
+        assert!(!codes(&d).contains(&"K009"), "{d:?}");
+    }
+
+    #[test]
+    fn k010_fires_on_a_tampered_framework() {
+        // Through the public API the framework and the depgraph derive
+        // edges from the same dataflow facts, so a disagreement cannot be
+        // staged from outside; tamper with the framework's resolved uses
+        // directly to prove the cross-check reports both directions.
+        let machine = Machine::golden_cove();
+        let kernel = parse_kernel(
+            ".L1:\n vfmadd231pd %zmm1, %zmm2, %zmm3\n subq $1, %rax\n jne .L1\n",
+            Isa::X86,
+        )
+        .unwrap();
+        let mut dfa = Dfa::build(&kernel);
+        // Drop one resolved use: the framework now misses an edge the
+        // model materializes.
+        let victim = dfa
+            .uses
+            .iter()
+            .position(|u| u.def.is_some())
+            .expect("kernel has resolved uses");
+        dfa.uses.remove(victim);
+        let mut diags = Vec::new();
+        depgraph_crosscheck(&machine, &kernel, &dfa, &mut diags);
+        assert!(diags.iter().any(|d| d.code == "K010"), "{diags:?}");
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("incore::depgraph materializes")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn k010_is_silent_on_agreeing_analyses() {
+        // The cross-check must hold on representative kernels of both ISAs.
+        for (asm, isa) in [
+            (
+                ".L1:\n vfmadd231pd %zmm1, %zmm2, %zmm3\n subq $1, %rax\n jne .L1\n",
+                Isa::X86,
+            ),
+            (
+                ".L1:\n ldr q0, [x1, x3]\n fadd v0.2d, v0.2d, v1.2d\n \
+                 str q0, [x0, x3]\n add x3, x3, #16\n cmp x3, x4\n b.ne .L1\n",
+                Isa::AArch64,
+            ),
+        ] {
+            let d = lint(asm, isa);
+            assert!(!codes(&d).contains(&"K010"), "{asm}: {d:?}");
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Report simulator sanitizer violations as `S`-rule diagnostics.
+//!
+//! The invariant checks themselves live inside the simulator
+//! ([`exec::sanitizer`]): they must see engine internals, and `diag`
+//! depends on `exec`, so the dependency can only point this way. This
+//! module is the reporting bridge — it runs a simulation with the
+//! sanitizer in record mode and converts each captured
+//! [`exec::sanitizer::Violation`] into a [`Diagnostic`] carrying the
+//! matching stable rule code (`S001`–`S004`).
+//!
+//! The checks are compiled only under `debug_assertions`; in a release
+//! build [`sanitize_simulation`] still runs the simulation but can never
+//! produce findings. CI therefore runs the sanitizer suites on the debug
+//! profile (see the workflow's sanitizer step).
+
+use diag::Diagnostic;
+use exec::sanitizer::{capture, Violation};
+use exec::{SimConfig, SimResult};
+use isa::Kernel;
+use uarch::Machine;
+
+/// Convert captured sanitizer violations into diagnostics.
+pub fn violations_to_diags(violations: &[Violation]) -> Vec<Diagnostic> {
+    violations
+        .iter()
+        .map(|v| {
+            Diagnostic::new(v.code(), v.describe()).with_help(
+                "a simulator invariant was violated during this run; the result \
+                 cannot be trusted — file the kernel and machine as a simulator bug",
+            )
+        })
+        .collect()
+}
+
+/// Simulate `kernel` on `machine` with the sanitizer recording, and return
+/// the result together with any invariant violations as S-rule
+/// diagnostics. An empty list on a debug build is a clean bill of health;
+/// on a release build the checks do not exist and the list is always
+/// empty.
+pub fn sanitize_simulation(
+    machine: &Machine,
+    kernel: &Kernel,
+    cfg: SimConfig,
+) -> (SimResult, Vec<Diagnostic>) {
+    let (result, violations) = capture(|| exec::simulate(machine, kernel, cfg));
+    (result, violations_to_diags(&violations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag::Severity;
+    use isa::{parse_kernel, Isa};
+
+    #[test]
+    fn violations_map_to_their_stable_codes() {
+        let vs = [
+            Violation::ClockNotMonotone {
+                before: 7,
+                after: 7,
+            },
+            Violation::PortOvercommit {
+                port: 1,
+                cycle: 3,
+                taken: true,
+                busy_until: 0,
+            },
+            Violation::EarlyWakeup {
+                iter: 2,
+                idx: 0,
+                cycle: 5,
+                ready_at: 9,
+            },
+            Violation::TeleportSkew { word: 4 },
+        ];
+        let diags = violations_to_diags(&vs);
+        let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(codes, ["S001", "S002", "S003", "S004"]);
+        // Sanitizer findings are registered and default to Error.
+        for d in &diags {
+            assert!(diag::rule(d.code).is_some(), "{} unregistered", d.code);
+            assert_eq!(d.severity, Severity::Error);
+        }
+    }
+
+    #[test]
+    fn clean_simulation_yields_no_s_diagnostics() {
+        let k = parse_kernel(
+            ".L1:\n vfmadd231pd %zmm1, %zmm2, %zmm3\n subq $1, %rax\n jne .L1\n",
+            Isa::X86,
+        )
+        .unwrap();
+        let (r, diags) = sanitize_simulation(&Machine::golden_cove(), &k, SimConfig::default());
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(r.cycles_per_iter > 0.0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn seeded_fault_surfaces_as_s_diagnostic() {
+        use exec::sanitizer::{inject, Fault};
+        let k = parse_kernel(
+            ".L1:\n vaddpd %zmm1, %zmm2, %zmm3\n subq $1, %rax\n jne .L1\n",
+            Isa::X86,
+        )
+        .unwrap();
+        let m = Machine::golden_cove();
+        let (_, violations) = capture(|| {
+            inject(Fault::EarlyWakeup);
+            exec::simulate(&m, &k, SimConfig::default())
+        });
+        let diags = violations_to_diags(&violations);
+        assert!(diags.iter().any(|d| d.code == "S003"), "{diags:?}");
+    }
+}

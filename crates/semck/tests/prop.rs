@@ -1,0 +1,159 @@
+//! Property harness over fuzzed kernels, both ISAs: the semck analyses
+//! must never panic, the dataflow facts must be self-consistent, and
+//! every K-rule finding must cite a real source line.
+//!
+//! Kernels are assembled from pools of syntactically valid instruction
+//! templates with proptest-chosen register indices and instruction
+//! sequences, so the fuzz space covers accumulators, dead values, flag
+//! producers/consumers, loads, stores, and branches in arbitrary orders
+//! — including shapes the corpus never produces.
+
+use proptest::prelude::*;
+use semck::{lint_kernel_sem, Dfa};
+
+/// One x86 instruction template; `a`/`b`/`c` are vector register indices,
+/// `g` a GPR index (both kept small so aliasing collisions are common).
+fn x86_line(which: usize, a: u8, b: u8, c: u8, g: u8) -> String {
+    let gpr = ["rax", "rbx", "rcx", "rdx", "rsi", "rdi"][g as usize % 6];
+    match which % 12 {
+        0 => format!("vmulpd %zmm{a}, %zmm{b}, %zmm{c}"),
+        1 => format!("vaddpd %zmm{a}, %zmm{b}, %zmm{c}"),
+        2 => format!("vfmadd231pd %zmm{a}, %zmm{b}, %zmm{c}"),
+        3 => format!("vmovupd (%rsi,%rax), %zmm{c}"),
+        4 => format!("vmovupd %zmm{a}, (%rdi,%rax)"),
+        5 => format!("movq %{gpr}, %rdx"),
+        6 => "addq $8, %rax".to_string(),
+        7 => format!("cmpq %rcx, %{gpr}"),
+        8 => format!("cmovgq %rbx, %{gpr}"),
+        9 => format!("vxorpd %xmm{a}, %xmm{b}, %xmm{c}"),
+        10 => "subq $1, %rcx".to_string(),
+        _ => format!("imulq $3, %{gpr}, %rbx"),
+    }
+}
+
+/// One AArch64 instruction template.
+fn a64_line(which: usize, a: u8, b: u8, c: u8, g: u8) -> String {
+    let x = ["x0", "x1", "x2", "x3", "x4"][g as usize % 5];
+    match which % 10 {
+        0 => format!("fmla v{c}.2d, v{a}.2d, v{b}.2d"),
+        1 => format!("fmul v{c}.2d, v{a}.2d, v{b}.2d"),
+        2 => format!("fadd v{c}.2d, v{a}.2d, v{b}.2d"),
+        3 => format!("ldr q{c}, [x1], #16"),
+        4 => format!("str q{a}, [x2]"),
+        5 => format!("add {x}, {x}, #8"),
+        6 => format!("cmp {x}, x5"),
+        7 => format!("csel x6, x7, x8, gt"),
+        8 => format!("fdiv v{c}.2d, v{a}.2d, v{b}.2d"),
+        _ => "subs x2, x2, #1".to_string(),
+    }
+}
+
+/// Assemble a kernel: label, the chosen body lines, and one of three
+/// closers (conditional branch, unconditional jump, or straight-line).
+fn assemble(isa: isa::Isa, picks: &[(usize, u8, u8, u8, u8)], closer: usize) -> String {
+    let mut s = String::from(".L1:\n");
+    for &(w, a, b, c, g) in picks {
+        let line = match isa {
+            isa::Isa::X86 => x86_line(w, a, b, c, g),
+            isa::Isa::AArch64 => a64_line(w, a, b, c, g),
+        };
+        s.push_str("    ");
+        s.push_str(&line);
+        s.push('\n');
+    }
+    match (isa, closer % 3) {
+        (isa::Isa::X86, 0) => s.push_str("    jne .L1\n"),
+        (isa::Isa::X86, 1) => s.push_str("    jmp .L1\n"),
+        (isa::Isa::AArch64, 0) => s.push_str("    b.ne .L1\n"),
+        (isa::Isa::AArch64, 1) => s.push_str("    b .L1\n"),
+        _ => {}
+    }
+    s
+}
+
+/// The invariants every fuzzed kernel must satisfy.
+fn check(machine: &uarch::Machine, asm: &str) {
+    let kernel = match isa::parse_kernel(asm, machine.isa) {
+        Ok(k) => k,
+        Err(e) => panic!("template must parse: {e}\n{asm}"),
+    };
+    let dfa = Dfa::build(&kernel);
+
+    // Self-consistency: an unresolved use is exactly an external input,
+    // and no input register is ever written in the body.
+    for u in &dfa.uses {
+        match u.def {
+            None => prop_assert!(
+                dfa.inputs.contains(&u.reg.id()),
+                "unresolved use of {:?} not recorded as input\n{asm}",
+                u.reg
+            ),
+            Some(d) => prop_assert!(d.inst < dfa.n, "dangling def index\n{asm}"),
+        }
+    }
+    for d in &dfa.defs {
+        prop_assert!(
+            !dfa.inputs.contains(&d.reg.id()),
+            "{:?} is written at {} yet marked external\n{asm}",
+            d.reg,
+            d.inst
+        );
+    }
+    // Liveness ⊆ reaching definitions ∪ inputs: anything live somewhere
+    // must have a producer in the body or live outside it.
+    let written: std::collections::BTreeSet<_> = dfa.defs.iter().map(|d| d.reg.id()).collect();
+    for (i, live) in dfa.live_in.iter().enumerate() {
+        for r in live {
+            prop_assert!(
+                written.contains(r) || dfa.inputs.contains(r),
+                "live-in {r:?} at {i} has neither a def nor input status\n{asm}"
+            );
+        }
+    }
+    // Dependency edges stay inside the body.
+    for (from, to, _, _) in dfa.dep_edges() {
+        prop_assert!(from < dfa.n && to < dfa.n);
+    }
+
+    // The K-rules must not panic, and every localized finding must cite
+    // a line some instruction actually sits on.
+    let lines: std::collections::BTreeSet<usize> =
+        kernel.instructions.iter().map(|i| i.line).collect();
+    for d in lint_kernel_sem(machine, &kernel) {
+        if let Some(span) = &d.span {
+            if span.line > 0 {
+                prop_assert!(
+                    lines.contains(&span.line),
+                    "{} cites line {} which no instruction occupies\n{asm}",
+                    d.code,
+                    span.line
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn x86_kernels_analyze_cleanly(
+        picks in proptest::collection::vec(
+            (0usize..12, 0u8..8, 0u8..8, 0u8..8, 0u8..8), 1..9),
+        closer in 0usize..3,
+    ) {
+        let asm = assemble(isa::Isa::X86, &picks, closer);
+        check(&uarch::Machine::golden_cove(), &asm);
+        check(&uarch::Machine::zen4(), &asm);
+    }
+
+    #[test]
+    fn a64_kernels_analyze_cleanly(
+        picks in proptest::collection::vec(
+            (0usize..10, 0u8..8, 0u8..8, 0u8..8, 0u8..8), 1..9),
+        closer in 0usize..3,
+    ) {
+        let asm = assemble(isa::Isa::AArch64, &picks, closer);
+        check(&uarch::Machine::neoverse_v2(), &asm);
+    }
+}
