@@ -97,8 +97,8 @@ pub fn render_profile(profile: &obs::Profile, mode: ProfileMode) -> String {
 /// Options for `incore-cli validate` — the full-corpus validation gate.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ValidateOpts {
-    /// Machines to cover; empty = all three.
-    pub archs: Vec<uarch::Arch>,
+    /// Machines to cover; empty = the paper's trio.
+    pub sel: MachineSel,
     /// Worker threads; 0 = all available cores.
     pub threads: usize,
     /// Evaluate only the first N blocks (smoke runs).
@@ -136,16 +136,92 @@ pub struct AnalyzeFlags {
     pub profile: Option<ProfileMode>,
 }
 
+/// One machine named on the command line — either a registry model
+/// (`--arch` family alias or `--model` registry id, both resolved to the
+/// stable registry id at parse time) or a JSON machine file path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MachineRef {
+    /// A registry id (`neoverse-v2`, `zen2-rome`, …), already validated.
+    Model(String),
+    /// A `--machine-file` path, read and imported at resolution time.
+    File(String),
+}
+
+/// The machine selection shared by every subcommand: the `--arch`,
+/// `--model`, and `--machine-file` occurrences in command-line order.
+/// What an empty selection means (paper trio, all registry models, or a
+/// usage error) is the subcommand's choice, made at resolution time.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MachineSel {
+    pub refs: Vec<MachineRef>,
+}
+
+impl MachineSel {
+    /// Convenience constructor for a single registry model.
+    pub fn model(id: &str) -> MachineSel {
+        MachineSel {
+            refs: vec![MachineRef::Model(id.to_string())],
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+
+    /// Build every selected machine, in selection order. Registry ids were
+    /// validated at parse time; machine files are read and imported here
+    /// (I/O errors and import failures carry the path as context).
+    pub fn resolve(&self) -> Result<Vec<uarch::Machine>, Error> {
+        self.refs.iter().map(resolve_ref).collect()
+    }
+
+    /// [`MachineSel::resolve`], defaulting an empty selection to the
+    /// paper's trio — the historical grid of `validate`, `storebench`,
+    /// and the machine lints.
+    pub fn resolve_or_trio(&self) -> Result<Vec<uarch::Machine>, Error> {
+        if self.is_empty() {
+            return Ok(uarch::all_machines());
+        }
+        self.resolve()
+    }
+
+    /// Resolve to exactly one machine for the single-machine subcommands
+    /// (`analyze`, `explain`, `export`, `ports`). A machine file wins over
+    /// a registry model — the historical `--machine-file` override — and
+    /// within a kind the last occurrence wins.
+    pub fn resolve_one(&self) -> Result<uarch::Machine, Error> {
+        let last_file = self
+            .refs
+            .iter()
+            .rev()
+            .find(|r| matches!(r, MachineRef::File(_)));
+        let chosen = last_file
+            .or_else(|| self.refs.last())
+            .ok_or_else(|| Error::usage("--arch, --model, or --machine-file is required"))?;
+        resolve_ref(chosen)
+    }
+}
+
+fn resolve_ref(r: &MachineRef) -> Result<uarch::Machine, Error> {
+    match r {
+        MachineRef::Model(id) => uarch::registry::machine(id)
+            .ok_or_else(|| Error::usage(format!("unknown registry id `{id}`"))),
+        MachineRef::File(path) => {
+            let json = std::fs::read_to_string(path).map_err(|e| Error::io(path, &e))?;
+            uarch::Machine::from_json(&json).map_err(|e| Error::from(e).with_context(path.as_str()))
+        }
+    }
+}
+
 /// Options for `incore-cli lint` — the static-analysis driver.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct LintOpts {
     /// Assembly file to lint (kernel rules + predictor divergence).
     pub path: Option<String>,
-    /// Machine to lint, or to lint the kernel against.
-    pub arch: Option<uarch::Arch>,
-    /// JSON machine file to lint (takes precedence over `arch` when
-    /// resolving the kernel's machine).
-    pub machine_file: Option<String>,
+    /// Machines to lint, or to lint the kernel against. A machine file
+    /// takes precedence over a registry model when resolving the kernel's
+    /// machine.
+    pub sel: MachineSel,
     pub json: bool,
     /// Emit a SARIF 2.1.0 report instead of text/JSON.
     pub sarif: bool,
@@ -173,29 +249,31 @@ pub struct LintOpts {
 pub enum Command {
     Analyze {
         path: String,
-        arch: uarch::Arch,
-        /// Optional JSON machine file overriding the built-in model.
-        machine_file: Option<String>,
+        /// Machine selection; exactly one machine is resolved.
+        sel: MachineSel,
         flags: AnalyzeFlags,
         /// Emit a one-record [`engine::BatchReport`] instead of text.
         json: bool,
     },
     /// Validate the predictors over the kernel corpus (Fig. 3 pipeline).
     Validate(ValidateOpts),
-    Machines,
+    /// List the machine registry (id, lineage, key parameters).
+    Machines {
+        json: bool,
+    },
     /// Run the static diagnostics over a kernel, a machine file, the
     /// built-in machine models, or the whole corpus.
     Lint(LintOpts),
-    /// Export a built-in machine model as a JSON machine file.
+    /// Export a machine model as a JSON machine file.
     Export {
-        arch: uarch::Arch,
+        sel: MachineSel,
     },
     Ports {
-        arch: uarch::Arch,
+        sel: MachineSel,
     },
     StoreBench {
-        /// Machines to sweep; empty = all three.
-        archs: Vec<uarch::Arch>,
+        /// Machines to sweep; empty = the paper's trio.
+        sel: MachineSel,
         nt: bool,
         /// Emit the versioned JSON [`memhier::storebench::StoreSweepReport`].
         json: bool,
@@ -213,9 +291,8 @@ pub enum Command {
     Explain {
         /// Corpus kernel name (e.g. `triad`, `jacobi3d27`).
         kernel: String,
-        arch: uarch::Arch,
-        /// Optional JSON machine file overriding the built-in model.
-        machine_file: Option<String>,
+        /// Machine selection; exactly one machine is resolved.
+        sel: MachineSel,
         /// Reference-simulator configuration overrides.
         sim: SimOverrides,
     },
@@ -223,16 +300,39 @@ pub enum Command {
 }
 
 /// Resolve a machine name (`gcs`/`grace`, `spr`/`sapphirerapids`,
-/// `genoa`/`zen4`, plus the µarch names) to its model.
+/// `genoa`/`zen4`, plus the µarch names) to its family tag. Retained for
+/// library callers that want the coarse family; the CLI itself resolves
+/// names through [`resolve_model_id`], which also accepts registry ids.
 pub fn parse_arch(name: &str) -> Result<uarch::Arch, Error> {
-    match name.to_ascii_lowercase().as_str() {
-        "gcs" | "grace" | "neoverse-v2" | "neoversev2" | "v2" => Ok(uarch::Arch::NeoverseV2),
-        "spr" | "sapphire-rapids" | "sapphirerapids" | "golden-cove" | "goldencove" => {
-            Ok(uarch::Arch::GoldenCove)
-        }
-        "genoa" | "zen4" | "zen-4" => Ok(uarch::Arch::Zen4),
+    match resolve_model_id(name)? {
+        "neoverse-v2" => Ok(uarch::Arch::NeoverseV2),
+        "golden-cove" => Ok(uarch::Arch::GoldenCove),
+        "zen4" => Ok(uarch::Arch::Zen4),
         other => Err(Error::usage(format!(
-            "unknown machine `{other}`; use gcs, spr, or genoa"
+            "`{other}` is a registry model, not one of the three machine families"
+        ))),
+    }
+}
+
+/// Resolve a machine name to its stable registry id: the family aliases
+/// the CLI has always taken (`gcs`/`grace`, `spr`/`sapphire-rapids`,
+/// `genoa`/`zen-4`, the µarch names) plus every id in
+/// [`uarch::registry`]. This is the single name-resolution path behind
+/// `--arch` and `--model` on every subcommand, so an unknown name fails
+/// with the same message everywhere.
+pub fn resolve_model_id(name: &str) -> Result<&'static str, Error> {
+    let lower = name.to_ascii_lowercase();
+    let id = match lower.as_str() {
+        "gcs" | "grace" | "neoversev2" | "v2" => "neoverse-v2",
+        "spr" | "sapphire-rapids" | "sapphirerapids" | "goldencove" => "golden-cove",
+        "genoa" | "zen-4" => "zen4",
+        other => other,
+    };
+    match uarch::registry::find(id) {
+        Some(entry) => Ok(entry.id),
+        None => Err(Error::usage(format!(
+            "unknown machine `{name}`; use gcs, spr, genoa, or a registry id \
+             (see `incore-cli machines`)"
         ))),
     }
 }
@@ -245,23 +345,34 @@ pub fn parse_args(args: &[String]) -> Result<Command, Error> {
     };
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
-        "machines" => Ok(Command::Machines),
+        "machines" => {
+            let mut json = false;
+            for a in it {
+                match a.as_str() {
+                    "--json" => json = true,
+                    other => return Err(Error::usage(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Machines { json })
+        }
         "export" => {
-            let arch = required_arch(&mut it)?;
-            Ok(Command::Export { arch })
+            let sel = required_sel(&mut it)?;
+            Ok(Command::Export { sel })
         }
         "ports" => {
-            let arch = required_arch(&mut it)?;
-            Ok(Command::Ports { arch })
+            let sel = required_sel(&mut it)?;
+            Ok(Command::Ports { sel })
         }
         "storebench" => {
-            let mut archs = Vec::new();
+            let mut sel = MachineSel::default();
             let (mut nt, mut json, mut reference) = (false, false, false);
             let mut threads = None;
             let mut profile = None;
             while let Some(a) = it.next() {
+                if machine_flag(&mut sel, a.as_str(), &mut it)? {
+                    continue;
+                }
                 match a.as_str() {
-                    "--arch" => archs.push(next_arch(&mut it)?),
                     "--nt" => nt = true,
                     "--json" => json = true,
                     "--threads" => threads = Some(next_value(&mut it, "--threads")?),
@@ -271,7 +382,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, Error> {
                 }
             }
             Ok(Command::StoreBench {
-                archs,
+                sel,
                 nt,
                 json,
                 threads,
@@ -281,19 +392,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, Error> {
         }
         "explain" => {
             let mut kernel = None;
-            let mut arch = None;
-            let mut machine_file = None;
+            let mut sel = MachineSel::default();
             let mut sim = SimOverrides::default();
             while let Some(a) = it.next() {
+                if machine_flag(&mut sel, a.as_str(), &mut it)? {
+                    continue;
+                }
                 match a.as_str() {
-                    "--arch" => arch = Some(next_arch(&mut it)?),
-                    "--machine-file" => {
-                        machine_file = Some(
-                            it.next()
-                                .ok_or_else(|| Error::usage("--machine-file needs a path"))?
-                                .to_string(),
-                        )
-                    }
                     "--iterations" => sim.iterations = Some(next_value(&mut it, "--iterations")?),
                     "--warmup" => sim.warmup = Some(next_value(&mut it, "--warmup")?),
                     "--no-early-exit" => sim.no_early_exit = true,
@@ -305,19 +410,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, Error> {
                 }
             }
             let kernel = kernel.ok_or_else(|| Error::usage("missing kernel name"))?;
-            let arch = arch.ok_or_else(|| Error::usage("--arch is required"))?;
-            Ok(Command::Explain {
-                kernel,
-                arch,
-                machine_file,
-                sim,
-            })
+            if sel.is_empty() {
+                return Err(Error::usage("--arch (or --model) is required"));
+            }
+            Ok(Command::Explain { kernel, sel, sim })
         }
         "validate" => {
             let mut opts = ValidateOpts::default();
             while let Some(a) = it.next() {
+                if machine_flag(&mut opts.sel, a.as_str(), &mut it)? {
+                    continue;
+                }
                 match a.as_str() {
-                    "--arch" => opts.archs.push(next_arch(&mut it)?),
                     "--threads" => opts.threads = next_value(&mut it, "--threads")?,
                     "--limit" => opts.limit = Some(next_value(&mut it, "--limit")?),
                     "--json" => opts.json = true,
@@ -339,11 +443,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, Error> {
         "lint" => {
             let mut opts = LintOpts::default();
             while let Some(a) = it.next() {
+                if machine_flag(&mut opts.sel, a.as_str(), &mut it)? {
+                    continue;
+                }
                 match a.as_str() {
-                    "--arch" => opts.arch = Some(next_arch(&mut it)?),
-                    "--machine-file" => {
-                        opts.machine_file = Some(next_value(&mut it, "--machine-file")?)
-                    }
                     "--json" => opts.json = true,
                     "--sarif" => opts.sarif = true,
                     "--strict" => opts.strict = true,
@@ -364,9 +467,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, Error> {
                     extra => return Err(Error::usage(format!("unexpected argument `{extra}`"))),
                 }
             }
-            if opts.path.is_some() && opts.arch.is_none() && opts.machine_file.is_none() {
+            if opts.path.is_some() && opts.sel.is_empty() {
                 return Err(Error::usage(
-                    "--arch (or --machine-file) is required when linting a kernel",
+                    "--arch, --model, or --machine-file is required when linting a kernel",
                 ));
             }
             if opts.json && opts.sarif {
@@ -376,20 +479,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, Error> {
         }
         "analyze" => {
             let mut path = None;
-            let mut arch = None;
-            let mut machine_file = None;
+            let mut sel = MachineSel::default();
             let mut flags = AnalyzeFlags::default();
             let mut json = false;
             while let Some(a) = it.next() {
+                if machine_flag(&mut sel, a.as_str(), &mut it)? {
+                    continue;
+                }
                 match a.as_str() {
-                    "--arch" => arch = Some(next_arch(&mut it)?),
-                    "--machine-file" => {
-                        machine_file = Some(
-                            it.next()
-                                .ok_or_else(|| Error::usage("--machine-file needs a path"))?
-                                .to_string(),
-                        )
-                    }
                     "--balanced" => flags.balanced = true,
                     "--mca" => flags.mca = true,
                     "--sim" => flags.sim = true,
@@ -410,11 +507,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, Error> {
                 }
             }
             let path = path.ok_or_else(|| Error::usage("missing input file"))?;
-            let arch = arch.ok_or_else(|| Error::usage("--arch is required"))?;
+            if sel.is_empty() {
+                return Err(Error::usage("--arch (or --model) is required"));
+            }
             Ok(Command::Analyze {
                 path,
-                arch,
-                machine_file,
+                sel,
                 flags,
                 json,
             })
@@ -429,11 +527,34 @@ fn is_profile_flag(flag: &str) -> bool {
     flag == "--profile" || flag.starts_with("--profile=")
 }
 
-fn next_arch<'a>(it: &mut impl Iterator<Item = &'a String>) -> Result<uarch::Arch, Error> {
-    let v = it
-        .next()
-        .ok_or_else(|| Error::usage("--arch needs a value"))?;
-    parse_arch(v)
+/// The shared machine-selection parser: consume one `--arch`, `--model`,
+/// or `--machine-file` occurrence into `sel`. Returns `Ok(false)` when the
+/// flag is not a machine flag (so the subcommand's own loop handles it),
+/// which is what lets every subcommand accept the same three flags with
+/// the same validation and the same error messages.
+fn machine_flag<'a>(
+    sel: &mut MachineSel,
+    flag: &str,
+    it: &mut impl Iterator<Item = &'a String>,
+) -> Result<bool, Error> {
+    match flag {
+        "--arch" | "--model" => {
+            let v = it
+                .next()
+                .ok_or_else(|| Error::usage(format!("{flag} needs a value")))?;
+            let id = resolve_model_id(v)?;
+            sel.refs.push(MachineRef::Model(id.to_string()));
+            Ok(true)
+        }
+        "--machine-file" => {
+            let v = it
+                .next()
+                .ok_or_else(|| Error::usage("--machine-file needs a path"))?;
+            sel.refs.push(MachineRef::File(v.to_string()));
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
 }
 
 fn next_value<'a, T: std::str::FromStr>(
@@ -447,36 +568,46 @@ fn next_value<'a, T: std::str::FromStr>(
         .map_err(|_| Error::usage(format!("invalid value `{v}` for {flag}")))
 }
 
-fn required_arch<'a>(it: &mut impl Iterator<Item = &'a String>) -> Result<uarch::Arch, Error> {
-    let mut arch = None;
+/// Argument tail for the single-machine subcommands that take nothing but
+/// a machine selection (`export`, `ports`).
+fn required_sel<'a>(it: &mut impl Iterator<Item = &'a String>) -> Result<MachineSel, Error> {
+    let mut sel = MachineSel::default();
     while let Some(a) = it.next() {
-        match a.as_str() {
-            "--arch" => arch = Some(next_arch(it)?),
-            other => return Err(Error::usage(format!("unknown flag `{other}`"))),
+        if machine_flag(&mut sel, a.as_str(), it)? {
+            continue;
         }
+        return Err(Error::usage(format!("unknown flag `{a}`")));
     }
-    arch.ok_or_else(|| Error::usage("--arch is required"))
+    if sel.is_empty() {
+        return Err(Error::usage("--arch (or --model) is required"));
+    }
+    Ok(sel)
 }
 
 /// The help text.
 pub const USAGE: &str = "\
 incore-cli — in-core performance modeling of Grace, Sapphire Rapids, and Genoa
 
+Every subcommand selects machines the same way:
+      --arch <machine>     a family alias (gcs, spr, genoa, or the µarch names)
+      --model <id>         a machine-registry id (see `incore-cli machines`)
+      --machine-file <file.json>  an edited/exported JSON machine file
+
 USAGE:
-  incore-cli analyze <file.s> --arch <gcs|spr|genoa> [flags]
+  incore-cli analyze <file.s> --arch <machine> [flags]
       --balanced   use OSACA's equal-split port heuristic instead of the optimum
       --mca        also run the LLVM-MCA-style baseline
       --sim        also run the cycle-level core simulator
       --timeline   print the MCA timeline view
       --trace      print the simulator's pipeline trace
       --json       emit a one-record JSON report (same schema as validate)
-      --machine-file <file.json>  load an edited machine model instead of the built-in
       --iterations <n>     simulator measured iterations (default 200)
       --warmup <n>         simulator warm-up iterations (default 50)
       --no-early-exit      simulate every iteration (no steady-state extrapolation)
       --profile[=mode]     obs profile on stderr (text|json) or trace.chrome.json (chrome)
   incore-cli validate [flags]         validate the predictors over the kernel corpus
-      --arch <machine>     restrict to one machine (repeatable; default all three)
+      --arch/--model/--machine-file   restrict the grid (repeatable; default: the
+                           paper's three machines)
       --threads <n>        worker threads (0 = all cores); results are identical
       --limit <n>          only the first n corpus blocks (smoke runs)
       --json               emit the JSON BatchReport instead of the text summary
@@ -487,14 +618,14 @@ USAGE:
   incore-cli explain <kernel> --arch <machine>   bottleneck-attribution report for a
       corpus kernel: the binding port/dependency/front-end bound per predictor and
       why the predictors disagree (divergence rules D001/D002, attribution rule D003)
-      --machine-file <file.json>  explain against an edited machine model
       --iterations / --warmup / --no-early-exit   as for analyze (reference simulator)
   incore-cli lint [file.s] [flags]    run the static diagnostics (rule codes K*, M*, D*, S*)
-      --arch <machine>     machine for kernel lints / single machine to lint
+      --arch/--model       machine for kernel lints / machines to lint (repeatable)
       --machine-file <file.json>  lint an edited machine file (also used for kernel lints)
       --sim        include the cycle-level simulator in the divergence check
       --admission  run the machine-model admission gate (M008-M010): the machine's
-                   tables must cover every instruction form its corpus decodes to
+                   tables must cover every instruction form its corpus decodes to;
+                   with no selection, every registry model is gated
       --corpus     lint every generated corpus kernel (K001-K010), in parallel
       --threads <n>        worker threads for --corpus (output identical at any count)
       --deny <CODE>        promote a rule to error severity (repeatable)
@@ -504,12 +635,14 @@ USAGE:
       --json       emit a machine-readable JSON report
       --sarif      emit a SARIF 2.1.0 report (for code-scanning upload)
       --strict     treat warnings as errors (nonzero exit)
-      with no file and no --arch, all three built-in models are linted
-  incore-cli machines                 list the three machine models (Table II)
+      with no file and no selection, the paper's three models are linted
+  incore-cli machines [--json]        list the machine registry: id, lineage
+      (base model + composition deltas), and key parameters
   incore-cli export --arch <machine>  dump a machine model as an editable JSON file
   incore-cli ports --arch <machine>   render the port model (Fig. 1)
   incore-cli storebench [flags]       store-only traffic-ratio sweep (Fig. 4)
-      --arch <machine>     restrict to one machine (repeatable; default all three)
+      --arch/--model/--machine-file   restrict the sweep (repeatable; default: the
+                           paper's three machines)
       --nt                 non-temporal stores instead of standard write-allocate
       --json               emit the versioned JSON StoreSweepReport
       --threads <n>        rayon pool size; output is identical at every count
@@ -522,13 +655,13 @@ USAGE:
 /// [`memhier::storebench::StoreSweepReport`]. With `reference` the sweep
 /// runs the per-access oracle pipeline instead of the streaming fast
 /// path — output is bit-identical either way.
-pub fn run_storebench(archs: &[uarch::Arch], nt: bool, json: bool, reference: bool) -> String {
+pub fn run_storebench(
+    machines: &[uarch::Machine],
+    nt: bool,
+    json: bool,
+    reference: bool,
+) -> String {
     use std::fmt::Write;
-    let machines: Vec<uarch::Machine> = if archs.is_empty() {
-        uarch::all_machines()
-    } else {
-        archs.iter().copied().map(machine_for).collect()
-    };
     let kind = if nt {
         memhier::StoreKind::NonTemporal
     } else {
@@ -574,6 +707,97 @@ pub fn machine_for(arch: uarch::Arch) -> uarch::Machine {
         uarch::Arch::GoldenCove => uarch::Machine::golden_cove(),
         uarch::Arch::Zen4 => uarch::Machine::zen4(),
     }
+}
+
+/// Schema version of the `machines --json` registry listing.
+pub const MACHINES_SCHEMA_VERSION: u32 = 1;
+
+/// Render `incore-cli machines [--json]`: the machine registry in its
+/// deterministic order — id, name/chip, lineage (base model plus the
+/// composition deltas applied on top), and the key parameters. The JSON
+/// form is the byte-stable listing the golden snapshot fixture and the CI
+/// artifact pin.
+pub fn run_machines(json: bool) -> String {
+    use std::fmt::Write;
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut s = String::new();
+    if json {
+        s.push_str(&format!(
+            "{{\"schema_version\":{MACHINES_SCHEMA_VERSION},\"models\":["
+        ));
+        for (i, entry) in uarch::registry::entries().iter().enumerate() {
+            let b = (entry.build)();
+            let m = b.clone().build();
+            if i > 0 {
+                s.push(',');
+            }
+            let deltas: Vec<String> = b
+                .deltas()
+                .iter()
+                .map(|d| format!("\"{}\"", esc(d)))
+                .collect();
+            let _ = write!(
+                s,
+                "{{\"id\":\"{}\",\"name\":\"{}\",\"chip\":\"{}\",\"part\":\"{}\",\
+                 \"base\":\"{}\",\"deltas\":[{}],\"summary\":\"{}\",\
+                 \"ports\":{},\"dispatch_width\":{},\"rob_size\":{},\"sched_size\":{},\
+                 \"cores\":{},\"numa_domains\":{},\"simd_width_bits\":{},\
+                 \"max_isa_vec_bits\":{},\"base_freq_ghz\":{},\"max_freq_ghz\":{},\
+                 \"mem_type\":\"{}\",\"theor_bw_gbs\":{}}}",
+                esc(m.id),
+                esc(m.name),
+                esc(m.chip),
+                esc(m.part),
+                esc(b.base()),
+                deltas.join(","),
+                esc(entry.summary),
+                m.port_model.num_ports(),
+                m.dispatch_width,
+                m.rob_size,
+                m.sched_size,
+                m.cores,
+                m.numa_domains,
+                m.simd_width_bits,
+                m.max_isa_vec_bits,
+                m.base_freq_ghz,
+                m.max_freq_ghz,
+                esc(m.memory.mem_type),
+                m.memory.theor_bw_gbs,
+            );
+        }
+        s.push_str("]}\n");
+        return s;
+    }
+    for entry in uarch::registry::entries() {
+        let b = (entry.build)();
+        let m = b.clone().build();
+        let _ = writeln!(
+            s,
+            "{:<20} {} [{}] — {}",
+            m.id, m.name, m.chip, entry.summary
+        );
+        let _ = writeln!(
+            s,
+            "    {} ports, ROB {}, sched {}, {}-wide dispatch, SIMD {} b (ISA max {} b), \
+             {} cores @ {} GHz, {} {} GB/s",
+            m.port_model.num_ports(),
+            m.rob_size,
+            m.sched_size,
+            m.dispatch_width,
+            m.simd_width_bits,
+            m.max_isa_vec_bits,
+            m.cores,
+            m.base_freq_ghz,
+            m.memory.mem_type,
+            m.memory.theor_bw_gbs,
+        );
+        if b.deltas().is_empty() {
+            let _ = writeln!(s, "    base model (paper family)");
+        } else {
+            let _ = writeln!(s, "    base: {} + {}", b.base(), b.deltas().join("; "));
+        }
+    }
+    s
 }
 
 /// Execute a parsed command against assembly text already read from disk
@@ -655,7 +879,7 @@ pub fn run_analyze_json(
         reference,
     );
     let mut report = engine::BatchReport::from_records(
-        vec![machine.arch.label().to_string()],
+        vec![machine.name.to_string()],
         refs.iter().map(|p| p.name().to_string()).collect(),
         reference.map(|r| r.name().to_string()),
         vec![record],
@@ -685,8 +909,8 @@ pub fn run_validate(opts: &ValidateOpts) -> Result<ValidateOutcome, Error> {
         .threads(opts.threads)
         .sim_config(opts.sim.config())
         .profile(opts.profile.is_some());
-    if !opts.archs.is_empty() {
-        session = session.archs(&opts.archs);
+    if !opts.sel.is_empty() {
+        session = session.machines(opts.sel.resolve()?);
     }
     if let Some(limit) = opts.limit {
         session = session.limit(limit);
@@ -769,7 +993,7 @@ pub fn run_explain(
                     names.dedup();
                     return Err(Error::usage(format!(
                         "unknown kernel `{kernel_name}` for {}; corpus kernels: {}",
-                        machine.arch.label(),
+                        machine.name,
                         names.join(", ")
                     )));
                 }
@@ -827,8 +1051,8 @@ pub fn run_explain(
         out,
         "explain {} on {} ({})",
         variant.kernel.name(),
-        machine.arch.chip(),
-        machine.arch.label()
+        machine.chip,
+        machine.name
     );
     let _ = writeln!(out, "variant: {}", variant.label());
     let _ = writeln!(out);
@@ -938,7 +1162,7 @@ pub enum LintTarget<'a> {
 impl LintTarget<'_> {
     fn name(&self) -> String {
         match self {
-            LintTarget::Machine(m) => format!("machine:{}", m.arch.label()),
+            LintTarget::Machine(m) => format!("machine:{}", m.name),
             LintTarget::MachineFile { label, .. } => format!("machine-file:{label}"),
             LintTarget::Kernel { label, .. } => format!("kernel:{label}"),
             LintTarget::Admission { label, .. } => format!("admission:{label}"),
@@ -1085,25 +1309,28 @@ pub fn run_lint(targets: &[LintTarget], json: bool, strict: bool) -> (String, i3
     (outcome.output, outcome.exit_code)
 }
 
-/// Resolve the lint options into the admission-gate targets: the chosen
-/// built-in machines, plus any imported machine file (labelled by path).
+/// Resolve the lint options into the admission-gate targets: the selected
+/// registry models (labelled by registry id), plus any imported machine
+/// file (labelled by path). With no selection and no import, *every*
+/// registry model goes through the gate — that is the CI invocation, so a
+/// new registry entry is admission-checked the moment it is registered.
 pub fn admission_targets<'a>(
-    arch: Option<uarch::Arch>,
-    imported: Option<(&str, &uarch::Machine)>,
+    selected: Vec<uarch::Machine>,
+    imported: &[(String, uarch::Machine)],
 ) -> Vec<LintTarget<'a>> {
     let mut targets = Vec::new();
-    let builtin: Vec<uarch::Machine> = match arch {
-        Some(a) => vec![machine_for(a)],
-        None if imported.is_none() => uarch::all_machines(),
-        None => Vec::new(),
+    let models = if selected.is_empty() && imported.is_empty() {
+        uarch::registry::machines()
+    } else {
+        selected
     };
-    for m in builtin {
-        let label = m.arch.label().to_string();
+    for m in models {
+        let label = m.id.to_string();
         targets.push(LintTarget::Admission { label, machine: m });
     }
-    if let Some((label, m)) = imported {
+    for (label, m) in imported {
         targets.push(LintTarget::Admission {
-            label: label.to_string(),
+            label: label.clone(),
             machine: m.clone(),
         });
     }
@@ -1125,8 +1352,7 @@ mod tests {
             c,
             Command::Analyze {
                 path: "k.s".into(),
-                arch: uarch::Arch::GoldenCove,
-                machine_file: None,
+                sel: MachineSel::model("golden-cove"),
                 flags: AnalyzeFlags {
                     mca: true,
                     sim: true,
@@ -1135,6 +1361,50 @@ mod tests {
                 json: false,
             }
         );
+        // --model takes a registry id and lands in the same selection.
+        let c = parse_args(&sv(&["analyze", "k.s", "--model", "zen2-rome"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Analyze {
+                path: "k.s".into(),
+                sel: MachineSel::model("zen2-rome"),
+                flags: AnalyzeFlags::default(),
+                json: false,
+            }
+        );
+    }
+
+    #[test]
+    fn every_subcommand_shares_the_machine_parser_and_its_error() {
+        // The same unknown name fails identically behind --arch and
+        // --model on every subcommand that selects machines.
+        let mut msgs = std::collections::BTreeSet::new();
+        for args in [
+            sv(&["analyze", "k.s", "--arch", "m1"]),
+            sv(&["analyze", "k.s", "--model", "m1"]),
+            sv(&["validate", "--arch", "m1"]),
+            sv(&["lint", "--model", "m1"]),
+            sv(&["storebench", "--arch", "m1"]),
+            sv(&["explain", "triad", "--model", "m1"]),
+            sv(&["export", "--arch", "m1"]),
+            sv(&["ports", "--model", "m1"]),
+        ] {
+            let e = parse_args(&args).unwrap_err();
+            assert_eq!(e.kind(), ErrorKind::Usage, "{args:?}");
+            msgs.insert(e.to_string());
+        }
+        assert_eq!(msgs.len(), 1, "one consistent message: {msgs:?}");
+        let msg = msgs.iter().next().unwrap();
+        assert!(msg.contains("unknown machine `m1`"), "{msg}");
+        assert!(msg.contains("incore-cli machines"), "{msg}");
+        // Registry ids resolve everywhere a family alias does.
+        for args in [
+            sv(&["validate", "--model", "cascade-lake"]),
+            sv(&["storebench", "--arch", "golden-cove-rob1024"]),
+            sv(&["export", "--model", "zen2-rome"]),
+        ] {
+            assert!(parse_args(&args).is_ok(), "{args:?}");
+        }
     }
 
     #[test]
@@ -1199,12 +1469,20 @@ mod tests {
 
     #[test]
     fn other_commands() {
-        assert_eq!(parse_args(&sv(&["machines"])).unwrap(), Command::Machines);
+        assert_eq!(
+            parse_args(&sv(&["machines"])).unwrap(),
+            Command::Machines { json: false }
+        );
+        assert_eq!(
+            parse_args(&sv(&["machines", "--json"])).unwrap(),
+            Command::Machines { json: true }
+        );
+        assert!(parse_args(&sv(&["machines", "--wat"])).is_err());
         assert_eq!(parse_args(&sv(&[])).unwrap(), Command::Help);
         assert_eq!(
             parse_args(&sv(&["storebench", "--arch", "genoa", "--nt"])).unwrap(),
             Command::StoreBench {
-                archs: vec![uarch::Arch::Zen4],
+                sel: MachineSel::model("zen4"),
                 nt: true,
                 json: false,
                 threads: None,
@@ -1226,7 +1504,12 @@ mod tests {
             ]))
             .unwrap(),
             Command::StoreBench {
-                archs: vec![uarch::Arch::GoldenCove, uarch::Arch::NeoverseV2],
+                sel: MachineSel {
+                    refs: vec![
+                        MachineRef::Model("golden-cove".into()),
+                        MachineRef::Model("neoverse-v2".into()),
+                    ],
+                },
                 nt: false,
                 json: true,
                 threads: Some(2),
@@ -1238,7 +1521,7 @@ mod tests {
         assert_eq!(
             parse_args(&sv(&["ports", "--arch", "gcs"])).unwrap(),
             Command::Ports {
-                arch: uarch::Arch::NeoverseV2
+                sel: MachineSel::model("neoverse-v2"),
             }
         );
     }
@@ -1268,7 +1551,12 @@ mod tests {
             ]))
             .unwrap(),
             Command::Validate(ValidateOpts {
-                archs: vec![uarch::Arch::GoldenCove, uarch::Arch::Zen4],
+                sel: MachineSel {
+                    refs: vec![
+                        MachineRef::Model("golden-cove".into()),
+                        MachineRef::Model("zen4".into()),
+                    ],
+                },
                 threads: 4,
                 limit: Some(32),
                 json: true,
@@ -1386,7 +1674,7 @@ mod tests {
     #[test]
     fn validate_smoke_run_and_gates() {
         let clean = run_validate(&ValidateOpts {
-            archs: vec![uarch::Arch::GoldenCove],
+            sel: MachineSel::model("golden-cove"),
             threads: 2,
             limit: Some(8),
             json: false,
@@ -1400,7 +1688,7 @@ mod tests {
         assert!(clean.output.contains("validation over 8 test blocks"));
         // An absurdly tight threshold must trip the gate.
         let tripped = run_validate(&ValidateOpts {
-            archs: vec![uarch::Arch::GoldenCove],
+            sel: MachineSel::model("golden-cove"),
             threads: 1,
             limit: Some(8),
             json: true,
@@ -1429,7 +1717,7 @@ mod tests {
     fn storebench_text_format_is_stable() {
         // The single-machine text table is the original `--arch` output:
         // no per-machine header, same filter, same row format.
-        let out = run_storebench(&[uarch::Arch::GoldenCove], false, false, false);
+        let out = run_storebench(&[machine_for(uarch::Arch::GoldenCove)], false, false, false);
         let mut lines = out.lines();
         assert_eq!(lines.next(), Some("cores  traffic/stored"));
         let first = lines.next().unwrap();
@@ -1439,10 +1727,10 @@ mod tests {
             "single machine must not get a header"
         );
         // The reference pipeline renders byte-identical text.
-        let reference = run_storebench(&[uarch::Arch::GoldenCove], false, false, true);
+        let reference = run_storebench(&[machine_for(uarch::Arch::GoldenCove)], false, false, true);
         assert_eq!(out, reference);
         // All machines: one headed block per machine.
-        let all = run_storebench(&[], false, false, false);
+        let all = run_storebench(&uarch::all_machines(), false, false, false);
         for chip in ["GCS", "SPR", "Genoa"] {
             assert!(all.contains(&format!("{chip} (")), "{all}");
         }
@@ -1450,7 +1738,7 @@ mod tests {
 
     #[test]
     fn storebench_json_is_versioned_and_thread_invariant() {
-        let out = run_storebench(&[], true, true, false);
+        let out = run_storebench(&uarch::all_machines(), true, true, false);
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         let o = v.as_object().unwrap();
         assert_eq!(o.get("schema_version").unwrap().as_u64().unwrap(), 1);
@@ -1462,7 +1750,7 @@ mod tests {
             .num_threads(1)
             .build()
             .expect("pool builds")
-            .install(|| run_storebench(&[], true, true, false));
+            .install(|| run_storebench(&uarch::all_machines(), true, true, false));
         assert_eq!(out, one, "storebench --json must not depend on threads");
     }
 
@@ -1471,7 +1759,7 @@ mod tests {
         assert_eq!(
             parse_args(&sv(&["export", "--arch", "spr"])).unwrap(),
             Command::Export {
-                arch: uarch::Arch::GoldenCove
+                sel: MachineSel::model("golden-cove"),
             }
         );
         let c = parse_args(&sv(&[
@@ -1484,11 +1772,45 @@ mod tests {
         ]))
         .unwrap();
         match c {
-            Command::Analyze { machine_file, .. } => {
-                assert_eq!(machine_file.as_deref(), Some("m.json"))
+            Command::Analyze { sel, .. } => {
+                assert_eq!(
+                    sel.refs,
+                    vec![
+                        MachineRef::Model("golden-cove".into()),
+                        MachineRef::File("m.json".into()),
+                    ]
+                );
+                // A machine file wins over a registry model, so the
+                // historical `--machine-file` override still holds; the
+                // missing file surfaces as an I/O error at resolution.
+                assert_eq!(sel.resolve_one().unwrap_err().kind(), ErrorKind::Io);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn machine_sel_resolution_rules() {
+        // Model-only: the last occurrence wins for single-machine use.
+        let sel = MachineSel {
+            refs: vec![
+                MachineRef::Model("neoverse-v2".into()),
+                MachineRef::Model("zen2-rome".into()),
+            ],
+        };
+        assert_eq!(sel.resolve_one().unwrap().id, "zen2-rome");
+        // Multi-machine resolution preserves selection order.
+        let ids: Vec<&str> = sel.resolve().unwrap().iter().map(|m| m.id).collect();
+        assert_eq!(ids, ["neoverse-v2", "zen2-rome"]);
+        // Empty selections default to the paper's trio where allowed…
+        let trio = MachineSel::default().resolve_or_trio().unwrap();
+        assert_eq!(trio.len(), 3);
+        assert_eq!(trio[0].id, "neoverse-v2");
+        // …and are a usage error where one machine is required.
+        assert_eq!(
+            MachineSel::default().resolve_one().unwrap_err().kind(),
+            ErrorKind::Usage
+        );
     }
 
     #[test]
@@ -1511,7 +1833,7 @@ mod tests {
             .unwrap(),
             Command::Lint(LintOpts {
                 path: Some("k.s".into()),
-                arch: Some(uarch::Arch::GoldenCove),
+                sel: MachineSel::model("golden-cove"),
                 json: true,
                 strict: true,
                 sim: true,
@@ -1522,7 +1844,9 @@ mod tests {
             parse_args(&sv(&["lint", "k.s", "--machine-file", "m.json"])).unwrap(),
             Command::Lint(LintOpts {
                 path: Some("k.s".into()),
-                machine_file: Some("m.json".into()),
+                sel: MachineSel {
+                    refs: vec![MachineRef::File("m.json".into())],
+                },
                 ..LintOpts::default()
             })
         );
@@ -1567,30 +1891,32 @@ mod tests {
     }
 
     #[test]
-    fn admission_gate_passes_builtins_and_rejects_gutted_machine() {
-        // All three built-in machines clear the admission gate.
-        let targets = admission_targets(None, None);
-        assert_eq!(targets.len(), 3);
+    fn admission_gate_passes_every_registry_model_and_rejects_gutted_machine() {
+        // With no selection, every registry model — the paper trio and
+        // the derived entries — clears the admission gate.
+        let targets = admission_targets(Vec::new(), &[]);
+        assert_eq!(targets.len(), uarch::registry::entries().len());
         let (out, code) = run_lint(&targets, false, false);
         assert_eq!(code, 0, "{out}");
-        for label in ["Neoverse V2", "Golden Cove", "Zen 4"] {
-            assert!(out.contains(&format!("== admission:{label} ==")), "{out}");
+        for id in uarch::registry::ids() {
+            assert!(out.contains(&format!("== admission:{id} ==")), "{out}");
         }
         // A machine file whose tables lost an opcode class its corpus
         // needs (the FMA entries) is rejected with an M008 error.
         let mut m = machine_for(uarch::Arch::GoldenCove);
         m.table
             .retain(|e| !e.mnemonics.iter().any(|mn| mn.starts_with("vfmadd")));
-        let targets = admission_targets(None, Some(("gutted.json", &m)));
+        let targets = admission_targets(Vec::new(), &[("gutted.json".to_string(), m)]);
         assert_eq!(targets.len(), 1);
         let (out, code) = run_lint(&targets, false, false);
         assert_eq!(code, 1, "{out}");
         assert!(out.contains("M008"), "{out}");
         assert!(out.contains("== admission:gutted.json =="), "{out}");
-        // --arch restricts the builtin set to one machine.
-        let targets = admission_targets(Some(uarch::Arch::Zen4), None);
+        // A selection restricts the gate to the named machines, labelled
+        // by registry id.
+        let targets = admission_targets(vec![machine_for(uarch::Arch::Zen4)], &[]);
         assert_eq!(targets.len(), 1);
-        assert_eq!(targets[0].name(), "admission:Zen 4");
+        assert_eq!(targets[0].name(), "admission:zen4");
     }
 
     #[test]
@@ -1613,7 +1939,7 @@ mod tests {
             false,
         );
         assert_eq!(code, 0, "structural lint must not catch the gap: {out}");
-        let targets = admission_targets(None, Some(("golden_cove_no_fma.json", &m)));
+        let targets = admission_targets(Vec::new(), &[("golden_cove_no_fma.json".to_string(), m)]);
         let (out, code) = run_lint(&targets, false, false);
         assert_eq!(code, 1, "{out}");
         assert!(out.contains("M008"), "{out}");
@@ -1923,8 +2249,7 @@ mod tests {
             parse_args(&sv(&["explain", "triad", "--arch", "gcs"])).unwrap(),
             Command::Explain {
                 kernel: "triad".into(),
-                arch: uarch::Arch::NeoverseV2,
-                machine_file: None,
+                sel: MachineSel::model("neoverse-v2"),
                 sim: SimOverrides::default(),
             }
         );
@@ -1942,8 +2267,12 @@ mod tests {
             .unwrap(),
             Command::Explain {
                 kernel: "copy".into(),
-                arch: uarch::Arch::Zen4,
-                machine_file: Some("m.json".into()),
+                sel: MachineSel {
+                    refs: vec![
+                        MachineRef::Model("zen4".into()),
+                        MachineRef::File("m.json".into()),
+                    ],
+                },
                 sim: SimOverrides {
                     iterations: Some(64),
                     ..SimOverrides::default()
@@ -2043,7 +2372,7 @@ mod tests {
     #[test]
     fn validate_profile_attaches_obs_block_to_json() {
         let profiled = run_validate(&ValidateOpts {
-            archs: vec![uarch::Arch::GoldenCove],
+            sel: MachineSel::model("golden-cove"),
             threads: 1,
             limit: Some(4),
             json: true,
@@ -2071,7 +2400,7 @@ mod tests {
             .is_empty());
         // Without --profile the block is absent entirely.
         let plain = run_validate(&ValidateOpts {
-            archs: vec![uarch::Arch::GoldenCove],
+            sel: MachineSel::model("golden-cove"),
             threads: 1,
             limit: Some(4),
             json: true,
@@ -2080,6 +2409,68 @@ mod tests {
         .unwrap();
         let v: serde_json::Value = serde_json::from_str(&plain.output).unwrap();
         assert!(v.as_object().unwrap().get("obs").is_none());
+    }
+
+    #[test]
+    fn machines_text_listing_shows_ids_and_lineage() {
+        let text = run_machines(false);
+        for id in uarch::registry::ids() {
+            assert!(text.contains(id), "missing {id}: {text}");
+        }
+        // Family entries are marked as bases; derived entries carry their
+        // lineage — base id plus the recorded deltas, in order.
+        assert!(text.contains("base model (paper family)"), "{text}");
+        assert!(text.contains("base: zen4 + "), "{text}");
+        assert!(text.contains("base: golden-cove + "), "{text}");
+        assert!(text.contains("rob 512 → 1024"), "{text}");
+    }
+
+    #[test]
+    fn machines_json_matches_the_golden_snapshot() {
+        let json = run_machines(true);
+        assert_eq!(json, run_machines(true), "listing must be deterministic");
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let o = v.as_object().unwrap();
+        assert_eq!(
+            o.get("schema_version").unwrap().as_u64().unwrap(),
+            MACHINES_SCHEMA_VERSION as u64
+        );
+        let models = o.get("models").unwrap().as_array().unwrap();
+        assert_eq!(models.len(), uarch::registry::entries().len());
+        for (model, entry) in models.iter().zip(uarch::registry::entries()) {
+            let m = model.as_object().unwrap();
+            assert_eq!(m.get("id").unwrap().as_str().unwrap(), entry.id);
+            let base = m.get("base").unwrap().as_str().unwrap();
+            let deltas = m.get("deltas").unwrap().as_array().unwrap();
+            if base == entry.id {
+                assert!(deltas.is_empty(), "{}: family entry with deltas", entry.id);
+            } else {
+                assert!(
+                    !deltas.is_empty(),
+                    "{}: derived entry without lineage",
+                    entry.id
+                );
+            }
+            for key in ["ports", "rob_size", "cores", "max_isa_vec_bits"] {
+                assert!(m.get(key).unwrap().as_u64().unwrap() > 0, "{key}");
+            }
+        }
+        // The byte-stable contract: the listing equals the checked-in
+        // golden snapshot (regenerate with UPDATE_FIXTURES=1).
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../fixtures/machines/registry_listing.json"
+        );
+        if std::env::var_os("UPDATE_FIXTURES").is_some() {
+            std::fs::write(path, &json).expect("fixture written");
+        }
+        let golden = std::fs::read_to_string(path)
+            .expect("golden snapshot exists; regenerate with UPDATE_FIXTURES=1");
+        assert_eq!(
+            json, golden,
+            "machines --json drifted from the golden snapshot; \
+             regenerate with UPDATE_FIXTURES=1"
+        );
     }
 
     #[test]

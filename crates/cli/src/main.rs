@@ -5,8 +5,8 @@
 //! for everything else).
 
 use cli::{
-    machine_for, parse_args, run_analyze, run_analyze_json, run_explain, run_validate, Command,
-    Error, ErrorKind, LintTarget, ProfileMode, USAGE,
+    parse_args, run_analyze, run_analyze_json, run_explain, run_machines, run_validate, Command,
+    Error, ErrorKind, LintTarget, MachineRef, ProfileMode, USAGE,
 };
 
 /// Chrome trace output path for `--profile=chrome`.
@@ -62,25 +62,7 @@ fn read(path: &str) -> Result<String, Error> {
 fn run(args: &[String]) -> Result<i32, Error> {
     match parse_args(args)? {
         Command::Help => print!("{USAGE}"),
-        Command::Machines => {
-            for m in uarch::all_machines() {
-                let r = m.table2_row();
-                println!(
-                    "{:<6} {:<12} {:<30} {:>2} ports, SIMD {:>2} B, {} int / {} FP units, {}x{}B loads, {}x{}B stores",
-                    m.arch.chip(),
-                    m.arch.label(),
-                    m.part,
-                    r.num_ports,
-                    r.simd_width_bytes,
-                    r.int_units,
-                    r.fp_vec_units,
-                    r.loads_per_cycle,
-                    r.load_width_bits / 8,
-                    r.stores_per_cycle,
-                    r.store_width_bits / 8,
-                );
-            }
-        }
+        Command::Machines { json } => print!("{}", run_machines(json)),
         Command::Validate(opts) => {
             start_profile(opts.profile);
             let outcome = run_validate(&opts)?;
@@ -94,28 +76,38 @@ fn run(args: &[String]) -> Result<i32, Error> {
             }
         }
         Command::Lint(opts) => {
-            let file_json = match opts.machine_file.as_deref() {
-                Some(p) => Some(read(p)?),
-                None => None,
-            };
+            // Resolve the shared machine selection by hand: model refs
+            // build registry machines, file refs are read once so their
+            // raw JSON can feed the machine-file lints.
+            let mut models: Vec<uarch::Machine> = Vec::new();
+            let mut files: Vec<(String, String)> = Vec::new();
+            for r in &opts.sel.refs {
+                match r {
+                    MachineRef::Model(id) => models.push(
+                        uarch::registry::machine(id).expect("registry id validated at parse"),
+                    ),
+                    MachineRef::File(p) => files.push((p.clone(), read(p)?)),
+                }
+            }
             let asm = match opts.path.as_deref() {
                 Some(p) => Some(read(p)?),
                 None => None,
             };
-            // The machine used for kernel lints: an edited machine file
-            // takes precedence over a built-in model.
-            let imported = file_json
-                .as_deref()
-                .and_then(|j| uarch::Machine::from_json(j).ok());
-            let builtin = opts.arch.map(machine_for);
-            let all_machines;
+            // Machine files that import; a failure is reported by the
+            // machine-file lint below, not here.
+            let imported: Vec<(String, uarch::Machine)> = files
+                .iter()
+                .filter_map(|(p, j)| uarch::Machine::from_json(j).ok().map(|m| (p.clone(), m)))
+                .collect();
             let mut targets: Vec<LintTarget> = Vec::new();
-            if let (Some(f), Some(j)) = (opts.machine_file.as_deref(), file_json.as_deref()) {
-                targets.push(LintTarget::MachineFile { label: f, json: j });
+            for (p, j) in &files {
+                targets.push(LintTarget::MachineFile { label: p, json: j });
             }
             match (asm.as_deref(), opts.path.as_deref()) {
                 (Some(asm), Some(label)) => {
-                    match imported.as_ref().or(builtin.as_ref()) {
+                    // The machine used for kernel lints: an edited machine
+                    // file takes precedence over a registry model.
+                    match imported.last().map(|(_, m)| m).or(models.last()) {
                         Some(machine) => targets.push(LintTarget::Kernel {
                             label,
                             machine,
@@ -128,28 +120,28 @@ fn run(args: &[String]) -> Result<i32, Error> {
                         ),
                     }
                 }
-                _ if opts.machine_file.is_none() && !opts.admission && !opts.corpus => {
-                    match builtin.as_ref() {
-                        Some(machine) => targets.push(LintTarget::Machine(machine)),
-                        None => {
-                            all_machines = uarch::all_machines();
-                            targets.extend(all_machines.iter().map(LintTarget::Machine));
-                        }
+                _ if files.is_empty() && !opts.admission && !opts.corpus => {
+                    if models.is_empty() {
+                        models = uarch::all_machines();
                     }
+                    targets.extend(models.iter().map(LintTarget::Machine));
                 }
                 _ => {}
             }
             if opts.admission {
-                let file = opts
-                    .machine_file
-                    .as_deref()
-                    .zip(imported.as_ref())
-                    .map(|(p, m)| (p, m));
-                targets.extend(cli::admission_targets(opts.arch, file));
+                targets.extend(cli::admission_targets(models.clone(), &imported));
             }
             let precomputed = if opts.corpus {
-                let archs: Vec<uarch::Arch> = opts.arch.into_iter().collect();
-                engine::lint_corpus(&archs, opts.threads, None)
+                let grid: Vec<uarch::Machine> = if models.is_empty() && imported.is_empty() {
+                    uarch::all_machines()
+                } else {
+                    models
+                        .iter()
+                        .cloned()
+                        .chain(imported.iter().map(|(_, m)| m.clone()))
+                        .collect()
+                };
+                engine::lint_corpus_machines(&grid, opts.threads, None)
             } else {
                 Vec::new()
             };
@@ -181,50 +173,46 @@ fn run(args: &[String]) -> Result<i32, Error> {
             }
             return Ok(outcome.exit_code);
         }
-        Command::Export { arch } => {
-            print!("{}", machine_for(arch).to_json());
+        Command::Export { sel } => {
+            print!("{}", sel.resolve_one()?.to_json());
         }
-        Command::Ports { arch } => {
-            let m = machine_for(arch);
+        Command::Ports { sel } => {
+            let m = sel.resolve_one()?;
             print!(
                 "{}",
                 m.port_model
-                    .render(&format!("{} port model ({})", m.arch.label(), m.part))
+                    .render(&format!("{} port model ({})", m.name, m.part))
             );
         }
         Command::StoreBench {
-            archs,
+            sel,
             nt,
             json,
             threads,
             reference,
             profile,
         } => {
+            let machines = sel.resolve_or_trio()?;
             start_profile(profile);
             let out = match threads {
                 Some(n) => rayon::ThreadPoolBuilder::new()
                     .num_threads(n)
                     .build()
                     .expect("thread pool builds")
-                    .install(|| cli::run_storebench(&archs, nt, json, reference)),
-                None => cli::run_storebench(&archs, nt, json, reference),
+                    .install(|| cli::run_storebench(&machines, nt, json, reference)),
+                None => cli::run_storebench(&machines, nt, json, reference),
             };
             print!("{out}");
             emit_profile(profile)?;
         }
         Command::Analyze {
             path,
-            arch,
-            machine_file,
+            sel,
             flags,
             json,
         } => {
             let asm = read(&path)?;
-            let m = match machine_file {
-                Some(f) => uarch::Machine::from_json(&read(&f)?)
-                    .map_err(|e| Error::from(e).with_context(f))?,
-                None => machine_for(arch),
-            };
+            let m = sel.resolve_one()?;
             start_profile(flags.profile);
             let out = if json {
                 run_analyze_json(&m, &path, &asm, flags)?
@@ -234,17 +222,8 @@ fn run(args: &[String]) -> Result<i32, Error> {
             print!("{out}");
             emit_profile(flags.profile)?;
         }
-        Command::Explain {
-            kernel,
-            arch,
-            machine_file,
-            sim,
-        } => {
-            let m = match machine_file {
-                Some(f) => uarch::Machine::from_json(&read(&f)?)
-                    .map_err(|e| Error::from(e).with_context(f))?,
-                None => machine_for(arch),
-            };
+        Command::Explain { kernel, sel, sim } => {
+            let m = sel.resolve_one()?;
             print!("{}", run_explain(&m, &kernel, sim)?);
         }
     }

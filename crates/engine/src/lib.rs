@@ -32,7 +32,7 @@ pub mod session;
 
 pub use cache::{CacheStats, CorpusCache};
 pub use error::{Error, ErrorKind};
-pub use lint::lint_corpus;
+pub use lint::{lint_corpus, lint_corpus_machines};
 pub use report::{
     histogram, render_histogram, rpe, summarize, BatchReport, ObsPredictorTimings, ObsSummary,
     PredictorResult, PredictorSummary, RecordReport, RunTimings, Summary, SCHEMA_MINOR,

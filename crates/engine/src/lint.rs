@@ -37,6 +37,16 @@ pub fn lint_corpus(
             })
             .collect()
     };
+    lint_corpus_machines(&machines, threads, limit)
+}
+
+/// [`lint_corpus`] over explicit machine models (registry entries,
+/// composed variants, imported files) instead of family `Arch` tags.
+pub fn lint_corpus_machines(
+    machines: &[Machine],
+    threads: usize,
+    limit: Option<usize>,
+) -> Vec<(String, Vec<Diagnostic>)> {
     let mut grid: Vec<(usize, kernels::Variant)> = Vec::new();
     for (i, m) in machines.iter().enumerate() {
         for v in kernels::variants_for(m.arch) {
@@ -57,7 +67,7 @@ pub fn lint_corpus(
                 let kernel = kernels::generate_kernel(&variant, machine);
                 let mut diags = diag::lint_kernel(machine, &kernel);
                 diags.extend(semck::lint_kernel_sem(machine, &kernel));
-                let name = format!("corpus:{}:{}", machine.arch.chip(), variant.label());
+                let name = format!("corpus:{}:{}", machine.chip, variant.label());
                 (name, diag::sorted(&diags))
             })
             .collect()

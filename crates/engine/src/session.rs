@@ -113,7 +113,7 @@ pub fn evaluate_block_timed(
         kernel: labels.kernel.to_string(),
         compiler: labels.compiler.to_string(),
         opt: labels.opt.to_string(),
-        chip: machine.arch.chip().to_string(),
+        chip: machine.chip.to_string(),
         measured,
         predictions,
         divergence,
@@ -129,6 +129,7 @@ pub fn evaluate_block_timed(
 /// variant, and one worker per available core.
 pub struct Session {
     archs: Vec<uarch::Arch>,
+    machines: Vec<Machine>,
     machine_files: Vec<(String, String)>,
     predictors: Vec<Box<dyn Predictor>>,
     reference: Option<Box<dyn Predictor>>,
@@ -145,6 +146,7 @@ impl Default for Session {
                 uarch::Arch::GoldenCove,
                 uarch::Arch::Zen4,
             ],
+            machines: Vec::new(),
             machine_files: Vec::new(),
             predictors: vec![
                 Box::new(incore::InCoreModel::new()),
@@ -163,9 +165,21 @@ impl Session {
         Session::default()
     }
 
-    /// Restrict the run to these builtin machines (in the given order).
+    /// Restrict the run to the family models of these `Arch`es (in the
+    /// given order). Convenience wrapper over [`machines`](Self::machines)
+    /// for the paper's trio; clears any previous explicit selection.
     pub fn archs(mut self, archs: &[uarch::Arch]) -> Self {
         self.archs = archs.to_vec();
+        self.machines.clear();
+        self
+    }
+
+    /// Run exactly these machine models (registry models, composed
+    /// variants, anything). Replaces the default/`archs` selection;
+    /// machine files still join the grid afterwards.
+    pub fn machines(mut self, machines: Vec<Machine>) -> Self {
+        self.machines = machines;
+        self.archs.clear();
         self
     }
 
@@ -228,7 +242,7 @@ impl Session {
     pub fn run(&self) -> Result<BatchReport, Error> {
         let wall_start = std::time::Instant::now();
         let cache = CorpusCache::new();
-        let mut machines: Vec<Machine> = Vec::new();
+        let mut machines: Vec<Machine> = self.machines.clone();
         for arch in &self.archs {
             let m = uarch::all_machines()
                 .into_iter()
@@ -289,10 +303,7 @@ impl Session {
             outcomes?.into_iter().unzip();
         let ms = |ns: u64| ns as f64 / 1e6;
         let mut report = BatchReport::from_records(
-            machines
-                .iter()
-                .map(|m| m.arch.label().to_string())
-                .collect(),
+            machines.iter().map(|m| m.name.to_string()).collect(),
             self.predictors
                 .iter()
                 .map(|p| p.name().to_string())
@@ -492,6 +503,22 @@ mod tests {
         let err = bad.run().unwrap_err();
         assert_eq!(err.kind(), crate::error::ErrorKind::MachineSpec);
         assert!(err.to_string().contains("bad.json"), "{err}");
+    }
+
+    #[test]
+    fn explicit_machines_replace_the_default_grid() {
+        // A registry model (derived Zen 2) drives the grid and the report
+        // labels come from the model's own identity, not its family tag.
+        let rome = uarch::registry::machine("zen2-rome").unwrap();
+        let report = Session::new()
+            .machines(vec![rome])
+            .reference(None)
+            .limit(3)
+            .run()
+            .unwrap();
+        assert_eq!(report.archs, vec!["Zen 2"]);
+        assert_eq!(report.records.len(), 3);
+        assert!(report.records.iter().all(|r| r.chip == "Rome"));
     }
 
     #[test]

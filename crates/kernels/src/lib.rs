@@ -256,8 +256,11 @@ pub fn gen_cfg(v: &Variant, machine: &Machine) -> GenCfg {
                     machine.simd_width_bits
                 }
             }
-            (Clang, isa::Isa::X86) => 256, // prefer-vector-width=256
-            (Icx, isa::Isa::X86) => 512,
+            (Clang, isa::Isa::X86) => 256.min(machine.max_isa_vec_bits), // prefer-vector-width=256
+            // ICX targets the widest extension the machine decodes —
+            // AVX-512 on the Intel cores and Zen 4 (double-pumped), AVX2
+            // on pre-AVX-512 derivations like Zen 2.
+            (Icx, isa::Isa::X86) => 512.min(machine.max_isa_vec_bits),
             (Gcc, isa::Isa::AArch64) => 128,
             (ArmClang, isa::Isa::AArch64) => 128,
             _ => 128,

@@ -14,7 +14,7 @@ use uarch::Machine;
 /// matches the linear small-`n` regime (slope = per-core bandwidth b₁) and
 /// the measured socket plateau.
 pub fn sustained_bandwidth_gbs(machine: &Machine, cores: u32) -> f64 {
-    let cfg = crate::policy::WaConfig::for_arch(machine.arch);
+    let cfg = crate::policy::WaConfig::for_machine(machine);
     let b_sat = machine.memory.measured_bw_gbs();
     let b1 = cfg.per_core_load_bw_gbs;
     let n = cores.clamp(1, machine.cores) as f64;

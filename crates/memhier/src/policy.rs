@@ -123,6 +123,40 @@ impl WaConfig {
         }
     }
 
+    /// The configuration for an arbitrary machine model.
+    ///
+    /// The three family models return exactly [`WaConfig::for_arch`] —
+    /// several of those numbers (per-core traffic limits, SNC-4 domain
+    /// bandwidth) are *measured* quantities the paper reports, not
+    /// derivable from the machine description, and the bit-identity of
+    /// the shipped models depends on them staying put. Derived registry
+    /// models (different core count, NUMA layout, or memory subsystem)
+    /// keep the family's per-core behaviour but rescale the domain
+    /// topology and bandwidth from their own `cores`, `numa_domains`, and
+    /// measured memory bandwidth.
+    pub fn for_machine(m: &uarch::Machine) -> WaConfig {
+        let mut cfg = Self::for_arch(m.arch);
+        let base = uarch::all_machines()
+            .into_iter()
+            .find(|b| b.arch == m.arch)
+            .expect("every Arch has a family model");
+        let same_topology = m.cores == base.cores && m.numa_domains == base.numa_domains;
+        let same_memory = m.memory.theor_bw_gbs == base.memory.theor_bw_gbs
+            && m.memory.efficiency == base.memory.efficiency;
+        if same_topology && same_memory {
+            return cfg;
+        }
+        let domains = m.numa_domains.max(1);
+        cfg.cores_per_domain = (m.cores / domains).max(1);
+        // Scale the measured per-domain bandwidth by the machines'
+        // sustained-bandwidth ratio so the family's calibration (fraction
+        // of theoretical peak actually reached per domain) carries over.
+        let base_sustained = base.memory.measured_bw_gbs() / base.numa_domains.max(1) as f64;
+        let sustained = m.memory.measured_bw_gbs() / domains as f64;
+        cfg.domain_bw_gbs *= sustained / base_sustained;
+        cfg
+    }
+
     /// SpecI2M promotion fraction at a given utilization of the sustained
     /// domain bandwidth. Zero for the other modes.
     pub fn speci2m_fraction(&self, utilization: f64) -> f64 {

@@ -187,7 +187,7 @@ pub fn store_traffic_ratio_with(
     scfg: StreamConfig,
     scratch: &mut SweepScratch,
 ) -> StorePoint {
-    let cfg = WaConfig::for_arch(machine.arch);
+    let cfg = WaConfig::for_machine(machine);
     let cores = cores.clamp(1, machine.cores);
     let base = single_core_base(machine, &cfg, kind, cores, scfg, scratch);
     aggregate(&cfg, base, cores, kind)
@@ -204,7 +204,7 @@ pub fn sweep_points(
     scfg: StreamConfig,
     scratch: &mut SweepScratch,
 ) -> Vec<StorePoint> {
-    let cfg = WaConfig::for_arch(machine.arch);
+    let cfg = WaConfig::for_machine(machine);
     // One span per (machine, kind) sweep; the per-stream counters under
     // it come from `crate::stream`. Inert unless the recorder is on.
     let _span = obs::enabled().then(|| {
@@ -212,7 +212,7 @@ pub fn sweep_points(
         obs::counter("storebench.points", counts.len() as u64);
         obs::span(&format!(
             "storebench.sweep {} {}",
-            machine.arch.label(),
+            machine.name,
             kind.label()
         ))
     });
@@ -306,8 +306,8 @@ pub fn fig4_full_with(
     let mut out: Vec<Fig4Machine> = machines
         .iter()
         .map(|m| Fig4Machine {
-            chip: m.arch.chip(),
-            arch: m.arch.label(),
+            chip: m.chip,
+            arch: m.name,
             standard: Vec::new(),
             nt: None,
         })
@@ -361,8 +361,8 @@ pub fn sweep_report(
         .map(|&i| {
             let mut scratch = SweepScratch::default();
             StoreSweepMachine {
-                chip: machines[i].arch.chip(),
-                arch: machines[i].arch.label(),
+                chip: machines[i].chip,
+                arch: machines[i].name,
                 points: sweep_points(&machines[i], &counts[i], kind, scfg, &mut scratch),
             }
         })

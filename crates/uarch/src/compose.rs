@@ -1,0 +1,463 @@
+//! Incremental composition of machine models.
+//!
+//! The paper's pitch — one in-core model parameterized per
+//! microarchitecture — only pays off if adding a microarchitecture is
+//! cheap. [`MachineBuilder`] makes a new model a *delta* against one of
+//! the three shipped family models rather than a module fork:
+//!
+//! ```
+//! use uarch::compose::{golden_cove, zen4, Feature};
+//!
+//! // A what-if Golden Cove with a doubled reorder buffer.
+//! let wide = golden_cove()
+//!     .derive("glc-wide", "Golden Cove (wide)", "SPR+", "what-if")
+//!     .with_wider_rob(1024)
+//!     .build();
+//! assert_eq!(wide.rob_size, 1024);
+//!
+//! // Zen 2 "Rome" starts from Zen 4 and drops AVX-512.
+//! let rome = zen4()
+//!     .derive("rome", "Zen 2", "Rome", "AMD EPYC 7742")
+//!     .without_feature(Feature::Avx512)
+//!     .build();
+//! assert_eq!(rome.max_isa_vec_bits, 256);
+//! ```
+//!
+//! Every mutation records a human-readable delta; [`MachineBuilder::deltas`]
+//! is what `incore-cli machines` prints as a model's lineage. A builder
+//! with no deltas returns its base machine unchanged — that is the
+//! bit-identity contract the registry relies on for the three originals.
+
+use crate::instr::Entry;
+use crate::machine::{Machine, MemorySpec};
+use crate::ports::PortSet;
+
+/// An ISA/execution feature a derived model can drop wholesale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Feature {
+    /// Fused multiply-add units: removes every `vec-fma`-class entry from
+    /// the timing table (FMA forms then hit the admission gate's M008
+    /// coverage error — the no-FMA fixture is built this way).
+    Fma,
+    /// 512-bit vectors: removes every `v512` table entry and clamps
+    /// [`Machine::max_isa_vec_bits`] to 256 so the corpus generator stops
+    /// emitting AVX-512 encodings (Zen 2, pre-AVX-512 Intel cores).
+    Avx512,
+}
+
+/// Incrementally derives a [`Machine`] from a base family model.
+#[derive(Debug, Clone)]
+pub struct MachineBuilder {
+    machine: Machine,
+    base: &'static str,
+    deltas: Vec<String>,
+}
+
+/// Start from the shipped Neoverse V2 model.
+pub fn neoverse_v2() -> MachineBuilder {
+    MachineBuilder::from_base(Machine::neoverse_v2())
+}
+
+/// Start from the shipped Golden Cove model.
+pub fn golden_cove() -> MachineBuilder {
+    MachineBuilder::from_base(Machine::golden_cove())
+}
+
+/// Start from the shipped Zen 4 model.
+pub fn zen4() -> MachineBuilder {
+    MachineBuilder::from_base(Machine::zen4())
+}
+
+impl MachineBuilder {
+    fn from_base(machine: Machine) -> Self {
+        MachineBuilder {
+            base: machine.id,
+            machine,
+            deltas: Vec::new(),
+        }
+    }
+
+    fn note(&mut self, delta: String) {
+        self.deltas.push(delta);
+    }
+
+    /// Give the derived model its own registry identity. Identity is not a
+    /// behavioural delta, so it is not recorded in the lineage.
+    pub fn derive(
+        mut self,
+        id: &'static str,
+        name: &'static str,
+        chip: &'static str,
+        part: &'static str,
+    ) -> Self {
+        self.machine.id = id;
+        self.machine.name = name;
+        self.machine.chip = chip;
+        self.machine.part = part;
+        self
+    }
+
+    /// The registry id of the family model this builder started from.
+    pub fn base(&self) -> &'static str {
+        self.base
+    }
+
+    /// The derived model's registry id (the base id until [`derive`]d).
+    ///
+    /// [`derive`]: MachineBuilder::derive
+    pub fn id(&self) -> &'static str {
+        self.machine.id
+    }
+
+    /// Human-readable behavioural deltas applied so far, in order.
+    pub fn deltas(&self) -> &[String] {
+        &self.deltas
+    }
+
+    pub fn with_rob(mut self, entries: u32) -> Self {
+        self.note(format!("rob {} → {}", self.machine.rob_size, entries));
+        self.machine.rob_size = entries;
+        self
+    }
+
+    /// [`with_rob`](Self::with_rob), asserting the ROB actually grows —
+    /// for what-if scaling experiments.
+    pub fn with_wider_rob(self, entries: u32) -> Self {
+        assert!(
+            entries > self.machine.rob_size,
+            "with_wider_rob({entries}) does not widen the {}-entry ROB",
+            self.machine.rob_size
+        );
+        self.with_rob(entries)
+    }
+
+    pub fn with_sched_size(mut self, entries: u32) -> Self {
+        self.note(format!("sched {} → {}", self.machine.sched_size, entries));
+        self.machine.sched_size = entries;
+        self
+    }
+
+    pub fn with_dispatch_width(mut self, uops: u32) -> Self {
+        self.note(format!(
+            "dispatch {} → {}",
+            self.machine.dispatch_width, uops
+        ));
+        self.machine.dispatch_width = uops;
+        self
+    }
+
+    pub fn with_retire_width(mut self, uops: u32) -> Self {
+        self.note(format!("retire {} → {}", self.machine.retire_width, uops));
+        self.machine.retire_width = uops;
+        self
+    }
+
+    pub fn with_cores(mut self, cores: u32) -> Self {
+        self.note(format!("cores {} → {}", self.machine.cores, cores));
+        self.machine.cores = cores;
+        self
+    }
+
+    pub fn with_frequency(mut self, base_ghz: f64, max_ghz: f64) -> Self {
+        self.note(format!("freq {base_ghz}/{max_ghz} GHz"));
+        self.machine.base_freq_ghz = base_ghz;
+        self.machine.max_freq_ghz = max_ghz;
+        self
+    }
+
+    pub fn with_units(mut self, int_units: u32, fp_vec_units: u32) -> Self {
+        self.note(format!("units {int_units} int / {fp_vec_units} FP"));
+        self.machine.int_units = int_units;
+        self.machine.fp_vec_units = fp_vec_units;
+        self
+    }
+
+    pub fn with_store_width_bits(mut self, bits: u16) -> Self {
+        self.note(format!(
+            "store width {} → {} b",
+            self.machine.store_width_bits, bits
+        ));
+        self.machine.store_width_bits = bits;
+        self
+    }
+
+    pub fn with_flops_per_cycle(mut self, fma: u32, extra_add: u32) -> Self {
+        self.note(format!("flops/cy {fma} FMA + {extra_add} ADD"));
+        self.machine.fma_dp_flops_per_cycle = fma;
+        self.machine.extra_add_dp_flops_per_cycle = extra_add;
+        self
+    }
+
+    pub fn with_tdp(mut self, watts: f64) -> Self {
+        self.note(format!("tdp {} → {} W", self.machine.tdp_w, watts));
+        self.machine.tdp_w = watts;
+        self
+    }
+
+    pub fn with_numa_domains(mut self, domains: u32) -> Self {
+        self.note(format!("numa domains {}", domains));
+        self.machine.numa_domains = domains;
+        self
+    }
+
+    /// Resize one cache level (found by name) in place.
+    pub fn resize_cache(mut self, name: &str, size_kib: u64, assoc: u32, latency_cy: u32) -> Self {
+        let level = self
+            .machine
+            .caches
+            .iter_mut()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("no cache level named `{name}` to resize"));
+        level.size_kib = size_kib;
+        level.assoc = assoc;
+        level.latency_cy = latency_cy;
+        self.note(format!(
+            "{name} {size_kib} KiB {assoc}-way lat {latency_cy}"
+        ));
+        self
+    }
+
+    /// Replace the main-memory subsystem.
+    pub fn with_memory(mut self, memory: MemorySpec) -> Self {
+        self.note(format!(
+            "memory {} {:.1} GB/s × {:.0}%",
+            memory.mem_type,
+            memory.theor_bw_gbs,
+            memory.efficiency * 100.0
+        ));
+        self.machine.memory = memory;
+        self
+    }
+
+    /// Drop an ISA/execution feature (see [`Feature`]).
+    pub fn without_feature(mut self, feature: Feature) -> Self {
+        match feature {
+            Feature::Fma => {
+                let before = self.machine.table.len();
+                self.machine
+                    .table
+                    .retain(|e| e.class != crate::instr::InstrClass::VecFma);
+                self.note(format!(
+                    "no FMA ({} table entries dropped)",
+                    before - self.machine.table.len()
+                ));
+            }
+            Feature::Avx512 => {
+                let before = self.machine.table.len();
+                self.machine
+                    .table
+                    .retain(|e| e.width != crate::instr::WidthClass::V512);
+                self.machine.max_isa_vec_bits = self.machine.max_isa_vec_bits.min(256);
+                self.note(format!(
+                    "no AVX-512 ({} table entries dropped, max vec 256 b)",
+                    before - self.machine.table.len()
+                ));
+            }
+        }
+        self
+    }
+
+    /// Remove an execution port by name, remapping every port set in the
+    /// model (timing-table µ-ops and the load/store pipe sets) onto the
+    /// compacted indices. Entries whose port sets shrink get their stated
+    /// reciprocal throughput raised to the new port-pressure lower bound.
+    ///
+    /// Panics if the removal would leave a µ-op or memory pipe with no
+    /// port to issue on — drop the affected entries first.
+    pub fn without_port(mut self, name: &str) -> Self {
+        let m = &mut self.machine;
+        let removed = m
+            .port_model
+            .index_of(name)
+            .unwrap_or_else(|| panic!("no port named `{name}` to remove"));
+        let remap = |set: PortSet| -> PortSet {
+            let mut out = PortSet::EMPTY;
+            for i in set.iter() {
+                if i != removed {
+                    out = out.union(PortSet::single(if i > removed { i - 1 } else { i }));
+                }
+            }
+            out
+        };
+        let remap_pipe = |set: PortSet, what: &str| -> PortSet {
+            let out = remap(set);
+            assert!(!out.is_empty(), "removing port `{name}` empties {what}");
+            out
+        };
+        m.load_ports = remap_pipe(m.load_ports, "the load ports");
+        m.load_ports_wide = remap_pipe(m.load_ports_wide, "the wide-load ports");
+        m.store_agu_ports = remap_pipe(m.store_agu_ports, "the store AGU ports");
+        m.store_data_ports = remap_pipe(m.store_data_ports, "the store data ports");
+        for entry in &mut m.table {
+            let mut changed = false;
+            for uop in &mut entry.uops {
+                let mapped = remap(uop.ports);
+                assert!(
+                    !mapped.is_empty(),
+                    "removing port `{name}` leaves an entry for {:?} unissuable",
+                    entry.mnemonics
+                );
+                changed |= mapped != uop.ports;
+                uop.ports = mapped;
+            }
+            if changed {
+                entry.rthroughput = entry.rthroughput.max(port_pressure_bound(entry));
+            }
+        }
+        m.port_model.ports.remove(removed);
+        self.note(format!("port {name} removed"));
+        self
+    }
+
+    /// Keep only the table entries matching `keep`. The `what` string
+    /// documents the cut in the lineage.
+    pub fn retain_entries(mut self, what: &str, keep: impl Fn(&Entry) -> bool) -> Self {
+        let before = self.machine.table.len();
+        self.machine.table.retain(|e| keep(e));
+        self.note(format!(
+            "{what} ({} table entries dropped)",
+            before - self.machine.table.len()
+        ));
+        self
+    }
+
+    /// Rewrite table entries in place. The `what` string documents the
+    /// edit in the lineage.
+    pub fn map_entries(mut self, what: &str, f: impl Fn(&mut Entry)) -> Self {
+        for e in &mut self.machine.table {
+            f(e);
+        }
+        self.note(what.to_string());
+        self
+    }
+
+    /// Finalize the model. Structural invariants (a machine the schedulers
+    /// cannot even issue on) panic here; semantic fitness is the admission
+    /// gate's job (`incore-cli lint --admission`, M008–M010).
+    pub fn build(self) -> Machine {
+        let m = self.machine;
+        assert!(m.dispatch_width > 0, "{}: dispatch width is zero", m.id);
+        assert!(!m.caches.is_empty(), "{}: no cache levels", m.id);
+        assert!(
+            !m.load_ports.is_empty() && !m.store_data_ports.is_empty(),
+            "{}: missing memory pipes",
+            m.id
+        );
+        m
+    }
+}
+
+/// Port-pressure lower bound on an entry's reciprocal throughput: µ-op
+/// occupancy summed per distinct port set, divided by the set's width.
+fn port_pressure_bound(entry: &Entry) -> f64 {
+    let mut bound: f64 = 0.0;
+    let mut sets: Vec<(PortSet, f64)> = Vec::new();
+    for uop in &entry.uops {
+        match sets.iter_mut().find(|(s, _)| *s == uop.ports) {
+            Some((_, occ)) => *occ += uop.occupancy,
+            None => sets.push((uop.ports, uop.occupancy)),
+        }
+    }
+    for (set, occ) in sets {
+        bound = bound.max(occ / set.count().max(1) as f64);
+    }
+    bound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{InstrClass, WidthClass};
+
+    #[test]
+    fn no_fma_fixture_equals_the_composed_export_byte_for_byte() {
+        // The checked-in admission-gate fixture is generated by the
+        // composition API, not maintained by hand: Golden Cove minus its
+        // FMA entries, exported as a machine file.
+        let json = golden_cove()
+            .without_feature(Feature::Fma)
+            .build()
+            .to_json();
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../fixtures/machines/golden_cove_no_fma.json"
+        );
+        if std::env::var_os("UPDATE_FIXTURES").is_some() {
+            std::fs::write(path, &json).expect("fixture written");
+        }
+        let golden = std::fs::read_to_string(path).expect("fixture exists");
+        assert_eq!(
+            json, golden,
+            "fixture drifted from the composed model; regenerate with UPDATE_FIXTURES=1"
+        );
+    }
+
+    #[test]
+    fn no_delta_builder_is_bit_identical_to_base() {
+        for (builder, direct) in [
+            (neoverse_v2(), Machine::neoverse_v2()),
+            (golden_cove(), Machine::golden_cove()),
+            (zen4(), Machine::zen4()),
+        ] {
+            assert!(builder.deltas().is_empty());
+            assert_eq!(builder.build().to_json(), direct.to_json());
+        }
+    }
+
+    #[test]
+    fn without_fma_strips_every_fma_entry() {
+        let m = golden_cove().without_feature(Feature::Fma).build();
+        assert!(m.table.iter().all(|e| e.class != InstrClass::VecFma));
+        assert!(m.table.len() < Machine::golden_cove().table.len());
+    }
+
+    #[test]
+    fn without_avx512_drops_v512_and_clamps_decode_width() {
+        let m = zen4().without_feature(Feature::Avx512).build();
+        assert!(m.table.iter().all(|e| e.width != WidthClass::V512));
+        assert_eq!(m.max_isa_vec_bits, 256);
+    }
+
+    #[test]
+    fn port_removal_remaps_every_set() {
+        // Golden Cove minus its third load AGU (port 11): two loads/cy
+        // and no port index may dangle past the compacted model.
+        let base = Machine::golden_cove();
+        let m = golden_cove().without_port("11").build();
+        assert_eq!(m.port_model.num_ports(), base.port_model.num_ports() - 1);
+        assert_eq!(m.load_ports.count(), 2);
+        let n = m.port_model.num_ports();
+        for e in &m.table {
+            for uop in &e.uops {
+                assert!(uop.ports.iter().all(|i| i < n), "{:?}", e.mnemonics);
+                assert!(!uop.ports.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn port_removal_raises_rthroughput_to_the_pressure_bound() {
+        // Stores on Golden Cove: STA {7,8} → {7}, STD {4,9} → {4}; a
+        // store entry's µ-ops now bound rthroughput at 1 per store.
+        let m = golden_cove().without_port("8").without_port("9").build();
+        assert_eq!(m.store_agu_ports.count(), 1);
+        assert_eq!(m.store_data_ports.count(), 1);
+    }
+
+    #[test]
+    fn lineage_records_each_delta_in_order() {
+        let b = zen4()
+            .derive("z", "Z", "Z", "test")
+            .with_rob(224)
+            .with_cores(64);
+        assert_eq!(b.base(), "zen4");
+        assert_eq!(b.id(), "z");
+        assert_eq!(b.deltas(), ["rob 320 → 224", "cores 96 → 64"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not widen")]
+    fn wider_rob_must_widen() {
+        let _ = golden_cove().with_wider_rob(512);
+    }
+}

@@ -23,13 +23,16 @@
 //! assert_eq!(spr.arch, Arch::GoldenCove);
 //! ```
 
+pub mod compose;
 pub mod instr;
 pub mod machine;
 pub mod models;
 pub mod ports;
 pub mod predict;
+pub mod registry;
 pub mod spec;
 
+pub use compose::{Feature, MachineBuilder};
 pub use instr::{Entry, InstrClass, InstrDesc, Uop, WidthClass};
 pub use machine::{Arch, CacheLevel, Machine, MemorySpec};
 pub use ports::{PortModel, PortSet};

@@ -74,9 +74,23 @@ impl MemorySpec {
 #[derive(Debug, Clone)]
 pub struct Machine {
     pub arch: Arch,
+    /// Stable registry identifier (`incore-cli machines`); equals the
+    /// family name (`neoverse-v2` / `golden-cove` / `zen4`) for the three
+    /// shipped models, and a derived id (`zen2-rome`, …) for variants.
+    pub id: &'static str,
+    /// Human-readable microarchitecture name used in report labels.
+    pub name: &'static str,
+    /// Chip/system shorthand used as the short report label (paper: GCS,
+    /// SPR, Genoa).
+    pub chip: &'static str,
     /// Marketing name of the evaluated part.
     pub part: &'static str,
     pub isa: Isa,
+    /// Widest vector register (bits) the modeled ISA extensions decode;
+    /// `simd_width_bits` may be narrower when wide ops are double-pumped
+    /// (Zen 4 runs AVX-512 on 256-bit datapaths). The corpus generator
+    /// clamps compiler vector widths to this.
+    pub max_isa_vec_bits: u16,
     pub port_model: PortModel,
     /// Instruction timing database; first matching entry wins.
     pub table: Vec<Entry>,
@@ -289,8 +303,8 @@ impl Machine {
     /// Constituent data of the paper's Table II for this machine.
     pub fn table2_row(&self) -> Table2Row {
         Table2Row {
-            chip: self.arch.chip(),
-            uarch: self.arch.label(),
+            chip: self.chip,
+            uarch: self.name,
             num_ports: self.port_model.num_ports() as u32,
             simd_width_bytes: (self.simd_width_bits / 8) as u32,
             int_units: self.int_units,

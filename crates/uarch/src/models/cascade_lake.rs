@@ -1,0 +1,51 @@
+//! Intel Cascade Lake SP (Xeon Gold 6248), derived from the Golden Cove
+//! model.
+//!
+//! Parameters follow Velten et al. (arXiv:2204.03290) and the Skylake-SP
+//! core papers (Hofmann et al., arXiv:1702.07554 lineage). The Cascade
+//! Lake core is an 8-port Skylake-SP: compared to Golden Cove it lacks
+//! the second store pipe (ports 8/9), the fifth ALU (port 10), and the
+//! third load AGU (port 11) — removing those four ports remaps every
+//! port set in the inherited timing table — and allocates 4-wide into a
+//! 224-entry ROB. Its two 512-bit FMA units sit on ports 0/5 exactly as
+//! on Golden Cove, so the AVX-512 timing table carries over unchanged.
+
+use crate::compose::{golden_cove, MachineBuilder};
+use crate::machine::MemorySpec;
+
+/// Cascade Lake SP as a delta against the shipped Golden Cove model.
+pub fn cascade_lake() -> MachineBuilder {
+    golden_cove()
+        .derive(
+            "cascade-lake",
+            "Cascade Lake",
+            "CLX",
+            "Intel Xeon Gold 6248",
+        )
+        // Skylake-SP port layout: stores are one AGU (7) + one 512-bit
+        // data pipe (4); loads are two 512-bit AGUs (2, 3); four ALUs.
+        .without_port("8")
+        .without_port("9")
+        .without_port("10")
+        .without_port("11")
+        .with_store_width_bits(512)
+        .with_dispatch_width(4)
+        .with_rob(224)
+        .with_sched_size(97)
+        .with_cores(20)
+        .with_frequency(2.5, 3.9)
+        .with_units(4, 2)
+        .resize_cache("L1d", 32, 8, 4)
+        .resize_cache("L2", 1024, 16, 14)
+        // 27.5 MiB non-inclusive shared L3.
+        .resize_cache("L3", 28160, 11, 44)
+        .with_memory(MemorySpec {
+            size_gb: 192,
+            mem_type: "DDR4-2933",
+            theor_bw_gbs: 140.8, // 6 channels × 23.5 GB/s
+            efficiency: 0.746,   // ~105 GB/s measured (Velten et al.)
+            latency_ns: 90.0,
+        })
+        .with_tdp(150.0)
+        .with_numa_domains(1)
+}

@@ -44,8 +44,12 @@ impl Machine {
     pub fn golden_cove() -> Machine {
         Machine {
             arch: Arch::GoldenCove,
+            id: "golden-cove",
+            name: "Golden Cove",
+            chip: "SPR",
             part: "Intel Xeon Platinum 8470",
             isa: isa::Isa::X86,
+            max_isa_vec_bits: 512,
             port_model: port_model(),
             table: table(),
             dispatch_width: 6,

@@ -2,8 +2,10 @@
 //! Tables I–III, the vendor software-optimization guides, and uops.info;
 //! where sources disagree, the paper's measured values win.
 
+pub mod cascade_lake;
 mod golden_cove;
 mod neoverse_v2;
+pub mod zen2_rome;
 mod zen4;
 
 use crate::instr::{Entry, InstrClass, Uop, WidthClass};

@@ -45,8 +45,12 @@ impl Machine {
     pub fn neoverse_v2() -> Machine {
         Machine {
             arch: Arch::NeoverseV2,
+            id: "neoverse-v2",
+            name: "Neoverse V2",
+            chip: "GCS",
             part: "Nvidia Grace CPU Superchip",
             isa: isa::Isa::AArch64,
+            max_isa_vec_bits: 128,
             port_model: port_model(),
             table: table(),
             dispatch_width: 8,

@@ -1,0 +1,40 @@
+//! AMD Zen 2 (EPYC 7742, "Rome"), derived from the Zen 4 model.
+//!
+//! Parameters follow Velten et al., "Memory Performance of AMD EPYC Rome
+//! and Intel Cascade Lake SP Server Processors" (arXiv:2204.03290) and
+//! the AMD Zen 2 software optimization guide. Structurally Zen 2 is a
+//! narrower Zen 4: the same 4-ALU / 4-FP-pipe / 3-AGU port layout and the
+//! same 256-bit datapaths, but no AVX-512 decode, a 224-entry ROB, and
+//! half the per-core L2. Everything else — the entire instruction timing
+//! table at ≤256-bit widths — carries over from the Zen 4 base, which is
+//! what makes this model a ~20-line delta instead of a module fork.
+
+use crate::compose::{zen4, Feature, MachineBuilder};
+use crate::machine::MemorySpec;
+
+/// Zen 2 "Rome" as a delta against the shipped Zen 4 model.
+pub fn zen2_rome() -> MachineBuilder {
+    zen4()
+        .derive("zen2-rome", "Zen 2", "Rome", "AMD EPYC 7742")
+        // No AVX-512: drops the double-pumped v512 entries and clamps the
+        // decoded vector width so the corpus generator emits AVX2 at most.
+        .without_feature(Feature::Avx512)
+        .with_rob(224)
+        .with_sched_size(92)
+        .with_cores(64)
+        .with_frequency(2.25, 3.4)
+        .with_units(4, 4)
+        // 2 × 256-bit FMA pipes plus 2 × 256-bit FADD pipes, as on Zen 4.
+        .with_flops_per_cycle(16, 8)
+        .resize_cache("L2", 512, 8, 12)
+        // 16 MiB per 4-core CCX, 16 CCXs per socket.
+        .resize_cache("L3", 256 * 1024, 16, 39)
+        .with_memory(MemorySpec {
+            size_gb: 256,
+            mem_type: "DDR4-3200",
+            theor_bw_gbs: 204.8, // 8 channels × 25.6 GB/s
+            efficiency: 0.684,   // ~140 GB/s measured (Velten et al.)
+            latency_ns: 110.0,
+        })
+        .with_tdp(225.0)
+}

@@ -42,8 +42,12 @@ impl Machine {
     pub fn zen4() -> Machine {
         Machine {
             arch: Arch::Zen4,
+            id: "zen4",
+            name: "Zen 4",
+            chip: "Genoa",
             part: "AMD EPYC 9684X",
             isa: isa::Isa::X86,
+            max_isa_vec_bits: 512,
             port_model: port_model(),
             table: table(),
             dispatch_width: 6,

@@ -1,0 +1,170 @@
+//! The machine-model registry: every model the tooling can name, keyed by
+//! a stable id.
+//!
+//! Entries hold a *builder* function rather than a finished [`Machine`],
+//! so callers (notably `incore-cli machines`) can read a model's lineage
+//! — the base family model plus the composition deltas applied on top —
+//! without re-deriving it. Ordering is fixed: the three paper models in
+//! the paper's presentation order, then derived models in the order they
+//! were added. That ordering is the determinism contract behind the
+//! `machines --json` golden snapshot and the CI artifact.
+//!
+//! The registry is intentionally *not* [`crate::all_machines`]: that
+//! function remains the paper's trio (the validation corpus, Table I–III
+//! reproduction, and the default lint/validate grids), while the registry
+//! also carries derived models that exist beyond the paper's scope.
+
+use crate::compose::MachineBuilder;
+use crate::machine::Machine;
+use crate::models::{cascade_lake::cascade_lake, zen2_rome::zen2_rome};
+
+/// One registry entry: a stable id, a one-line summary, and the builder
+/// that derives the model.
+pub struct ModelEntry {
+    pub id: &'static str,
+    pub summary: &'static str,
+    /// Rebuilds the model's composition; `(entry.build)()` exposes base
+    /// and deltas, `.build()` the finished machine.
+    pub build: fn() -> MachineBuilder,
+}
+
+/// A what-if Golden Cove: the 512-entry ROB doubled, scheduler scaled to
+/// match. Probes how much of the SPR corpus is reorder-window-bound.
+fn golden_cove_rob1024() -> MachineBuilder {
+    crate::compose::golden_cove()
+        .derive(
+            "golden-cove-rob1024",
+            "Golden Cove (1K ROB)",
+            "SPR+",
+            "what-if: Xeon Platinum 8470, doubled OoO window",
+        )
+        .with_wider_rob(1024)
+        .with_sched_size(410)
+}
+
+static REGISTRY: &[ModelEntry] = &[
+    ModelEntry {
+        id: "neoverse-v2",
+        summary: "Arm Neoverse V2 — Nvidia Grace CPU Superchip (paper)",
+        build: crate::compose::neoverse_v2,
+    },
+    ModelEntry {
+        id: "golden-cove",
+        summary: "Intel Golden Cove — Xeon Platinum 8470, Sapphire Rapids (paper)",
+        build: crate::compose::golden_cove,
+    },
+    ModelEntry {
+        id: "zen4",
+        summary: "AMD Zen 4 — EPYC 9684X, Genoa-X (paper)",
+        build: crate::compose::zen4,
+    },
+    ModelEntry {
+        id: "zen2-rome",
+        summary: "AMD Zen 2 — EPYC 7742, Rome (Velten et al., arXiv:2204.03290)",
+        build: zen2_rome,
+    },
+    ModelEntry {
+        id: "cascade-lake",
+        summary: "Intel Cascade Lake SP — Xeon Gold 6248 (Velten et al., arXiv:2204.03290)",
+        build: cascade_lake,
+    },
+    ModelEntry {
+        id: "golden-cove-rob1024",
+        summary: "what-if: Golden Cove with a 1024-entry ROB",
+        build: golden_cove_rob1024,
+    },
+];
+
+/// All registry entries, in deterministic presentation order.
+pub fn entries() -> &'static [ModelEntry] {
+    REGISTRY
+}
+
+/// Look up one entry by id.
+pub fn find(id: &str) -> Option<&'static ModelEntry> {
+    REGISTRY.iter().find(|e| e.id == id)
+}
+
+/// Build the machine registered under `id`.
+pub fn machine(id: &str) -> Option<Machine> {
+    find(id).map(|e| (e.build)().build())
+}
+
+/// Every registered id, in registry order.
+pub fn ids() -> Vec<&'static str> {
+    REGISTRY.iter().map(|e| e.id).collect()
+}
+
+/// Build every registered machine, in registry order.
+pub fn machines() -> Vec<Machine> {
+    REGISTRY.iter().map(|e| (e.build)().build()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_stable_and_lead_with_the_paper_trio() {
+        let ids = ids();
+        assert_eq!(&ids[..3], &["neoverse-v2", "golden-cove", "zen4"]);
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "duplicate registry id");
+        for (entry, m) in entries().iter().zip(machines()) {
+            assert_eq!(entry.id, m.id, "entry id must match the built model");
+        }
+    }
+
+    #[test]
+    fn family_entries_match_all_machines_exactly() {
+        for (m, built) in crate::all_machines().iter().zip(machines()) {
+            assert_eq!(m.id, built.id);
+            assert_eq!(m.to_json(), built.to_json());
+        }
+    }
+
+    #[test]
+    fn derived_models_stay_small_deltas() {
+        for entry in entries().iter().skip(3) {
+            let b = (entry.build)();
+            assert!(
+                !b.deltas().is_empty(),
+                "{}: a derived entry must record lineage",
+                entry.id
+            );
+            assert_ne!(b.id(), b.base());
+        }
+    }
+
+    #[test]
+    fn rome_drops_avx512_and_keeps_the_zen_table() {
+        let rome = machine("zen2-rome").unwrap();
+        assert_eq!(rome.arch, crate::Arch::Zen4);
+        assert_eq!(rome.max_isa_vec_bits, 256);
+        assert_eq!(rome.chip, "Rome");
+        let inst = isa::parse::parse_line_x86("vfmadd231pd %ymm1, %ymm2, %ymm3", 1)
+            .unwrap()
+            .unwrap();
+        let d = rome.describe(&inst);
+        assert!(!d.from_fallback, "256-bit FMA must come from the table");
+        assert_eq!(d.latency, Machine::zen4().describe(&inst).latency);
+    }
+
+    #[test]
+    fn cascade_lake_is_an_eight_port_golden_cove() {
+        let clx = machine("cascade-lake").unwrap();
+        assert_eq!(clx.port_model.num_ports(), 8);
+        assert_eq!(clx.load_ports.count(), 2);
+        assert_eq!(clx.store_data_ports.count(), 1);
+        assert_eq!(clx.dispatch_width, 4);
+        // The AVX-512 FMA table survives the port remap.
+        let inst = isa::parse::parse_line_x86("vfmadd231pd %zmm1, %zmm2, %zmm3", 1)
+            .unwrap()
+            .unwrap();
+        let d = clx.describe(&inst);
+        assert!(!d.from_fallback);
+        assert_eq!(d.uops[0].ports.count(), 2, "FMA stays on ports 0/5");
+    }
+}

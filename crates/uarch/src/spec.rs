@@ -34,6 +34,15 @@ impl std::error::Error for SpecError {}
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MachineSpec {
     pub arch: String,
+    /// Registry identity of derived models. Absent on the three shipped
+    /// family models (their identity is implied by `arch`), so their
+    /// exports are unchanged from earlier schema revisions.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub id: Option<String>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub name: Option<String>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub chip: Option<String>,
     pub part: String,
     pub ports: Vec<PortSpec>,
     pub dispatch_width: u32,
@@ -52,6 +61,10 @@ pub struct MachineSpec {
     pub base_freq_ghz: f64,
     pub max_freq_ghz: f64,
     pub simd_width_bits: u16,
+    /// Widest ISA vector width the model decodes; absent when it equals
+    /// the family default (128 on neoverse-v2, 512 on the x86 families).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub max_isa_vec_bits: Option<u16>,
     pub int_units: u32,
     pub fp_vec_units: u32,
     pub caches: Vec<CacheSpec>,
@@ -207,6 +220,15 @@ fn arch_name(a: Arch) -> &'static str {
     }
 }
 
+/// Family default for [`Machine::max_isa_vec_bits`]: NEON is 128-bit on
+/// neoverse-v2; both x86 families decode AVX-512.
+fn family_max_vec_bits(a: Arch) -> u16 {
+    match a {
+        Arch::NeoverseV2 => 128,
+        Arch::GoldenCove | Arch::Zen4 => 512,
+    }
+}
+
 fn arch_from(s: &str) -> Result<Arch, SpecError> {
     Ok(match s {
         "neoverse-v2" => Arch::NeoverseV2,
@@ -228,8 +250,14 @@ impl MachineSpec {
                 .map(|i| m.port_model.ports[i].name.to_string())
                 .collect()
         };
+        let defaulted = |value: &'static str, default: &str| -> Option<String> {
+            (value != default).then(|| value.to_string())
+        };
         MachineSpec {
             arch: arch_name(m.arch).to_string(),
+            id: defaulted(m.id, arch_name(m.arch)),
+            name: defaulted(m.name, m.arch.label()),
+            chip: defaulted(m.chip, m.arch.chip()),
             part: m.part.to_string(),
             ports: m
                 .port_model
@@ -256,6 +284,8 @@ impl MachineSpec {
             base_freq_ghz: m.base_freq_ghz,
             max_freq_ghz: m.max_freq_ghz,
             simd_width_bits: m.simd_width_bits,
+            max_isa_vec_bits: (m.max_isa_vec_bits != family_max_vec_bits(m.arch))
+                .then_some(m.max_isa_vec_bits),
             int_units: m.int_units,
             fp_vec_units: m.fp_vec_units,
             caches: m
@@ -378,13 +408,23 @@ impl MachineSpec {
             return Err(SpecError("dispatch_width must be positive".into()));
         }
 
+        let or_default = |value: &Option<String>, default: &'static str| -> &'static str {
+            match value {
+                Some(s) => leak(s),
+                None => default,
+            }
+        };
         Ok(Machine {
             arch,
+            id: or_default(&self.id, arch_name(arch)),
+            name: or_default(&self.name, arch.label()),
+            chip: or_default(&self.chip, arch.chip()),
             part: leak(&self.part),
             isa: match arch {
                 Arch::NeoverseV2 => isa::Isa::AArch64,
                 _ => isa::Isa::X86,
             },
+            max_isa_vec_bits: self.max_isa_vec_bits.unwrap_or(family_max_vec_bits(arch)),
             load_ports: resolve_set(&self.load_ports)?,
             load_ports_wide: resolve_set(&self.load_ports_wide)?,
             store_agu_ports: resolve_set(&self.store_agu_ports)?,

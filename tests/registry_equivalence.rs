@@ -1,0 +1,67 @@
+//! Acceptance gates of the data-driven machine registry: the registry's
+//! paper-trio entries must be indistinguishable — bit-for-bit — from the
+//! hand-written constructors, and every registry entry must survive the
+//! machine-file format round trip unchanged.
+
+use proptest::prelude::*;
+
+/// The registry path (composition builders) and the direct constructors
+/// produce identical corpus validation reports: same records, same
+/// summaries, same JSON bytes. Analytical predictors only — the reference
+/// simulator adds nothing to a model-identity check and would dominate
+/// the runtime; timings are wall-clock observations and are zeroed.
+#[test]
+fn registry_trio_corpus_report_is_bit_identical_to_direct_models() {
+    let zeroed = |mut r: engine::BatchReport| {
+        r.timings = engine::RunTimings::default();
+        r.to_json()
+    };
+    let direct = engine::Session::new()
+        .threads(0)
+        .reference(None)
+        .run()
+        .expect("direct run");
+    let registry = engine::Session::new()
+        .threads(0)
+        .machines(vec![
+            uarch::registry::machine("neoverse-v2").expect("registered"),
+            uarch::registry::machine("golden-cove").expect("registered"),
+            uarch::registry::machine("zen4").expect("registered"),
+        ])
+        .reference(None)
+        .run()
+        .expect("registry run");
+    assert_eq!(
+        zeroed(direct),
+        zeroed(registry),
+        "registry trio must be bit-identical to the hand-written models"
+    );
+}
+
+/// Every registry entry — family and derived alike — exports, imports,
+/// and re-exports to the same bytes.
+#[test]
+fn every_registry_entry_round_trips_through_the_machine_file_format() {
+    for entry in uarch::registry::entries() {
+        let exported = (entry.build)().build().to_json();
+        let imported = uarch::Machine::from_json(&exported)
+            .unwrap_or_else(|e| panic!("{}: import failed: {e}", entry.id));
+        assert_eq!(exported, imported.to_json(), "{}", entry.id);
+    }
+}
+
+proptest! {
+    /// Import is idempotent for any registry entry: once a model has been
+    /// through the machine-file format, further round trips are fixed
+    /// points — both as bytes and as imported machines.
+    #[test]
+    fn machine_file_import_is_idempotent(idx in 0usize..uarch::registry::entries().len()) {
+        let entry = &uarch::registry::entries()[idx];
+        let first = (entry.build)().build().to_json();
+        let once = uarch::Machine::from_json(&first).expect("first import");
+        let second = once.to_json();
+        let twice = uarch::Machine::from_json(&second).expect("second import");
+        prop_assert_eq!(&second, &twice.to_json(), "{}", entry.id);
+        prop_assert_eq!(first, second, "{}", entry.id);
+    }
+}
