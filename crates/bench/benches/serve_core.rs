@@ -1,0 +1,78 @@
+//! Serving-path benchmark: Criterion timings for the hot wire codec,
+//! then the deterministic load-generator run (1/8/64 concurrent clients
+//! over corpus kernels against an in-process `incore-cli serve`)
+//! written to `BENCH_serve.json` at the repository root (see
+//! `bench::servebench`).
+//!
+//! `BENCH_SERVE_LIMIT=<n>` caps the corpus at n kernels per pass — CI
+//! uses this for a quick smoke run; local `cargo bench --bench
+//! serve_core` drives the whole corpus.
+
+use criterion::{criterion_group, Criterion};
+
+fn wire_codec(c: &mut Criterion) {
+    let machine = uarch::Machine::golden_cove();
+    let v = kernels::Variant {
+        kernel: kernels::StreamKernel::StreamTriad,
+        compiler: kernels::Compiler::Icx,
+        opt: kernels::OptLevel::O3,
+        arch: machine.arch,
+    };
+    let asm = kernels::generate(&v, &machine);
+    let frame = format!(
+        "{{\"type\":\"analyze\",\"id\":1,\"label\":\"triad\",\"asm\":{},\"arch\":\"spr\",\"mca\":true}}",
+        serde_json::to_string(&asm).unwrap()
+    );
+    let report =
+        cli::analyze_report_json(&machine, "triad", &asm, cli::AnalyzeFlags::default()).unwrap();
+    let mut g = c.benchmark_group("serve_core/codec");
+    g.bench_function("parse_request", |b| {
+        b.iter(|| cli::proto::parse_request(&frame).unwrap().id())
+    });
+    g.bench_function("render_extract", |b| {
+        b.iter(|| {
+            let rendered = cli::proto::render_analyze_ok(1, report.trim_end());
+            cli::proto::extract_report(&rendered).map(str::len)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, wire_codec);
+
+fn main() {
+    benches();
+    let limit = std::env::var("BENCH_SERVE_LIMIT")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok());
+    let report = bench::servebench::run(limit);
+    eprintln!(
+        "[serve_core] {} kernels, byte_identical: {}, cache hit rate {:.3}, coalesce rate {:.3}",
+        report.kernels, report.byte_identical, report.cache_hit_rate, report.coalesce_rate,
+    );
+    for l in &report.levels {
+        eprintln!(
+            "[serve_core]   {:>2} clients: {:>6} reqs in {:>8.1} ms — {:>8.1} req/s, \
+             p50 {:>6} us, p99 {:>6} us, hit rate {:.3}, coalesce rate {:.3}",
+            l.clients,
+            l.requests,
+            l.wall_ms,
+            l.requests_per_sec,
+            l.p50_us,
+            l.p99_us,
+            l.cache_hit_rate,
+            l.coalesce_rate,
+        );
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, report.to_json()).expect("write BENCH_serve.json");
+    eprintln!("[serve_core] wrote {path}");
+    assert!(
+        report.byte_identical,
+        "served responses diverged from single-shot analyze --json"
+    );
+    assert!(
+        report.cache_hit_rate > 0.0 && report.coalesce_rate > 0.0,
+        "the server must demonstrably share work across clients"
+    );
+}

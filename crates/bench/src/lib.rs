@@ -7,6 +7,7 @@ pub mod fig3;
 pub mod ibench;
 pub mod membench;
 pub mod obsbench;
+pub mod servebench;
 pub mod simbench;
 pub mod tables;
 
@@ -14,4 +15,5 @@ pub use fig3::{rpe_corpus, RpeRecord};
 pub use ibench::{instruction_latency, instruction_throughput, table3};
 pub use membench::MemBenchReport;
 pub use obsbench::ObsBenchReport;
+pub use servebench::ServeBenchReport;
 pub use simbench::SimBenchReport;

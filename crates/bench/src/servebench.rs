@@ -1,0 +1,303 @@
+//! Tracked throughput benchmark for `incore-cli serve`: a deterministic
+//! load generator drives 1, 8, and 64 concurrent clients over corpus
+//! kernels against an in-process server, checks every response
+//! byte-identical to the single-shot `analyze --json` report, and
+//! records requests/sec, p50/p99 round-trip latency, and the cache-hit
+//! and coalesce rates. The `serve_core` bench target runs this and
+//! writes the report to `BENCH_serve.json` at the repository root, so
+//! the serving trajectory is recorded alongside the code that produced
+//! it.
+//!
+//! Workload shape (per concurrency level, fresh server each):
+//! 1. every client lands the *same* simulator-backed request at a
+//!    barrier — on a cold server that is the coalescing window;
+//! 2. each client then walks the corpus kernels twice, request/response
+//!    lockstep, so the second pass replays from the response cache;
+//! 3. an `overloaded` rejection is retried after the server's hint —
+//!    the load generator honors the backpressure protocol.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+use std::time::Instant;
+
+use cli::serve::{ServeOpts, ServerHandle};
+use cli::{proto, AnalyzeFlags};
+use serde::Serialize;
+
+/// One concurrency level.
+#[derive(Debug, Clone, Serialize)]
+pub struct LevelRow {
+    pub clients: usize,
+    /// Analyze requests issued (excluding overload retries).
+    pub requests: u64,
+    /// Overload rejections observed (each was retried).
+    pub overloaded: u64,
+    pub wall_ms: f64,
+    pub requests_per_sec: f64,
+    /// Round-trip latency quantiles over all requests, microseconds.
+    pub p50_us: u64,
+    pub p99_us: u64,
+    pub cache_hit_rate: f64,
+    pub coalesce_rate: f64,
+    pub coalesced: u64,
+    pub response_hits: u64,
+}
+
+/// The whole report, serialized to `BENCH_serve.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeBenchReport {
+    pub schema_version: u32,
+    /// Distinct corpus kernels in the workload.
+    pub kernels: usize,
+    /// Every response matched the single-shot `analyze --json` bytes.
+    pub byte_identical: bool,
+    /// Aggregate cache-hit rate over all levels (response cache).
+    pub cache_hit_rate: f64,
+    /// Aggregate coalesce rate over all levels.
+    pub coalesce_rate: f64,
+    pub levels: Vec<LevelRow>,
+}
+
+impl ServeBenchReport {
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("report serializes");
+        s.push('\n');
+        s
+    }
+}
+
+struct Workload {
+    /// (label, asm, expected report bytes) per corpus kernel.
+    kernels: Vec<(String, String, String)>,
+    /// The barrier probe: identical across clients, simulator-backed.
+    probe_frame: String,
+    probe_expected: String,
+}
+
+fn analyze_frame(id: u64, label: &str, asm: &str, mca: bool, sim: bool) -> String {
+    format!(
+        "{{\"type\":\"analyze\",\"id\":{id},\"label\":{},\"asm\":{},\"arch\":\"spr\",\"mca\":{mca},\"sim\":{sim}}}\n",
+        serde_json::to_string(&label.to_string()).expect("label serializes"),
+        serde_json::to_string(&asm.to_string()).expect("asm serializes"),
+    )
+}
+
+fn workload(limit: Option<usize>) -> Workload {
+    let machine = uarch::Machine::golden_cove();
+    let flags = AnalyzeFlags {
+        mca: true,
+        ..AnalyzeFlags::default()
+    };
+    let mut variants = kernels::variants_for(machine.arch);
+    if let Some(n) = limit {
+        variants.truncate(n);
+    }
+    let kernels = variants
+        .iter()
+        .map(|v| {
+            let label = v.label();
+            let asm = kernels::generate(v, &machine);
+            let expected = cli::analyze_report_json(&machine, &label, &asm, flags)
+                .expect("corpus kernel analyzes")
+                .trim_end()
+                .to_string();
+            (label, asm, expected)
+        })
+        .collect::<Vec<_>>();
+    let probe_label = "coalesce-probe";
+    let probe_asm = &kernels[0].1;
+    let probe_flags = AnalyzeFlags {
+        sim: true,
+        ..AnalyzeFlags::default()
+    };
+    let probe_expected = cli::analyze_report_json(&machine, probe_label, probe_asm, probe_flags)
+        .expect("probe analyzes")
+        .trim_end()
+        .to_string();
+    let probe_frame = analyze_frame(u64::MAX >> 1, probe_label, probe_asm, false, true);
+    Workload {
+        kernels,
+        probe_frame,
+        probe_expected,
+    }
+}
+
+/// Send one frame and read responses until the request's response
+/// arrives, retrying on overload. Returns (report bytes, retries).
+fn request(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    frame: &str,
+) -> (String, u64) {
+    let mut retries = 0;
+    loop {
+        stream.write_all(frame.as_bytes()).expect("write request");
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("read response") > 0,
+            "server closed mid-benchmark"
+        );
+        if let Some(report) = proto::extract_report(&line) {
+            return (report.to_string(), retries);
+        }
+        let v: serde_json::Value = serde_json::from_str(line.trim_end()).expect("response parses");
+        let kind = v
+            .as_object()
+            .and_then(|o| o.get("error"))
+            .and_then(|e| e.as_object())
+            .and_then(|e| e.get("kind"))
+            .and_then(|k| k.as_str())
+            .unwrap_or("?")
+            .to_string();
+        assert_eq!(kind, "overloaded", "unexpected failure: {line}");
+        retries += 1;
+        assert!(retries < 1000, "server never shed its overload");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+}
+
+fn run_level(work: &Workload, clients: usize) -> (LevelRow, bool) {
+    let server = ServerHandle::start(ServeOpts {
+        queue: 256,
+        cache: 4096,
+        ..ServeOpts::default()
+    })
+    .expect("server starts");
+    let addr = server.addr;
+    let barrier = Barrier::new(clients);
+    let latencies = Mutex::new(obs::Histogram::default());
+    let requests = AtomicU64::new(0);
+    let retries_total = AtomicU64::new(0);
+    let identical = AtomicU64::new(1);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let (barrier, latencies, requests, retries_total, identical) =
+                (&barrier, &latencies, &requests, &retries_total, &identical);
+            s.spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let record = |report: &str, expected: &str, t0: Instant, retries: u64| {
+                    requests.fetch_add(1, Ordering::Relaxed);
+                    retries_total.fetch_add(retries, Ordering::Relaxed);
+                    if report != expected {
+                        identical.store(0, Ordering::Relaxed);
+                    }
+                    let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                    latencies
+                        .lock()
+                        .expect("latency histogram poisoned")
+                        .record(us);
+                };
+                // The coalescing window: everyone fires the identical
+                // simulator-backed request at once against a cold cache.
+                barrier.wait();
+                let t0 = Instant::now();
+                let (report, retries) = request(&mut stream, &mut reader, &work.probe_frame);
+                record(&report, &work.probe_expected, t0, retries);
+                // Two corpus passes, shuffled per client by rotation;
+                // the second pass replays from the response cache.
+                let n = work.kernels.len();
+                for pass in 0..2 {
+                    for i in 0..n {
+                        let k = (i + c * 7 + pass * 3) % n;
+                        let (label, asm, expected) = &work.kernels[k];
+                        let frame = analyze_frame(k as u64, label, asm, true, false);
+                        let t0 = Instant::now();
+                        let (report, retries) = request(&mut stream, &mut reader, &frame);
+                        record(&report, expected, t0, retries);
+                    }
+                }
+            });
+        }
+    });
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let summary = server.shutdown().expect("graceful drain");
+    let h = latencies.into_inner().expect("latency histogram poisoned");
+    let requests = requests.into_inner();
+    let lookups = summary.response_hits + summary.response_misses;
+    let row = LevelRow {
+        clients,
+        requests,
+        overloaded: retries_total.into_inner(),
+        wall_ms,
+        requests_per_sec: requests as f64 / (wall_ms / 1e3).max(1e-9),
+        p50_us: h.quantile(0.50),
+        p99_us: h.quantile(0.99),
+        cache_hit_rate: if lookups == 0 {
+            0.0
+        } else {
+            summary.response_hits as f64 / lookups as f64
+        },
+        coalesce_rate: if summary.analyze == 0 {
+            0.0
+        } else {
+            summary.coalesced as f64 / summary.analyze as f64
+        },
+        coalesced: summary.coalesced,
+        response_hits: summary.response_hits,
+    };
+    (row, identical.into_inner() == 1)
+}
+
+/// Run the load generator at every concurrency level. `limit` caps the
+/// corpus kernels per pass (smoke runs); `None` is the full corpus.
+pub fn run(limit: Option<usize>) -> ServeBenchReport {
+    let work = workload(limit);
+    let mut levels = Vec::new();
+    let mut byte_identical = true;
+    for clients in [1usize, 8, 64] {
+        let (row, identical) = run_level(&work, clients);
+        byte_identical &= identical;
+        levels.push(row);
+    }
+    let total: u64 = levels.iter().map(|l| l.requests).sum();
+    let hits: u64 = levels.iter().map(|l| l.response_hits).sum();
+    let coalesced: u64 = levels.iter().map(|l| l.coalesced).sum();
+    ServeBenchReport {
+        schema_version: 1,
+        kernels: work.kernels.len(),
+        byte_identical,
+        cache_hit_rate: hits as f64 / (total as f64).max(1.0),
+        coalesce_rate: coalesced as f64 / (total as f64).max(1.0),
+        levels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_is_byte_identical_and_shares_work() {
+        let report = run(Some(3));
+        assert!(
+            report.byte_identical,
+            "served bytes diverged from analyze --json"
+        );
+        assert_eq!(report.levels.len(), 3);
+        assert_eq!(
+            report.levels.iter().map(|l| l.clients).collect::<Vec<_>>(),
+            vec![1, 8, 64]
+        );
+        for l in &report.levels {
+            // probe + two passes over 3 kernels per client
+            assert_eq!(l.requests, (l.clients * 7) as u64);
+            assert!(l.requests_per_sec > 0.0);
+            assert!(l.p99_us >= l.p50_us);
+        }
+        assert!(report.cache_hit_rate > 0.0, "{report:?}");
+        assert!(report.coalesce_rate > 0.0, "{report:?}");
+        let v: serde_json::Value = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(
+            v.as_object()
+                .unwrap()
+                .get("schema_version")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+    }
+}

@@ -25,6 +25,9 @@
 
 pub use engine::{Error, ErrorKind};
 
+pub mod proto;
+pub mod serve;
+
 /// Simulator configuration overrides shared by `analyze` and `validate`
 /// (`--iterations`, `--warmup`, `--no-early-exit`). `None`/`false` means
 /// "keep the [`exec::SimConfig`] default".
@@ -185,20 +188,26 @@ impl MachineSel {
         self.resolve()
     }
 
-    /// Resolve to exactly one machine for the single-machine subcommands
-    /// (`analyze`, `explain`, `export`, `ports`). A machine file wins over
-    /// a registry model — the historical `--machine-file` override — and
-    /// within a kind the last occurrence wins.
-    pub fn resolve_one(&self) -> Result<uarch::Machine, Error> {
+    /// The single reference a one-machine resolution would use: a machine
+    /// file wins over a registry model — the historical `--machine-file`
+    /// override — and within a kind the last occurrence wins. The `serve`
+    /// submit path uses this to key its caches without building the
+    /// machine.
+    pub fn chosen(&self) -> Result<&MachineRef, Error> {
         let last_file = self
             .refs
             .iter()
             .rev()
             .find(|r| matches!(r, MachineRef::File(_)));
-        let chosen = last_file
+        last_file
             .or_else(|| self.refs.last())
-            .ok_or_else(|| Error::usage("--arch, --model, or --machine-file is required"))?;
-        resolve_ref(chosen)
+            .ok_or_else(|| Error::usage("--arch, --model, or --machine-file is required"))
+    }
+
+    /// Resolve to exactly one machine for the single-machine subcommands
+    /// (`analyze`, `explain`, `export`, `ports`).
+    pub fn resolve_one(&self) -> Result<uarch::Machine, Error> {
+        resolve_ref(self.chosen()?)
     }
 }
 
@@ -285,6 +294,9 @@ pub enum Command {
         /// Record and emit an `obs` profile of the sweep.
         profile: Option<ProfileMode>,
     },
+    /// Run the long-lived analysis server (newline-delimited JSON over
+    /// TCP; see [`proto`] and [`serve`]).
+    Serve(serve::ServeOpts),
     /// Render the bottleneck-attribution report for one corpus kernel:
     /// which port, dependency chain, or front-end limit bounds it, per
     /// predictor, and why the predictors disagree when they do.
@@ -389,6 +401,29 @@ pub fn parse_args(args: &[String]) -> Result<Command, Error> {
                 reference,
                 profile,
             })
+        }
+        "serve" => {
+            let mut opts = serve::ServeOpts::default();
+            while let Some(a) = it.next() {
+                if machine_flag(&mut opts.sel, a.as_str(), &mut it)? {
+                    continue;
+                }
+                match a.as_str() {
+                    "--addr" => opts.addr = next_value(&mut it, "--addr")?,
+                    "--threads" => opts.threads = next_value(&mut it, "--threads")?,
+                    "--queue" => opts.queue = next_value(&mut it, "--queue")?,
+                    "--cache" => opts.cache = next_value(&mut it, "--cache")?,
+                    "--max-request-bytes" => {
+                        opts.max_request_bytes = next_value(&mut it, "--max-request-bytes")?
+                    }
+                    "--throttle-ms" => opts.throttle_ms = next_value(&mut it, "--throttle-ms")?,
+                    other => return Err(Error::usage(format!("unknown flag `{other}`"))),
+                }
+            }
+            if opts.queue == 0 {
+                return Err(Error::usage("--queue must be at least 1"));
+            }
+            Ok(Command::Serve(opts))
         }
         "explain" => {
             let mut kernel = None;
@@ -636,6 +671,19 @@ USAGE:
       --sarif      emit a SARIF 2.1.0 report (for code-scanning upload)
       --strict     treat warnings as errors (nonzero exit)
       with no file and no selection, the paper's three models are linted
+  incore-cli serve [flags]            long-running analysis server: newline-delimited
+      JSON requests over TCP, answered from a sharded worker pool with request
+      coalescing, a bounded LRU response cache, and explicit overload backpressure
+      --addr <host:port>   bind address (default 127.0.0.1:0; the port is printed)
+      --threads <n>        worker shards (0 = all cores)
+      --queue <n>          per-shard queue bound; a full shard answers `overloaded`
+      --cache <n>          response/kernel/machine LRU capacity (entries)
+      --max-request-bytes <n>  reject request frames larger than this
+      --throttle-ms <n>    artificial per-job delay (load testing)
+      --arch/--model/--machine-file   default machine for requests that name none
+      wire protocol: {\"type\":\"analyze\",\"id\":1,\"asm\":\"...\",\"arch\":\"spr\"} in,
+      {\"id\":1,\"ok\":true,\"report\":<analyze --json report>} out; also `ping`,
+      `metrics` (versioned counters/latency JSON), and `shutdown` (graceful drain)
   incore-cli machines [--json]        list the machine registry: id, lineage
       (base model + composition deltas), and key parameters
   incore-cli export --arch <machine>  dump a machine model as an editable JSON file
@@ -680,7 +728,7 @@ pub fn run_storebench(
                 .collect()
         })
         .collect();
-    let report = memhier::storebench::sweep_report(&machines, &counts, kind, scfg);
+    let report = memhier::storebench::sweep_report(machines, &counts, kind, scfg);
     if json {
         return report.to_json();
     }
@@ -840,19 +888,19 @@ pub fn run_analyze(
     Ok(out)
 }
 
-/// `analyze --json`: evaluate one kernel through the same
-/// [`engine::evaluate_block`] path as `validate` and wrap it in a
-/// one-record [`engine::BatchReport`], so scripted consumers see a single
-/// schema whichever subcommand produced it.
-pub fn run_analyze_json(
+/// Evaluate one parsed kernel through the same [`engine::evaluate_block`]
+/// path as `validate` and wrap it in a one-record
+/// [`engine::BatchReport`] with **zeroed timings** — fully deterministic
+/// for a given (machine, label, kernel, flags), which is what lets the
+/// server coalesce identical requests and replay cached responses
+/// byte-for-byte. The measured timings are returned alongside for
+/// callers that want to stamp them in ([`run_analyze_json`]).
+pub fn analyze_report(
     machine: &uarch::Machine,
     label: &str,
-    asm: &str,
+    kernel: &isa::Kernel,
     flags: AnalyzeFlags,
-) -> Result<String, Error> {
-    let wall_start = std::time::Instant::now();
-    let kernel =
-        isa::parse_kernel(asm, machine.isa).map_err(|e| Error::from(e).with_context(label))?;
+) -> (engine::BatchReport, engine::BlockTimings) {
     let model: Box<dyn uarch::Predictor> = if flags.balanced {
         Box::new(incore::InCoreModel::balanced())
     } else {
@@ -869,7 +917,7 @@ pub fn run_analyze_json(
     let refs: Vec<&dyn uarch::Predictor> = analytical.iter().map(|b| b.as_ref()).collect();
     let (record, block_timings) = engine::evaluate_block_timed(
         machine,
-        &kernel,
+        kernel,
         engine::BlockLabels {
             kernel: label,
             compiler: "",
@@ -878,13 +926,46 @@ pub fn run_analyze_json(
         &refs,
         reference,
     );
-    let mut report = engine::BatchReport::from_records(
+    let report = engine::BatchReport::from_records(
         vec![machine.name.to_string()],
         refs.iter().map(|p| p.name().to_string()).collect(),
         reference.map(|r| r.name().to_string()),
         vec![record],
         engine::CacheStats::default(),
     );
+    (report, block_timings)
+}
+
+/// The deterministic one-record JSON report for an assembly string: what
+/// a served `analyze` response embeds, and `analyze --json` minus the
+/// wall-clock timing stamp. Newline-terminated.
+pub fn analyze_report_json(
+    machine: &uarch::Machine,
+    label: &str,
+    asm: &str,
+    flags: AnalyzeFlags,
+) -> Result<String, Error> {
+    let kernel =
+        isa::parse_kernel(asm, machine.isa).map_err(|e| Error::from(e).with_context(label))?;
+    let (report, _) = analyze_report(machine, label, &kernel, flags);
+    let mut out = report.to_json();
+    out.push('\n');
+    Ok(out)
+}
+
+/// `analyze --json`: the [`analyze_report`] record with the run's
+/// measured timings stamped in, so scripted consumers see a single
+/// schema whichever subcommand produced it.
+pub fn run_analyze_json(
+    machine: &uarch::Machine,
+    label: &str,
+    asm: &str,
+    flags: AnalyzeFlags,
+) -> Result<String, Error> {
+    let wall_start = std::time::Instant::now();
+    let kernel =
+        isa::parse_kernel(asm, machine.isa).map_err(|e| Error::from(e).with_context(label))?;
+    let (mut report, block_timings) = analyze_report(machine, label, &kernel, flags);
     report.timings = engine::RunTimings {
         wall_ms: wall_start.elapsed().as_nanos() as f64 / 1e6,
         parse_ms: 0.0,
@@ -1152,10 +1233,12 @@ pub enum LintTarget<'a> {
         sim: bool,
     },
     /// The machine-model admission gate (rules M008–M010): cross-check a
-    /// machine's tables against the ISA coverage its corpus demands.
+    /// machine's tables against the ISA coverage its corpus demands. The
+    /// model is boxed so this owning variant stays close in size to the
+    /// borrowing ones.
     Admission {
         label: String,
-        machine: uarch::Machine,
+        machine: Box<uarch::Machine>,
     },
 }
 
@@ -1326,12 +1409,15 @@ pub fn admission_targets<'a>(
     };
     for m in models {
         let label = m.id.to_string();
-        targets.push(LintTarget::Admission { label, machine: m });
+        targets.push(LintTarget::Admission {
+            label,
+            machine: Box::new(m),
+        });
     }
     for (label, m) in imported {
         targets.push(LintTarget::Admission {
             label: label.clone(),
-            machine: m.clone(),
+            machine: Box::new(m.clone()),
         });
     }
     targets
@@ -1388,6 +1474,7 @@ mod tests {
             sv(&["explain", "triad", "--model", "m1"]),
             sv(&["export", "--arch", "m1"]),
             sv(&["ports", "--model", "m1"]),
+            sv(&["serve", "--arch", "m1"]),
         ] {
             let e = parse_args(&args).unwrap_err();
             assert_eq!(e.kind(), ErrorKind::Usage, "{args:?}");
@@ -1405,6 +1492,79 @@ mod tests {
         ] {
             assert!(parse_args(&args).is_ok(), "{args:?}");
         }
+    }
+
+    #[test]
+    fn parse_serve_options() {
+        let c = parse_args(&sv(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:7878",
+            "--threads",
+            "4",
+            "--queue",
+            "8",
+            "--cache",
+            "32",
+            "--max-request-bytes",
+            "4096",
+            "--throttle-ms",
+            "5",
+            "--arch",
+            "spr",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Serve(serve::ServeOpts {
+                addr: "0.0.0.0:7878".into(),
+                threads: 4,
+                queue: 8,
+                cache: 32,
+                max_request_bytes: 4096,
+                throttle_ms: 5,
+                sel: MachineSel::model("golden-cove"),
+            })
+        );
+        // Defaults: ephemeral local port, bounded queue/cache, no default
+        // machine (requests must name one).
+        match parse_args(&sv(&["serve"])).unwrap() {
+            Command::Serve(opts) => {
+                assert_eq!(opts, serve::ServeOpts::default());
+                assert!(opts.sel.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+        let e = parse_args(&sv(&["serve", "--queue", "0"])).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::Usage);
+        let e = parse_args(&sv(&["serve", "--port"])).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::Usage);
+    }
+
+    #[test]
+    fn analyze_report_json_is_run_analyze_json_minus_timings() {
+        let machine = uarch::Machine::golden_cove();
+        let asm = ".L1:\n vaddpd %ymm1, %ymm2, %ymm3\n subq $1, %rax\n jne .L1\n";
+        let flags = AnalyzeFlags {
+            mca: true,
+            ..AnalyzeFlags::default()
+        };
+        let det = analyze_report_json(&machine, "k.s", asm, flags).unwrap();
+        assert_eq!(
+            det,
+            analyze_report_json(&machine, "k.s", asm, flags).unwrap(),
+            "the served path must be bit-stable"
+        );
+        // The timed variant differs only in the timings stamp.
+        let timed = run_analyze_json(&machine, "k.s", asm, flags).unwrap();
+        let strip = |s: &str| -> String {
+            let start = s.find("\"timings\":").expect("report carries timings");
+            let rest = &s[start..];
+            let end = start + rest.find('}').expect("timings object closes") + 1;
+            format!("{}{}", &s[..start], &s[end..])
+        };
+        assert_eq!(strip(&det), strip(&timed));
+        assert_ne!(det, timed, "run_analyze_json stamps real wall time");
     }
 
     #[test]

@@ -226,6 +226,15 @@ fn run(args: &[String]) -> Result<i32, Error> {
             let m = sel.resolve_one()?;
             print!("{}", run_explain(&m, &kernel, sim)?);
         }
+        Command::Serve(opts) => {
+            // Fail on an unresolvable default selection up front rather
+            // than per-request (a per-request selection still resolves
+            // lazily on the wire).
+            if !opts.sel.is_empty() {
+                opts.sel.resolve_one()?;
+            }
+            cli::serve::run_serve(opts, &mut std::io::stdout())?;
+        }
     }
     Ok(0)
 }

@@ -1,0 +1,718 @@
+//! `incore-cli serve` — analysis as a service.
+//!
+//! A zero-dependency long-running front end over the same evaluation
+//! path as `analyze --json`: newline-delimited JSON over TCP (see
+//! [`crate::proto`]), a **sharded worker pool** on the vendored rayon
+//! scope, **request coalescing** (identical in-flight work computed
+//! once, every waiter answered from the one result), a **bounded LRU
+//! response cache** in front of the workers, and **bounded queues with
+//! explicit backpressure** — a full shard queue answers immediately
+//! with a machine-readable `overloaded` error and a retry hint instead
+//! of queueing without bound.
+//!
+//! ## Determinism contract
+//!
+//! The `report` bytes of a served `analyze` response are exactly
+//! [`crate::analyze_report_json`] for the same kernel/machine/flags —
+//! the single-shot `analyze --json` report with the wall-clock timing
+//! stamp zeroed. That is what makes coalescing and caching safe: a
+//! response computed once and shared (or replayed from the cache) is
+//! byte-identical to one computed fresh, so clients cannot observe
+//! whether they were coalesced. Coalesce/cache statistics are visible
+//! only through the `metrics` request.
+//!
+//! ## Shutdown
+//!
+//! A `shutdown` request is acknowledged, the listener stops accepting,
+//! every connection's read half is shut down (in-flight requests keep
+//! draining), the shard queues run dry, and `serve_on` returns a
+//! [`ServeSummary`]. No signals involved.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Mutex};
+use std::time::Instant;
+
+use crate::proto::{self, AnalyzeRequest, FrameReader, Request};
+use crate::{AnalyzeFlags, Error, ErrorKind, MachineRef, MachineSel};
+
+/// Suggested client backoff on an `overloaded` rejection.
+const RETRY_AFTER_MS: u64 = 50;
+
+/// Outbound per-connection frame buffer (the reader blocks, applying
+/// backpressure, once a client stops draining its responses).
+const OUTBOUND_FRAMES: usize = 8;
+
+/// Options of `incore-cli serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOpts {
+    /// Bind address; port 0 picks a free port (printed on startup).
+    pub addr: String,
+    /// Worker threads = shards; 0 = all available cores.
+    pub threads: usize,
+    /// Per-shard job queue capacity (the backpressure bound).
+    pub queue: usize,
+    /// Capacity of the response LRU and the kernel/machine caches.
+    pub cache: usize,
+    /// Maximum request frame size in bytes.
+    pub max_request_bytes: usize,
+    /// Artificial per-job delay in milliseconds (deterministic
+    /// backpressure in tests and load generation; 0 = off).
+    pub throttle_ms: u64,
+    /// Default machine for `analyze` requests that name none — the same
+    /// `--arch`/`--model`/`--machine-file` selection every subcommand
+    /// takes.
+    pub sel: MachineSel,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 0,
+            queue: 64,
+            cache: 1024,
+            max_request_bytes: proto::DEFAULT_MAX_REQUEST_BYTES,
+            throttle_ms: 0,
+            sel: MachineSel::default(),
+        }
+    }
+}
+
+/// Totals of one server lifetime, rendered when `serve` exits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    pub requests: u64,
+    pub analyze: u64,
+    pub ok: u64,
+    pub errors: u64,
+    pub overloaded: u64,
+    pub coalesced: u64,
+    pub response_hits: u64,
+    pub response_misses: u64,
+}
+
+impl ServeSummary {
+    pub fn render(&self) -> String {
+        format!(
+            "served {} request(s): {} analyze ({} ok, {} failed, {} overloaded), \
+             {} coalesced, response cache {} hit(s) / {} miss(es)\n",
+            self.requests,
+            self.analyze,
+            self.ok,
+            self.errors,
+            self.overloaded,
+            self.coalesced,
+            self.response_hits,
+            self.response_misses
+        )
+    }
+}
+
+/// Identity of one analysis: kernel text, label, resolved machine, and
+/// predictor set. Two requests with equal keys have byte-identical
+/// responses, which is the licence for coalescing and caching.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    asm: String,
+    label: String,
+    machine: String,
+    flags: u8,
+}
+
+fn flag_bits(f: AnalyzeFlags) -> u8 {
+    (f.balanced as u8) | (f.mca as u8) << 1 | (f.sim as u8) << 2
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Key {
+    fn shard(&self, shards: usize) -> usize {
+        let mut h = fnv1a(self.asm.as_bytes());
+        h ^= fnv1a(self.label.as_bytes()).rotate_left(17);
+        h ^= fnv1a(self.machine.as_bytes()).rotate_left(31);
+        h ^= self.flags as u64;
+        (h % shards as u64) as usize
+    }
+}
+
+/// How the worker obtains the machine (the resolution itself happened
+/// at submit time, so a bad name or unreadable file fails fast).
+#[derive(Debug, Clone)]
+enum MachineToken {
+    /// A validated registry id.
+    Model(String),
+    /// The full JSON of a machine file, content-hashed into the key
+    /// (imports go through the bounded machine cache).
+    File(String),
+}
+
+#[derive(Debug, Clone)]
+struct Payload {
+    label: String,
+    asm: String,
+    flags: AnalyzeFlags,
+    token: MachineToken,
+}
+
+struct Waiter {
+    id: u64,
+    tx: SyncSender<String>,
+}
+
+struct Pending {
+    payload: Payload,
+    waiters: Vec<Waiter>,
+}
+
+enum Job {
+    Run(Key),
+    Stop,
+}
+
+struct Shard {
+    tx: SyncSender<Job>,
+    inflight: Mutex<HashMap<Key, Pending>>,
+}
+
+#[derive(Default)]
+struct Metrics {
+    requests: AtomicU64,
+    analyze: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    overloaded: AtomicU64,
+    coalesced: AtomicU64,
+    response_hits: AtomicU64,
+    response_misses: AtomicU64,
+    response_evictions: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_peak: AtomicU64,
+    /// Service time per computed job, microseconds (the obs
+    /// power-of-two histogram, quantiles via [`obs::Histogram::quantile`]).
+    service_us: Mutex<obs::Histogram>,
+}
+
+impl Metrics {
+    fn bump(c: &AtomicU64, delta: u64, obs_name: &str) {
+        c.fetch_add(delta, Ordering::Relaxed);
+        if obs::enabled() {
+            obs::counter(obs_name, delta);
+        }
+    }
+}
+
+struct Shared {
+    opts: ServeOpts,
+    addr: SocketAddr,
+    shards: Vec<Shard>,
+    /// Bounded kernel/machine memo shared across requests.
+    cache: engine::CorpusCache,
+    /// Bounded response memo: key → report JSON (no trailing newline).
+    responses: Mutex<engine::Lru<Key, std::sync::Arc<String>>>,
+    metrics: Metrics,
+    draining: AtomicBool,
+    /// Read halves of live connections, shut down on drain.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn begin_drain(&self) {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for conn in self.conns.lock().expect("conn registry poisoned").iter() {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn summary(&self) -> ServeSummary {
+        let m = &self.metrics;
+        ServeSummary {
+            requests: m.requests.load(Ordering::Relaxed),
+            analyze: m.analyze.load(Ordering::Relaxed),
+            ok: m.ok.load(Ordering::Relaxed),
+            errors: m.errors.load(Ordering::Relaxed),
+            overloaded: m.overloaded.load(Ordering::Relaxed),
+            coalesced: m.coalesced.load(Ordering::Relaxed),
+            response_hits: m.response_hits.load(Ordering::Relaxed),
+            response_misses: m.response_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The versioned `metrics` response body (schema
+    /// [`proto::METRICS_SCHEMA_VERSION`]): request counters, cache
+    /// hit/miss/eviction counts and hit rates, queue depth against its
+    /// bound, and the service-time distribution (p50/p99 from the obs
+    /// histogram).
+    fn metrics_json(&self) -> String {
+        let m = &self.metrics;
+        let s = self.cache.stats();
+        let ev = self.cache.evictions();
+        let hits = m.response_hits.load(Ordering::Relaxed);
+        let misses = m.response_misses.load(Ordering::Relaxed);
+        let lookups = hits + misses;
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        };
+        let analyze = m.analyze.load(Ordering::Relaxed);
+        let coalesced = m.coalesced.load(Ordering::Relaxed);
+        let coalesce_rate = if analyze == 0 {
+            0.0
+        } else {
+            coalesced as f64 / analyze as f64
+        };
+        let h = m.service_us.lock().expect("service histogram poisoned");
+        format!(
+            concat!(
+                "{{\"schema_version\":{}",
+                ",\"workers\":{},\"shards\":{}",
+                ",\"requests\":{{\"total\":{},\"analyze\":{},\"ok\":{},\"errors\":{}",
+                ",\"overloaded\":{},\"coalesced\":{},\"coalesce_rate\":{:.4}}}",
+                ",\"cache\":{{\"response_hits\":{},\"response_misses\":{}",
+                ",\"response_evictions\":{},\"hit_rate\":{:.4}",
+                ",\"kernel_hits\":{},\"kernel_misses\":{},\"kernel_evictions\":{}",
+                ",\"machine_hits\":{},\"machine_misses\":{},\"machine_evictions\":{}}}",
+                ",\"queue\":{{\"capacity\":{},\"depth\":{},\"peak_depth\":{}}}",
+                ",\"service_time_us\":{{\"count\":{},\"mean\":{:.3},\"p50\":{},\"p99\":{},\"max\":{}}}",
+                "}}"
+            ),
+            proto::METRICS_SCHEMA_VERSION,
+            self.shards.len(),
+            self.shards.len(),
+            m.requests.load(Ordering::Relaxed),
+            analyze,
+            m.ok.load(Ordering::Relaxed),
+            m.errors.load(Ordering::Relaxed),
+            m.overloaded.load(Ordering::Relaxed),
+            coalesced,
+            coalesce_rate,
+            hits,
+            misses,
+            m.response_evictions.load(Ordering::Relaxed),
+            hit_rate,
+            s.kernel_hits,
+            s.kernel_misses,
+            ev.kernel_evictions,
+            s.machine_hits,
+            s.machine_misses,
+            ev.machine_evictions,
+            self.opts.queue * self.shards.len(),
+            m.queue_depth.load(Ordering::Relaxed),
+            m.queue_peak.load(Ordering::Relaxed),
+            h.count,
+            h.mean(),
+            h.quantile(0.50),
+            h.quantile(0.99),
+            if h.count == 0 { 0 } else { h.max },
+        )
+    }
+}
+
+/// Resolve the request's machine selection to a cache-key token. A
+/// machine file is read here (submit time) and content-hashed, so an
+/// edited file is a different key and a vanished file fails fast.
+fn machine_token(sel: &MachineSel) -> Result<(String, MachineToken), Error> {
+    match sel.chosen()? {
+        MachineRef::Model(id) => Ok((format!("model:{id}"), MachineToken::Model(id.clone()))),
+        MachineRef::File(path) => {
+            let json = std::fs::read_to_string(path).map_err(|e| Error::io(path.as_str(), &e))?;
+            let key = format!("file:{:016x}", fnv1a(json.as_bytes()));
+            Ok((key, MachineToken::File(json)))
+        }
+    }
+}
+
+/// Deliver a response frame without stalling the shard: try the
+/// bounded outbound queue first and fall back to a detached blocking
+/// sender for a slow-but-alive reader. At most queue-capacity jobs are
+/// in flight per shard, so the fallback threads are bounded too.
+fn deliver(tx: &SyncSender<String>, frame: String) {
+    match tx.try_send(frame) {
+        Ok(()) => {}
+        Err(TrySendError::Full(frame)) => {
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let _ = tx.send(frame);
+            });
+        }
+        Err(TrySendError::Disconnected(_)) => {}
+    }
+}
+
+/// Run one analysis: machine through the bounded machine cache, kernel
+/// through the bounded kernel cache, report through the same
+/// deterministic path as `analyze --json` (timings zeroed).
+fn compute(shared: &Shared, payload: &Payload) -> Result<String, Error> {
+    let machine = match &payload.token {
+        MachineToken::Model(id) => std::sync::Arc::new(
+            uarch::registry::machine(id)
+                .ok_or_else(|| Error::usage(format!("unknown registry id `{id}`")))?,
+        ),
+        MachineToken::File(json) => shared.cache.machine(json)?,
+    };
+    let kernel = shared
+        .cache
+        .kernel(&payload.asm, machine.isa)
+        .map_err(|e| e.with_context(payload.label.as_str()))?;
+    let (report, _timings) =
+        crate::analyze_report(&machine, &payload.label, &kernel, payload.flags);
+    Ok(report.to_json())
+}
+
+fn worker(shared: &Shared, index: usize, rx: Receiver<Job>) {
+    while let Ok(job) = rx.recv() {
+        let key = match job {
+            Job::Stop => break,
+            Job::Run(key) => key,
+        };
+        shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let shard = &shared.shards[index];
+        let payload = {
+            let inflight = shard.inflight.lock().expect("inflight map poisoned");
+            inflight
+                .get(&key)
+                .map(|p| p.payload.clone())
+                .expect("job enqueued under the inflight lock")
+        };
+        let start = Instant::now();
+        if shared.opts.throttle_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(shared.opts.throttle_ms));
+        }
+        let result = compute(shared, &payload);
+        if let Ok(report) = &result {
+            let evicted = shared
+                .responses
+                .lock()
+                .expect("response cache poisoned")
+                .insert(key.clone(), std::sync::Arc::new(report.clone()));
+            if evicted > 0 {
+                Metrics::bump(
+                    &shared.metrics.response_evictions,
+                    evicted,
+                    "serve.response_evictions",
+                );
+            }
+        }
+        let waiters = shard
+            .inflight
+            .lock()
+            .expect("inflight map poisoned")
+            .remove(&key)
+            .map(|p| p.waiters)
+            .unwrap_or_default();
+        for w in &waiters {
+            let frame = match &result {
+                Ok(report) => proto::render_analyze_ok(w.id, report),
+                Err(e) => proto::render_error(w.id, e),
+            };
+            deliver(&w.tx, frame);
+        }
+        let n = waiters.len() as u64;
+        match &result {
+            Ok(_) => Metrics::bump(&shared.metrics.ok, n, "serve.ok"),
+            Err(_) => Metrics::bump(&shared.metrics.errors, n, "serve.errors"),
+        }
+        let us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        shared
+            .metrics
+            .service_us
+            .lock()
+            .expect("service histogram poisoned")
+            .record(us);
+        if obs::enabled() {
+            obs::observe("serve.service_time_us", us);
+        }
+    }
+}
+
+/// Route an `analyze` request: response cache, then coalesce onto an
+/// identical in-flight computation, then enqueue — or reject with an
+/// explicit `overloaded` error when the shard's bounded queue is full.
+fn submit(shared: &Shared, conn_tx: &SyncSender<String>, req: AnalyzeRequest) {
+    Metrics::bump(&shared.metrics.analyze, 1, "serve.analyze");
+    let sel = if req.sel.is_empty() {
+        &shared.opts.sel
+    } else {
+        &req.sel
+    };
+    let (machine_key, token) = match machine_token(sel) {
+        Ok(t) => t,
+        Err(e) => {
+            Metrics::bump(&shared.metrics.errors, 1, "serve.errors");
+            let _ = conn_tx.send(proto::render_error(req.id, &e));
+            return;
+        }
+    };
+    let key = Key {
+        asm: req.asm.clone(),
+        label: req.label.clone(),
+        machine: machine_key,
+        flags: flag_bits(req.flags),
+    };
+    if let Some(report) = shared
+        .responses
+        .lock()
+        .expect("response cache poisoned")
+        .get(&key)
+    {
+        Metrics::bump(&shared.metrics.response_hits, 1, "serve.response_hits");
+        Metrics::bump(&shared.metrics.ok, 1, "serve.ok");
+        let _ = conn_tx.send(proto::render_analyze_ok(req.id, &report));
+        return;
+    }
+    Metrics::bump(&shared.metrics.response_misses, 1, "serve.response_misses");
+    let shard = &shared.shards[key.shard(shared.shards.len())];
+    let waiter = Waiter {
+        id: req.id,
+        tx: conn_tx.clone(),
+    };
+    // The inflight lock is held across the queue submission: a worker
+    // cannot observe (and answer) the job before its entry exists, and
+    // a coalescing request cannot land between the try_send and the
+    // insert.
+    let mut inflight = shard.inflight.lock().expect("inflight map poisoned");
+    if let Some(pending) = inflight.get_mut(&key) {
+        Metrics::bump(&shared.metrics.coalesced, 1, "serve.coalesced");
+        pending.waiters.push(waiter);
+        return;
+    }
+    // The depth gauge must rise before the job is visible to a worker:
+    // the worker's decrement on dequeue would otherwise race ahead of
+    // the increment and drive the gauge below zero.
+    let depth = shared.metrics.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+    shared
+        .metrics
+        .queue_peak
+        .fetch_max(depth, Ordering::Relaxed);
+    match shard.tx.try_send(Job::Run(key.clone())) {
+        Ok(()) => {
+            inflight.insert(
+                key,
+                Pending {
+                    payload: Payload {
+                        label: req.label,
+                        asm: req.asm,
+                        flags: req.flags,
+                        token,
+                    },
+                    waiters: vec![waiter],
+                },
+            );
+        }
+        Err(_) => {
+            // Full (backpressure) or disconnected (drain already passed
+            // the Stop sentinel): either way, an explicit retry hint
+            // instead of unbounded queueing.
+            shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            Metrics::bump(&shared.metrics.overloaded, 1, "serve.overloaded");
+            let _ = conn_tx.send(proto::render_error(
+                req.id,
+                &Error::overloaded(RETRY_AFTER_MS),
+            ));
+        }
+    }
+}
+
+fn handle(shared: &Shared, conn_tx: &SyncSender<String>, line: &str) {
+    Metrics::bump(&shared.metrics.requests, 1, "serve.requests");
+    match proto::parse_request(line) {
+        Err(e) => {
+            Metrics::bump(&shared.metrics.errors, 1, "serve.errors");
+            let _ = conn_tx.send(proto::render_error(0, &e));
+        }
+        Ok(Request::Ping { id }) => {
+            let _ = conn_tx.send(proto::render_pong(id));
+        }
+        Ok(Request::Metrics { id }) => {
+            let _ = conn_tx.send(proto::render_metrics(id, &shared.metrics_json()));
+        }
+        Ok(Request::Shutdown { id }) => {
+            let _ = conn_tx.send(proto::render_shutdown_ack(id));
+            shared.begin_drain();
+        }
+        Ok(Request::Analyze(req)) => submit(shared, conn_tx, req),
+    }
+}
+
+/// Serve one connection: a reader parsing frames and submitting work,
+/// plus a writer draining the bounded outbound queue, so responses
+/// (including coalesced ones computed on another connection's request)
+/// never interleave mid-frame. Returns when the peer closes, the read
+/// half is shut down by a drain, or the socket errors.
+fn connection(shared: &Shared, stream: TcpStream) {
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx) = mpsc::sync_channel::<String>(OUTBOUND_FRAMES);
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            let mut w = BufWriter::new(writer_stream);
+            while let Ok(frame) = rx.recv() {
+                if w.write_all(frame.as_bytes()).is_err() || w.flush().is_err() {
+                    break;
+                }
+            }
+        });
+        let mut frames = FrameReader::new(BufReader::new(&stream), shared.opts.max_request_bytes);
+        loop {
+            match frames.next_frame() {
+                Ok(None) => break,
+                Ok(Some(line)) => handle(shared, &tx, &line),
+                Err(e) if e.kind() == ErrorKind::Io => break,
+                Err(e) => {
+                    // Oversized / non-UTF-8 frame: answer and keep the
+                    // connection (the reader already resynced).
+                    Metrics::bump(&shared.metrics.requests, 1, "serve.requests");
+                    Metrics::bump(&shared.metrics.errors, 1, "serve.errors");
+                    let _ = tx.send(proto::render_error(0, &e));
+                }
+            }
+        }
+        drop(tx);
+        // The scope joins the writer once every waiter holding a sender
+        // clone has delivered its response — the graceful-drain bound.
+    });
+}
+
+/// Run the server on an already-bound listener until a `shutdown`
+/// request drains it. This is the whole lifetime: worker shards and
+/// connection threads live in scopes, so returning proves everything
+/// joined.
+pub fn serve_on(listener: TcpListener, opts: ServeOpts) -> Result<ServeSummary, Error> {
+    let addr = listener
+        .local_addr()
+        .map_err(|e| Error::io(opts.addr.as_str(), &e))?;
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        opts.threads
+    };
+    let mut shards = Vec::with_capacity(threads);
+    let mut receivers = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let (tx, rx) = mpsc::sync_channel::<Job>(opts.queue);
+        shards.push(Shard {
+            tx,
+            inflight: Mutex::new(HashMap::new()),
+        });
+        receivers.push(rx);
+    }
+    let shared = Shared {
+        cache: engine::CorpusCache::bounded(opts.cache),
+        responses: Mutex::new(engine::Lru::bounded(opts.cache)),
+        metrics: Metrics::default(),
+        draining: AtomicBool::new(false),
+        conns: Mutex::new(Vec::new()),
+        addr,
+        opts,
+        shards,
+    };
+    let shared = &shared;
+    rayon::scope(|workers| {
+        for (index, rx) in receivers.into_iter().enumerate() {
+            workers.spawn(move || worker(shared, index, rx));
+        }
+        std::thread::scope(|conns| {
+            loop {
+                let stream = match listener.accept() {
+                    Ok((stream, _)) => stream,
+                    Err(_) => {
+                        if shared.draining() {
+                            break;
+                        }
+                        continue;
+                    }
+                };
+                if shared.draining() {
+                    break;
+                }
+                if let Ok(read_half) = stream.try_clone() {
+                    shared
+                        .conns
+                        .lock()
+                        .expect("conn registry poisoned")
+                        .push(read_half);
+                }
+                conns.spawn(move || connection(shared, stream));
+            }
+            // The scope joins every connection: all accepted requests
+            // are answered (or rejected) before the workers stop.
+        });
+        for shard in &shared.shards {
+            let _ = shard.tx.send(Job::Stop);
+        }
+    });
+    Ok(shared.summary())
+}
+
+/// Bind and run the server in the foreground (the `incore-cli serve`
+/// subcommand). Prints the bound address first so scripts driving
+/// `--addr 127.0.0.1:0` can discover the port, then blocks until a
+/// `shutdown` request drains the server.
+pub fn run_serve(opts: ServeOpts, out: &mut dyn Write) -> Result<ServeSummary, Error> {
+    let listener = TcpListener::bind(&opts.addr).map_err(|e| Error::io(opts.addr.as_str(), &e))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| Error::io(opts.addr.as_str(), &e))?;
+    writeln!(out, "listening on {addr}").map_err(|e| Error::io("<stdout>", &e))?;
+    out.flush().map_err(|e| Error::io("<stdout>", &e))?;
+    let summary = serve_on(listener, opts)?;
+    write!(out, "{}", summary.render()).map_err(|e| Error::io("<stdout>", &e))?;
+    Ok(summary)
+}
+
+/// An in-process server for tests and the load-generator bench: the
+/// accept loop runs on its own thread, [`ServerHandle::shutdown`]
+/// drives the drain protocol and returns the summary.
+pub struct ServerHandle {
+    pub addr: SocketAddr,
+    thread: std::thread::JoinHandle<Result<ServeSummary, Error>>,
+}
+
+impl ServerHandle {
+    pub fn start(opts: ServeOpts) -> Result<ServerHandle, Error> {
+        let listener =
+            TcpListener::bind(&opts.addr).map_err(|e| Error::io(opts.addr.as_str(), &e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| Error::io(opts.addr.as_str(), &e))?;
+        let thread = std::thread::spawn(move || serve_on(listener, opts));
+        Ok(ServerHandle { addr, thread })
+    }
+
+    /// Request a graceful drain and wait for the server to finish.
+    pub fn shutdown(self) -> Result<ServeSummary, Error> {
+        let stream = TcpStream::connect(self.addr).map_err(|e| Error::io("<shutdown>", &e))?;
+        {
+            let mut w = &stream;
+            w.write_all(b"{\"type\":\"shutdown\"}\n")
+                .map_err(|e| Error::io("<shutdown>", &e))?;
+        }
+        let mut ack = String::new();
+        let _ = BufReader::new(&stream).read_line(&mut ack);
+        drop(stream);
+        self.thread
+            .join()
+            .map_err(|_| Error::protocol("server thread panicked"))?
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests over the serve wire codec: framing round-trips any
+//! newline-free line under the size cap, arbitrary byte soup never
+//! panics the reader or the request parser (every failure is a typed
+//! [`cli::Error`]), and rendered error frames are always valid JSON
+//! with the stable machine-readable kind.
+
+use std::io::BufReader;
+
+use cli::proto::{self, FrameReader};
+use cli::{Error, ErrorKind};
+use proptest::prelude::*;
+
+fn read_all(bytes: &[u8], max: usize) -> Vec<Result<String, ErrorKind>> {
+    let mut frames = FrameReader::new(BufReader::new(bytes), max);
+    let mut out = Vec::new();
+    loop {
+        match frames.next_frame() {
+            Ok(None) => break,
+            Ok(Some(line)) => out.push(Ok(line)),
+            Err(e) => out.push(Err(e.kind())),
+        }
+        assert!(out.len() <= bytes.len() + 1, "reader must make progress");
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn frames_round_trip_lines_under_the_cap(
+        lines in prop::collection::vec("[ -~]{0,40}", 0..8),
+    ) {
+        let mut wire = String::new();
+        for l in &lines {
+            wire.push_str(l);
+            wire.push('\n');
+        }
+        let got = read_all(wire.as_bytes(), 64);
+        prop_assert_eq!(got.len(), lines.len());
+        for (g, want) in got.iter().zip(&lines) {
+            prop_assert_eq!(g.as_ref().ok(), Some(want));
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_reader(
+        bytes in prop::collection::vec(0u16..256, 0..200),
+        max in 1usize..64,
+    ) {
+        let bytes: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        for r in read_all(&bytes, max) {
+            if let Err(kind) = r {
+                // The only failure a byte soup can produce is a typed
+                // protocol error (oversize or invalid UTF-8).
+                prop_assert_eq!(kind, ErrorKind::Protocol);
+            }
+        }
+    }
+
+    #[test]
+    fn arbitrary_text_never_panics_the_request_parser(
+        line in "[ -~]{0,80}",
+    ) {
+        match proto::parse_request(&line) {
+            Ok(req) => {
+                // Anything accepted must expose a well-defined id.
+                let _ = req.id();
+            }
+            Err(e) => prop_assert!(
+                matches!(e.kind(), ErrorKind::Protocol | ErrorKind::Usage),
+                "unexpected kind {:?} for {:?}",
+                e.kind(),
+                line
+            ),
+        }
+    }
+
+    #[test]
+    fn error_frames_are_always_valid_json_with_a_stable_kind(
+        message in "[ -~]{0,60}",
+        id in 0u64..1000,
+        retry in 1u64..500,
+    ) {
+        for e in [Error::protocol(message.clone()), Error::overloaded(retry)] {
+            let frame = proto::render_error(id, &e);
+            prop_assert!(frame.ends_with('\n'));
+            let v: serde_json::Value = serde_json::from_str(frame.trim_end())
+                .expect("error frames must parse");
+            let o = v.as_object().unwrap();
+            prop_assert_eq!(o.get("id").unwrap().as_u64(), Some(id));
+            prop_assert_eq!(o.get("ok").unwrap().as_bool(), Some(false));
+            let err = o.get("error").unwrap().as_object().unwrap();
+            prop_assert_eq!(
+                err.get("kind").unwrap().as_str(),
+                Some(e.kind().label())
+            );
+        }
+    }
+
+    #[test]
+    fn analyze_ok_frames_recover_the_exact_report(
+        body in "[ -~]{0,60}",
+        id in 0u64..1000,
+    ) {
+        // The report is opaque bytes as far as the envelope is
+        // concerned; splice-out must recover it exactly.
+        let report = format!(
+            "{{\"x\":{}}}",
+            serde_json::to_string(&body.clone()).unwrap()
+        );
+        let frame = proto::render_analyze_ok(id, &report);
+        prop_assert_eq!(proto::extract_report(&frame), Some(report.as_str()));
+    }
+}

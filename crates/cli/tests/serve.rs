@@ -1,0 +1,314 @@
+//! End-to-end tests of `incore-cli serve`: concurrent clients get
+//! responses byte-identical to the single-shot `analyze --json` path,
+//! coalescing and the response cache are observable only through the
+//! metrics (never through the bytes), a slow reader trips the bounded
+//! queue into explicit overload instead of unbounded buffering, and a
+//! drained server accounts for every request it accepted.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use cli::serve::{ServeOpts, ServerHandle};
+use cli::{proto, AnalyzeFlags, MachineSel};
+
+/// A handful of real corpus kernels for one machine, as (label, asm).
+fn corpus_kernels(machine: &uarch::Machine, n: usize) -> Vec<(String, String)> {
+    kernels::variants_for(machine.arch)
+        .iter()
+        .take(n)
+        .map(|v| (v.label(), kernels::generate(v, machine)))
+        .collect()
+}
+
+fn analyze_frame(id: u64, label: &str, asm: &str, arch: &str, mca: bool) -> String {
+    format!(
+        "{{\"type\":\"analyze\",\"id\":{id},\"label\":{},\"asm\":{},\"arch\":\"{arch}\",\"mca\":{mca}}}\n",
+        serde_json::to_string(&label.to_string()).unwrap(),
+        serde_json::to_string(&asm.to_string()).unwrap(),
+    )
+}
+
+/// Send `frames` on one connection, then read `expect` response lines.
+fn roundtrip(addr: std::net::SocketAddr, frames: &[String], expect: usize) -> Vec<String> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    for f in frames {
+        stream.write_all(f.as_bytes()).expect("write");
+    }
+    let mut reader = BufReader::new(stream);
+    let mut out = Vec::with_capacity(expect);
+    for _ in 0..expect {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read");
+        assert!(n > 0, "server closed early after {} responses", out.len());
+        out.push(line);
+    }
+    out
+}
+
+fn response_id(frame: &str) -> u64 {
+    let v: serde_json::Value = serde_json::from_str(frame.trim_end()).unwrap();
+    v.as_object()
+        .and_then(|o| o.get("id"))
+        .and_then(|id| id.as_u64())
+        .expect("response carries the request id")
+}
+
+fn error_kind(frame: &str) -> Option<String> {
+    let v: serde_json::Value = serde_json::from_str(frame.trim_end()).ok()?;
+    let o = v.as_object()?;
+    if o.get("ok")?.as_bool()? {
+        return None;
+    }
+    Some(
+        o.get("error")?
+            .as_object()?
+            .get("kind")?
+            .as_str()?
+            .to_string(),
+    )
+}
+
+#[test]
+fn concurrent_clients_get_reports_byte_identical_to_analyze_json() {
+    let machine = uarch::Machine::golden_cove();
+    let kernels = corpus_kernels(&machine, 6);
+    let flags = AnalyzeFlags {
+        mca: true,
+        ..AnalyzeFlags::default()
+    };
+    // The golden bytes: the deterministic single-shot analyze --json
+    // report (timings zeroed) for every kernel.
+    let golden: Vec<String> = kernels
+        .iter()
+        .map(|(label, asm)| {
+            cli::analyze_report_json(&machine, label, asm, flags)
+                .unwrap()
+                .trim_end()
+                .to_string()
+        })
+        .collect();
+    let server = ServerHandle::start(ServeOpts {
+        threads: 4,
+        queue: 64,
+        cache: 256,
+        ..ServeOpts::default()
+    })
+    .expect("server starts");
+    let addr = server.addr;
+    let clients = 4;
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let kernels = &kernels;
+            let golden = &golden;
+            s.spawn(move || {
+                // Each client shuffles the kernel order differently (a
+                // rotation) and tags requests with id = kernel index.
+                let order: Vec<usize> = (0..kernels.len())
+                    .map(|i| (i + c) % kernels.len())
+                    .collect();
+                let frames: Vec<String> = order
+                    .iter()
+                    .map(|&i| analyze_frame(i as u64, &kernels[i].0, &kernels[i].1, "spr", true))
+                    .collect();
+                for frame in roundtrip(addr, &frames, frames.len()) {
+                    let id = response_id(&frame) as usize;
+                    assert_eq!(error_kind(&frame), None, "unexpected failure: {frame}");
+                    let report = proto::extract_report(&frame).expect("ok response has a report");
+                    assert_eq!(report, golden[id], "kernel {id} bytes must match");
+                }
+            });
+        }
+    });
+    let summary = server.shutdown().expect("graceful drain");
+    assert_eq!(summary.analyze, (clients * kernels.len()) as u64);
+    assert_eq!(summary.ok, summary.analyze);
+    assert_eq!(summary.errors, 0);
+    assert_eq!(summary.overloaded, 0);
+    // Every request either replayed from the cache or looked like a
+    // miss (coalesced requests are misses that then shared an in-flight
+    // computation) — and the 4x duplication guarantees sharing.
+    assert_eq!(
+        summary.response_hits + summary.response_misses,
+        summary.analyze
+    );
+    assert!(summary.coalesced <= summary.response_misses);
+    assert!(
+        summary.response_hits + summary.coalesced > 0,
+        "duplicate kernels across clients must share work: {summary:?}"
+    );
+}
+
+#[test]
+fn identical_inflight_requests_coalesce_and_cached_responses_replay() {
+    let server = ServerHandle::start(ServeOpts {
+        threads: 1,
+        queue: 16,
+        cache: 64,
+        throttle_ms: 150,
+        ..ServeOpts::default()
+    })
+    .expect("server starts");
+    let addr = server.addr;
+    let asm = ".L1:\n vaddpd %ymm1, %ymm2, %ymm3\n subq $1, %rax\n jne .L1\n";
+    let frame = analyze_frame(7, "k.s", asm, "spr", false);
+    // Client A starts the computation (throttled to 150 ms), client B
+    // lands the identical request while it is in flight.
+    let (a, b) = std::thread::scope(|s| {
+        let ha = s.spawn(|| roundtrip(addr, &[frame.clone()], 1).remove(0));
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        let hb = s.spawn(|| roundtrip(addr, &[frame.clone()], 1).remove(0));
+        (ha.join().unwrap(), hb.join().unwrap())
+    });
+    assert_eq!(a, b, "coalesced waiters share one result verbatim");
+    // A third request after completion replays from the response cache.
+    let c = roundtrip(addr, &[frame.clone()], 1).remove(0);
+    assert_eq!(a, c, "cache replay is byte-identical");
+    // The sharing is visible in the metrics, not in the responses.
+    let metrics = roundtrip(addr, &["{\"type\":\"metrics\",\"id\":1}\n".to_string()], 1).remove(0);
+    let v: serde_json::Value = serde_json::from_str(metrics.trim_end()).unwrap();
+    let m = v
+        .as_object()
+        .unwrap()
+        .get("metrics")
+        .unwrap()
+        .as_object()
+        .unwrap();
+    let requests = m.get("requests").unwrap().as_object().unwrap();
+    assert_eq!(requests.get("coalesced").unwrap().as_u64(), Some(1));
+    let cache = m.get("cache").unwrap().as_object().unwrap();
+    assert_eq!(cache.get("response_hits").unwrap().as_u64(), Some(1));
+    let summary = server.shutdown().expect("graceful drain");
+    assert_eq!(summary.coalesced, 1);
+    assert_eq!(summary.response_hits, 1);
+    assert_eq!(
+        summary.response_misses, 2,
+        "A missed; B coalesced before caching"
+    );
+}
+
+#[test]
+fn slow_reader_hits_bounded_queue_overload_not_unbounded_buffering() {
+    let server = ServerHandle::start(ServeOpts {
+        threads: 1,
+        queue: 2,
+        cache: 64,
+        throttle_ms: 150,
+        ..ServeOpts::default()
+    })
+    .expect("server starts");
+    let total = 12;
+    let mut stream = TcpStream::connect(server.addr).expect("connect");
+    // Pipeline 12 *distinct* kernels (no coalescing, no cache hits)
+    // without reading a single response: 1 computing + 2 queued fit,
+    // the rest must be rejected with an explicit overload error.
+    for i in 0..total {
+        let asm = format!(".L1:\n addq ${i}, %rax\n jne .L1\n");
+        let frame = analyze_frame(i as u64, &format!("k{i}.s"), &asm, "spr", false);
+        stream.write_all(frame.as_bytes()).expect("write");
+    }
+    let mut reader = BufReader::new(stream);
+    let (mut ok, mut overloaded) = (0u64, 0u64);
+    for _ in 0..total {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).expect("read") > 0);
+        match error_kind(&line) {
+            None => ok += 1,
+            Some(kind) => {
+                assert_eq!(kind, "overloaded", "{line}");
+                let v: serde_json::Value = serde_json::from_str(line.trim_end()).unwrap();
+                let err = v.as_object().unwrap().get("error").unwrap();
+                assert!(
+                    err.as_object()
+                        .unwrap()
+                        .get("retry_after_ms")
+                        .unwrap()
+                        .as_u64()
+                        > Some(0),
+                    "overload carries a retry hint: {line}"
+                );
+                overloaded += 1;
+            }
+        }
+    }
+    assert!(ok >= 3, "the queue bound admits at least capacity+1: {ok}");
+    assert!(overloaded >= 1, "the rest must be shed, not buffered");
+    assert_eq!(ok + overloaded, total as u64);
+    let summary = server.shutdown().expect("graceful drain");
+    assert_eq!(summary.ok, ok);
+    assert_eq!(summary.overloaded, overloaded);
+}
+
+#[test]
+fn malformed_frames_answer_with_stable_kinds_and_keep_the_connection() {
+    let server = ServerHandle::start(ServeOpts {
+        threads: 1,
+        queue: 4,
+        max_request_bytes: 512,
+        ..ServeOpts::default()
+    })
+    .expect("server starts");
+    let huge = format!(
+        "{{\"type\":\"analyze\",\"asm\":\"{}\"}}\n",
+        "x".repeat(2048)
+    );
+    let frames = vec![
+        "this is not json\n".to_string(),
+        "{\"type\":\"frobnicate\",\"id\":1}\n".to_string(),
+        "{\"type\":\"analyze\",\"id\":2}\n".to_string(),
+        "{\"type\":\"analyze\",\"id\":3,\"asm\":\"nop\",\"arch\":\"m1\"}\n".to_string(),
+        huge,
+        "{\"type\":\"ping\",\"id\":4}\n".to_string(),
+    ];
+    let responses = roundtrip(server.addr, &frames, frames.len());
+    let kinds: Vec<Option<String>> = responses.iter().map(|r| error_kind(r)).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            Some("protocol".into()),
+            Some("protocol".into()),
+            Some("protocol".into()),
+            Some("usage".into()), // unknown machine: same kind as the CLI
+            Some("protocol".into()),
+            None, // the ping still answers: the connection survived it all
+        ],
+        "{responses:?}"
+    );
+    let pong: serde_json::Value =
+        serde_json::from_str(responses.last().unwrap().trim_end()).unwrap();
+    assert_eq!(
+        pong.as_object()
+            .unwrap()
+            .get("pong")
+            .and_then(|p| p.as_bool()),
+        Some(true)
+    );
+    let summary = server.shutdown().expect("graceful drain");
+    assert_eq!(
+        summary.requests,
+        frames.len() as u64 + 1,
+        "plus the shutdown"
+    );
+    assert_eq!(summary.errors, 5);
+}
+
+#[test]
+fn server_side_default_machine_comes_from_the_shared_selection() {
+    let server = ServerHandle::start(ServeOpts {
+        threads: 1,
+        queue: 4,
+        sel: MachineSel::model("golden-cove"),
+        ..ServeOpts::default()
+    })
+    .expect("server starts");
+    let asm = ".L1:\n vaddpd %ymm1, %ymm2, %ymm3\n subq $1, %rax\n jne .L1\n";
+    // No machine in the request: the server's --arch default applies.
+    let frame = format!(
+        "{{\"type\":\"analyze\",\"id\":9,\"label\":\"k.s\",\"asm\":{}}}\n",
+        serde_json::to_string(&asm.to_string()).unwrap()
+    );
+    let response = roundtrip(server.addr, &[frame], 1).remove(0);
+    let machine = uarch::Machine::golden_cove();
+    let golden = cli::analyze_report_json(&machine, "k.s", asm, AnalyzeFlags::default()).unwrap();
+    assert_eq!(proto::extract_report(&response), Some(golden.trim_end()));
+    server.shutdown().expect("graceful drain");
+}

@@ -1,4 +1,4 @@
-//! Content-keyed memoization for the batch pipeline.
+//! Content-keyed memoization for the batch pipeline and the server.
 //!
 //! The corpus run decodes each distinct kernel text **once** and shares
 //! the parsed [`isa::Kernel`] across every predictor (and across machines
@@ -13,9 +13,16 @@
 //! regardless of thread count: exactly one miss per distinct key (the
 //! slot's creator), a hit for every other lookup — which is what lets the
 //! stats ride along in the byte-identical JSON report.
+//!
+//! A batch `validate` run uses the default **unbounded** cache (the corpus
+//! is finite and the run is one-shot), so its [`CacheStats`] and the
+//! BatchReport JSON they ride in are unchanged. The long-running server
+//! uses [`CorpusCache::bounded`], which adds LRU eviction on top of the
+//! same slots; evictions are counted separately (and exported through
+//! `obs`) rather than widening the serialized `CacheStats`.
 
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -24,7 +31,11 @@ use serde::Serialize;
 
 type Slot<T> = Arc<OnceLock<Result<Arc<T>, Error>>>;
 
-/// Hit/miss counters, serialized into the batch report.
+/// Hit/miss counters, serialized into the batch report. Deliberately
+/// *not* widened with eviction counts: this struct is part of the
+/// versioned BatchReport schema, and batch runs never evict. Use
+/// [`CorpusCache::evictions`] (or the `engine.cache.*_evictions` obs
+/// counters) for the server-side eviction trajectory.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct CacheStats {
     pub kernel_hits: u64,
@@ -33,35 +44,190 @@ pub struct CacheStats {
     pub machine_misses: u64,
 }
 
+/// Eviction counters of a bounded [`CorpusCache`] (always zero for the
+/// default unbounded cache).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvictionStats {
+    pub kernel_evictions: u64,
+    pub machine_evictions: u64,
+}
+
+/// A least-recently-used map: `get` refreshes recency, `insert` evicts
+/// the stalest entries once `capacity` is exceeded. Recency is a
+/// monotonic tick per touch, indexed through a `BTreeMap` so the oldest
+/// key is always the first entry — deterministic for a deterministic
+/// access sequence, which keeps cache behavior reproducible in tests.
+///
+/// Not internally synchronized: callers wrap it in a `Mutex` (see
+/// [`CorpusCache`]) and the server's response cache.
+#[derive(Debug, Default)]
+pub struct Lru<K, V> {
+    map: HashMap<K, (V, u64)>,
+    recency: BTreeMap<u64, K>,
+    tick: u64,
+    capacity: Option<usize>,
+}
+
+impl<K: Eq + Hash + Clone, V> Lru<K, V> {
+    /// An unbounded map (never evicts).
+    pub fn unbounded() -> Self {
+        Lru {
+            map: HashMap::new(),
+            recency: BTreeMap::new(),
+            tick: 0,
+            capacity: None,
+        }
+    }
+
+    /// A map that holds at most `capacity` entries. A capacity of zero
+    /// retains nothing (every insert immediately evicts).
+    pub fn bounded(capacity: usize) -> Self {
+        Lru {
+            capacity: Some(capacity),
+            ..Lru::unbounded()
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `None` means unbounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        let tick = self.next_tick();
+        let (value, old) = self.map.get_mut(key)?;
+        let stale = std::mem::replace(old, tick);
+        let entry = self
+            .recency
+            .remove(&stale)
+            .expect("recency index tracks every live entry");
+        self.recency.insert(tick, entry);
+        Some(value.clone())
+    }
+
+    /// Insert (or replace) `key`, evicting least-recently-used entries
+    /// past the capacity. Returns how many entries were evicted.
+    pub fn insert(&mut self, key: K, value: V) -> u64 {
+        let tick = self.next_tick();
+        if let Some((slot, old)) = self.map.get_mut(&key) {
+            *slot = value;
+            let stale = std::mem::replace(old, tick);
+            let entry = self
+                .recency
+                .remove(&stale)
+                .expect("recency index tracks every live entry");
+            self.recency.insert(tick, entry);
+            return 0;
+        }
+        self.map.insert(key.clone(), (value, tick));
+        self.recency.insert(tick, key);
+        let mut evicted = 0;
+        if let Some(cap) = self.capacity {
+            while self.map.len() > cap {
+                let (&stale, _) = self
+                    .recency
+                    .iter()
+                    .next()
+                    .expect("map is non-empty, so is the recency index");
+                let victim = self
+                    .recency
+                    .remove(&stale)
+                    .expect("key just observed in the index");
+                self.map.remove(&victim);
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+}
+
 /// Thread-safe content-keyed caches for parsed kernels and imported
-/// machine models.
-#[derive(Default)]
+/// machine models. [`CorpusCache::new`] is unbounded (batch runs);
+/// [`CorpusCache::bounded`] adds LRU eviction for long-running servers.
 pub struct CorpusCache {
-    kernels: Mutex<HashMap<(isa::Isa, String), Slot<isa::Kernel>>>,
-    machines: Mutex<HashMap<String, Slot<uarch::Machine>>>,
+    kernels: Mutex<Lru<(isa::Isa, String), Slot<isa::Kernel>>>,
+    machines: Mutex<Lru<String, Slot<uarch::Machine>>>,
     kernel_hits: AtomicU64,
     kernel_misses: AtomicU64,
     machine_hits: AtomicU64,
     machine_misses: AtomicU64,
+    kernel_evictions: AtomicU64,
+    machine_evictions: AtomicU64,
+}
+
+impl Default for CorpusCache {
+    fn default() -> Self {
+        CorpusCache::new()
+    }
 }
 
 impl CorpusCache {
     pub fn new() -> Self {
-        CorpusCache::default()
+        CorpusCache::with_maps(Lru::unbounded(), Lru::unbounded())
+    }
+
+    /// A cache holding at most `capacity` parsed kernels and `capacity`
+    /// imported machines, with LRU eviction. Evicting a slot another
+    /// worker is still filling is safe — the slot is an `Arc`, so the
+    /// in-flight parse completes and is simply not shared further.
+    pub fn bounded(capacity: usize) -> Self {
+        CorpusCache::with_maps(Lru::bounded(capacity), Lru::bounded(capacity))
+    }
+
+    fn with_maps(
+        kernels: Lru<(isa::Isa, String), Slot<isa::Kernel>>,
+        machines: Lru<String, Slot<uarch::Machine>>,
+    ) -> Self {
+        CorpusCache {
+            kernels: Mutex::new(kernels),
+            machines: Mutex::new(machines),
+            kernel_hits: AtomicU64::new(0),
+            kernel_misses: AtomicU64::new(0),
+            machine_hits: AtomicU64::new(0),
+            machine_misses: AtomicU64::new(0),
+            kernel_evictions: AtomicU64::new(0),
+            machine_evictions: AtomicU64::new(0),
+        }
     }
 
     /// Parse `asm` for `isa`, reusing a previous parse of identical text.
     pub fn kernel(&self, asm: &str, isa: isa::Isa) -> Result<Arc<isa::Kernel>, Error> {
+        let key = (isa, asm.to_string());
         let slot = {
             let mut map = self.kernels.lock().expect("kernel cache poisoned");
-            match map.entry((isa, asm.to_string())) {
-                Entry::Occupied(e) => {
+            match map.get(&key) {
+                Some(slot) => {
                     self.kernel_hits.fetch_add(1, Ordering::Relaxed);
-                    e.get().clone()
+                    slot
                 }
-                Entry::Vacant(v) => {
+                None => {
                     self.kernel_misses.fetch_add(1, Ordering::Relaxed);
-                    v.insert(Arc::new(OnceLock::new())).clone()
+                    let slot: Slot<isa::Kernel> = Arc::new(OnceLock::new());
+                    let evicted = map.insert(key, slot.clone());
+                    if evicted > 0 {
+                        self.kernel_evictions.fetch_add(evicted, Ordering::Relaxed);
+                        if obs::enabled() {
+                            obs::counter("engine.cache.kernel_evictions", evicted);
+                        }
+                    }
+                    slot
                 }
             }
         };
@@ -78,14 +244,22 @@ impl CorpusCache {
     pub fn machine(&self, json: &str) -> Result<Arc<uarch::Machine>, Error> {
         let slot = {
             let mut map = self.machines.lock().expect("machine cache poisoned");
-            match map.entry(json.to_string()) {
-                Entry::Occupied(e) => {
+            match map.get(&json.to_string()) {
+                Some(slot) => {
                     self.machine_hits.fetch_add(1, Ordering::Relaxed);
-                    e.get().clone()
+                    slot
                 }
-                Entry::Vacant(v) => {
+                None => {
                     self.machine_misses.fetch_add(1, Ordering::Relaxed);
-                    v.insert(Arc::new(OnceLock::new())).clone()
+                    let slot: Slot<uarch::Machine> = Arc::new(OnceLock::new());
+                    let evicted = map.insert(json.to_string(), slot.clone());
+                    if evicted > 0 {
+                        self.machine_evictions.fetch_add(evicted, Ordering::Relaxed);
+                        if obs::enabled() {
+                            obs::counter("engine.cache.machine_evictions", evicted);
+                        }
+                    }
+                    slot
                 }
             }
         };
@@ -103,6 +277,13 @@ impl CorpusCache {
             kernel_misses: self.kernel_misses.load(Ordering::Relaxed),
             machine_hits: self.machine_hits.load(Ordering::Relaxed),
             machine_misses: self.machine_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn evictions(&self) -> EvictionStats {
+        EvictionStats {
+            kernel_evictions: self.kernel_evictions.load(Ordering::Relaxed),
+            machine_evictions: self.machine_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -123,6 +304,7 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.kernel_misses, 2);
         assert_eq!(s.kernel_hits, 1);
+        assert_eq!(cache.evictions(), EvictionStats::default());
     }
 
     #[test]
@@ -160,5 +342,52 @@ mod tests {
         let st = cache.stats();
         assert_eq!(st.kernel_misses, 1);
         assert_eq!(st.kernel_hits, 7);
+    }
+
+    #[test]
+    fn lru_evicts_stalest_entry_first() {
+        let mut lru: Lru<u32, u32> = Lru::bounded(2);
+        assert_eq!(lru.insert(1, 10), 0);
+        assert_eq!(lru.insert(2, 20), 0);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert_eq!(lru.get(&1), Some(10));
+        assert_eq!(lru.insert(3, 30), 1);
+        assert_eq!(lru.get(&2), None, "entry 2 was the stalest");
+        assert_eq!(lru.get(&1), Some(10));
+        assert_eq!(lru.get(&3), Some(30));
+        assert_eq!(lru.len(), 2);
+        // Replacing in place neither grows nor evicts.
+        assert_eq!(lru.insert(1, 11), 0);
+        assert_eq!(lru.get(&1), Some(11));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn bounded_kernel_cache_evicts_and_counts() {
+        let cache = CorpusCache::bounded(2);
+        let k1 = ".L1:\n addq $1, %rax\n jne .L1\n";
+        let k2 = ".L1:\n subq $1, %rax\n jne .L1\n";
+        let k3 = ".L1:\n addq $2, %rax\n jne .L1\n";
+        cache.kernel(k1, isa::Isa::X86).unwrap();
+        cache.kernel(k2, isa::Isa::X86).unwrap();
+        cache.kernel(k3, isa::Isa::X86).unwrap(); // evicts k1
+        assert_eq!(cache.evictions().kernel_evictions, 1);
+        // k1 is gone: the lookup re-parses (a miss, not a hit).
+        cache.kernel(k1, isa::Isa::X86).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.kernel_misses, 4);
+        assert_eq!(s.kernel_hits, 0);
+        assert_eq!(cache.evictions().kernel_evictions, 2);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = CorpusCache::new();
+        for i in 0..64 {
+            let asm = format!(".L1:\n addq ${i}, %rax\n jne .L1\n");
+            cache.kernel(&asm, isa::Isa::X86).unwrap();
+        }
+        assert_eq!(cache.evictions(), EvictionStats::default());
+        assert_eq!(cache.stats().kernel_misses, 64);
     }
 }

@@ -27,6 +27,12 @@ pub enum ErrorKind {
     Json,
     /// A validation gate failed (mean RPE or divergence over threshold).
     Threshold,
+    /// A malformed wire request (invalid frame, bad JSON, unknown type,
+    /// oversized payload) on the `serve` protocol.
+    Protocol,
+    /// The server's bounded queues are full; the client should back off
+    /// and retry.
+    Overloaded,
 }
 
 impl ErrorKind {
@@ -38,6 +44,8 @@ impl ErrorKind {
             ErrorKind::Io => "io",
             ErrorKind::Json => "json",
             ErrorKind::Threshold => "threshold",
+            ErrorKind::Protocol => "protocol",
+            ErrorKind::Overloaded => "overloaded",
         }
     }
 }
@@ -66,6 +74,12 @@ pub enum Error {
         value: f64,
         limit: f64,
     },
+    /// A malformed wire request on the `serve` protocol. The stable
+    /// [`ErrorKind::label`] (`"protocol"`) is what goes on the wire.
+    Protocol { message: String },
+    /// The server's bounded queues rejected the request; `retry_after_ms`
+    /// is the suggested client backoff.
+    Overloaded { retry_after_ms: u64 },
 }
 
 impl Error {
@@ -90,6 +104,26 @@ impl Error {
         }
     }
 
+    pub fn protocol(message: impl Into<String>) -> Self {
+        Error::Protocol {
+            message: message.into(),
+        }
+    }
+
+    pub fn overloaded(retry_after_ms: u64) -> Self {
+        Error::Overloaded { retry_after_ms }
+    }
+
+    /// The suggested client backoff of an [`Error::Overloaded`], `None`
+    /// for every other kind (what the wire layer serializes as
+    /// `retry_after_ms`).
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            Error::Overloaded { retry_after_ms } => Some(*retry_after_ms),
+            _ => None,
+        }
+    }
+
     pub fn kind(&self) -> ErrorKind {
         match self {
             Error::Usage { .. } => ErrorKind::Usage,
@@ -98,6 +132,8 @@ impl Error {
             Error::Io { .. } => ErrorKind::Io,
             Error::Json { .. } => ErrorKind::Json,
             Error::Threshold { .. } => ErrorKind::Threshold,
+            Error::Protocol { .. } => ErrorKind::Protocol,
+            Error::Overloaded { .. } => ErrorKind::Overloaded,
         }
     }
 
@@ -107,7 +143,11 @@ impl Error {
             Error::Parse { context, .. }
             | Error::MachineSpec { context, .. }
             | Error::Json { context, .. } => *context = ctx.into(),
-            Error::Io { .. } | Error::Usage { .. } | Error::Threshold { .. } => {}
+            Error::Io { .. }
+            | Error::Usage { .. }
+            | Error::Threshold { .. }
+            | Error::Protocol { .. }
+            | Error::Overloaded { .. } => {}
         }
         self
     }
@@ -157,6 +197,10 @@ impl fmt::Display for Error {
                 value,
                 limit,
             } => write!(f, "{metric} {value:.4} exceeds the limit {limit:.4}"),
+            Error::Protocol { message } => write!(f, "protocol error: {message}"),
+            Error::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded; retry after {retry_after_ms} ms")
+            }
         }
     }
 }
@@ -203,6 +247,21 @@ mod tests {
         assert_eq!(t.kind(), ErrorKind::Threshold);
         assert_eq!(t.exit_code(), 1);
         assert!(t.to_string().contains("0.5000"));
+    }
+
+    #[test]
+    fn protocol_and_overload_kinds_are_machine_readable() {
+        let p = Error::protocol("request exceeds 1048576 bytes");
+        assert_eq!(p.kind(), ErrorKind::Protocol);
+        assert_eq!(p.kind().label(), "protocol");
+        assert_eq!(p.exit_code(), 1);
+        assert_eq!(p.retry_after_ms(), None);
+        assert!(p.to_string().contains("1048576"));
+        let o = Error::overloaded(25);
+        assert_eq!(o.kind(), ErrorKind::Overloaded);
+        assert_eq!(o.kind().label(), "overloaded");
+        assert_eq!(o.retry_after_ms(), Some(25));
+        assert!(o.to_string().contains("25 ms"));
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod lint;
 pub mod report;
 pub mod session;
 
-pub use cache::{CacheStats, CorpusCache};
+pub use cache::{CacheStats, CorpusCache, EvictionStats, Lru};
 pub use error::{Error, ErrorKind};
 pub use lint::{lint_corpus, lint_corpus_machines};
 pub use report::{

@@ -333,6 +333,11 @@ impl Session {
             obs::counter("engine.cache.kernel_misses", c.kernel_misses);
             obs::counter("engine.cache.machine_hits", c.machine_hits);
             obs::counter("engine.cache.machine_misses", c.machine_misses);
+            // Always zero here (batch runs are unbounded) but exported so
+            // the counter set matches a bounded server-side cache.
+            let ev = cache.evictions();
+            obs::counter("engine.cache.kernel_evictions", ev.kernel_evictions);
+            obs::counter("engine.cache.machine_evictions", ev.machine_evictions);
         }
         Ok(report)
     }

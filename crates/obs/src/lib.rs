@@ -228,6 +228,28 @@ impl Histogram {
         }
     }
 
+    /// Approximate quantile `q` in `[0, 1]`: the lower bound of the
+    /// power-of-two bucket where the cumulative count reaches
+    /// `ceil(q * count)`, clamped to the exact recorded `[min, max]`.
+    /// With 2x-wide buckets the estimate is within 2x of the true value,
+    /// which is enough resolution for the serve metrics' p50/p99 —
+    /// consumers needing exact tails should record raw samples instead.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let lower = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                return lower.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
     /// Non-empty buckets as `(lower_bound, count)` pairs.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
         self.buckets
@@ -435,6 +457,28 @@ mod tests {
             h.nonzero_buckets(),
             vec![(0, 1), (1, 1), (2, 2), (4, 1), (512, 1)]
         );
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_the_distribution() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Bucketed estimate: within the power-of-two bucket of the true
+        // quantile, clamped to the recorded extremes.
+        let p50 = h.quantile(0.5);
+        assert!((32..=64).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((64..=100).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile(0.0), 1, "clamped to min");
+        assert_eq!(h.quantile(1.0), 64, "last bucket's lower bound");
+        // A single-valued histogram is exact at every quantile.
+        let mut one = Histogram::default();
+        one.record(42);
+        assert_eq!(one.quantile(0.5), 42);
+        assert_eq!(one.quantile(0.99), 42);
     }
 
     #[test]

@@ -103,6 +103,38 @@ impl ThreadPool {
     }
 }
 
+/// A scope for spawning long-lived worker tasks that may borrow from the
+/// enclosing stack frame (the subset of `rayon::scope` this workspace
+/// uses). All spawned tasks are joined before [`scope`] returns; a panic
+/// in any task propagates to the caller at the join.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a task on the scope's pool. Unlike real rayon the closure
+    /// does not receive the scope back — the workspace's spawners all
+    /// create their full task set up front.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.inner.spawn(f);
+    }
+}
+
+/// Run `f` with a [`Scope`] whose spawned tasks all join before `scope`
+/// returns. Backed by `std::thread::scope`: each spawn is an OS thread,
+/// which matches this stand-in's coarse-work trade-off (see the module
+/// docs) — the workspace spawns a handful of persistent workers, not
+/// fine-grained tasks.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
 /// Order-preserving parallel map: evaluate `f` over `items` on up to
 /// [`current_num_threads`] workers, returning results in item order.
 fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
@@ -304,6 +336,22 @@ mod tests {
             .unwrap()
             .install(|| v.into_par_iter().map(work).collect::<Vec<_>>());
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn scope_joins_spawned_tasks_and_allows_borrows() {
+        let counter = AtomicUsize::new(0);
+        let data = vec![1usize, 2, 3, 4];
+        let counter = &counter;
+        scope(|s| {
+            for &x in &data {
+                s.spawn(move || {
+                    counter.fetch_add(x, Ordering::Relaxed);
+                });
+            }
+        });
+        // Every task finished before scope returned.
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
     }
 
     #[test]
