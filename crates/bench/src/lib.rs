@@ -7,6 +7,7 @@ pub mod fig3;
 pub mod ibench;
 pub mod membench;
 pub mod obsbench;
+pub mod pipelinebench;
 pub mod servebench;
 pub mod simbench;
 pub mod tables;
@@ -15,5 +16,6 @@ pub use fig3::{rpe_corpus, RpeRecord};
 pub use ibench::{instruction_latency, instruction_throughput, table3};
 pub use membench::MemBenchReport;
 pub use obsbench::ObsBenchReport;
+pub use pipelinebench::PipelineBenchReport;
 pub use servebench::ServeBenchReport;
 pub use simbench::SimBenchReport;

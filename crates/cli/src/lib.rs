@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! incore-cli analyze <file.s> --arch <gcs|spr|genoa> [--balanced] [--mca] [--sim] [--timeline] [--trace] [--json]
-//! incore-cli validate [--arch <machine>]... [--threads N] [--limit N] [--json] [--threshold X] [--max-divergent N]
+//! incore-cli validate [--arch <machine>]... [--threads N] [--limit N] [--json] [--threshold X] [--max-divergent N] [--stream] [--cache-dir D] [--volume N]
 //! incore-cli explain <kernel> --arch <gcs|spr|genoa>
 //! incore-cli lint [file.s] [--arch <gcs|spr|genoa>] [--machine-file <m.json>] [--json] [--strict] [--sim]
 //! incore-cli machines
@@ -118,6 +118,15 @@ pub struct ValidateOpts {
     /// Record and emit an `obs` profile of the run (`--profile[=mode]`);
     /// also attaches the per-predictor `obs` summary to the JSON report.
     pub profile: Option<ProfileMode>,
+    /// Evaluate through the bounded-memory streaming pipeline
+    /// (`Session::run_streamed`) instead of the batch collector.
+    pub stream: bool,
+    /// Persist evaluated records under this directory and replay them on
+    /// identical reruns (`--cache-dir`).
+    pub cache_dir: Option<String>,
+    /// Use a generated volume corpus of N blocks per machine instead of
+    /// the standard validation grid (`--volume`).
+    pub volume: Option<usize>,
 }
 
 /// What `analyze` should run and render, beyond the basic in-core model.
@@ -417,6 +426,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, Error> {
                         opts.max_request_bytes = next_value(&mut it, "--max-request-bytes")?
                     }
                     "--throttle-ms" => opts.throttle_ms = next_value(&mut it, "--throttle-ms")?,
+                    "--cache-dir" => opts.cache_dir = Some(next_value(&mut it, "--cache-dir")?),
                     other => return Err(Error::usage(format!("unknown flag `{other}`"))),
                 }
             }
@@ -469,6 +479,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, Error> {
                     }
                     "--warmup" => opts.sim.warmup = Some(next_value(&mut it, "--warmup")?),
                     "--no-early-exit" => opts.sim.no_early_exit = true,
+                    "--stream" => opts.stream = true,
+                    "--cache-dir" => opts.cache_dir = Some(next_value(&mut it, "--cache-dir")?),
+                    "--volume" => opts.volume = Some(next_value(&mut it, "--volume")?),
                     f if is_profile_flag(f) => opts.profile = Some(parse_profile_mode(f)?),
                     other => return Err(Error::usage(format!("unknown flag `{other}`"))),
                 }
@@ -650,6 +663,10 @@ USAGE:
       --max-divergent <n>  exit 1 if more than n records fire D002
       --iterations / --warmup / --no-early-exit   as for analyze (reference simulator)
       --profile[=mode]     obs profile (also adds the per-predictor obs block to --json)
+      --stream             bounded-memory streaming pipeline (same report, flat RSS)
+      --cache-dir <dir>    persist evaluated records; identical reruns replay from disk
+      --volume <n>         generated volume corpus of n blocks per machine (the first
+                           grid-sized prefix reproduces the standard corpus)
   incore-cli explain <kernel> --arch <machine>   bottleneck-attribution report for a
       corpus kernel: the binding port/dependency/front-end bound per predictor and
       why the predictors disagree (divergence rules D001/D002, attribution rule D003)
@@ -680,6 +697,8 @@ USAGE:
       --cache <n>          response/kernel/machine LRU capacity (entries)
       --max-request-bytes <n>  reject request frames larger than this
       --throttle-ms <n>    artificial per-job delay (load testing)
+      --cache-dir <dir>    persist responses on disk (content-addressed, bounded
+                           by --cache entries, replayed across restarts)
       --arch/--model/--machine-file   default machine for requests that name none
       wire protocol: {\"type\":\"analyze\",\"id\":1,\"asm\":\"...\",\"arch\":\"spr\"} in,
       {\"id\":1,\"ok\":true,\"report\":<analyze --json report>} out; also `ping`,
@@ -971,6 +990,7 @@ pub fn run_analyze_json(
         parse_ms: 0.0,
         reference_ms: block_timings.reference_ns as f64 / 1e6,
         predictors_ms: block_timings.predictors_ns as f64 / 1e6,
+        cache_ms: 0.0,
     };
     let mut out = report.to_json();
     out.push('\n');
@@ -996,7 +1016,17 @@ pub fn run_validate(opts: &ValidateOpts) -> Result<ValidateOutcome, Error> {
     if let Some(limit) = opts.limit {
         session = session.limit(limit);
     }
-    let report = session.run()?;
+    if let Some(volume) = opts.volume {
+        session = session.volume(volume);
+    }
+    if let Some(dir) = &opts.cache_dir {
+        session = session.cache_dir(dir);
+    }
+    let report = if opts.stream {
+        session.run_streamed(0)?
+    } else {
+        session.run()?
+    };
     let mut gate_failures = Vec::new();
     if let Some(limit) = opts.threshold {
         let mean = report.summary("incore").map(|s| s.mean_abs).unwrap_or(0.0);
@@ -1510,6 +1540,8 @@ mod tests {
             "4096",
             "--throttle-ms",
             "5",
+            "--cache-dir",
+            "/tmp/incore-serve-cache",
             "--arch",
             "spr",
         ]))
@@ -1524,6 +1556,7 @@ mod tests {
                 max_request_bytes: 4096,
                 throttle_ms: 5,
                 sel: MachineSel::model("golden-cove"),
+                cache_dir: Some("/tmp/incore-serve-cache".into()),
             })
         );
         // Defaults: ephemeral local port, bounded queue/cache, no default
@@ -1722,10 +1755,28 @@ mod tests {
                 json: true,
                 threshold: Some(0.25),
                 max_divergent: Some(10),
-                sim: SimOverrides::default(),
-                profile: None,
+                ..ValidateOpts::default()
             })
         );
+        assert_eq!(
+            parse_args(&sv(&[
+                "validate",
+                "--stream",
+                "--cache-dir",
+                "/tmp/incore-cache",
+                "--volume",
+                "2000",
+            ]))
+            .unwrap(),
+            Command::Validate(ValidateOpts {
+                stream: true,
+                cache_dir: Some("/tmp/incore-cache".into()),
+                volume: Some(2000),
+                ..ValidateOpts::default()
+            })
+        );
+        assert!(parse_args(&sv(&["validate", "--volume", "many"])).is_err());
+        assert!(parse_args(&sv(&["validate", "--cache-dir"])).is_err());
         assert_eq!(
             parse_args(&sv(&[
                 "validate",
@@ -1840,8 +1891,7 @@ mod tests {
             json: false,
             threshold: Some(10.0),
             max_divergent: Some(1000),
-            sim: SimOverrides::default(),
-            profile: None,
+            ..ValidateOpts::default()
         })
         .unwrap();
         assert!(clean.gate_failures.is_empty());
@@ -1854,8 +1904,7 @@ mod tests {
             json: true,
             threshold: Some(1e-9),
             max_divergent: None,
-            sim: SimOverrides::default(),
-            profile: None,
+            ..ValidateOpts::default()
         })
         .unwrap();
         assert_eq!(tripped.gate_failures.len(), 1);

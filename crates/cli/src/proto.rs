@@ -43,7 +43,11 @@ use crate::{AnalyzeFlags, Error, MachineRef, MachineSel};
 pub const PROTOCOL_VERSION: u32 = 1;
 
 /// Version of the `metrics` response body.
-pub const METRICS_SCHEMA_VERSION: u32 = 1;
+///
+/// History: 1 = requests/cache/queue/service-time blocks; 2 = added the
+/// `disk` block (persistent `--cache-dir` hit/miss/write/eviction
+/// counters, zeroed with `"enabled":false` when no cache dir is set).
+pub const METRICS_SCHEMA_VERSION: u32 = 2;
 
 /// Default cap on one request frame (bytes, excluding the newline).
 pub const DEFAULT_MAX_REQUEST_BYTES: usize = 1 << 20;

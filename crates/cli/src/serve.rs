@@ -66,6 +66,9 @@ pub struct ServeOpts {
     /// `--arch`/`--model`/`--machine-file` selection every subcommand
     /// takes.
     pub sel: MachineSel,
+    /// Persist computed responses under this directory (content-addressed,
+    /// bounded by `cache` entries) and replay them across server restarts.
+    pub cache_dir: Option<String>,
 }
 
 impl Default for ServeOpts {
@@ -78,6 +81,7 @@ impl Default for ServeOpts {
             max_request_bytes: proto::DEFAULT_MAX_REQUEST_BYTES,
             throttle_ms: 0,
             sel: MachineSel::default(),
+            cache_dir: None,
         }
     }
 }
@@ -220,6 +224,10 @@ struct Shared {
     cache: engine::CorpusCache,
     /// Bounded response memo: key → report JSON (no trailing newline).
     responses: Mutex<engine::Lru<Key, std::sync::Arc<String>>>,
+    /// Persistent response store (`--cache-dir`): the same report JSON
+    /// the in-memory LRU holds, surviving restarts. Probed by workers on
+    /// an LRU miss, so warm disk entries skip the whole evaluation.
+    disk: Option<engine::DiskCache>,
     metrics: Metrics,
     draining: AtomicBool,
     /// Read halves of live connections, shut down on drain.
@@ -281,6 +289,7 @@ impl Shared {
             coalesced as f64 / analyze as f64
         };
         let h = m.service_us.lock().expect("service histogram poisoned");
+        let disk = self.disk.as_ref().map(|d| d.stats()).unwrap_or_default();
         format!(
             concat!(
                 "{{\"schema_version\":{}",
@@ -291,6 +300,8 @@ impl Shared {
                 ",\"response_evictions\":{},\"hit_rate\":{:.4}",
                 ",\"kernel_hits\":{},\"kernel_misses\":{},\"kernel_evictions\":{}",
                 ",\"machine_hits\":{},\"machine_misses\":{},\"machine_evictions\":{}}}",
+                ",\"disk\":{{\"enabled\":{},\"hits\":{},\"misses\":{},\"writes\":{}",
+                ",\"evictions\":{},\"stale\":{},\"corrupt\":{},\"hit_rate\":{:.4}}}",
                 ",\"queue\":{{\"capacity\":{},\"depth\":{},\"peak_depth\":{}}}",
                 ",\"service_time_us\":{{\"count\":{},\"mean\":{:.3},\"p50\":{},\"p99\":{},\"max\":{}}}",
                 "}}"
@@ -315,6 +326,14 @@ impl Shared {
             s.machine_hits,
             s.machine_misses,
             ev.machine_evictions,
+            self.disk.is_some(),
+            disk.hits,
+            disk.misses,
+            disk.writes,
+            disk.evictions,
+            disk.stale,
+            disk.corrupt,
+            disk.hit_rate(),
             self.opts.queue * self.shards.len(),
             m.queue_depth.load(Ordering::Relaxed),
             m.queue_peak.load(Ordering::Relaxed),
@@ -378,6 +397,40 @@ fn compute(shared: &Shared, payload: &Payload) -> Result<String, Error> {
     Ok(report.to_json())
 }
 
+/// Tag versioning the persistent response entries. The stored payload is
+/// the report JSON verbatim, so its shape is pinned by the engine report
+/// schema — fold that version in, and stale entries from an older build
+/// become misses instead of wrong replays.
+fn response_codec() -> String {
+    format!(
+        "srv-resp1 s{}.{}",
+        engine::SCHEMA_VERSION,
+        engine::SCHEMA_MINOR
+    )
+}
+
+/// Replay a response from the persistent store, if configured and
+/// present. The key is the full analysis identity ([`Key`]): resolved
+/// machine token, label, predictor flag bits, and the assembly text.
+fn disk_get(shared: &Shared, key: &Key) -> Option<String> {
+    let disk = shared.disk.as_ref()?;
+    let codec = response_codec();
+    let flags = key.flags.to_string();
+    disk.get(&[&codec, &key.machine, &key.label, &flags, &key.asm])
+}
+
+/// Persist a computed response (no-op without `--cache-dir`).
+fn disk_put(shared: &Shared, key: &Key, report: &str) {
+    if let Some(disk) = &shared.disk {
+        let codec = response_codec();
+        let flags = key.flags.to_string();
+        disk.put(
+            &[&codec, &key.machine, &key.label, &flags, &key.asm],
+            report,
+        );
+    }
+}
+
 fn worker(shared: &Shared, index: usize, rx: Receiver<Job>) {
     while let Ok(job) = rx.recv() {
         let key = match job {
@@ -397,7 +450,16 @@ fn worker(shared: &Shared, index: usize, rx: Receiver<Job>) {
         if shared.opts.throttle_ms > 0 {
             std::thread::sleep(std::time::Duration::from_millis(shared.opts.throttle_ms));
         }
-        let result = compute(shared, &payload);
+        let result = match disk_get(shared, &key) {
+            Some(report) => Ok(report),
+            None => {
+                let computed = compute(shared, &payload);
+                if let Ok(report) = &computed {
+                    disk_put(shared, &key, report);
+                }
+                computed
+            }
+        };
         if let Ok(report) = &result {
             let evicted = shared
                 .responses
@@ -617,9 +679,14 @@ pub fn serve_on(listener: TcpListener, opts: ServeOpts) -> Result<ServeSummary, 
         });
         receivers.push(rx);
     }
+    let disk = match &opts.cache_dir {
+        Some(dir) => Some(engine::DiskCache::open_bounded(dir.as_str(), opts.cache)?),
+        None => None,
+    };
     let shared = Shared {
         cache: engine::CorpusCache::bounded(opts.cache),
         responses: Mutex::new(engine::Lru::bounded(opts.cache)),
+        disk,
         metrics: Metrics::default(),
         draining: AtomicBool::new(false),
         conns: Mutex::new(Vec::new()),

@@ -312,3 +312,80 @@ fn server_side_default_machine_comes_from_the_shared_selection() {
     assert_eq!(proto::extract_report(&response), Some(golden.trim_end()));
     server.shutdown().expect("graceful drain");
 }
+
+/// Fetch and decode the `metrics` body as a JSON object.
+fn fetch_metrics(addr: std::net::SocketAddr) -> serde_json::Map {
+    let frame = roundtrip(addr, &["{\"type\":\"metrics\",\"id\":1}\n".to_string()], 1).remove(0);
+    let v: serde_json::Value = serde_json::from_str(frame.trim_end()).unwrap();
+    v.as_object()
+        .unwrap()
+        .get("metrics")
+        .unwrap()
+        .as_object()
+        .unwrap()
+        .clone()
+}
+
+#[test]
+fn persistent_cache_survives_a_restart_and_reports_disk_metrics() {
+    let dir = std::env::temp_dir().join(format!("incore-serve-diskcache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = || ServeOpts {
+        threads: 1,
+        queue: 8,
+        cache: 64,
+        cache_dir: Some(dir.to_string_lossy().into_owned()),
+        ..ServeOpts::default()
+    };
+    let asm = ".L1:\n vfmadd231pd %ymm1, %ymm2, %ymm3\n subq $1, %rax\n jne .L1\n";
+    let frame = analyze_frame(11, "fma.s", asm, "spr", true);
+
+    // Cold server: the first computation is a disk miss that writes.
+    let server = ServerHandle::start(opts()).expect("server starts");
+    let cold = roundtrip(server.addr, &[frame.clone()], 1).remove(0);
+    assert_eq!(error_kind(&cold), None, "{cold}");
+    let m = fetch_metrics(server.addr);
+    assert_eq!(m.get("schema_version").unwrap().as_u64(), Some(2));
+    let disk = m.get("disk").unwrap().as_object().unwrap();
+    assert_eq!(disk.get("enabled").unwrap().as_bool(), Some(true));
+    assert_eq!(disk.get("hits").unwrap().as_u64(), Some(0));
+    assert_eq!(disk.get("misses").unwrap().as_u64(), Some(1));
+    assert_eq!(disk.get("writes").unwrap().as_u64(), Some(1));
+    server.shutdown().expect("graceful drain");
+
+    // Restarted server: the in-memory LRU is empty, the disk replays —
+    // byte-identical bytes without recomputation.
+    let server = ServerHandle::start(opts()).expect("server restarts");
+    let warm = roundtrip(server.addr, &[frame.clone()], 1).remove(0);
+    assert_eq!(
+        proto::extract_report(&warm),
+        proto::extract_report(&cold),
+        "a disk replay must be byte-identical to the cold computation"
+    );
+    let m = fetch_metrics(server.addr);
+    let disk = m.get("disk").unwrap().as_object().unwrap();
+    assert_eq!(disk.get("hits").unwrap().as_u64(), Some(1));
+    assert_eq!(disk.get("misses").unwrap().as_u64(), Some(0));
+    assert_eq!(disk.get("hit_rate").unwrap().as_f64(), Some(1.0));
+    let summary = server.shutdown().expect("graceful drain");
+    assert_eq!(summary.ok, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_without_a_cache_dir_report_a_disabled_disk_block() {
+    let server = ServerHandle::start(ServeOpts {
+        threads: 1,
+        queue: 4,
+        ..ServeOpts::default()
+    })
+    .expect("server starts");
+    let m = fetch_metrics(server.addr);
+    assert_eq!(m.get("schema_version").unwrap().as_u64(), Some(2));
+    let disk = m.get("disk").unwrap().as_object().unwrap();
+    assert_eq!(disk.get("enabled").unwrap().as_bool(), Some(false));
+    assert_eq!(disk.get("hits").unwrap().as_u64(), Some(0));
+    assert_eq!(disk.get("writes").unwrap().as_u64(), Some(0));
+    assert_eq!(disk.get("hit_rate").unwrap().as_f64(), Some(0.0));
+    server.shutdown().expect("graceful drain");
+}

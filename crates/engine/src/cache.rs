@@ -209,7 +209,20 @@ impl CorpusCache {
 
     /// Parse `asm` for `isa`, reusing a previous parse of identical text.
     pub fn kernel(&self, asm: &str, isa: isa::Isa) -> Result<Arc<isa::Kernel>, Error> {
+        self.kernel_with_hit(asm, isa).map(|(k, _)| k)
+    }
+
+    /// Like [`CorpusCache::kernel`], also reporting whether the lookup hit
+    /// a previous parse. The session uses the flag to book a hit's
+    /// wall-clock under `cache_ms` instead of `parse_ms` — shared lookups
+    /// must not inflate the parse figure.
+    pub fn kernel_with_hit(
+        &self,
+        asm: &str,
+        isa: isa::Isa,
+    ) -> Result<(Arc<isa::Kernel>, bool), Error> {
         let key = (isa, asm.to_string());
+        let mut hit = true;
         let slot = {
             let mut map = self.kernels.lock().expect("kernel cache poisoned");
             match map.get(&key) {
@@ -218,6 +231,7 @@ impl CorpusCache {
                     slot
                 }
                 None => {
+                    hit = false;
                     self.kernel_misses.fetch_add(1, Ordering::Relaxed);
                     let slot: Slot<isa::Kernel> = Arc::new(OnceLock::new());
                     let evicted = map.insert(key, slot.clone());
@@ -231,12 +245,16 @@ impl CorpusCache {
                 }
             }
         };
+        // A "hit" on a slot another worker is still filling blocks in
+        // get_or_init below; that wait is still a hit for accounting (the
+        // parse work happens — and is booked — exactly once).
         slot.get_or_init(|| {
             isa::parse_kernel(asm, isa)
                 .map(Arc::new)
                 .map_err(Error::from)
         })
         .clone()
+        .map(|k| (k, hit))
     }
 
     /// Import a JSON machine file, reusing a previous import of identical

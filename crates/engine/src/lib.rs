@@ -25,12 +25,14 @@
 //! the determinism test does.
 
 pub mod cache;
+pub mod diskcache;
 pub mod error;
 pub mod lint;
 pub mod report;
 pub mod session;
 
 pub use cache::{CacheStats, CorpusCache, EvictionStats, Lru};
+pub use diskcache::{DiskCache, DiskStats};
 pub use error::{Error, ErrorKind};
 pub use lint::{lint_corpus, lint_corpus_machines};
 pub use report::{
@@ -38,4 +40,6 @@ pub use report::{
     PredictorResult, PredictorSummary, RecordReport, RunTimings, Summary, SCHEMA_MINOR,
     SCHEMA_VERSION,
 };
-pub use session::{evaluate_block, evaluate_block_timed, BlockLabels, BlockTimings, Session};
+pub use session::{
+    evaluate_block, evaluate_block_timed, BlockLabels, BlockTimings, Session, StreamOutcome,
+};

@@ -24,7 +24,10 @@ pub const SCHEMA_VERSION: u32 = 1;
 /// Minor schema version, carried inside the additive [`ObsSummary`]
 /// block: bumped when that block grows fields. The major shape (every
 /// field present without profiling) is still [`SCHEMA_VERSION`].
-pub const SCHEMA_MINOR: u32 = 1;
+///
+/// History: 1 = predictor timings + cache hit rate; 2 = disk-cache
+/// counters (`disk_*`, present only when a `--cache-dir` was active).
+pub const SCHEMA_MINOR: u32 = 2;
 
 /// Per-predictor counter summary inside the optional `obs` block.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -54,6 +57,20 @@ pub struct ObsSummary {
     pub predictors: Vec<ObsPredictorTimings>,
     /// Corpus-cache hit rate over kernel lookups (0..1).
     pub cache_hit_rate: f64,
+    /// Persistent result-cache hit rate over record lookups (0..1).
+    /// Absent (with the other `disk_*` fields) when no `--cache-dir` was
+    /// configured, so cache-less profiled output keeps its minor-1 shape.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub disk_hit_rate: Option<f64>,
+    /// Records replayed from the persistent cache.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub disk_hits: Option<u64>,
+    /// Records computed and written to the persistent cache.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub disk_misses: Option<u64>,
+    /// Entries removed by the persistent cache's capacity bound.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub disk_evictions: Option<u64>,
 }
 
 /// Where the wall-clock time of a run went. Purely observational: two
@@ -71,6 +88,12 @@ pub struct RunTimings {
     pub reference_ms: f64,
     /// Analytical predictor time, summed over blocks (ms).
     pub predictors_ms: f64,
+    /// Time spent in cache lookups and replay — in-memory kernel-cache
+    /// hits plus persistent result-cache probes and record decodes (ms).
+    /// A cache-hit block books its time here, *not* under `parse_ms` /
+    /// `reference_ms` / `predictors_ms`: replay must never double-count
+    /// as compute.
+    pub cache_ms: f64,
 }
 
 /// One predictor's verdict inside a record.
@@ -313,8 +336,8 @@ impl BatchReport {
             let t = &self.timings;
             let _ = writeln!(
                 out,
-                "time: {:.0} ms wall (per-worker sums: {:.0} ms reference, {:.0} ms predictors, {:.0} ms parse)",
-                t.wall_ms, t.reference_ms, t.predictors_ms, t.parse_ms,
+                "time: {:.0} ms wall (per-worker sums: {:.0} ms reference, {:.0} ms predictors, {:.0} ms parse, {:.1} ms cache)",
+                t.wall_ms, t.reference_ms, t.predictors_ms, t.parse_ms, t.cache_ms,
             );
         }
         if let Some(obs) = &self.obs {

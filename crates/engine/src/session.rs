@@ -19,14 +19,21 @@
 //! assert!(report.summary("incore").is_some());
 //! ```
 
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
 use rayon::prelude::*;
 
 use crate::cache::CorpusCache;
+use crate::diskcache::{self, DiskCache, DiskStats};
 use crate::error::Error;
 use crate::report::{
     rpe, BatchReport, ObsPredictorTimings, ObsSummary, PredictorResult, RecordReport, RunTimings,
-    SCHEMA_MINOR,
+    SCHEMA_MINOR, SCHEMA_VERSION,
 };
+use kernels::volume::VolumeBlock;
 use uarch::{Machine, Predictor};
 
 /// Descriptive labels for one evaluated block.
@@ -44,7 +51,14 @@ pub struct BlockTimings {
     pub parse_ns: u64,
     pub reference_ns: u64,
     pub predictors_ns: u64,
+    /// Cache time: in-memory kernel-cache *hits* plus persistent-cache
+    /// probes, record decodes, and writes. Disjoint from `parse_ns` (a
+    /// kernel lookup books under exactly one of the two) and from the
+    /// compute fields (a replayed block books no reference/predictor
+    /// time at all) — replay must never double-count as compute.
+    pub cache_ns: u64,
     /// Per-predictor breakdown of `predictors_ns`, in `analytical` order.
+    /// Empty for a block replayed from the persistent cache.
     pub per_predictor_ns: Vec<u64>,
 }
 
@@ -135,6 +149,8 @@ pub struct Session {
     reference: Option<Box<dyn Predictor>>,
     threads: usize,
     limit: Option<usize>,
+    volume: Option<usize>,
+    cache_dir: Option<PathBuf>,
     profile: bool,
 }
 
@@ -155,6 +171,8 @@ impl Default for Session {
             reference: Some(Box::new(exec::CoreSimulator::default())),
             threads: 0,
             limit: None,
+            volume: None,
+            cache_dir: None,
             profile: false,
         }
     }
@@ -229,6 +247,27 @@ impl Session {
         self
     }
 
+    /// Use a volume corpus of `blocks` blocks **per machine** instead of
+    /// the standard validation grid: the generator variants cycled with a
+    /// replica tag per full pass (see [`kernels::volume::volume_blocks`]).
+    /// The first pass reproduces the standard corpus exactly, so a volume
+    /// ≤ the grid size is a prefix of the standard run.
+    pub fn volume(mut self, blocks: usize) -> Self {
+        self.volume = Some(blocks);
+        self
+    }
+
+    /// Persist evaluated records in a content-addressed cache under
+    /// `dir`, replaying them on later runs with identical inputs (same
+    /// report schema, machine model, predictor set, reference, and block
+    /// text). A replayed run's report is byte-identical to the computed
+    /// one — floats are stored bit-exactly — except for the observational
+    /// `timings` block.
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
     /// Attach the additive [`ObsSummary`] block (per-predictor counter
     /// summaries) to the report. Off by default — the block carries
     /// wall-clock observations, so profiled reports are not
@@ -238,10 +277,9 @@ impl Session {
         self
     }
 
-    /// Run the full grid and collect the report.
-    pub fn run(&self) -> Result<BatchReport, Error> {
-        let wall_start = std::time::Instant::now();
-        let cache = CorpusCache::new();
+    /// Resolve the machine list: explicit machines, then the family model
+    /// per selected `Arch`, then the imported machine files.
+    fn resolve_machines(&self, cache: &CorpusCache) -> Result<Vec<Machine>, Error> {
         let mut machines: Vec<Machine> = self.machines.clone();
         for arch in &self.archs {
             let m = uarch::all_machines()
@@ -256,16 +294,66 @@ impl Session {
                 .map_err(|e| e.with_context(label.clone()))?;
             machines.push((*m).clone());
         }
+        Ok(machines)
+    }
 
-        let mut grid: Vec<(usize, kernels::Variant)> = Vec::new();
+    /// The work grid, shared verbatim by [`run`](Self::run) and
+    /// [`stream`](Self::stream): each machine's blocks in variant order —
+    /// the standard validation grid (replica 0 only), or a volume corpus
+    /// when [`volume`](Self::volume) is set — truncated by `limit`.
+    fn grid_blocks(&self, machines: &[Machine]) -> Vec<(usize, VolumeBlock)> {
+        let mut grid: Vec<(usize, VolumeBlock)> = Vec::new();
         for (i, m) in machines.iter().enumerate() {
-            for v in kernels::variants_for(m.arch) {
-                grid.push((i, v));
-            }
+            let blocks = match self.volume {
+                Some(total) => kernels::volume::volume_blocks(m.arch, total),
+                None => kernels::volume::volume_blocks(m.arch, kernels::variants_for(m.arch).len()),
+            };
+            grid.extend(blocks.into_iter().map(|b| (i, b)));
         }
         if let Some(limit) = self.limit {
             grid.truncate(limit);
         }
+        grid
+    }
+
+    fn open_disk(&self) -> Result<Option<DiskCache>, Error> {
+        self.cache_dir.as_ref().map(DiskCache::open).transpose()
+    }
+
+    /// Fixed key-part context for persistent-cache lookups: everything a
+    /// result depends on besides the block text. Machine models enter as
+    /// fingerprints of their canonical JSON, so editing a model (or
+    /// upgrading the report schema or predictor set) misses cleanly into
+    /// a recompute instead of replaying stale results.
+    fn key_ctx(&self, machines: &[Machine]) -> KeyCtx {
+        KeyCtx {
+            schema: format!("s{SCHEMA_VERSION}.{SCHEMA_MINOR}"),
+            fingerprints: machines
+                .iter()
+                .map(|m| format!("{:016x}", diskcache::fingerprint(m.to_json().as_bytes())))
+                .collect(),
+            predictors: self
+                .predictors
+                .iter()
+                .map(|p| p.name())
+                .collect::<Vec<_>>()
+                .join(","),
+            reference: self
+                .reference
+                .as_ref()
+                .map(|r| r.name().to_string())
+                .unwrap_or_else(|| "-".to_string()),
+        }
+    }
+
+    /// Run the full grid and collect the report.
+    pub fn run(&self) -> Result<BatchReport, Error> {
+        let wall_start = Instant::now();
+        let cache = CorpusCache::new();
+        let machines = self.resolve_machines(&cache)?;
+        let disk = self.open_disk()?;
+        let keys = self.key_ctx(&machines);
+        let grid = self.grid_blocks(&machines);
 
         let analytical: Vec<&dyn Predictor> = self.predictors.iter().map(|b| b.as_ref()).collect();
         let reference = self.reference.as_deref();
@@ -275,33 +363,22 @@ impl Session {
             .expect("thread pool construction is infallible");
         let outcomes: Result<Vec<(RecordReport, BlockTimings)>, Error> = pool.install(|| {
             grid.into_par_iter()
-                .map(|(mi, variant)| {
-                    let machine = &machines[mi];
-                    let asm = kernels::generate(&variant, machine);
-                    let parse_start = std::time::Instant::now();
-                    let kernel = cache
-                        .kernel(&asm, machine.isa)
-                        .map_err(|e| e.with_context(variant.label()))?;
-                    let parse_ns = parse_start.elapsed().as_nanos() as u64;
-                    let (record, mut timings) = evaluate_block_timed(
-                        machine,
-                        &kernel,
-                        BlockLabels {
-                            kernel: variant.kernel.name(),
-                            compiler: variant.compiler.name(),
-                            opt: variant.opt.name(),
-                        },
+                .map(|(mi, block)| {
+                    process_block(
+                        &machines[mi],
+                        &keys.fingerprints[mi],
+                        &block,
+                        Some(&cache),
+                        disk.as_ref(),
+                        &keys,
                         &analytical,
                         reference,
-                    );
-                    timings.parse_ns = parse_ns;
-                    Ok((record, timings))
+                    )
                 })
                 .collect()
         });
         let (records, block_timings): (Vec<RecordReport>, Vec<BlockTimings>) =
             outcomes?.into_iter().unzip();
-        let ms = |ns: u64| ns as f64 / 1e6;
         let mut report = BatchReport::from_records(
             machines.iter().map(|m| m.name.to_string()).collect(),
             self.predictors
@@ -312,18 +389,15 @@ impl Session {
             records,
             cache.stats(),
         );
-        report.timings = RunTimings {
-            wall_ms: ms(wall_start.elapsed().as_nanos() as u64),
-            parse_ms: ms(block_timings.iter().map(|t| t.parse_ns).sum()),
-            reference_ms: ms(block_timings.iter().map(|t| t.reference_ns).sum()),
-            predictors_ms: ms(block_timings.iter().map(|t| t.predictors_ns).sum()),
-        };
+        report.timings = fold_timings(wall_start, block_timings.iter());
+        let disk_stats = disk.as_ref().map(|d| d.stats());
         if self.profile {
             report.obs = Some(obs_summary(
                 &self.predictors,
                 self.reference.as_deref(),
                 &block_timings,
                 report.cache,
+                disk_stats,
             ));
         }
         if obs::enabled() {
@@ -338,9 +412,351 @@ impl Session {
             let ev = cache.evictions();
             obs::counter("engine.cache.kernel_evictions", ev.kernel_evictions);
             obs::counter("engine.cache.machine_evictions", ev.machine_evictions);
+            if let Some(s) = disk_stats {
+                obs_disk_counters(s);
+            }
         }
         Ok(report)
     }
+
+    /// Evaluate the grid as a bounded-memory stream: a producer feeds
+    /// blocks through a window-bounded queue to the worker pool, and
+    /// completed records are delivered to `on_record` **in grid order** —
+    /// at no point are more than O(window + threads) records resident, so
+    /// a volume corpus of any size runs in flat memory.
+    ///
+    /// Determinism carries over from the batch path: the records passed
+    /// to `on_record` are byte-identical (when serialized) to the
+    /// corresponding [`run`](Self::run) records at any thread count.
+    /// Unlike `run`, the streaming path does **not** memoize kernel
+    /// parses across blocks — each block's text is parsed where it is
+    /// evaluated (the interned arena makes re-parsing cheap), keeping
+    /// per-block memory independent of corpus-wide text diversity. The
+    /// persistent cache (when configured) works exactly as in `run`.
+    ///
+    /// `window` is the queue bound (`0` = 4 × threads, floor 64). On a
+    /// block error
+    /// the stream stops delivering at the failed block's position, drains
+    /// the in-flight work, and returns the earliest-position error.
+    pub fn stream(
+        &self,
+        window: usize,
+        mut on_record: impl FnMut(RecordReport),
+    ) -> Result<StreamOutcome, Error> {
+        let wall_start = Instant::now();
+        let cache = CorpusCache::new();
+        let machines = self.resolve_machines(&cache)?;
+        let disk = self.open_disk()?;
+        let keys = self.key_ctx(&machines);
+        let grid = self.grid_blocks(&machines);
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+        .max(1);
+        // Default window: enough slack that fast blocks (cache replays)
+        // don't serialize on producer/consumer handoffs, still O(1) in
+        // the corpus size.
+        let window = if window == 0 {
+            (4 * threads).max(64)
+        } else {
+            window.max(1)
+        };
+        let analytical: Vec<&dyn Predictor> = self.predictors.iter().map(|b| b.as_ref()).collect();
+        let reference = self.reference.as_deref();
+
+        type Outcome = Result<(RecordReport, BlockTimings), Error>;
+        let (work_tx, work_rx) = mpsc::sync_channel::<(usize, usize, VolumeBlock)>(window);
+        let work_rx = Arc::new(Mutex::new(work_rx));
+        let (res_tx, res_rx) = mpsc::sync_channel::<(usize, Outcome)>(window + threads);
+
+        let mut emitted = 0usize;
+        let mut first_err: Option<(usize, Error)> = None;
+        let mut timings = RunTimings::default();
+        {
+            let machines = &machines;
+            let keys = &keys;
+            let disk = disk.as_ref();
+            let analytical = &analytical;
+            rayon::scope(|s| {
+                s.spawn(move || {
+                    for (seq, (mi, block)) in grid.into_iter().enumerate() {
+                        if work_tx.send((seq, mi, block)).is_err() {
+                            break;
+                        }
+                    }
+                });
+                for _ in 0..threads {
+                    let work_rx = Arc::clone(&work_rx);
+                    let res_tx = res_tx.clone();
+                    s.spawn(move || loop {
+                        let msg = work_rx.lock().expect("work queue poisoned").recv();
+                        let Ok((seq, mi, block)) = msg else { break };
+                        let out = process_block(
+                            &machines[mi],
+                            &keys.fingerprints[mi],
+                            &block,
+                            None,
+                            disk,
+                            keys,
+                            analytical,
+                            reference,
+                        );
+                        if res_tx.send((seq, out)).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(res_tx);
+                // In-order delivery on this thread: a reorder buffer keyed
+                // by sequence number, drained whenever the next-expected
+                // block lands. An error becomes a wall at its position —
+                // later results are dropped (bounding the buffer), earlier
+                // ones still stream out.
+                let mut next = 0usize;
+                let mut buffer: BTreeMap<usize, (RecordReport, BlockTimings)> = BTreeMap::new();
+                for (seq, out) in res_rx.iter() {
+                    match out {
+                        Err(e) => {
+                            if first_err.as_ref().is_none_or(|(s, _)| seq < *s) {
+                                first_err = Some((seq, e));
+                                buffer.retain(|s, _| *s < seq);
+                            }
+                        }
+                        Ok((record, t)) => {
+                            accumulate(&mut timings, &t);
+                            if first_err.as_ref().is_none_or(|(s, _)| seq < *s) {
+                                buffer.insert(seq, (record, t));
+                            }
+                        }
+                    }
+                    while let Some((record, _)) = buffer.remove(&next) {
+                        on_record(record);
+                        emitted += 1;
+                        next += 1;
+                    }
+                }
+            });
+        }
+        if let Some((_, e)) = first_err {
+            return Err(e);
+        }
+        timings.wall_ms = wall_start.elapsed().as_nanos() as f64 / 1e6;
+        let disk_stats = disk.as_ref().map(|d| d.stats());
+        if obs::enabled() {
+            obs::counter("engine.blocks", emitted as u64);
+            if let Some(s) = disk_stats {
+                obs_disk_counters(s);
+            }
+        }
+        Ok(StreamOutcome {
+            blocks: emitted,
+            archs: machines.iter().map(|m| m.name.to_string()).collect(),
+            predictors: self
+                .predictors
+                .iter()
+                .map(|p| p.name().to_string())
+                .collect(),
+            reference: self.reference.as_ref().map(|r| r.name().to_string()),
+            cache: cache.stats(),
+            disk: disk_stats,
+            timings,
+        })
+    }
+
+    /// [`stream`](Self::stream) into a full [`BatchReport`]: collects the
+    /// streamed records and assembles the same report shape as
+    /// [`run`](Self::run). The report is byte-identical to the batch one
+    /// after normalizing the observational fields (`timings`, and `cache`
+    /// — the streaming path does not memoize kernel parses, so its
+    /// corpus-cache counters legitimately differ).
+    pub fn run_streamed(&self, window: usize) -> Result<BatchReport, Error> {
+        let mut records = Vec::new();
+        let outcome = self.stream(window, |r| records.push(r))?;
+        let mut report = BatchReport::from_records(
+            outcome.archs.clone(),
+            outcome.predictors.clone(),
+            outcome.reference.clone(),
+            records,
+            outcome.cache,
+        );
+        report.timings = outcome.timings;
+        Ok(report)
+    }
+}
+
+/// What a [`Session::stream`] run did, minus the records themselves
+/// (those went to the `on_record` sink as they completed).
+#[derive(Debug, Clone)]
+pub struct StreamOutcome {
+    /// Records delivered, in grid order.
+    pub blocks: usize,
+    /// Machine labels covered, in evaluation order.
+    pub archs: Vec<String>,
+    /// Analytical predictor names, in evaluation order.
+    pub predictors: Vec<String>,
+    /// Name of the reference predictor, if one ran.
+    pub reference: Option<String>,
+    /// In-memory cache counters (machine-file imports only — the stream
+    /// path does not memoize kernel parses).
+    pub cache: crate::cache::CacheStats,
+    /// Persistent-cache counters, when a cache directory was configured.
+    pub disk: Option<DiskStats>,
+    pub timings: RunTimings,
+}
+
+/// Fixed persistent-cache key parts for one session configuration.
+struct KeyCtx {
+    schema: String,
+    /// Per-machine model fingerprint, indexed like the machine list.
+    fingerprints: Vec<String>,
+    predictors: String,
+    reference: String,
+}
+
+fn isa_tag(isa: isa::Isa) -> &'static str {
+    match isa {
+        isa::Isa::X86 => "x86",
+        isa::Isa::AArch64 => "aarch64",
+    }
+}
+
+/// Evaluate one grid block — the single code path behind both the batch
+/// and streaming pipelines. Generates the block text, decodes it (through
+/// the shared cache when one is passed, else a direct arena parse),
+/// replays the record from the persistent cache when possible, and
+/// otherwise evaluates and stores it.
+///
+/// Timing attribution: the kernel lookup books under `parse_ns` on a
+/// miss and `cache_ns` on a hit; persistent-cache probes, decodes, and
+/// writes always book under `cache_ns`. A replayed block therefore
+/// reports zero reference/predictor time — cache hits never double-count
+/// as compute.
+#[allow(clippy::too_many_arguments)]
+fn process_block(
+    machine: &Machine,
+    fingerprint: &str,
+    block: &VolumeBlock,
+    cache: Option<&CorpusCache>,
+    disk: Option<&DiskCache>,
+    keys: &KeyCtx,
+    analytical: &[&dyn Predictor],
+    reference: Option<&dyn Predictor>,
+) -> Result<(RecordReport, BlockTimings), Error> {
+    let asm = block.generate(machine);
+    let kernel_label = block.kernel_label();
+    let mut timings = BlockTimings::default();
+    // Kernel decode, on demand: through the shared memo when one is
+    // passed (hit books under `cache_ns`, miss under `parse_ns`), else a
+    // direct arena parse (`parse_ns`).
+    let lookup = |timings: &mut BlockTimings| -> Result<Arc<isa::Kernel>, Error> {
+        let lookup_start = Instant::now();
+        match cache {
+            Some(c) => {
+                let (k, hit) = c
+                    .kernel_with_hit(&asm, machine.isa)
+                    .map_err(|e| e.with_context(block.variant.label()))?;
+                let ns = lookup_start.elapsed().as_nanos() as u64;
+                if hit {
+                    timings.cache_ns += ns;
+                } else {
+                    timings.parse_ns += ns;
+                }
+                Ok(k)
+            }
+            None => {
+                let k = isa::parse_kernel(&asm, machine.isa)
+                    .map(Arc::new)
+                    .map_err(|e| Error::from(e).with_context(block.variant.label()))?;
+                timings.parse_ns += lookup_start.elapsed().as_nanos() as u64;
+                Ok(k)
+            }
+        }
+    };
+    let labels = BlockLabels {
+        kernel: &kernel_label,
+        compiler: block.variant.compiler.name(),
+        opt: block.variant.opt.name(),
+    };
+    let chip = machine.chip.to_string();
+    if let Some(disk) = disk {
+        let key = [
+            diskcache::RECORD_CODEC_VERSION,
+            keys.schema.as_str(),
+            fingerprint,
+            keys.predictors.as_str(),
+            keys.reference.as_str(),
+            isa_tag(machine.isa),
+            asm.as_str(),
+        ];
+        let probe_start = Instant::now();
+        let replayed = disk.get(&key).and_then(|payload| {
+            diskcache::decode_record(&payload, &kernel_label, labels.compiler, labels.opt, &chip)
+        });
+        timings.cache_ns += probe_start.elapsed().as_nanos() as u64;
+        if let Some(record) = replayed {
+            // Batch parity: the kernel memo still sees every block, so a
+            // warm run reports the same cache counters as a cold one. The
+            // streaming path has no memo — a replay skips the parse.
+            if cache.is_some() {
+                let _ = lookup(&mut timings)?;
+            }
+            return Ok((record, timings));
+        }
+        let kernel = lookup(&mut timings)?;
+        let (record, computed) =
+            evaluate_block_timed(machine, &kernel, labels, analytical, reference);
+        merge_computed(&mut timings, computed);
+        let put_start = Instant::now();
+        disk.put(&key, &diskcache::encode_record(&record));
+        timings.cache_ns += put_start.elapsed().as_nanos() as u64;
+        return Ok((record, timings));
+    }
+    let kernel = lookup(&mut timings)?;
+    let (record, computed) = evaluate_block_timed(machine, &kernel, labels, analytical, reference);
+    merge_computed(&mut timings, computed);
+    Ok((record, timings))
+}
+
+/// Fold an `evaluate_block_timed` result into the block's timings (the
+/// lookup fields were already booked by the caller).
+fn merge_computed(timings: &mut BlockTimings, computed: BlockTimings) {
+    timings.reference_ns += computed.reference_ns;
+    timings.predictors_ns += computed.predictors_ns;
+    timings.per_predictor_ns = computed.per_predictor_ns;
+}
+
+/// Sum per-block timings into the report's [`RunTimings`].
+fn fold_timings<'a>(
+    wall_start: Instant,
+    blocks: impl Iterator<Item = &'a BlockTimings>,
+) -> RunTimings {
+    let mut t = RunTimings::default();
+    for b in blocks {
+        accumulate(&mut t, b);
+    }
+    t.wall_ms = wall_start.elapsed().as_nanos() as f64 / 1e6;
+    t
+}
+
+fn accumulate(t: &mut RunTimings, b: &BlockTimings) {
+    let ms = |ns: u64| ns as f64 / 1e6;
+    t.parse_ms += ms(b.parse_ns);
+    t.reference_ms += ms(b.reference_ns);
+    t.predictors_ms += ms(b.predictors_ns);
+    t.cache_ms += ms(b.cache_ns);
+}
+
+fn obs_disk_counters(s: DiskStats) {
+    obs::counter("engine.diskcache.hits", s.hits);
+    obs::counter("engine.diskcache.misses", s.misses);
+    obs::counter("engine.diskcache.writes", s.writes);
+    obs::counter("engine.diskcache.evictions", s.evictions);
+    obs::counter("engine.diskcache.stale", s.stale);
+    obs::counter("engine.diskcache.corrupt", s.corrupt);
 }
 
 /// Fold the per-block timing vectors into the report's [`ObsSummary`]:
@@ -351,6 +767,7 @@ fn obs_summary(
     reference: Option<&dyn Predictor>,
     block_timings: &[BlockTimings],
     cache: crate::cache::CacheStats,
+    disk: Option<DiskStats>,
 ) -> ObsSummary {
     let calls = block_timings.len() as u64;
     let row = |name: &str, total_ns: u64| ObsPredictorTimings {
@@ -387,6 +804,10 @@ fn obs_summary(
         } else {
             cache.kernel_hits as f64 / lookups as f64
         },
+        disk_hit_rate: disk.map(|d| d.hit_rate()),
+        disk_hits: disk.map(|d| d.hits),
+        disk_misses: disk.map(|d| d.misses),
+        disk_evictions: disk.map(|d| d.evictions),
     }
 }
 
@@ -524,6 +945,86 @@ mod tests {
         assert_eq!(report.archs, vec!["Zen 2"]);
         assert_eq!(report.records.len(), 3);
         assert!(report.records.iter().all(|r| r.chip == "Rome"));
+    }
+
+    #[test]
+    fn stream_delivers_in_order_and_matches_run() {
+        let session = Session::new()
+            .archs(&[uarch::Arch::GoldenCove])
+            .limit(6)
+            .threads(2);
+        let batch = session.run().unwrap();
+        let mut streamed = Vec::new();
+        let outcome = session.stream(3, |r| streamed.push(r)).unwrap();
+        assert_eq!(outcome.blocks, 6);
+        assert_eq!(outcome.archs, batch.archs);
+        assert_eq!(
+            serde_json::to_string(&streamed).unwrap(),
+            serde_json::to_string(&batch.records).unwrap(),
+            "streamed records must be byte-identical to the batch ones"
+        );
+        assert!(outcome.timings.reference_ms > 0.0);
+        // No kernel memoization on the stream path: the corpus cache only
+        // served machine-file imports (none here).
+        assert_eq!(outcome.cache.kernel_hits + outcome.cache.kernel_misses, 0);
+    }
+
+    #[test]
+    fn stream_reports_the_earliest_failing_block() {
+        // A machine file that parses but a corpus block that cannot be
+        // generated is hard to fabricate; a bad machine file fails before
+        // streaming starts instead.
+        let session = Session::new().archs(&[]).machine_file("bad.json", "{");
+        let err = session.stream(2, |_| {}).unwrap_err();
+        assert_eq!(err.kind(), crate::error::ErrorKind::MachineSpec);
+    }
+
+    #[test]
+    fn volume_cache_dir_replays_byte_identical() {
+        let dir =
+            std::env::temp_dir().join(format!("incore-session-diskcache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let grid = kernels::variants_for(uarch::Arch::GoldenCove).len();
+        let session = Session::new()
+            .archs(&[uarch::Arch::GoldenCove])
+            .volume(grid + 4)
+            .threads(2)
+            .reference(None)
+            .cache_dir(&dir);
+        let cold = session.run().unwrap();
+        assert_eq!(cold.records.len(), grid + 4);
+        assert!(
+            cold.records[grid..]
+                .iter()
+                .all(|r| r.kernel.contains("#r1")),
+            "past one grid pass the volume corpus wraps with replica labels"
+        );
+        let warm = session.run().unwrap();
+        let (mut c, mut w) = (cold.clone(), warm.clone());
+        c.timings = Default::default();
+        w.timings = Default::default();
+        assert_eq!(
+            c.to_json(),
+            w.to_json(),
+            "a disk-replayed run must serialize byte-identically"
+        );
+        assert!(warm.timings.cache_ms > 0.0);
+        assert_eq!(
+            warm.timings.predictors_ms, 0.0,
+            "replayed blocks book no compute time"
+        );
+        // The streaming path shares the same cache: a third pass replays
+        // every block from disk.
+        let mut streamed = Vec::new();
+        let outcome = session.stream(0, |r| streamed.push(r)).unwrap();
+        let d = outcome.disk.expect("cache_dir was configured");
+        assert_eq!(d.hits as usize, grid + 4);
+        assert_eq!(d.misses, 0);
+        assert_eq!(
+            serde_json::to_string(&streamed).unwrap(),
+            serde_json::to_string(&warm.records).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

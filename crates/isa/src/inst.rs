@@ -114,20 +114,7 @@ impl Instruction {
 
     /// Whether this is a control-flow instruction.
     pub fn is_branch(&self) -> bool {
-        match self.isa {
-            Isa::X86 => {
-                let m = self.mnemonic.as_str();
-                matches!(m, "jmp" | "call" | "ret" | "jcxz" | "jecxz" | "jrcxz")
-                    || (m.starts_with('j') && m.len() <= 4)
-            }
-            Isa::AArch64 => {
-                let b = self.base_mnemonic();
-                matches!(
-                    b,
-                    "b" | "bl" | "br" | "blr" | "ret" | "cbz" | "cbnz" | "tbz" | "tbnz"
-                )
-            }
-        }
+        mnemonic_is_branch(&self.mnemonic, self.isa)
     }
 
     /// Whether this is a conditional branch (reads flags or a register).
@@ -372,6 +359,25 @@ impl Instruction {
                 || self.mnemonic.starts_with("mov"))
             && self.operands.iter().filter(|o| o.is_mem()).count() == 1
             && !self.is_rmw()
+    }
+}
+
+/// Branch test on a bare (already-lowercased) mnemonic string. Shared by
+/// [`Instruction::is_branch`] and the compact parse path's loop detection,
+/// which has only interned symbols and no `Instruction` to call through.
+pub(crate) fn mnemonic_is_branch(m: &str, isa: Isa) -> bool {
+    match isa {
+        Isa::X86 => {
+            matches!(m, "jmp" | "call" | "ret" | "jcxz" | "jecxz" | "jrcxz")
+                || (m.starts_with('j') && m.len() <= 4)
+        }
+        Isa::AArch64 => {
+            let b = m.split('.').next().unwrap_or(m);
+            matches!(
+                b,
+                "b" | "bl" | "br" | "blr" | "ret" | "cbz" | "cbnz" | "tbz" | "tbnz"
+            )
+        }
     }
 }
 

@@ -1,0 +1,122 @@
+//! String interning for the compact parse path.
+//!
+//! A corpus of assembly blocks repeats the same mnemonics, labels, and raw
+//! lines over and over; the interner maps each distinct string to a dense
+//! [`Sym`] (`u32`) exactly once, so the compact instruction representation
+//! ([`crate::compact`]) can carry symbol ids instead of owned `String`s.
+//! Lookups of already-interned strings are allocation-free, which is what
+//! makes the second pass over a corpus run without touching the heap.
+
+use std::collections::HashMap;
+
+/// Dense id of an interned string. Valid only for the [`Interner`] that
+/// produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// Raw index into the interner's storage table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Append-only string table with O(1) amortized intern and resolve.
+///
+/// Storage is a single `Vec<Box<str>>`; the map borrows nothing from the
+/// storage (it owns parallel boxes) so the structure stays safely movable.
+/// Interning the same string twice returns the same [`Sym`] without
+/// allocating.
+#[derive(Debug, Default)]
+pub struct Interner {
+    map: HashMap<Box<str>, Sym>,
+    strings: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// Empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Intern `s`, returning its stable id. Allocates only on first sight.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Sym(self.strings.len() as u32);
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, sym);
+        sym
+    }
+
+    /// Id of `s` if it has been interned before, without inserting.
+    pub fn get(&self, s: &str) -> Option<Sym> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolve a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` did not come from this interner.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("vfmadd231pd");
+        let b = i.intern("vmovupd");
+        let a2 = i.intern("vfmadd231pd");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let syms: Vec<Sym> = ["ldp", "stp", "fmla", ".L3", ""]
+            .iter()
+            .map(|s| i.intern(s))
+            .collect();
+        for (s, sym) in ["ldp", "stp", "fmla", ".L3", ""].iter().zip(&syms) {
+            assert_eq!(i.resolve(*sym), *s);
+        }
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut i = Interner::new();
+        assert!(i.get("mov").is_none());
+        let s = i.intern("mov");
+        assert_eq!(i.get("mov"), Some(s));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+    }
+}

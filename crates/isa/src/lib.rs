@@ -28,17 +28,21 @@
 //! assert!(kernel.instructions[2].is_store());
 //! ```
 
+pub mod compact;
 pub mod dataflow;
 pub mod ext;
 pub mod inst;
+pub mod intern;
 pub mod kernel;
 pub mod operand;
 pub mod parse;
 pub mod reg;
 
+pub use compact::{CompactInst, CompactKernel, CompactOp, ParseArena};
 pub use ext::IsaExt;
 pub use inst::{Instruction, Isa};
-pub use kernel::{parse_kernel, Kernel};
+pub use intern::{Interner, Sym};
+pub use kernel::{parse_kernel, parse_kernel_reference, Kernel};
 pub use operand::{AddrMode, MemOperand, OpSig, Operand};
 pub use parse::ParseError;
 pub use reg::{RegClass, Register};

@@ -62,7 +62,7 @@ enum Parsed {
     RegList(Vec<crate::reg::Register>),
 }
 
-fn parse_shift_modifier(s: &str) -> Option<(&str, i64)> {
+pub(crate) fn parse_shift_modifier(s: &str) -> Option<(&str, i64)> {
     let s = s.trim();
     for kind in ["lsl", "lsr", "asr", "uxtw", "sxtw", "uxtx", "sxtx"] {
         if let Some(rest) = s.strip_prefix(kind) {

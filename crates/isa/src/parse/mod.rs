@@ -10,6 +10,7 @@ mod x86;
 mod x86_intel;
 
 pub use aarch64::parse_line_aarch64;
+pub(crate) use aarch64::parse_shift_modifier;
 pub use x86::parse_line_x86;
 pub use x86_intel::{looks_like_intel_x86, parse_line_x86_intel};
 
@@ -71,26 +72,72 @@ pub(crate) fn strip_comment<'a>(line: &'a str, markers: &[&str]) -> &'a str {
 /// Split an operand string on top-level commas (commas inside `()`, `[]`,
 /// or `{}` do not separate operands).
 pub(crate) fn split_operands(s: &str) -> Vec<&str> {
-    let mut out = Vec::new();
-    let mut depth = 0usize;
-    let mut start = 0usize;
-    for (i, c) in s.char_indices() {
-        match c {
-            '(' | '[' | '{' => depth += 1,
-            ')' | ']' | '}' => depth = depth.saturating_sub(1),
-            ',' if depth == 0 => {
-                out.push(s[start..i].trim());
-                start = i + 1;
+    split_operands_iter(s).collect()
+}
+
+/// Allocation-free form of [`split_operands`]: yields the same trimmed,
+/// non-empty segments without building a `Vec`. This is what the compact
+/// parse path ([`crate::compact`]) uses on its steady state.
+pub(crate) fn split_operands_iter(s: &str) -> OperandSplit<'_> {
+    OperandSplit { rest: Some(s) }
+}
+
+/// Iterator over top-level comma-separated operand segments.
+#[derive(Clone)]
+pub(crate) struct OperandSplit<'a> {
+    rest: Option<&'a str>,
+}
+
+impl<'a> Iterator for OperandSplit<'a> {
+    type Item = &'a str;
+
+    fn next(&mut self) -> Option<&'a str> {
+        loop {
+            let s = self.rest?;
+            let mut depth = 0usize;
+            let mut split_at = None;
+            for (i, c) in s.char_indices() {
+                match c {
+                    '(' | '[' | '{' => depth += 1,
+                    ')' | ']' | '}' => depth = depth.saturating_sub(1),
+                    ',' if depth == 0 => {
+                        split_at = Some(i);
+                        break;
+                    }
+                    _ => {}
+                }
             }
-            _ => {}
+            let piece = match split_at {
+                Some(i) => {
+                    self.rest = Some(&s[i + 1..]);
+                    &s[..i]
+                }
+                None => {
+                    self.rest = None;
+                    s
+                }
+            };
+            let piece = piece.trim();
+            if !piece.is_empty() {
+                return Some(piece);
+            }
+            self.rest?;
         }
     }
-    let last = s[start..].trim();
-    if !last.is_empty() {
-        out.push(last);
+}
+
+/// Case-insensitive ASCII substring search without allocating a lowercased
+/// copy. `needle` must already be ASCII-lowercase.
+pub(crate) fn contains_ignore_ascii_case(hay: &str, needle: &str) -> bool {
+    let (hay, needle) = (hay.as_bytes(), needle.as_bytes());
+    if needle.is_empty() {
+        return true;
     }
-    out.retain(|p| !p.is_empty());
-    out
+    if hay.len() < needle.len() {
+        return false;
+    }
+    hay.windows(needle.len())
+        .any(|w| w.eq_ignore_ascii_case(needle))
 }
 
 /// Parse an integer that may be decimal, hex (`0x`), or negative.
@@ -124,6 +171,22 @@ mod tests {
             vec!["{z0.d, z1.d}", "p0/z", "[x0]"]
         );
         assert_eq!(split_operands(""), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn split_drops_empty_segments() {
+        assert_eq!(split_operands("a,,b"), vec!["a", "b"]);
+        assert_eq!(split_operands(",a,"), vec!["a"]);
+        assert_eq!(split_operands(" , "), Vec::<&str>::new());
+        assert_eq!(split_operands("a(b,c"), vec!["a(b,c"]);
+    }
+
+    #[test]
+    fn case_insensitive_contains() {
+        assert!(contains_ignore_ascii_case("QWORD PTR [rax]", "ptr ["));
+        assert!(contains_ignore_ascii_case("ptr [", "ptr ["));
+        assert!(!contains_ignore_ascii_case("ptr", "ptr ["));
+        assert!(contains_ignore_ascii_case("x", ""));
     }
 
     #[test]

@@ -5,25 +5,25 @@
 //! AT&T width suffixes on integer mnemonics, so all downstream semantics
 //! (dataflow, database lookup) work unchanged.
 
-use super::{parse_int, split_operands, strip_comment, ParseError};
+use super::{contains_ignore_ascii_case, parse_int, split_operands, strip_comment, ParseError};
 use crate::inst::{Instruction, Isa};
 use crate::operand::{MemOperand, Operand};
 use crate::reg::x86_register;
 
 /// Heuristic: is this x86 listing written in Intel syntax? (No `%` sigils,
 /// and either `ptr [` directives or bare register names appear.)
+/// Allocation-free: the case-insensitive checks scan in place.
 pub fn looks_like_intel_x86(asm: &str) -> bool {
     if asm.contains('%') {
         return false;
     }
-    let lower = asm.to_ascii_lowercase();
-    lower.contains("ptr [")
-        || lower.contains('[')
+    contains_ignore_ascii_case(asm, "ptr [")
+        || asm.contains('[')
         || [
             " rax", " rbx", " rcx", " rdx", " rsi", " rdi", " xmm", " ymm", " zmm",
         ]
         .iter()
-        .any(|r| lower.contains(r))
+        .any(|r| contains_ignore_ascii_case(asm, r))
 }
 
 /// Parse one line of Intel-syntax assembly. Returns `Ok(None)` for blank
@@ -93,10 +93,12 @@ fn parse_operand(s: &str, lineno: usize, raw: &str) -> Result<(Operand, Option<c
         ("ymmword", 'y'),
         ("zmmword", 'z'),
     ] {
-        let lower = s.to_ascii_lowercase();
-        if let Some(rest) = lower.strip_prefix(dir) {
-            let rest = rest.trim_start();
-            if let Some(after) = rest.strip_prefix("ptr") {
+        // Case-insensitive prefix match without lowercasing a copy; a match
+        // is all-ASCII, so the byte offsets below are char boundaries.
+        if s.len() >= dir.len() && s.as_bytes()[..dir.len()].eq_ignore_ascii_case(dir.as_bytes()) {
+            let rest = s[dir.len()..].trim_start();
+            if rest.len() >= 3 && rest.as_bytes()[..3].eq_ignore_ascii_case(b"ptr") {
+                let after = &rest[3..];
                 let consumed = s.len() - after.len();
                 s = s[consumed..].trim_start();
                 if matches!(sfx, 'b' | 'w' | 'l' | 'q') {

@@ -103,8 +103,17 @@ pub const X86_GPR_NAMES: [&str; 16] = [
 
 /// Look up an x86 register name (without the `%` sigil). Handles all
 /// aliasing sub-register views.
+///
+/// Compiler-emitted lowercase names resolve without allocating; mixed-case
+/// input falls back to one lowercased copy.
 pub fn x86_register(name: &str) -> Option<Register> {
-    let n = name.to_ascii_lowercase();
+    if name.bytes().any(|b| b.is_ascii_uppercase()) {
+        return x86_register_lower(&name.to_ascii_lowercase());
+    }
+    x86_register_lower(name)
+}
+
+fn x86_register_lower(n: &str) -> Option<Register> {
     // 64-bit canonical names and legacy sub-registers.
     if let Some(i) = X86_GPR_NAMES.iter().position(|&g| g == n) {
         return Some(Register::gpr(i as u8, 64));
@@ -168,10 +177,19 @@ pub fn x86_register(name: &str) -> Option<Register> {
 
 /// Look up an AArch64 register name. Returns the register together with the
 /// element width implied by the name (`x`/`w`, `d`/`s`, `v`/`z` views).
+///
+/// Compiler-emitted lowercase names resolve without allocating; mixed-case
+/// input falls back to one lowercased copy.
 pub fn aarch64_register(name: &str) -> Option<Register> {
-    let n = name.to_ascii_lowercase();
+    if name.bytes().any(|b| b.is_ascii_uppercase()) {
+        return aarch64_register_lower(&name.to_ascii_lowercase());
+    }
+    aarch64_register_lower(name)
+}
+
+fn aarch64_register_lower(n: &str) -> Option<Register> {
     // Strip SVE/NEON arrangement suffixes like `v0.2d`, `z3.s`, `p1/m`.
-    let base = n.split(['.', '/']).next().unwrap_or(&n);
+    let base = n.split(['.', '/']).next().unwrap_or(n);
     match base {
         "sp" => return Some(Register::new(RegClass::Sp, 31, 64)),
         "wsp" => return Some(Register::new(RegClass::Sp, 31, 32)),
@@ -302,6 +320,15 @@ mod tests {
         let p = aarch64_register("p0/z").unwrap();
         assert_eq!(p.class, RegClass::Pred);
         assert!(aarch64_register("p16").is_none());
+    }
+
+    #[test]
+    fn mixed_case_still_resolves() {
+        assert_eq!(x86_register("RAX"), x86_register("rax"));
+        assert_eq!(x86_register("Zmm3"), x86_register("zmm3"));
+        assert_eq!(aarch64_register("X5"), aarch64_register("x5"));
+        assert_eq!(aarch64_register("V3.2D"), aarch64_register("v3.2d"));
+        assert!(x86_register("BOGUS").is_none());
     }
 
     #[test]

@@ -1,7 +1,11 @@
 //! Per-kernel data volumes and flop counts (per scalar loop iteration),
-//! used by the ECM/Roofline models and the bandwidth benchmarks.
+//! used by the ECM/Roofline models and the bandwidth benchmarks — plus
+//! the volume corpus source ([`VolumeBlock`] / [`volume_blocks`]) that
+//! scales the generator personalities past the fixed validation grid for
+//! throughput work (streaming sessions, the pipeline benchmark).
 
-use crate::StreamKernel;
+use crate::{variants_for, Arch, StreamKernel, Variant};
+use uarch::Machine;
 
 /// Data traffic and work of one scalar iteration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -121,6 +125,62 @@ pub fn volume(kernel: StreamKernel) -> Volume {
     }
 }
 
+/// One block of a volume corpus: a generator variant plus a replica
+/// index. Replica 0 is the standard corpus block; higher replicas wrap
+/// around the variant grid with a distinguishing comment in the emitted
+/// assembly, so every block has distinct text (a streaming pipeline over
+/// a volume corpus parses every block, it cannot coast on the in-memory
+/// kernel cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VolumeBlock {
+    pub variant: Variant,
+    pub replica: u32,
+}
+
+impl VolumeBlock {
+    /// Kernel label for reports: the plain corpus name at replica 0
+    /// (byte-compatible with the fixed grid), suffixed `#r<n>` beyond.
+    pub fn kernel_label(&self) -> String {
+        if self.replica == 0 {
+            self.variant.kernel.name().to_string()
+        } else {
+            format!("{}#r{}", self.variant.kernel.name(), self.replica)
+        }
+    }
+
+    /// Emit the block's assembly: the variant's generated text, with a
+    /// replica-tag comment line appended for replicas past the first.
+    /// The tag is a *trailing* comment in the machine's dialect — the
+    /// parse is unaffected (even instruction line numbers, which a leading
+    /// comment would shift); only the text, and thus every content hash,
+    /// differs.
+    pub fn generate(&self, machine: &Machine) -> String {
+        let mut asm = crate::generate(&self.variant, machine);
+        if self.replica > 0 {
+            let comment = match machine.isa {
+                isa::Isa::X86 => "#",
+                isa::Isa::AArch64 => "//",
+            };
+            asm.push_str(&format!("{comment} volume replica {}\n", self.replica));
+        }
+        asm
+    }
+}
+
+/// The first `total` blocks of the volume corpus for one architecture:
+/// the variant grid cycled in [`variants_for`] order, bumping the replica
+/// index each full pass. `total` ≤ the grid size reproduces a prefix of
+/// the standard corpus exactly.
+pub fn volume_blocks(arch: Arch, total: usize) -> Vec<VolumeBlock> {
+    let variants = variants_for(arch);
+    (0..total)
+        .map(|i| VolumeBlock {
+            variant: variants[i % variants.len()],
+            replica: (i / variants.len()) as u32,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +212,44 @@ mod tests {
         for k in StreamKernel::ALL {
             let v = volume(k);
             assert!(v.load_bytes + v.store_bytes + v.flops > 0, "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn volume_corpus_prefix_matches_the_standard_grid() {
+        let arch = Arch::GoldenCove;
+        let grid = variants_for(arch);
+        let blocks = volume_blocks(arch, grid.len() + 3);
+        assert_eq!(blocks.len(), grid.len() + 3);
+        let machine = Machine::golden_cove();
+        for (b, v) in blocks.iter().zip(&grid) {
+            assert_eq!(b.variant, *v);
+            assert_eq!(b.replica, 0);
+            assert_eq!(b.kernel_label(), v.kernel.name());
+            assert_eq!(b.generate(&machine), crate::generate(v, &machine));
+        }
+        // Past one full pass the grid wraps with replica 1.
+        let wrapped = &blocks[grid.len()];
+        assert_eq!(wrapped.variant, grid[0]);
+        assert_eq!(wrapped.replica, 1);
+        assert!(wrapped.kernel_label().ends_with("#r1"));
+    }
+
+    #[test]
+    fn replica_tag_changes_text_not_parse() {
+        for (arch, mk) in [
+            (Arch::GoldenCove, Machine::golden_cove as fn() -> Machine),
+            (Arch::NeoverseV2, Machine::neoverse_v2 as fn() -> Machine),
+        ] {
+            let machine = mk();
+            let grid_len = variants_for(arch).len();
+            let blocks = volume_blocks(arch, grid_len + 1);
+            let (base, replica) = (&blocks[0], &blocks[grid_len]);
+            let (a, b) = (base.generate(&machine), replica.generate(&machine));
+            assert_ne!(a, b, "replica text must be distinct (distinct hash)");
+            let ka = isa::parse_kernel(&a, machine.isa).unwrap();
+            let kb = isa::parse_kernel(&b, machine.isa).unwrap();
+            assert_eq!(ka, kb, "the tag is a comment; the kernel is identical");
         }
     }
 }
