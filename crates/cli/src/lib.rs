@@ -27,6 +27,7 @@ pub use engine::{Error, ErrorKind};
 
 pub mod proto;
 pub mod serve;
+pub mod top;
 
 /// Simulator configuration overrides shared by `analyze` and `validate`
 /// (`--iterations`, `--warmup`, `--no-early-exit`). `None`/`false` means
@@ -306,6 +307,9 @@ pub enum Command {
     /// Run the long-lived analysis server (newline-delimited JSON over
     /// TCP; see [`proto`] and [`serve`]).
     Serve(serve::ServeOpts),
+    /// Poll a running server and render a live terminal dashboard
+    /// (see [`top`]).
+    Top(top::TopOpts),
     /// Render the bottleneck-attribution report for one corpus kernel:
     /// which port, dependency chain, or front-end limit bounds it, per
     /// predictor, and why the predictors disagree when they do.
@@ -427,6 +431,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, Error> {
                     }
                     "--throttle-ms" => opts.throttle_ms = next_value(&mut it, "--throttle-ms")?,
                     "--cache-dir" => opts.cache_dir = Some(next_value(&mut it, "--cache-dir")?),
+                    "--slow-ms" => opts.slow_ms = next_value(&mut it, "--slow-ms")?,
+                    "--trace" => opts.trace = Some(next_value(&mut it, "--trace")?),
                     other => return Err(Error::usage(format!("unknown flag `{other}`"))),
                 }
             }
@@ -434,6 +440,29 @@ pub fn parse_args(args: &[String]) -> Result<Command, Error> {
                 return Err(Error::usage("--queue must be at least 1"));
             }
             Ok(Command::Serve(opts))
+        }
+        "top" => {
+            let mut opts = top::TopOpts::default();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--interval-ms" => opts.interval_ms = next_value(&mut it, "--interval-ms")?,
+                    "--count" => opts.count = next_value(&mut it, "--count")?,
+                    flag if flag.starts_with("--") => {
+                        return Err(Error::usage(format!("unknown flag `{flag}`")))
+                    }
+                    addr if opts.addr.is_empty() => opts.addr = addr.to_string(),
+                    extra => return Err(Error::usage(format!("unexpected argument `{extra}`"))),
+                }
+            }
+            if opts.addr.is_empty() {
+                return Err(Error::usage(
+                    "top needs the server address (host:port, as printed by serve)",
+                ));
+            }
+            if opts.interval_ms == 0 {
+                return Err(Error::usage("--interval-ms must be at least 1"));
+            }
+            Ok(Command::Top(opts))
         }
         "explain" => {
             let mut kernel = None;
@@ -700,9 +729,18 @@ USAGE:
       --cache-dir <dir>    persist responses on disk (content-addressed, bounded
                            by --cache entries, replayed across restarts)
       --arch/--model/--machine-file   default machine for requests that name none
+      --slow-ms <n>        journal a warn event for requests slower than this
+      --trace <file>       record per-request span trees to a Chrome trace file
       wire protocol: {\"type\":\"analyze\",\"id\":1,\"asm\":\"...\",\"arch\":\"spr\"} in,
       {\"id\":1,\"ok\":true,\"report\":<analyze --json report>} out; also `ping`,
-      `metrics` (versioned counters/latency JSON), and `shutdown` (graceful drain)
+      `metrics` (versioned counters/latency JSON), `events` (journal drain),
+      and `shutdown` (graceful drain); an HTTP GET on the same port answers
+      a Prometheus text scrape
+  incore-cli top <host:port> [flags]  live dashboard over a running serve
+      instance: totals, 10s/1m/5m rolling rates, service-time quantiles,
+      cache/queue state, and the event-journal tail, re-rendered per tick
+      --interval-ms <n>    poll period (default 1000)
+      --count <n>          render n frames then exit (default 0 = until drain)
   incore-cli machines [--json]        list the machine registry: id, lineage
       (base model + composition deltas), and key parameters
   incore-cli export --arch <machine>  dump a machine model as an editable JSON file
@@ -1542,6 +1580,10 @@ mod tests {
             "5",
             "--cache-dir",
             "/tmp/incore-serve-cache",
+            "--slow-ms",
+            "250",
+            "--trace",
+            "serve.trace.json",
             "--arch",
             "spr",
         ]))
@@ -1557,6 +1599,8 @@ mod tests {
                 throttle_ms: 5,
                 sel: MachineSel::model("golden-cove"),
                 cache_dir: Some("/tmp/incore-serve-cache".into()),
+                slow_ms: 250,
+                trace: Some("serve.trace.json".into()),
             })
         );
         // Defaults: ephemeral local port, bounded queue/cache, no default
@@ -1571,6 +1615,34 @@ mod tests {
         let e = parse_args(&sv(&["serve", "--queue", "0"])).unwrap_err();
         assert_eq!(e.kind(), ErrorKind::Usage);
         let e = parse_args(&sv(&["serve", "--port"])).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::Usage);
+    }
+
+    #[test]
+    fn parse_top_options() {
+        assert_eq!(
+            parse_args(&sv(&[
+                "top",
+                "127.0.0.1:7070",
+                "--interval-ms",
+                "250",
+                "--count",
+                "3",
+            ]))
+            .unwrap(),
+            Command::Top(top::TopOpts {
+                addr: "127.0.0.1:7070".into(),
+                interval_ms: 250,
+                count: 3,
+                clear: false,
+            })
+        );
+        // The address is required; zero-period polling is rejected.
+        let e = parse_args(&sv(&["top"])).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::Usage);
+        let e = parse_args(&sv(&["top", "a:1", "--interval-ms", "0"])).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::Usage);
+        let e = parse_args(&sv(&["top", "a:1", "b:2"])).unwrap_err();
         assert_eq!(e.kind(), ErrorKind::Usage);
     }
 
@@ -2542,6 +2614,9 @@ mod tests {
             depth: 0,
             start_us: 10,
             dur_us: 250,
+            trace_id: 0,
+            span_id: 0,
+            parent_id: 0,
         });
         let text = render_profile(&profile, ProfileMode::Text);
         assert!(text.contains("sim.calls"), "{text}");

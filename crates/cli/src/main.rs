@@ -235,6 +235,13 @@ fn run(args: &[String]) -> Result<i32, Error> {
             }
             cli::serve::run_serve(opts, &mut std::io::stdout())?;
         }
+        Command::Top(mut opts) => {
+            // Clear-and-redraw only when a human is watching; piped
+            // output appends frames like a log.
+            use std::io::IsTerminal;
+            opts.clear = std::io::stdout().is_terminal();
+            cli::top::run_top(&opts, &mut std::io::stdout())?;
+        }
     }
     Ok(0)
 }

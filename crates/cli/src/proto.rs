@@ -9,6 +9,7 @@
 //! ```text
 //! {"type":"analyze","id":1,"asm":".L1:\n ...","arch":"spr","mca":true}
 //! {"type":"metrics","id":2}
+//! {"type":"events","id":5,"since":17}
 //! {"type":"ping","id":3}
 //! {"type":"shutdown","id":4}
 //! ```
@@ -19,7 +20,14 @@
 //! an unknown name fails with the same message in both modes), and
 //! `"machine_file"` is a server-side path like `--machine-file`. The
 //! optional `"balanced"`, `"mca"`, and `"sim"` booleans mirror the
-//! `analyze` flags; `"label"` names the kernel in the report.
+//! `analyze` flags; `"label"` names the kernel in the report. An
+//! optional `"trace":true` asks the server to echo the request's
+//! `trace_id` on the response (when the server is tracing, the request
+//! also becomes a connected span tree in the Chrome-trace output).
+//!
+//! `events` drains the server's journal: `"since"` (default 0) is the
+//! last sequence number already seen, and the response carries every
+//! retained event newer than it plus `next_seq`/`dropped` cursors.
 //!
 //! Successful `analyze` responses embed the report as the **last** key —
 //! `{"id":1,"ok":true,"report":<BatchReport>}` — so the report bytes can
@@ -46,8 +54,12 @@ pub const PROTOCOL_VERSION: u32 = 1;
 ///
 /// History: 1 = requests/cache/queue/service-time blocks; 2 = added the
 /// `disk` block (persistent `--cache-dir` hit/miss/write/eviction
-/// counters, zeroed with `"enabled":false` when no cache dir is set).
-pub const METRICS_SCHEMA_VERSION: u32 = 2;
+/// counters, zeroed with `"enabled":false` when no cache dir is set);
+/// 3 = added `uptime_s`, the rolling `windows` block (10s/1m/5m req/s,
+/// error rate, service p50/p99, cache/coalesce hit rates), and the
+/// `journal` block (retained/dropped event counts + next_seq cursor).
+/// Every version is a strict superset of its predecessor.
+pub const METRICS_SCHEMA_VERSION: u32 = 3;
 
 /// Default cap on one request frame (bytes, excluding the newline).
 pub const DEFAULT_MAX_REQUEST_BYTES: usize = 1 << 20;
@@ -63,6 +75,8 @@ pub struct AnalyzeRequest {
     pub sel: MachineSel,
     /// Predictor set: only `balanced`/`mca`/`sim` are wire-settable.
     pub flags: AnalyzeFlags,
+    /// Echo the request's trace id on the response.
+    pub trace: bool,
 }
 
 /// One parsed request frame.
@@ -70,6 +84,7 @@ pub struct AnalyzeRequest {
 pub enum Request {
     Analyze(AnalyzeRequest),
     Metrics { id: u64 },
+    Events { id: u64, since: u64 },
     Ping { id: u64 },
     Shutdown { id: u64 },
 }
@@ -78,7 +93,10 @@ impl Request {
     pub fn id(&self) -> u64 {
         match self {
             Request::Analyze(a) => a.id,
-            Request::Metrics { id } | Request::Ping { id } | Request::Shutdown { id } => *id,
+            Request::Metrics { id }
+            | Request::Events { id, .. }
+            | Request::Ping { id }
+            | Request::Shutdown { id } => *id,
         }
     }
 }
@@ -197,11 +215,13 @@ pub fn parse_request(line: &str) -> Result<Request, Error> {
             "balanced",
             "mca",
             "sim",
+            "trace",
         ],
+        "events" => &["type", "id", "since"],
         "metrics" | "ping" | "shutdown" => &["type", "id"],
         other => {
             return Err(Error::protocol(format!(
-                "unknown request type `{other}`; use analyze, metrics, ping, or shutdown"
+                "unknown request type `{other}`; use analyze, metrics, events, ping, or shutdown"
             )))
         }
     };
@@ -214,6 +234,15 @@ pub fn parse_request(line: &str) -> Result<Request, Error> {
     }
     match ty.as_str() {
         "metrics" => Ok(Request::Metrics { id }),
+        "events" => {
+            let since = match field(obj, "since") {
+                None => 0,
+                Some(v) => v
+                    .as_u64()
+                    .ok_or_else(|| Error::protocol("`since` must be a non-negative integer"))?,
+            };
+            Ok(Request::Events { id, since })
+        }
         "ping" => Ok(Request::Ping { id }),
         "shutdown" => Ok(Request::Shutdown { id }),
         _ => {
@@ -244,6 +273,7 @@ pub fn parse_request(line: &str) -> Result<Request, Error> {
                 asm,
                 sel,
                 flags,
+                trace: bool_field(obj, "trace")?,
             }))
         }
     }
@@ -253,6 +283,17 @@ pub fn parse_request(line: &str) -> Result<Request, Error> {
 /// the last key, so [`extract_report`] can recover its exact bytes.
 pub fn render_analyze_ok(id: u64, report_json: &str) -> String {
     format!("{{\"id\":{id},\"ok\":true,\"report\":{report_json}}}\n")
+}
+
+/// Successful `analyze` response with the request's trace id echoed
+/// (only when the client asked with `"trace":true` *and* the server is
+/// tracing; `trace_id` 0 falls back to the plain envelope). The report
+/// stays the last key, so [`extract_report`] works on both shapes.
+pub fn render_analyze_ok_traced(id: u64, trace_id: u64, report_json: &str) -> String {
+    if trace_id == 0 {
+        return render_analyze_ok(id, report_json);
+    }
+    format!("{{\"id\":{id},\"ok\":true,\"trace_id\":{trace_id},\"report\":{report_json}}}\n")
 }
 
 /// Recover the embedded report bytes from a successful `analyze`
@@ -289,6 +330,12 @@ pub fn render_shutdown_ack(id: u64) -> String {
 /// [`crate::serve::Server`]) in the response envelope.
 pub fn render_metrics(id: u64, metrics_json: &str) -> String {
     format!("{{\"id\":{id},\"ok\":true,\"metrics\":{metrics_json}}}\n")
+}
+
+/// Wrap an already-serialized journal drain (see `crate::serve`) in the
+/// response envelope.
+pub fn render_events(id: u64, events_json: &str) -> String {
+    format!("{{\"id\":{id},\"ok\":true,\"events\":{events_json}}}\n")
 }
 
 #[cfg(test)]
@@ -393,6 +440,9 @@ mod tests {
             r#"{"type":"analyze","asm":"nop","mca":"yes"}"#,
             r#"{"type":"ping","id":-3}"#,
             r#"{"type":"ping","extra":true}"#,
+            r#"{"type":"events","since":-1}"#,
+            r#"{"type":"events","kind":"x"}"#,
+            r#"{"type":"analyze","asm":"nop","trace":"yes"}"#,
         ] {
             let e = parse_request(bad).unwrap_err();
             assert_eq!(e.kind(), ErrorKind::Protocol, "{bad}: {e}");
@@ -409,6 +459,39 @@ mod tests {
             parse_request(r#"{"type":"metrics"}"#).unwrap(),
             Request::Metrics { id: 0 }
         );
+        assert_eq!(
+            parse_request(r#"{"type":"events","id":4,"since":17}"#).unwrap(),
+            Request::Events { id: 4, since: 17 }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"events"}"#).unwrap(),
+            Request::Events { id: 0, since: 0 }
+        );
+    }
+
+    #[test]
+    fn traced_analyze_round_trips_and_degrades() {
+        let req = parse_request(r#"{"type":"analyze","id":1,"asm":"nop","trace":true}"#).unwrap();
+        match req {
+            Request::Analyze(a) => assert!(a.trace),
+            other => panic!("{other:?}"),
+        }
+        let report = r#"{"schema_version":3}"#;
+        let frame = render_analyze_ok_traced(9, 41, report);
+        assert_eq!(extract_report(&frame), Some(report));
+        let v: serde::Value = serde_json::from_str(frame.trim_end()).unwrap();
+        assert_eq!(
+            v.as_object().unwrap().get("trace_id").unwrap().as_u64(),
+            Some(41)
+        );
+        // trace_id 0 (server not tracing) renders the plain envelope.
+        assert_eq!(
+            render_analyze_ok_traced(9, 0, report),
+            render_analyze_ok(9, report)
+        );
+        let events = render_events(2, r#"{"next_seq":5,"dropped":0,"events":[]}"#);
+        let v: serde::Value = serde_json::from_str(events.trim_end()).unwrap();
+        assert!(v.as_object().unwrap().get("events").is_some());
     }
 
     #[test]

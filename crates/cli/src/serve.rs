@@ -10,6 +10,33 @@
 //! with a machine-readable `overloaded` error and a retry hint instead
 //! of queueing without bound.
 //!
+//! ## Telemetry
+//!
+//! All serving statistics live in one [`obs::registry::Registry`]
+//! ([`Telemetry`]): counters and gauges are updated lock-free on the
+//! hot path, and every `metrics` response, Prometheus scrape, and exit
+//! summary is rendered from a single **consistent snapshot**, so
+//! cross-counter accounting invariants (`requests >= analyze >=
+//! response_hits + response_misses`, `response_misses >= coalesced`,
+//! `requests >= ok + errors + overloaded`) hold in every observation —
+//! no torn field-by-field reads. Beside the registry sit rolling
+//! 10s/1m/5m windows ([`obs::timeseries`]) and a severity-tagged event
+//! journal ([`obs::journal`]) drained by the `events` request.
+//!
+//! When the global obs recorder is on (`serve --trace <file>`, or a
+//! test harness calling [`obs::enable`]), every `analyze` request mints
+//! an [`obs::TraceCtx`] that follows it through the response cache, the
+//! coalescer, the shard queue, and the worker's compute call — so the
+//! predictor spans `engine` already emits nest under one connected,
+//! causally-ordered span tree per request in the Chrome-trace output.
+//! A request carrying `"trace":true` gets its `trace_id` echoed on the
+//! response envelope.
+//!
+//! A connection whose **first** line starts with `GET ` is served one
+//! Prometheus text exposition of the full registry (plus cache/disk
+//! gauges) and closed: `curl http://addr/metrics` works against the
+//! NDJSON port with no HTTP stack on either side.
+//!
 //! ## Determinism contract
 //!
 //! The `report` bytes of a served `analyze` response are exactly
@@ -18,8 +45,10 @@
 //! stamp zeroed. That is what makes coalescing and caching safe: a
 //! response computed once and shared (or replayed from the cache) is
 //! byte-identical to one computed fresh, so clients cannot observe
-//! whether they were coalesced. Coalesce/cache statistics are visible
-//! only through the `metrics` request.
+//! whether they were coalesced. Telemetry never alters response bytes:
+//! tracing adds envelope metadata only when explicitly requested, and
+//! coalesce/cache statistics are visible only through the `metrics`
+//! request.
 //!
 //! ## Shutdown
 //!
@@ -31,10 +60,14 @@
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Mutex};
 use std::time::Instant;
+
+use obs::journal::{Journal, Severity};
+use obs::registry::{CounterId, GaugeId, HistId, Registry};
+use obs::timeseries::{WindowedCounter, WindowedHistogram, WINDOWS};
 
 use crate::proto::{self, AnalyzeRequest, FrameReader, Request};
 use crate::{AnalyzeFlags, Error, ErrorKind, MachineRef, MachineSel};
@@ -45,6 +78,9 @@ const RETRY_AFTER_MS: u64 = 50;
 /// Outbound per-connection frame buffer (the reader blocks, applying
 /// backpressure, once a client stops draining its responses).
 const OUTBOUND_FRAMES: usize = 8;
+
+/// Journal ring capacity (events retained for the `events` request).
+const JOURNAL_CAP: usize = 256;
 
 /// Options of `incore-cli serve`.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +105,12 @@ pub struct ServeOpts {
     /// Persist computed responses under this directory (content-addressed,
     /// bounded by `cache` entries) and replay them across server restarts.
     pub cache_dir: Option<String>,
+    /// Journal a `slow_request` warning for jobs serviced slower than
+    /// this many milliseconds (0 = off).
+    pub slow_ms: u64,
+    /// Enable the obs recorder for the server's lifetime and write a
+    /// Chrome trace (with per-request span trees) to this path on exit.
+    pub trace: Option<String>,
 }
 
 impl Default for ServeOpts {
@@ -82,6 +124,8 @@ impl Default for ServeOpts {
             throttle_ms: 0,
             sel: MachineSel::default(),
             cache_dir: None,
+            slow_ms: 1000,
+            trace: None,
         }
     }
 }
@@ -172,10 +216,20 @@ struct Payload {
 struct Waiter {
     id: u64,
     tx: SyncSender<String>,
+    /// This request's trace context ([`obs::TraceCtx::NONE`] when the
+    /// recorder is off); `span_id` is the pre-minted root span id.
+    ctx: obs::TraceCtx,
+    /// Submit-time instant, closing the root span at delivery.
+    t0: Instant,
+    /// Echo `trace_id` on the response envelope.
+    want_trace: bool,
 }
 
 struct Pending {
     payload: Payload,
+    /// The leader's trace context: the worker computes under it, so the
+    /// shared predictor spans belong to the first requester's tree.
+    ctx: obs::TraceCtx,
     waiters: Vec<Waiter>,
 }
 
@@ -189,31 +243,227 @@ struct Shard {
     inflight: Mutex<HashMap<Key, Pending>>,
 }
 
-#[derive(Default)]
-struct Metrics {
-    requests: AtomicU64,
-    analyze: AtomicU64,
-    ok: AtomicU64,
-    errors: AtomicU64,
-    overloaded: AtomicU64,
-    coalesced: AtomicU64,
-    response_hits: AtomicU64,
-    response_misses: AtomicU64,
-    response_evictions: AtomicU64,
-    queue_depth: AtomicU64,
-    queue_peak: AtomicU64,
-    /// Service time per computed job, microseconds (the obs
-    /// power-of-two histogram, quantiles via [`obs::Histogram::quantile`]).
-    service_us: Mutex<obs::Histogram>,
+/// The serve counters, named once. Each variant maps to a registry slot
+/// and the obs-recorder mirror name (the counter glossary in README).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ctr {
+    Requests,
+    Analyze,
+    Ok,
+    Errors,
+    Overloaded,
+    Coalesced,
+    ResponseHits,
+    ResponseMisses,
+    ResponseEvictions,
+    Scrapes,
 }
 
-impl Metrics {
-    fn bump(c: &AtomicU64, delta: u64, obs_name: &str) {
-        c.fetch_add(delta, Ordering::Relaxed);
-        if obs::enabled() {
-            obs::counter(obs_name, delta);
+impl Ctr {
+    const ALL: [Ctr; 10] = [
+        Ctr::Requests,
+        Ctr::Analyze,
+        Ctr::Ok,
+        Ctr::Errors,
+        Ctr::Overloaded,
+        Ctr::Coalesced,
+        Ctr::ResponseHits,
+        Ctr::ResponseMisses,
+        Ctr::ResponseEvictions,
+        Ctr::Scrapes,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            Ctr::Requests => "serve.requests",
+            Ctr::Analyze => "serve.analyze",
+            Ctr::Ok => "serve.ok",
+            Ctr::Errors => "serve.errors",
+            Ctr::Overloaded => "serve.overloaded",
+            Ctr::Coalesced => "serve.coalesced",
+            Ctr::ResponseHits => "serve.response_hits",
+            Ctr::ResponseMisses => "serve.response_misses",
+            Ctr::ResponseEvictions => "serve.response_evictions",
+            Ctr::Scrapes => "serve.scrapes",
         }
     }
+}
+
+/// Rolling 1-second ring buffers behind the `windows` metrics block.
+struct Windows {
+    requests: WindowedCounter,
+    errors: WindowedCounter,
+    analyze: WindowedCounter,
+    hits: WindowedCounter,
+    misses: WindowedCounter,
+    coalesced: WindowedCounter,
+    service: WindowedHistogram,
+}
+
+impl Windows {
+    fn new() -> Windows {
+        Windows {
+            requests: WindowedCounter::new(),
+            errors: WindowedCounter::new(),
+            analyze: WindowedCounter::new(),
+            hits: WindowedCounter::new(),
+            misses: WindowedCounter::new(),
+            coalesced: WindowedCounter::new(),
+            service: WindowedHistogram::new(),
+        }
+    }
+
+    /// One window's JSON object (rates guarded against empty windows,
+    /// so the output never contains NaN).
+    fn render(&self, now_s: u64, secs: u64) -> String {
+        let requests = self.requests.sum(now_s, secs);
+        let errors = self.errors.sum(now_s, secs);
+        let analyze = self.analyze.sum(now_s, secs);
+        let hits = self.hits.sum(now_s, secs);
+        let lookups = hits + self.misses.sum(now_s, secs);
+        let coalesced = self.coalesced.sum(now_s, secs);
+        let h = self.service.merged(now_s, secs);
+        let ratio = |num: u64, den: u64| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        format!(
+            concat!(
+                "{{\"requests_per_s\":{:.4},\"error_rate\":{:.4}",
+                ",\"service_p50_us\":{},\"service_p99_us\":{}",
+                ",\"cache_hit_rate\":{:.4},\"coalesce_rate\":{:.4}}}"
+            ),
+            requests as f64 / secs as f64,
+            ratio(errors, requests),
+            h.quantile(0.50),
+            h.quantile(0.99),
+            ratio(hits, lookups),
+            ratio(coalesced, analyze),
+        )
+    }
+}
+
+/// All serving telemetry: the counter registry (consistent snapshots),
+/// the rolling windows, and the event journal.
+struct Telemetry {
+    reg: Registry,
+    counters: [CounterId; Ctr::ALL.len()],
+    queue_depth: GaugeId,
+    queue_peak: GaugeId,
+    service_us: HistId,
+    start: Instant,
+    windows: Mutex<Windows>,
+    journal: Mutex<Journal>,
+}
+
+impl Telemetry {
+    fn new() -> Telemetry {
+        let mut reg = Registry::new();
+        let counters = Ctr::ALL.map(|c| reg.counter(c.name()));
+        let queue_depth = reg.gauge("serve.queue_depth");
+        let queue_peak = reg.gauge("serve.queue_peak");
+        let service_us = reg.histogram("serve.service_time_us");
+        Telemetry {
+            reg,
+            counters,
+            queue_depth,
+            queue_peak,
+            service_us,
+            start: Instant::now(),
+            windows: Mutex::new(Windows::new()),
+            journal: Mutex::new(Journal::new(JOURNAL_CAP)),
+        }
+    }
+
+    fn now_s(&self) -> u64 {
+        self.start.elapsed().as_secs()
+    }
+
+    /// Bump a counter everywhere it is observable: the registry slot,
+    /// the obs-recorder mirror (when profiling), and the rolling window
+    /// that feeds the 10s/1m/5m rates.
+    fn bump(&self, c: Ctr, delta: u64) {
+        self.reg.add(self.counters[c as usize], delta);
+        if obs::enabled() {
+            obs::counter(c.name(), delta);
+        }
+        let now = self.now_s();
+        let mut w = self.windows.lock().expect("windows poisoned");
+        match c {
+            Ctr::Requests => w.requests.record(now, delta),
+            Ctr::Errors => w.errors.record(now, delta),
+            Ctr::Analyze => w.analyze.record(now, delta),
+            Ctr::ResponseHits => w.hits.record(now, delta),
+            Ctr::ResponseMisses => w.misses.record(now, delta),
+            Ctr::Coalesced => w.coalesced.record(now, delta),
+            _ => {}
+        }
+    }
+
+    /// Record one job's service time (registry histogram, obs mirror,
+    /// rolling window).
+    fn service(&self, us: u64) {
+        self.reg.observe(self.service_us, us);
+        if obs::enabled() {
+            obs::observe("serve.service_time_us", us);
+        }
+        let now = self.now_s();
+        self.windows
+            .lock()
+            .expect("windows poisoned")
+            .service
+            .record(now, us);
+    }
+
+    /// Append a journal event.
+    fn event(&self, severity: Severity, kind: &str, message: &str, fields: Vec<(String, String)>) {
+        self.journal
+            .lock()
+            .expect("journal poisoned")
+            .push(severity, kind, message, fields);
+    }
+}
+
+/// Microseconds elapsed since `t`, saturating.
+fn elapsed_us(t: Instant) -> u64 {
+    t.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+/// Mint this request's trace identity: a fresh trace with a pre-built
+/// root span id, or [`obs::TraceCtx::NONE`] while the recorder is off.
+fn mint_request_ctx() -> obs::TraceCtx {
+    if !obs::enabled() {
+        return obs::TraceCtx::NONE;
+    }
+    obs::TraceCtx {
+        trace_id: obs::TraceCtx::mint().trace_id,
+        span_id: obs::next_span_id(),
+    }
+}
+
+/// Close a request's root span (recorded explicitly because submit and
+/// delivery can happen on different threads).
+fn close_request_span(w: &Waiter) {
+    if w.ctx.is_none() {
+        return;
+    }
+    obs::record_span_at("serve.request", w.ctx, 0, w.t0, elapsed_us(w.t0));
+}
+
+/// Record a leaf span under a request's root covering its whole wait
+/// (cache hits and coalesced followers — work they did not compute).
+fn mark_request_child(w: &Waiter, name: &str) {
+    if w.ctx.is_none() {
+        return;
+    }
+    let child = obs::TraceCtx {
+        trace_id: w.ctx.trace_id,
+        span_id: obs::next_span_id(),
+    };
+    obs::record_span_at(name, child, w.ctx.span_id, w.t0, elapsed_us(w.t0));
 }
 
 struct Shared {
@@ -228,7 +478,7 @@ struct Shared {
     /// the in-memory LRU holds, surviving restarts. Probed by workers on
     /// an LRU miss, so warm disk entries skip the whole evaluation.
     disk: Option<engine::DiskCache>,
-    metrics: Metrics,
+    telemetry: Telemetry,
     draining: AtomicBool,
     /// Read halves of live connections, shut down on drain.
     conns: Mutex<Vec<TcpStream>>,
@@ -243,6 +493,12 @@ impl Shared {
         if self.draining.swap(true, Ordering::SeqCst) {
             return;
         }
+        self.telemetry.event(
+            Severity::Info,
+            "drain",
+            "shutdown requested; draining in-flight work",
+            Vec::new(),
+        );
         for conn in self.conns.lock().expect("conn registry poisoned").iter() {
             let _ = conn.shutdown(Shutdown::Read);
         }
@@ -251,45 +507,72 @@ impl Shared {
     }
 
     fn summary(&self) -> ServeSummary {
-        let m = &self.metrics;
+        let snap = self.telemetry.reg.snapshot();
         ServeSummary {
-            requests: m.requests.load(Ordering::Relaxed),
-            analyze: m.analyze.load(Ordering::Relaxed),
-            ok: m.ok.load(Ordering::Relaxed),
-            errors: m.errors.load(Ordering::Relaxed),
-            overloaded: m.overloaded.load(Ordering::Relaxed),
-            coalesced: m.coalesced.load(Ordering::Relaxed),
-            response_hits: m.response_hits.load(Ordering::Relaxed),
-            response_misses: m.response_misses.load(Ordering::Relaxed),
+            requests: snap.counter(Ctr::Requests.name()),
+            analyze: snap.counter(Ctr::Analyze.name()),
+            ok: snap.counter(Ctr::Ok.name()),
+            errors: snap.counter(Ctr::Errors.name()),
+            overloaded: snap.counter(Ctr::Overloaded.name()),
+            coalesced: snap.counter(Ctr::Coalesced.name()),
+            response_hits: snap.counter(Ctr::ResponseHits.name()),
+            response_misses: snap.counter(Ctr::ResponseMisses.name()),
         }
     }
 
     /// The versioned `metrics` response body (schema
     /// [`proto::METRICS_SCHEMA_VERSION`]): request counters, cache
     /// hit/miss/eviction counts and hit rates, queue depth against its
-    /// bound, and the service-time distribution (p50/p99 from the obs
-    /// histogram).
+    /// bound, the service-time distribution, the rolling 10s/1m/5m
+    /// windows, and the journal cursors. Every request-counter value
+    /// comes from one consistent registry snapshot, so the accounting
+    /// invariants hold in every response.
     fn metrics_json(&self) -> String {
-        let m = &self.metrics;
+        let snap = self.telemetry.reg.snapshot();
         let s = self.cache.stats();
         let ev = self.cache.evictions();
-        let hits = m.response_hits.load(Ordering::Relaxed);
-        let misses = m.response_misses.load(Ordering::Relaxed);
+        let hits = snap.counter(Ctr::ResponseHits.name());
+        let misses = snap.counter(Ctr::ResponseMisses.name());
         let lookups = hits + misses;
         let hit_rate = if lookups == 0 {
             0.0
         } else {
             hits as f64 / lookups as f64
         };
-        let analyze = m.analyze.load(Ordering::Relaxed);
-        let coalesced = m.coalesced.load(Ordering::Relaxed);
+        let analyze = snap.counter(Ctr::Analyze.name());
+        let coalesced = snap.counter(Ctr::Coalesced.name());
         let coalesce_rate = if analyze == 0 {
             0.0
         } else {
             coalesced as f64 / analyze as f64
         };
-        let h = m.service_us.lock().expect("service histogram poisoned");
+        let h = snap
+            .hist("serve.service_time_us")
+            .cloned()
+            .unwrap_or_default();
         let disk = self.disk.as_ref().map(|d| d.stats()).unwrap_or_default();
+        let now_s = self.telemetry.now_s();
+        let windows = {
+            let w = self.telemetry.windows.lock().expect("windows poisoned");
+            let mut out = String::from("{");
+            for (i, (label, secs)) in WINDOWS.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{label}\":{}", w.render(now_s, *secs)));
+            }
+            out.push('}');
+            out
+        };
+        let journal = {
+            let j = self.telemetry.journal.lock().expect("journal poisoned");
+            format!(
+                "{{\"retained\":{},\"dropped\":{},\"next_seq\":{}}}",
+                j.len(),
+                j.dropped(),
+                j.next_seq()
+            )
+        };
         format!(
             concat!(
                 "{{\"schema_version\":{}",
@@ -304,21 +587,24 @@ impl Shared {
                 ",\"evictions\":{},\"stale\":{},\"corrupt\":{},\"hit_rate\":{:.4}}}",
                 ",\"queue\":{{\"capacity\":{},\"depth\":{},\"peak_depth\":{}}}",
                 ",\"service_time_us\":{{\"count\":{},\"mean\":{:.3},\"p50\":{},\"p99\":{},\"max\":{}}}",
+                ",\"uptime_s\":{}",
+                ",\"windows\":{}",
+                ",\"journal\":{}",
                 "}}"
             ),
             proto::METRICS_SCHEMA_VERSION,
             self.shards.len(),
             self.shards.len(),
-            m.requests.load(Ordering::Relaxed),
+            snap.counter(Ctr::Requests.name()),
             analyze,
-            m.ok.load(Ordering::Relaxed),
-            m.errors.load(Ordering::Relaxed),
-            m.overloaded.load(Ordering::Relaxed),
+            snap.counter(Ctr::Ok.name()),
+            snap.counter(Ctr::Errors.name()),
+            snap.counter(Ctr::Overloaded.name()),
             coalesced,
             coalesce_rate,
             hits,
             misses,
-            m.response_evictions.load(Ordering::Relaxed),
+            snap.counter(Ctr::ResponseEvictions.name()),
             hit_rate,
             s.kernel_hits,
             s.kernel_misses,
@@ -335,14 +621,74 @@ impl Shared {
             disk.corrupt,
             disk.hit_rate(),
             self.opts.queue * self.shards.len(),
-            m.queue_depth.load(Ordering::Relaxed),
-            m.queue_peak.load(Ordering::Relaxed),
+            snap.gauge("serve.queue_depth"),
+            snap.gauge("serve.queue_peak"),
             h.count,
             h.mean(),
             h.quantile(0.50),
             h.quantile(0.99),
             if h.count == 0 { 0 } else { h.max },
+            now_s,
+            windows,
+            journal,
         )
+    }
+
+    /// The `events` response body: journal entries newer than `since`,
+    /// oldest first, plus the cursors a poller needs to resume and to
+    /// detect ring overflow.
+    fn events_json(&self, since: u64) -> String {
+        let j = self.telemetry.journal.lock().expect("journal poisoned");
+        let mut out = format!(
+            "{{\"next_seq\":{},\"dropped\":{},\"events\":[",
+            j.next_seq(),
+            j.dropped()
+        );
+        for (i, e) in j.events_since(since).iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&e.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Prometheus text exposition of everything: the registry snapshot
+    /// plus the cache/disk/uptime values that live outside it.
+    fn prometheus_text(&self) -> String {
+        let mut out = self.telemetry.reg.snapshot().render_prometheus("incore");
+        let mut counter = |name: &str, v: u64| {
+            out.push_str(&format!(
+                "# TYPE incore_{name}_total counter\nincore_{name}_total {v}\n"
+            ));
+        };
+        let s = self.cache.stats();
+        let ev = self.cache.evictions();
+        counter("serve_kernel_cache_hits", s.kernel_hits);
+        counter("serve_kernel_cache_misses", s.kernel_misses);
+        counter("serve_kernel_cache_evictions", ev.kernel_evictions);
+        counter("serve_machine_cache_hits", s.machine_hits);
+        counter("serve_machine_cache_misses", s.machine_misses);
+        counter("serve_machine_cache_evictions", ev.machine_evictions);
+        let disk = self.disk.as_ref().map(|d| d.stats()).unwrap_or_default();
+        counter("serve_disk_hits", disk.hits);
+        counter("serve_disk_misses", disk.misses);
+        counter("serve_disk_writes", disk.writes);
+        counter("serve_disk_evictions", disk.evictions);
+        counter("serve_disk_stale", disk.stale);
+        counter("serve_disk_corrupt", disk.corrupt);
+        let mut gauge = |name: &str, v: u64| {
+            out.push_str(&format!("# TYPE incore_{name} gauge\nincore_{name} {v}\n"));
+        };
+        gauge("serve_disk_enabled", self.disk.is_some() as u64);
+        gauge("serve_workers", self.shards.len() as u64);
+        gauge(
+            "serve_queue_capacity",
+            (self.opts.queue * self.shards.len()) as u64,
+        );
+        gauge("serve_uptime_seconds", self.telemetry.now_s());
+        out
     }
 }
 
@@ -437,29 +783,54 @@ fn worker(shared: &Shared, index: usize, rx: Receiver<Job>) {
             Job::Stop => break,
             Job::Run(key) => key,
         };
-        shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        shared
+            .telemetry
+            .reg
+            .gauge_sub(shared.telemetry.queue_depth, 1);
         let shard = &shared.shards[index];
-        let payload = {
+        let (payload, leader_ctx) = {
             let inflight = shard.inflight.lock().expect("inflight map poisoned");
             inflight
                 .get(&key)
-                .map(|p| p.payload.clone())
+                .map(|p| (p.payload.clone(), p.ctx))
                 .expect("job enqueued under the inflight lock")
         };
         let start = Instant::now();
-        if shared.opts.throttle_ms > 0 {
-            std::thread::sleep(std::time::Duration::from_millis(shared.opts.throttle_ms));
-        }
-        let result = match disk_get(shared, &key) {
-            Some(report) => Ok(report),
-            None => {
-                let computed = compute(shared, &payload);
-                if let Ok(report) = &computed {
-                    disk_put(shared, &key, report);
+        let stale_before = shared.disk.as_ref().map(|d| d.stats().stale).unwrap_or(0);
+        let run = || {
+            if shared.opts.throttle_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(shared.opts.throttle_ms));
+            }
+            match disk_get(shared, &key) {
+                Some(report) => Ok(report),
+                None => {
+                    let computed = compute(shared, &payload);
+                    if let Ok(report) = &computed {
+                        disk_put(shared, &key, report);
+                    }
+                    computed
                 }
-                computed
             }
         };
+        // Compute under the leader's trace context so the predictor
+        // spans engine emits nest inside this request's span tree.
+        let result = if leader_ctx.is_none() {
+            run()
+        } else {
+            obs::with_trace(leader_ctx, || {
+                let _span = obs::span("serve.compute");
+                run()
+            })
+        };
+        let stale_after = shared.disk.as_ref().map(|d| d.stats().stale).unwrap_or(0);
+        if stale_after > stale_before {
+            shared.telemetry.event(
+                Severity::Info,
+                "disk_stale_healed",
+                "stale persistent-cache entry recomputed and rewritten",
+                vec![("label".to_string(), key.label.clone())],
+            );
+        }
         if let Ok(report) = &result {
             let evicted = shared
                 .responses
@@ -467,10 +838,12 @@ fn worker(shared: &Shared, index: usize, rx: Receiver<Job>) {
                 .expect("response cache poisoned")
                 .insert(key.clone(), std::sync::Arc::new(report.clone()));
             if evicted > 0 {
-                Metrics::bump(
-                    &shared.metrics.response_evictions,
-                    evicted,
-                    "serve.response_evictions",
+                shared.telemetry.bump(Ctr::ResponseEvictions, evicted);
+                shared.telemetry.event(
+                    Severity::Info,
+                    "response_evicted",
+                    "response LRU at capacity; oldest entries dropped",
+                    vec![("evicted".to_string(), evicted.to_string())],
                 );
             }
         }
@@ -481,27 +854,39 @@ fn worker(shared: &Shared, index: usize, rx: Receiver<Job>) {
             .remove(&key)
             .map(|p| p.waiters)
             .unwrap_or_default();
-        for w in &waiters {
+        for (i, w) in waiters.iter().enumerate() {
             let frame = match &result {
-                Ok(report) => proto::render_analyze_ok(w.id, report),
+                Ok(report) => {
+                    let echo = if w.want_trace { w.ctx.trace_id } else { 0 };
+                    proto::render_analyze_ok_traced(w.id, echo, report)
+                }
                 Err(e) => proto::render_error(w.id, e),
             };
             deliver(&w.tx, frame);
+            if i > 0 {
+                // Followers did not compute: their tree is the root plus
+                // a leaf covering the coalesced wait.
+                mark_request_child(w, "serve.coalesced");
+            }
+            close_request_span(w);
         }
         let n = waiters.len() as u64;
         match &result {
-            Ok(_) => Metrics::bump(&shared.metrics.ok, n, "serve.ok"),
-            Err(_) => Metrics::bump(&shared.metrics.errors, n, "serve.errors"),
+            Ok(_) => shared.telemetry.bump(Ctr::Ok, n),
+            Err(_) => shared.telemetry.bump(Ctr::Errors, n),
         }
-        let us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-        shared
-            .metrics
-            .service_us
-            .lock()
-            .expect("service histogram poisoned")
-            .record(us);
-        if obs::enabled() {
-            obs::observe("serve.service_time_us", us);
+        let us = elapsed_us(start);
+        shared.telemetry.service(us);
+        if shared.opts.slow_ms > 0 && us / 1000 >= shared.opts.slow_ms {
+            shared.telemetry.event(
+                Severity::Warn,
+                "slow_request",
+                "job serviced slower than the slow-request threshold",
+                vec![
+                    ("label".to_string(), key.label.clone()),
+                    ("ms".to_string(), (us / 1000).to_string()),
+                ],
+            );
         }
     }
 }
@@ -510,7 +895,14 @@ fn worker(shared: &Shared, index: usize, rx: Receiver<Job>) {
 /// identical in-flight computation, then enqueue — or reject with an
 /// explicit `overloaded` error when the shard's bounded queue is full.
 fn submit(shared: &Shared, conn_tx: &SyncSender<String>, req: AnalyzeRequest) {
-    Metrics::bump(&shared.metrics.analyze, 1, "serve.analyze");
+    shared.telemetry.bump(Ctr::Analyze, 1);
+    let waiter = Waiter {
+        id: req.id,
+        tx: conn_tx.clone(),
+        ctx: mint_request_ctx(),
+        t0: Instant::now(),
+        want_trace: req.trace,
+    };
     let sel = if req.sel.is_empty() {
         &shared.opts.sel
     } else {
@@ -519,7 +911,7 @@ fn submit(shared: &Shared, conn_tx: &SyncSender<String>, req: AnalyzeRequest) {
     let (machine_key, token) = match machine_token(sel) {
         Ok(t) => t,
         Err(e) => {
-            Metrics::bump(&shared.metrics.errors, 1, "serve.errors");
+            shared.telemetry.bump(Ctr::Errors, 1);
             let _ = conn_tx.send(proto::render_error(req.id, &e));
             return;
         }
@@ -536,37 +928,45 @@ fn submit(shared: &Shared, conn_tx: &SyncSender<String>, req: AnalyzeRequest) {
         .expect("response cache poisoned")
         .get(&key)
     {
-        Metrics::bump(&shared.metrics.response_hits, 1, "serve.response_hits");
-        Metrics::bump(&shared.metrics.ok, 1, "serve.ok");
-        let _ = conn_tx.send(proto::render_analyze_ok(req.id, &report));
+        shared.telemetry.bump(Ctr::ResponseHits, 1);
+        shared.telemetry.bump(Ctr::Ok, 1);
+        let echo = if waiter.want_trace {
+            waiter.ctx.trace_id
+        } else {
+            0
+        };
+        let _ = conn_tx.send(proto::render_analyze_ok_traced(req.id, echo, &report));
+        mark_request_child(&waiter, "serve.cache_hit");
+        close_request_span(&waiter);
         return;
     }
-    Metrics::bump(&shared.metrics.response_misses, 1, "serve.response_misses");
-    let shard = &shared.shards[key.shard(shared.shards.len())];
-    let waiter = Waiter {
-        id: req.id,
-        tx: conn_tx.clone(),
-    };
+    shared.telemetry.bump(Ctr::ResponseMisses, 1);
+    let shard_index = key.shard(shared.shards.len());
+    let shard = &shared.shards[shard_index];
     // The inflight lock is held across the queue submission: a worker
     // cannot observe (and answer) the job before its entry exists, and
     // a coalescing request cannot land between the try_send and the
     // insert.
     let mut inflight = shard.inflight.lock().expect("inflight map poisoned");
     if let Some(pending) = inflight.get_mut(&key) {
-        Metrics::bump(&shared.metrics.coalesced, 1, "serve.coalesced");
+        shared.telemetry.bump(Ctr::Coalesced, 1);
         pending.waiters.push(waiter);
         return;
     }
     // The depth gauge must rise before the job is visible to a worker:
     // the worker's decrement on dequeue would otherwise race ahead of
     // the increment and drive the gauge below zero.
-    let depth = shared.metrics.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+    let depth = shared
+        .telemetry
+        .reg
+        .gauge_add_fetch(shared.telemetry.queue_depth, 1);
     shared
-        .metrics
-        .queue_peak
-        .fetch_max(depth, Ordering::Relaxed);
+        .telemetry
+        .reg
+        .gauge_max(shared.telemetry.queue_peak, depth);
     match shard.tx.try_send(Job::Run(key.clone())) {
         Ok(()) => {
+            let ctx = waiter.ctx;
             inflight.insert(
                 key,
                 Pending {
@@ -576,6 +976,7 @@ fn submit(shared: &Shared, conn_tx: &SyncSender<String>, req: AnalyzeRequest) {
                         flags: req.flags,
                         token,
                     },
+                    ctx,
                     waiters: vec![waiter],
                 },
             );
@@ -584,8 +985,20 @@ fn submit(shared: &Shared, conn_tx: &SyncSender<String>, req: AnalyzeRequest) {
             // Full (backpressure) or disconnected (drain already passed
             // the Stop sentinel): either way, an explicit retry hint
             // instead of unbounded queueing.
-            shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
-            Metrics::bump(&shared.metrics.overloaded, 1, "serve.overloaded");
+            shared
+                .telemetry
+                .reg
+                .gauge_sub(shared.telemetry.queue_depth, 1);
+            shared.telemetry.bump(Ctr::Overloaded, 1);
+            shared.telemetry.event(
+                Severity::Warn,
+                "overloaded",
+                "shard queue full; request rejected with a retry hint",
+                vec![
+                    ("shard".to_string(), shard_index.to_string()),
+                    ("retry_after_ms".to_string(), RETRY_AFTER_MS.to_string()),
+                ],
+            );
             let _ = conn_tx.send(proto::render_error(
                 req.id,
                 &Error::overloaded(RETRY_AFTER_MS),
@@ -595,10 +1008,10 @@ fn submit(shared: &Shared, conn_tx: &SyncSender<String>, req: AnalyzeRequest) {
 }
 
 fn handle(shared: &Shared, conn_tx: &SyncSender<String>, line: &str) {
-    Metrics::bump(&shared.metrics.requests, 1, "serve.requests");
+    shared.telemetry.bump(Ctr::Requests, 1);
     match proto::parse_request(line) {
         Err(e) => {
-            Metrics::bump(&shared.metrics.errors, 1, "serve.errors");
+            shared.telemetry.bump(Ctr::Errors, 1);
             let _ = conn_tx.send(proto::render_error(0, &e));
         }
         Ok(Request::Ping { id }) => {
@@ -607,12 +1020,37 @@ fn handle(shared: &Shared, conn_tx: &SyncSender<String>, line: &str) {
         Ok(Request::Metrics { id }) => {
             let _ = conn_tx.send(proto::render_metrics(id, &shared.metrics_json()));
         }
+        Ok(Request::Events { id, since }) => {
+            let _ = conn_tx.send(proto::render_events(id, &shared.events_json(since)));
+        }
         Ok(Request::Shutdown { id }) => {
             let _ = conn_tx.send(proto::render_shutdown_ack(id));
             shared.begin_drain();
         }
         Ok(Request::Analyze(req)) => submit(shared, conn_tx, req),
     }
+}
+
+/// Answer a Prometheus scrape: the peer spoke HTTP (`GET ...`) on the
+/// NDJSON port. Drain the header lines (blank line = end of request),
+/// send one self-framed HTTP/1.0 response, and let the connection
+/// close. Scrapes are counted separately from protocol requests.
+fn scrape<R: BufRead>(shared: &Shared, frames: &mut FrameReader<R>, tx: &SyncSender<String>) {
+    loop {
+        match frames.next_frame() {
+            Ok(Some(header)) if !header.is_empty() => continue,
+            _ => break,
+        }
+    }
+    shared.telemetry.bump(Ctr::Scrapes, 1);
+    let body = shared.prometheus_text();
+    let response = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let _ = tx.send(response);
 }
 
 /// Serve one connection: a reader parsing frames and submitting work,
@@ -636,16 +1074,25 @@ fn connection(shared: &Shared, stream: TcpStream) {
             }
         });
         let mut frames = FrameReader::new(BufReader::new(&stream), shared.opts.max_request_bytes);
+        let mut first = true;
         loop {
             match frames.next_frame() {
                 Ok(None) => break,
-                Ok(Some(line)) => handle(shared, &tx, &line),
+                Ok(Some(line)) if first && line.starts_with("GET ") => {
+                    scrape(shared, &mut frames, &tx);
+                    break;
+                }
+                Ok(Some(line)) => {
+                    first = false;
+                    handle(shared, &tx, &line);
+                }
                 Err(e) if e.kind() == ErrorKind::Io => break,
                 Err(e) => {
                     // Oversized / non-UTF-8 frame: answer and keep the
                     // connection (the reader already resynced).
-                    Metrics::bump(&shared.metrics.requests, 1, "serve.requests");
-                    Metrics::bump(&shared.metrics.errors, 1, "serve.errors");
+                    first = false;
+                    shared.telemetry.bump(Ctr::Requests, 1);
+                    shared.telemetry.bump(Ctr::Errors, 1);
                     let _ = tx.send(proto::render_error(0, &e));
                 }
             }
@@ -654,6 +1101,10 @@ fn connection(shared: &Shared, stream: TcpStream) {
         // The scope joins the writer once every waiter holding a sender
         // clone has delivered its response — the graceful-drain bound.
     });
+    // The drain registry holds a clone of this stream, so dropping our
+    // handles does not close the socket. Shut it down explicitly —
+    // HTTP scrapers read to EOF and would otherwise hang forever.
+    let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
 /// Run the server on an already-bound listener until a `shutdown`
@@ -687,13 +1138,22 @@ pub fn serve_on(listener: TcpListener, opts: ServeOpts) -> Result<ServeSummary, 
         cache: engine::CorpusCache::bounded(opts.cache),
         responses: Mutex::new(engine::Lru::bounded(opts.cache)),
         disk,
-        metrics: Metrics::default(),
+        telemetry: Telemetry::new(),
         draining: AtomicBool::new(false),
         conns: Mutex::new(Vec::new()),
         addr,
         opts,
         shards,
     };
+    shared.telemetry.event(
+        Severity::Info,
+        "listening",
+        "server accepting connections",
+        vec![
+            ("addr".to_string(), addr.to_string()),
+            ("workers".to_string(), threads.to_string()),
+        ],
+    );
     let shared = &shared;
     rayon::scope(|workers| {
         for (index, rx) in receivers.into_iter().enumerate() {
@@ -735,8 +1195,15 @@ pub fn serve_on(listener: TcpListener, opts: ServeOpts) -> Result<ServeSummary, 
 /// Bind and run the server in the foreground (the `incore-cli serve`
 /// subcommand). Prints the bound address first so scripts driving
 /// `--addr 127.0.0.1:0` can discover the port, then blocks until a
-/// `shutdown` request drains the server.
+/// `shutdown` request drains the server. With `--trace <file>` the obs
+/// recorder runs for the server's lifetime and the per-request span
+/// trees land in a Chrome trace at that path — stdout is byte-identical
+/// either way.
 pub fn run_serve(opts: ServeOpts, out: &mut dyn Write) -> Result<ServeSummary, Error> {
+    let trace_path = opts.trace.clone();
+    if trace_path.is_some() {
+        obs::enable();
+    }
     let listener = TcpListener::bind(&opts.addr).map_err(|e| Error::io(opts.addr.as_str(), &e))?;
     let addr = listener
         .local_addr()
@@ -744,6 +1211,12 @@ pub fn run_serve(opts: ServeOpts, out: &mut dyn Write) -> Result<ServeSummary, E
     writeln!(out, "listening on {addr}").map_err(|e| Error::io("<stdout>", &e))?;
     out.flush().map_err(|e| Error::io("<stdout>", &e))?;
     let summary = serve_on(listener, opts)?;
+    if let Some(path) = trace_path {
+        let profile = obs::take();
+        obs::disable();
+        std::fs::write(&path, profile.to_chrome_trace())
+            .map_err(|e| Error::io(path.as_str(), &e))?;
+    }
     write!(out, "{}", summary.render()).map_err(|e| Error::io("<stdout>", &e))?;
     Ok(summary)
 }

@@ -1,0 +1,331 @@
+//! `incore-cli top`: a polling terminal dashboard over a running
+//! `serve` instance.
+//!
+//! One persistent NDJSON connection issues a `metrics` and an `events`
+//! request per tick; the responses render as a fixed-layout frame
+//! (totals, rolling-window rates, service-time quantiles, cache and
+//! queue state, and the tail of the event journal). Rendering is a pure
+//! function of the two response bodies so it can be unit-tested without
+//! a terminal; the caller decides whether frames are separated by an
+//! ANSI clear (a TTY) or a blank line (a pipe, where the frames become
+//! a poor man's time series).
+
+use std::io::{BufRead, BufReader, Write as IoWrite};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::Error;
+
+/// Journal entries kept on screen between ticks.
+const EVENT_TAIL: usize = 8;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopOpts {
+    /// Server address (`host:port`), as printed by `serve` on startup.
+    pub addr: String,
+    /// Poll period between frames.
+    pub interval_ms: u64,
+    /// Frames to render before exiting; 0 = run until the server drains.
+    pub count: u64,
+    /// Clear the screen between frames (the caller sets this from
+    /// `IsTerminal`, so piped output stays an appendable log).
+    pub clear: bool,
+}
+
+impl Default for TopOpts {
+    fn default() -> TopOpts {
+        TopOpts {
+            addr: String::new(),
+            interval_ms: 1000,
+            count: 0,
+            clear: false,
+        }
+    }
+}
+
+/// Drive the dashboard until `count` frames have rendered or the server
+/// drains (clean EOF on the connection — not an error: `top` outlives
+/// nothing). Connection and protocol failures are real errors.
+pub fn run_top(opts: &TopOpts, out: &mut dyn IoWrite) -> Result<(), Error> {
+    let stream = TcpStream::connect(&opts.addr).map_err(|e| Error::io(opts.addr.as_str(), &e))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| Error::io(opts.addr.as_str(), &e))?;
+    let mut reader = BufReader::new(stream);
+    let mut since = 0u64;
+    let mut tail: Vec<serde_json::Value> = Vec::new();
+    let mut tick = 0u64;
+    loop {
+        tick += 1;
+        let poll = format!(
+            "{{\"type\":\"metrics\",\"id\":{tick}}}\n{{\"type\":\"events\",\"id\":{tick},\"since\":{since}}}\n"
+        );
+        if writer.write_all(poll.as_bytes()).is_err() {
+            break; // server went away between ticks: drained
+        }
+        let (Some(metrics), Some(events)) = (
+            read_body(&mut reader, "metrics")?,
+            read_body(&mut reader, "events")?,
+        ) else {
+            break;
+        };
+        if let Some(next) = events.get("next_seq").and_then(|v| v.as_u64()) {
+            since = next.saturating_sub(1);
+        }
+        if let Some(fresh) = events.get("events").and_then(|v| v.as_array()) {
+            // `since` is inclusive-of-cursor on the reissue, so the
+            // first entry of a non-first poll is the one already shown.
+            let skip = usize::from(tick > 1 && !fresh.is_empty());
+            tail.extend(fresh.iter().skip(skip).cloned());
+        }
+        if tail.len() > EVENT_TAIL {
+            tail.drain(..tail.len() - EVENT_TAIL);
+        }
+        if opts.clear {
+            out.write_all(b"\x1b[2J\x1b[H")
+                .map_err(|e| Error::io("<stdout>", &e))?;
+        }
+        let dropped = events.get("dropped").and_then(|v| v.as_u64()).unwrap_or(0);
+        out.write_all(render_frame(&opts.addr, &metrics, &tail, dropped, tick).as_bytes())
+            .map_err(|e| Error::io("<stdout>", &e))?;
+        out.flush().map_err(|e| Error::io("<stdout>", &e))?;
+        if opts.count != 0 && tick >= opts.count {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(opts.interval_ms));
+    }
+    Ok(())
+}
+
+/// Read one response frame and return its `key` body object; `None` on
+/// clean EOF (the server drained mid-session).
+fn read_body(
+    reader: &mut BufReader<TcpStream>,
+    key: &str,
+) -> Result<Option<serde_json::Map>, Error> {
+    let mut line = String::new();
+    let n = reader
+        .read_line(&mut line)
+        .map_err(|e| Error::io("<socket>", &e))?;
+    if n == 0 {
+        return Ok(None);
+    }
+    let v: serde_json::Value = serde_json::from_str(line.trim_end())
+        .map_err(|_| Error::protocol("server sent a non-JSON frame"))?;
+    let o = v
+        .as_object()
+        .ok_or_else(|| Error::protocol("server frame is not an object"))?;
+    if o.get("ok").and_then(|b| b.as_bool()) != Some(true) {
+        return Err(Error::protocol(format!("server rejected the poll: {line}")));
+    }
+    o.get(key)
+        .and_then(|b| b.as_object())
+        .cloned()
+        .map(Some)
+        .ok_or_else(|| Error::protocol(format!("response is missing the `{key}` body")))
+}
+
+/// Look up a dotted path (`"requests.total"`) in a metrics body.
+fn num(m: &serde_json::Map, path: &str) -> f64 {
+    let mut cur = serde_json::Value::Object(m.clone());
+    for part in path.split('.') {
+        match cur.as_object().and_then(|o| o.get(part)) {
+            Some(v) => cur = v.clone(),
+            None => return 0.0,
+        }
+    }
+    cur.as_f64().unwrap_or(0.0)
+}
+
+fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// One dashboard frame as plain text. Pure: everything it shows comes
+/// from the two response bodies, so tests feed it canned JSON.
+pub fn render_frame(
+    addr: &str,
+    m: &serde_json::Map,
+    events: &[serde_json::Value],
+    dropped: u64,
+    tick: u64,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "incore serve {addr} — up {}s, {} worker(s) x{} shard(s), tick {tick}\n",
+        num(m, "uptime_s") as u64,
+        num(m, "workers") as u64,
+        num(m, "shards") as u64,
+    ));
+    out.push_str(&format!(
+        "requests  total {}  analyze {}  ok {}  err {}  overload {}  coalesced {}\n",
+        num(m, "requests.total") as u64,
+        num(m, "requests.analyze") as u64,
+        num(m, "requests.ok") as u64,
+        num(m, "requests.errors") as u64,
+        num(m, "requests.overloaded") as u64,
+        num(m, "requests.coalesced") as u64,
+    ));
+    for w in ["10s", "1m", "5m"] {
+        out.push_str(&format!(
+            "  {w:<4}    {:>7.1} req/s  err {:>6}  p50 {:>7}us  p99 {:>7}us  cache {:>6}  coalesce {:>6}\n",
+            num(m, &format!("windows.{w}.requests_per_s")),
+            pct(num(m, &format!("windows.{w}.error_rate"))),
+            num(m, &format!("windows.{w}.service_p50_us")) as u64,
+            num(m, &format!("windows.{w}.service_p99_us")) as u64,
+            pct(num(m, &format!("windows.{w}.cache_hit_rate"))),
+            pct(num(m, &format!("windows.{w}.coalesce_rate"))),
+        ));
+    }
+    out.push_str(&format!(
+        "service   p50 {}us  p99 {}us  max {}us  ({} samples)\n",
+        num(m, "service_time_us.p50") as u64,
+        num(m, "service_time_us.p99") as u64,
+        num(m, "service_time_us.max") as u64,
+        num(m, "service_time_us.count") as u64,
+    ));
+    let disk_on = m
+        .get("disk")
+        .and_then(|d| d.as_object())
+        .and_then(|d| d.get("enabled"))
+        .and_then(|v| v.as_bool())
+        .unwrap_or(false);
+    let disk = if disk_on {
+        format!("disk {}", pct(num(m, "disk.hit_rate")))
+    } else {
+        "disk off".to_string()
+    };
+    out.push_str(&format!(
+        "cache     response {}  kernel {}/{}  machine {}/{}  {}\n",
+        pct(num(m, "cache.hit_rate")),
+        num(m, "cache.kernel_hits") as u64,
+        (num(m, "cache.kernel_hits") + num(m, "cache.kernel_misses")) as u64,
+        num(m, "cache.machine_hits") as u64,
+        (num(m, "cache.machine_hits") + num(m, "cache.machine_misses")) as u64,
+        disk,
+    ));
+    out.push_str(&format!(
+        "queue     depth {}/{}  peak {}\n",
+        num(m, "queue.depth") as u64,
+        num(m, "queue.capacity") as u64,
+        num(m, "queue.peak_depth") as u64,
+    ));
+    out.push_str(&format!(
+        "events    ({} shown, {} dropped by the ring)\n",
+        events.len(),
+        dropped
+    ));
+    for e in events {
+        let Some(o) = e.as_object() else { continue };
+        let get = |k: &str| o.get(k).and_then(|v| v.as_str()).unwrap_or("?");
+        let mut line = format!(
+            "  [{:<5}] #{} {}: {}",
+            get("severity"),
+            o.get("seq").and_then(|v| v.as_u64()).unwrap_or(0),
+            get("kind"),
+            get("message"),
+        );
+        if let Some(fields) = o.get("fields").and_then(|v| v.as_object()) {
+            for (k, v) in fields.iter() {
+                match v.as_str() {
+                    Some(s) => line.push_str(&format!(" {k}={s}")),
+                    None => line.push_str(&format!(" {k}={v:?}")),
+                }
+            }
+        }
+        line.push('\n');
+        out.push_str(&line);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(json: &str) -> serde_json::Map {
+        let v: serde_json::Value = serde_json::from_str(json).unwrap();
+        v.as_object().unwrap().clone()
+    }
+
+    #[test]
+    fn render_frame_is_a_pure_function_of_the_bodies() {
+        let m = body(
+            r#"{"schema_version":3,"workers":2,"shards":2,"uptime_s":12,
+                "requests":{"total":120,"analyze":100,"ok":118,"errors":1,
+                            "overloaded":1,"coalesced":4,"coalesce_rate":0.04},
+                "cache":{"response_hits":30,"response_misses":70,"hit_rate":0.3,
+                         "kernel_hits":60,"kernel_misses":40,
+                         "machine_hits":99,"machine_misses":1},
+                "disk":{"enabled":true,"hit_rate":0.8},
+                "queue":{"capacity":64,"depth":3,"peak_depth":7},
+                "service_time_us":{"count":100,"mean":900,"p50":840,"p99":1900,"max":2400},
+                "windows":{"10s":{"requests_per_s":11.0,"error_rate":0.0,
+                                   "service_p50_us":840,"service_p99_us":1900,
+                                   "cache_hit_rate":0.25,"coalesce_rate":0.05},
+                           "1m":{"requests_per_s":2.1,"error_rate":0.01,
+                                  "service_p50_us":800,"service_p99_us":2000,
+                                  "cache_hit_rate":0.3,"coalesce_rate":0.04},
+                           "5m":{"requests_per_s":0.4,"error_rate":0.0,
+                                  "service_p50_us":810,"service_p99_us":2100,
+                                  "cache_hit_rate":0.31,"coalesce_rate":0.03}}}"#,
+        );
+        let ev: serde_json::Value = serde_json::from_str(
+            r#"{"seq":7,"unix_ms":1,"severity":"warn","kind":"overloaded",
+                "message":"shard queue full","fields":{"shard":"1"}}"#,
+        )
+        .unwrap();
+        let frame = render_frame("127.0.0.1:9", &m, &[ev], 2, 3);
+        assert!(frame.contains("up 12s, 2 worker(s)"), "{frame}");
+        assert!(frame.contains("total 120  analyze 100  ok 118"), "{frame}");
+        assert!(frame.contains("11.0 req/s"), "{frame}");
+        assert!(
+            frame.contains("p50 840us  p99 1900us  max 2400us"),
+            "{frame}"
+        );
+        assert!(frame.contains("disk 80.0%"), "{frame}");
+        assert!(frame.contains("depth 3/64  peak 7"), "{frame}");
+        assert!(frame.contains("(1 shown, 2 dropped"), "{frame}");
+        assert!(
+            frame.contains("[warn ] #7 overloaded: shard queue full shard=1"),
+            "{frame}"
+        );
+        // Identical inputs render identical frames (no hidden clock).
+        let ev2: serde_json::Value = serde_json::from_str(
+            r#"{"seq":7,"unix_ms":1,"severity":"warn","kind":"overloaded",
+                "message":"shard queue full","fields":{"shard":"1"}}"#,
+        )
+        .unwrap();
+        assert_eq!(frame, render_frame("127.0.0.1:9", &m, &[ev2], 2, 3));
+    }
+
+    #[test]
+    fn missing_blocks_render_as_zeros_not_panics() {
+        let frame = render_frame("x", &body("{}"), &[], 0, 1);
+        assert!(frame.contains("total 0"), "{frame}");
+        assert!(frame.contains("disk off"), "{frame}");
+    }
+
+    #[test]
+    fn one_shot_dashboard_polls_a_live_server() {
+        let server = crate::serve::ServerHandle::start(crate::serve::ServeOpts {
+            threads: 1,
+            queue: 4,
+            ..crate::serve::ServeOpts::default()
+        })
+        .expect("server starts");
+        let opts = TopOpts {
+            addr: server.addr.to_string(),
+            interval_ms: 1,
+            count: 1,
+            clear: false,
+        };
+        let mut out = Vec::new();
+        run_top(&opts, &mut out).expect("one frame");
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("incore serve"), "{text}");
+        // The journal's startup entry is visible on the first frame.
+        assert!(text.contains("listening"), "{text}");
+        server.shutdown().expect("graceful drain");
+    }
+}

@@ -661,8 +661,8 @@ mod tests {
         let warn = Diagnostic::new("K002", "x");
         let err = Diagnostic::new("K006", "x");
         assert_eq!(exit_code(&[], false), 0);
-        assert_eq!(exit_code(&[info.clone()], true), 0);
-        assert_eq!(exit_code(&[warn.clone()], false), 0);
+        assert_eq!(exit_code(std::slice::from_ref(&info), true), 0);
+        assert_eq!(exit_code(std::slice::from_ref(&warn), false), 0);
         assert_eq!(exit_code(&[warn], true), 1);
         assert_eq!(exit_code(&[err], false), 1);
         let _ = info;
@@ -739,7 +739,7 @@ mod tests {
         let root = v.as_object().unwrap();
         let get = |o: &serde_json::Value, k: &str| o.as_object().unwrap().get(k).unwrap().clone();
         assert_eq!(root.get("version").and_then(|x| x.as_str()), Some("2.1.0"));
-        let runs = root.get("runs").and_then(|r| r.as_array()).unwrap().clone();
+        let runs = root.get("runs").and_then(|r| r.as_array()).unwrap();
         let run = &runs[0];
         let rules = get(&get(&get(run, "tool"), "driver"), "rules");
         let ids: Vec<String> = rules
@@ -750,7 +750,7 @@ mod tests {
             .collect();
         assert_eq!(ids, ["K008", "M008"]);
         let results_v = get(run, "results");
-        let results = results_v.as_array().unwrap().clone();
+        let results = results_v.as_array().unwrap();
         assert_eq!(results.len(), 2);
         assert_eq!(get(&results[0], "ruleId").as_str(), Some("K008"));
         let phys0 = get(

@@ -177,6 +177,7 @@ impl DiskCache {
     /// missing, stale format, truncated, damaged, or an address collision
     /// — is a miss.
     pub fn get(&self, parts: &[&str]) -> Option<String> {
+        let _span = obs::enabled().then(|| obs::span("engine.diskcache.get"));
         let path = self.entry_path(parts);
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
@@ -208,6 +209,7 @@ impl DiskCache {
     /// that cannot write degrades to a recompute, it does not fail the
     /// run); successful writes are atomic via temp-file rename.
     pub fn put(&self, parts: &[&str], payload: &str) {
+        let _span = obs::enabled().then(|| obs::span("engine.diskcache.put"));
         let path = self.entry_path(parts);
         let verify = hash_key(FNV_OFFSET_ALT, parts);
         let body = format!(

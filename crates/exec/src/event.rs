@@ -209,8 +209,10 @@ pub(crate) fn simulate(
 
     // Profiling aggregates stay in locals and are emitted once at the end
     // of the run; when the recorder is off the only cost is this one load
-    // plus a predictable per-site branch on the cached bool.
+    // plus a predictable per-site branch on the cached bool. The span
+    // makes the simulator leg visible inside request trace trees.
     let profiling = obs::enabled();
+    let _span = profiling.then(|| obs::span("exec:simulate"));
     let mut prof_heap_pops: u64 = 0;
     let mut prof_port_issued: Vec<u64> = if profiling { vec![0; np] } else { Vec::new() };
     let mut prof_teleport_cycles: Option<u64> = None;

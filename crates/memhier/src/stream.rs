@@ -189,64 +189,6 @@ fn matches_snapshot<S: StreamSink>(sink: &S, s: &mut MemScratch, period_bytes: u
     true
 }
 
-#[cfg(test)]
-mod debug_tests {
-    use super::*;
-
-    #[test]
-    #[ignore]
-    fn diagnose_spr_steady_state() {
-        let m = uarch::Machine::golden_cove();
-        let mut h = Hierarchy::from_machine(&m, m.cores);
-        let line = h.line_bytes();
-        let p = StreamPattern::store_lines(line, 300_000);
-        let mut s = MemScratch::default();
-        let period: u64 = (0..h.num_levels())
-            .map(|i| {
-                let l = h.level(i);
-                let span = l.sets() * l.line_bytes();
-                span / gcd(p.stride, span)
-            })
-            .max()
-            .unwrap();
-        let capacity: u64 = (0..h.num_levels())
-            .map(|i| h.level(i).capacity_lines())
-            .sum();
-        eprintln!("period={period} capacity={capacity}");
-        let period_bytes = period * p.stride;
-        let mut have = false;
-        for i in 0..p.count {
-            h.access(p.addr(i), p.kind);
-            let i = i + 1;
-            if !i.is_multiple_of(period) || i < capacity + period {
-                continue;
-            }
-            if have {
-                let mut all_ok = true;
-                for l in 0..h.num_levels() {
-                    let lv = h.level(l);
-                    let shift_lines = period_bytes / lv.line_bytes();
-                    let detail = lv.debug_mismatch(&s.lines[l], shift_lines);
-                    if let Some(d) = detail {
-                        all_ok = false;
-                        eprintln!("i={i}: level {l}: {d}");
-                    }
-                }
-                if all_ok {
-                    eprintln!("i={i}: MATCH");
-                    return;
-                }
-                if i > capacity + 6 * period {
-                    eprintln!("giving up at i={i}");
-                    return;
-                }
-            }
-            take_snapshot(&h, &mut s);
-            have = true;
-        }
-    }
-}
-
 /// Run `p` against `sink`, extrapolating once a steady period is seen.
 /// Bit-identical to issuing every access through `access_one`.
 ///
@@ -262,6 +204,7 @@ pub(crate) fn run_stream<S: StreamSink>(
     if !obs::enabled() {
         return run_stream_inner(sink, p, cfg, s);
     }
+    let _span = obs::span("memhier:stream");
     let pre: Vec<CacheStats> = (0..sink.num_levels())
         .map(|i| sink.level(i).stats)
         .collect();
@@ -379,5 +322,63 @@ fn run_stream_inner<S: StreamSink>(
     StreamOutcome {
         fast_path: true,
         extrapolated: 0,
+    }
+}
+
+#[cfg(test)]
+mod debug_tests {
+    use super::*;
+
+    #[test]
+    #[ignore]
+    fn diagnose_spr_steady_state() {
+        let m = uarch::Machine::golden_cove();
+        let mut h = Hierarchy::from_machine(&m, m.cores);
+        let line = h.line_bytes();
+        let p = StreamPattern::store_lines(line, 300_000);
+        let mut s = MemScratch::default();
+        let period: u64 = (0..h.num_levels())
+            .map(|i| {
+                let l = h.level(i);
+                let span = l.sets() * l.line_bytes();
+                span / gcd(p.stride, span)
+            })
+            .max()
+            .unwrap();
+        let capacity: u64 = (0..h.num_levels())
+            .map(|i| h.level(i).capacity_lines())
+            .sum();
+        eprintln!("period={period} capacity={capacity}");
+        let period_bytes = period * p.stride;
+        let mut have = false;
+        for i in 0..p.count {
+            h.access(p.addr(i), p.kind);
+            let i = i + 1;
+            if !i.is_multiple_of(period) || i < capacity + period {
+                continue;
+            }
+            if have {
+                let mut all_ok = true;
+                for l in 0..h.num_levels() {
+                    let lv = h.level(l);
+                    let shift_lines = period_bytes / lv.line_bytes();
+                    let detail = lv.debug_mismatch(&s.lines[l], shift_lines);
+                    if let Some(d) = detail {
+                        all_ok = false;
+                        eprintln!("i={i}: level {l}: {d}");
+                    }
+                }
+                if all_ok {
+                    eprintln!("i={i}: MATCH");
+                    return;
+                }
+                if i > capacity + 6 * period {
+                    eprintln!("giving up at i={i}");
+                    return;
+                }
+            }
+            take_snapshot(&h, &mut s);
+            have = true;
+        }
     }
 }

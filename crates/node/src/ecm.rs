@@ -225,7 +225,7 @@ mod tests {
         let e = triad_ecm(&m, Compiler::Gcc);
         let n = e.saturation_cores();
         // Streaming triad saturates a ccNUMA domain with a handful of cores.
-        assert!(n >= 2 && n <= 26, "n_sat = {n}");
+        assert!((2..=26).contains(&n), "n_sat = {n}");
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! Severity-tagged structured event journal: a bounded ring buffer of
+//! operational moments (overloads, cache evictions, stale-entry heals,
+//! drains, slow requests) that a service can append to cheaply and a
+//! client can drain incrementally.
+//!
+//! Events get monotonically increasing sequence numbers; when the ring
+//! is full the oldest event is dropped and counted, so a poller that
+//! asks for `events_since(last_seen)` can both resume where it left off
+//! and detect gaps. Rendering is hand-emitted NDJSON (one event per
+//! line) to keep the crate zero-dependency.
+
+use std::collections::VecDeque;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::json_escape;
+
+/// Event severity, ordered from routine to alarming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Info,
+    Warn,
+    Error,
+}
+
+impl Severity {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One journal entry. `fields` carries event-specific key/value detail
+/// (kernel label, eviction count, retry hint) in insertion order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic sequence number, 1-based, never reused.
+    pub seq: u64,
+    /// Wall-clock milliseconds since the Unix epoch at append time.
+    pub unix_ms: u64,
+    pub severity: Severity,
+    /// Stable machine-readable kind, e.g. `"overloaded"`, `"drain"`.
+    pub kind: String,
+    /// Human-readable one-liner.
+    pub message: String,
+    pub fields: Vec<(String, String)>,
+}
+
+impl Event {
+    /// One NDJSON line (no trailing newline), stable key order.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"seq\":{},\"unix_ms\":{},\"severity\":\"{}\",\"kind\":\"{}\",\"message\":\"{}\"",
+            self.seq,
+            self.unix_ms,
+            self.severity.label(),
+            json_escape(&self.kind),
+            json_escape(&self.message),
+        );
+        if !self.fields.is_empty() {
+            out.push_str(",\"fields\":{");
+            for (i, (k, v)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Bounded event ring. Not internally synchronized — callers wrap it in
+/// whatever lock guards their other telemetry (the serve loop keeps it
+/// under one mutex beside the windowed series).
+#[derive(Debug)]
+pub struct Journal {
+    cap: usize,
+    next_seq: u64,
+    dropped: u64,
+    events: VecDeque<Event>,
+}
+
+impl Journal {
+    /// A journal holding at most `cap` events (at least 1).
+    pub fn new(cap: usize) -> Journal {
+        Journal {
+            cap: cap.max(1),
+            next_seq: 1,
+            dropped: 0,
+            events: VecDeque::new(),
+        }
+    }
+
+    /// Append an event stamped with the current wall clock.
+    pub fn push(
+        &mut self,
+        severity: Severity,
+        kind: &str,
+        message: &str,
+        fields: Vec<(String, String)>,
+    ) -> u64 {
+        let unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis().min(u128::from(u64::MAX)) as u64)
+            .unwrap_or(0);
+        self.push_at(unix_ms, severity, kind, message, fields)
+    }
+
+    /// Append with an explicit timestamp (deterministic tests).
+    pub fn push_at(
+        &mut self,
+        unix_ms: u64,
+        severity: Severity,
+        kind: &str,
+        message: &str,
+        fields: Vec<(String, String)>,
+    ) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(Event {
+            seq,
+            unix_ms,
+            severity,
+            kind: kind.to_string(),
+            message: message.to_string(),
+            fields,
+        });
+        seq
+    }
+
+    /// Events with `seq > since`, oldest first.
+    pub fn events_since(&self, since: u64) -> Vec<&Event> {
+        self.events.iter().filter(|e| e.seq > since).collect()
+    }
+
+    /// Newest `n` events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<&Event> {
+        let skip = self.events.len().saturating_sub(n);
+        self.events.iter().skip(skip).collect()
+    }
+
+    /// Sequence number the next append will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Events lost to ring overflow since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All retained events as NDJSON, one line per event.
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(j: &mut Journal, n: u64) -> u64 {
+        j.push_at(n, Severity::Info, "tick", &format!("tick {n}"), Vec::new())
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotonic_and_survive_overflow() {
+        let mut j = Journal::new(3);
+        for n in 1..=5 {
+            ev(&mut j, n);
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 2);
+        assert_eq!(j.next_seq(), 6);
+        let seqs: Vec<u64> = j.events_since(0).iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn events_since_resumes_mid_ring() {
+        let mut j = Journal::new(8);
+        for n in 1..=4 {
+            ev(&mut j, n);
+        }
+        let seqs: Vec<u64> = j.events_since(2).iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![3, 4]);
+        assert!(j.events_since(99).is_empty());
+    }
+
+    #[test]
+    fn tail_returns_newest_oldest_first() {
+        let mut j = Journal::new(8);
+        for n in 1..=5 {
+            ev(&mut j, n);
+        }
+        let seqs: Vec<u64> = j.tail(2).iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![4, 5]);
+        assert_eq!(j.tail(99).len(), 5);
+    }
+
+    #[test]
+    fn ndjson_lines_are_stable_and_escaped() {
+        let mut j = Journal::new(4);
+        j.push_at(
+            1000,
+            Severity::Warn,
+            "overloaded",
+            "queue \"full\"",
+            vec![("shard".to_string(), "2".to_string())],
+        );
+        let line = j.to_ndjson();
+        assert_eq!(
+            line,
+            "{\"seq\":1,\"unix_ms\":1000,\"severity\":\"warn\",\"kind\":\"overloaded\",\
+             \"message\":\"queue \\\"full\\\"\",\"fields\":{\"shard\":\"2\"}}\n"
+        );
+        // Field-less events omit the fields object entirely.
+        let mut plain = Journal::new(1);
+        plain.push_at(5, Severity::Error, "x", "y", Vec::new());
+        assert!(!plain.to_ndjson().contains("fields"));
+    }
+}

@@ -24,6 +24,27 @@
 //! schema checks), and [`Profile::to_chrome_trace`] (Chrome trace event
 //! format — `"X"` complete events and `"C"` counter events — loadable
 //! in `about:tracing` or Perfetto).
+//!
+//! On top of the recorder sit four service-facing primitives grown for
+//! `incore-cli serve`:
+//!
+//! - [`TraceCtx`] — a request-scoped (trace id, span id) pair carried in
+//!   a thread-local; [`with_trace`] scopes it, and every [`span`] opened
+//!   inside inherits it, so one request renders as a single connected
+//!   span tree even across the shard-dispatch thread hop.
+//! - [`registry::Registry`] — a named counter/gauge/histogram registry
+//!   with lock-free hot-path updates and a *consistent* snapshot (no
+//!   torn field-by-field reads), rendered as versioned JSON fragments or
+//!   Prometheus text exposition.
+//! - [`timeseries`] — fixed-memory 1-second ring buffers giving rolling
+//!   10s/1m/5m rates and sliding histogram quantiles.
+//! - [`journal::Journal`] — a severity-tagged bounded event journal
+//!   (NDJSON lines) for operational moments: overloads, evictions,
+//!   stale-cache heals, drains, slow requests.
+
+pub mod journal;
+pub mod registry;
+pub mod timeseries;
 
 use std::cell::Cell;
 use std::collections::BTreeMap;
@@ -33,10 +54,73 @@ use std::time::Instant;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
     static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
     static DEPTH: Cell<u32> = const { Cell::new(0) };
+    static TRACE: Cell<TraceCtx> = const { Cell::new(TraceCtx::NONE) };
+}
+
+/// Request-scoped trace context: a process-unique trace id plus the id
+/// of the span that is the current parent. `trace_id == 0` means "not
+/// inside any trace" — spans recorded there keep the pre-trace shape.
+///
+/// The context travels by value (it is two u64s) so a server can mint
+/// it on the connection thread, stash it in a queue entry, and restore
+/// it on the worker thread with [`with_trace`]; every `span()` opened
+/// under the restored context — including ones deep inside
+/// `engine`/`exec`/`memhier` that know nothing about serving — becomes
+/// part of the request's tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    pub trace_id: u64,
+    pub span_id: u64,
+}
+
+impl TraceCtx {
+    /// The empty context: spans opened under it are untraced.
+    pub const NONE: TraceCtx = TraceCtx {
+        trace_id: 0,
+        span_id: 0,
+    };
+
+    /// Mint a fresh root context (new trace id, no parent span).
+    pub fn mint() -> TraceCtx {
+        TraceCtx {
+            trace_id: NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed),
+            span_id: 0,
+        }
+    }
+
+    pub fn is_none(&self) -> bool {
+        self.trace_id == 0
+    }
+}
+
+/// Allocate a process-unique span id (for callers that record spans
+/// explicitly via [`record_span_at`] rather than through RAII guards).
+pub fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The calling thread's current trace context ([`TraceCtx::NONE`]
+/// outside any [`with_trace`] scope).
+pub fn current_trace() -> TraceCtx {
+    TRACE.with(|t| t.get())
+}
+
+/// Run `f` with `ctx` installed as the thread's trace context,
+/// restoring the previous context afterwards (also on panic-free early
+/// return; the context is thread-local state, not a lock, so a panic
+/// unwinding through here at worst leaves a stale id on a thread that
+/// is about to die).
+pub fn with_trace<R>(ctx: TraceCtx, f: impl FnOnce() -> R) -> R {
+    let prev = TRACE.with(|t| t.replace(ctx));
+    let out = f();
+    TRACE.with(|t| t.set(prev));
+    out
 }
 
 /// Is the recorder on? Inlined so instrumentation sites compile to a
@@ -104,13 +188,18 @@ pub fn observe(name: &str, value: u64) {
 }
 
 /// Open a named span; it records itself when dropped. While disabled
-/// the guard is inert (no clock read, no lock).
+/// the guard is inert (no clock read, no lock). Inside a [`with_trace`]
+/// scope the span joins the current trace: it gets a fresh span id,
+/// records the enclosing span id as its parent, and becomes the parent
+/// of spans opened while it is live.
 pub fn span(name: &str) -> Span {
     if !enabled() {
         return Span {
             name: String::new(),
             start: None,
             depth: 0,
+            ctx: TraceCtx::NONE,
+            parent_id: 0,
         };
     }
     let depth = DEPTH.with(|d| {
@@ -118,10 +207,23 @@ pub fn span(name: &str) -> Span {
         d.set(v + 1);
         v
     });
+    let outer = current_trace();
+    let ctx = if outer.is_none() {
+        TraceCtx::NONE
+    } else {
+        let child = TraceCtx {
+            trace_id: outer.trace_id,
+            span_id: next_span_id(),
+        };
+        TRACE.with(|t| t.set(child));
+        child
+    };
     Span {
         name: name.to_string(),
         start: Some(Instant::now()),
         depth,
+        ctx,
+        parent_id: outer.span_id,
     }
 }
 
@@ -130,12 +232,30 @@ pub struct Span {
     name: String,
     start: Option<Instant>,
     depth: u32,
+    ctx: TraceCtx,
+    parent_id: u64,
+}
+
+impl Span {
+    /// This span's trace context ([`TraceCtx::NONE`] when untraced or
+    /// the recorder is off) — what a caller forwards to another thread.
+    pub fn ctx(&self) -> TraceCtx {
+        self.ctx
+    }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        if !self.ctx.is_none() {
+            TRACE.with(|t| {
+                t.set(TraceCtx {
+                    trace_id: self.ctx.trace_id,
+                    span_id: self.parent_id,
+                })
+            });
+        }
         let tid = TID.with(|t| *t);
         let mut inner = collector().lock().expect("obs collector poisoned");
         let start_us = start
@@ -151,8 +271,45 @@ impl Drop for Span {
             depth,
             start_us,
             dur_us,
+            trace_id: self.ctx.trace_id,
+            span_id: self.ctx.span_id,
+            parent_id: if self.ctx.is_none() {
+                0
+            } else {
+                self.parent_id
+            },
         });
     }
+}
+
+/// Record a span explicitly with caller-supplied trace identity and a
+/// caller-held start instant. This is the escape hatch for spans whose
+/// open and close happen on different threads (a served request is
+/// submitted on its connection's reader thread and answered on a shard
+/// worker): the caller mints ids up front, hands them to children, and
+/// records the parent here once the request is done. No-op while
+/// disabled.
+#[allow(clippy::too_many_arguments)]
+pub fn record_span_at(name: &str, ctx: TraceCtx, parent_id: u64, start: Instant, dur_us: u64) {
+    if !enabled() {
+        return;
+    }
+    let tid = TID.with(|t| *t);
+    let mut inner = collector().lock().expect("obs collector poisoned");
+    let start_us = start
+        .saturating_duration_since(inner.epoch)
+        .as_micros()
+        .min(u128::from(u64::MAX)) as u64;
+    inner.spans.push(SpanRecord {
+        name: name.to_string(),
+        tid,
+        depth: 0,
+        start_us,
+        dur_us,
+        trace_id: ctx.trace_id,
+        span_id: ctx.span_id,
+        parent_id,
+    });
 }
 
 /// Drain everything recorded so far (the recorder's enabled/disabled
@@ -181,6 +338,12 @@ pub struct SpanRecord {
     /// Microseconds since the recorder was enabled.
     pub start_us: u64,
     pub dur_us: u64,
+    /// Trace this span belongs to; 0 = untraced.
+    pub trace_id: u64,
+    /// This span's id within the trace; 0 = untraced.
+    pub span_id: u64,
+    /// Parent span id within the trace; 0 = trace root (or untraced).
+    pub parent_id: u64,
 }
 
 /// Power-of-two-bucketed histogram: bucket `i` holds values whose
@@ -189,7 +352,9 @@ pub struct SpanRecord {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     pub count: u64,
-    pub sum: u64,
+    /// 128-bit so `mean()` stays exact even for near-`u64::MAX`
+    /// observations (2^64 observations of 2^64 still fit in a u128).
+    pub sum: u128,
     pub min: u64,
     pub max: u64,
     buckets: [u64; 65],
@@ -214,7 +379,7 @@ fn bucket_of(value: u64) -> usize {
 impl Histogram {
     pub fn record(&mut self, value: u64) {
         self.count += 1;
-        self.sum = self.sum.saturating_add(value);
+        self.sum += u128::from(value);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
         self.buckets[bucket_of(value)] += 1;
@@ -228,15 +393,41 @@ impl Histogram {
         }
     }
 
+    /// Fold another histogram into this one (used by the windowed
+    /// time-series to merge per-second slots into a sliding view).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
     /// Approximate quantile `q` in `[0, 1]`: the lower bound of the
     /// power-of-two bucket where the cumulative count reaches
     /// `ceil(q * count)`, clamped to the exact recorded `[min, max]`.
     /// With 2x-wide buckets the estimate is within 2x of the true value,
     /// which is enough resolution for the serve metrics' p50/p99 —
     /// consumers needing exact tails should record raw samples instead.
+    ///
+    /// Edges are exact: `q <= 0` returns the recorded minimum, `q >= 1`
+    /// the recorded maximum, the empty histogram 0 everywhere, and a
+    /// NaN `q` is treated as 0.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
+        }
+        let q = if q.is_nan() { 0.0 } else { q };
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
         }
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
@@ -270,7 +461,7 @@ pub struct Profile {
     pub spans: Vec<SpanRecord>,
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -365,12 +556,15 @@ impl Profile {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"name\":\"{}\",\"tid\":{},\"depth\":{},\"start_us\":{},\"dur_us\":{}}}",
+                "{{\"name\":\"{}\",\"tid\":{},\"depth\":{},\"start_us\":{},\"dur_us\":{},\"trace_id\":{},\"span_id\":{},\"parent_id\":{}}}",
                 json_escape(&s.name),
                 s.tid,
                 s.depth,
                 s.start_us,
-                s.dur_us
+                s.dur_us,
+                s.trace_id,
+                s.span_id,
+                s.parent_id
             ));
         }
         out.push_str("]}");
@@ -380,15 +574,27 @@ impl Profile {
     /// Chrome trace event format: spans become `"X"` complete events
     /// (one track per recording thread), counters become `"C"` counter
     /// events at t=0. Load the file in `about:tracing` or Perfetto.
+    /// Spans that belong to a request trace carry their
+    /// `trace_id`/`span_id`/`parent_id` in `args` so one request can be
+    /// followed across threads; untraced spans keep the original shape.
     pub fn to_chrome_trace(&self) -> String {
         let mut events = Vec::new();
         for s in &self.spans {
+            let args = if s.trace_id != 0 {
+                format!(
+                    ",\"args\":{{\"trace_id\":{},\"span_id\":{},\"parent_id\":{}}}",
+                    s.trace_id, s.span_id, s.parent_id
+                )
+            } else {
+                String::new()
+            };
             events.push(format!(
-                "{{\"name\":\"{}\",\"cat\":\"obs\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{}}}",
+                "{{\"name\":\"{}\",\"cat\":\"obs\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{}{}}}",
                 json_escape(&s.name),
                 s.start_us,
                 s.dur_us,
-                s.tid
+                s.tid,
+                args
             ));
         }
         for (name, v) in &self.counters {
@@ -472,13 +678,65 @@ mod tests {
         assert!((32..=64).contains(&p50), "p50 = {p50}");
         let p99 = h.quantile(0.99);
         assert!((64..=100).contains(&p99), "p99 = {p99}");
-        assert_eq!(h.quantile(0.0), 1, "clamped to min");
-        assert_eq!(h.quantile(1.0), 64, "last bucket's lower bound");
+        assert_eq!(h.quantile(0.0), 1, "q=0 is the exact minimum");
+        assert_eq!(h.quantile(1.0), 100, "q=1 is the exact maximum");
         // A single-valued histogram is exact at every quantile.
         let mut one = Histogram::default();
         one.record(42);
         assert_eq!(one.quantile(0.5), 42);
         assert_eq!(one.quantile(0.99), 42);
+    }
+
+    #[test]
+    fn histogram_edge_quantiles_and_overflow() {
+        // Empty histogram: every quantile (and both edges) is 0.
+        let empty = Histogram::default();
+        assert_eq!(empty.quantile(0.0), 0);
+        assert_eq!(empty.quantile(1.0), 0);
+        assert_eq!(empty.mean(), 0.0);
+        // Single-bucket histogram: edges are the exact recorded extremes
+        // even when min and max share a power-of-two bucket.
+        let mut narrow = Histogram::default();
+        narrow.record(33);
+        narrow.record(47);
+        assert_eq!(narrow.quantile(0.0), 33);
+        assert_eq!(narrow.quantile(1.0), 47);
+        // Out-of-range and NaN q values clamp instead of panicking.
+        assert_eq!(narrow.quantile(-3.0), 33);
+        assert_eq!(narrow.quantile(7.5), 47);
+        assert_eq!(narrow.quantile(f64::NAN), 33);
+        // Near-u64::MAX observations: the u128 sum keeps mean() exact
+        // where a saturating u64 sum would have pinned it at u64::MAX/2.
+        let mut big = Histogram::default();
+        big.record(u64::MAX);
+        big.record(u64::MAX);
+        big.record(u64::MAX);
+        assert_eq!(big.sum, 3 * u128::from(u64::MAX));
+        let want = u64::MAX as f64;
+        assert!((big.mean() - want).abs() <= want * 1e-9, "mean overflowed");
+        assert_eq!(big.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_merge_combines_counts_and_extremes() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for v in [1u64, 2, 3] {
+            a.record(v);
+        }
+        for v in [100u64, 200] {
+            b.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count, 5);
+        assert_eq!(merged.sum, 306);
+        assert_eq!((merged.min, merged.max), (1, 200));
+        assert_eq!(merged.quantile(1.0), 200);
+        // Merging an empty histogram is the identity (min untouched).
+        let before = merged.clone();
+        merged.merge(&Histogram::default());
+        assert_eq!(merged, before);
     }
 
     #[test]
@@ -545,6 +803,67 @@ mod tests {
         assert!(t.contains("\"ph\":\"X\""));
         assert!(t.contains("\"ph\":\"C\""));
         assert!(t.ends_with("}\n"));
+    }
+
+    #[test]
+    fn spans_outside_a_trace_stay_untraced() {
+        let _g = exclusive();
+        enable();
+        {
+            let _s = span("plain");
+        }
+        let p = take();
+        disable();
+        let s = &p.spans[0];
+        assert_eq!((s.trace_id, s.span_id, s.parent_id), (0, 0, 0));
+        assert!(!p.to_chrome_trace().contains("\"args\":{\"trace_id\""));
+    }
+
+    #[test]
+    fn with_trace_builds_a_connected_span_tree() {
+        let _g = exclusive();
+        enable();
+        let ctx = TraceCtx::mint();
+        with_trace(ctx, || {
+            let outer = span("request");
+            let outer_id = outer.ctx().span_id;
+            assert_ne!(outer_id, 0);
+            {
+                let inner = span("compute");
+                assert_eq!(inner.ctx().trace_id, ctx.trace_id);
+            }
+            // After the inner span closes, its parent is current again.
+            assert_eq!(current_trace().span_id, outer_id);
+        });
+        assert!(current_trace().is_none(), "context restored after scope");
+        let p = take();
+        disable();
+        let outer = p.spans.iter().find(|s| s.name == "request").unwrap();
+        let inner = p.spans.iter().find(|s| s.name == "compute").unwrap();
+        assert_eq!(outer.trace_id, ctx.trace_id);
+        assert_eq!(outer.parent_id, 0, "root span has no parent");
+        assert_eq!(inner.parent_id, outer.span_id, "child links to parent");
+        let t = p.to_chrome_trace();
+        assert!(t.contains(&format!("\"trace_id\":{}", ctx.trace_id)));
+    }
+
+    #[test]
+    fn record_span_at_joins_a_minted_trace() {
+        let _g = exclusive();
+        enable();
+        let ctx = TraceCtx {
+            trace_id: TraceCtx::mint().trace_id,
+            span_id: next_span_id(),
+        };
+        let start = Instant::now();
+        record_span_at("serve.request", ctx, 0, start, 125);
+        let p = take();
+        disable();
+        let s = &p.spans[0];
+        assert_eq!(s.name, "serve.request");
+        assert_eq!(s.trace_id, ctx.trace_id);
+        assert_eq!(s.span_id, ctx.span_id);
+        assert_eq!(s.dur_us, 125);
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! A named counter/gauge/histogram registry with lock-free hot-path
+//! updates and *consistent* snapshots.
+//!
+//! The motivating bug: `serve`'s original metrics struct was a bag of
+//! independent `AtomicU64`s read field-by-field while workers mutated
+//! them, so a `metrics` response could report `ok + errors + coalesced
+//! != analyze` mid-flight — every individual load was fine, the *cut*
+//! across them was torn. The registry fixes the cut, not the loads:
+//! every update holds the read half of an `RwLock<()>` gate (shared, so
+//! updates still run concurrently and stay one relaxed atomic op), and
+//! [`Registry::snapshot`] takes the write half, excluding updates for
+//! the microseconds it takes to copy every value. Any cross-metric
+//! invariant the update ordering guarantees therefore holds in every
+//! snapshot.
+//!
+//! Metrics are registered once at startup (returning copyable typed
+//! ids) and updated by id afterwards — no hashing or name lookup on the
+//! hot path. A [`Snapshot`] renders as Prometheus text exposition via
+//! [`Snapshot::render_prometheus`]; JSON shaping is left to callers
+//! with versioned schemas.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+
+use crate::Histogram;
+
+/// Handle to a registered monotonic counter.
+#[derive(Debug, Clone, Copy)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge (may go up and down).
+#[derive(Debug, Clone, Copy)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy)]
+pub struct HistId(usize);
+
+#[derive(Debug)]
+pub struct Registry {
+    gate: RwLock<()>,
+    counters: Vec<(String, AtomicU64)>,
+    gauges: Vec<(String, AtomicU64)>,
+    hists: Vec<(String, Mutex<Histogram>)>,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry {
+            gate: RwLock::new(()),
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            hists: Vec::new(),
+        }
+    }
+
+    /// Register a counter. Names must be unique per kind (checked).
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        assert!(
+            !self.counters.iter().any(|(n, _)| n == name),
+            "duplicate counter {name:?}"
+        );
+        self.counters.push((name.to_string(), AtomicU64::new(0)));
+        CounterId(self.counters.len() - 1)
+    }
+
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        assert!(
+            !self.gauges.iter().any(|(n, _)| n == name),
+            "duplicate gauge {name:?}"
+        );
+        self.gauges.push((name.to_string(), AtomicU64::new(0)));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    pub fn histogram(&mut self, name: &str) -> HistId {
+        assert!(
+            !self.hists.iter().any(|(n, _)| n == name),
+            "duplicate histogram {name:?}"
+        );
+        self.hists
+            .push((name.to_string(), Mutex::new(Histogram::default())));
+        HistId(self.hists.len() - 1)
+    }
+
+    /// Add `delta` to a counter. Concurrent with other updates, but
+    /// never concurrent with a snapshot.
+    pub fn add(&self, id: CounterId, delta: u64) {
+        let _g = self.gate.read().expect("registry gate poisoned");
+        self.counters[id.0].1.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn gauge_add(&self, id: GaugeId, delta: u64) {
+        let _g = self.gate.read().expect("registry gate poisoned");
+        self.gauges[id.0].1.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Add and return the new value (so a caller can feed a peak gauge
+    /// without a second load racing other updaters).
+    pub fn gauge_add_fetch(&self, id: GaugeId, delta: u64) -> u64 {
+        let _g = self.gate.read().expect("registry gate poisoned");
+        self.gauges[id.0].1.fetch_add(delta, Ordering::Relaxed) + delta
+    }
+
+    pub fn gauge_sub(&self, id: GaugeId, delta: u64) {
+        let _g = self.gate.read().expect("registry gate poisoned");
+        self.gauges[id.0].1.fetch_sub(delta, Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `value` if it is currently lower (peaks).
+    pub fn gauge_max(&self, id: GaugeId, value: u64) {
+        let _g = self.gate.read().expect("registry gate poisoned");
+        self.gauges[id.0].1.fetch_max(value, Ordering::Relaxed);
+    }
+
+    pub fn observe(&self, id: HistId, value: u64) {
+        let _g = self.gate.read().expect("registry gate poisoned");
+        self.hists[id.0]
+            .1
+            .lock()
+            .expect("registry histogram poisoned")
+            .record(value);
+    }
+
+    /// A consistent cut across every registered metric: the write half
+    /// of the gate excludes all updates while values are copied.
+    pub fn snapshot(&self) -> Snapshot {
+        let _g = self.gate.write().expect("registry gate poisoned");
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(n, v)| (n.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(n, v)| (n.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            hists: self
+                .hists
+                .iter()
+                .map(|(n, h)| {
+                    (
+                        n.clone(),
+                        h.lock().expect("registry histogram poisoned").clone(),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One consistent cut of a [`Registry`], in registration order.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, u64)>,
+    pub hists: Vec<(String, Histogram)>,
+}
+
+/// A metric name sanitized for Prometheus: dots and dashes become
+/// underscores, anything else non-alphanumeric is dropped.
+pub fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '_' => out.push(c),
+            '.' | '-' | ':' | '/' => out.push('_'),
+            _ => {}
+        }
+    }
+    out
+}
+
+impl Snapshot {
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Prometheus text exposition (format version 0.0.4) of the whole
+    /// snapshot. Counters get a `_total` suffix, histograms render as
+    /// summaries (`{q="0.5"|"0.9"|"0.99"}` quantile lines plus `_sum` /
+    /// `_count`). Every sample is an integer, so the output can never
+    /// contain `NaN`, and each metric family has exactly one `# TYPE`
+    /// line — both properties are linted in CI against a live server.
+    pub fn render_prometheus(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let m = format!("{}_{}_total", prom_name(prefix), prom_name(name));
+            out.push_str(&format!("# TYPE {m} counter\n{m} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let m = format!("{}_{}", prom_name(prefix), prom_name(name));
+            out.push_str(&format!("# TYPE {m} gauge\n{m} {v}\n"));
+        }
+        for (name, h) in &self.hists {
+            let m = format!("{}_{}", prom_name(prefix), prom_name(name));
+            out.push_str(&format!("# TYPE {m} summary\n"));
+            for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                out.push_str(&format!("{m}{{quantile=\"{label}\"}} {}\n", h.quantile(q)));
+            }
+            out.push_str(&format!("{m}_sum {}\n{m}_count {}\n", h.sum, h.count));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering as O};
+
+    fn serve_like() -> (Registry, CounterId, CounterId, CounterId) {
+        let mut r = Registry::new();
+        let total = r.counter("requests");
+        let ok = r.counter("ok");
+        let errors = r.counter("errors");
+        (r, total, ok, errors)
+    }
+
+    #[test]
+    fn ids_update_their_own_slots() {
+        let (r, total, ok, errors) = serve_like();
+        r.add(total, 5);
+        r.add(ok, 3);
+        r.add(errors, 2);
+        let s = r.snapshot();
+        assert_eq!(s.counter("requests"), 5);
+        assert_eq!(s.counter("ok"), 3);
+        assert_eq!(s.counter("errors"), 2);
+        assert_eq!(s.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_move_both_ways_and_track_peaks() {
+        let mut r = Registry::new();
+        let depth = r.gauge("queue.depth");
+        let peak = r.gauge("queue.peak");
+        r.gauge_add(depth, 3);
+        r.gauge_max(peak, 3);
+        r.gauge_sub(depth, 2);
+        r.gauge_max(peak, 1);
+        let s = r.snapshot();
+        assert_eq!(s.gauge("queue.depth"), 1);
+        assert_eq!(s.gauge("queue.peak"), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate counter")]
+    fn duplicate_names_are_rejected() {
+        let mut r = Registry::new();
+        r.counter("x");
+        r.counter("x");
+    }
+
+    #[test]
+    fn snapshots_are_never_torn() {
+        // A writer maintains the invariant `ok + errors == requests`
+        // *under the gate*: it bumps requests first, then the outcome,
+        // with both bumps separated by a yield to maximize the window.
+        // Every snapshot must observe requests >= ok + errors (never
+        // the half-applied state where outcomes lead requests), and at
+        // the end the totals reconcile exactly.
+        let (r, total, ok, errors) = serve_like();
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for worker in 0..2 {
+                let (r, stop) = (&r, &stop);
+                s.spawn(move || {
+                    let mut n = 0u64;
+                    while !stop.load(O::Relaxed) {
+                        r.add(total, 1);
+                        std::thread::yield_now();
+                        if n % 2 == worker {
+                            r.add(ok, 1);
+                        } else {
+                            r.add(errors, 1);
+                        }
+                        n += 1;
+                    }
+                });
+            }
+            for _ in 0..200 {
+                let snap = r.snapshot();
+                let (req, done) = (
+                    snap.counter("requests"),
+                    snap.counter("ok") + snap.counter("errors"),
+                );
+                assert!(req >= done, "torn snapshot: requests={req} done={done}");
+            }
+            stop.store(true, O::Relaxed);
+        });
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        let mut r = Registry::new();
+        let c = r.counter("serve.requests");
+        let g = r.gauge("queue.depth");
+        let h = r.histogram("service_time_us");
+        r.add(c, 7);
+        r.gauge_add(g, 2);
+        r.observe(h, 1000);
+        let text = r.snapshot().render_prometheus("incore");
+        assert!(text.contains("# TYPE incore_serve_requests_total counter\n"));
+        assert!(text.contains("incore_serve_requests_total 7\n"));
+        assert!(text.contains("# TYPE incore_queue_depth gauge\n"));
+        assert!(text.contains("incore_service_time_us{quantile=\"0.99\"} 1000\n"));
+        assert!(text.contains("incore_service_time_us_count 1\n"));
+        assert!(!text.contains("NaN"));
+        // Exactly one TYPE line per family, names unique.
+        let mut seen = std::collections::HashSet::new();
+        for line in text.lines().filter(|l| l.starts_with("# TYPE ")) {
+            assert!(seen.insert(line.to_string()), "duplicate {line}");
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Fixed-memory rolling windows over counters and histograms.
+//!
+//! Both series bucket observations into 1-second slots of a 300-entry
+//! ring (`idx = second % 300`); each slot remembers which absolute
+//! second it belongs to, so reads simply skip slots whose stamp falls
+//! outside the requested window — no background reaper thread, no
+//! allocation after construction, and full determinism when tests feed
+//! explicit seconds instead of the wall clock.
+//!
+//! The serve loop keeps one [`WindowedCounter`] per rate it exposes
+//! (requests, errors, response-cache hits/misses, coalesces) and one
+//! [`WindowedHistogram`] for service time, then reports 10s/1m/5m views
+//! in the `metrics` response and the `top` dashboard.
+
+use crate::Histogram;
+
+/// Ring capacity in seconds — the longest supported window (5 minutes).
+pub const RING_SECONDS: u64 = 300;
+
+/// The standard reporting windows: 10 seconds, 1 minute, 5 minutes.
+pub const WINDOWS: [(&str, u64); 3] = [("10s", 10), ("1m", 60), ("5m", 300)];
+
+/// A counter whose per-second increments are retained for
+/// [`RING_SECONDS`], supporting rolling sums and rates.
+#[derive(Debug, Clone)]
+pub struct WindowedCounter {
+    slots: Vec<u64>,
+    stamps: Vec<u64>,
+}
+
+impl Default for WindowedCounter {
+    fn default() -> WindowedCounter {
+        WindowedCounter {
+            slots: vec![0; RING_SECONDS as usize],
+            stamps: vec![u64::MAX; RING_SECONDS as usize],
+        }
+    }
+}
+
+impl WindowedCounter {
+    pub fn new() -> WindowedCounter {
+        WindowedCounter::default()
+    }
+
+    /// Add `delta` to the slot for absolute second `now_s`.
+    pub fn record(&mut self, now_s: u64, delta: u64) {
+        let idx = (now_s % RING_SECONDS) as usize;
+        if self.stamps[idx] != now_s {
+            self.stamps[idx] = now_s;
+            self.slots[idx] = 0;
+        }
+        self.slots[idx] += delta;
+    }
+
+    /// Sum over the `window_s` seconds ending at `now_s` (inclusive).
+    pub fn sum(&self, now_s: u64, window_s: u64) -> u64 {
+        let window_s = window_s.clamp(1, RING_SECONDS);
+        let oldest = now_s.saturating_sub(window_s - 1);
+        self.stamps
+            .iter()
+            .zip(self.slots.iter())
+            .filter(|(&stamp, _)| stamp >= oldest && stamp <= now_s)
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Average events per second over the window.
+    pub fn rate(&self, now_s: u64, window_s: u64) -> f64 {
+        let window_s = window_s.clamp(1, RING_SECONDS);
+        self.sum(now_s, window_s) as f64 / window_s as f64
+    }
+}
+
+/// A histogram whose per-second sub-histograms are retained for
+/// [`RING_SECONDS`], supporting sliding-window quantiles via
+/// [`Histogram::merge`].
+#[derive(Debug, Clone)]
+pub struct WindowedHistogram {
+    slots: Vec<Histogram>,
+    stamps: Vec<u64>,
+}
+
+impl Default for WindowedHistogram {
+    fn default() -> WindowedHistogram {
+        WindowedHistogram {
+            slots: vec![Histogram::default(); RING_SECONDS as usize],
+            stamps: vec![u64::MAX; RING_SECONDS as usize],
+        }
+    }
+}
+
+impl WindowedHistogram {
+    pub fn new() -> WindowedHistogram {
+        WindowedHistogram::default()
+    }
+
+    /// Record one observation into the slot for second `now_s`.
+    pub fn record(&mut self, now_s: u64, value: u64) {
+        let idx = (now_s % RING_SECONDS) as usize;
+        if self.stamps[idx] != now_s {
+            self.stamps[idx] = now_s;
+            self.slots[idx] = Histogram::default();
+        }
+        self.slots[idx].record(value);
+    }
+
+    /// The merged histogram over the `window_s` seconds ending at
+    /// `now_s` (inclusive).
+    pub fn merged(&self, now_s: u64, window_s: u64) -> Histogram {
+        let window_s = window_s.clamp(1, RING_SECONDS);
+        let oldest = now_s.saturating_sub(window_s - 1);
+        let mut out = Histogram::default();
+        for (stamp, h) in self.stamps.iter().zip(self.slots.iter()) {
+            if *stamp >= oldest && *stamp <= now_s {
+                out.merge(h);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_respect_the_window_edge() {
+        let mut c = WindowedCounter::new();
+        for s in 0..20 {
+            c.record(s, 1);
+        }
+        assert_eq!(c.sum(19, 10), 10, "seconds 10..=19");
+        assert_eq!(c.sum(19, 20), 20);
+        assert_eq!(c.sum(19, 1), 1, "just the current second");
+        assert!((c.rate(19, 10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stale_slots_are_reclaimed_after_wraparound() {
+        let mut c = WindowedCounter::new();
+        c.record(5, 100);
+        // One full ring later the same index holds a different second.
+        c.record(5 + RING_SECONDS, 7);
+        assert_eq!(c.sum(5 + RING_SECONDS, 10), 7, "old stamp excluded");
+        // A gap with no records reads as zero.
+        assert_eq!(c.sum(5 + 2 * RING_SECONDS + 50, 10), 0);
+    }
+
+    #[test]
+    fn idle_gaps_do_not_leak_old_counts() {
+        let mut c = WindowedCounter::new();
+        c.record(100, 50);
+        assert_eq!(c.sum(100, 10), 50);
+        // 200 seconds idle: the slot is outside every window <= 200s.
+        assert_eq!(c.sum(300, 10), 0);
+        assert_eq!(c.sum(300, 300), 50, "still inside the 5m window");
+    }
+
+    #[test]
+    fn histogram_windows_merge_slots() {
+        let mut h = WindowedHistogram::new();
+        h.record(10, 1000);
+        h.record(11, 2000);
+        h.record(100, 8);
+        let recent = h.merged(100, 10);
+        assert_eq!(recent.count, 1);
+        assert_eq!(recent.quantile(1.0), 8);
+        let all = h.merged(100, 300);
+        assert_eq!(all.count, 3);
+        assert_eq!((all.min, all.max), (8, 2000));
+    }
+
+    #[test]
+    fn zero_width_windows_clamp_to_one_second() {
+        let mut c = WindowedCounter::new();
+        c.record(42, 3);
+        assert_eq!(c.sum(42, 0), 3);
+        assert!((c.rate(42, 0) - 3.0).abs() < 1e-12);
+    }
+}

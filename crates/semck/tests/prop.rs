@@ -42,7 +42,7 @@ fn a64_line(which: usize, a: u8, b: u8, c: u8, g: u8) -> String {
         4 => format!("str q{a}, [x2]"),
         5 => format!("add {x}, {x}, #8"),
         6 => format!("cmp {x}, x5"),
-        7 => format!("csel x6, x7, x8, gt"),
+        7 => "csel x6, x7, x8, gt".to_string(),
         8 => format!("fdiv v{c}.2d, v{a}.2d, v{b}.2d"),
         _ => "subs x2, x2, #1".to_string(),
     }
